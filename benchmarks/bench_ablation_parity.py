@@ -1,0 +1,24 @@
+"""A1 bench: even-vs-odd CNOT-count ablation (the Fig. 4 correctness claim).
+
+Regenerates the ablation table showing that an odd parity chain leaves the
+ancilla entangled (1 bit of entropy) and halves the downstream GHZ
+fidelity, while even chains are free.
+"""
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.experiments.ablation_parity import run_parity_ablation
+
+
+@pytest.mark.benchmark(group="ablation-parity")
+def test_parity_cnot_count_ablation(benchmark):
+    result = benchmark(run_parity_ablation, sizes=(2, 3, 4, 5))
+    emit(result.summary())
+    for _n, variant, entropy, fidelity in result.rows:
+        if variant == "even":
+            assert entropy == pytest.approx(0.0, abs=1e-9)
+            assert fidelity == pytest.approx(1.0, abs=1e-9)
+        else:
+            assert entropy == pytest.approx(1.0, abs=1e-9)
+            assert fidelity == pytest.approx(0.5, abs=1e-6)

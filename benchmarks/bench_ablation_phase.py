@@ -1,0 +1,28 @@
+"""A5b bench: phase-error detection — the Z-parity blind spot.
+
+Regenerates the extension ablation: under Z-flip noise, the paper's
+Z-parity assertions detect nothing while the X-parity extension (and the
+combined full GHZ check) track the error rate.
+"""
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.experiments.ablation_phase import run_phase_ablation
+
+
+@pytest.mark.benchmark(group="ablation-phase")
+def test_phase_error_detection_ablation(benchmark):
+    result = benchmark(run_phase_ablation, noise_levels=(0.0, 0.05, 0.1, 0.2))
+    emit(result.summary())
+    for noise in (0.05, 0.1, 0.2):
+        # The paper's Z-parity checks are structurally blind to Z noise...
+        assert result.detection(noise, "z-pairs") == pytest.approx(0.0, abs=1e-9)
+        # ...the X-parity extension sees it...
+        assert result.detection(noise, "x-parity") > 0.1
+        # ...and the combined check sees at least as much.
+        assert result.detection(noise, "full") >= result.detection(
+            noise, "x-parity"
+        )
+    # No false positives without noise.
+    assert result.detection(0.0, "full") == pytest.approx(0.0, abs=1e-9)

@@ -1,0 +1,23 @@
+"""A7 bench: stacked assertions and the auto-correction saturation effect.
+
+Regenerates both detection curves: one-shot bugs saturate at 0.5 (the
+paper's projection property repairs survivors), recurring bugs amplify as
+1 - 2^-k.
+"""
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.experiments.amplification import run_amplification
+
+
+@pytest.mark.benchmark(group="amplification")
+def test_stacked_assertion_amplification(benchmark):
+    result = benchmark(run_amplification, max_k=6)
+    emit(result.summary())
+    for k in range(1, 7):
+        ideal = 1.0 - 2.0 ** (-k)
+        # Auto-correction saturates the one-shot curve at exactly 1/2...
+        assert result.detection(k, "one-shot") == pytest.approx(0.5, abs=1e-9)
+        # ...while a recurring bug follows the ideal amplification curve.
+        assert result.detection(k, "recurring") == pytest.approx(ideal, abs=1e-9)

@@ -1,0 +1,26 @@
+"""A3 bench: dynamic assertions vs the statistical baseline (ISCA'19).
+
+Regenerates the detection/executions/continuation comparison table on
+bugged and correct Bell/superposition programs.
+"""
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.experiments.baseline_comparison import run_baseline_comparison
+
+
+@pytest.mark.benchmark(group="baseline")
+def test_dynamic_vs_statistical_assertions(benchmark):
+    result = benchmark(run_baseline_comparison, shots=2048, alpha=0.01, seed=17)
+    emit(result.summary())
+    # Both approaches detect the real bugs...
+    assert result.detection("bell missing CX", "dynamic")
+    assert result.detection("bell missing CX", "statistical")
+    assert result.detection("superposition X-for-H", "dynamic")
+    # ...and neither flags correct programs.
+    assert not result.detection("bell correct", "dynamic")
+    assert not result.detection("superposition correct", "statistical")
+    # Only the dynamic approach keeps the program running.
+    for _scenario, approach, _det, _execs, continues in result.rows:
+        assert continues == (approach == "dynamic")

@@ -1,0 +1,27 @@
+"""E1 / Fig. 6 bench: classical assertion verified QUIRK-style.
+
+Regenerates the figure's claim table (error probabilities + post-selected
+projection fidelity) and times the exact statevector reproduction.
+"""
+
+import math
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.experiments.fig6 import run_fig6
+
+
+@pytest.mark.benchmark(group="fig6")
+def test_fig6_classical_assertion_quirk(benchmark):
+    result = benchmark(run_fig6)
+    emit(result.summary())
+    # Paper shape: |+> errs 50% and is projected exactly to |0> on pass.
+    _label, p_err, fidelity = result.row("|+>")
+    assert p_err == pytest.approx(0.5)
+    assert fidelity == pytest.approx(1.0)
+    # Classical inputs behave deterministically.
+    assert result.row("|0>")[1] == pytest.approx(0.0, abs=1e-12)
+    assert result.row("|1>")[1] == pytest.approx(1.0)
+    # P(error) = |b|^2 generalises.
+    assert result.row("0.8|0>")[1] == pytest.approx(0.36, abs=1e-9)

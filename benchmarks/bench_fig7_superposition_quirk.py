@@ -1,0 +1,27 @@
+"""E2 / Fig. 7 bench: superposition assertion verified QUIRK-style.
+
+Regenerates the figure's table (measured vs closed-form error rates, plus
+the forced-superposition property) and times the exact reproduction.
+"""
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.experiments.fig7 import run_fig7
+
+
+@pytest.mark.benchmark(group="fig7")
+def test_fig7_superposition_assertion_quirk(benchmark):
+    result = benchmark(run_fig7)
+    emit(result.summary())
+    # Paper shape: classical inputs err exactly 50% and exit in an equal
+    # superposition; |+> never errs; |-> always errs.
+    for label in ("|0>", "|1>"):
+        _l, measured, predicted, weight = result.row(label)
+        assert measured == pytest.approx(0.5)
+        assert weight == pytest.approx(0.5)
+    assert result.row("|+>")[1] == pytest.approx(0.0, abs=1e-12)
+    assert result.row("|->")[1] == pytest.approx(1.0)
+    # Measured error equals the paper's (2 - 4ab)/4 everywhere.
+    for _label, measured, predicted, _w in result.rows:
+        assert measured == pytest.approx(predicted, abs=1e-9)

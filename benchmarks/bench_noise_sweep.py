@@ -1,0 +1,24 @@
+"""A4 bench: filtering benefit vs noise level (0.5x-2x ibmqx4 calibration).
+
+Regenerates the sweep series for both hardware experiments.
+"""
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.experiments.sweeps import run_noise_sweep
+
+
+@pytest.mark.benchmark(group="noise-sweep")
+def test_filtering_benefit_noise_sweep(benchmark):
+    result = benchmark(
+        run_noise_sweep, scales=(0.5, 1.0, 2.0), shots=8192, seed=2020
+    )
+    emit(result.summary())
+    for experiment in ("table1", "table2"):
+        series = result.series(experiment)
+        raws = [raw for _scale, raw, _filtered in series]
+        assert raws == sorted(raws)  # error grows with noise
+    for _name, _scale, raw, filtered, reduction in result.rows:
+        assert filtered < raw
+        assert reduction > 0.0

@@ -1,0 +1,23 @@
+"""A2 bench: assertion overhead and scaling on the stabilizer engine.
+
+Times the fully instrumented GHZ(n) pipeline up to n = 64 and regenerates
+the overhead table (ancillas, extra CNOTs, pass rates).
+"""
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.experiments.scaling import run_scaling
+
+
+@pytest.mark.benchmark(group="scaling")
+def test_assertion_scaling_stabilizer(benchmark):
+    result = benchmark(run_scaling, sizes=(2, 4, 8, 16, 32, 64), shots=64, seed=5)
+    emit(result.summary())
+    for n, mode, ancillas, extra_cx, pass_rate, _sec in result.rows:
+        assert pass_rate == pytest.approx(1.0)
+        if mode == "pairwise":
+            assert ancillas == n - 1
+            assert extra_cx == 2 * (n - 1)
+        else:
+            assert ancillas == 1

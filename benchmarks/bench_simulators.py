@@ -1,0 +1,59 @@
+"""A5 bench: simulator cross-validation and relative performance.
+
+Runs the same instrumented Bell-assertion workload on all four engines and
+times each; correctness of the mutual agreement is asserted alongside.
+"""
+
+import pytest
+
+from repro.circuits import library
+from repro.core.injector import AssertionInjector
+from repro.noise.trajectories import TrajectorySimulator
+from repro.simulators.density_matrix import DensityMatrixSimulator
+from repro.simulators.stabilizer import StabilizerSimulator
+from repro.simulators.statevector import StatevectorSimulator
+
+
+def instrumented_bell():
+    injector = AssertionInjector(library.bell_pair())
+    injector.assert_entangled([0, 1])
+    injector.measure_program()
+    return injector.circuit
+
+
+@pytest.fixture(scope="module")
+def circuit():
+    return instrumented_bell()
+
+
+@pytest.fixture(scope="module")
+def reference(circuit):
+    return StatevectorSimulator().exact_probabilities(circuit)
+
+
+@pytest.mark.benchmark(group="simulators")
+def test_statevector_engine(benchmark, circuit, reference):
+    result = benchmark(StatevectorSimulator().run, circuit, 1024, 7)
+    for key, p in result.probabilities.items():
+        assert reference.get(key, 0.0) == pytest.approx(p, abs=1e-9)
+
+
+@pytest.mark.benchmark(group="simulators")
+def test_density_matrix_engine(benchmark, circuit, reference):
+    result = benchmark(DensityMatrixSimulator().run, circuit, 1024, 7)
+    for key, p in result.probabilities.items():
+        assert reference.get(key, 0.0) == pytest.approx(p, abs=1e-9)
+
+
+@pytest.mark.benchmark(group="simulators")
+def test_stabilizer_engine(benchmark, circuit, reference):
+    result = benchmark(StabilizerSimulator().run, circuit, 1024, 7)
+    for key, count in result.counts.items():
+        assert reference.get(key, 0.0) == pytest.approx(count / 1024, abs=0.08)
+
+
+@pytest.mark.benchmark(group="simulators")
+def test_trajectory_engine(benchmark, circuit, reference):
+    result = benchmark(TrajectorySimulator().run, circuit, 1024, 7)
+    for key, count in result.counts.items():
+        assert reference.get(key, 0.0) == pytest.approx(count / 1024, abs=0.08)

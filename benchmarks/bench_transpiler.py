@@ -1,0 +1,50 @@
+"""Transpiler bench: lowering the paper's instrumented circuits to ibmqx4.
+
+Times the full device pipeline on each experiment circuit and reports the
+gate-count expansion (the NISQ cost the paper's placement choices manage).
+"""
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.circuits import library
+from repro.core.injector import AssertionInjector
+from repro.devices.ibmqx4 import ibmqx4
+from repro.transpiler.passes import transpile_for_device
+
+DEVICE = ibmqx4()
+
+
+def instrumented(kind):
+    if kind == "table1":
+        injector = AssertionInjector(library.QuantumCircuit(1))
+        injector.assert_classical(0, 0)
+    elif kind == "table2":
+        injector = AssertionInjector(library.bell_pair())
+        injector.assert_entangled([0, 1])
+    else:
+        from repro.circuits.circuit import QuantumCircuit
+
+        program = QuantumCircuit(1)
+        program.h(0)
+        injector = AssertionInjector(program)
+        injector.assert_superposition(0)
+    injector.measure_program()
+    return injector.circuit
+
+
+@pytest.mark.benchmark(group="transpiler")
+@pytest.mark.parametrize("kind", ["table1", "table2", "sec43"])
+def test_transpile_experiment_circuits(benchmark, kind):
+    circuit = instrumented(kind)
+    lowered = benchmark(transpile_for_device, circuit, DEVICE)
+    emit(
+        f"{kind}: {circuit.size()} ops -> {lowered.size()} native ops, "
+        f"cx: {circuit.count_ops().get('cx', 0)} -> "
+        f"{lowered.count_ops().get('cx', 0)}"
+    )
+    for inst in lowered.data:
+        if inst.operation.is_gate:
+            assert inst.name in DEVICE.basis_gates
+        if inst.name == "cx":
+            assert DEVICE.coupling_map.supports(*inst.qubits)

@@ -1,0 +1,15 @@
+"""Shared configuration for the benchmark harness.
+
+Run with ``pytest benchmarks/ --benchmark-only -s`` to see the regenerated
+paper tables next to the timing numbers.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def emit(text: str) -> None:
+    """Print a regenerated table (visible with ``-s``)."""
+    print()
+    print(text)

@@ -1,0 +1,18 @@
+"""Minimal offline stand-in for the ``wheel`` distribution.
+
+The execution environment has setuptools 65 but no ``wheel`` package, which
+breaks PEP 660 editable installs (``pip install -e .``).  This package
+implements exactly the surface setuptools' ``dist_info`` and
+``editable_wheel`` commands use:
+
+* :mod:`wheel_shim.wheelfile` — a RECORD-writing ZipFile (PEP 427 layout),
+* :mod:`wheel_shim.bdist_wheel` — a distutils command providing
+  ``get_tag()``, ``write_wheelfile()`` and ``egg2dist()`` for pure-Python
+  projects.
+
+``setup.py`` aliases this package as ``wheel`` on ``sys.path`` before
+setuptools goes looking for it.  It is not a general wheel builder — only
+what an editable install of this pure-Python project requires.
+"""
+
+__version__ = "0.1.0-offline-shim"

@@ -1,0 +1,122 @@
+"""Minimal ``bdist_wheel`` distutils command for pure-Python projects.
+
+Implements the three methods setuptools' ``dist_info`` / ``editable_wheel``
+commands call — ``get_tag()``, ``write_wheelfile()`` and ``egg2dist()`` —
+plus the distutils command protocol.  Full wheel *builds* (``run``) are out
+of scope; editable installs never invoke them.
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+from distutils.core import Command
+from typing import Tuple
+
+
+class bdist_wheel(Command):  # noqa: N801 - distutils command naming
+    """Pure-Python (py3-none-any) wheel metadata support."""
+
+    description = "offline shim for wheel metadata generation"
+    user_options = [
+        ("dist-dir=", "d", "directory to put final built distributions in"),
+        ("keep-temp", "k", "keep the pseudo-installation tree"),
+    ]
+    boolean_options = ["keep-temp"]
+
+    def initialize_options(self) -> None:
+        self.dist_dir = None
+        self.keep_temp = False
+        self.data_dir = None
+        self.plat_name = None
+        self.root_is_pure = True
+
+    def finalize_options(self) -> None:
+        if self.dist_dir is None:
+            self.dist_dir = os.path.join(os.getcwd(), "dist")
+        name = self.distribution.get_name()
+        version = self.distribution.get_version()
+        self.data_dir = f"{name}-{version}.data"
+
+    def run(self) -> None:  # pragma: no cover - editable installs skip this
+        raise RuntimeError(
+            "the offline wheel shim does not build full wheels; use "
+            "'pip install -e .' (editable) or 'python setup.py develop'"
+        )
+
+    # -- surface used by setuptools ------------------------------------
+
+    def get_tag(self) -> Tuple[str, str, str]:
+        """Return the wheel tag; this project is pure Python."""
+        return ("py3", "none", "any")
+
+    def write_wheelfile(
+        self, wheelfile_base: str, generator: str = "wheel-shim (offline)"
+    ) -> None:
+        """Write the PEP 427 WHEEL metadata file into a dist-info dir."""
+        content = (
+            "Wheel-Version: 1.0\n"
+            f"Generator: {generator}\n"
+            "Root-Is-Purelib: true\n"
+            f"Tag: {'-'.join(self.get_tag())}\n"
+        )
+        path = os.path.join(wheelfile_base, "WHEEL")
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(content)
+
+    def egg2dist(self, egginfo_path: str, distinfo_path: str) -> None:
+        """Convert an ``.egg-info`` directory into a ``.dist-info`` one."""
+        if os.path.exists(distinfo_path):
+            shutil.rmtree(distinfo_path)
+        os.makedirs(distinfo_path)
+        pkg_info = os.path.join(egginfo_path, "PKG-INFO")
+        metadata = _read(pkg_info) if os.path.exists(pkg_info) else "Metadata-Version: 2.1\n"
+        requires = os.path.join(egginfo_path, "requires.txt")
+        if os.path.exists(requires) and "Requires-Dist:" not in metadata:
+            metadata = _merge_requires(metadata, _read(requires))
+        _write(os.path.join(distinfo_path, "METADATA"), metadata)
+        for extra in ("entry_points.txt", "top_level.txt"):
+            source = os.path.join(egginfo_path, extra)
+            if os.path.exists(source):
+                shutil.copy2(source, os.path.join(distinfo_path, extra))
+        self.write_wheelfile(distinfo_path)
+        # Real bdist_wheel consumes the egg-info dir; dist_info expects that.
+        shutil.rmtree(egginfo_path, ignore_errors=True)
+
+
+def _read(path: str) -> str:
+    with open(path, "r", encoding="utf-8") as handle:
+        return handle.read()
+
+
+def _write(path: str, content: str) -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(content)
+
+
+def _merge_requires(metadata: str, requires_text: str) -> str:
+    """Fold egg-info ``requires.txt`` into METADATA Requires-Dist lines."""
+    head, _, body = metadata.partition("\n\n")
+    lines = []
+    extra = None
+    for raw in requires_text.splitlines():
+        line = raw.strip()
+        if not line:
+            continue
+        if line.startswith("[") and line.endswith("]"):
+            section = line[1:-1]
+            # Sections may be "extra" or "extra:marker".
+            extra, _, marker = section.partition(":")
+            if extra:
+                lines.append(f"Provides-Extra: {extra}")
+            continue
+        requirement = line
+        clauses = []
+        if extra:
+            clauses.append(f'extra == "{extra}"')
+        if clauses:
+            requirement = f"{requirement} ; {' and '.join(clauses)}"
+        lines.append(f"Requires-Dist: {requirement}")
+    if lines:
+        head = head.rstrip("\n") + "\n" + "\n".join(lines) + "\n"
+    return head + ("\n" + body if body else "\n")

@@ -1,0 +1,86 @@
+"""A ZipFile that maintains the PEP 427 RECORD entry.
+
+Only the behaviour setuptools' ``editable_wheel`` relies on is implemented:
+``write``/``writestr`` record sha256 digests, ``write_files`` bulk-adds an
+unpacked tree, and ``close`` appends the RECORD file.
+"""
+
+from __future__ import annotations
+
+import base64
+import hashlib
+import os
+import zipfile
+from typing import List, Tuple
+
+
+def _urlsafe_b64_nopad(digest: bytes) -> str:
+    return base64.urlsafe_b64encode(digest).rstrip(b"=").decode("ascii")
+
+
+class WheelFile(zipfile.ZipFile):
+    """Write-mode wheel archive with automatic RECORD generation."""
+
+    def __init__(self, file, mode: str = "r", compression=zipfile.ZIP_DEFLATED):
+        super().__init__(file, mode, compression=compression)
+        base = os.path.basename(str(file))
+        if base.endswith(".whl"):
+            base = base[:-4]
+        name_version = "-".join(base.split("-")[:2])
+        self.dist_info_path = f"{name_version}.dist-info"
+        self.record_path = f"{self.dist_info_path}/RECORD"
+        self._record_rows: List[Tuple[str, str, str]] = []
+        self._record_written = False
+
+    # -- recording wrappers -------------------------------------------
+
+    def writestr(self, zinfo_or_arcname, data, *args, **kwargs):
+        super().writestr(zinfo_or_arcname, data, *args, **kwargs)
+        if isinstance(zinfo_or_arcname, zipfile.ZipInfo):
+            arcname = zinfo_or_arcname.filename
+        else:
+            arcname = str(zinfo_or_arcname)
+        if arcname == self.record_path:
+            return
+        if isinstance(data, str):
+            data = data.encode("utf-8")
+        digest = hashlib.sha256(data).digest()
+        self._record_rows.append(
+            (arcname, f"sha256={_urlsafe_b64_nopad(digest)}", str(len(data)))
+        )
+
+    def write(self, filename, arcname=None, *args, **kwargs):
+        super().write(filename, arcname, *args, **kwargs)
+        resolved = str(arcname if arcname is not None else filename)
+        resolved = resolved.replace(os.sep, "/")
+        if resolved == self.record_path:
+            return
+        with open(filename, "rb") as handle:
+            data = handle.read()
+        digest = hashlib.sha256(data).digest()
+        self._record_rows.append(
+            (resolved, f"sha256={_urlsafe_b64_nopad(digest)}", str(len(data)))
+        )
+
+    # -- setuptools entry points --------------------------------------
+
+    def write_files(self, base_dir) -> None:
+        """Add every file under ``base_dir`` (RECORD excluded) to the wheel."""
+        base_dir = str(base_dir)
+        collected = []
+        for root, _dirs, files in os.walk(base_dir):
+            for name in files:
+                path = os.path.join(root, name)
+                arcname = os.path.relpath(path, base_dir).replace(os.sep, "/")
+                if arcname != self.record_path:
+                    collected.append((path, arcname))
+        for path, arcname in sorted(collected, key=lambda item: item[1]):
+            self.write(path, arcname)
+
+    def close(self) -> None:
+        if self.mode == "w" and not self._record_written:
+            self._record_written = True
+            rows = list(self._record_rows) + [(self.record_path, "", "")]
+            text = "".join(f"{name},{digest},{size}\n" for name, digest, size in rows)
+            super().writestr(self.record_path, text)
+        super().close()

@@ -1,0 +1,35 @@
+#!/usr/bin/env python
+"""NISQ error filtering with assertion post-selection (paper §4).
+
+Recreates the paper's hardware experiments on the calibrated ibmqx4 model:
+Table 1 (classical assertion), Table 2 (entanglement assertion) and the
+§4.3 superposition number, then sweeps the noise scale to show how the
+filtering benefit behaves as devices get better or worse.
+
+Run:  python examples/nisq_error_filtering.py
+"""
+
+from repro.experiments import (
+    run_noise_sweep,
+    run_sec43,
+    run_table1,
+    run_table2,
+)
+
+
+def main() -> None:
+    print(run_table1().summary())
+    print()
+    print(run_table2().summary())
+    print()
+    print(run_sec43().summary())
+    print()
+    print(run_noise_sweep(scales=(0.5, 1.0, 2.0), shots=8192).summary())
+    print()
+    print("Reading: post-selecting on assertion ancillas keeps cutting the")
+    print("error rate by a double-digit relative margin across the whole")
+    print("noise range, at the cost of discarding the flagged shots.")
+
+
+if __name__ == "__main__":
+    main()

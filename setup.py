@@ -1,0 +1,35 @@
+"""Setuptools entry point with offline-environment support.
+
+The execution environment ships setuptools 65 without the ``wheel``
+distribution, which PEP 660 editable installs require.  When ``wheel`` is
+missing, we alias the bundled clean-room shim (``build_support/wheel_shim``)
+as the ``wheel`` module and register its ``bdist_wheel`` command, so plain
+``pip install -e . --no-build-isolation`` (and ``python setup.py develop``)
+work offline.  With a real ``wheel`` installed the shim is ignored.
+
+All package metadata lives in ``pyproject.toml``.
+"""
+
+import importlib
+import os
+import sys
+
+from setuptools import setup
+
+_CMDCLASS = {}
+
+try:
+    import wheel  # noqa: F401  (real wheel available: nothing to do)
+except ImportError:
+    _here = os.path.dirname(os.path.abspath(__file__))
+    _support = os.path.join(_here, "build_support")
+    if _support not in sys.path:
+        sys.path.insert(0, _support)
+    _shim = importlib.import_module("wheel_shim")
+    sys.modules["wheel"] = _shim
+    sys.modules["wheel.wheelfile"] = importlib.import_module("wheel_shim.wheelfile")
+    _bdist_module = importlib.import_module("wheel_shim.bdist_wheel")
+    sys.modules["wheel.bdist_wheel"] = _bdist_module
+    _CMDCLASS["bdist_wheel"] = _bdist_module.bdist_wheel
+
+setup(cmdclass=_CMDCLASS)

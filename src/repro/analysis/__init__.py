@@ -1,0 +1,49 @@
+"""State and distribution analysis utilities."""
+
+from repro.analysis.states import (
+    concurrence,
+    entanglement_entropy,
+    is_maximally_entangled_pair,
+    partial_trace,
+    pauli_expectation,
+    purity,
+    schmidt_coefficients,
+    state_fidelity,
+    von_neumann_entropy,
+)
+from repro.analysis.statistics import (
+    chi_square_contingency,
+    chi_square_goodness_of_fit,
+    wilson_interval,
+)
+from repro.analysis.tomography import (
+    measurement_bases_circuits,
+    reconstruct_single_qubit_state,
+)
+from repro.analysis.mitigation import (
+    calibrate_and_mitigate,
+    calibration_circuits,
+    confusion_matrix_from_calibration,
+    mitigate_counts,
+)
+
+__all__ = [
+    "calibrate_and_mitigate",
+    "calibration_circuits",
+    "chi_square_contingency",
+    "chi_square_goodness_of_fit",
+    "confusion_matrix_from_calibration",
+    "mitigate_counts",
+    "concurrence",
+    "entanglement_entropy",
+    "is_maximally_entangled_pair",
+    "measurement_bases_circuits",
+    "partial_trace",
+    "pauli_expectation",
+    "purity",
+    "reconstruct_single_qubit_state",
+    "schmidt_coefficients",
+    "state_fidelity",
+    "von_neumann_entropy",
+    "wilson_interval",
+]

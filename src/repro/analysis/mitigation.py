@@ -1,0 +1,146 @@
+"""Readout-error mitigation by confusion-matrix inversion.
+
+A classical post-processing baseline to compare against the paper's
+assertion-based filtering (§4): calibrate per-qubit confusion matrices by
+preparing and measuring basis states, then unfold measured histograms
+through the inverted tensor-product confusion matrix.
+
+The comparison is instructive because the two techniques attack different
+error classes: mitigation corrects *measurement misassignment* in
+expectation (keeping all shots, but only fixing readout), while assertion
+filtering discards flagged shots and also removes *gate/state* errors the
+ancilla witnessed.  The bench ``benchmarks/bench_mitigation_comparison.py``
+quantifies this on the Table 1/2 workloads.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.exceptions import AnalysisError
+from repro.results.counts import Counts
+
+
+def calibration_circuits(qubits: Sequence[int], num_qubits: int) -> Dict[str, QuantumCircuit]:
+    """Return the 2^k basis-state preparation circuits for calibration.
+
+    Parameters
+    ----------
+    qubits:
+        The physical qubits whose readout will be calibrated.
+    num_qubits:
+        Total circuit width (so physical indices stay valid).
+
+    Returns
+    -------
+    Mapping from the prepared bitstring (over ``qubits``, in order) to the
+    circuit that prepares and measures it.
+    """
+    qubits = [int(q) for q in qubits]
+    if len(set(qubits)) != len(qubits):
+        raise AnalysisError(f"duplicate qubits {qubits}")
+    if len(qubits) > 10:
+        raise AnalysisError(
+            "full calibration beyond 10 qubits is impractical (2^k circuits); "
+            "calibrate per qubit instead"
+        )
+    out: Dict[str, QuantumCircuit] = {}
+    for index in range(2 ** len(qubits)):
+        label = format(index, f"0{len(qubits)}b")
+        circuit = QuantumCircuit(num_qubits, len(qubits), name=f"cal_{label}")
+        for position, qubit in enumerate(qubits):
+            if label[position] == "1":
+                circuit.x(qubit)
+        for position, qubit in enumerate(qubits):
+            circuit.measure(qubit, position)
+        out[label] = circuit
+    return out
+
+
+def confusion_matrix_from_calibration(
+    calibration_counts: Dict[str, Counts]
+) -> np.ndarray:
+    """Build the full assignment matrix from calibration runs.
+
+    ``matrix[measured_index, prepared_index]`` is the estimated probability
+    of reading ``measured`` when ``prepared`` was the true state.
+    """
+    if not calibration_counts:
+        raise AnalysisError("no calibration data")
+    width = len(next(iter(calibration_counts)))
+    dim = 2 ** width
+    if len(calibration_counts) != dim:
+        raise AnalysisError(
+            f"calibration needs all {dim} basis states, got "
+            f"{len(calibration_counts)}"
+        )
+    matrix = np.zeros((dim, dim))
+    for prepared, counts in calibration_counts.items():
+        total = counts.shots
+        if total == 0:
+            raise AnalysisError(f"calibration state {prepared!r} has no shots")
+        col = int(prepared, 2)
+        for measured, value in counts.items():
+            matrix[int(measured, 2), col] = value / total
+    return matrix
+
+
+def mitigate_counts(counts: Counts, confusion: np.ndarray) -> Dict[str, float]:
+    """Unfold ``counts`` through the inverse confusion matrix.
+
+    Returns a *quasi-probability* distribution clipped to the physical
+    simplex (negative entries zeroed, renormalised) — the standard
+    least-disruptive projection.
+    """
+    width = counts.num_bits
+    dim = 2 ** width
+    if confusion.shape != (dim, dim):
+        raise AnalysisError(
+            f"confusion matrix shape {confusion.shape} does not match "
+            f"{width}-bit counts"
+        )
+    observed = np.zeros(dim)
+    total = counts.shots
+    if total == 0:
+        raise AnalysisError("cannot mitigate an empty histogram")
+    for key, value in counts.items():
+        observed[int(key, 2)] = value / total
+    try:
+        unfolded = np.linalg.solve(confusion, observed)
+    except np.linalg.LinAlgError as exc:
+        raise AnalysisError("confusion matrix is singular") from exc
+    clipped = np.clip(unfolded, 0.0, None)
+    norm = clipped.sum()
+    if norm <= 0:
+        raise AnalysisError("mitigation produced an empty distribution")
+    clipped /= norm
+    return {
+        format(index, f"0{width}b"): float(p)
+        for index, p in enumerate(clipped)
+        if p > 1e-12
+    }
+
+
+def calibrate_and_mitigate(
+    backend,
+    qubits: Sequence[int],
+    num_qubits: int,
+    counts: Counts,
+    shots: int = 4096,
+    seed: Optional[int] = None,
+) -> Dict[str, float]:
+    """One-call helper: calibrate on ``backend`` then mitigate ``counts``.
+
+    ``counts`` must be keyed over ``qubits`` in the given order (as produced
+    by measuring them into clbits 0..k-1).
+    """
+    circuits = calibration_circuits(qubits, num_qubits)
+    calibration = {
+        label: backend.run(circuit, shots=shots, seed=seed).counts
+        for label, circuit in circuits.items()
+    }
+    confusion = confusion_matrix_from_calibration(calibration)
+    return mitigate_counts(counts, confusion)

@@ -1,0 +1,182 @@
+"""Quantum-state analysis: fidelity, entropies, entanglement measures.
+
+Used by the test suite to verify the paper's §3 claims quantitatively —
+e.g. that the entanglement-assertion ancilla *disentangles* from the tested
+pair (entanglement entropy of the ancilla bipartition returns to 0) and
+that a failed classical assertion leaves the tested qubit in a classical
+state (purity of the reduced state is 1 and it is diagonal).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.exceptions import AnalysisError
+
+StateLike = Union[np.ndarray, "object"]
+
+
+def _as_density(state: StateLike) -> np.ndarray:
+    """Coerce a statevector/Statevector/DensityMatrix/ndarray to a DM."""
+    data = getattr(state, "data", state)
+    data = np.asarray(data, dtype=complex)
+    if data.ndim == 1:
+        return np.outer(data, data.conj())
+    if data.ndim == 2 and data.shape[0] == data.shape[1]:
+        return data
+    raise AnalysisError(f"cannot interpret shape {data.shape} as a quantum state")
+
+
+def _num_qubits(dim: int) -> int:
+    n = int(math.log2(dim)) if dim else 0
+    if 2 ** n != dim:
+        raise AnalysisError(f"dimension {dim} is not a power of two")
+    return n
+
+
+def state_fidelity(a: StateLike, b: StateLike) -> float:
+    """Return the Uhlmann fidelity ``F(a, b)`` in [0, 1].
+
+    For two pure states this reduces to ``|<a|b>|^2``.
+    """
+    rho = _as_density(a)
+    sigma = _as_density(b)
+    if rho.shape != sigma.shape:
+        raise AnalysisError(f"state dimensions differ: {rho.shape} vs {sigma.shape}")
+    # F = (Tr sqrt(sqrt(rho) sigma sqrt(rho)))^2 via eigen-decomposition.
+    vals, vecs = np.linalg.eigh(rho)
+    vals = np.clip(vals, 0.0, None)
+    sqrt_rho = (vecs * np.sqrt(vals)) @ vecs.conj().T
+    inner = sqrt_rho @ sigma @ sqrt_rho
+    eigenvalues = np.linalg.eigvalsh(inner)
+    eigenvalues = np.clip(eigenvalues, 0.0, None)
+    fidelity = float(np.sum(np.sqrt(eigenvalues)) ** 2)
+    return min(1.0, max(0.0, fidelity))
+
+
+def purity(state: StateLike) -> float:
+    """Return ``Tr(rho^2)``."""
+    rho = _as_density(state)
+    return float(np.real(np.trace(rho @ rho)))
+
+
+def partial_trace(state: StateLike, keep: Sequence[int]) -> np.ndarray:
+    """Trace out all qubits except ``keep`` (returned in ``keep`` order).
+
+    Follows the library convention: qubit 0 is the most-significant index
+    bit.
+    """
+    rho = _as_density(state)
+    n = _num_qubits(rho.shape[0])
+    keep = list(keep)
+    for q in keep:
+        if not 0 <= q < n:
+            raise AnalysisError(f"qubit {q} out of range for {n}-qubit state")
+    if len(set(keep)) != len(keep):
+        raise AnalysisError(f"duplicate qubits in keep={keep}")
+    tensor = rho.reshape((2,) * (2 * n))
+    traced = [q for q in range(n) if q not in keep]
+    # Contract each traced qubit's row axis with its column axis.
+    for q in sorted(traced, reverse=True):
+        current_n = tensor.ndim // 2
+        tensor = np.trace(tensor, axis1=q, axis2=current_n + q)
+    # Axes now follow the original relative order of kept qubits; permute to
+    # the requested order.
+    current_order = sorted(keep)
+    k = len(keep)
+    perm = [current_order.index(q) for q in keep]
+    full_perm = perm + [k + p for p in perm]
+    tensor = tensor.transpose(full_perm)
+    dim = 2 ** k
+    return tensor.reshape(dim, dim)
+
+
+def von_neumann_entropy(state: StateLike, base: float = 2.0) -> float:
+    """Return ``S(rho) = -Tr(rho log rho)``."""
+    rho = _as_density(state)
+    eigenvalues = np.linalg.eigvalsh(rho)
+    eigenvalues = np.clip(np.real(eigenvalues), 0.0, 1.0)
+    entropy = 0.0
+    for value in eigenvalues:
+        if value > 1e-14:
+            entropy -= value * math.log(value, base)
+    return max(0.0, entropy)
+
+
+def entanglement_entropy(state: StateLike, subsystem: Sequence[int]) -> float:
+    """Return the entropy of the reduced state on ``subsystem``.
+
+    Zero iff the subsystem is unentangled from the rest (for pure global
+    states) — the test the paper's proofs make about assertion ancillas.
+    """
+    reduced = partial_trace(state, list(subsystem))
+    return von_neumann_entropy(reduced)
+
+
+def schmidt_coefficients(
+    statevector: np.ndarray, subsystem: Sequence[int]
+) -> np.ndarray:
+    """Return the Schmidt coefficients across the given bipartition.
+
+    Only defined for pure states (1-D input).
+    """
+    vec = np.asarray(getattr(statevector, "data", statevector), dtype=complex)
+    if vec.ndim != 1:
+        raise AnalysisError("Schmidt decomposition requires a pure statevector")
+    n = _num_qubits(vec.shape[0])
+    subsystem = list(subsystem)
+    rest = [q for q in range(n) if q not in subsystem]
+    tensor = vec.reshape((2,) * n)
+    tensor = tensor.transpose(subsystem + rest)
+    matrix = tensor.reshape(2 ** len(subsystem), 2 ** len(rest))
+    singular_values = np.linalg.svd(matrix, compute_uv=False)
+    return singular_values[singular_values > 1e-12]
+
+
+def concurrence(state: StateLike) -> float:
+    """Return the Wootters concurrence of a 2-qubit state (0 = separable)."""
+    rho = _as_density(state)
+    if rho.shape != (4, 4):
+        raise AnalysisError("concurrence is defined for 2-qubit states")
+    sigma_y = np.array([[0, -1j], [1j, 0]], dtype=complex)
+    spin_flip = np.kron(sigma_y, sigma_y)
+    rho_tilde = spin_flip @ rho.conj() @ spin_flip
+    eigenvalues = np.linalg.eigvals(rho @ rho_tilde)
+    roots = np.sort(np.sqrt(np.clip(np.real(eigenvalues), 0.0, None)))[::-1]
+    return max(0.0, float(roots[0] - roots[1] - roots[2] - roots[3]))
+
+
+def is_maximally_entangled_pair(
+    state: StateLike, qubits: Tuple[int, int] = (0, 1), atol: float = 1e-8
+) -> bool:
+    """Return True if the reduced 2-qubit state is maximally entangled."""
+    reduced = partial_trace(state, list(qubits))
+    return concurrence(reduced) > 1.0 - atol
+
+
+_PAULI_MATRICES = {
+    "I": np.eye(2, dtype=complex),
+    "X": np.array([[0, 1], [1, 0]], dtype=complex),
+    "Y": np.array([[0, -1j], [1j, 0]], dtype=complex),
+    "Z": np.array([[1, 0], [0, -1]], dtype=complex),
+}
+
+
+def pauli_expectation(state: StateLike, pauli_string: str) -> float:
+    """Return ``<P>`` for a Pauli string like ``"ZZI"`` (qubit 0 first)."""
+    rho = _as_density(state)
+    n = _num_qubits(rho.shape[0])
+    if len(pauli_string) != n:
+        raise AnalysisError(
+            f"Pauli string length {len(pauli_string)} does not match "
+            f"{n} qubits"
+        )
+    operator = np.array([[1.0 + 0.0j]])
+    for char in pauli_string.upper():
+        if char not in _PAULI_MATRICES:
+            raise AnalysisError(f"unknown Pauli label {char!r}")
+        operator = np.kron(operator, _PAULI_MATRICES[char])
+    return float(np.real(np.trace(operator @ rho)))

@@ -1,0 +1,100 @@
+"""Statistical tests on measurement histograms.
+
+These implement the machinery behind the *statistical assertions* baseline
+(Huang & Martonosi, ISCA'19) that the paper positions itself against:
+chi-square goodness-of-fit for classical/superposition assertions and a
+chi-square contingency test for entanglement assertions.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Mapping, Sequence, Tuple
+
+import numpy as np
+from scipy import stats
+
+from repro.exceptions import AnalysisError
+from repro.results.counts import Counts
+
+
+def chi_square_goodness_of_fit(
+    counts: Counts,
+    expected_probabilities: Mapping[str, float],
+) -> Tuple[float, float]:
+    """Test whether ``counts`` matches an expected distribution.
+
+    Returns ``(statistic, p_value)``.  Outcomes absent from
+    ``expected_probabilities`` are treated as probability 0 (their presence
+    in the data forces statistic = inf, p = 0).
+    """
+    total = counts.shots
+    if total == 0:
+        raise AnalysisError("cannot test an empty histogram")
+    prob_sum = sum(expected_probabilities.values())
+    if not math.isclose(prob_sum, 1.0, abs_tol=1e-6):
+        raise AnalysisError(f"expected probabilities sum to {prob_sum}, not 1")
+    impossible = [
+        key
+        for key in counts
+        if expected_probabilities.get(key, 0.0) <= 0.0 and counts[key] > 0
+    ]
+    if impossible:
+        return float("inf"), 0.0
+    keys = sorted(k for k, p in expected_probabilities.items() if p > 0.0)
+    if len(keys) < 2:
+        # A point distribution with no impossible observations fits exactly
+        # (zero degrees of freedom).
+        return 0.0, 1.0
+    observed = np.array([counts.get(k, 0) for k in keys], dtype=float)
+    expected = np.array(
+        [expected_probabilities[k] * total for k in keys], dtype=float
+    )
+    statistic, p_value = stats.chisquare(observed, expected)
+    return float(statistic), float(p_value)
+
+
+def chi_square_contingency(
+    counts: Counts, bit_a: int, bit_b: int
+) -> Tuple[float, float]:
+    """Test independence of two bits of the histogram.
+
+    Returns ``(statistic, p_value)``.  A small p-value rejects independence,
+    i.e. supports correlation (the statistical-assertion criterion for
+    entanglement).  Degenerate tables (a bit is constant) return
+    ``(0.0, 1.0)`` — a constant bit carries no correlation evidence.
+    """
+    table = np.zeros((2, 2), dtype=float)
+    for key, value in counts.items():
+        table[int(key[bit_a]), int(key[bit_b])] += value
+    if counts.shots == 0:
+        raise AnalysisError("cannot test an empty histogram")
+    if (table.sum(axis=0) == 0).any() or (table.sum(axis=1) == 0).any():
+        return 0.0, 1.0
+    statistic, p_value, _, _ = stats.chi2_contingency(table, correction=False)
+    return float(statistic), float(p_value)
+
+
+def wilson_interval(
+    successes: int, trials: int, confidence: float = 0.95
+) -> Tuple[float, float]:
+    """Return the Wilson score interval for a binomial proportion.
+
+    Used when reporting assertion-error rates with uncertainty.
+    """
+    if trials <= 0:
+        raise AnalysisError("trials must be positive")
+    if not 0 <= successes <= trials:
+        raise AnalysisError(f"successes {successes} outside [0, {trials}]")
+    if not 0.0 < confidence < 1.0:
+        raise AnalysisError("confidence must lie in (0, 1)")
+    z = stats.norm.ppf(0.5 + confidence / 2.0)
+    p_hat = successes / trials
+    denom = 1.0 + z * z / trials
+    centre = (p_hat + z * z / (2 * trials)) / denom
+    margin = (
+        z
+        * math.sqrt(p_hat * (1 - p_hat) / trials + z * z / (4 * trials * trials))
+        / denom
+    )
+    return max(0.0, centre - margin), min(1.0, centre + margin)

@@ -1,0 +1,102 @@
+"""Single-qubit state tomography by linear inversion.
+
+Supports the baseline comparison: statistical assertions need full
+distributions of the qubit under test, which in practice means tomography in
+several bases — each basis costing a separate (program-halting) batch of
+executions.  The dynamic assertions need none of this, which is the paper's
+headline advantage.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Tuple
+
+import numpy as np
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.exceptions import AnalysisError
+from repro.results.counts import Counts
+
+
+def measurement_bases_circuits(
+    base_circuit: QuantumCircuit, qubit: int
+) -> Dict[str, QuantumCircuit]:
+    """Return X/Y/Z-basis measurement variants of ``base_circuit``.
+
+    Each variant appends the basis-change gates and a measurement of
+    ``qubit`` into a fresh classical bit, truncating the program there —
+    exactly how a statistical-assertion harness instruments a program.
+    """
+    if not 0 <= qubit < base_circuit.num_qubits:
+        raise AnalysisError(
+            f"qubit {qubit} out of range for {base_circuit.num_qubits}-qubit circuit"
+        )
+    variants: Dict[str, QuantumCircuit] = {}
+    for basis in ("z", "x", "y"):
+        circuit = base_circuit.copy(name=f"{base_circuit.name}_tomo_{basis}")
+        reg = circuit.add_clbits(1, name=f"tomo_{basis}_{len(circuit.cregs)}")
+        if basis == "x":
+            circuit.h(qubit)
+        elif basis == "y":
+            circuit.sdg(qubit)
+            circuit.h(qubit)
+        circuit.measure(qubit, reg[0])
+        variants[basis] = circuit
+    return variants
+
+
+def reconstruct_single_qubit_state(
+    basis_counts: Mapping[str, Counts],
+    bit_position: int = -1,
+) -> np.ndarray:
+    """Reconstruct a 1-qubit density matrix from X/Y/Z basis counts.
+
+    Parameters
+    ----------
+    basis_counts:
+        Mapping with keys ``"x"``, ``"y"``, ``"z"`` to the counts of the
+        corresponding basis measurement.
+    bit_position:
+        Which bit of each histogram key holds the tomography outcome
+        (default: last).
+
+    Returns
+    -------
+    The linear-inversion estimate ``rho = (I + <X> X + <Y> Y + <Z> Z) / 2``,
+    projected back onto the physical (positive semidefinite) set.
+    """
+    expectations = {}
+    for basis in ("x", "y", "z"):
+        if basis not in basis_counts:
+            raise AnalysisError(f"missing counts for basis {basis!r}")
+        counts = basis_counts[basis]
+        total = counts.shots
+        if total == 0:
+            raise AnalysisError(f"basis {basis!r} histogram is empty")
+        ones = sum(
+            value for key, value in counts.items() if key[bit_position] == "1"
+        )
+        expectations[basis] = 1.0 - 2.0 * ones / total
+    pauli = {
+        "x": np.array([[0, 1], [1, 0]], dtype=complex),
+        "y": np.array([[0, -1j], [1j, 0]], dtype=complex),
+        "z": np.array([[1, 0], [0, -1]], dtype=complex),
+    }
+    rho = 0.5 * (
+        np.eye(2, dtype=complex)
+        + expectations["x"] * pauli["x"]
+        + expectations["y"] * pauli["y"]
+        + expectations["z"] * pauli["z"]
+    )
+    return _project_to_physical(rho)
+
+
+def _project_to_physical(rho: np.ndarray) -> np.ndarray:
+    """Clip negative eigenvalues and renormalise (Smolin-style projection)."""
+    values, vectors = np.linalg.eigh(rho)
+    values = np.clip(np.real(values), 0.0, None)
+    total = values.sum()
+    if total <= 0:
+        raise AnalysisError("reconstructed state has no positive support")
+    values = values / total
+    return (vectors * values) @ vectors.conj().T

@@ -1,0 +1,654 @@
+"""The :class:`QuantumCircuit` builder.
+
+A circuit owns a flat list of qubits and classical bits (optionally grouped
+into named registers) and an ordered list of
+:class:`~repro.circuits.instructions.Instruction` objects.  Builder methods
+exist for every standard gate, plus ``measure``, ``reset``, ``barrier``,
+conditional execution (:meth:`QuantumCircuit.c_if` style via the ``condition``
+keyword), composition, inversion and ancilla allocation — everything the
+runtime-assertion injector (:mod:`repro.core`) needs.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.circuits.gates import (
+    Barrier,
+    Gate,
+    Measure,
+    Operation,
+    Reset,
+    UnitaryGate,
+    get_gate,
+)
+from repro.circuits.instructions import Instruction
+from repro.circuits.registers import ClassicalRegister, Clbit, QuantumRegister, Qubit
+from repro.exceptions import CircuitError
+
+QubitSpecifier = Union[int, Qubit]
+ClbitSpecifier = Union[int, Clbit]
+
+
+class QuantumCircuit:
+    """A mutable quantum circuit.
+
+    Parameters
+    ----------
+    *regs:
+        Any mix of ``int`` (anonymous qubit then clbit counts, in order) and
+        :class:`QuantumRegister` / :class:`ClassicalRegister` instances.
+    name:
+        Optional circuit name used by the drawer and QASM export.
+
+    Examples
+    --------
+    >>> qc = QuantumCircuit(2, 2)
+    >>> qc.h(0)           # doctest: +ELLIPSIS
+    <repro.circuits.circuit.QuantumCircuit object at ...>
+    >>> _ = qc.cx(0, 1)
+    >>> _ = qc.measure([0, 1], [0, 1])
+    >>> qc.num_qubits, qc.num_clbits, len(qc)
+    (2, 2, 4)
+    """
+
+    def __init__(
+        self,
+        *regs: Union[int, QuantumRegister, ClassicalRegister],
+        name: str = "circuit",
+    ) -> None:
+        self.name = name
+        self.qregs: List[QuantumRegister] = []
+        self.cregs: List[ClassicalRegister] = []
+        self._qubit_index: Dict[Qubit, int] = {}
+        self._clbit_index: Dict[Clbit, int] = {}
+        self.data: List[Instruction] = []
+        int_args = [r for r in regs if isinstance(r, int)]
+        if len(int_args) > 2:
+            raise CircuitError(
+                "at most two integer arguments (num_qubits, num_clbits) allowed"
+            )
+        for reg in regs:
+            if isinstance(reg, QuantumRegister):
+                self.add_register(reg)
+            elif isinstance(reg, ClassicalRegister):
+                self.add_register(reg)
+            elif isinstance(reg, int):
+                pass  # handled below, in order
+            else:
+                raise CircuitError(f"unexpected circuit argument {reg!r}")
+        if int_args:
+            if int_args[0] > 0:
+                self.add_register(QuantumRegister(int_args[0], name="q"))
+            elif int_args[0] < 0:
+                raise CircuitError("number of qubits must be non-negative")
+        if len(int_args) == 2:
+            if int_args[1] > 0:
+                self.add_register(ClassicalRegister(int_args[1], name="c"))
+            elif int_args[1] < 0:
+                raise CircuitError("number of clbits must be non-negative")
+
+    # ------------------------------------------------------------------
+    # Registers and bits
+    # ------------------------------------------------------------------
+
+    @property
+    def num_qubits(self) -> int:
+        """Return the total number of qubits."""
+        return len(self._qubit_index)
+
+    @property
+    def num_clbits(self) -> int:
+        """Return the total number of classical bits."""
+        return len(self._clbit_index)
+
+    @property
+    def qubits(self) -> List[Qubit]:
+        """Return all qubits in flat index order."""
+        return sorted(self._qubit_index, key=self._qubit_index.get)
+
+    @property
+    def clbits(self) -> List[Clbit]:
+        """Return all classical bits in flat index order."""
+        return sorted(self._clbit_index, key=self._clbit_index.get)
+
+    def add_register(
+        self, register: Union[QuantumRegister, ClassicalRegister]
+    ) -> Union[QuantumRegister, ClassicalRegister]:
+        """Append a register, extending the flat bit index space."""
+        if isinstance(register, QuantumRegister):
+            if any(r.name == register.name for r in self.qregs):
+                raise CircuitError(f"duplicate register name {register.name!r}")
+            self.qregs.append(register)
+            base = len(self._qubit_index)
+            for offset, bit in enumerate(register):
+                self._qubit_index[bit] = base + offset
+        elif isinstance(register, ClassicalRegister):
+            if any(r.name == register.name for r in self.cregs):
+                raise CircuitError(f"duplicate register name {register.name!r}")
+            self.cregs.append(register)
+            base = len(self._clbit_index)
+            for offset, bit in enumerate(register):
+                self._clbit_index[bit] = base + offset
+        else:
+            raise CircuitError(f"not a register: {register!r}")
+        return register
+
+    def add_qubits(self, count: int, name: str = "") -> QuantumRegister:
+        """Allocate ``count`` fresh qubits and return their register.
+
+        This is how the assertion injector allocates ancilla qubits without
+        disturbing existing bit indices.
+        """
+        if count < 1:
+            raise CircuitError(f"must add at least one qubit, got {count}")
+        reg = QuantumRegister(count, name=name) if name else QuantumRegister(count)
+        return self.add_register(reg)
+
+    def add_clbits(self, count: int, name: str = "") -> ClassicalRegister:
+        """Allocate ``count`` fresh classical bits and return their register."""
+        if count < 1:
+            raise CircuitError(f"must add at least one clbit, got {count}")
+        reg = ClassicalRegister(count, name=name) if name else ClassicalRegister(count)
+        return self.add_register(reg)
+
+    def qubit_index(self, qubit: QubitSpecifier) -> int:
+        """Resolve a qubit specifier to its flat index."""
+        if isinstance(qubit, Qubit):
+            try:
+                return self._qubit_index[qubit]
+            except KeyError:
+                raise CircuitError(f"{qubit!r} is not in this circuit") from None
+        index = int(qubit)
+        if not 0 <= index < self.num_qubits:
+            raise CircuitError(
+                f"qubit index {index} out of range (circuit has "
+                f"{self.num_qubits} qubit(s))"
+            )
+        return index
+
+    def clbit_index(self, clbit: ClbitSpecifier) -> int:
+        """Resolve a classical-bit specifier to its flat index."""
+        if isinstance(clbit, Clbit):
+            try:
+                return self._clbit_index[clbit]
+            except KeyError:
+                raise CircuitError(f"{clbit!r} is not in this circuit") from None
+        index = int(clbit)
+        if not 0 <= index < self.num_clbits:
+            raise CircuitError(
+                f"clbit index {index} out of range (circuit has "
+                f"{self.num_clbits} clbit(s))"
+            )
+        return index
+
+    def _resolve_qubits(
+        self, qubits: Union[QubitSpecifier, Sequence[QubitSpecifier]]
+    ) -> List[int]:
+        if isinstance(qubits, (int, Qubit)):
+            return [self.qubit_index(qubits)]
+        return [self.qubit_index(q) for q in qubits]
+
+    def _resolve_clbits(
+        self, clbits: Union[ClbitSpecifier, Sequence[ClbitSpecifier]]
+    ) -> List[int]:
+        if isinstance(clbits, (int, Clbit)):
+            return [self.clbit_index(clbits)]
+        return [self.clbit_index(c) for c in clbits]
+
+    # ------------------------------------------------------------------
+    # Generic append
+    # ------------------------------------------------------------------
+
+    def append(
+        self,
+        operation: Operation,
+        qubits: Sequence[QubitSpecifier],
+        clbits: Sequence[ClbitSpecifier] = (),
+        condition: Optional[Tuple[ClbitSpecifier, int]] = None,
+    ) -> "QuantumCircuit":
+        """Append ``operation`` on the given bits; returns ``self``."""
+        q_idx = self._resolve_qubits(list(qubits))
+        c_idx = self._resolve_clbits(list(clbits))
+        cond = None
+        if condition is not None:
+            cond = (self.clbit_index(condition[0]), int(condition[1]))
+        self.data.append(Instruction(operation, q_idx, c_idx, cond))
+        return self
+
+    def _gate(
+        self,
+        name: str,
+        qubits: Sequence[QubitSpecifier],
+        params: Sequence[float] = (),
+        condition: Optional[Tuple[ClbitSpecifier, int]] = None,
+    ) -> "QuantumCircuit":
+        return self.append(get_gate(name, params), qubits, (), condition)
+
+    # ------------------------------------------------------------------
+    # Standard-gate builder methods
+    # ------------------------------------------------------------------
+
+    def i(self, qubit: QubitSpecifier) -> "QuantumCircuit":
+        """Apply the identity gate."""
+        return self._gate("id", [qubit])
+
+    def x(self, qubit: QubitSpecifier, condition=None) -> "QuantumCircuit":
+        """Apply Pauli-X."""
+        return self._gate("x", [qubit], condition=condition)
+
+    def y(self, qubit: QubitSpecifier) -> "QuantumCircuit":
+        """Apply Pauli-Y."""
+        return self._gate("y", [qubit])
+
+    def z(self, qubit: QubitSpecifier, condition=None) -> "QuantumCircuit":
+        """Apply Pauli-Z."""
+        return self._gate("z", [qubit], condition=condition)
+
+    def h(self, qubit: QubitSpecifier) -> "QuantumCircuit":
+        """Apply the Hadamard gate."""
+        return self._gate("h", [qubit])
+
+    def s(self, qubit: QubitSpecifier) -> "QuantumCircuit":
+        """Apply the S (phase) gate."""
+        return self._gate("s", [qubit])
+
+    def sdg(self, qubit: QubitSpecifier) -> "QuantumCircuit":
+        """Apply the S-dagger gate."""
+        return self._gate("sdg", [qubit])
+
+    def t(self, qubit: QubitSpecifier) -> "QuantumCircuit":
+        """Apply the T gate."""
+        return self._gate("t", [qubit])
+
+    def tdg(self, qubit: QubitSpecifier) -> "QuantumCircuit":
+        """Apply the T-dagger gate."""
+        return self._gate("tdg", [qubit])
+
+    def sx(self, qubit: QubitSpecifier) -> "QuantumCircuit":
+        """Apply the sqrt(X) gate."""
+        return self._gate("sx", [qubit])
+
+    def sxdg(self, qubit: QubitSpecifier) -> "QuantumCircuit":
+        """Apply the inverse sqrt(X) gate."""
+        return self._gate("sxdg", [qubit])
+
+    def rx(self, theta: float, qubit: QubitSpecifier) -> "QuantumCircuit":
+        """Rotate about X by ``theta``."""
+        return self._gate("rx", [qubit], (theta,))
+
+    def ry(self, theta: float, qubit: QubitSpecifier) -> "QuantumCircuit":
+        """Rotate about Y by ``theta``."""
+        return self._gate("ry", [qubit], (theta,))
+
+    def rz(self, theta: float, qubit: QubitSpecifier) -> "QuantumCircuit":
+        """Rotate about Z by ``theta``."""
+        return self._gate("rz", [qubit], (theta,))
+
+    def p(self, lam: float, qubit: QubitSpecifier) -> "QuantumCircuit":
+        """Apply the phase gate ``diag(1, e^{i lam})``."""
+        return self._gate("p", [qubit], (lam,))
+
+    def u1(self, lam: float, qubit: QubitSpecifier) -> "QuantumCircuit":
+        """Apply ``u1`` (alias of the phase gate)."""
+        return self._gate("u1", [qubit], (lam,))
+
+    def u2(self, phi: float, lam: float, qubit: QubitSpecifier) -> "QuantumCircuit":
+        """Apply ``u2(phi, lam) = u3(pi/2, phi, lam)``."""
+        return self._gate("u2", [qubit], (phi, lam))
+
+    def u3(
+        self, theta: float, phi: float, lam: float, qubit: QubitSpecifier
+    ) -> "QuantumCircuit":
+        """Apply the generic single-qubit gate ``u3``."""
+        return self._gate("u3", [qubit], (theta, phi, lam))
+
+    def cx(
+        self,
+        control: QubitSpecifier,
+        target: QubitSpecifier,
+        condition=None,
+    ) -> "QuantumCircuit":
+        """Apply CNOT with the given control and target."""
+        return self._gate("cx", [control, target], condition=condition)
+
+    def cy(self, control: QubitSpecifier, target: QubitSpecifier) -> "QuantumCircuit":
+        """Apply controlled-Y."""
+        return self._gate("cy", [control, target])
+
+    def cz(self, control: QubitSpecifier, target: QubitSpecifier) -> "QuantumCircuit":
+        """Apply controlled-Z."""
+        return self._gate("cz", [control, target])
+
+    def ch(self, control: QubitSpecifier, target: QubitSpecifier) -> "QuantumCircuit":
+        """Apply controlled-Hadamard."""
+        return self._gate("ch", [control, target])
+
+    def swap(self, a: QubitSpecifier, b: QubitSpecifier) -> "QuantumCircuit":
+        """Swap two qubits."""
+        return self._gate("swap", [a, b])
+
+    def iswap(self, a: QubitSpecifier, b: QubitSpecifier) -> "QuantumCircuit":
+        """Apply the iSWAP gate."""
+        return self._gate("iswap", [a, b])
+
+    def cp(
+        self, lam: float, control: QubitSpecifier, target: QubitSpecifier
+    ) -> "QuantumCircuit":
+        """Apply controlled-phase by ``lam``."""
+        return self._gate("cp", [control, target], (lam,))
+
+    def crx(
+        self, theta: float, control: QubitSpecifier, target: QubitSpecifier
+    ) -> "QuantumCircuit":
+        """Apply controlled-RX."""
+        return self._gate("crx", [control, target], (theta,))
+
+    def cry(
+        self, theta: float, control: QubitSpecifier, target: QubitSpecifier
+    ) -> "QuantumCircuit":
+        """Apply controlled-RY."""
+        return self._gate("cry", [control, target], (theta,))
+
+    def crz(
+        self, theta: float, control: QubitSpecifier, target: QubitSpecifier
+    ) -> "QuantumCircuit":
+        """Apply controlled-RZ."""
+        return self._gate("crz", [control, target], (theta,))
+
+    def cu3(
+        self,
+        theta: float,
+        phi: float,
+        lam: float,
+        control: QubitSpecifier,
+        target: QubitSpecifier,
+    ) -> "QuantumCircuit":
+        """Apply controlled-``u3``."""
+        return self._gate("cu3", [control, target], (theta, phi, lam))
+
+    def rxx(self, theta: float, a: QubitSpecifier, b: QubitSpecifier) -> "QuantumCircuit":
+        """Apply the XX rotation."""
+        return self._gate("rxx", [a, b], (theta,))
+
+    def rzz(self, theta: float, a: QubitSpecifier, b: QubitSpecifier) -> "QuantumCircuit":
+        """Apply the ZZ rotation."""
+        return self._gate("rzz", [a, b], (theta,))
+
+    def ccx(
+        self,
+        control1: QubitSpecifier,
+        control2: QubitSpecifier,
+        target: QubitSpecifier,
+    ) -> "QuantumCircuit":
+        """Apply the Toffoli gate."""
+        return self._gate("ccx", [control1, control2, target])
+
+    def cswap(
+        self,
+        control: QubitSpecifier,
+        a: QubitSpecifier,
+        b: QubitSpecifier,
+    ) -> "QuantumCircuit":
+        """Apply the Fredkin (controlled-SWAP) gate."""
+        return self._gate("cswap", [control, a, b])
+
+    def unitary(
+        self,
+        matrix: np.ndarray,
+        qubits: Sequence[QubitSpecifier],
+        label: str = "unitary",
+    ) -> "QuantumCircuit":
+        """Apply an arbitrary unitary matrix to ``qubits``."""
+        gate = UnitaryGate(matrix, label=label)
+        qubit_list = self._resolve_qubits(list(qubits))
+        if gate.num_qubits != len(qubit_list):
+            raise CircuitError(
+                f"matrix acts on {gate.num_qubits} qubit(s) but "
+                f"{len(qubit_list)} were given"
+            )
+        return self.append(gate, qubit_list)
+
+    # ------------------------------------------------------------------
+    # Non-unitary operations
+    # ------------------------------------------------------------------
+
+    def measure(
+        self,
+        qubits: Union[QubitSpecifier, Sequence[QubitSpecifier]],
+        clbits: Union[ClbitSpecifier, Sequence[ClbitSpecifier]],
+    ) -> "QuantumCircuit":
+        """Measure ``qubits`` into ``clbits`` pairwise."""
+        q_idx = self._resolve_qubits(qubits)
+        c_idx = self._resolve_clbits(clbits)
+        if len(q_idx) != len(c_idx):
+            raise CircuitError(
+                f"measure needs equal qubit/clbit counts, got "
+                f"{len(q_idx)} and {len(c_idx)}"
+            )
+        for q, c in zip(q_idx, c_idx):
+            self.append(Measure(), [q], [c])
+        return self
+
+    def measure_all(self) -> "QuantumCircuit":
+        """Measure every qubit, allocating a fresh classical register."""
+        reg = ClassicalRegister(self.num_qubits, name=f"meas{len(self.cregs)}")
+        self.add_register(reg)
+        base = self.num_clbits - self.num_qubits
+        for q in range(self.num_qubits):
+            self.append(Measure(), [q], [base + q])
+        return self
+
+    def reset(self, qubit: QubitSpecifier) -> "QuantumCircuit":
+        """Reset a qubit to |0>."""
+        return self.append(Reset(), [qubit])
+
+    def barrier(self, *qubits: QubitSpecifier) -> "QuantumCircuit":
+        """Insert a barrier on the given qubits (all qubits if omitted)."""
+        q_idx = (
+            self._resolve_qubits(list(qubits))
+            if qubits
+            else list(range(self.num_qubits))
+        )
+        if not q_idx:
+            raise CircuitError("cannot place a barrier on an empty circuit")
+        return self.append(Barrier(len(q_idx)), q_idx)
+
+    # ------------------------------------------------------------------
+    # Circuit-level operations
+    # ------------------------------------------------------------------
+
+    def copy(self, name: Optional[str] = None) -> "QuantumCircuit":
+        """Return a copy sharing registers but with an independent data list."""
+        other = QuantumCircuit(name=name or self.name)
+        for reg in self.qregs:
+            other.add_register(reg)
+        for reg in self.cregs:
+            other.add_register(reg)
+        other.data = list(self.data)
+        return other
+
+    def compose(
+        self,
+        other: "QuantumCircuit",
+        qubits: Optional[Sequence[QubitSpecifier]] = None,
+        clbits: Optional[Sequence[ClbitSpecifier]] = None,
+    ) -> "QuantumCircuit":
+        """Append ``other``'s instructions onto this circuit in place.
+
+        Parameters
+        ----------
+        other:
+            Circuit to append.  Must fit within this circuit's bits.
+        qubits / clbits:
+            Where ``other``'s bit ``i`` lands in this circuit; defaults to the
+            identity mapping.
+
+        Returns
+        -------
+        QuantumCircuit
+            ``self``, for chaining.
+        """
+        if qubits is None:
+            if other.num_qubits > self.num_qubits:
+                raise CircuitError(
+                    f"cannot compose a {other.num_qubits}-qubit circuit onto "
+                    f"a {self.num_qubits}-qubit circuit"
+                )
+            qubit_map = list(range(other.num_qubits))
+        else:
+            qubit_map = self._resolve_qubits(list(qubits))
+            if len(qubit_map) != other.num_qubits:
+                raise CircuitError(
+                    f"qubit map has {len(qubit_map)} entries for a "
+                    f"{other.num_qubits}-qubit circuit"
+                )
+        if clbits is None:
+            if other.num_clbits > self.num_clbits:
+                raise CircuitError(
+                    f"cannot compose a circuit with {other.num_clbits} clbits "
+                    f"onto one with {self.num_clbits}"
+                )
+            clbit_map = list(range(other.num_clbits))
+        else:
+            clbit_map = self._resolve_clbits(list(clbits))
+            if len(clbit_map) != other.num_clbits:
+                raise CircuitError(
+                    f"clbit map has {len(clbit_map)} entries for a circuit "
+                    f"with {other.num_clbits} clbits"
+                )
+        for inst in other.data:
+            self.data.append(inst.remap(qubit_map, clbit_map))
+        return self
+
+    def inverse(self) -> "QuantumCircuit":
+        """Return the inverse circuit (gates reversed and inverted).
+
+        Raises
+        ------
+        CircuitError
+            If the circuit contains non-unitary operations.
+        """
+        inv = QuantumCircuit(name=f"{self.name}_dg")
+        for reg in self.qregs:
+            inv.add_register(reg)
+        for reg in self.cregs:
+            inv.add_register(reg)
+        for inst in reversed(self.data):
+            op = inst.operation
+            if isinstance(op, Barrier):
+                inv.data.append(inst)
+                continue
+            if not isinstance(op, Gate):
+                raise CircuitError(
+                    f"cannot invert non-unitary operation {op.name!r}"
+                )
+            inv.data.append(
+                Instruction(op.inverse(), inst.qubits, (), inst.condition)
+            )
+        return inv
+
+    def power(self, exponent: int) -> "QuantumCircuit":
+        """Return the circuit repeated ``exponent`` times (inverted if < 0)."""
+        if exponent == 0:
+            empty = self.copy()
+            empty.data = []
+            return empty
+        base = self if exponent > 0 else self.inverse()
+        out = base.copy()
+        for _ in range(abs(exponent) - 1):
+            out.compose(base if exponent > 0 else base)
+        return out
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    def __iter__(self) -> Iterator[Instruction]:
+        return iter(self.data)
+
+    def count_ops(self) -> Dict[str, int]:
+        """Return a histogram of operation names."""
+        counts: Dict[str, int] = {}
+        for inst in self.data:
+            counts[inst.name] = counts.get(inst.name, 0) + 1
+        return dict(sorted(counts.items(), key=lambda kv: (-kv[1], kv[0])))
+
+    def size(self, include_directives: bool = False) -> int:
+        """Return the number of operations (barriers excluded by default)."""
+        if include_directives:
+            return len(self.data)
+        return sum(1 for inst in self.data if inst.name != "barrier")
+
+    def depth(self) -> int:
+        """Return the circuit depth (longest path through bit time-slots)."""
+        level: Dict[Tuple[str, int], int] = {}
+        max_depth = 0
+        for inst in self.data:
+            if inst.name == "barrier":
+                bits = [("q", q) for q in inst.qubits]
+                sync = max((level.get(b, 0) for b in bits), default=0)
+                for b in bits:
+                    level[b] = sync
+                continue
+            bits = [("q", q) for q in inst.qubits]
+            bits += [("c", c) for c in inst.clbits]
+            if inst.condition is not None:
+                bits.append(("c", inst.condition[0]))
+            depth_here = max((level.get(b, 0) for b in bits), default=0) + 1
+            for b in bits:
+                level[b] = depth_here
+            max_depth = max(max_depth, depth_here)
+        return max_depth
+
+    def num_two_qubit_gates(self) -> int:
+        """Return the number of multi-qubit gates (the NISQ cost driver)."""
+        return sum(
+            1
+            for inst in self.data
+            if inst.operation.is_gate and inst.operation.num_qubits >= 2
+        )
+
+    def has_measurements(self) -> bool:
+        """Return ``True`` if the circuit contains any measurement."""
+        return any(inst.name == "measure" for inst in self.data)
+
+    def measured_clbits(self) -> List[int]:
+        """Return the sorted classical-bit indices written by measurements."""
+        return sorted({inst.clbits[0] for inst in self.data if inst.name == "measure"})
+
+    def clbit_label(self, index: int) -> str:
+        """Return a ``reg[i]`` display label for a flat clbit index."""
+        base = 0
+        for reg in self.cregs:
+            if index < base + reg.size:
+                return f"{reg.name}[{index - base}]"
+            base += reg.size
+        return f"c[{index}]"
+
+    def qubit_label(self, index: int) -> str:
+        """Return a ``reg[i]`` display label for a flat qubit index."""
+        base = 0
+        for reg in self.qregs:
+            if index < base + reg.size:
+                return f"{reg.name}[{index - base}]"
+            base += reg.size
+        return f"q[{index}]"
+
+    def __repr__(self) -> str:
+        return (
+            f"<QuantumCircuit {self.name!r}: {self.num_qubits} qubits, "
+            f"{self.num_clbits} clbits, {len(self.data)} ops>"
+        )
+
+    def draw(self) -> str:
+        """Return an ASCII drawing of the circuit."""
+        from repro.circuits.visualization import draw_circuit
+
+        return draw_circuit(self)

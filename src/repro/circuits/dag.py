@@ -1,0 +1,163 @@
+"""Directed-acyclic-graph view of a circuit.
+
+The transpiler's optimisation passes (1-qubit chain merging, CX cancellation)
+operate on this DAG, where nodes are instructions and edges follow data
+dependencies along each quantum/classical wire.  Built on :mod:`networkx`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Tuple
+
+import networkx as nx
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.circuits.instructions import Instruction
+from repro.exceptions import CircuitError
+
+
+class DAGNode:
+    """A DAG node wrapping one instruction.
+
+    Attributes
+    ----------
+    node_id:
+        Stable integer id, unique within the DAG.
+    instruction:
+        The wrapped :class:`Instruction`.
+    """
+
+    __slots__ = ("node_id", "instruction")
+
+    def __init__(self, node_id: int, instruction: Instruction) -> None:
+        self.node_id = node_id
+        self.instruction = instruction
+
+    def __repr__(self) -> str:
+        return f"DAGNode({self.node_id}, {self.instruction!r})"
+
+
+class CircuitDAG:
+    """Dependency DAG of a :class:`QuantumCircuit`.
+
+    Edges are labelled with the wire (``("q", index)`` or ``("c", index)``)
+    that creates the dependency.  Conditioned instructions depend on the
+    conditioning classical bit's last writer.
+    """
+
+    def __init__(self, circuit: QuantumCircuit) -> None:
+        self.num_qubits = circuit.num_qubits
+        self.num_clbits = circuit.num_clbits
+        self.name = circuit.name
+        self._graph = nx.DiGraph()
+        self._next_id = 0
+        last_on_wire: Dict[Tuple[str, int], int] = {}
+        for inst in circuit.data:
+            node = self._add_node(inst)
+            for wire in _wires(inst):
+                if wire in last_on_wire:
+                    self._graph.add_edge(last_on_wire[wire], node.node_id, wire=wire)
+                last_on_wire[wire] = node.node_id
+
+    def _add_node(self, instruction: Instruction) -> DAGNode:
+        node = DAGNode(self._next_id, instruction)
+        self._graph.add_node(node.node_id, node=node)
+        self._next_id += 1
+        return node
+
+    # ------------------------------------------------------------------
+
+    @property
+    def graph(self) -> nx.DiGraph:
+        """Return the underlying networkx graph (read-only use expected)."""
+        return self._graph
+
+    def node(self, node_id: int) -> DAGNode:
+        """Return the node with the given id."""
+        try:
+            return self._graph.nodes[node_id]["node"]
+        except KeyError:
+            raise CircuitError(f"no DAG node with id {node_id}") from None
+
+    def topological_nodes(self) -> Iterator[DAGNode]:
+        """Yield nodes in a deterministic topological order."""
+        for node_id in nx.lexicographical_topological_sort(self._graph):
+            yield self.node(node_id)
+
+    def successors_on_wire(
+        self, node_id: int, wire: Tuple[str, int]
+    ) -> Optional[DAGNode]:
+        """Return the next node on ``wire`` after ``node_id``, if any."""
+        for _, succ, data in self._graph.out_edges(node_id, data=True):
+            if data.get("wire") == wire:
+                return self.node(succ)
+        return None
+
+    def predecessors_on_wire(
+        self, node_id: int, wire: Tuple[str, int]
+    ) -> Optional[DAGNode]:
+        """Return the previous node on ``wire`` before ``node_id``, if any."""
+        for pred, _, data in self._graph.in_edges(node_id, data=True):
+            if data.get("wire") == wire:
+                return self.node(pred)
+        return None
+
+    def remove_node(self, node_id: int) -> None:
+        """Remove a node, reconnecting its wire-neighbours."""
+        node = self.node(node_id)
+        for wire in _wires(node.instruction):
+            pred = self.predecessors_on_wire(node_id, wire)
+            succ = self.successors_on_wire(node_id, wire)
+            if pred is not None and succ is not None:
+                self._graph.add_edge(pred.node_id, succ.node_id, wire=wire)
+        self._graph.remove_node(node_id)
+
+    def replace_node(self, node_id: int, instructions: List[Instruction]) -> None:
+        """Replace one node by a chain of instructions on the same wires."""
+        node = self.node(node_id)
+        wires = _wires(node.instruction)
+        preds = {w: self.predecessors_on_wire(node_id, w) for w in wires}
+        succs = {w: self.successors_on_wire(node_id, w) for w in wires}
+        self._graph.remove_node(node_id)
+        last_on_wire: Dict[Tuple[str, int], int] = {
+            w: p.node_id for w, p in preds.items() if p is not None
+        }
+        for inst in instructions:
+            new_node = self._add_node(inst)
+            for wire in _wires(inst):
+                if wire in last_on_wire:
+                    self._graph.add_edge(
+                        last_on_wire[wire], new_node.node_id, wire=wire
+                    )
+                last_on_wire[wire] = new_node.node_id
+        for wire, succ in succs.items():
+            if succ is not None and wire in last_on_wire:
+                self._graph.add_edge(last_on_wire[wire], succ.node_id, wire=wire)
+
+    def to_circuit(self, template: QuantumCircuit) -> QuantumCircuit:
+        """Rebuild a circuit, copying registers from ``template``."""
+        out = template.copy()
+        out.data = [node.instruction for node in self.topological_nodes()]
+        return out
+
+    def count_ops(self) -> Dict[str, int]:
+        """Return a histogram of operation names."""
+        counts: Dict[str, int] = {}
+        for node in self.topological_nodes():
+            name = node.instruction.name
+            counts[name] = counts.get(name, 0) + 1
+        return counts
+
+    def __len__(self) -> int:
+        return self._graph.number_of_nodes()
+
+
+def _wires(instruction: Instruction) -> List[Tuple[str, int]]:
+    """Return the wires an instruction touches (condition bit included)."""
+    wires: List[Tuple[str, int]] = [("q", q) for q in instruction.qubits]
+    wires += [("c", c) for c in instruction.clbits]
+    if instruction.condition is not None:
+        wire = ("c", instruction.condition[0])
+        if wire not in wires:
+            wires.append(wire)
+    return wires

@@ -1,0 +1,336 @@
+"""Standard circuit library.
+
+These are the workloads used throughout the examples, tests and benchmarks:
+Bell/GHZ/W state preparation (the entanglement-assertion targets), uniform
+superposition layers (the superposition-assertion target), quantum
+teleportation, the QFT, Grover search, Deutsch-Jozsa and iterative phase
+estimation.  They correspond to the program patterns identified by
+Huang & Martonosi (ISCA'19) as the places quantum programs need assertions,
+which is the motivation the paper builds on.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Optional, Sequence
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.exceptions import CircuitError
+
+
+def bell_pair(kind: str = "phi+") -> QuantumCircuit:
+    """Return a 2-qubit circuit preparing one of the four Bell states.
+
+    Parameters
+    ----------
+    kind:
+        One of ``"phi+"`` (|00>+|11>), ``"phi-"`` (|00>-|11>),
+        ``"psi+"`` (|01>+|10>) or ``"psi-"`` (|01>-|10>).
+    """
+    qc = QuantumCircuit(2, name=f"bell_{kind}")
+    kind = kind.lower()
+    if kind not in {"phi+", "phi-", "psi+", "psi-"}:
+        raise CircuitError(f"unknown Bell state {kind!r}")
+    qc.h(0)
+    qc.cx(0, 1)
+    if kind in {"phi-", "psi-"}:
+        qc.z(0)
+    if kind in {"psi+", "psi-"}:
+        qc.x(1)
+    return qc
+
+
+def ghz_state(num_qubits: int) -> QuantumCircuit:
+    """Return a circuit preparing the ``num_qubits``-qubit GHZ state."""
+    if num_qubits < 2:
+        raise CircuitError("a GHZ state needs at least 2 qubits")
+    qc = QuantumCircuit(num_qubits, name=f"ghz_{num_qubits}")
+    qc.h(0)
+    for q in range(num_qubits - 1):
+        qc.cx(q, q + 1)
+    return qc
+
+
+def w_state(num_qubits: int) -> QuantumCircuit:
+    """Return a circuit preparing the ``num_qubits``-qubit W state.
+
+    Uses the standard cascade of controlled rotations:
+    ``|W_n> = (|10...0> + |010...0> + ... + |0...01>)/sqrt(n)``.
+    """
+    if num_qubits < 2:
+        raise CircuitError("a W state needs at least 2 qubits")
+    qc = QuantumCircuit(num_qubits, name=f"w_{num_qubits}")
+    # Start with |10...0> and distribute the excitation.
+    qc.x(0)
+    for k in range(num_qubits - 1):
+        remaining = num_qubits - k
+        theta = 2.0 * math.acos(math.sqrt(1.0 / remaining))
+        qc.cry(theta, k, k + 1)
+        qc.cx(k + 1, k)
+    return qc
+
+
+def uniform_superposition(num_qubits: int) -> QuantumCircuit:
+    """Return a circuit applying H to every qubit (|+>^n preparation)."""
+    if num_qubits < 1:
+        raise CircuitError("need at least one qubit")
+    qc = QuantumCircuit(num_qubits, name=f"uniform_{num_qubits}")
+    for q in range(num_qubits):
+        qc.h(q)
+    return qc
+
+
+def qft(num_qubits: int, do_swaps: bool = True) -> QuantumCircuit:
+    """Return the quantum Fourier transform on ``num_qubits`` qubits."""
+    if num_qubits < 1:
+        raise CircuitError("need at least one qubit")
+    qc = QuantumCircuit(num_qubits, name=f"qft_{num_qubits}")
+    for target in range(num_qubits):
+        qc.h(target)
+        for offset, control in enumerate(range(target + 1, num_qubits), start=2):
+            qc.cp(2.0 * math.pi / (2 ** offset), control, target)
+    if do_swaps:
+        for q in range(num_qubits // 2):
+            qc.swap(q, num_qubits - 1 - q)
+    return qc
+
+
+def inverse_qft(num_qubits: int, do_swaps: bool = True) -> QuantumCircuit:
+    """Return the inverse quantum Fourier transform."""
+    circuit = qft(num_qubits, do_swaps=do_swaps).inverse()
+    circuit.name = f"iqft_{num_qubits}"
+    return circuit
+
+
+def teleportation(
+    state_prep: Optional[QuantumCircuit] = None,
+) -> QuantumCircuit:
+    """Return the 3-qubit quantum-teleportation circuit.
+
+    Qubit 0 carries the state to teleport (prepared by ``state_prep`` when
+    given), qubits 1-2 hold the Bell pair, and qubit 2 receives the state.
+    Classical bits 0-1 carry Alice's measurement outcomes; the corrections on
+    Bob's qubit are classically conditioned, which exercises the simulator's
+    conditional-gate path.
+    """
+    qc = QuantumCircuit(3, 2, name="teleport")
+    if state_prep is not None:
+        if state_prep.num_qubits != 1:
+            raise CircuitError("state_prep must be a 1-qubit circuit")
+        qc.compose(state_prep, qubits=[0])
+    # Bell pair between qubits 1 (Alice) and 2 (Bob).
+    qc.h(1)
+    qc.cx(1, 2)
+    qc.barrier()
+    # Alice's Bell measurement.
+    qc.cx(0, 1)
+    qc.h(0)
+    qc.measure([0, 1], [0, 1])
+    # Bob's classically controlled corrections.
+    qc.x(2, condition=(1, 1))
+    qc.z(2, condition=(0, 1))
+    return qc
+
+
+def grover(
+    num_qubits: int,
+    marked: Sequence[int],
+    iterations: Optional[int] = None,
+) -> QuantumCircuit:
+    """Return a Grover-search circuit marking the given basis states.
+
+    Parameters
+    ----------
+    num_qubits:
+        Size of the search register.
+    marked:
+        Basis-state indices (0 .. 2^n - 1) the phase oracle flips.
+    iterations:
+        Number of Grover iterations; defaults to the optimal
+        ``round(pi/4 sqrt(N/M))``.
+    """
+    if num_qubits < 2:
+        raise CircuitError("Grover search needs at least 2 qubits")
+    dim = 2 ** num_qubits
+    marked = sorted(set(int(m) for m in marked))
+    if not marked:
+        raise CircuitError("at least one marked state is required")
+    if marked[0] < 0 or marked[-1] >= dim:
+        raise CircuitError(f"marked states must lie in [0, {dim})")
+    if iterations is None:
+        # floor (not round) of pi/4 sqrt(N/M): overshooting rotates past the
+        # marked subspace and *reduces* the success probability.
+        iterations = max(1, math.floor(math.pi / 4.0 * math.sqrt(dim / len(marked))))
+    qc = QuantumCircuit(num_qubits, name=f"grover_{num_qubits}")
+    for q in range(num_qubits):
+        qc.h(q)
+    for _ in range(iterations):
+        for state in marked:
+            _apply_phase_flip(qc, num_qubits, state)
+        _apply_diffusion(qc, num_qubits)
+    return qc
+
+
+def _apply_phase_flip(qc: QuantumCircuit, num_qubits: int, state: int) -> None:
+    """Flip the phase of one computational-basis state.
+
+    X-conjugates a multi-controlled Z so the flip lands on ``|state>``.
+    Qubit 0 is the most-significant bit of ``state`` (library convention).
+    """
+    zero_positions = [
+        q for q in range(num_qubits) if not (state >> (num_qubits - 1 - q)) & 1
+    ]
+    for q in zero_positions:
+        qc.x(q)
+    _apply_mcz(qc, list(range(num_qubits)))
+    for q in zero_positions:
+        qc.x(q)
+
+
+def _apply_diffusion(qc: QuantumCircuit, num_qubits: int) -> None:
+    """Apply the Grover diffusion (inversion about the mean) operator."""
+    for q in range(num_qubits):
+        qc.h(q)
+        qc.x(q)
+    _apply_mcz(qc, list(range(num_qubits)))
+    for q in range(num_qubits):
+        qc.x(q)
+        qc.h(q)
+
+
+def _apply_mcz(qc: QuantumCircuit, qubits: Sequence[int]) -> None:
+    """Apply a multi-controlled Z on ``qubits`` (last qubit is the target)."""
+    if len(qubits) == 1:
+        qc.z(qubits[0])
+    elif len(qubits) == 2:
+        qc.cz(qubits[0], qubits[1])
+    elif len(qubits) == 3:
+        qc.h(qubits[2])
+        qc.ccx(qubits[0], qubits[1], qubits[2])
+        qc.h(qubits[2])
+    else:
+        # Recursive construction with one borrowed work qubit would need an
+        # ancilla; for the sizes used in benchmarks (<= 4 controls) use the
+        # phase-decomposition into controlled-phase gates.
+        _apply_mcp(qc, math.pi, list(qubits))
+
+
+def _apply_mcp(qc: QuantumCircuit, lam: float, qubits: Sequence[int]) -> None:
+    """Apply a multi-controlled phase gate via the standard recursion."""
+    if len(qubits) == 1:
+        qc.p(lam, qubits[0])
+        return
+    if len(qubits) == 2:
+        qc.cp(lam, qubits[0], qubits[1])
+        return
+    head, rest = qubits[0], list(qubits[1:])
+    _apply_mcp(qc, lam / 2.0, rest)
+    qc.cx(head, rest[0])
+    _apply_mcp(qc, -lam / 2.0, rest)
+    qc.cx(head, rest[0])
+    _apply_mcp(qc, lam / 2.0, [head] + rest[1:])
+
+
+def deutsch_jozsa(num_qubits: int, oracle_kind: str = "balanced") -> QuantumCircuit:
+    """Return a Deutsch-Jozsa circuit on ``num_qubits`` input qubits.
+
+    Parameters
+    ----------
+    num_qubits:
+        Input-register size; the circuit allocates one extra output qubit.
+    oracle_kind:
+        ``"constant0"``, ``"constant1"`` or ``"balanced"`` (parity oracle).
+    """
+    if num_qubits < 1:
+        raise CircuitError("need at least one input qubit")
+    total = num_qubits + 1
+    qc = QuantumCircuit(total, name=f"dj_{num_qubits}_{oracle_kind}")
+    qc.x(num_qubits)
+    for q in range(total):
+        qc.h(q)
+    if oracle_kind == "constant1":
+        qc.x(num_qubits)
+    elif oracle_kind == "balanced":
+        for q in range(num_qubits):
+            qc.cx(q, num_qubits)
+    elif oracle_kind != "constant0":
+        raise CircuitError(f"unknown oracle kind {oracle_kind!r}")
+    for q in range(num_qubits):
+        qc.h(q)
+    return qc
+
+
+def phase_estimation(
+    phase: float,
+    num_counting_qubits: int,
+) -> QuantumCircuit:
+    """Return a phase-estimation circuit for ``U = p(2*pi*phase)``.
+
+    The eigenstate |1> is prepared on the last qubit; counting qubits come
+    first.  Measuring the counting register (after the inverse QFT this
+    circuit ends with) yields ``round(phase * 2^m)`` with high probability.
+    """
+    if num_counting_qubits < 1:
+        raise CircuitError("need at least one counting qubit")
+    total = num_counting_qubits + 1
+    qc = QuantumCircuit(total, name=f"qpe_{num_counting_qubits}")
+    target = num_counting_qubits
+    qc.x(target)
+    for q in range(num_counting_qubits):
+        qc.h(q)
+    for q in range(num_counting_qubits):
+        repetitions = 2 ** (num_counting_qubits - 1 - q)
+        qc.cp(2.0 * math.pi * phase * repetitions, q, target)
+    iqft = inverse_qft(num_counting_qubits)
+    qc.compose(iqft, qubits=list(range(num_counting_qubits)))
+    return qc
+
+
+def random_circuit(
+    num_qubits: int,
+    depth: int,
+    seed: Optional[int] = None,
+    clifford_only: bool = False,
+) -> QuantumCircuit:
+    """Return a pseudo-random circuit (used by property tests/benches).
+
+    Parameters
+    ----------
+    num_qubits:
+        Width of the circuit.
+    depth:
+        Number of layers; each layer applies one random gate per qubit pair.
+    seed:
+        RNG seed for reproducibility.
+    clifford_only:
+        Restrict to Clifford gates so the stabilizer engine can run it.
+    """
+    import random as _random
+
+    if num_qubits < 1:
+        raise CircuitError("need at least one qubit")
+    rng = _random.Random(seed)
+    one_qubit = (
+        ["h", "s", "sdg", "x", "y", "z"]
+        if clifford_only
+        else ["h", "s", "t", "x", "y", "z", "rx", "ry", "rz"]
+    )
+    qc = QuantumCircuit(num_qubits, name="random")
+    for _ in range(depth):
+        qubits = list(range(num_qubits))
+        rng.shuffle(qubits)
+        idx = 0
+        while idx < num_qubits:
+            if num_qubits - idx >= 2 and rng.random() < 0.4:
+                control, target = qubits[idx], qubits[idx + 1]
+                qc.cx(control, target)
+                idx += 2
+            else:
+                name = rng.choice(one_qubit)
+                qubit = qubits[idx]
+                if name in {"rx", "ry", "rz"}:
+                    getattr(qc, name)(rng.uniform(0, 2.0 * math.pi), qubit)
+                else:
+                    getattr(qc, name)(qubit)
+                idx += 1
+    return qc

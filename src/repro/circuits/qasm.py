@@ -1,0 +1,224 @@
+"""OpenQASM 2.0 export and import.
+
+The exporter emits the standard ``qelib1.inc`` gate names; the importer
+accepts the subset of OpenQASM 2.0 this library emits (registers, standard
+gates with constant-expression parameters, ``measure``, ``reset``,
+``barrier`` and single-bit ``if`` conditions), which is enough for
+round-tripping every circuit the library builds.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from typing import Dict, List, Optional, Tuple
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.circuits.gates import UnitaryGate
+from repro.circuits.registers import ClassicalRegister, QuantumRegister
+from repro.exceptions import QasmError
+
+#: Gates that can be emitted verbatim with qelib1 names.
+_QASM_GATES = {
+    "id", "x", "y", "z", "h", "s", "sdg", "t", "tdg", "sx", "sxdg",
+    "rx", "ry", "rz", "u1", "u2", "u3", "p",
+    "cx", "cy", "cz", "ch", "swap", "cp", "crx", "cry", "crz", "cu3",
+    "rxx", "rzz", "ccx", "cswap",
+}
+
+_HEADER = 'OPENQASM 2.0;\ninclude "qelib1.inc";\n'
+
+
+def circuit_to_qasm(circuit: QuantumCircuit) -> str:
+    """Serialize ``circuit`` to OpenQASM 2.0 text.
+
+    Raises
+    ------
+    QasmError
+        If the circuit contains a :class:`UnitaryGate` or another operation
+        with no qelib1 representation.
+    """
+    lines: List[str] = [_HEADER.rstrip("\n")]
+    qreg_of: Dict[int, Tuple[str, int]] = {}
+    creg_of: Dict[int, Tuple[str, int]] = {}
+    base = 0
+    for reg in circuit.qregs:
+        lines.append(f"qreg {reg.name}[{reg.size}];")
+        for i in range(reg.size):
+            qreg_of[base + i] = (reg.name, i)
+        base += reg.size
+    base = 0
+    for reg in circuit.cregs:
+        lines.append(f"creg {reg.name}[{reg.size}];")
+        for i in range(reg.size):
+            creg_of[base + i] = (reg.name, i)
+        base += reg.size
+
+    def qbit(index: int) -> str:
+        name, offset = qreg_of[index]
+        return f"{name}[{offset}]"
+
+    def cbit(index: int) -> str:
+        name, offset = creg_of[index]
+        return f"{name}[{offset}]"
+
+    for inst in circuit.data:
+        name = inst.name
+        if name == "measure":
+            stmt = f"measure {qbit(inst.qubits[0])} -> {cbit(inst.clbits[0])};"
+        elif name == "reset":
+            stmt = f"reset {qbit(inst.qubits[0])};"
+        elif name == "barrier":
+            operands = ", ".join(qbit(q) for q in inst.qubits)
+            stmt = f"barrier {operands};"
+        elif isinstance(inst.operation, UnitaryGate):
+            raise QasmError(
+                f"cannot export arbitrary unitary {inst.operation.name!r} to "
+                "OpenQASM 2.0; decompose it first"
+            )
+        elif name in _QASM_GATES:
+            params = ""
+            if inst.operation.params:
+                params = "(" + ",".join(_format_angle(p) for p in inst.operation.params) + ")"
+            operands = ", ".join(qbit(q) for q in inst.qubits)
+            stmt = f"{name}{params} {operands};"
+        else:
+            raise QasmError(f"operation {name!r} has no OpenQASM 2.0 form")
+        if inst.condition is not None:
+            clbit, value = inst.condition
+            reg_name, offset = creg_of[clbit]
+            reg = next(r for r in circuit.cregs if r.name == reg_name)
+            if reg.size != 1:
+                raise QasmError(
+                    "OpenQASM 2.0 conditions compare whole registers; "
+                    f"conditioned clbit {clbit} lives in multi-bit register "
+                    f"{reg_name!r} — put condition bits in 1-bit registers"
+                )
+            stmt = f"if({reg_name}=={value}) {stmt}"
+        lines.append(stmt)
+    return "\n".join(lines) + "\n"
+
+
+def _format_angle(value: float) -> str:
+    """Format an angle, using symbolic pi fractions when exact."""
+    for num in range(-8, 9):
+        for den in (1, 2, 3, 4, 6, 8):
+            if num == 0 or math.gcd(abs(num), den) != 1:
+                continue
+            if math.isclose(value, num * math.pi / den, rel_tol=0, abs_tol=1e-12):
+                numerator = "pi" if num == 1 else ("-pi" if num == -1 else f"{num}*pi")
+                return numerator if den == 1 else f"{numerator}/{den}"
+    if math.isclose(value, 0.0, abs_tol=1e-15):
+        return "0"
+    return repr(float(value))
+
+
+_TOKEN_PI = re.compile(r"\bpi\b")
+
+
+def _parse_angle(text: str) -> float:
+    """Evaluate a constant OpenQASM angle expression."""
+    expr = _TOKEN_PI.sub(repr(math.pi), text.strip())
+    if not re.fullmatch(r"[0-9eE+\-*/. ()]+", expr):
+        raise QasmError(f"unsupported angle expression {text!r}")
+    try:
+        return float(eval(expr, {"__builtins__": {}}, {}))  # noqa: S307
+    except Exception as exc:  # pragma: no cover - defensive
+        raise QasmError(f"cannot evaluate angle expression {text!r}") from exc
+
+
+_QREG_RE = re.compile(r"qreg\s+(\w+)\s*\[\s*(\d+)\s*\]")
+_CREG_RE = re.compile(r"creg\s+(\w+)\s*\[\s*(\d+)\s*\]")
+_MEASURE_RE = re.compile(
+    r"measure\s+(\w+)\s*\[\s*(\d+)\s*\]\s*->\s*(\w+)\s*\[\s*(\d+)\s*\]"
+)
+_GATE_RE = re.compile(r"(\w+)\s*(?:\(([^)]*)\))?\s+(.+)")
+_OPERAND_RE = re.compile(r"(\w+)\s*\[\s*(\d+)\s*\]")
+_IF_RE = re.compile(r"if\s*\(\s*(\w+)\s*==\s*(\d+)\s*\)\s*(.*)")
+
+
+def circuit_from_qasm(text: str) -> QuantumCircuit:
+    """Parse OpenQASM 2.0 text into a :class:`QuantumCircuit`."""
+    statements = _split_statements(text)
+    circuit = QuantumCircuit(name="from_qasm")
+    qreg_base: Dict[str, int] = {}
+    creg_base: Dict[str, int] = {}
+    creg_size: Dict[str, int] = {}
+
+    def resolve_q(name: str, index: int) -> int:
+        if name not in qreg_base:
+            raise QasmError(f"unknown quantum register {name!r}")
+        return qreg_base[name] + index
+
+    def resolve_c(name: str, index: int) -> int:
+        if name not in creg_base:
+            raise QasmError(f"unknown classical register {name!r}")
+        return creg_base[name] + index
+
+    for stmt in statements:
+        if stmt.startswith("OPENQASM") or stmt.startswith("include"):
+            continue
+        match = _QREG_RE.fullmatch(stmt)
+        if match:
+            name, size = match.group(1), int(match.group(2))
+            qreg_base[name] = circuit.num_qubits
+            circuit.add_register(QuantumRegister(size, name=name))
+            continue
+        match = _CREG_RE.fullmatch(stmt)
+        if match:
+            name, size = match.group(1), int(match.group(2))
+            creg_base[name] = circuit.num_clbits
+            creg_size[name] = size
+            circuit.add_register(ClassicalRegister(size, name=name))
+            continue
+        condition: Optional[Tuple[int, int]] = None
+        match = _IF_RE.fullmatch(stmt)
+        if match:
+            reg_name, value, stmt = match.group(1), int(match.group(2)), match.group(3)
+            if creg_size.get(reg_name) != 1:
+                raise QasmError(
+                    f"only 1-bit register conditions are supported, register "
+                    f"{reg_name!r} has size {creg_size.get(reg_name)}"
+                )
+            condition = (resolve_c(reg_name, 0), value)
+        match = _MEASURE_RE.fullmatch(stmt)
+        if match:
+            qname, qidx, cname, cidx = match.groups()
+            circuit.measure(resolve_q(qname, int(qidx)), resolve_c(cname, int(cidx)))
+            continue
+        match = _GATE_RE.fullmatch(stmt)
+        if not match:
+            raise QasmError(f"cannot parse statement {stmt!r}")
+        name, params_text, operands_text = match.groups()
+        operands = [
+            resolve_q(m.group(1), int(m.group(2)))
+            for m in _OPERAND_RE.finditer(operands_text)
+        ]
+        if name == "barrier":
+            circuit.barrier(*operands)
+            continue
+        if name == "reset":
+            circuit.reset(operands[0])
+            continue
+        params = (
+            tuple(_parse_angle(p) for p in params_text.split(","))
+            if params_text
+            else ()
+        )
+        if name not in _QASM_GATES:
+            raise QasmError(f"unsupported gate {name!r}")
+        from repro.circuits.gates import get_gate
+
+        circuit.append(get_gate(name, params), operands, condition=condition)
+    return circuit
+
+
+def _split_statements(text: str) -> List[str]:
+    """Strip comments and split QASM source into ';'-terminated statements."""
+    no_comments = re.sub(r"//[^\n]*", "", text)
+    statements = []
+    for raw in no_comments.split(";"):
+        stmt = " ".join(raw.split())
+        if stmt:
+            statements.append(stmt)
+    return statements

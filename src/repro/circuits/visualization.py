@@ -1,0 +1,107 @@
+"""Text (ASCII) circuit drawer.
+
+Produces a compact, column-per-layer rendering.  Used by the examples and
+docs; has no effect on simulation.  Example output for a Bell pair with an
+entanglement assertion::
+
+    q[0]: -[H]--o--------o-------
+                |        |
+    q[1]: -----(+)--o----|-------
+                    |    |
+    anc0: ---------(+)--(+)--[M]-
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.circuits.instructions import Instruction
+
+
+def _gate_symbol(inst: Instruction) -> str:
+    """Return the box label for a 1-qubit gate."""
+    name = inst.name
+    if name == "measure":
+        return "[M]"
+    if name == "reset":
+        return "[R]"
+    if inst.operation.params:
+        short = ",".join(f"{p:.2f}".rstrip("0").rstrip(".") for p in inst.operation.params)
+        return f"[{name.upper()}({short})]"
+    return f"[{name.upper()}]"
+
+
+def draw_circuit(circuit: QuantumCircuit) -> str:
+    """Return an ASCII drawing of ``circuit``.
+
+    Each instruction occupies one column; qubit wires are drawn with ``-``,
+    vertical connectors with ``|``.  Controls render as ``o``, CNOT targets
+    as ``(+)``, measurements as ``[M]`` with the clbit label appended.
+    """
+    num_qubits = circuit.num_qubits
+    if num_qubits == 0:
+        return "(empty circuit)"
+    labels = [circuit.qubit_label(q) + ": " for q in range(num_qubits)]
+    label_width = max(len(label) for label in labels)
+    rows: List[List[str]] = [[] for _ in range(num_qubits)]
+    # connector rows live between qubit rows; connector i sits below qubit i.
+    connectors: List[List[str]] = [[] for _ in range(max(0, num_qubits - 1))]
+
+    for inst in circuit.data:
+        column: Dict[int, str] = {}
+        name = inst.name
+        if name == "barrier":
+            for q in inst.qubits:
+                column[q] = "::"
+        elif name in {"cx", "cy", "cz", "ch", "ccx", "cp", "crx", "cry", "crz", "cu3"}:
+            *controls, target = inst.qubits
+            for c in controls:
+                column[c] = "o"
+            if name in {"cz", "cp"}:
+                column[target] = "o" if name == "cz" else "[P]"
+            else:
+                base = name[-1] if name != "ccx" else "x"
+                column[target] = "(+)" if base == "x" else f"[{base.upper()}]"
+        elif name in {"swap", "cswap"}:
+            qubits = list(inst.qubits)
+            if name == "cswap":
+                column[qubits[0]] = "o"
+                qubits = qubits[1:]
+            for q in qubits:
+                column[q] = "x"
+        elif inst.operation.num_qubits == 1:
+            symbol = _gate_symbol(inst)
+            if name == "measure":
+                symbol = f"[M->{circuit.clbit_label(inst.clbits[0])}]"
+            column[inst.qubits[0]] = symbol
+        else:
+            # Generic multi-qubit box.
+            for i, q in enumerate(inst.qubits):
+                column[q] = f"[{inst.name}:{i}]"
+        if inst.condition is not None:
+            target = inst.qubits[-1]
+            column[target] = (
+                column.get(target, "?")
+                + f"?{circuit.clbit_label(inst.condition[0])}={inst.condition[1]}"
+            )
+        width = max(len(s) for s in column.values())
+        touched = sorted(column)
+        span = range(touched[0], touched[-1]) if len(touched) > 1 else range(0)
+        for q in range(num_qubits):
+            cell = column.get(q, "")
+            rows[q].append("-" + cell.center(width, "-") + "-")
+        for i in range(num_qubits - 1):
+            if i in span:
+                connectors[i].append(" " + "|".center(width) + " ")
+            else:
+                connectors[i].append(" " * (width + 2))
+
+    lines: List[str] = []
+    for q in range(num_qubits):
+        lines.append(labels[q].rjust(label_width) + "".join(rows[q]))
+        if q < num_qubits - 1:
+            connector = " " * label_width + "".join(connectors[q])
+            if connector.strip():
+                lines.append(connector)
+    return "\n".join(lines)

@@ -1,0 +1,77 @@
+"""Dynamic runtime assertions — the paper's primary contribution.
+
+Three ancilla-based assertion circuits (Zhou & Byrd, §3):
+
+* :func:`append_classical_assertion` — assert a qubit holds a classical
+  value (Fig. 2),
+* :func:`append_entanglement_assertion` / :func:`append_parity_assertion` —
+  assert qubits are GHZ-type entangled via parity (Figs. 3-4),
+* :func:`append_superposition_assertion` — assert a qubit is in the equal
+  superposition |+> or |-> (Fig. 5),
+
+plus the generalisation :func:`append_state_assertion` (assert an arbitrary
+known 1-qubit state by basis conjugation), the :class:`AssertionInjector`
+that instruments whole programs, post-selection filtering over assertion
+ancillas (§4's NISQ error filtering), amplitude estimation from assertion
+statistics, and the statistical-assertion baseline (Huang & Martonosi,
+ISCA'19) the paper compares against.
+"""
+
+from repro.core.types import AssertionKind, AssertionRecord
+from repro.core.classical import append_classical_assertion
+from repro.core.entanglement import (
+    append_entanglement_assertion,
+    append_parity_assertion,
+)
+from repro.core.superposition import (
+    append_state_assertion,
+    append_superposition_assertion,
+)
+from repro.core.injector import AssertionInjector
+from repro.core.filtering import (
+    AssertionReport,
+    assertion_error_rate,
+    evaluate_assertions,
+    postselect_passing,
+)
+from repro.core.estimation import (
+    estimate_amplitudes_from_classical_assertion,
+    estimate_amplitudes_from_superposition_assertion,
+    estimate_odd_parity_weight,
+)
+from repro.core.extensions import (
+    append_equality_assertion,
+    append_ghz_assertion,
+    append_phase_parity_assertion,
+)
+from repro.core.baseline import (
+    StatisticalAssertionOutcome,
+    statistical_classical_assertion,
+    statistical_entanglement_assertion,
+    statistical_superposition_assertion,
+)
+
+__all__ = [
+    "AssertionInjector",
+    "AssertionKind",
+    "AssertionRecord",
+    "AssertionReport",
+    "StatisticalAssertionOutcome",
+    "append_classical_assertion",
+    "append_entanglement_assertion",
+    "append_equality_assertion",
+    "append_ghz_assertion",
+    "append_phase_parity_assertion",
+    "append_parity_assertion",
+    "append_state_assertion",
+    "append_superposition_assertion",
+    "assertion_error_rate",
+    "estimate_amplitudes_from_classical_assertion",
+    "estimate_amplitudes_from_superposition_assertion",
+    "estimate_odd_parity_weight",
+    "evaluate_assertions",
+    "postselect_passing",
+    "statistical_classical_assertion",
+    "statistical_entanglement_assertion",
+    "statistical_superposition_assertion",
+]

@@ -1,0 +1,105 @@
+"""Assertion record types.
+
+Every appended assertion yields an :class:`AssertionRecord` describing where
+its ancilla lives and what classical bit carries its outcome.  The filtering
+and estimation modules consume these records; they are the bookkeeping that
+lets one circuit carry many assertions without the caller tracking bit
+indices by hand.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Tuple
+
+from repro.exceptions import AssertionCircuitError
+
+
+class AssertionKind(enum.Enum):
+    """The three assertion families of the paper, plus the generalisation."""
+
+    CLASSICAL = "classical"
+    ENTANGLEMENT = "entanglement"
+    SUPERPOSITION = "superposition"
+    STATE = "state"  # rotated-basis generalisation of CLASSICAL
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass(frozen=True)
+class AssertionRecord:
+    """Bookkeeping for one appended assertion.
+
+    Attributes
+    ----------
+    kind:
+        Which assertion family this is.
+    qubits:
+        The qubits under test (flat indices in the instrumented circuit).
+    ancillas:
+        Ancilla qubit indices the assertion allocated (one for most
+        assertions; pairwise entanglement assertions allocate several).
+    clbits:
+        Classical bits carrying the ancilla measurement outcomes, aligned
+        with ``ancillas``.
+    expected:
+        Expected measured value per clbit when the assertion *holds*.  Per
+        the paper's convention the ancilla is prepared so this is normally
+        0 ("a measurement of the ancilla qubit being |1> means an assertion
+        error"); the |-> superposition assertion uses 1.
+    label:
+        Human-readable name used in reports.
+    """
+
+    kind: AssertionKind
+    qubits: Tuple[int, ...]
+    ancillas: Tuple[int, ...]
+    clbits: Tuple[int, ...]
+    expected: Tuple[int, ...]
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.qubits:
+            raise AssertionCircuitError("assertion must test at least one qubit")
+        if len(self.ancillas) != len(self.clbits):
+            raise AssertionCircuitError(
+                f"{len(self.ancillas)} ancillas but {len(self.clbits)} clbits"
+            )
+        if len(self.expected) != len(self.clbits):
+            raise AssertionCircuitError(
+                f"{len(self.expected)} expected values but {len(self.clbits)} clbits"
+            )
+        if any(value not in (0, 1) for value in self.expected):
+            raise AssertionCircuitError(
+                f"expected values must be 0/1, got {self.expected}"
+            )
+        if set(self.qubits) & set(self.ancillas):
+            raise AssertionCircuitError(
+                "ancilla qubits must be distinct from the qubits under test"
+            )
+
+    def passes(self, bitstring: str) -> bool:
+        """Return True if this assertion holds in one measured shot.
+
+        ``bitstring`` is the full classical-register readout (clbit 0
+        leftmost).
+        """
+        return all(
+            bitstring[clbit] == str(expected)
+            for clbit, expected in zip(self.clbits, self.expected)
+        )
+
+    @property
+    def num_ancillas(self) -> int:
+        """Return the ancilla-qubit overhead of this assertion."""
+        return len(self.ancillas)
+
+    def describe(self) -> str:
+        """Return a one-line human-readable description."""
+        name = self.label or self.kind.value
+        return (
+            f"{name}: qubits={list(self.qubits)} ancillas={list(self.ancillas)} "
+            f"clbits={list(self.clbits)} expected={list(self.expected)}"
+        )

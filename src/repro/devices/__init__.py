@@ -1,0 +1,39 @@
+"""Device models and execution backends.
+
+The paper's hardware experiments ran on the 5-qubit IBM Q ``ibmqx4`` machine;
+:func:`~repro.devices.ibmqx4.ibmqx4` rebuilds that device as a
+:class:`DeviceModel` (directed coupling map + historical calibration data),
+and :class:`NoisyDeviceBackend` executes circuits against it through the
+transpiler and the density-matrix engine.
+"""
+
+from repro.devices.topology import CouplingMap
+from repro.devices.calibration import GateCalibration, QubitCalibration
+from repro.devices.device import DeviceModel
+from repro.devices.ibmqx4 import ibmqx4
+from repro.devices.generic import linear_device, grid_device, fully_connected_device
+from repro.devices.backend import (
+    Backend,
+    DensityMatrixBackend,
+    NoisyDeviceBackend,
+    StabilizerBackend,
+    StatevectorBackend,
+    TrajectoryDeviceBackend,
+)
+
+__all__ = [
+    "Backend",
+    "CouplingMap",
+    "DensityMatrixBackend",
+    "DeviceModel",
+    "GateCalibration",
+    "NoisyDeviceBackend",
+    "QubitCalibration",
+    "StabilizerBackend",
+    "StatevectorBackend",
+    "TrajectoryDeviceBackend",
+    "fully_connected_device",
+    "grid_device",
+    "ibmqx4",
+    "linear_device",
+]

@@ -1,0 +1,169 @@
+"""Execution backends: the ``run(circuit, shots) -> Result`` abstraction.
+
+Backends bundle an engine with (optionally) a device model and the
+transpiler, so experiments can be written once and pointed at an ideal
+simulator or a noisy device model interchangeably — the same way the paper's
+experiments moved between QUIRK and IBM Q.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.devices.device import DeviceModel
+from repro.exceptions import DeviceError
+from repro.results.result import Result
+from repro.simulators.density_matrix import DensityMatrixSimulator
+from repro.simulators.stabilizer import StabilizerSimulator
+from repro.simulators.statevector import StatevectorSimulator
+
+
+class Backend:
+    """Abstract backend interface."""
+
+    name = "abstract"
+
+    def run(
+        self,
+        circuit: QuantumCircuit,
+        shots: int = 1024,
+        seed: Optional[int] = None,
+    ) -> Result:
+        """Execute ``circuit`` for ``shots`` shots."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.name!r}>"
+
+
+class StatevectorBackend(Backend):
+    """Ideal pure-state backend (the "QUIRK" role)."""
+
+    name = "statevector"
+
+    def __init__(self, max_branches: int = 4096) -> None:
+        self._simulator = StatevectorSimulator(max_branches=max_branches)
+
+    def run(self, circuit, shots=1024, seed=None):
+        return self._simulator.run(circuit, shots=shots, seed=seed)
+
+
+class DensityMatrixBackend(Backend):
+    """Ideal mixed-state backend (exact distributions)."""
+
+    name = "density_matrix"
+
+    def __init__(self, max_branches: int = 4096) -> None:
+        self._simulator = DensityMatrixSimulator(max_branches=max_branches)
+
+    def run(self, circuit, shots=1024, seed=None):
+        return self._simulator.run(circuit, shots=shots, seed=seed)
+
+
+class StabilizerBackend(Backend):
+    """Clifford-only backend for large-qubit-count runs."""
+
+    name = "stabilizer"
+
+    def __init__(self) -> None:
+        self._simulator = StabilizerSimulator()
+
+    def run(self, circuit, shots=1024, seed=None):
+        return self._simulator.run(circuit, shots=shots, seed=seed)
+
+
+class NoisyDeviceBackend(Backend):
+    """Transpile to a device and execute on the density-matrix engine.
+
+    This backend plays the role of the IBM Q machine in the paper's §4:
+    circuits are lowered to the device's basis gates and coupling
+    constraints, then evolved under the calibrated noise model, and the
+    returned counts are multinomial samples of the exact noisy distribution.
+
+    Parameters
+    ----------
+    device:
+        The :class:`DeviceModel` to emulate.
+    noise_scale:
+        Multiplier on all calibrated error rates (1.0 = nominal; 0 = ideal).
+    transpile:
+        Set ``False`` if circuits are already in device-native form with
+        physical qubit indices.
+    """
+
+    def __init__(
+        self,
+        device: DeviceModel,
+        noise_scale: float = 1.0,
+        transpile: bool = True,
+    ) -> None:
+        self.device = device
+        self.noise_scale = noise_scale
+        self.transpile = transpile
+        self.name = f"noisy({device.name})"
+        self._noise_model = device.noise_model(scale=noise_scale)
+        self._simulator = DensityMatrixSimulator(noise_model=self._noise_model)
+
+    @property
+    def noise_model(self):
+        """Return the compiled noise model (shared with the engine)."""
+        return self._noise_model
+
+    def run(self, circuit, shots=1024, seed=None):
+        executed = self.prepare(circuit)
+        result = self._simulator.run(executed, shots=shots, seed=seed)
+        result.metadata["device"] = self.device.name
+        result.metadata["noise_scale"] = self.noise_scale
+        result.metadata["transpiled_ops"] = executed.count_ops()
+        return result
+
+    def prepare(self, circuit: QuantumCircuit) -> QuantumCircuit:
+        """Return the circuit as it would execute (transpiled if enabled)."""
+        if circuit.num_qubits > self.device.num_qubits:
+            raise DeviceError(
+                f"circuit needs {circuit.num_qubits} qubits but "
+                f"{self.device.name} has {self.device.num_qubits}"
+            )
+        if not self.transpile:
+            return circuit
+        from repro.transpiler import transpile_for_device
+
+        return transpile_for_device(circuit, self.device)
+
+
+class TrajectoryDeviceBackend(Backend):
+    """Monte-Carlo noisy backend (scales past the density-matrix engine)."""
+
+    def __init__(
+        self,
+        device: DeviceModel,
+        noise_scale: float = 1.0,
+        transpile: bool = True,
+    ) -> None:
+        from repro.noise.trajectories import TrajectorySimulator
+
+        self.device = device
+        self.noise_scale = noise_scale
+        self.transpile = transpile
+        self.name = f"trajectory({device.name})"
+        self._noise_model = device.noise_model(scale=noise_scale)
+        self._simulator = TrajectorySimulator(noise_model=self._noise_model)
+
+    def run(self, circuit, shots=1024, seed=None):
+        if circuit.num_qubits > self.device.num_qubits:
+            raise DeviceError(
+                f"circuit needs {circuit.num_qubits} qubits but "
+                f"{self.device.name} has {self.device.num_qubits}"
+            )
+        executed = circuit
+        if self.transpile:
+            from repro.transpiler import transpile_for_device
+
+            executed = transpile_for_device(circuit, self.device)
+        result = self._simulator.run(executed, shots=shots, seed=seed)
+        result.metadata["device"] = self.device.name
+        result.metadata["noise_scale"] = self.noise_scale
+        return result

@@ -1,0 +1,82 @@
+"""Calibration data: per-qubit coherence/readout and per-gate error/duration.
+
+These records mirror the fields IBM published for its early devices and feed
+:meth:`DeviceModel.noise_model`, which turns them into Kraus channels.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.exceptions import DeviceError
+
+
+@dataclass(frozen=True)
+class QubitCalibration:
+    """Calibration of one physical qubit.
+
+    Attributes
+    ----------
+    t1, t2:
+        Relaxation / dephasing times in nanoseconds (``t2 <= 2 t1``).
+    readout_p0_given_1:
+        Probability of recording 0 when the qubit was 1.
+    readout_p1_given_0:
+        Probability of recording 1 when the qubit was 0.
+    frequency_ghz:
+        Qubit transition frequency (informational).
+    """
+
+    t1: float
+    t2: float
+    readout_p0_given_1: float
+    readout_p1_given_0: float
+    frequency_ghz: float = 5.0
+
+    def __post_init__(self) -> None:
+        if self.t1 <= 0 or self.t2 <= 0:
+            raise DeviceError("T1 and T2 must be positive")
+        if self.t2 > 2 * self.t1 + 1e-9:
+            raise DeviceError(
+                f"T2={self.t2} exceeds the physical bound 2*T1={2 * self.t1}"
+            )
+        for p in (self.readout_p0_given_1, self.readout_p1_given_0):
+            if not 0.0 <= p <= 1.0:
+                raise DeviceError(f"readout probability {p} outside [0, 1]")
+
+    @property
+    def readout_error_rate(self) -> float:
+        """Return the average misassignment probability."""
+        return 0.5 * (self.readout_p0_given_1 + self.readout_p1_given_0)
+
+
+@dataclass(frozen=True)
+class GateCalibration:
+    """Calibration of one native gate.
+
+    Attributes
+    ----------
+    name:
+        Gate name (``"u2"``, ``"u3"``, ``"cx"``...).
+    qubits:
+        Physical qubit tuple, in operand order.
+    error_rate:
+        Depolarizing-equivalent error probability (randomized-benchmarking
+        style number).
+    duration_ns:
+        Gate duration; drives thermal-relaxation noise.
+    """
+
+    name: str
+    qubits: Tuple[int, ...]
+    error_rate: float
+    duration_ns: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.error_rate <= 1.0:
+            raise DeviceError(f"error rate {self.error_rate} outside [0, 1]")
+        if self.duration_ns < 0:
+            raise DeviceError("gate duration must be non-negative")
+        object.__setattr__(self, "name", self.name.lower())
+        object.__setattr__(self, "qubits", tuple(int(q) for q in self.qubits))

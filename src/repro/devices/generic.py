@@ -1,0 +1,127 @@
+"""Generic parametric device models (linear chain, grid, all-to-all).
+
+Used by the scaling and noise-sweep ablations to study the assertion
+circuits on topologies beyond the 5-qubit ibmqx4.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.devices.calibration import GateCalibration, QubitCalibration
+from repro.devices.device import DeviceModel
+from repro.devices.topology import CouplingMap
+from repro.exceptions import DeviceError
+
+_DEFAULT_QUBIT = dict(
+    t1=60_000.0,
+    t2=50_000.0,
+    readout_p0_given_1=0.03,
+    readout_p1_given_0=0.015,
+)
+
+
+def _default_calibrations(
+    num_qubits: int,
+    edges: Tuple[Tuple[int, int], ...],
+    single_qubit_error: float,
+    cx_error: float,
+) -> Tuple[Tuple[QubitCalibration, ...], Tuple[GateCalibration, ...]]:
+    qubits = tuple(QubitCalibration(**_DEFAULT_QUBIT) for _ in range(num_qubits))
+    gates = []
+    for q in range(num_qubits):
+        for name in ("u1", "u2", "u3"):
+            error = 0.0 if name == "u1" else single_qubit_error
+            duration = 0.0 if name == "u1" else 50.0
+            gates.append(GateCalibration(name, (q,), error, duration))
+    for edge in edges:
+        gates.append(GateCalibration("cx", edge, cx_error, 300.0))
+    return qubits, tuple(gates)
+
+
+def linear_device(
+    num_qubits: int,
+    single_qubit_error: float = 5e-4,
+    cx_error: float = 1e-2,
+    name: str = "",
+) -> DeviceModel:
+    """Return a linear-chain device with bidirectional CX edges."""
+    if num_qubits < 2:
+        raise DeviceError("a linear device needs at least 2 qubits")
+    edges = tuple(
+        edge
+        for q in range(num_qubits - 1)
+        for edge in ((q, q + 1), (q + 1, q))
+    )
+    coupling = CouplingMap(edges, num_qubits=num_qubits)
+    qubits, gates = _default_calibrations(
+        num_qubits, edges, single_qubit_error, cx_error
+    )
+    return DeviceModel(
+        name=name or f"linear_{num_qubits}",
+        coupling_map=coupling,
+        basis_gates=("u1", "u2", "u3", "cx"),
+        qubit_calibrations=qubits,
+        gate_calibrations=gates,
+    )
+
+
+def grid_device(
+    rows: int,
+    cols: int,
+    single_qubit_error: float = 5e-4,
+    cx_error: float = 1e-2,
+    name: str = "",
+) -> DeviceModel:
+    """Return a ``rows x cols`` nearest-neighbour grid device."""
+    if rows < 1 or cols < 1 or rows * cols < 2:
+        raise DeviceError("grid must contain at least 2 qubits")
+    num_qubits = rows * cols
+
+    def index(r: int, c: int) -> int:
+        return r * cols + c
+
+    edge_set = []
+    for r in range(rows):
+        for c in range(cols):
+            if c + 1 < cols:
+                edge_set += [(index(r, c), index(r, c + 1)), (index(r, c + 1), index(r, c))]
+            if r + 1 < rows:
+                edge_set += [(index(r, c), index(r + 1, c)), (index(r + 1, c), index(r, c))]
+    edges = tuple(edge_set)
+    coupling = CouplingMap(edges, num_qubits=num_qubits)
+    qubits, gates = _default_calibrations(
+        num_qubits, edges, single_qubit_error, cx_error
+    )
+    return DeviceModel(
+        name=name or f"grid_{rows}x{cols}",
+        coupling_map=coupling,
+        basis_gates=("u1", "u2", "u3", "cx"),
+        qubit_calibrations=qubits,
+        gate_calibrations=gates,
+    )
+
+
+def fully_connected_device(
+    num_qubits: int,
+    single_qubit_error: float = 5e-4,
+    cx_error: float = 1e-2,
+    name: str = "",
+) -> DeviceModel:
+    """Return an all-to-all device (routing-free baseline)."""
+    if num_qubits < 2:
+        raise DeviceError("need at least 2 qubits")
+    edges = tuple(
+        (a, b) for a in range(num_qubits) for b in range(num_qubits) if a != b
+    )
+    coupling = CouplingMap(edges, num_qubits=num_qubits)
+    qubits, gates = _default_calibrations(
+        num_qubits, edges, single_qubit_error, cx_error
+    )
+    return DeviceModel(
+        name=name or f"full_{num_qubits}",
+        coupling_map=coupling,
+        basis_gates=("u1", "u2", "u3", "cx"),
+        qubit_calibrations=qubits,
+        gate_calibrations=gates,
+    )

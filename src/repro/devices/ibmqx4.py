@@ -1,0 +1,85 @@
+"""The IBM Q 5-qubit ``ibmqx4`` (Tenerife) device model.
+
+This is the machine the paper ran its hardware experiments on (§4).  The
+coupling map is the documented bow-tie with **directed** CX edges:
+
+    q1 -> q0,  q2 -> q0,  q2 -> q1,  q3 -> q2,  q3 -> q4,  q2 -> q4
+
+Calibration values are representative of the device's published 2018/2019
+calibration snapshots: single-qubit gate errors around 1e-3, CX errors of
+2-4e-2, readout misassignment of 3-8 %, T1/T2 in the tens of microseconds.
+We cannot reproduce the exact drift of the authors' session; the experiments
+only require the right noise *regime* (readout error dominating a 1-CX
+circuit, CX error dominating the Bell-pair circuit), which these numbers put
+us in.
+"""
+
+from __future__ import annotations
+
+from repro.devices.calibration import GateCalibration, QubitCalibration
+from repro.devices.device import DeviceModel
+from repro.devices.topology import CouplingMap
+
+#: Directed native CX orientation of ibmqx4 (control -> target).
+IBMQX4_EDGES = ((1, 0), (2, 0), (2, 1), (3, 2), (3, 4), (2, 4))
+
+#: Microseconds -> nanoseconds.
+_US = 1000.0
+
+# Representative per-qubit calibration (T1/T2 in ns, readout flips).
+_QUBITS = (
+    QubitCalibration(t1=50.0 * _US, t2=40.0 * _US,
+                     readout_p0_given_1=0.055, readout_p1_given_0=0.025,
+                     frequency_ghz=5.25),
+    QubitCalibration(t1=45.0 * _US, t2=20.0 * _US,
+                     readout_p0_given_1=0.050, readout_p1_given_0=0.020,
+                     frequency_ghz=5.30),
+    QubitCalibration(t1=55.0 * _US, t2=45.0 * _US,
+                     readout_p0_given_1=0.045, readout_p1_given_0=0.020,
+                     frequency_ghz=5.35),
+    QubitCalibration(t1=40.0 * _US, t2=30.0 * _US,
+                     readout_p0_given_1=0.070, readout_p1_given_0=0.030,
+                     frequency_ghz=5.43),
+    QubitCalibration(t1=45.0 * _US, t2=35.0 * _US,
+                     readout_p0_given_1=0.060, readout_p1_given_0=0.030,
+                     frequency_ghz=5.18),
+)
+
+_SINGLE_QUBIT_ERROR = (1.2e-3, 1.5e-3, 1.0e-3, 2.0e-3, 1.6e-3)
+_SINGLE_QUBIT_DURATION_NS = 100.0
+
+_CX_ERROR = {
+    (1, 0): 0.030,
+    (2, 0): 0.028,
+    (2, 1): 0.032,
+    (3, 2): 0.038,
+    (3, 4): 0.035,
+    (2, 4): 0.030,
+}
+_CX_DURATION_NS = 350.0
+
+
+def ibmqx4() -> DeviceModel:
+    """Return the ``ibmqx4`` device model with representative calibration."""
+    gate_calibrations = []
+    for qubit, rate in enumerate(_SINGLE_QUBIT_ERROR):
+        for name in ("u1", "u2", "u3"):
+            # u1 is a virtual frame change: error-free and instantaneous.
+            error = 0.0 if name == "u1" else rate
+            duration = 0.0 if name == "u1" else _SINGLE_QUBIT_DURATION_NS
+            gate_calibrations.append(
+                GateCalibration(name=name, qubits=(qubit,), error_rate=error,
+                                duration_ns=duration)
+            )
+    for edge, rate in _CX_ERROR.items():
+        gate_calibrations.append(
+            GateCalibration(name="cx", qubits=edge, error_rate=rate,
+                            duration_ns=_CX_DURATION_NS)
+        )
+    return DeviceModel(
+        name="ibmqx4",
+        coupling_map=CouplingMap(IBMQX4_EDGES, num_qubits=5),
+        basis_gates=("u1", "u2", "u3", "cx"),
+        qubit_calibrations=_QUBITS,
+        gate_calibrations=gate_calibrations,
+    )

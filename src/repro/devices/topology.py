@@ -1,0 +1,119 @@
+"""Coupling maps: which qubit pairs support a native CX, and in which
+direction.
+
+``ibmqx4``'s CNOTs are *directed* (cross-resonance gates have a fixed
+control/target orientation), which is why the paper had to pick q2 as the
+ancilla for the Table 1 experiment.  The transpiler uses this class for
+layout, routing and direction fixing.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import networkx as nx
+
+from repro.exceptions import DeviceError
+
+
+class CouplingMap:
+    """A directed graph of native two-qubit interactions.
+
+    Parameters
+    ----------
+    edges:
+        Iterable of ``(control, target)`` pairs.
+    num_qubits:
+        Total device size; inferred from the edges when omitted.
+    """
+
+    def __init__(
+        self,
+        edges: Iterable[Tuple[int, int]],
+        num_qubits: Optional[int] = None,
+    ) -> None:
+        edge_list = [(int(a), int(b)) for a, b in edges]
+        for a, b in edge_list:
+            if a == b:
+                raise DeviceError(f"self-loop edge ({a}, {b}) is not allowed")
+            if a < 0 or b < 0:
+                raise DeviceError(f"negative qubit index in edge ({a}, {b})")
+        inferred = 1 + max((max(a, b) for a, b in edge_list), default=-1)
+        self.num_qubits = num_qubits if num_qubits is not None else inferred
+        if self.num_qubits < inferred:
+            raise DeviceError(
+                f"num_qubits={num_qubits} is smaller than the largest edge index"
+            )
+        self._directed = nx.DiGraph()
+        self._directed.add_nodes_from(range(self.num_qubits))
+        self._directed.add_edges_from(edge_list)
+        self._undirected = self._directed.to_undirected(as_view=False)
+
+    # ------------------------------------------------------------------
+
+    @property
+    def directed_edges(self) -> List[Tuple[int, int]]:
+        """Return the native ``(control, target)`` pairs."""
+        return sorted(self._directed.edges())
+
+    @property
+    def undirected_edges(self) -> List[Tuple[int, int]]:
+        """Return connected pairs regardless of direction."""
+        return sorted(tuple(sorted(e)) for e in self._undirected.edges())
+
+    def supports(self, control: int, target: int) -> bool:
+        """Return True if a native CX exists with this exact orientation."""
+        return self._directed.has_edge(control, target)
+
+    def connected(self, a: int, b: int) -> bool:
+        """Return True if the pair interacts in either direction."""
+        return self._undirected.has_edge(a, b)
+
+    def neighbors(self, qubit: int) -> List[int]:
+        """Return qubits connected to ``qubit`` (either direction)."""
+        self._check(qubit)
+        return sorted(self._undirected.neighbors(qubit))
+
+    def distance(self, a: int, b: int) -> int:
+        """Return the undirected shortest-path distance between two qubits."""
+        self._check(a)
+        self._check(b)
+        try:
+            return nx.shortest_path_length(self._undirected, a, b)
+        except nx.NetworkXNoPath:
+            raise DeviceError(f"qubits {a} and {b} are disconnected") from None
+
+    def shortest_path(self, a: int, b: int) -> List[int]:
+        """Return an undirected shortest path between two qubits."""
+        self._check(a)
+        self._check(b)
+        try:
+            return nx.shortest_path(self._undirected, a, b)
+        except nx.NetworkXNoPath:
+            raise DeviceError(f"qubits {a} and {b} are disconnected") from None
+
+    def is_connected(self) -> bool:
+        """Return True if every qubit can reach every other."""
+        if self.num_qubits <= 1:
+            return True
+        return nx.is_connected(self._undirected)
+
+    def distance_matrix(self) -> Dict[Tuple[int, int], int]:
+        """Return all-pairs undirected distances."""
+        out: Dict[Tuple[int, int], int] = {}
+        for source, lengths in nx.all_pairs_shortest_path_length(self._undirected):
+            for target, dist in lengths.items():
+                out[(source, target)] = dist
+        return out
+
+    def _check(self, qubit: int) -> None:
+        if not 0 <= qubit < self.num_qubits:
+            raise DeviceError(
+                f"qubit {qubit} out of range for a {self.num_qubits}-qubit device"
+            )
+
+    def __repr__(self) -> str:
+        return (
+            f"CouplingMap(num_qubits={self.num_qubits}, "
+            f"edges={self.directed_edges})"
+        )

@@ -1,0 +1,60 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised by this library derives from :class:`ReproError`, so
+downstream users can catch a single base class.  Subsystems raise the more
+specific subclasses defined here.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class CircuitError(ReproError):
+    """Raised for invalid circuit construction or manipulation."""
+
+
+class RegisterError(CircuitError):
+    """Raised for invalid register definitions or out-of-range bit access."""
+
+
+class GateError(CircuitError):
+    """Raised for unknown gates, bad parameters, or invalid gate matrices."""
+
+
+class QasmError(CircuitError):
+    """Raised when OpenQASM text cannot be parsed or emitted."""
+
+
+class SimulationError(ReproError):
+    """Raised when a simulator cannot execute a circuit."""
+
+
+class StabilizerError(SimulationError):
+    """Raised when a non-Clifford operation reaches the stabilizer engine."""
+
+
+class NoiseError(ReproError):
+    """Raised for invalid noise channels or noise-model construction."""
+
+
+class DeviceError(ReproError):
+    """Raised for invalid device models or backend configuration."""
+
+
+class TranspilerError(ReproError):
+    """Raised when a circuit cannot be lowered to a device's constraints."""
+
+
+class AnalysisError(ReproError):
+    """Raised for invalid analysis inputs (non-states, bad dimensions...)."""
+
+
+class AssertionCircuitError(ReproError):
+    """Raised for invalid runtime-assertion construction or evaluation."""
+
+
+class ExperimentError(ReproError):
+    """Raised when an experiment harness is misconfigured."""

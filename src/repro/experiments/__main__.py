@@ -1,0 +1,96 @@
+"""Command-line experiment runner.
+
+Regenerates every paper artifact and ablation from the terminal::
+
+    python -m repro.experiments            # everything
+    python -m repro.experiments table1     # one experiment
+    python -m repro.experiments --list     # show the index
+
+Each experiment prints the same paper-vs-measured summary the benchmarks
+assert on.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict
+
+from repro.experiments import (
+    run_amplification,
+    run_baseline_comparison,
+    run_fig6,
+    run_fig7,
+    run_mitigation_comparison,
+    run_noise_sweep,
+    run_parity_ablation,
+    run_phase_ablation,
+    run_scaling,
+    run_sec43,
+    run_table1,
+    run_table2,
+)
+
+#: Experiment id -> (description, runner returning an object with .summary()).
+EXPERIMENTS: Dict[str, tuple] = {
+    "fig6": ("E1: classical assertion, QUIRK-style", lambda: run_fig6()),
+    "fig7": ("E2: superposition assertion, QUIRK-style", lambda: run_fig7()),
+    "table1": ("E3: classical assertion on ibmqx4 model", lambda: run_table1()),
+    "table2": ("E4: entanglement assertion on ibmqx4 model", lambda: run_table2()),
+    "sec43": ("E5: superposition assertion on ibmqx4 model", lambda: run_sec43()),
+    "parity": ("A1: even/odd CNOT-count ablation", lambda: run_parity_ablation()),
+    "scaling": ("A2: overhead & scaling (stabilizer)", lambda: run_scaling()),
+    "baseline": (
+        "A3: dynamic vs statistical assertions",
+        lambda: run_baseline_comparison(),
+    ),
+    "sweep": ("A4: noise sweep of the filtering benefit", lambda: run_noise_sweep()),
+    "phase": ("A5b: phase-error detection extension", lambda: run_phase_ablation()),
+    "mitigation": (
+        "A6: assertion filtering vs readout mitigation",
+        lambda: run_mitigation_comparison(),
+    ),
+    "amplification": (
+        "A7: stacked assertions & auto-correction saturation",
+        lambda: run_amplification(),
+    ),
+}
+
+
+def main(argv=None) -> int:
+    """Entry point for ``python -m repro.experiments``."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate the paper's tables/figures and the ablations.",
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="*",
+        metavar="EXPERIMENT",
+        help=f"which experiments to run (default: all of {', '.join(EXPERIMENTS)})",
+    )
+    parser.add_argument(
+        "--list", action="store_true", help="list available experiments and exit"
+    )
+    args = parser.parse_args(argv)
+
+    if args.list:
+        for name, (description, _runner) in EXPERIMENTS.items():
+            print(f"{name:>10}  {description}")
+        return 0
+
+    selected = args.experiments or list(EXPERIMENTS)
+    unknown = [name for name in selected if name not in EXPERIMENTS]
+    if unknown:
+        parser.error(
+            f"unknown experiment(s) {unknown}; choose from {list(EXPERIMENTS)}"
+        )
+    for name in selected:
+        _description, runner = EXPERIMENTS[name]
+        print(runner().summary())
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,82 @@
+"""A2: assertion overhead and scaling on the stabilizer engine.
+
+All three assertion circuits are Clifford, so the CHP tableau engine runs
+the full instrumented pipeline at sizes the statevector engine cannot touch.
+For GHZ(n), n up to hundreds, we record the instrumentation overhead (extra
+qubits / gates / depth) of each entanglement-assertion mode and verify the
+assertion still passes deterministically at scale.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.circuits.library import ghz_state
+from repro.core.filtering import evaluate_assertions
+from repro.core.injector import AssertionInjector
+from repro.simulators.stabilizer import StabilizerSimulator
+
+
+@dataclass
+class ScalingResult:
+    """Outcome of the scaling study.
+
+    Attributes
+    ----------
+    rows:
+        ``(n, mode, extra_qubits, extra_cx, pass_rate, seconds)`` per GHZ
+        size and assertion mode.
+    shots:
+        Shots per configuration.
+    """
+
+    rows: List[Tuple[int, str, int, int, float, float]] = field(default_factory=list)
+    shots: int = 0
+
+    def summary(self) -> str:
+        """Render the scaling table."""
+        lines = [
+            "A2 — assertion overhead & scaling (stabilizer engine, ideal)",
+            f"{'n':>4} | {'mode':>8} | {'anc':>4} | {'+cx':>4} | "
+            f"{'pass rate':>9} | {'sec':>7}",
+            "-" * 50,
+        ]
+        for n, mode, ancillas, cx, pass_rate, seconds in self.rows:
+            lines.append(
+                f"{n:>4} | {mode:>8} | {ancillas:>4} | {cx:>4} | "
+                f"{pass_rate:>9.4f} | {seconds:>7.3f}"
+            )
+        return "\n".join(lines)
+
+
+def run_scaling(
+    sizes: Tuple[int, ...] = (2, 4, 8, 16, 32, 64),
+    shots: int = 256,
+    seed: Optional[int] = 5,
+) -> ScalingResult:
+    """Instrument GHZ(n) with each entanglement-assertion mode and run it."""
+    result = ScalingResult(shots=shots)
+    simulator = StabilizerSimulator()
+    for n in sizes:
+        for mode in ("pairwise", "single"):
+            injector = AssertionInjector(ghz_state(n))
+            injector.assert_entangled(list(range(n)), mode=mode)
+            injector.measure_program()
+            overhead = injector.overhead()
+            start = time.perf_counter()
+            run = simulator.run(injector.circuit, shots=shots, seed=seed)
+            elapsed = time.perf_counter() - start
+            report = evaluate_assertions(run.counts, injector.records)
+            result.rows.append(
+                (
+                    n,
+                    mode,
+                    overhead["extra_qubits"],
+                    overhead["extra_cx"],
+                    report.pass_rate,
+                    elapsed,
+                )
+            )
+    return result

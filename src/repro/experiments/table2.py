@@ -1,0 +1,155 @@
+"""E4 / Table 2: entanglement assertion on the (modelled) IBM Q ibmqx4.
+
+The paper entangles q1 and q2 into a Bell pair (H + CNOT) and asserts their
+entanglement using q0 as the parity ancilla — the bow-tie's (1,0) and (2,0)
+edges make both parity CNOTs native, which is why q0 is the ancilla.  Over
+8192 shots the eight ``q0 q1 q2`` outcomes are tabulated; discarding the
+assertion-error shots (q0 = 1) cuts the Bell error rate from 18.4 % to
+12.6 %, a 31.5 % improvement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.core.filtering import error_rate_reduction
+from repro.core.injector import AssertionInjector
+from repro.devices.device import DeviceModel
+from repro.devices.ibmqx4 import ibmqx4
+from repro.results.counts import Counts
+from repro.simulators.density_matrix import DensityMatrixSimulator
+from repro.transpiler.layout import Layout
+from repro.transpiler.passes import transpile_for_device
+
+#: The paper's Table 2, keyed by the ``q0 q1 q2`` bitstring (q0 = ancilla).
+PAPER_TABLE2: Dict[str, float] = {
+    "000": 0.391,
+    "001": 0.063,
+    "010": 0.044,
+    "011": 0.346,
+    "100": 0.040,
+    "101": 0.056,
+    "110": 0.021,
+    "111": 0.039,
+}
+PAPER_RAW_ERROR = 0.184
+PAPER_FILTERED_ERROR = 0.126
+PAPER_IMPROVEMENT = 0.315
+
+
+@dataclass
+class Table2Result:
+    """Reproduction of Table 2.
+
+    Attributes
+    ----------
+    distribution:
+        Measured probability per ``q0 q1 q2`` outcome (q0 = ancilla).
+    raw_error:
+        P(q1 q2 not in {00, 11}) before filtering.
+    filtered_error:
+        Same error among shots with q0 = 0 (assertion passed).
+    improvement:
+        Relative error-rate reduction (paper: 31.5 %).
+    shots:
+        Shots sampled.
+    counts:
+        The raw sampled histogram (``q0 q1 q2`` keys).
+    """
+
+    distribution: Dict[str, float]
+    raw_error: float
+    filtered_error: float
+    improvement: float
+    shots: int
+    counts: Counts
+
+    def to_rows(self) -> List[Tuple[str, float, float]]:
+        """Return ``(q0q1q2, measured, paper)`` rows in table order."""
+        return [
+            (key, self.distribution.get(key, 0.0), PAPER_TABLE2[key])
+            for key in sorted(PAPER_TABLE2)
+        ]
+
+    def summary(self) -> str:
+        """Render the paper-vs-measured table."""
+        lines = [
+            "E4 / Table 2 — entanglement assertion (Bell on q1,q2; ancilla q0) "
+            "on ibmqx4 model",
+            f"{'q0q1q2':>7} | {'measured':>9} | {'paper':>7}",
+            "-" * 31,
+        ]
+        for key, measured, paper in self.to_rows():
+            lines.append(f"{key:>7} | {measured:>8.1%} | {paper:>6.1%}")
+        lines.append("-" * 31)
+        lines.append(
+            f"raw error     : {self.raw_error:>6.1%}  (paper {PAPER_RAW_ERROR:.1%})"
+        )
+        lines.append(
+            f"filtered error: {self.filtered_error:>6.1%}  "
+            f"(paper {PAPER_FILTERED_ERROR:.1%})"
+        )
+        lines.append(
+            f"improvement   : {self.improvement:>6.1%}  (paper {PAPER_IMPROVEMENT:.1%})"
+        )
+        return "\n".join(lines)
+
+
+def build_table2_circuit() -> Tuple[QuantumCircuit, AssertionInjector]:
+    """Build the instrumented Table 2 circuit (virtual indices).
+
+    Virtual qubits 0-1 hold the Bell pair; the injector allocates virtual
+    qubit 2 as the parity ancilla.  Classical bit 0 is the assertion bit,
+    bits 1-2 the Bell readout.
+    """
+    program = QuantumCircuit(2, name="table2_program")
+    program.h(0)
+    program.cx(0, 1)
+    injector = AssertionInjector(program)
+    injector.assert_entangled([0, 1], label="table2")
+    injector.measure_program()
+    return injector.circuit, injector
+
+
+def run_table2(
+    device: Optional[DeviceModel] = None,
+    shots: int = 8192,
+    seed: Optional[int] = 2020,
+    noise_scale: float = 1.0,
+) -> Table2Result:
+    """Execute the Table 2 experiment on the noisy device model."""
+    device = device or ibmqx4()
+    circuit, _injector = build_table2_circuit()
+    # Paper placement: Bell pair on physical q1, q2; ancilla on q0.
+    layout = Layout([1, 2, 0], device.num_qubits)
+    executed = transpile_for_device(circuit, device, layout=layout)
+    simulator = DensityMatrixSimulator(noise_model=device.noise_model(noise_scale))
+    result = simulator.run(executed, shots=shots, seed=seed)
+    # Counts keys are (clbit0 = ancilla q0, clbit1 = q1, clbit2 = q2), which
+    # is already the paper's q0 q1 q2 order.
+    counts = Counts(dict(result.counts))
+    total = counts.shots
+    keys = sorted(PAPER_TABLE2)
+    distribution = {key: counts.get(key, 0) / total for key in keys}
+    bell_keys = {"00", "11"}
+    raw_error = sum(
+        p for key, p in distribution.items() if key[1:] not in bell_keys
+    )
+    passing = {key: p for key, p in distribution.items() if key[0] == "0"}
+    passing_mass = sum(passing.values())
+    filtered_error = (
+        sum(p for key, p in passing.items() if key[1:] not in bell_keys)
+        / passing_mass
+        if passing_mass
+        else 0.0
+    )
+    return Table2Result(
+        distribution=distribution,
+        raw_error=raw_error,
+        filtered_error=filtered_error,
+        improvement=error_rate_reduction(raw_error, filtered_error),
+        shots=shots,
+        counts=counts,
+    )

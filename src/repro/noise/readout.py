@@ -1,0 +1,80 @@
+"""Classical readout (measurement) error.
+
+Readout error dominates the error budget of the paper's Table 1 experiment —
+the circuit has a single CNOT but still shows a 3.5 % raw error rate, which
+on ibmqx4-class devices comes mostly from measurement misassignment.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.exceptions import NoiseError
+
+
+class ReadoutError:
+    """A 2x2 confusion matrix for one qubit's measurement.
+
+    ``matrix[recorded][true]`` is the probability of recording ``recorded``
+    when the true post-measurement state is ``true``.
+
+    Parameters
+    ----------
+    p0_given_1:
+        Probability of recording 0 when the qubit was 1 (relaxation-flavoured
+        error; usually the larger of the two on superconducting devices).
+    p1_given_0:
+        Probability of recording 1 when the qubit was 0.
+    """
+
+    def __init__(self, p0_given_1: float, p1_given_0: float) -> None:
+        for p in (p0_given_1, p1_given_0):
+            if not 0.0 <= p <= 1.0:
+                raise NoiseError(f"readout probability {p} outside [0, 1]")
+        self.p0_given_1 = float(p0_given_1)
+        self.p1_given_0 = float(p1_given_0)
+
+    @classmethod
+    def symmetric(cls, probability: float) -> "ReadoutError":
+        """Return a symmetric readout error with equal flip probabilities."""
+        return cls(probability, probability)
+
+    @property
+    def matrix(self) -> np.ndarray:
+        """Return the confusion matrix ``[[P(0|0), P(0|1)], [P(1|0), P(1|1)]]``."""
+        return np.array(
+            [
+                [1.0 - self.p1_given_0, self.p0_given_1],
+                [self.p1_given_0, 1.0 - self.p0_given_1],
+            ]
+        )
+
+    def assignment_fidelity(self) -> float:
+        """Return the average correct-assignment probability."""
+        return 1.0 - 0.5 * (self.p0_given_1 + self.p1_given_0)
+
+    def apply_to_distribution(
+        self, probabilities: Sequence[float]
+    ) -> np.ndarray:
+        """Map a true (P(0), P(1)) pair through the confusion matrix."""
+        vec = np.asarray(probabilities, dtype=float)
+        if vec.shape != (2,):
+            raise NoiseError("expected a length-2 probability vector")
+        return self.matrix @ vec
+
+    def scaled(self, factor: float) -> "ReadoutError":
+        """Return a copy with both flip probabilities scaled (clipped to 1)."""
+        if factor < 0:
+            raise NoiseError("scale factor must be non-negative")
+        return ReadoutError(
+            min(1.0, self.p0_given_1 * factor),
+            min(1.0, self.p1_given_0 * factor),
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"ReadoutError(p0_given_1={self.p0_given_1:g}, "
+            f"p1_given_0={self.p1_given_0:g})"
+        )

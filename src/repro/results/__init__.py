@@ -1,0 +1,6 @@
+"""Measurement results: bitstring histograms and run metadata."""
+
+from repro.results.counts import Counts, counts_from_probabilities
+from repro.results.result import Result
+
+__all__ = ["Counts", "Result", "counts_from_probabilities"]

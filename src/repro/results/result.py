@@ -1,0 +1,52 @@
+"""Run results returned by backends and simulators."""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+import numpy as np
+
+from repro.results.counts import Counts
+
+
+class Result:
+    """The outcome of running a circuit.
+
+    Attributes
+    ----------
+    counts:
+        Histogram over measured classical bits (empty when the circuit has no
+        measurements).
+    shots:
+        Number of shots requested.
+    statevector:
+        Final statevector when the backend tracks one and the run was
+        single-branch (pure, no sampling); otherwise ``None``.
+    probabilities:
+        Exact classical-outcome distribution when the backend computed one
+        (density-matrix and branch-enumeration engines); otherwise ``None``.
+    metadata:
+        Free-form backend information (engine name, seed, noise model...).
+    """
+
+    def __init__(
+        self,
+        counts: Optional[Counts] = None,
+        shots: int = 0,
+        statevector: Optional[np.ndarray] = None,
+        probabilities: Optional[Dict[str, float]] = None,
+        metadata: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        self.counts = counts if counts is not None else Counts()
+        self.shots = int(shots)
+        self.statevector = statevector
+        self.probabilities = probabilities
+        self.metadata = dict(metadata or {})
+
+    def __repr__(self) -> str:
+        parts = [f"shots={self.shots}", f"counts={dict(sorted(self.counts.items()))}"]
+        if self.statevector is not None:
+            parts.append("statevector=<set>")
+        if self.probabilities is not None:
+            parts.append("probabilities=<set>")
+        return f"Result({', '.join(parts)})"

@@ -1,0 +1,34 @@
+"""Simulation engines.
+
+Four engines with one convention (DESIGN.md §3: qubit 0 is the most
+significant statevector bit):
+
+* :class:`~repro.simulators.statevector.StatevectorSimulator` — exact pure
+  states, branch-enumerated measurement (the "QUIRK" substrate).
+* :class:`~repro.simulators.density_matrix.DensityMatrixSimulator` — exact
+  mixed states with Kraus channels (the "IBM Q" substrate).
+* :class:`~repro.simulators.stabilizer.StabilizerSimulator` — CHP tableau,
+  Clifford-only, scales to hundreds of qubits.
+* :func:`~repro.simulators.unitary.circuit_unitary` — builds the whole
+  circuit unitary for algebraic verification.
+"""
+
+from repro.simulators.statevector import StatevectorSimulator, Statevector
+from repro.simulators.density_matrix import DensityMatrixSimulator, DensityMatrix
+from repro.simulators.stabilizer import StabilizerSimulator
+from repro.simulators.unitary import circuit_unitary
+from repro.simulators.postselection import (
+    postselect_statevector,
+    postselected_statevector_after,
+)
+
+__all__ = [
+    "DensityMatrix",
+    "DensityMatrixSimulator",
+    "StabilizerSimulator",
+    "Statevector",
+    "StatevectorSimulator",
+    "circuit_unitary",
+    "postselect_statevector",
+    "postselected_statevector_after",
+]

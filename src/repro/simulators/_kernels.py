@@ -1,0 +1,83 @@
+"""Shared numerical kernels for the statevector and density-matrix engines.
+
+States are stored as rank-``n`` tensors of shape ``(2,) * n`` where tensor
+axis ``k`` is qubit ``k``.  Flattening in C order therefore makes qubit 0 the
+most-significant bit of the statevector index, matching the bitstring
+convention in DESIGN.md §3.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from repro.exceptions import SimulationError
+
+
+def state_tensor(num_qubits: int, initial: np.ndarray = None) -> np.ndarray:
+    """Return the |0...0> state tensor (or reshape a given flat vector)."""
+    dim = 2 ** num_qubits
+    if initial is None:
+        state = np.zeros(dim, dtype=complex)
+        state[0] = 1.0
+    else:
+        state = np.asarray(initial, dtype=complex).reshape(dim).copy()
+        norm = np.linalg.norm(state)
+        if abs(norm - 1.0) > 1e-8:
+            raise SimulationError(f"initial state is not normalised (|psi| = {norm})")
+    return state.reshape((2,) * num_qubits)
+
+
+def apply_matrix(
+    state: np.ndarray, matrix: np.ndarray, qubits: Sequence[int]
+) -> np.ndarray:
+    """Apply a ``2^k x 2^k`` matrix to the given tensor axes of ``state``.
+
+    Works for any rank-``n`` tensor whose axes are qubits (statevectors) —
+    the density-matrix engine calls it twice, once for row axes and once for
+    column axes.
+    """
+    k = len(qubits)
+    if matrix.shape != (2 ** k, 2 ** k):
+        raise SimulationError(
+            f"matrix shape {matrix.shape} does not act on {k} qubit(s)"
+        )
+    reshaped = matrix.reshape((2,) * (2 * k))
+    state = np.tensordot(reshaped, state, axes=(tuple(range(k, 2 * k)), tuple(qubits)))
+    # tensordot puts the new qubit axes first; move them back home.
+    return np.moveaxis(state, tuple(range(k)), tuple(qubits))
+
+
+def probability_of_one(state: np.ndarray, qubit: int) -> float:
+    """Return P(measuring |1>) on ``qubit`` for a statevector tensor."""
+    sliced = np.take(state, 1, axis=qubit)
+    return float(np.real(np.vdot(sliced, sliced)))
+
+
+def collapse(state: np.ndarray, qubit: int, outcome: int) -> Tuple[np.ndarray, float]:
+    """Project ``qubit`` onto ``outcome`` and renormalise.
+
+    Returns ``(collapsed_state, probability_of_outcome)``.  The returned
+    state is a fresh array; probability 0 returns a zero tensor.
+    """
+    if outcome not in (0, 1):
+        raise SimulationError(f"measurement outcome must be 0 or 1, got {outcome}")
+    projected = state.copy()
+    index = [slice(None)] * state.ndim
+    index[qubit] = 1 - outcome
+    projected[tuple(index)] = 0.0
+    norm_sq = float(np.real(np.vdot(projected, projected)))
+    if norm_sq <= 0.0:
+        return projected, 0.0
+    return projected / np.sqrt(norm_sq), norm_sq
+
+
+def flatten(state: np.ndarray) -> np.ndarray:
+    """Return the flat statevector (C order: qubit 0 most significant)."""
+    return state.reshape(-1)
+
+
+def basis_label(index: int, num_qubits: int) -> str:
+    """Return the bitstring label of basis-state ``index`` (qubit 0 first)."""
+    return format(index, f"0{num_qubits}b")

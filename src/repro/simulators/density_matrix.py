@@ -1,0 +1,355 @@
+"""Exact mixed-state (density-matrix) simulation with noise channels.
+
+This engine is the substitute for the paper's IBM Q hardware runs: it applies
+each gate's ideal unitary followed by the Kraus channels a
+:class:`~repro.noise.model.NoiseModel` attaches to it, and models readout
+error as a classical confusion process at measurement time.  Measurement uses
+the same branch-enumeration strategy as the statevector engine, so the
+classical-outcome distribution is **exact** — shot histograms are multinomial
+samples from it, exactly like repeated runs on a (modelled) device.
+
+The density matrix is stored as a rank-``2n`` tensor with row axes
+``0..n-1`` and column axes ``n..2n-1``; axis ``k`` / ``n+k`` is qubit ``k``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.circuits.gates import Gate
+from repro.circuits.instructions import Instruction
+from repro.exceptions import SimulationError
+from repro.results.counts import Counts, counts_from_probabilities
+from repro.results.result import Result
+from repro.simulators import _kernels
+
+
+class DensityMatrix:
+    """A density operator on ``num_qubits`` qubits."""
+
+    def __init__(self, data: np.ndarray) -> None:
+        data = np.asarray(data, dtype=complex)
+        dim = data.shape[0]
+        if data.ndim != 2 or data.shape != (dim, dim):
+            raise SimulationError(f"density matrix must be square, got {data.shape}")
+        num_qubits = int(np.log2(dim)) if dim else 0
+        if 2 ** num_qubits != dim:
+            raise SimulationError(f"dimension {dim} is not a power of two")
+        trace = complex(np.trace(data))
+        if abs(trace - 1.0) > 1e-6:
+            raise SimulationError(f"density matrix trace is {trace}, expected 1")
+        if not np.allclose(data, data.conj().T, atol=1e-8):
+            raise SimulationError("density matrix is not Hermitian")
+        self.data = data.copy()
+        self.num_qubits = num_qubits
+
+    @classmethod
+    def from_statevector(cls, statevector: np.ndarray) -> "DensityMatrix":
+        """Return the pure-state density matrix |psi><psi|."""
+        vec = np.asarray(statevector, dtype=complex).reshape(-1)
+        return cls(np.outer(vec, vec.conj()))
+
+    def purity(self) -> float:
+        """Return Tr(rho^2); 1 for pure states."""
+        return float(np.real(np.trace(self.data @ self.data)))
+
+    def probabilities(self) -> Dict[str, float]:
+        """Return computational-basis probabilities keyed by bitstring."""
+        diag = np.real(np.diag(self.data))
+        return {
+            _kernels.basis_label(i, self.num_qubits): float(p)
+            for i, p in enumerate(diag)
+            if p > 1e-14
+        }
+
+    def __repr__(self) -> str:
+        return f"DensityMatrix(num_qubits={self.num_qubits}, purity={self.purity():.6f})"
+
+
+class _Branch:
+    """One classical-outcome branch: (probability, clbits, rho tensor)."""
+
+    __slots__ = ("probability", "clbits", "rho")
+
+    def __init__(self, probability: float, clbits: List[int], rho: np.ndarray) -> None:
+        self.probability = probability
+        self.clbits = clbits
+        self.rho = rho
+
+
+def _rho_tensor(num_qubits: int, initial: Optional[np.ndarray]) -> np.ndarray:
+    dim = 2 ** num_qubits
+    if initial is None:
+        rho = np.zeros((dim, dim), dtype=complex)
+        rho[0, 0] = 1.0
+    else:
+        initial = np.asarray(initial, dtype=complex)
+        if initial.ndim == 1:
+            rho = np.outer(initial, initial.conj())
+        else:
+            rho = DensityMatrix(initial).data
+    return rho.reshape((2,) * (2 * num_qubits))
+
+
+def _apply_unitary(rho: np.ndarray, matrix: np.ndarray, qubits: Sequence[int]) -> np.ndarray:
+    """Apply ``U rho U^dagger`` on the given qubits."""
+    n = rho.ndim // 2
+    rho = _kernels.apply_matrix(rho, matrix, qubits)
+    col_axes = [n + q for q in qubits]
+    return _kernels.apply_matrix(rho, matrix.conj(), col_axes)
+
+
+def _apply_kraus(
+    rho: np.ndarray, kraus: Sequence[np.ndarray], qubits: Sequence[int]
+) -> np.ndarray:
+    """Apply the channel ``sum_k K rho K^dagger`` on the given qubits."""
+    n = rho.ndim // 2
+    col_axes = [n + q for q in qubits]
+    total = None
+    for k_op in kraus:
+        term = _kernels.apply_matrix(rho, k_op, qubits)
+        term = _kernels.apply_matrix(term, k_op.conj(), col_axes)
+        total = term if total is None else total + term
+    if total is None:
+        raise SimulationError("channel has no Kraus operators")
+    return total
+
+
+def _measure_probability(rho: np.ndarray, qubit: int, outcome: int) -> float:
+    """Return P(outcome) for a computational-basis measurement."""
+    n = rho.ndim // 2
+    sliced = np.take(np.take(rho, outcome, axis=qubit), outcome, axis=n - 1 + qubit)
+    # After the double take the remaining axes pair up as (rows, cols) of the
+    # reduced operator; its trace is the diagonal sum over matching indices.
+    m = n - 1
+    flat = sliced.reshape(2 ** m, 2 ** m) if m else sliced.reshape(1, 1)
+    return float(np.real(np.trace(flat)))
+
+
+def _project(rho: np.ndarray, qubit: int, outcome: int) -> Tuple[np.ndarray, float]:
+    """Project onto ``outcome`` and renormalise; returns (rho', prob)."""
+    n = rho.ndim // 2
+    projected = rho.copy()
+    index_row = [slice(None)] * rho.ndim
+    index_row[qubit] = 1 - outcome
+    projected[tuple(index_row)] = 0.0
+    index_col = [slice(None)] * rho.ndim
+    index_col[n + qubit] = 1 - outcome
+    projected[tuple(index_col)] = 0.0
+    prob = _trace(projected)
+    if prob <= 0.0:
+        return projected, 0.0
+    return projected / prob, prob
+
+
+def _trace(rho: np.ndarray) -> float:
+    n = rho.ndim // 2
+    dim = 2 ** n
+    return float(np.real(np.trace(rho.reshape(dim, dim))))
+
+
+class DensityMatrixSimulator:
+    """Exact density-matrix engine with optional noise.
+
+    Parameters
+    ----------
+    noise_model:
+        Optional :class:`~repro.noise.model.NoiseModel`.  The engine only
+        relies on its ``channels_for(instruction)`` and
+        ``readout_confusion(qubit)`` methods, so any duck-typed model works.
+    max_branches:
+        Cap on measurement branches (true-outcome x recorded-value pairs).
+    """
+
+    name = "density_matrix"
+
+    def __init__(self, noise_model=None, max_branches: int = 4096) -> None:
+        self.noise_model = noise_model
+        if max_branches < 1:
+            raise SimulationError("max_branches must be positive")
+        self.max_branches = max_branches
+
+    # ------------------------------------------------------------------
+
+    def run(
+        self,
+        circuit: QuantumCircuit,
+        shots: int = 1024,
+        seed: Optional[int] = None,
+        initial_state: Optional[np.ndarray] = None,
+    ) -> Result:
+        """Execute ``circuit``; exact probabilities + multinomial counts."""
+        rng = np.random.default_rng(seed)
+        branches = self._enumerate(circuit, initial_state)
+        probabilities = self._distribution(circuit, branches)
+        counts = (
+            counts_from_probabilities(probabilities, shots, rng)
+            if probabilities
+            else Counts()
+        )
+        return Result(
+            counts=counts,
+            shots=shots,
+            probabilities=probabilities or None,
+            metadata={
+                "engine": self.name,
+                "noise": getattr(self.noise_model, "name", None),
+                "seed": seed,
+            },
+        )
+
+    def final_density_matrix(
+        self,
+        circuit: QuantumCircuit,
+        initial_state: Optional[np.ndarray] = None,
+    ) -> DensityMatrix:
+        """Return the final state, averaging over measurement outcomes."""
+        branches = self._enumerate(circuit, initial_state)
+        n = circuit.num_qubits
+        dim = 2 ** n
+        total = np.zeros((dim, dim), dtype=complex)
+        for branch in branches:
+            total += branch.probability * branch.rho.reshape(dim, dim)
+        return DensityMatrix(total)
+
+    def conditional_density_matrix(
+        self,
+        circuit: QuantumCircuit,
+        conditions: Dict[int, int],
+        initial_state: Optional[np.ndarray] = None,
+    ) -> Tuple[DensityMatrix, float]:
+        """Return the state conditioned on clbit values (post-selection).
+
+        Returns ``(state, probability_of_conditions)``.
+        """
+        branches = self._enumerate(circuit, initial_state)
+        n = circuit.num_qubits
+        dim = 2 ** n
+        total = np.zeros((dim, dim), dtype=complex)
+        mass = 0.0
+        for branch in branches:
+            if all(branch.clbits[pos] == val for pos, val in conditions.items()):
+                total += branch.probability * branch.rho.reshape(dim, dim)
+                mass += branch.probability
+        if mass <= 1e-14:
+            raise SimulationError(f"no branch satisfies conditions {conditions}")
+        return DensityMatrix(total / mass), mass
+
+    # ------------------------------------------------------------------
+
+    def _enumerate(
+        self,
+        circuit: QuantumCircuit,
+        initial_state: Optional[np.ndarray],
+    ) -> List[_Branch]:
+        rho = _rho_tensor(circuit.num_qubits, initial_state)
+        branches = [_Branch(1.0, [0] * circuit.num_clbits, rho)]
+        for inst in circuit.data:
+            if inst.name == "barrier":
+                continue
+            new_branches: List[_Branch] = []
+            for branch in branches:
+                if inst.condition is not None:
+                    clbit, value = inst.condition
+                    if branch.clbits[clbit] != value:
+                        new_branches.append(branch)
+                        continue
+                if inst.name == "measure":
+                    new_branches.extend(self._measure(branch, inst))
+                elif inst.name == "reset":
+                    new_branches.append(self._reset(branch, inst))
+                else:
+                    branch.rho = self._apply_instruction(branch.rho, inst)
+                    new_branches.append(branch)
+            branches = _merge_equal_clbits(new_branches)
+            if len(branches) > self.max_branches:
+                raise SimulationError(
+                    f"measurement branches exceed the cap ({self.max_branches})"
+                )
+        return branches
+
+    def _apply_instruction(self, rho: np.ndarray, inst: Instruction) -> np.ndarray:
+        op = inst.operation
+        if not isinstance(op, Gate):
+            raise SimulationError(f"cannot apply non-gate {op.name!r}")
+        rho = _apply_unitary(rho, op.matrix, inst.qubits)
+        if self.noise_model is not None:
+            for kraus, targets in self.noise_model.channels_for(inst):
+                rho = _apply_kraus(rho, kraus, targets)
+        return rho
+
+    def _measure(self, branch: _Branch, inst: Instruction) -> Iterable[_Branch]:
+        qubit = inst.qubits[0]
+        clbit = inst.clbits[0]
+        confusion = None
+        if self.noise_model is not None:
+            confusion = self.noise_model.readout_confusion(qubit)
+        for outcome in (0, 1):
+            projected, prob = _project(branch.rho, qubit, outcome)
+            if prob <= 1e-14:
+                continue
+            if confusion is None:
+                record_probs = {outcome: 1.0}
+            else:
+                # confusion[r][m] = P(recorded r | true m)
+                record_probs = {
+                    recorded: float(confusion[recorded][outcome])
+                    for recorded in (0, 1)
+                    if confusion[recorded][outcome] > 1e-14
+                }
+            for recorded, record_prob in record_probs.items():
+                clbits = list(branch.clbits)
+                clbits[clbit] = recorded
+                yield _Branch(branch.probability * prob * record_prob, clbits, projected)
+
+    def _reset(self, branch: _Branch, inst: Instruction) -> _Branch:
+        """Reset is the deterministic channel |0><0| + |0><1| rho ..."""
+        from repro.circuits.gates import x_matrix
+
+        qubit = inst.qubits[0]
+        zero, p0 = _project(branch.rho, qubit, 0)
+        one, p1 = _project(branch.rho, qubit, 1)
+        total = None
+        if p0 > 1e-14:
+            total = p0 * zero
+        if p1 > 1e-14:
+            flipped = _apply_unitary(one, x_matrix(), [qubit])
+            total = p1 * flipped if total is None else total + p1 * flipped
+        branch.rho = total if total is not None else branch.rho
+        return branch
+
+    def _distribution(
+        self, circuit: QuantumCircuit, branches: List[_Branch]
+    ) -> Dict[str, float]:
+        if circuit.num_clbits == 0 or not circuit.has_measurements():
+            return {}
+        out: Dict[str, float] = {}
+        for branch in branches:
+            key = "".join(str(b) for b in branch.clbits)
+            out[key] = out.get(key, 0.0) + branch.probability
+        return out
+
+
+def _merge_equal_clbits(branches: List[_Branch]) -> List[_Branch]:
+    """Merge branches with identical classical bits into one mixed state.
+
+    Unlike pure states, density matrices of same-clbit branches can be merged
+    exactly (convex combination), which keeps the branch count bounded by the
+    number of distinct classical strings rather than the measurement tree.
+    """
+    by_clbits: Dict[Tuple[int, ...], _Branch] = {}
+    for branch in branches:
+        key = tuple(branch.clbits)
+        existing = by_clbits.get(key)
+        if existing is None:
+            by_clbits[key] = branch
+        else:
+            total = existing.probability + branch.probability
+            existing.rho = (
+                existing.probability * existing.rho + branch.probability * branch.rho
+            ) / total
+            existing.probability = total
+    return list(by_clbits.values())

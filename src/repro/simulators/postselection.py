@@ -1,0 +1,92 @@
+"""QUIRK-style post-selection.
+
+The paper's simulator experiments (Figs. 6-7) use QUIRK's *post-select*
+operator: keep only the measurement branches where a given qubit reads a
+given value, then inspect the surviving (renormalised) state.  These helpers
+replicate that operator on top of the statevector engine.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.exceptions import SimulationError
+from repro.simulators import _kernels
+from repro.simulators.statevector import Statevector, StatevectorSimulator
+
+
+def postselect_statevector(
+    state: Statevector, qubit: int, value: int
+) -> Tuple[Statevector, float]:
+    """Project ``qubit`` onto ``value`` and renormalise.
+
+    Returns ``(postselected_state, probability)``.
+
+    Raises
+    ------
+    SimulationError
+        If the requested outcome has zero probability.
+    """
+    if not 0 <= qubit < state.num_qubits:
+        raise SimulationError(
+            f"qubit {qubit} out of range for a {state.num_qubits}-qubit state"
+        )
+    tensor = state.data.reshape((2,) * state.num_qubits)
+    collapsed, prob = _kernels.collapse(tensor, qubit, value)
+    if prob <= 1e-14:
+        raise SimulationError(
+            f"post-selecting qubit {qubit} == {value} has probability 0"
+        )
+    return Statevector(_kernels.flatten(collapsed)), prob
+
+
+def postselected_statevector_after(
+    circuit: QuantumCircuit,
+    conditions: Dict[int, int],
+    simulator: Optional[StatevectorSimulator] = None,
+    initial_state: Optional[np.ndarray] = None,
+) -> Tuple[Statevector, float]:
+    """Run ``circuit`` and keep only branches matching clbit ``conditions``.
+
+    Parameters
+    ----------
+    circuit:
+        Circuit with measurements (e.g. an assertion's ancilla measurement).
+    conditions:
+        Mapping ``clbit index -> required value``; the QUIRK post-select.
+    simulator:
+        Optional engine to reuse; a fresh one is created otherwise.
+    initial_state:
+        Optional initial statevector.
+
+    Returns
+    -------
+    (state, probability):
+        The renormalised state of *all* qubits conditioned on the selected
+        outcomes, and the total probability mass of the surviving branches.
+
+    Raises
+    ------
+    SimulationError
+        If no branch satisfies the conditions, or surviving branches disagree
+        (post-selection of a mixed conditional state is not a pure state).
+    """
+    sim = simulator or StatevectorSimulator()
+    surviving: List[Tuple[float, Statevector]] = []
+    for prob, clbit_string, state in sim.branches(circuit, initial_state):
+        if all(clbit_string[pos] == str(val) for pos, val in conditions.items()):
+            surviving.append((prob, state))
+    if not surviving:
+        raise SimulationError(f"no measurement branch satisfies {conditions}")
+    total = sum(prob for prob, _ in surviving)
+    reference = surviving[0][1]
+    for _, state in surviving[1:]:
+        if not reference.equiv(state):
+            raise SimulationError(
+                "post-selected branches are not a single pure state; "
+                "condition on more classical bits"
+            )
+    return reference, total

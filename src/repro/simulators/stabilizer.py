@@ -1,0 +1,338 @@
+"""Clifford (stabilizer) simulation via the Aaronson-Gottesman tableau.
+
+All three of the paper's assertion circuits — classical-value (CNOT),
+entanglement (CNOT parity) and equal-superposition (CNOT/H sandwich) — are
+Clifford circuits, as are the GHZ/Bell workloads they guard.  The tableau
+representation therefore lets the scaling benchmarks (DESIGN.md experiment
+A2) run the full assertion pipeline on hundreds of qubits in milliseconds,
+far beyond the statevector engine's reach.
+
+The implementation follows Aaronson & Gottesman, "Improved simulation of
+stabilizer circuits" (PRA 70, 052328, 2004): a binary tableau of 2n+1 rows
+(destabilizers, stabilizers, scratch) over columns ``x | z | r``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.circuits.gates import is_clifford_gate
+from repro.exceptions import StabilizerError
+from repro.results.counts import Counts
+from repro.results.result import Result
+
+
+class StabilizerState:
+    """A stabilizer state on ``num_qubits`` qubits.
+
+    Attributes
+    ----------
+    x, z:
+        ``(2n+1, n)`` binary matrices: row i's Pauli has an X (Z) factor on
+        qubit j iff ``x[i, j]`` (``z[i, j]``).  Rows 0..n-1 are destabilizers,
+        rows n..2n-1 stabilizers, row 2n is scratch space.
+    r:
+        ``(2n+1,)`` sign bits (1 means the row's Pauli carries a - sign).
+    """
+
+    def __init__(self, num_qubits: int) -> None:
+        if num_qubits < 1:
+            raise StabilizerError("need at least one qubit")
+        self.num_qubits = num_qubits
+        size = 2 * num_qubits + 1
+        self.x = np.zeros((size, num_qubits), dtype=np.uint8)
+        self.z = np.zeros((size, num_qubits), dtype=np.uint8)
+        self.r = np.zeros(size, dtype=np.uint8)
+        for i in range(num_qubits):
+            self.x[i, i] = 1              # destabilizer X_i
+            self.z[num_qubits + i, i] = 1  # stabilizer Z_i
+
+    # ------------------------------------------------------------------
+    # Gate actions
+    # ------------------------------------------------------------------
+
+    def apply_h(self, q: int) -> None:
+        """Apply a Hadamard gate: swap X and Z columns, update phases."""
+        self.r ^= self.x[:, q] & self.z[:, q]
+        self.x[:, q], self.z[:, q] = self.z[:, q].copy(), self.x[:, q].copy()
+
+    def apply_s(self, q: int) -> None:
+        """Apply the phase gate S."""
+        self.r ^= self.x[:, q] & self.z[:, q]
+        self.z[:, q] ^= self.x[:, q]
+
+    def apply_sdg(self, q: int) -> None:
+        """Apply S-dagger (S three times in the Clifford group mod phase)."""
+        self.apply_s(q)
+        self.apply_z(q)
+
+    def apply_x(self, q: int) -> None:
+        """Apply Pauli-X: flips the sign of rows with a Z on q."""
+        self.r ^= self.z[:, q]
+
+    def apply_z(self, q: int) -> None:
+        """Apply Pauli-Z: flips the sign of rows with an X on q."""
+        self.r ^= self.x[:, q]
+
+    def apply_y(self, q: int) -> None:
+        """Apply Pauli-Y = iXZ."""
+        self.r ^= self.x[:, q] ^ self.z[:, q]
+
+    def apply_sx(self, q: int) -> None:
+        """Apply sqrt(X) = H S H (up to global phase)."""
+        self.apply_h(q)
+        self.apply_s(q)
+        self.apply_h(q)
+
+    def apply_sxdg(self, q: int) -> None:
+        """Apply the inverse sqrt(X)."""
+        self.apply_h(q)
+        self.apply_sdg(q)
+        self.apply_h(q)
+
+    def apply_cx(self, control: int, target: int) -> None:
+        """Apply CNOT per the Aaronson-Gottesman update rule."""
+        self.r ^= (
+            self.x[:, control]
+            & self.z[:, target]
+            & (self.x[:, target] ^ self.z[:, control] ^ 1)
+        )
+        self.x[:, target] ^= self.x[:, control]
+        self.z[:, control] ^= self.z[:, target]
+
+    def apply_cz(self, control: int, target: int) -> None:
+        """Apply controlled-Z via H-conjugated CNOT."""
+        self.apply_h(target)
+        self.apply_cx(control, target)
+        self.apply_h(target)
+
+    def apply_cy(self, control: int, target: int) -> None:
+        """Apply controlled-Y via S-conjugated CNOT."""
+        self.apply_sdg(target)
+        self.apply_cx(control, target)
+        self.apply_s(target)
+
+    def apply_swap(self, a: int, b: int) -> None:
+        """Apply SWAP as three CNOTs."""
+        self.apply_cx(a, b)
+        self.apply_cx(b, a)
+        self.apply_cx(a, b)
+
+    # ------------------------------------------------------------------
+    # Measurement
+    # ------------------------------------------------------------------
+
+    def measure(self, q: int, rng: np.random.Generator) -> int:
+        """Measure qubit ``q`` in the computational basis, collapsing it."""
+        n = self.num_qubits
+        stab_rows = np.nonzero(self.x[n : 2 * n, q])[0]
+        if stab_rows.size:
+            # Random outcome: some stabilizer anticommutes with Z_q.
+            p = int(stab_rows[0]) + n
+            for i in range(2 * n):
+                if i != p and self.x[i, q]:
+                    self._rowsum(i, p)
+            self.x[p - n] = self.x[p]
+            self.z[p - n] = self.z[p]
+            self.r[p - n] = self.r[p]
+            self.x[p] = 0
+            self.z[p] = 0
+            self.z[p, q] = 1
+            outcome = int(rng.integers(0, 2))
+            self.r[p] = outcome
+            return outcome
+        # Deterministic outcome: compute the sign of Z_q in the stabilizer.
+        scratch = 2 * n
+        self.x[scratch] = 0
+        self.z[scratch] = 0
+        self.r[scratch] = 0
+        for i in range(n):
+            if self.x[i, q]:
+                self._rowsum(scratch, i + n)
+        return int(self.r[scratch])
+
+    def expectation_z(self, q: int) -> Optional[int]:
+        """Return +-1 if <Z_q> is deterministic, else None."""
+        n = self.num_qubits
+        if np.any(self.x[n : 2 * n, q]):
+            return None
+        scratch = 2 * n
+        self.x[scratch] = 0
+        self.z[scratch] = 0
+        self.r[scratch] = 0
+        for i in range(n):
+            if self.x[i, q]:
+                self._rowsum(scratch, i + n)
+        return -1 if self.r[scratch] else 1
+
+    def _rowsum(self, h: int, i: int) -> None:
+        """Set row h to row h * row i, tracking the phase exactly."""
+        # Phase exponent of i^k when multiplying single-qubit Paulis:
+        x1, z1 = self.x[i].astype(np.int8), self.z[i].astype(np.int8)
+        x2, z2 = self.x[h].astype(np.int8), self.z[h].astype(np.int8)
+        g = (
+            x1 * z1 * (z2 - x2)
+            + x1 * (1 - z1) * z2 * (2 * x2 - 1)
+            + (1 - x1) * z1 * x2 * (1 - 2 * z2)
+        )
+        total = 2 * int(self.r[h]) + 2 * int(self.r[i]) + int(g.sum())
+        self.r[h] = (total % 4) // 2
+        self.x[h] ^= self.x[i]
+        self.z[h] ^= self.z[i]
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def stabilizer_strings(self) -> List[str]:
+        """Return the stabilizer generators as signed Pauli strings."""
+        n = self.num_qubits
+        out = []
+        for i in range(n, 2 * n):
+            sign = "-" if self.r[i] else "+"
+            paulis = []
+            for q in range(n):
+                x_bit, z_bit = self.x[i, q], self.z[i, q]
+                paulis.append("IXZY"[x_bit + 2 * z_bit] if x_bit + 2 * z_bit != 3 else "Y")
+            out.append(sign + "".join(paulis))
+        return out
+
+
+_ONE_QUBIT_APPLIERS = {
+    "id": lambda state, q: None,
+    "x": StabilizerState.apply_x,
+    "y": StabilizerState.apply_y,
+    "z": StabilizerState.apply_z,
+    "h": StabilizerState.apply_h,
+    "s": StabilizerState.apply_s,
+    "sdg": StabilizerState.apply_sdg,
+    "sx": StabilizerState.apply_sx,
+    "sxdg": StabilizerState.apply_sxdg,
+}
+
+_TWO_QUBIT_APPLIERS = {
+    "cx": StabilizerState.apply_cx,
+    "cy": StabilizerState.apply_cy,
+    "cz": StabilizerState.apply_cz,
+    "swap": StabilizerState.apply_swap,
+}
+
+
+class StabilizerSimulator:
+    """Shot-based Clifford simulator.
+
+    Unlike the statevector/density-matrix engines this simulator is
+    per-shot (tableau evolution is cheap), so the returned counts are true
+    Monte-Carlo samples.
+    """
+
+    name = "stabilizer"
+
+    def run(
+        self,
+        circuit: QuantumCircuit,
+        shots: int = 1024,
+        seed: Optional[int] = None,
+    ) -> Result:
+        """Execute a Clifford circuit and return sampled counts.
+
+        Raises
+        ------
+        StabilizerError
+            If the circuit contains a non-Clifford gate.
+        """
+        self._validate(circuit)
+        rng = np.random.default_rng(seed)
+        counts: Dict[str, int] = {}
+        for _ in range(shots):
+            key = self._single_shot(circuit, rng)
+            counts[key] = counts.get(key, 0) + 1
+        return Result(
+            counts=Counts(counts),
+            shots=shots,
+            metadata={"engine": self.name, "seed": seed},
+        )
+
+    def final_state(
+        self,
+        circuit: QuantumCircuit,
+        seed: Optional[int] = None,
+    ) -> StabilizerState:
+        """Run once and return the final tableau (measurements sampled)."""
+        self._validate(circuit)
+        rng = np.random.default_rng(seed)
+        state = StabilizerState(circuit.num_qubits)
+        self._execute(circuit, state, rng, [0] * circuit.num_clbits)
+        return state
+
+    # ------------------------------------------------------------------
+
+    def _validate(self, circuit: QuantumCircuit) -> None:
+        for inst in circuit.data:
+            if inst.name in {"measure", "reset", "barrier"}:
+                continue
+            if inst.name in {"rz", "p", "u1"}:
+                if is_clifford_gate(inst.operation):
+                    continue
+                raise StabilizerError(
+                    f"rotation {inst.name}({inst.operation.params[0]:.4f}) is "
+                    "not a Clifford gate"
+                )
+            if (
+                inst.name not in _ONE_QUBIT_APPLIERS
+                and inst.name not in _TWO_QUBIT_APPLIERS
+            ):
+                raise StabilizerError(f"non-Clifford gate {inst.name!r}")
+
+    def _single_shot(self, circuit: QuantumCircuit, rng: np.random.Generator) -> str:
+        state = StabilizerState(circuit.num_qubits)
+        clbits = [0] * circuit.num_clbits
+        self._execute(circuit, state, rng, clbits)
+        return "".join(str(b) for b in clbits)
+
+    def _execute(
+        self,
+        circuit: QuantumCircuit,
+        state: StabilizerState,
+        rng: np.random.Generator,
+        clbits: List[int],
+    ) -> None:
+        for inst in circuit.data:
+            if inst.name == "barrier":
+                continue
+            if inst.condition is not None:
+                clbit, value = inst.condition
+                if clbits[clbit] != value:
+                    continue
+            if inst.name == "measure":
+                clbits[inst.clbits[0]] = state.measure(inst.qubits[0], rng)
+            elif inst.name == "reset":
+                if state.measure(inst.qubits[0], rng) == 1:
+                    state.apply_x(inst.qubits[0])
+            elif inst.name in _ONE_QUBIT_APPLIERS:
+                applier = _ONE_QUBIT_APPLIERS[inst.name]
+                if applier is not None:
+                    applier(state, inst.qubits[0])
+            elif inst.name in {"rz", "p", "u1"}:
+                self._apply_phase_rotation(state, inst)
+            elif inst.name in _TWO_QUBIT_APPLIERS:
+                _TWO_QUBIT_APPLIERS[inst.name](state, inst.qubits[0], inst.qubits[1])
+            else:  # pragma: no cover - _validate guards this
+                raise StabilizerError(f"non-Clifford gate {inst.name!r}")
+
+    def _apply_phase_rotation(self, state: StabilizerState, inst) -> None:
+        """Apply rz/p/u1 with an angle that is a multiple of pi/2."""
+        import math
+
+        angle = inst.operation.params[0] % (2.0 * math.pi)
+        quarter_turns = round(angle / (math.pi / 2.0)) % 4
+        q = inst.qubits[0]
+        if quarter_turns == 1:
+            state.apply_s(q)
+        elif quarter_turns == 2:
+            state.apply_z(q)
+        elif quarter_turns == 3:
+            state.apply_sdg(q)

@@ -1,0 +1,66 @@
+"""Build the overall unitary of a measurement-free circuit.
+
+Used by the test suite to verify the paper's algebraic proofs (the assertion
+circuits' claimed |psi1>..|psi4> states) and by the transpiler tests to check
+unitary equivalence of rewritten circuits.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.circuits.gates import Gate
+from repro.exceptions import SimulationError
+from repro.simulators import _kernels
+
+
+def circuit_unitary(circuit: QuantumCircuit) -> np.ndarray:
+    """Return the ``2^n x 2^n`` unitary implemented by ``circuit``.
+
+    Columns follow the library's basis convention (qubit 0 most significant).
+
+    Raises
+    ------
+    SimulationError
+        If the circuit contains measurement, reset or conditioned gates.
+    """
+    n = circuit.num_qubits
+    dim = 2 ** n
+    # Evolve the identity matrix column-block as an (n+n)-tensor: the first n
+    # axes are the "state" qubits, the last n axes index the input column.
+    unitary = np.eye(dim, dtype=complex).reshape((2,) * (2 * n))
+    for inst in circuit.data:
+        if inst.name == "barrier":
+            continue
+        if inst.condition is not None or not isinstance(inst.operation, Gate):
+            raise SimulationError(
+                "circuit_unitary requires a purely unitary circuit; found "
+                f"{inst.name!r}"
+            )
+        unitary = _kernels.apply_matrix(unitary, inst.operation.matrix, inst.qubits)
+    return unitary.reshape(dim, dim)
+
+
+def circuits_equivalent(
+    first: QuantumCircuit,
+    second: QuantumCircuit,
+    up_to_phase: bool = True,
+    atol: float = 1e-8,
+) -> bool:
+    """Return ``True`` if two circuits implement the same unitary.
+
+    Parameters
+    ----------
+    up_to_phase:
+        Ignore a global-phase difference (the physically meaningful notion).
+    """
+    if first.num_qubits != second.num_qubits:
+        return False
+    u1 = circuit_unitary(first)
+    u2 = circuit_unitary(second)
+    if up_to_phase:
+        from repro.circuits.gates import matrices_equal_up_to_phase
+
+        return matrices_equal_up_to_phase(u1, u2, atol=atol)
+    return bool(np.allclose(u1, u2, atol=atol))

@@ -1,0 +1,74 @@
+"""CX direction fixing for directed coupling maps.
+
+ibmqx4's cross-resonance CNOTs have a fixed control/target orientation.  A
+CX against the native direction is rewritten using the H-conjugation
+identity ``CX(a,b) = (H (x) H) CX(b,a) (H (x) H)``, with the Hadamards
+emitted as ``u2(0, pi)`` so the result stays in the device basis.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.circuits.gates import get_gate
+from repro.circuits.instructions import Instruction
+from repro.devices.topology import CouplingMap
+from repro.exceptions import TranspilerError
+
+
+def fix_cx_directions(
+    circuit: QuantumCircuit, coupling: CouplingMap
+) -> QuantumCircuit:
+    """Return a circuit whose every CX matches a native directed edge.
+
+    Raises
+    ------
+    TranspilerError
+        If a CX acts on a pair with no edge in either direction (route
+        first), or a non-CX two-qubit gate remains (decompose first).
+    """
+    out = circuit.copy()
+    out.data = []
+    for inst in circuit.data:
+        if not (inst.operation.is_gate and len(inst.qubits) == 2):
+            out.data.append(inst)
+            continue
+        if inst.name == "swap":
+            a, b = inst.qubits
+            if not coupling.connected(a, b):
+                raise TranspilerError(
+                    f"swap on disconnected pair ({a}, {b}); route first"
+                )
+            # Expand SWAP into three direction-correct CXs.
+            for control, target in ((a, b), (b, a), (a, b)):
+                out.data.extend(_directed_cx(control, target, coupling, inst.condition))
+            continue
+        if inst.name != "cx":
+            raise TranspilerError(
+                f"direction fixing expects only CX 2-qubit gates, found "
+                f"{inst.name!r}; decompose first"
+            )
+        control, target = inst.qubits
+        out.data.extend(_directed_cx(control, target, coupling, inst.condition))
+    return out
+
+
+def _directed_cx(
+    control: int, target: int, coupling: CouplingMap, condition
+) -> List[Instruction]:
+    if coupling.supports(control, target):
+        return [Instruction(get_gate("cx"), (control, target), (), condition)]
+    if coupling.supports(target, control):
+        hadamard = get_gate("u2", (0.0, math.pi))
+        return [
+            Instruction(hadamard, (control,), (), condition),
+            Instruction(get_gate("u2", (0.0, math.pi)), (target,), (), condition),
+            Instruction(get_gate("cx"), (target, control), (), condition),
+            Instruction(get_gate("u2", (0.0, math.pi)), (control,), (), condition),
+            Instruction(get_gate("u2", (0.0, math.pi)), (target,), (), condition),
+        ]
+    raise TranspilerError(
+        f"no coupling between qubits {control} and {target}; route first"
+    )

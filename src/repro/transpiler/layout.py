@@ -1,0 +1,172 @@
+"""Layout selection: mapping virtual circuit qubits to physical qubits.
+
+The greedy selector places heavily-interacting virtual pairs on adjacent
+physical qubits, preferring low-error CX edges.  On ibmqx4 this reproduces
+the paper's manual choice of q2 as the assertion ancilla for Table 1 — q2 is
+the best-connected qubit of the bow-tie.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.devices.device import DeviceModel
+from repro.exceptions import TranspilerError
+
+
+class Layout:
+    """A bijection between virtual qubits and physical qubits.
+
+    Parameters
+    ----------
+    virtual_to_physical:
+        ``virtual_to_physical[v]`` is the physical qubit hosting virtual
+        qubit ``v``.  Unused physical qubits simply don't appear.
+    num_physical:
+        Size of the physical device.
+    """
+
+    def __init__(self, virtual_to_physical: Sequence[int], num_physical: int) -> None:
+        mapping = [int(p) for p in virtual_to_physical]
+        if len(set(mapping)) != len(mapping):
+            raise TranspilerError(f"layout maps two virtual qubits together: {mapping}")
+        if mapping and (min(mapping) < 0 or max(mapping) >= num_physical):
+            raise TranspilerError(
+                f"layout {mapping} exceeds device size {num_physical}"
+            )
+        self.virtual_to_physical: Tuple[int, ...] = tuple(mapping)
+        self.num_physical = num_physical
+
+    @property
+    def num_virtual(self) -> int:
+        """Return the number of mapped virtual qubits."""
+        return len(self.virtual_to_physical)
+
+    def physical(self, virtual: int) -> int:
+        """Return the physical qubit hosting ``virtual``."""
+        try:
+            return self.virtual_to_physical[virtual]
+        except IndexError:
+            raise TranspilerError(f"virtual qubit {virtual} is not mapped") from None
+
+    def physical_to_virtual(self) -> Dict[int, int]:
+        """Return the inverse mapping."""
+        return {p: v for v, p in enumerate(self.virtual_to_physical)}
+
+    def swapped(self, physical_a: int, physical_b: int) -> "Layout":
+        """Return the layout after SWAPping two physical qubits."""
+        inverse = self.physical_to_virtual()
+        mapping = list(self.virtual_to_physical)
+        if physical_a in inverse:
+            mapping[inverse[physical_a]] = physical_b
+        if physical_b in inverse:
+            mapping[inverse[physical_b]] = physical_a
+        return Layout(mapping, self.num_physical)
+
+    @classmethod
+    def trivial(cls, num_virtual: int, num_physical: int) -> "Layout":
+        """Return the identity layout."""
+        return cls(list(range(num_virtual)), num_physical)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Layout):
+            return NotImplemented
+        return (
+            self.virtual_to_physical == other.virtual_to_physical
+            and self.num_physical == other.num_physical
+        )
+
+    def __repr__(self) -> str:
+        return f"Layout({list(self.virtual_to_physical)}, num_physical={self.num_physical})"
+
+
+def interaction_counts(circuit: QuantumCircuit) -> Dict[Tuple[int, int], int]:
+    """Count two-qubit interactions per unordered virtual pair."""
+    counts: Dict[Tuple[int, int], int] = {}
+    for inst in circuit.data:
+        if inst.operation.is_gate and len(inst.qubits) == 2:
+            pair = tuple(sorted(inst.qubits))
+            counts[pair] = counts.get(pair, 0) + 1
+    return counts
+
+
+def select_layout(circuit: QuantumCircuit, device: DeviceModel) -> Layout:
+    """Greedily choose a layout for ``circuit`` on ``device``.
+
+    Strategy: order virtual pairs by interaction count; place each pair on
+    the lowest-error free adjacent physical edge, preferring neighbours of
+    already-placed qubits; then scatter any untouched virtual qubits.
+    """
+    num_virtual = circuit.num_qubits
+    num_physical = device.num_qubits
+    if num_virtual > num_physical:
+        raise TranspilerError(
+            f"circuit needs {num_virtual} qubits, device {device.name} has "
+            f"{num_physical}"
+        )
+    coupling = device.coupling_map
+    pairs = sorted(
+        interaction_counts(circuit).items(), key=lambda kv: (-kv[1], kv[0])
+    )
+    placement: Dict[int, int] = {}
+    used_physical: set = set()
+
+    def edge_cost(a: int, b: int) -> float:
+        cal = device.gate_calibration("cx", (a, b)) or device.gate_calibration(
+            "cx", (b, a)
+        )
+        return cal.error_rate if cal is not None else 0.5
+
+    for (v_a, v_b), _count in pairs:
+        placed_a, placed_b = v_a in placement, v_b in placement
+        if placed_a and placed_b:
+            continue
+        if placed_a or placed_b:
+            anchor_virtual = v_a if placed_a else v_b
+            floating = v_b if placed_a else v_a
+            anchor = placement[anchor_virtual]
+            options = [
+                p for p in coupling.neighbors(anchor) if p not in used_physical
+            ]
+            if options:
+                best = min(options, key=lambda p: edge_cost(anchor, p))
+                placement[floating] = best
+                used_physical.add(best)
+            continue
+        free_edges = [
+            (a, b)
+            for a, b in coupling.undirected_edges
+            if a not in used_physical and b not in used_physical
+        ]
+        if free_edges:
+            a, b = min(free_edges, key=lambda e: edge_cost(*e))
+            placement[v_a], placement[v_b] = a, b
+            used_physical.update((a, b))
+    for v in range(num_virtual):
+        if v not in placement:
+            candidates = [p for p in range(num_physical) if p not in used_physical]
+            # Prefer well-connected spares so later routing stays short.
+            best = max(candidates, key=lambda p: len(coupling.neighbors(p)))
+            placement[v] = best
+            used_physical.add(best)
+    return Layout([placement[v] for v in range(num_virtual)], num_physical)
+
+
+def apply_layout(circuit: QuantumCircuit, layout: Layout) -> QuantumCircuit:
+    """Rewrite the circuit onto physical qubit indices.
+
+    The output circuit has ``layout.num_physical`` qubits; classical bits are
+    unchanged.
+    """
+    from repro.circuits.registers import QuantumRegister
+
+    out = QuantumCircuit(name=circuit.name)
+    out.add_register(QuantumRegister(layout.num_physical, name="phys"))
+    for reg in circuit.cregs:
+        out.add_register(reg)
+    qubit_map = list(layout.virtual_to_physical)
+    clbit_map = list(range(circuit.num_clbits))
+    for inst in circuit.data:
+        out.data.append(inst.remap(qubit_map, clbit_map))
+    return out

@@ -1,0 +1,102 @@
+"""SWAP routing: make every two-qubit gate act on a connected pair.
+
+A simple, deterministic router: when a CX's operands are not adjacent on the
+coupling map, SWAP one operand along the shortest path until they meet.
+Inserted SWAPs permute which physical wire carries which logical state, so
+the router keeps a running frame permutation and rewrites **every**
+subsequent instruction (gates, measurements, conditions) through it — a
+measurement of "qubit 3" in the input always measures the state that qubit 3
+carried originally.
+
+Quadratic in the worst case but exact and predictable — the assertion
+circuits it routes are small (the paper's hardware circuits fit ibmqx4
+directly once the ancilla is placed well).
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.circuits.gates import get_gate
+from repro.circuits.instructions import Instruction
+from repro.devices.topology import CouplingMap
+from repro.exceptions import TranspilerError
+from repro.transpiler.layout import Layout
+
+
+def route_circuit(
+    circuit: QuantumCircuit,
+    coupling: CouplingMap,
+    layout: Layout,
+) -> Tuple[QuantumCircuit, Layout]:
+    """Insert SWAPs so all 2-qubit gates act on coupled pairs.
+
+    Parameters
+    ----------
+    circuit:
+        A circuit already expressed on **physical** qubit indices (i.e.
+        after :func:`~repro.transpiler.layout.apply_layout`).
+    coupling:
+        Device connectivity.
+    layout:
+        The layout used to produce ``circuit``; returned updated so callers
+        can trace where each virtual qubit ended up.
+
+    Returns
+    -------
+    (routed_circuit, final_layout)
+    """
+    if circuit.num_qubits > coupling.num_qubits:
+        raise TranspilerError(
+            f"circuit has {circuit.num_qubits} qubits, device has "
+            f"{coupling.num_qubits}"
+        )
+    out = circuit.copy()
+    out.data = []
+    current = layout
+    # where[frame_index] = physical wire currently carrying that frame's
+    # state; frame indices are the qubit numbers as written in `circuit`.
+    where: List[int] = list(range(coupling.num_qubits))
+
+    def do_swap(wire_a: int, wire_b: int) -> None:
+        nonlocal current
+        out.data.append(Instruction(get_gate("swap"), (wire_a, wire_b)))
+        current = current.swapped(wire_a, wire_b)
+        for frame, wire in enumerate(where):
+            if wire == wire_a:
+                where[frame] = wire_b
+            elif wire == wire_b:
+                where[frame] = wire_a
+
+    for inst in circuit.data:
+        qubits = tuple(where[q] for q in inst.qubits)
+        if inst.operation.is_gate and len(qubits) == 2:
+            a, b = qubits
+            if not coupling.connected(a, b):
+                path = coupling.shortest_path(a, b)
+                for hop in path[1:-1]:
+                    do_swap(a, hop)
+                    a = hop
+            out.data.append(
+                Instruction(inst.operation, (a, b), inst.clbits, inst.condition)
+            )
+            continue
+        if inst.operation.is_gate and len(qubits) > 2:
+            raise TranspilerError(
+                f"route after decomposition: {inst.name!r} has "
+                f"{len(qubits)} operands"
+            )
+        out.data.append(
+            Instruction(inst.operation, qubits, inst.clbits, inst.condition)
+        )
+    return out, current
+
+
+def count_added_swaps(original: QuantumCircuit, routed: QuantumCircuit) -> int:
+    """Return how many SWAPs routing added (reporting helper)."""
+
+    def swaps(circ: QuantumCircuit) -> int:
+        return sum(1 for inst in circ.data if inst.name == "swap")
+
+    return swaps(routed) - swaps(original)

@@ -1,0 +1,148 @@
+"""Tests for readout-error mitigation (the classical baseline)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.mitigation import (
+    calibrate_and_mitigate,
+    calibration_circuits,
+    confusion_matrix_from_calibration,
+    mitigate_counts,
+)
+from repro.circuits.circuit import QuantumCircuit
+from repro.exceptions import AnalysisError
+from repro.noise.model import NoiseModel
+from repro.noise.readout import ReadoutError
+from repro.results.counts import Counts
+from repro.simulators.density_matrix import DensityMatrixSimulator
+
+
+class _NoisyReadoutBackend:
+    """Minimal backend with only readout error on every qubit."""
+
+    def __init__(self, p0_given_1=0.08, p1_given_0=0.03):
+        model = NoiseModel("ro").add_readout_error(
+            ReadoutError(p0_given_1, p1_given_0)
+        )
+        self._sim = DensityMatrixSimulator(noise_model=model)
+
+    def run(self, circuit, shots=1024, seed=None):
+        return self._sim.run(circuit, shots=shots, seed=seed)
+
+
+class TestCalibrationCircuits:
+    def test_all_basis_states_present(self):
+        circuits = calibration_circuits([0, 1], num_qubits=3)
+        assert set(circuits) == {"00", "01", "10", "11"}
+
+    def test_preparation_gates(self):
+        circuits = calibration_circuits([0, 2], num_qubits=3)
+        prep_10 = circuits["10"]
+        x_targets = [inst.qubits[0] for inst in prep_10 if inst.name == "x"]
+        assert x_targets == [0]
+
+    def test_duplicate_qubits_rejected(self):
+        with pytest.raises(AnalysisError):
+            calibration_circuits([0, 0], num_qubits=2)
+
+    def test_size_cap(self):
+        with pytest.raises(AnalysisError, match="impractical"):
+            calibration_circuits(list(range(11)), num_qubits=11)
+
+
+class TestConfusionMatrix:
+    def test_ideal_calibration_gives_identity(self):
+        calibration = {
+            "0": Counts({"0": 100}),
+            "1": Counts({"1": 100}),
+        }
+        np.testing.assert_allclose(
+            confusion_matrix_from_calibration(calibration), np.eye(2)
+        )
+
+    def test_columns_stochastic(self):
+        calibration = {
+            "0": Counts({"0": 95, "1": 5}),
+            "1": Counts({"0": 8, "1": 92}),
+        }
+        matrix = confusion_matrix_from_calibration(calibration)
+        np.testing.assert_allclose(matrix.sum(axis=0), [1.0, 1.0])
+        assert matrix[1, 0] == pytest.approx(0.05)
+
+    def test_missing_states_rejected(self):
+        with pytest.raises(AnalysisError, match="basis states"):
+            confusion_matrix_from_calibration({"00": Counts({"00": 1})})
+
+    def test_empty_calibration_rejected(self):
+        with pytest.raises(AnalysisError):
+            confusion_matrix_from_calibration({})
+
+    def test_zero_shot_state_rejected(self):
+        with pytest.raises(AnalysisError, match="no shots"):
+            confusion_matrix_from_calibration(
+                {"0": Counts({"0": 1}), "1": Counts()}
+            )
+
+
+class TestMitigateCounts:
+    def test_exact_inversion(self):
+        # True distribution (0.9, 0.1) pushed through a known confusion.
+        confusion = np.array([[0.95, 0.08], [0.05, 0.92]])
+        true = np.array([0.9, 0.1])
+        observed = confusion @ true
+        counts = Counts(
+            {"0": int(round(observed[0] * 10000)), "1": int(round(observed[1] * 10000))}
+        )
+        mitigated = mitigate_counts(counts, confusion)
+        assert mitigated["0"] == pytest.approx(0.9, abs=1e-3)
+        assert mitigated["1"] == pytest.approx(0.1, abs=1e-3)
+
+    def test_negative_quasiprobabilities_clipped(self):
+        confusion = np.array([[0.9, 0.1], [0.1, 0.9]])
+        counts = Counts({"0": 100})  # more extreme than the model allows
+        mitigated = mitigate_counts(counts, confusion)
+        assert all(p >= 0 for p in mitigated.values())
+        assert sum(mitigated.values()) == pytest.approx(1.0)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(AnalysisError, match="match"):
+            mitigate_counts(Counts({"00": 1}), np.eye(2))
+
+    def test_empty_counts_rejected(self):
+        with pytest.raises(AnalysisError):
+            mitigate_counts(Counts(), np.eye(1))
+
+    def test_singular_matrix_rejected(self):
+        singular = np.array([[0.5, 0.5], [0.5, 0.5]])
+        with pytest.raises(AnalysisError, match="singular"):
+            mitigate_counts(Counts({"0": 1}), singular)
+
+
+class TestEndToEnd:
+    def test_recovers_true_distribution_under_readout_noise(self):
+        backend = _NoisyReadoutBackend()
+        # Program: |1> on qubit 0; readout noise biases it toward 0.
+        program = QuantumCircuit(1, 1)
+        program.x(0)
+        program.measure(0, 0)
+        raw = backend.run(program, shots=8192, seed=3).counts
+        assert raw.probability_of("1") < 0.96  # visibly degraded
+        mitigated = calibrate_and_mitigate(
+            backend, [0], num_qubits=1, counts=raw, shots=8192, seed=4
+        )
+        assert mitigated.get("1", 0.0) > 0.99
+
+    def test_two_qubit_bell_mitigation(self):
+        from repro.circuits.library import bell_pair
+
+        backend = _NoisyReadoutBackend()
+        program = bell_pair()
+        program.measure_all()
+        raw = backend.run(program, shots=8192, seed=5).counts
+        mitigated = calibrate_and_mitigate(
+            backend, [0, 1], num_qubits=2, counts=raw, shots=8192, seed=6
+        )
+        bell_mass = mitigated.get("00", 0) + mitigated.get("11", 0)
+        raw_bell_mass = raw.probability_of("00") + raw.probability_of("11")
+        assert bell_mass > raw_bell_mass
+        assert bell_mass > 0.99

@@ -1,0 +1,170 @@
+"""Tests for state analysis: fidelity, traces, entropies, entanglement."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis.states import (
+    concurrence,
+    entanglement_entropy,
+    is_maximally_entangled_pair,
+    partial_trace,
+    pauli_expectation,
+    purity,
+    schmidt_coefficients,
+    state_fidelity,
+    von_neumann_entropy,
+)
+from repro.exceptions import AnalysisError
+from repro.simulators.statevector import Statevector
+
+BELL = np.array([1, 0, 0, 1], dtype=complex) / math.sqrt(2)
+
+
+class TestFidelity:
+    def test_identical_pure_states(self):
+        assert state_fidelity(BELL, BELL) == pytest.approx(1.0)
+
+    def test_orthogonal_states(self):
+        zero = np.array([1, 0], dtype=complex)
+        one = np.array([0, 1], dtype=complex)
+        assert state_fidelity(zero, one) == pytest.approx(0.0, abs=1e-9)
+
+    def test_pure_overlap(self):
+        zero = np.array([1, 0], dtype=complex)
+        plus = np.array([1, 1], dtype=complex) / math.sqrt(2)
+        assert state_fidelity(zero, plus) == pytest.approx(0.5)
+
+    def test_mixed_vs_pure(self):
+        mixed = np.eye(2) / 2
+        zero = np.array([1, 0], dtype=complex)
+        assert state_fidelity(mixed, zero) == pytest.approx(0.5)
+
+    def test_accepts_wrapper_objects(self):
+        sv = Statevector.from_label("0")
+        assert state_fidelity(sv, np.array([1, 0], dtype=complex)) == pytest.approx(1.0)
+
+    def test_dimension_mismatch(self):
+        with pytest.raises(AnalysisError):
+            state_fidelity(np.array([1, 0]), BELL)
+
+    def test_symmetry(self):
+        rho = np.diag([0.7, 0.3]).astype(complex)
+        sigma = np.array([[0.5, 0.2], [0.2, 0.5]], dtype=complex)
+        assert state_fidelity(rho, sigma) == pytest.approx(
+            state_fidelity(sigma, rho)
+        )
+
+
+class TestPartialTrace:
+    def test_product_state_factors(self):
+        state = np.kron(np.array([1, 0]), np.array([1, 1]) / math.sqrt(2))
+        reduced = partial_trace(state, keep=[1])
+        np.testing.assert_allclose(reduced, np.full((2, 2), 0.5), atol=1e-12)
+
+    def test_bell_reduction_is_mixed(self):
+        reduced = partial_trace(BELL, keep=[0])
+        np.testing.assert_allclose(reduced, np.eye(2) / 2, atol=1e-12)
+
+    def test_keep_order_respected(self):
+        # |01>: keep [1, 0] must give |10>-ordered state.
+        state = np.zeros(4, dtype=complex)
+        state[1] = 1.0  # |01>
+        reduced = partial_trace(state, keep=[1, 0])
+        expected = np.zeros((4, 4), dtype=complex)
+        expected[2, 2] = 1.0  # |10>
+        np.testing.assert_allclose(reduced, expected, atol=1e-12)
+
+    def test_keep_all_is_identity_operation(self):
+        rho = np.outer(BELL, BELL.conj())
+        np.testing.assert_allclose(partial_trace(BELL, [0, 1]), rho, atol=1e-12)
+
+    def test_invalid_qubit(self):
+        with pytest.raises(AnalysisError):
+            partial_trace(BELL, keep=[3])
+
+    def test_duplicates_rejected(self):
+        with pytest.raises(AnalysisError):
+            partial_trace(BELL, keep=[0, 0])
+
+
+class TestEntropies:
+    def test_pure_state_entropy_zero(self):
+        assert von_neumann_entropy(BELL) == pytest.approx(0.0, abs=1e-9)
+
+    def test_maximally_mixed_entropy_one_bit(self):
+        assert von_neumann_entropy(np.eye(2) / 2) == pytest.approx(1.0)
+
+    def test_bell_entanglement_entropy(self):
+        assert entanglement_entropy(BELL, [0]) == pytest.approx(1.0)
+
+    def test_product_state_entanglement_zero(self):
+        state = np.kron([1, 0], [1, 0]).astype(complex)
+        assert entanglement_entropy(state, [0]) == pytest.approx(0.0, abs=1e-9)
+
+    def test_purity(self):
+        assert purity(BELL) == pytest.approx(1.0)
+        assert purity(np.eye(4) / 4) == pytest.approx(0.25)
+
+
+class TestSchmidt:
+    def test_bell_has_two_equal_coefficients(self):
+        coeffs = schmidt_coefficients(BELL, [0])
+        np.testing.assert_allclose(sorted(coeffs), [1 / math.sqrt(2)] * 2, atol=1e-12)
+
+    def test_product_state_single_coefficient(self):
+        state = np.kron([1, 0], [1, 1] / np.sqrt(2)).astype(complex)
+        coeffs = schmidt_coefficients(state, [0])
+        assert len(coeffs) == 1
+        assert coeffs[0] == pytest.approx(1.0)
+
+    def test_requires_pure_state(self):
+        with pytest.raises(AnalysisError):
+            schmidt_coefficients(np.eye(2) / 2, [0])
+
+
+class TestConcurrence:
+    def test_bell_is_maximal(self):
+        assert concurrence(BELL) == pytest.approx(1.0)
+
+    def test_product_state_zero(self):
+        state = np.kron([1, 0], [0, 1]).astype(complex)
+        assert concurrence(state) == pytest.approx(0.0, abs=1e-9)
+
+    def test_partially_entangled(self):
+        a, b = 0.9, math.sqrt(1 - 0.81)
+        state = np.array([a, 0, 0, b], dtype=complex)
+        assert concurrence(state) == pytest.approx(2 * a * b)
+
+    def test_wrong_dimension_rejected(self):
+        with pytest.raises(AnalysisError):
+            concurrence(np.array([1, 0], dtype=complex))
+
+    def test_maximally_entangled_check(self):
+        assert is_maximally_entangled_pair(BELL)
+        product = np.kron([1, 0], [1, 0]).astype(complex)
+        assert not is_maximally_entangled_pair(product)
+
+
+class TestPauliExpectation:
+    def test_z_on_basis_states(self):
+        assert pauli_expectation(np.array([1, 0], dtype=complex), "Z") == pytest.approx(1.0)
+        assert pauli_expectation(np.array([0, 1], dtype=complex), "Z") == pytest.approx(-1.0)
+
+    def test_x_on_plus(self):
+        plus = np.array([1, 1], dtype=complex) / math.sqrt(2)
+        assert pauli_expectation(plus, "X") == pytest.approx(1.0)
+
+    def test_bell_stabilizers(self):
+        assert pauli_expectation(BELL, "XX") == pytest.approx(1.0)
+        assert pauli_expectation(BELL, "ZZ") == pytest.approx(1.0)
+        assert pauli_expectation(BELL, "ZI") == pytest.approx(0.0, abs=1e-12)
+
+    def test_length_validated(self):
+        with pytest.raises(AnalysisError):
+            pauli_expectation(BELL, "Z")
+
+    def test_unknown_label(self):
+        with pytest.raises(AnalysisError):
+            pauli_expectation(BELL, "QQ")

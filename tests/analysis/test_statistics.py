@@ -1,0 +1,95 @@
+"""Tests for the statistical machinery behind the baseline assertions."""
+
+import pytest
+
+from repro.analysis.statistics import (
+    chi_square_contingency,
+    chi_square_goodness_of_fit,
+    wilson_interval,
+)
+from repro.exceptions import AnalysisError
+from repro.results.counts import Counts
+
+
+class TestGoodnessOfFit:
+    def test_perfect_fit_high_p(self):
+        counts = Counts({"0": 500, "1": 500})
+        stat, p = chi_square_goodness_of_fit(counts, {"0": 0.5, "1": 0.5})
+        assert stat == pytest.approx(0.0)
+        assert p == pytest.approx(1.0)
+
+    def test_gross_mismatch_low_p(self):
+        counts = Counts({"0": 900, "1": 100})
+        _stat, p = chi_square_goodness_of_fit(counts, {"0": 0.5, "1": 0.5})
+        assert p < 1e-10
+
+    def test_impossible_outcome_gives_zero_p(self):
+        counts = Counts({"0": 90, "1": 10})
+        stat, p = chi_square_goodness_of_fit(counts, {"0": 1.0, "1": 0.0})
+        assert stat == float("inf")
+        assert p == 0.0
+
+    def test_empty_histogram_rejected(self):
+        with pytest.raises(AnalysisError):
+            chi_square_goodness_of_fit(Counts(), {"0": 1.0})
+
+    def test_unnormalised_expectation_rejected(self):
+        with pytest.raises(AnalysisError, match="sum"):
+            chi_square_goodness_of_fit(Counts({"0": 10}), {"0": 0.5})
+
+    def test_sampling_noise_tolerated(self):
+        counts = Counts({"0": 520, "1": 480})
+        _stat, p = chi_square_goodness_of_fit(counts, {"0": 0.5, "1": 0.5})
+        assert p > 0.05
+
+
+class TestContingency:
+    def test_correlated_bits_rejected_independence(self):
+        counts = Counts({"00": 500, "11": 500})
+        _stat, p = chi_square_contingency(counts, 0, 1)
+        assert p < 1e-10
+
+    def test_independent_bits_high_p(self):
+        counts = Counts({"00": 250, "01": 250, "10": 250, "11": 250})
+        stat, p = chi_square_contingency(counts, 0, 1)
+        assert stat == pytest.approx(0.0)
+        assert p == pytest.approx(1.0)
+
+    def test_constant_bit_degenerate(self):
+        counts = Counts({"00": 500, "01": 500})
+        stat, p = chi_square_contingency(counts, 0, 1)
+        assert (stat, p) == (0.0, 1.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(AnalysisError):
+            chi_square_contingency(Counts(), 0, 1)
+
+    def test_anticorrelated_detected(self):
+        counts = Counts({"01": 480, "10": 520})
+        _stat, p = chi_square_contingency(counts, 0, 1)
+        assert p < 1e-10
+
+
+class TestWilsonInterval:
+    def test_contains_point_estimate(self):
+        low, high = wilson_interval(30, 100)
+        assert low < 0.3 < high
+
+    def test_shrinks_with_trials(self):
+        low1, high1 = wilson_interval(30, 100)
+        low2, high2 = wilson_interval(300, 1000)
+        assert (high2 - low2) < (high1 - low1)
+
+    def test_bounds_clipped(self):
+        low, high = wilson_interval(0, 10)
+        assert low == pytest.approx(0.0, abs=1e-12)
+        low, high = wilson_interval(10, 10)
+        assert high == pytest.approx(1.0, abs=1e-12)
+
+    def test_validation(self):
+        with pytest.raises(AnalysisError):
+            wilson_interval(5, 0)
+        with pytest.raises(AnalysisError):
+            wilson_interval(11, 10)
+        with pytest.raises(AnalysisError):
+            wilson_interval(1, 10, confidence=1.5)

@@ -1,0 +1,84 @@
+"""Tests for single-qubit tomography (the baseline's multi-basis cost)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis.states import state_fidelity
+from repro.analysis.tomography import (
+    measurement_bases_circuits,
+    reconstruct_single_qubit_state,
+)
+from repro.circuits.circuit import QuantumCircuit
+from repro.devices.backend import StatevectorBackend
+from repro.exceptions import AnalysisError
+from repro.results.counts import Counts
+
+
+def tomograph(program, qubit=0, shots=8192, seed=5):
+    backend = StatevectorBackend()
+    variants = measurement_bases_circuits(program, qubit)
+    return {
+        basis: backend.run(circ, shots=shots, seed=seed).counts
+        for basis, circ in variants.items()
+    }
+
+
+class TestBasisCircuits:
+    def test_three_bases_produced(self):
+        variants = measurement_bases_circuits(QuantumCircuit(1), 0)
+        assert set(variants) == {"x", "y", "z"}
+
+    def test_each_variant_measures(self):
+        variants = measurement_bases_circuits(QuantumCircuit(1), 0)
+        for circ in variants.values():
+            assert circ.has_measurements()
+
+    def test_original_untouched(self):
+        program = QuantumCircuit(1)
+        measurement_bases_circuits(program, 0)
+        assert len(program) == 0
+
+    def test_qubit_validated(self):
+        with pytest.raises(AnalysisError):
+            measurement_bases_circuits(QuantumCircuit(1), 5)
+
+
+class TestReconstruction:
+    @pytest.mark.parametrize(
+        "prep,target",
+        [
+            (lambda qc: None, np.array([1, 0], dtype=complex)),
+            (lambda qc: qc.x(0), np.array([0, 1], dtype=complex)),
+            (lambda qc: qc.h(0), np.array([1, 1], dtype=complex) / math.sqrt(2)),
+            (
+                lambda qc: (qc.h(0), qc.s(0)),
+                np.array([1, 1j], dtype=complex) / math.sqrt(2),
+            ),
+        ],
+        ids=["zero", "one", "plus", "plus_i"],
+    )
+    def test_known_states_recovered(self, prep, target):
+        program = QuantumCircuit(1)
+        prep(program)
+        rho = reconstruct_single_qubit_state(tomograph(program))
+        assert state_fidelity(rho, target) > 0.99
+
+    def test_missing_basis_rejected(self):
+        with pytest.raises(AnalysisError, match="missing"):
+            reconstruct_single_qubit_state({"z": Counts({"0": 10})})
+
+    def test_empty_counts_rejected(self):
+        with pytest.raises(AnalysisError, match="empty"):
+            reconstruct_single_qubit_state(
+                {"x": Counts(), "y": Counts(), "z": Counts()}
+            )
+
+    def test_result_is_physical(self):
+        program = QuantumCircuit(1)
+        program.h(0)
+        rho = reconstruct_single_qubit_state(tomograph(program, shots=200))
+        eigenvalues = np.linalg.eigvalsh(rho)
+        assert (eigenvalues >= -1e-10).all()
+        assert np.trace(rho) == pytest.approx(1.0)

@@ -1,0 +1,98 @@
+"""Tests for the circuit dependency DAG."""
+
+import pytest
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.circuits.dag import CircuitDAG
+from repro.circuits.gates import get_gate
+from repro.circuits.instructions import Instruction
+from repro.exceptions import CircuitError
+
+
+def _bell_with_measure():
+    qc = QuantumCircuit(2, 2)
+    qc.h(0)
+    qc.cx(0, 1)
+    qc.measure([0, 1], [0, 1])
+    return qc
+
+
+class TestConstruction:
+    def test_node_count(self):
+        dag = CircuitDAG(_bell_with_measure())
+        assert len(dag) == 4
+
+    def test_topological_order_respects_wires(self):
+        dag = CircuitDAG(_bell_with_measure())
+        names = [node.instruction.name for node in dag.topological_nodes()]
+        assert names.index("h") < names.index("cx")
+        assert names.index("cx") < names.index("measure")
+
+    def test_condition_creates_dependency(self):
+        qc = QuantumCircuit(2, 1)
+        qc.measure(0, 0)
+        qc.x(1, condition=(0, 1))
+        dag = CircuitDAG(qc)
+        names = [node.instruction.name for node in dag.topological_nodes()]
+        assert names == ["measure", "x"]
+        # The x must depend on the measure through the classical wire.
+        nodes = list(dag.topological_nodes())
+        assert dag.predecessors_on_wire(nodes[1].node_id, ("c", 0)) is not None
+
+    def test_missing_node_raises(self):
+        dag = CircuitDAG(_bell_with_measure())
+        with pytest.raises(CircuitError):
+            dag.node(999)
+
+
+class TestWireNavigation:
+    def test_successor_on_wire(self):
+        dag = CircuitDAG(_bell_with_measure())
+        nodes = list(dag.topological_nodes())
+        h_node = nodes[0]
+        succ = dag.successors_on_wire(h_node.node_id, ("q", 0))
+        assert succ.instruction.name == "cx"
+
+    def test_predecessor_on_wire(self):
+        dag = CircuitDAG(_bell_with_measure())
+        nodes = list(dag.topological_nodes())
+        cx_node = next(n for n in nodes if n.instruction.name == "cx")
+        pred = dag.predecessors_on_wire(cx_node.node_id, ("q", 0))
+        assert pred.instruction.name == "h"
+        assert dag.predecessors_on_wire(cx_node.node_id, ("q", 1)) is None
+
+
+class TestMutation:
+    def test_remove_node_reconnects(self):
+        qc = QuantumCircuit(1)
+        qc.h(0)
+        qc.s(0)
+        qc.h(0)
+        dag = CircuitDAG(qc)
+        nodes = list(dag.topological_nodes())
+        dag.remove_node(nodes[1].node_id)  # drop the S
+        rebuilt = dag.to_circuit(qc)
+        assert [inst.name for inst in rebuilt] == ["h", "h"]
+        # The two H's must now be wired together.
+        remaining = list(dag.topological_nodes())
+        succ = dag.successors_on_wire(remaining[0].node_id, ("q", 0))
+        assert succ.node_id == remaining[1].node_id
+
+    def test_replace_node_with_chain(self):
+        qc = QuantumCircuit(1)
+        qc.h(0)
+        qc.x(0)
+        dag = CircuitDAG(qc)
+        nodes = list(dag.topological_nodes())
+        x_node = nodes[1]
+        replacement = [
+            Instruction(get_gate("s"), (0,)),
+            Instruction(get_gate("s"), (0,)),
+        ]
+        dag.replace_node(x_node.node_id, replacement)
+        rebuilt = dag.to_circuit(qc)
+        assert [inst.name for inst in rebuilt] == ["h", "s", "s"]
+
+    def test_count_ops(self):
+        dag = CircuitDAG(_bell_with_measure())
+        assert dag.count_ops() == {"h": 1, "cx": 1, "measure": 2}

@@ -1,0 +1,62 @@
+"""Tests for the Instruction container."""
+
+import pytest
+
+from repro.circuits.gates import Measure, get_gate
+from repro.circuits.instructions import Instruction
+from repro.exceptions import CircuitError
+
+
+class TestInstructionValidation:
+    def test_arity_mismatch_raises(self):
+        with pytest.raises(CircuitError, match="expects 2 qubit"):
+            Instruction(get_gate("cx"), (0,))
+
+    def test_clbit_mismatch_raises(self):
+        with pytest.raises(CircuitError, match="expects 1 clbit"):
+            Instruction(Measure(), (0,), ())
+
+    def test_duplicate_qubits_rejected(self):
+        with pytest.raises(CircuitError, match="duplicate"):
+            Instruction(get_gate("cx"), (1, 1))
+
+    def test_condition_value_validated(self):
+        with pytest.raises(CircuitError, match="0 or 1"):
+            Instruction(get_gate("x"), (0,), condition=(0, 2))
+
+    def test_valid_measure(self):
+        inst = Instruction(Measure(), (3,), (1,))
+        assert inst.qubits == (3,)
+        assert inst.clbits == (1,)
+        assert inst.name == "measure"
+
+
+class TestRemap:
+    def test_remap_translates_all_bits(self):
+        inst = Instruction(get_gate("cx"), (0, 1), condition=(0, 1))
+        remapped = inst.remap([5, 7], [3])
+        assert remapped.qubits == (5, 7)
+        assert remapped.condition == (3, 1)
+
+    def test_remap_measure_clbits(self):
+        inst = Instruction(Measure(), (0,), (0,))
+        remapped = inst.remap([2], [4])
+        assert remapped.qubits == (2,)
+        assert remapped.clbits == (4,)
+
+
+class TestEqualityAndRepr:
+    def test_equal_instructions(self):
+        a = Instruction(get_gate("h"), (0,))
+        b = Instruction(get_gate("h"), (0,))
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_unequal_on_qubits(self):
+        assert Instruction(get_gate("h"), (0,)) != Instruction(get_gate("h"), (1,))
+
+    def test_repr_contains_name_and_qubits(self):
+        inst = Instruction(get_gate("cx"), (0, 1), condition=(2, 1))
+        text = repr(inst)
+        assert "cx" in text
+        assert "if c[2]==1" in text

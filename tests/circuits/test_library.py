@@ -1,0 +1,182 @@
+"""Tests for the standard circuit library, verified on the statevector engine."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.circuits import library
+from repro.exceptions import CircuitError
+from repro.simulators.statevector import Statevector, StatevectorSimulator
+
+SIM = StatevectorSimulator()
+
+
+def final_state(circuit):
+    return SIM.final_statevector(circuit)
+
+
+class TestBellPairs:
+    def test_phi_plus(self):
+        state = final_state(library.bell_pair("phi+"))
+        expected = np.zeros(4, dtype=complex)
+        expected[0] = expected[3] = 1 / math.sqrt(2)
+        assert state.equiv(Statevector(expected))
+
+    def test_phi_minus(self):
+        state = final_state(library.bell_pair("phi-"))
+        expected = np.zeros(4, dtype=complex)
+        expected[0], expected[3] = 1 / math.sqrt(2), -1 / math.sqrt(2)
+        assert state.equiv(Statevector(expected))
+
+    def test_psi_plus(self):
+        state = final_state(library.bell_pair("psi+"))
+        expected = np.zeros(4, dtype=complex)
+        expected[1] = expected[2] = 1 / math.sqrt(2)
+        assert state.equiv(Statevector(expected))
+
+    def test_psi_minus(self):
+        state = final_state(library.bell_pair("psi-"))
+        probs = state.probabilities()
+        assert set(probs) == {"01", "10"}
+
+    def test_unknown_kind(self):
+        with pytest.raises(CircuitError):
+            library.bell_pair("nope")
+
+
+class TestGHZ:
+    @pytest.mark.parametrize("n", [2, 3, 5])
+    def test_ghz_support(self, n):
+        probs = final_state(library.ghz_state(n)).probabilities()
+        assert set(probs) == {"0" * n, "1" * n}
+        for p in probs.values():
+            assert abs(p - 0.5) < 1e-12
+
+    def test_minimum_size(self):
+        with pytest.raises(CircuitError):
+            library.ghz_state(1)
+
+
+class TestWState:
+    @pytest.mark.parametrize("n", [2, 3, 4])
+    def test_w_state_support_and_weights(self, n):
+        probs = final_state(library.w_state(n)).probabilities()
+        expected_keys = {
+            "".join("1" if i == k else "0" for i in range(n)) for k in range(n)
+        }
+        assert set(probs) == expected_keys
+        for p in probs.values():
+            assert abs(p - 1.0 / n) < 1e-9
+
+
+class TestUniformSuperposition:
+    def test_all_outcomes_equal(self):
+        probs = final_state(library.uniform_superposition(3)).probabilities()
+        assert len(probs) == 8
+        for p in probs.values():
+            assert abs(p - 0.125) < 1e-12
+
+
+class TestQFT:
+    @pytest.mark.parametrize("n", [1, 2, 3])
+    def test_qft_matches_dft_matrix(self, n):
+        from repro.simulators.unitary import circuit_unitary
+
+        dim = 2 ** n
+        qft_unitary = circuit_unitary(library.qft(n))
+        omega = np.exp(2j * math.pi / dim)
+        dft = np.array(
+            [[omega ** (row * col) for col in range(dim)] for row in range(dim)]
+        ) / math.sqrt(dim)
+        np.testing.assert_allclose(qft_unitary, dft, atol=1e-10)
+
+    def test_inverse_qft_cancels(self):
+        from repro.simulators.unitary import circuit_unitary
+
+        circuit = library.qft(3)
+        circuit.compose(library.inverse_qft(3))
+        np.testing.assert_allclose(circuit_unitary(circuit), np.eye(8), atol=1e-10)
+
+
+class TestTeleportation:
+    @pytest.mark.parametrize("theta", [0.0, 0.7, math.pi / 2, 2.2])
+    def test_teleports_arbitrary_state(self, theta):
+        from repro.circuits.circuit import QuantumCircuit
+
+        prep = QuantumCircuit(1)
+        if theta:
+            prep.ry(theta, 0)
+        circuit = library.teleportation(state_prep=prep)
+        # Measure Bob's qubit statistics: P(1) must equal sin^2(theta/2).
+        reg = circuit.add_clbits(1, name="bob")
+        circuit.measure(2, reg[0])
+        probs = SIM.exact_probabilities(circuit)
+        p_one = sum(p for key, p in probs.items() if key[2] == "1")
+        assert abs(p_one - math.sin(theta / 2.0) ** 2) < 1e-9
+
+    def test_state_prep_arity_checked(self):
+        from repro.circuits.circuit import QuantumCircuit
+
+        with pytest.raises(CircuitError):
+            library.teleportation(state_prep=QuantumCircuit(2))
+
+
+class TestGrover:
+    @pytest.mark.parametrize("n,marked", [(2, [3]), (3, [5]), (3, [1, 6])])
+    def test_marked_states_amplified(self, n, marked):
+        probs = final_state(library.grover(n, marked)).probabilities()
+        marked_keys = {format(m, f"0{n}b") for m in marked}
+        marked_mass = sum(probs.get(k, 0.0) for k in marked_keys)
+        assert marked_mass > 0.8
+
+    def test_invalid_marked_state(self):
+        with pytest.raises(CircuitError):
+            library.grover(2, [4])
+
+    def test_empty_marked_rejected(self):
+        with pytest.raises(CircuitError):
+            library.grover(2, [])
+
+
+class TestDeutschJozsa:
+    def test_constant_oracle_gives_all_zeros(self):
+        circuit = library.deutsch_jozsa(3, "constant0")
+        probs = final_state(circuit).probabilities()
+        input_bits_mass = sum(
+            p for key, p in probs.items() if key[:3] == "000"
+        )
+        assert abs(input_bits_mass - 1.0) < 1e-9
+
+    def test_balanced_oracle_avoids_all_zeros(self):
+        circuit = library.deutsch_jozsa(3, "balanced")
+        probs = final_state(circuit).probabilities()
+        zeros_mass = sum(p for key, p in probs.items() if key[:3] == "000")
+        assert zeros_mass < 1e-9
+
+    def test_unknown_oracle(self):
+        with pytest.raises(CircuitError):
+            library.deutsch_jozsa(2, "weird")
+
+
+class TestPhaseEstimation:
+    @pytest.mark.parametrize("phase,bits", [(0.25, 3), (0.5, 2), (0.125, 3)])
+    def test_exact_phases_resolved(self, phase, bits):
+        circuit = library.phase_estimation(phase, bits)
+        probs = final_state(circuit).probabilities()
+        expected_index = round(phase * 2 ** bits)
+        expected_key = format(expected_index, f"0{bits}b")
+        mass = sum(p for key, p in probs.items() if key[:bits] == expected_key)
+        assert mass > 0.99
+
+
+class TestRandomCircuit:
+    def test_reproducible_with_seed(self):
+        a = library.random_circuit(3, 5, seed=42)
+        b = library.random_circuit(3, 5, seed=42)
+        assert [i.name for i in a] == [i.name for i in b]
+
+    def test_clifford_only_restricts_gates(self):
+        circuit = library.random_circuit(4, 10, seed=7, clifford_only=True)
+        allowed = {"h", "s", "sdg", "x", "y", "z", "cx"}
+        assert {inst.name for inst in circuit} <= allowed

@@ -1,0 +1,143 @@
+"""Tests for OpenQASM 2.0 export/import round-trips."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.circuits import library
+from repro.circuits.circuit import QuantumCircuit
+from repro.circuits.qasm import circuit_from_qasm, circuit_to_qasm
+from repro.circuits.registers import ClassicalRegister, QuantumRegister
+from repro.exceptions import QasmError
+from repro.simulators.unitary import circuits_equivalent
+
+
+class TestExport:
+    def test_header_and_registers(self):
+        qc = QuantumCircuit(QuantumRegister(2, "qr"), ClassicalRegister(1, "cr"))
+        text = circuit_to_qasm(qc)
+        assert "OPENQASM 2.0;" in text
+        assert "qreg qr[2];" in text
+        assert "creg cr[1];" in text
+
+    def test_gate_statements(self):
+        qc = QuantumCircuit(2, 1)
+        qc.h(0)
+        qc.cx(0, 1)
+        qc.measure(1, 0)
+        text = circuit_to_qasm(qc)
+        assert "h q[0];" in text
+        assert "cx q[0], q[1];" in text
+        assert "measure q[1] -> c[0];" in text
+
+    def test_symbolic_pi_angles(self):
+        qc = QuantumCircuit(1)
+        qc.rz(math.pi / 2, 0)
+        qc.rz(-math.pi, 0)
+        text = circuit_to_qasm(qc)
+        assert "rz(pi/2)" in text
+        assert "rz(-pi)" in text
+
+    def test_unitary_gate_rejected(self):
+        qc = QuantumCircuit(1)
+        qc.unitary(np.eye(2), [0])
+        with pytest.raises(QasmError, match="arbitrary unitary"):
+            circuit_to_qasm(qc)
+
+    def test_condition_requires_single_bit_register(self):
+        qc = QuantumCircuit(1, 2)
+        qc.x(0, condition=(0, 1))
+        with pytest.raises(QasmError, match="1-bit"):
+            circuit_to_qasm(qc)
+
+    def test_condition_on_single_bit_register(self):
+        qc = QuantumCircuit(QuantumRegister(1, "q"), ClassicalRegister(1, "flag"))
+        qc.x(0, condition=(0, 1))
+        text = circuit_to_qasm(qc)
+        assert "if(flag==1) x q[0];" in text
+
+
+class TestImport:
+    def test_parse_simple_program(self):
+        text = """
+        OPENQASM 2.0;
+        include "qelib1.inc";
+        qreg q[2];
+        creg c[2];
+        h q[0];
+        cx q[0], q[1];
+        measure q[0] -> c[0];
+        measure q[1] -> c[1];
+        """
+        qc = circuit_from_qasm(text)
+        assert qc.num_qubits == 2
+        assert [inst.name for inst in qc] == ["h", "cx", "measure", "measure"]
+
+    def test_parse_angles(self):
+        qc = circuit_from_qasm(
+            'OPENQASM 2.0; qreg q[1]; rz(pi/4) q[0]; rx(0.5) q[0];'
+        )
+        assert abs(qc.data[0].operation.params[0] - math.pi / 4) < 1e-12
+        assert abs(qc.data[1].operation.params[0] - 0.5) < 1e-12
+
+    def test_comments_stripped(self):
+        qc = circuit_from_qasm(
+            "OPENQASM 2.0; // hello\nqreg q[1]; // comment\nx q[0];"
+        )
+        assert [inst.name for inst in qc] == ["x"]
+
+    def test_unknown_register_raises(self):
+        with pytest.raises(QasmError, match="unknown quantum register"):
+            circuit_from_qasm("OPENQASM 2.0; qreg q[1]; x bad[0];")
+
+    def test_unknown_gate_raises(self):
+        with pytest.raises(QasmError, match="unsupported gate"):
+            circuit_from_qasm("OPENQASM 2.0; qreg q[1]; fancy q[0];")
+
+    def test_malformed_angle_raises(self):
+        with pytest.raises(QasmError):
+            circuit_from_qasm("OPENQASM 2.0; qreg q[1]; rz(import os) q[0];")
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize(
+        "factory",
+        [
+            lambda: library.bell_pair(),
+            lambda: library.ghz_state(3),
+            lambda: library.qft(3),
+            lambda: library.grover(2, [3]),
+            lambda: library.w_state(3),
+        ],
+        ids=["bell", "ghz", "qft", "grover", "w"],
+    )
+    def test_unitary_circuits_roundtrip_equivalent(self, factory):
+        original = factory()
+        restored = circuit_from_qasm(circuit_to_qasm(original))
+        assert circuits_equivalent(original, restored)
+
+    def test_measured_circuit_roundtrip(self):
+        qc = library.bell_pair()
+        qc.measure_all()
+        restored = circuit_from_qasm(circuit_to_qasm(qc))
+        assert restored.count_ops()["measure"] == 2
+
+    def test_barrier_and_reset_roundtrip(self):
+        qc = QuantumCircuit(2)
+        qc.h(0)
+        qc.barrier()
+        qc.reset(0)
+        restored = circuit_from_qasm(circuit_to_qasm(qc))
+        assert [inst.name for inst in restored] == ["h", "barrier", "reset"]
+
+    def test_instrumented_assertion_circuit_roundtrip(self):
+        from repro.core.injector import AssertionInjector
+
+        injector = AssertionInjector(library.bell_pair())
+        injector.assert_entangled([0, 1])
+        injector.measure_program()
+        text = circuit_to_qasm(injector.circuit)
+        restored = circuit_from_qasm(text)
+        assert restored.num_qubits == injector.circuit.num_qubits
+        assert restored.count_ops() == injector.circuit.count_ops()

@@ -1,0 +1,52 @@
+"""Smoke tests for the ASCII circuit drawer."""
+
+from repro.circuits import library
+from repro.circuits.circuit import QuantumCircuit
+from repro.circuits.visualization import draw_circuit
+
+
+class TestDrawer:
+    def test_empty_circuit(self):
+        qc = QuantumCircuit(name="empty")
+        assert "empty" in draw_circuit(qc) or "(empty circuit)" == draw_circuit(qc)
+
+    def test_single_gate(self):
+        qc = QuantumCircuit(1)
+        qc.h(0)
+        art = draw_circuit(qc)
+        assert "[H]" in art
+        assert "q[0]" in art
+
+    def test_cx_drawing_has_control_and_target(self):
+        qc = QuantumCircuit(2)
+        qc.cx(0, 1)
+        art = draw_circuit(qc)
+        assert "o" in art
+        assert "(+)" in art
+
+    def test_measure_shows_clbit(self):
+        qc = QuantumCircuit(1, 1)
+        qc.measure(0, 0)
+        art = draw_circuit(qc)
+        assert "M->" in art
+
+    def test_row_count_matches_qubits(self):
+        qc = library.ghz_state(4)
+        art = draw_circuit(qc)
+        label_rows = [line for line in art.splitlines() if "q[" in line]
+        assert len(label_rows) == 4
+
+    def test_condition_annotated(self):
+        qc = QuantumCircuit(1, 1)
+        qc.x(0, condition=(0, 1))
+        assert "?" in draw_circuit(qc)
+
+    def test_circuit_draw_method(self):
+        qc = library.bell_pair()
+        assert qc.draw() == draw_circuit(qc)
+
+    def test_barrier_rendered(self):
+        qc = QuantumCircuit(2)
+        qc.h(0)
+        qc.barrier()
+        assert "::" in draw_circuit(qc)

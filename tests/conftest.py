@@ -1,0 +1,48 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.devices.backend import StatevectorBackend
+from repro.devices.ibmqx4 import ibmqx4
+from repro.simulators.density_matrix import DensityMatrixSimulator
+from repro.simulators.stabilizer import StabilizerSimulator
+from repro.simulators.statevector import StatevectorSimulator
+
+
+@pytest.fixture
+def sv_sim() -> StatevectorSimulator:
+    """A fresh statevector simulator."""
+    return StatevectorSimulator()
+
+
+@pytest.fixture
+def dm_sim() -> DensityMatrixSimulator:
+    """A fresh (noise-free) density-matrix simulator."""
+    return DensityMatrixSimulator()
+
+
+@pytest.fixture
+def stab_sim() -> StabilizerSimulator:
+    """A fresh stabilizer simulator."""
+    return StabilizerSimulator()
+
+
+@pytest.fixture
+def sv_backend() -> StatevectorBackend:
+    """An ideal statevector backend."""
+    return StatevectorBackend()
+
+
+@pytest.fixture(scope="session")
+def ibmqx4_device():
+    """The ibmqx4 device model (session-scoped; it is immutable)."""
+    return ibmqx4()
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A seeded RNG for deterministic tests."""
+    return np.random.default_rng(1234)

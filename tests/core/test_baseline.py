@@ -1,0 +1,114 @@
+"""Tests for the statistical-assertion baseline (Huang & Martonosi, ISCA'19)."""
+
+import pytest
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.circuits.library import bell_pair
+from repro.core.baseline import (
+    statistical_classical_assertion,
+    statistical_entanglement_assertion,
+    statistical_superposition_assertion,
+)
+from repro.exceptions import AssertionCircuitError
+
+
+class TestClassicalStatistical:
+    def test_correct_value_passes(self, sv_backend):
+        program = QuantumCircuit(1)
+        outcome = statistical_classical_assertion(
+            sv_backend, program, 0, 0, shots=512, seed=1
+        )
+        assert outcome.passed
+        assert outcome.executions == 512
+        assert outcome.halted_program
+
+    def test_wrong_value_fails(self, sv_backend):
+        program = QuantumCircuit(1)
+        program.x(0)
+        outcome = statistical_classical_assertion(
+            sv_backend, program, 0, 0, shots=512, seed=2
+        )
+        assert not outcome.passed
+        assert outcome.p_value == 0.0
+
+    def test_superposed_value_fails(self, sv_backend):
+        program = QuantumCircuit(1)
+        program.h(0)
+        outcome = statistical_classical_assertion(
+            sv_backend, program, 0, 0, shots=512, seed=3
+        )
+        assert not outcome.passed
+
+    def test_value_validated(self, sv_backend):
+        with pytest.raises(AssertionCircuitError):
+            statistical_classical_assertion(sv_backend, QuantumCircuit(1), 0, 2)
+
+    def test_program_not_mutated(self, sv_backend):
+        program = QuantumCircuit(1)
+        statistical_classical_assertion(sv_backend, program, 0, 0, shots=16, seed=4)
+        assert len(program) == 0
+
+
+class TestSuperpositionStatistical:
+    def test_plus_passes(self, sv_backend):
+        program = QuantumCircuit(1)
+        program.h(0)
+        outcome = statistical_superposition_assertion(
+            sv_backend, program, 0, shots=1024, seed=5
+        )
+        assert outcome.passed
+
+    def test_classical_state_fails(self, sv_backend):
+        outcome = statistical_superposition_assertion(
+            sv_backend, QuantumCircuit(1), 0, shots=1024, seed=6
+        )
+        assert not outcome.passed
+
+    def test_minus_state_false_pass(self, sv_backend):
+        """The baseline's structural blind spot: |-> passes a Z-basis test.
+
+        The dynamic Fig. 5 circuit distinguishes |+> from |->; the
+        statistical Z-basis assertion cannot (documented weakness)."""
+        program = QuantumCircuit(1)
+        program.x(0)
+        program.h(0)  # |->
+        outcome = statistical_superposition_assertion(
+            sv_backend, program, 0, shots=1024, seed=7
+        )
+        assert outcome.passed  # false pass, by design of the baseline
+
+
+class TestEntanglementStatistical:
+    def test_bell_pair_passes(self, sv_backend):
+        outcome = statistical_entanglement_assertion(
+            sv_backend, bell_pair(), (0, 1), shots=1024, seed=8
+        )
+        assert outcome.passed
+
+    def test_product_state_fails(self, sv_backend):
+        program = QuantumCircuit(2)
+        program.h(0)
+        program.h(1)
+        outcome = statistical_entanglement_assertion(
+            sv_backend, program, (0, 1), shots=1024, seed=9
+        )
+        assert not outcome.passed
+
+    def test_missing_cx_bug_detected(self, sv_backend):
+        program = QuantumCircuit(2)
+        program.h(0)  # forgot the CX
+        outcome = statistical_entanglement_assertion(
+            sv_backend, program, (0, 1), shots=1024, seed=10
+        )
+        assert not outcome.passed
+
+    def test_classical_correlation_false_pass(self, sv_backend):
+        """Correlation without entanglement still passes (known limitation)."""
+        program = QuantumCircuit(2, 1)
+        program.h(0)
+        program.measure(0, 0)
+        program.x(1, condition=(0, 1))  # classically correlated copy
+        outcome = statistical_entanglement_assertion(
+            sv_backend, program, (0, 1), shots=1024, seed=11
+        )
+        assert outcome.passed

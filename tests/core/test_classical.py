@@ -1,0 +1,160 @@
+"""Tests for the classical-value assertion (paper §3.1, Fig. 2).
+
+These re-derive the section's proof numerically: classical inputs give
+deterministic ancilla outcomes; a superposed input ``a|0> + b|1>`` fails
+with probability |b|^2 and is *projected* to the asserted value on passing
+shots (the auto-correction property).
+"""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.core.classical import append_classical_assertion
+from repro.core.types import AssertionKind
+from repro.exceptions import AssertionCircuitError
+from repro.simulators.postselection import postselected_statevector_after
+from repro.simulators.statevector import StatevectorSimulator
+
+SIM = StatevectorSimulator()
+
+
+def asserted_circuit(prep, value=0):
+    qc = QuantumCircuit(1)
+    prep(qc)
+    record = append_classical_assertion(qc, 0, value)
+    return qc, record
+
+
+class TestClassicalInputs:
+    def test_zero_passes_assert_zero(self):
+        qc, _ = asserted_circuit(lambda c: None, value=0)
+        assert SIM.exact_probabilities(qc) == {"0": pytest.approx(1.0)}
+
+    def test_one_fails_assert_zero(self):
+        qc, _ = asserted_circuit(lambda c: c.x(0), value=0)
+        assert SIM.exact_probabilities(qc) == {"1": pytest.approx(1.0)}
+
+    def test_one_passes_assert_one(self):
+        qc, _ = asserted_circuit(lambda c: c.x(0), value=1)
+        assert SIM.exact_probabilities(qc) == {"0": pytest.approx(1.0)}
+
+    def test_zero_fails_assert_one(self):
+        qc, _ = asserted_circuit(lambda c: None, value=1)
+        assert SIM.exact_probabilities(qc) == {"1": pytest.approx(1.0)}
+
+
+class TestSuperposedInputs:
+    @given(theta=st.floats(min_value=0.05, max_value=math.pi - 0.05))
+    @settings(max_examples=40, deadline=None)
+    def test_error_probability_is_b_squared(self, theta):
+        """P(assertion error) = |b|^2 for input cos(t/2)|0> + sin(t/2)|1>."""
+        qc, _ = asserted_circuit(lambda c: c.ry(theta, 0), value=0)
+        probs = SIM.exact_probabilities(qc)
+        expected_error = math.sin(theta / 2.0) ** 2
+        assert probs.get("1", 0.0) == pytest.approx(expected_error, abs=1e-9)
+
+    @given(theta=st.floats(min_value=0.05, max_value=math.pi - 0.05))
+    @settings(max_examples=25, deadline=None)
+    def test_projection_on_pass(self, theta):
+        """Passing shots leave the tested qubit exactly |0> (auto-correct)."""
+        qc, _ = asserted_circuit(lambda c: c.ry(theta, 0), value=0)
+        state, _prob = postselected_statevector_after(qc, {0: 0})
+        # Qubit 0 is |0>; ancilla |0>.
+        assert state.probabilities() == {"00": pytest.approx(1.0)}
+
+    def test_projection_on_fail(self):
+        """Failing shots project the qubit to |1> (the paper's other branch)."""
+        qc, _ = asserted_circuit(lambda c: c.h(0), value=0)
+        state, prob = postselected_statevector_after(qc, {0: 1})
+        assert prob == pytest.approx(0.5)
+        assert state.probabilities() == {"11": pytest.approx(1.0)}
+
+    def test_assert_one_projects_to_one(self):
+        qc, _ = asserted_circuit(lambda c: c.h(0), value=1)
+        state, _ = postselected_statevector_after(qc, {0: 0})
+        # Tested qubit forced to |1>; ancilla was X-initialised then XORed
+        # to 0 on the passing branch.
+        tested = state.probabilities()
+        assert tested == {"10": pytest.approx(1.0)}
+
+
+class TestMultiQubit:
+    def test_vector_assertion(self):
+        qc = QuantumCircuit(3)
+        qc.x(1)
+        record = append_classical_assertion(qc, [0, 1, 2], [0, 1, 0])
+        assert record.num_ancillas == 3
+        probs = SIM.exact_probabilities(qc)
+        assert probs == {"000": pytest.approx(1.0)}
+
+    def test_scalar_broadcast(self):
+        qc = QuantumCircuit(2)
+        record = append_classical_assertion(qc, [0, 1], 0)
+        assert record.expected == (0, 0)
+
+    def test_partial_violation_flags_only_that_bit(self):
+        qc = QuantumCircuit(2)
+        qc.x(1)
+        append_classical_assertion(qc, [0, 1], 0)
+        probs = SIM.exact_probabilities(qc)
+        assert probs == {"01": pytest.approx(1.0)}
+
+
+class TestBookkeeping:
+    def test_record_fields(self):
+        qc = QuantumCircuit(2)
+        record = append_classical_assertion(qc, 1, 0, label="mine")
+        assert record.kind is AssertionKind.CLASSICAL
+        assert record.qubits == (1,)
+        assert record.ancillas == (2,)
+        assert record.clbits == (0,)
+        assert record.label == "mine"
+
+    def test_circuit_growth(self):
+        qc = QuantumCircuit(1)
+        append_classical_assertion(qc, 0, 0)
+        assert qc.num_qubits == 2
+        assert qc.num_clbits == 1
+        # One CNOT, one measure (value 0 needs no ancilla X).
+        assert qc.count_ops() == {"cx": 1, "measure": 1}
+
+    def test_assert_one_adds_x(self):
+        qc = QuantumCircuit(1)
+        append_classical_assertion(qc, 0, 1)
+        assert qc.count_ops() == {"x": 1, "cx": 1, "measure": 1}
+
+    def test_repeated_assertions_get_distinct_registers(self):
+        qc = QuantumCircuit(1)
+        first = append_classical_assertion(qc, 0, 0)
+        second = append_classical_assertion(qc, 0, 0)
+        assert first.ancillas != second.ancillas
+        assert first.clbits != second.clbits
+
+
+class TestValidation:
+    def test_empty_qubits(self):
+        with pytest.raises(AssertionCircuitError):
+            append_classical_assertion(QuantumCircuit(1), [])
+
+    def test_duplicate_qubits(self):
+        with pytest.raises(AssertionCircuitError, match="duplicate"):
+            append_classical_assertion(QuantumCircuit(2), [0, 0])
+
+    def test_value_range(self):
+        with pytest.raises(AssertionCircuitError, match="0 or 1"):
+            append_classical_assertion(QuantumCircuit(1), 0, 2)
+
+    def test_value_count_mismatch(self):
+        with pytest.raises(AssertionCircuitError, match="values for"):
+            append_classical_assertion(QuantumCircuit(2), [0, 1], [0, 1, 0])
+
+    def test_qubit_range_checked(self):
+        from repro.exceptions import CircuitError
+
+        with pytest.raises(CircuitError):
+            append_classical_assertion(QuantumCircuit(1), 5)

@@ -1,0 +1,128 @@
+"""Tests for amplitude estimation from assertion statistics (§3.1/§3.3)."""
+
+import math
+
+import pytest
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.core.classical import append_classical_assertion
+from repro.core.entanglement import append_parity_assertion
+from repro.core.estimation import (
+    estimate_amplitudes_from_classical_assertion,
+    estimate_amplitudes_from_superposition_assertion,
+    estimate_odd_parity_weight,
+)
+from repro.core.superposition import append_superposition_assertion
+from repro.exceptions import AssertionCircuitError
+from repro.results.counts import Counts
+from repro.simulators.statevector import StatevectorSimulator
+
+SIM = StatevectorSimulator()
+
+
+def run_counts(circuit, shots=20000, seed=7):
+    return SIM.run(circuit, shots=shots, seed=seed).counts
+
+
+class TestClassicalEstimation:
+    @pytest.mark.parametrize("theta", [0.4, 1.0, math.pi / 2, 2.4])
+    def test_recovers_population(self, theta):
+        qc = QuantumCircuit(1)
+        qc.ry(theta, 0)
+        record = append_classical_assertion(qc, 0, 0)
+        counts = run_counts(qc)
+        estimate = estimate_amplitudes_from_classical_assertion(counts, record)
+        expected_p1 = math.sin(theta / 2.0) ** 2
+        assert estimate["p1"] == pytest.approx(expected_p1, abs=0.02)
+        assert estimate["p0"] == pytest.approx(1 - expected_p1, abs=0.02)
+        low, high = estimate["p1_interval"]
+        assert low <= expected_p1 <= high
+
+    def test_kind_checked(self):
+        qc = QuantumCircuit(2)
+        record = append_parity_assertion(qc, [0, 1])
+        with pytest.raises(AssertionCircuitError, match="not a classical"):
+            estimate_amplitudes_from_classical_assertion(Counts({"0": 1}), record)
+
+    def test_empty_counts_rejected(self):
+        qc = QuantumCircuit(1)
+        record = append_classical_assertion(qc, 0, 0)
+        with pytest.raises(AssertionCircuitError, match="empty"):
+            estimate_amplitudes_from_classical_assertion(Counts(), record)
+
+    def test_multi_qubit_record_rejected(self):
+        qc = QuantumCircuit(2)
+        record = append_classical_assertion(qc, [0, 1], 0)
+        with pytest.raises(AssertionCircuitError, match="single-qubit"):
+            estimate_amplitudes_from_classical_assertion(Counts({"00": 1}), record)
+
+
+class TestSuperpositionEstimation:
+    @pytest.mark.parametrize("theta", [0.3, 0.8, math.pi / 2, 1.9])
+    def test_recovers_real_amplitudes(self, theta):
+        a, b = math.cos(theta / 2.0), math.sin(theta / 2.0)
+        qc = QuantumCircuit(1)
+        qc.ry(theta, 0)
+        record = append_superposition_assertion(qc, 0)
+        counts = run_counts(qc)
+        estimate = estimate_amplitudes_from_superposition_assertion(counts, record)
+        assert estimate["ab"] == pytest.approx(a * b, abs=0.02)
+        # Returned with a >= b; compare order-insensitively.
+        assert sorted([estimate["a"], estimate["b"]]) == pytest.approx(
+            sorted([a, b]), abs=0.05
+        )
+
+    def test_plus_input_estimates_equal_amplitudes(self):
+        qc = QuantumCircuit(1)
+        qc.h(0)
+        record = append_superposition_assertion(qc, 0)
+        estimate = estimate_amplitudes_from_superposition_assertion(
+            run_counts(qc), record
+        )
+        inv = 1 / math.sqrt(2)
+        assert estimate["a"] == pytest.approx(inv, abs=0.02)
+        assert estimate["b"] == pytest.approx(inv, abs=0.02)
+
+    def test_classical_input_signature(self):
+        """50% errors -> ab = 0 -> (a, b) = (1, 0): flags a classical state."""
+        qc = QuantumCircuit(1)
+        record = append_superposition_assertion(qc, 0)
+        estimate = estimate_amplitudes_from_superposition_assertion(
+            run_counts(qc), record
+        )
+        assert estimate["ab"] == pytest.approx(0.0, abs=0.02)
+        assert estimate["a"] == pytest.approx(1.0, abs=0.05)
+        assert estimate["b"] == pytest.approx(0.0, abs=0.05)
+
+    def test_kind_checked(self):
+        qc = QuantumCircuit(1)
+        record = append_classical_assertion(qc, 0, 0)
+        with pytest.raises(AssertionCircuitError, match="not a superposition"):
+            estimate_amplitudes_from_superposition_assertion(
+                Counts({"0": 1}), record
+            )
+
+
+class TestParityEstimation:
+    def test_recovers_odd_parity_weight(self):
+        import numpy as np
+
+        amps = np.array([0.7, 0.4, 0.5, math.sqrt(1 - 0.9)], dtype=complex)
+        amps /= np.linalg.norm(amps)
+        qc = QuantumCircuit(2)
+        record = append_parity_assertion(qc, [0, 1])
+        init = np.zeros(8, dtype=complex)
+        for idx, amp in enumerate(amps):
+            init[idx << 1] = amp
+        counts = SIM.run(qc, shots=20000, seed=9, initial_state=init).counts
+        estimate = estimate_odd_parity_weight(counts, record)
+        expected = abs(amps[1]) ** 2 + abs(amps[2]) ** 2
+        assert estimate["odd_parity_weight"] == pytest.approx(expected, abs=0.02)
+        low, high = estimate["interval"]
+        assert low <= expected <= high
+
+    def test_kind_checked(self):
+        qc = QuantumCircuit(1)
+        record = append_classical_assertion(qc, 0, 0)
+        with pytest.raises(AssertionCircuitError, match="not an entanglement"):
+            estimate_odd_parity_weight(Counts({"0": 1}), record)

@@ -1,0 +1,161 @@
+"""Tests for the extension assertions (X-parity, full GHZ check, swap test)."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.states import entanglement_entropy, state_fidelity
+from repro.circuits.circuit import QuantumCircuit
+from repro.circuits.library import bell_pair, ghz_state
+from repro.core.entanglement import append_entanglement_assertion
+from repro.core.extensions import (
+    append_equality_assertion,
+    append_ghz_assertion,
+    append_phase_parity_assertion,
+)
+from repro.core.injector import AssertionInjector
+from repro.exceptions import AssertionCircuitError
+from repro.simulators.postselection import postselected_statevector_after
+from repro.simulators.statevector import StatevectorSimulator
+
+SIM = StatevectorSimulator()
+
+
+class TestPhaseParityAssertion:
+    @pytest.mark.parametrize("n", [2, 3, 4, 5])
+    def test_ghz_passes_any_size(self, n):
+        """No even-count rule: the X..X stabilizer is deterministic for
+        every n (unlike the Z-parity of Fig. 4)."""
+        qc = ghz_state(n)
+        append_phase_parity_assertion(qc, list(range(n)))
+        assert SIM.exact_probabilities(qc) == {"0": pytest.approx(1.0)}
+
+    @pytest.mark.parametrize("n", [2, 3, 4])
+    def test_minus_ghz_fails(self, n):
+        qc = ghz_state(n)
+        qc.z(0)  # |0..0> - |1..1>
+        append_phase_parity_assertion(qc, list(range(n)))
+        assert SIM.exact_probabilities(qc) == {"1": pytest.approx(1.0)}
+
+    @pytest.mark.parametrize("n", [2, 3])
+    def test_minus_ghz_passes_with_expected_one(self, n):
+        qc = ghz_state(n)
+        qc.z(0)
+        append_phase_parity_assertion(qc, list(range(n)), expected_parity=1)
+        assert SIM.exact_probabilities(qc) == {"0": pytest.approx(1.0)}
+
+    def test_z_parity_blind_to_phase_flip(self):
+        """The gap this extension closes: the paper's Z-parity circuit
+        cannot see a phase flip."""
+        qc = bell_pair()
+        qc.z(0)  # phase error
+        append_entanglement_assertion(qc, [0, 1])  # paper's check
+        assert SIM.exact_probabilities(qc) == {"0": pytest.approx(1.0)}  # blind!
+        qc2 = bell_pair()
+        qc2.z(0)
+        append_phase_parity_assertion(qc2, [0, 1])  # extension
+        assert SIM.exact_probabilities(qc2) == {"1": pytest.approx(1.0)}  # caught
+
+    def test_ancilla_disentangles(self):
+        qc = ghz_state(3)
+        append_phase_parity_assertion(qc, [0, 1, 2])
+        pre = qc.copy()
+        pre.data = [i for i in pre.data if i.name != "measure"]
+        state = SIM.final_statevector(pre)
+        assert entanglement_entropy(state, [3]) == pytest.approx(0.0, abs=1e-9)
+
+    def test_ghz_state_preserved_on_pass(self):
+        qc = ghz_state(3)
+        append_phase_parity_assertion(qc, [0, 1, 2])
+        state, prob = postselected_statevector_after(qc, {0: 0})
+        assert prob == pytest.approx(1.0)
+        ghz = np.zeros(16, dtype=complex)
+        ghz[0b0000] = ghz[0b1110] = 1 / math.sqrt(2)
+        assert state_fidelity(state.data, ghz) == pytest.approx(1.0, abs=1e-9)
+
+    def test_validation(self):
+        with pytest.raises(AssertionCircuitError):
+            append_phase_parity_assertion(QuantumCircuit(2), [0])
+        with pytest.raises(AssertionCircuitError, match="duplicate"):
+            append_phase_parity_assertion(QuantumCircuit(2), [0, 0])
+        with pytest.raises(AssertionCircuitError):
+            append_phase_parity_assertion(QuantumCircuit(2), [0, 1], expected_parity=3)
+
+
+class TestFullGHZAssertion:
+    @pytest.mark.parametrize("n", [2, 3, 4])
+    def test_ghz_passes_all_checks(self, n):
+        qc = ghz_state(n)
+        records = append_ghz_assertion(qc, list(range(n)))
+        assert len(records) == n  # n-1 Z-pairs + 1 X-parity
+        probs = SIM.exact_probabilities(qc)
+        assert probs == {"0" * n: pytest.approx(1.0)}
+
+    @pytest.mark.parametrize(
+        "bug,description",
+        [
+            (lambda qc: qc.x(1), "bit flip"),
+            (lambda qc: qc.z(2), "phase flip"),
+            (lambda qc: qc.h(0), "coherent error"),
+        ],
+        ids=["bitflip", "phaseflip", "coherent"],
+    )
+    def test_every_single_qubit_error_detected(self, bug, description):
+        """Completeness: any non-GHZ deviation trips at least one check
+        with non-zero probability."""
+        qc = ghz_state(3)
+        bug(qc)
+        append_ghz_assertion(qc, [0, 1, 2])
+        probs = SIM.exact_probabilities(qc)
+        all_pass = probs.get("000", 0.0)
+        assert all_pass < 1.0 - 1e-9
+
+    def test_injector_entry_point(self):
+        injector = AssertionInjector(ghz_state(3))
+        records = injector.assert_ghz([0, 1, 2])
+        assert len(records) == 3
+        assert injector.num_ancillas == 3
+
+
+class TestEqualityAssertion:
+    def test_equal_states_never_trip(self):
+        qc = QuantumCircuit(2)
+        qc.ry(0.9, 0)
+        qc.ry(0.9, 1)
+        append_equality_assertion(qc, 0, 1)
+        assert SIM.exact_probabilities(qc) == {"0": pytest.approx(1.0)}
+
+    def test_orthogonal_states_trip_half(self):
+        qc = QuantumCircuit(2)
+        qc.x(1)
+        append_equality_assertion(qc, 0, 1)
+        probs = SIM.exact_probabilities(qc)
+        assert probs["1"] == pytest.approx(0.5)
+
+    @given(
+        theta_a=st.floats(min_value=0.0, max_value=math.pi),
+        theta_b=st.floats(min_value=0.0, max_value=math.pi),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_error_probability_formula(self, theta_a, theta_b):
+        """P(error) = (1 - |<a|b>|^2) / 2."""
+        qc = QuantumCircuit(2)
+        qc.ry(theta_a, 0)
+        qc.ry(theta_b, 1)
+        append_equality_assertion(qc, 0, 1)
+        probs = SIM.exact_probabilities(qc)
+        overlap = math.cos((theta_a - theta_b) / 2.0) ** 2
+        assert probs.get("1", 0.0) == pytest.approx((1 - overlap) / 2, abs=1e-9)
+
+    def test_distinct_qubits_required(self):
+        with pytest.raises(AssertionCircuitError, match="distinct"):
+            append_equality_assertion(QuantumCircuit(1), 0, 0)
+
+    def test_injector_entry_point(self):
+        injector = AssertionInjector(QuantumCircuit(2))
+        record = injector.assert_equal(0, 1)
+        assert record.qubits == (0, 1)
+        assert record.label == "equal(0,1)"

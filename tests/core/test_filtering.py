@@ -1,0 +1,107 @@
+"""Tests for assertion-outcome filtering (the paper's §4 post-selection)."""
+
+import pytest
+
+from repro.core.filtering import (
+    assertion_error_rate,
+    error_rate_reduction,
+    evaluate_assertions,
+    postselect_passing,
+    result_error_rate,
+)
+from repro.core.types import AssertionKind, AssertionRecord
+from repro.exceptions import AssertionCircuitError
+from repro.results.counts import Counts
+
+
+def make_record(clbit, expected=0, label="a", qubits=(0,), ancillas=(9,)):
+    return AssertionRecord(
+        kind=AssertionKind.CLASSICAL,
+        qubits=qubits,
+        ancillas=ancillas,
+        clbits=(clbit,),
+        expected=(expected,),
+        label=label,
+    )
+
+
+class TestEvaluateAssertions:
+    def test_split_and_bit_removal(self):
+        # bit 0 = assertion, bits 1-2 = program result.
+        counts = Counts({"000": 70, "011": 20, "100": 7, "111": 3})
+        record = make_record(0)
+        report = evaluate_assertions(counts, [record])
+        assert report.total_shots == 100
+        assert report.pass_rate == pytest.approx(0.9)
+        assert report.passing == {"00": 70, "11": 20}
+        assert report.failing == {"00": 7, "11": 3}
+        assert report.per_assertion_error_rate["a"] == pytest.approx(0.1)
+
+    def test_expected_one_semantics(self):
+        counts = Counts({"10": 80, "00": 20})
+        record = make_record(0, expected=1)
+        report = evaluate_assertions(counts, [record])
+        assert report.pass_rate == pytest.approx(0.8)
+
+    def test_multiple_records_all_must_pass(self):
+        counts = Counts({"00x".replace("x", "0"): 50, "010": 25, "100": 25})
+        records = [make_record(0, label="first"), make_record(1, label="second",
+                                                              ancillas=(8,))]
+        report = evaluate_assertions(counts, records)
+        assert report.pass_rate == pytest.approx(0.5)
+        assert report.per_assertion_error_rate["first"] == pytest.approx(0.25)
+        assert report.per_assertion_error_rate["second"] == pytest.approx(0.25)
+
+    def test_no_records_rejected(self):
+        with pytest.raises(AssertionCircuitError):
+            evaluate_assertions(Counts({"0": 1}), [])
+
+    def test_shared_clbits_rejected(self):
+        counts = Counts({"00": 1})
+        with pytest.raises(AssertionCircuitError, match="share"):
+            evaluate_assertions(counts, [make_record(0), make_record(0)])
+
+    def test_clbit_outside_histogram_rejected(self):
+        with pytest.raises(AssertionCircuitError, match="outside"):
+            evaluate_assertions(Counts({"0": 1}), [make_record(3)])
+
+    def test_all_bits_are_assertions(self):
+        counts = Counts({"0": 9, "1": 1})
+        report = evaluate_assertions(counts, [make_record(0)])
+        assert report.passing.shots == 9
+        assert report.passing.num_bits == 0 or report.passing == {"": 9}
+
+    def test_discard_fraction(self):
+        counts = Counts({"00": 90, "10": 10})
+        report = evaluate_assertions(counts, [make_record(0)])
+        assert report.discard_fraction() == pytest.approx(0.1)
+
+
+class TestHelpers:
+    def test_postselect_passing(self):
+        counts = Counts({"000": 70, "100": 30})
+        filtered = postselect_passing(counts, [make_record(0)])
+        assert filtered == {"00": 70}
+
+    def test_assertion_error_rate(self):
+        counts = Counts({"00": 75, "10": 25})
+        assert assertion_error_rate(counts, [make_record(0)]) == pytest.approx(0.25)
+
+    def test_error_rate_reduction_matches_paper_arithmetic(self):
+        """Table 1: 3.5% raw -> 2.5% filtered is a 28.5% reduction."""
+        assert error_rate_reduction(0.035, 0.025) == pytest.approx(0.2857, abs=1e-3)
+
+    def test_error_rate_reduction_zero_raw(self):
+        assert error_rate_reduction(0.0, 0.0) == 0.0
+
+    def test_error_rate_reduction_validation(self):
+        with pytest.raises(AssertionCircuitError):
+            error_rate_reduction(-0.1, 0.0)
+
+    def test_result_error_rate(self):
+        counts = Counts({"00": 45, "11": 45, "01": 6, "10": 4})
+        assert result_error_rate(counts, ["00", "11"]) == pytest.approx(0.10)
+
+    def test_result_error_rate_empty_rejected(self):
+        with pytest.raises(AssertionCircuitError):
+            result_error_rate(Counts(), ["00"])

@@ -1,0 +1,113 @@
+"""Tests for the AssertionInjector program-instrumentation API."""
+
+import pytest
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.circuits.library import bell_pair, ghz_state
+from repro.core.injector import AssertionInjector
+from repro.exceptions import AssertionCircuitError
+from repro.simulators.statevector import StatevectorSimulator
+
+SIM = StatevectorSimulator()
+
+
+class TestBasicInstrumentation:
+    def test_program_untouched(self):
+        program = bell_pair()
+        before = len(program)
+        injector = AssertionInjector(program)
+        injector.assert_entangled([0, 1])
+        assert len(program) == before
+
+    def test_assertion_entry_points(self):
+        injector = AssertionInjector(QuantumCircuit(3))
+        injector.assert_classical(0, 0)
+        injector.assert_entangled([0, 1])
+        injector.assert_superposition(2)
+        injector.assert_state(0, 0.3, 0.1)
+        injector.assert_parity([0, 1])
+        assert len(injector.records) == 5
+
+    def test_assert_uniform_covers_each_qubit(self):
+        injector = AssertionInjector(QuantumCircuit(3))
+        records = injector.assert_uniform([0, 1, 2])
+        assert len(records) == 3
+        assert {r.qubits[0] for r in records} == {0, 1, 2}
+
+    def test_ancillas_count(self):
+        injector = AssertionInjector(ghz_state(4))
+        injector.assert_entangled([0, 1, 2, 3], mode="pairwise")
+        assert injector.num_ancillas == 3
+
+    def test_assertion_clbits_sorted(self):
+        injector = AssertionInjector(QuantumCircuit(2))
+        injector.assert_classical(0, 0)
+        injector.assert_classical(1, 0)
+        assert injector.assertion_clbits == [0, 1]
+
+
+class TestProgramContinuation:
+    def test_apply_appends_on_program_bits(self):
+        stage1 = QuantumCircuit(2)
+        stage1.h(0)
+        injector = AssertionInjector(stage1)
+        injector.assert_superposition(0)
+        stage2 = QuantumCircuit(2)
+        stage2.cx(0, 1)
+        injector.apply(stage2)
+        injector.assert_entangled([0, 1])
+        injector.measure_program()
+        result = SIM.run(injector.circuit, shots=500, seed=3)
+        from repro.core.filtering import postselect_passing
+
+        filtered = postselect_passing(result.counts, injector.records)
+        assert set(filtered) == {"00", "11"}
+
+    def test_apply_size_validated(self):
+        injector = AssertionInjector(QuantumCircuit(1))
+        with pytest.raises(AssertionCircuitError, match="continuation"):
+            injector.apply(QuantumCircuit(2))
+
+    def test_apply_cannot_touch_ancillas(self):
+        injector = AssertionInjector(QuantumCircuit(1))
+        injector.assert_classical(0, 0)  # allocates qubit 1
+        continuation = QuantumCircuit(1)
+        continuation.x(0)
+        injector.apply(continuation)
+        # The X must land on program qubit 0, not the ancilla.
+        assert injector.circuit.data[-1].qubits == (0,)
+
+    def test_measure_program_defaults_to_all(self):
+        injector = AssertionInjector(bell_pair())
+        injector.assert_entangled([0, 1])
+        clbits = injector.measure_program()
+        assert len(clbits) == 2
+        # Result clbits come after the assertion clbit.
+        assert min(clbits) > injector.records[0].clbits[0]
+
+    def test_measure_program_subset(self):
+        injector = AssertionInjector(bell_pair())
+        clbits = injector.measure_program([1])
+        assert len(clbits) == 1
+
+    def test_measure_program_rejects_ancilla(self):
+        injector = AssertionInjector(bell_pair())
+        injector.assert_entangled([0, 1])  # ancilla is qubit 2
+        with pytest.raises(AssertionCircuitError, match="not a program qubit"):
+            injector.measure_program([2])
+
+
+class TestOverheadAccounting:
+    def test_overhead_fields(self):
+        injector = AssertionInjector(bell_pair())
+        injector.assert_entangled([0, 1])
+        overhead = injector.overhead()
+        assert overhead["extra_qubits"] == 1
+        assert overhead["extra_clbits"] == 1
+        assert overhead["extra_cx"] == 2  # the two parity CNOTs
+        assert overhead["num_assertions"] == 1
+
+    def test_repr(self):
+        injector = AssertionInjector(bell_pair())
+        injector.assert_entangled([0, 1])
+        assert "assertions=1" in repr(injector)

@@ -1,0 +1,178 @@
+"""Tests for the superposition assertion (paper §3.3, Fig. 5) and the
+rotated-basis state assertion generalisation.
+
+Numerically re-derives the section's algebra: |+> / |-> give deterministic
+ancilla outcomes; real inputs obey P(error) = (2 - 4ab)/4; any input exits
+in an equal-magnitude superposition after the ancilla measurement.
+"""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.states import partial_trace, state_fidelity
+from repro.circuits.circuit import QuantumCircuit
+from repro.core.superposition import (
+    append_state_assertion,
+    append_superposition_assertion,
+    superposition_error_probability,
+)
+from repro.core.types import AssertionKind
+from repro.exceptions import AssertionCircuitError
+from repro.simulators.postselection import postselected_statevector_after
+from repro.simulators.statevector import StatevectorSimulator
+
+SIM = StatevectorSimulator()
+
+
+def asserted(prep, sign="+"):
+    qc = QuantumCircuit(1)
+    prep(qc)
+    record = append_superposition_assertion(qc, 0, sign=sign)
+    return qc, record
+
+
+class TestDeterministicCases:
+    def test_plus_passes(self):
+        qc, _ = asserted(lambda c: c.h(0))
+        assert SIM.exact_probabilities(qc) == {"0": pytest.approx(1.0)}
+
+    def test_minus_fails_plus_assertion(self):
+        qc, _ = asserted(lambda c: (c.x(0), c.h(0)))
+        assert SIM.exact_probabilities(qc) == {"1": pytest.approx(1.0)}
+
+    def test_minus_mode_expected_one(self):
+        qc, record = asserted(lambda c: (c.x(0), c.h(0)), sign="-")
+        assert record.expected == (1,)
+        probs = SIM.exact_probabilities(qc)
+        assert probs == {"1": pytest.approx(1.0)}
+        assert record.passes("1")
+
+    def test_plus_state_preserved_after_assertion(self):
+        qc, _ = asserted(lambda c: c.h(0))
+        state, prob = postselected_statevector_after(qc, {0: 0})
+        assert prob == pytest.approx(1.0)
+        reduced = partial_trace(state, keep=[0])
+        plus = np.array([[0.5, 0.5], [0.5, 0.5]], dtype=complex)
+        assert state_fidelity(reduced, plus) == pytest.approx(1.0, abs=1e-9)
+
+
+class TestClassicalInputs:
+    @pytest.mark.parametrize("prep", [lambda c: None, lambda c: c.x(0)],
+                             ids=["zero", "one"])
+    def test_fifty_percent_error(self, prep):
+        """The Fig. 7 signature: a classical input errs exactly half the time."""
+        qc, _ = asserted(prep)
+        probs = SIM.exact_probabilities(qc)
+        assert probs["0"] == pytest.approx(0.5)
+        assert probs["1"] == pytest.approx(0.5)
+
+    @pytest.mark.parametrize("outcome", [0, 1])
+    def test_forced_into_equal_superposition(self, outcome):
+        """Whatever the ancilla reads, the qubit exits with 50/50 weights."""
+        qc, _ = asserted(lambda c: None)
+        state, _prob = postselected_statevector_after(qc, {0: outcome})
+        reduced = partial_trace(state, keep=[0])
+        assert reduced[0, 0] == pytest.approx(0.5, abs=1e-9)
+        assert reduced[1, 1] == pytest.approx(0.5, abs=1e-9)
+
+
+class TestErrorFormula:
+    @given(theta=st.floats(min_value=0.0, max_value=math.pi))
+    @settings(max_examples=50, deadline=None)
+    def test_matches_paper_formula(self, theta):
+        """P(error) = (2 - 4ab)/4 for real a = cos(t/2), b = sin(t/2)."""
+        a, b = math.cos(theta / 2.0), math.sin(theta / 2.0)
+        qc, _ = asserted(lambda c: c.ry(theta, 0))
+        probs = SIM.exact_probabilities(qc)
+        assert probs.get("1", 0.0) == pytest.approx(
+            superposition_error_probability(a, b), abs=1e-9
+        )
+
+    def test_formula_validation(self):
+        with pytest.raises(AssertionCircuitError, match="normalis"):
+            superposition_error_probability(1.0, 1.0)
+
+    def test_formula_extremes(self):
+        inv = 1 / math.sqrt(2)
+        assert superposition_error_probability(inv, inv) == pytest.approx(0.0)
+        assert superposition_error_probability(inv, -inv) == pytest.approx(1.0)
+        assert superposition_error_probability(1.0, 0.0) == pytest.approx(0.5)
+
+
+class TestCircuitStructure:
+    def test_gate_sequence_matches_fig5(self):
+        qc, _ = asserted(lambda c: None)
+        names = [inst.name for inst in qc]
+        assert names == ["cx", "h", "h", "cx", "measure"]
+
+    def test_record_fields(self):
+        qc, record = asserted(lambda c: None)
+        assert record.kind is AssertionKind.SUPERPOSITION
+        assert record.qubits == (0,)
+        assert record.ancillas == (1,)
+
+    def test_invalid_sign(self):
+        with pytest.raises(AssertionCircuitError):
+            append_superposition_assertion(QuantumCircuit(1), 0, sign="x")
+
+
+class TestStateAssertion:
+    @given(
+        theta=st.floats(min_value=0.0, max_value=math.pi),
+        phi=st.floats(min_value=0.0, max_value=2 * math.pi),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_target_state_always_passes(self, theta, phi):
+        qc = QuantumCircuit(1)
+        qc.u3(theta, phi, 0.0, 0)
+        append_state_assertion(qc, 0, theta, phi)
+        probs = SIM.exact_probabilities(qc)
+        assert probs.get("0", 0.0) == pytest.approx(1.0, abs=1e-9)
+
+    @given(
+        target=st.floats(min_value=0.0, max_value=math.pi),
+        actual=st.floats(min_value=0.0, max_value=math.pi),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_error_probability_is_infidelity(self, target, actual):
+        """P(error) = 1 - |<target|actual>|^2."""
+        qc = QuantumCircuit(1)
+        qc.ry(actual, 0)
+        append_state_assertion(qc, 0, target, 0.0)
+        probs = SIM.exact_probabilities(qc)
+        overlap = math.cos((target - actual) / 2.0) ** 2
+        assert probs.get("1", 0.0) == pytest.approx(1.0 - overlap, abs=1e-9)
+
+    def test_pass_projects_onto_target(self):
+        target_theta, target_phi = 1.1, 0.6
+        qc = QuantumCircuit(1)
+        qc.h(0)  # wrong state on purpose
+        append_state_assertion(qc, 0, target_theta, target_phi)
+        state, _prob = postselected_statevector_after(qc, {0: 0})
+        reduced = partial_trace(state, keep=[0])
+        target = np.array(
+            [
+                math.cos(target_theta / 2.0),
+                np.exp(1j * target_phi) * math.sin(target_theta / 2.0),
+            ],
+            dtype=complex,
+        )
+        assert state_fidelity(reduced, target) == pytest.approx(1.0, abs=1e-9)
+
+    def test_reduces_to_classical_assertion_at_theta_zero(self):
+        qc = QuantumCircuit(1)
+        qc.h(0)
+        append_state_assertion(qc, 0, 0.0, 0.0)
+        probs = SIM.exact_probabilities(qc)
+        assert probs.get("1", 0.0) == pytest.approx(0.5)
+
+    def test_reduces_to_plus_assertion_at_theta_half_pi(self):
+        qc = QuantumCircuit(1)
+        qc.h(0)
+        append_state_assertion(qc, 0, math.pi / 2.0, 0.0)
+        probs = SIM.exact_probabilities(qc)
+        assert probs.get("0", 0.0) == pytest.approx(1.0)

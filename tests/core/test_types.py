@@ -1,0 +1,67 @@
+"""Tests for assertion record bookkeeping."""
+
+import pytest
+
+from repro.core.types import AssertionKind, AssertionRecord
+from repro.exceptions import AssertionCircuitError
+
+
+def record(**overrides):
+    base = dict(
+        kind=AssertionKind.CLASSICAL,
+        qubits=(0,),
+        ancillas=(1,),
+        clbits=(0,),
+        expected=(0,),
+        label="demo",
+    )
+    base.update(overrides)
+    return AssertionRecord(**base)
+
+
+class TestValidation:
+    def test_requires_qubits(self):
+        with pytest.raises(AssertionCircuitError):
+            record(qubits=())
+
+    def test_ancilla_clbit_alignment(self):
+        with pytest.raises(AssertionCircuitError):
+            record(ancillas=(1, 2))
+
+    def test_expected_alignment(self):
+        with pytest.raises(AssertionCircuitError):
+            record(expected=(0, 0))
+
+    def test_expected_binary(self):
+        with pytest.raises(AssertionCircuitError):
+            record(expected=(2,))
+
+    def test_ancilla_disjoint_from_tested(self):
+        with pytest.raises(AssertionCircuitError):
+            record(ancillas=(0,))
+
+
+class TestPasses:
+    def test_passes_on_expected_value(self):
+        rec = record(expected=(0,))
+        assert rec.passes("00")
+        assert not rec.passes("10")  # clbit 0 reads 1
+
+    def test_expected_one(self):
+        rec = record(expected=(1,))
+        assert rec.passes("10")
+        assert not rec.passes("00")
+
+    def test_multi_bit_record(self):
+        rec = record(ancillas=(1, 2), clbits=(0, 1), expected=(0, 0))
+        assert rec.passes("00x"[:2] + "0")
+        assert not rec.passes("010")
+
+    def test_num_ancillas(self):
+        assert record().num_ancillas == 1
+
+    def test_describe_mentions_label(self):
+        assert "demo" in record().describe()
+
+    def test_kind_str(self):
+        assert str(AssertionKind.SUPERPOSITION) == "superposition"

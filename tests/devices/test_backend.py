@@ -1,0 +1,89 @@
+"""Tests for the execution backends."""
+
+import pytest
+
+from repro.circuits import library
+from repro.circuits.circuit import QuantumCircuit
+from repro.devices.backend import (
+    Backend,
+    DensityMatrixBackend,
+    NoisyDeviceBackend,
+    StabilizerBackend,
+    StatevectorBackend,
+    TrajectoryDeviceBackend,
+)
+from repro.exceptions import DeviceError
+
+
+def measured_bell():
+    qc = library.bell_pair()
+    qc.measure_all()
+    return qc
+
+
+class TestIdealBackends:
+    def test_abstract_backend_raises(self):
+        with pytest.raises(NotImplementedError):
+            Backend().run(QuantumCircuit(1))
+
+    @pytest.mark.parametrize(
+        "backend_cls", [StatevectorBackend, DensityMatrixBackend, StabilizerBackend]
+    )
+    def test_bell_distribution(self, backend_cls):
+        result = backend_cls().run(measured_bell(), shots=2000, seed=3)
+        assert set(result.counts) == {"00", "11"}
+        assert result.counts.shots == 2000
+
+    def test_repr(self):
+        assert "statevector" in repr(StatevectorBackend())
+
+
+class TestNoisyDeviceBackend:
+    def test_runs_transpiled(self, ibmqx4_device):
+        backend = NoisyDeviceBackend(ibmqx4_device, noise_scale=1.0)
+        result = backend.run(measured_bell(), shots=2000, seed=4)
+        # Noise spreads mass beyond the Bell outcomes.
+        assert result.counts.get("00", 0) + result.counts.get("11", 0) < 2000
+        assert result.metadata["device"] == "ibmqx4"
+        ops = result.metadata["transpiled_ops"]
+        assert set(ops) <= {"u1", "u2", "u3", "cx", "measure", "barrier"}
+
+    def test_zero_scale_is_noiseless(self, ibmqx4_device):
+        backend = NoisyDeviceBackend(ibmqx4_device, noise_scale=0.0)
+        result = backend.run(measured_bell(), shots=500, seed=5)
+        assert set(result.counts) == {"00", "11"}
+
+    def test_too_many_qubits_rejected(self, ibmqx4_device):
+        backend = NoisyDeviceBackend(ibmqx4_device)
+        with pytest.raises(DeviceError, match="has 5"):
+            backend.run(QuantumCircuit(6))
+
+    def test_no_transpile_mode_requires_native(self, ibmqx4_device):
+        backend = NoisyDeviceBackend(ibmqx4_device, transpile=False)
+        qc = QuantumCircuit(5, 1)
+        qc.cx(2, 1)  # native direction
+        qc.measure(1, 0)
+        result = backend.run(qc, shots=100, seed=6)
+        assert result.counts.shots == 100
+
+    def test_prepare_returns_native_circuit(self, ibmqx4_device):
+        backend = NoisyDeviceBackend(ibmqx4_device)
+        prepared = backend.prepare(measured_bell())
+        for inst in prepared.data:
+            if inst.name == "cx":
+                assert ibmqx4_device.coupling_map.supports(*inst.qubits)
+
+
+class TestTrajectoryDeviceBackend:
+    def test_matches_noisy_dm_backend_roughly(self, ibmqx4_device):
+        dm = NoisyDeviceBackend(ibmqx4_device)
+        tj = TrajectoryDeviceBackend(ibmqx4_device)
+        circuit = measured_bell()
+        exact = dm.run(circuit, shots=1, seed=1).probabilities
+        sampled = tj.run(circuit, shots=4000, seed=1).counts
+        for key, p in exact.items():
+            assert abs(sampled.get(key, 0) / 4000 - p) < 0.06
+
+    def test_size_validation(self, ibmqx4_device):
+        with pytest.raises(DeviceError):
+            TrajectoryDeviceBackend(ibmqx4_device).run(QuantumCircuit(7))

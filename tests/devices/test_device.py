@@ -1,0 +1,122 @@
+"""Tests for DeviceModel and calibration-to-noise-model compilation."""
+
+import numpy as np
+import pytest
+
+from repro.devices.calibration import GateCalibration, QubitCalibration
+from repro.devices.device import DeviceModel
+from repro.devices.topology import CouplingMap
+from repro.exceptions import DeviceError
+
+
+def tiny_device():
+    coupling = CouplingMap([(0, 1), (1, 0)], num_qubits=2)
+    qubits = [
+        QubitCalibration(t1=50_000, t2=40_000, readout_p0_given_1=0.05,
+                         readout_p1_given_0=0.02),
+        QubitCalibration(t1=60_000, t2=50_000, readout_p0_given_1=0.04,
+                         readout_p1_given_0=0.03),
+    ]
+    gates = [
+        GateCalibration("u3", (0,), 1e-3, 100.0),
+        GateCalibration("u3", (1,), 2e-3, 100.0),
+        GateCalibration("cx", (0, 1), 2e-2, 300.0),
+    ]
+    return DeviceModel("tiny", coupling, ("u1", "u2", "u3", "cx"), qubits, gates)
+
+
+class TestCalibrationValidation:
+    def test_t2_bound(self):
+        with pytest.raises(DeviceError):
+            QubitCalibration(t1=10, t2=25, readout_p0_given_1=0, readout_p1_given_0=0)
+
+    def test_negative_t1(self):
+        with pytest.raises(DeviceError):
+            QubitCalibration(t1=-1, t2=1, readout_p0_given_1=0, readout_p1_given_0=0)
+
+    def test_readout_probability_range(self):
+        with pytest.raises(DeviceError):
+            QubitCalibration(t1=10, t2=10, readout_p0_given_1=2.0,
+                             readout_p1_given_0=0.0)
+
+    def test_gate_error_range(self):
+        with pytest.raises(DeviceError):
+            GateCalibration("cx", (0, 1), 1.5, 100.0)
+
+    def test_gate_name_normalised(self):
+        assert GateCalibration("CX", (0, 1), 0.01, 100.0).name == "cx"
+
+    def test_readout_error_rate_average(self):
+        qcal = QubitCalibration(t1=10, t2=10, readout_p0_given_1=0.06,
+                                readout_p1_given_0=0.02)
+        assert qcal.readout_error_rate == pytest.approx(0.04)
+
+
+class TestDeviceModel:
+    def test_qubit_calibration_count_checked(self):
+        coupling = CouplingMap([(0, 1)], num_qubits=2)
+        with pytest.raises(DeviceError, match="calibrations"):
+            DeviceModel("bad", coupling, ("cx",), [], [])
+
+    def test_gate_calibration_lookup(self):
+        device = tiny_device()
+        assert device.gate_calibration("cx", (0, 1)).error_rate == pytest.approx(0.02)
+        assert device.gate_calibration("cx", (1, 0)) is None
+
+    def test_default_gate_calibration(self):
+        coupling = CouplingMap([(0, 1)], num_qubits=2)
+        qubits = [
+            QubitCalibration(t1=10_000, t2=10_000, readout_p0_given_1=0.0,
+                             readout_p1_given_0=0.0)
+        ] * 2
+        device = DeviceModel(
+            "defaults", coupling, ("u3", "cx"), qubits,
+            [GateCalibration("u3", (), 1e-3, 0.0)],
+        )
+        assert device.gate_calibration("u3", (1,)).error_rate == pytest.approx(1e-3)
+
+    def test_average_cx_error(self):
+        assert tiny_device().average_cx_error() == pytest.approx(0.02)
+
+
+class TestNoiseModelCompilation:
+    def test_zero_scale_is_ideal(self):
+        assert tiny_device().noise_model(scale=0.0).is_ideal()
+
+    def test_negative_scale_rejected(self):
+        with pytest.raises(DeviceError):
+            tiny_device().noise_model(scale=-1.0)
+
+    def test_noisy_gates_registered(self):
+        model = tiny_device().noise_model()
+        assert "cx" in model.noisy_gates
+        assert "u3" in model.noisy_gates
+
+    def test_readout_confusion_compiled(self):
+        model = tiny_device().noise_model()
+        matrix = model.readout_confusion(0)
+        assert matrix[0][1] == pytest.approx(0.05)
+        assert matrix[1][0] == pytest.approx(0.02)
+
+    def test_scale_multiplies_readout(self):
+        model = tiny_device().noise_model(scale=2.0)
+        assert model.readout_confusion(0)[0][1] == pytest.approx(0.10)
+
+    def test_error_rates_shape_simulation(self):
+        """End-to-end sanity: a noisier scale gives a higher error rate."""
+        from repro.circuits.circuit import QuantumCircuit
+        from repro.simulators.density_matrix import DensityMatrixSimulator
+
+        device = tiny_device()
+        qc = QuantumCircuit(2, 2)
+        qc.cx(0, 1)
+        qc.measure([0, 1], [0, 1])
+
+        def error_rate(scale):
+            sim = DensityMatrixSimulator(noise_model=device.noise_model(scale))
+            probs = sim.run(qc, shots=1).probabilities
+            return 1.0 - probs.get("00", 0.0)
+
+        low, high = error_rate(0.5), error_rate(4.0)
+        assert low < high
+        assert 0.0 < low < 0.2

@@ -1,0 +1,63 @@
+"""Tests for the generic parametric devices."""
+
+import pytest
+
+from repro.devices.generic import (
+    fully_connected_device,
+    grid_device,
+    linear_device,
+)
+from repro.exceptions import DeviceError
+
+
+class TestLinearDevice:
+    def test_chain_edges_bidirectional(self):
+        device = linear_device(4)
+        cmap = device.coupling_map
+        for q in range(3):
+            assert cmap.supports(q, q + 1)
+            assert cmap.supports(q + 1, q)
+        assert not cmap.connected(0, 2)
+
+    def test_minimum_size(self):
+        with pytest.raises(DeviceError):
+            linear_device(1)
+
+    def test_calibrations_cover_all_qubits(self):
+        device = linear_device(5)
+        assert len(device.qubit_calibrations) == 5
+        for q in range(5):
+            assert device.gate_calibration("u3", (q,)) is not None
+
+
+class TestGridDevice:
+    def test_grid_shape(self):
+        device = grid_device(2, 3)
+        assert device.num_qubits == 6
+        cmap = device.coupling_map
+        assert cmap.connected(0, 1)   # row neighbour
+        assert cmap.connected(0, 3)   # column neighbour
+        assert not cmap.connected(0, 4)  # diagonal
+
+    def test_single_cell_rejected(self):
+        with pytest.raises(DeviceError):
+            grid_device(1, 1)
+
+
+class TestFullyConnected:
+    def test_every_pair_connected(self):
+        device = fully_connected_device(4)
+        cmap = device.coupling_map
+        for a in range(4):
+            for b in range(4):
+                if a != b:
+                    assert cmap.supports(a, b)
+
+    def test_custom_error_rates(self):
+        device = fully_connected_device(3, cx_error=0.05)
+        assert device.average_cx_error() == pytest.approx(0.05)
+
+    def test_names(self):
+        assert linear_device(3).name == "linear_3"
+        assert grid_device(2, 2).name == "grid_2x2"
+        assert fully_connected_device(3, name="custom").name == "custom"

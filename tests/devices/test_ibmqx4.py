@@ -1,0 +1,61 @@
+"""Tests for the ibmqx4 device model (the paper's hardware substrate)."""
+
+import pytest
+
+from repro.devices.ibmqx4 import IBMQX4_EDGES, ibmqx4
+
+
+class TestTopology:
+    def test_five_qubits(self, ibmqx4_device):
+        assert ibmqx4_device.num_qubits == 5
+
+    def test_directed_bowtie_edges(self, ibmqx4_device):
+        assert set(ibmqx4_device.coupling_map.directed_edges) == set(IBMQX4_EDGES)
+
+    def test_paper_table1_constraint(self, ibmqx4_device):
+        """CX(q1 -> q2) is NOT native — the paper had to fix direction."""
+        cmap = ibmqx4_device.coupling_map
+        assert not cmap.supports(1, 2)
+        assert cmap.supports(2, 1)
+
+    def test_paper_table2_ancilla_choice(self, ibmqx4_device):
+        """Both parity CNOTs (q1 -> q0, q2 -> q0) are native, which is why
+        the paper used q0 as the entanglement-assertion ancilla."""
+        cmap = ibmqx4_device.coupling_map
+        assert cmap.supports(1, 0)
+        assert cmap.supports(2, 0)
+
+    def test_connected(self, ibmqx4_device):
+        assert ibmqx4_device.coupling_map.is_connected()
+
+
+class TestCalibration:
+    def test_basis_gates(self, ibmqx4_device):
+        assert set(ibmqx4_device.basis_gates) == {"u1", "u2", "u3", "cx"}
+
+    def test_cx_error_rates_in_hardware_regime(self, ibmqx4_device):
+        for edge in IBMQX4_EDGES:
+            cal = ibmqx4_device.gate_calibration("cx", edge)
+            assert cal is not None
+            assert 0.01 < cal.error_rate < 0.08
+
+    def test_u1_is_virtual(self, ibmqx4_device):
+        for qubit in range(5):
+            cal = ibmqx4_device.gate_calibration("u1", (qubit,))
+            assert cal.error_rate == 0.0
+            assert cal.duration_ns == 0.0
+
+    def test_readout_errors_in_regime(self, ibmqx4_device):
+        for qcal in ibmqx4_device.qubit_calibrations:
+            assert 0.01 < qcal.readout_error_rate < 0.10
+
+    def test_t2_physical(self, ibmqx4_device):
+        for qcal in ibmqx4_device.qubit_calibrations:
+            assert qcal.t2 <= 2 * qcal.t1
+
+    def test_noise_model_compiles(self, ibmqx4_device):
+        model = ibmqx4_device.noise_model()
+        assert not model.is_ideal()
+        assert "cx" in model.noisy_gates
+        for qubit in range(5):
+            assert model.readout_confusion(qubit) is not None

@@ -1,0 +1,80 @@
+"""Tests for coupling maps."""
+
+import pytest
+
+from repro.devices.topology import CouplingMap
+from repro.exceptions import DeviceError
+
+
+def bowtie():
+    """The ibmqx4 directed bow-tie."""
+    return CouplingMap([(1, 0), (2, 0), (2, 1), (3, 2), (3, 4), (2, 4)], num_qubits=5)
+
+
+class TestConstruction:
+    def test_inferred_size(self):
+        assert CouplingMap([(0, 1), (1, 2)]).num_qubits == 3
+
+    def test_explicit_size_validated(self):
+        with pytest.raises(DeviceError, match="smaller"):
+            CouplingMap([(0, 5)], num_qubits=3)
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(DeviceError, match="self-loop"):
+            CouplingMap([(1, 1)])
+
+    def test_negative_index_rejected(self):
+        with pytest.raises(DeviceError):
+            CouplingMap([(-1, 0)])
+
+
+class TestQueries:
+    def test_directed_support(self):
+        cmap = bowtie()
+        assert cmap.supports(2, 1)
+        assert not cmap.supports(1, 2)
+
+    def test_undirected_connectivity(self):
+        cmap = bowtie()
+        assert cmap.connected(1, 2)
+        assert cmap.connected(2, 1)
+        assert not cmap.connected(0, 4)
+
+    def test_neighbors(self):
+        assert bowtie().neighbors(2) == [0, 1, 3, 4]
+
+    def test_distance(self):
+        cmap = bowtie()
+        assert cmap.distance(0, 1) == 1
+        assert cmap.distance(0, 4) == 2
+        assert cmap.distance(0, 0) == 0
+
+    def test_shortest_path_endpoints(self):
+        path = bowtie().shortest_path(0, 3)
+        assert path[0] == 0
+        assert path[-1] == 3
+        assert len(path) == 3  # through q2
+
+    def test_disconnected_distance_raises(self):
+        cmap = CouplingMap([(0, 1)], num_qubits=3)
+        with pytest.raises(DeviceError, match="disconnected"):
+            cmap.distance(0, 2)
+
+    def test_is_connected(self):
+        assert bowtie().is_connected()
+        assert not CouplingMap([(0, 1)], num_qubits=3).is_connected()
+
+    def test_distance_matrix_symmetry(self):
+        matrix = bowtie().distance_matrix()
+        for (a, b), d in matrix.items():
+            assert matrix[(b, a)] == d
+
+    def test_qubit_range_checked(self):
+        with pytest.raises(DeviceError, match="out of range"):
+            bowtie().neighbors(9)
+
+    def test_edge_listings(self):
+        cmap = bowtie()
+        assert (2, 4) in cmap.directed_edges
+        assert (2, 4) in cmap.undirected_edges
+        assert (4, 2) not in cmap.undirected_edges  # canonical sorted form

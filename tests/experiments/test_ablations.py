@@ -1,0 +1,100 @@
+"""Tests for the A1-A4 ablation experiments."""
+
+import pytest
+
+from repro.experiments.ablation_parity import run_parity_ablation
+from repro.experiments.baseline_comparison import run_baseline_comparison
+from repro.experiments.scaling import run_scaling
+from repro.experiments.sweeps import run_noise_sweep
+
+
+class TestParityAblation:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_parity_ablation(sizes=(2, 3, 4))
+
+    def test_even_variant_leaves_ancilla_clean(self, result):
+        for n, variant, entropy, fidelity in result.rows:
+            if variant == "even":
+                assert entropy == pytest.approx(0.0, abs=1e-9)
+                assert fidelity == pytest.approx(1.0, abs=1e-9)
+
+    def test_odd_variant_entangles_ancilla(self, result):
+        for n, variant, entropy, fidelity in result.rows:
+            if variant == "odd":
+                assert entropy == pytest.approx(1.0, abs=1e-9)
+                # Collapsed to a classical mixture: fidelity drops to ~0.5.
+                assert fidelity == pytest.approx(0.5, abs=1e-6)
+
+    def test_summary_renders(self, result):
+        assert "Fig. 4" in result.summary()
+
+
+class TestScaling:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_scaling(sizes=(2, 8, 32), shots=64, seed=5)
+
+    def test_assertions_always_pass_ideally(self, result):
+        for _n, _mode, _anc, _cx, pass_rate, _sec in result.rows:
+            assert pass_rate == pytest.approx(1.0)
+
+    def test_pairwise_overhead_linear(self, result):
+        pairwise = {n: anc for n, mode, anc, _cx, _p, _s in result.rows
+                    if mode == "pairwise"}
+        assert pairwise == {2: 1, 8: 7, 32: 31}
+
+    def test_single_overhead_constant(self, result):
+        single = {n: anc for n, mode, anc, _cx, _p, _s in result.rows
+                  if mode == "single"}
+        assert single == {2: 1, 8: 1, 32: 1}
+
+    def test_summary_renders(self, result):
+        assert "scaling" in result.summary()
+
+
+class TestBaselineComparison:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_baseline_comparison(shots=1024, seed=17)
+
+    def test_both_detect_real_bugs(self, result):
+        for scenario in ("bell missing CX", "superposition X-for-H"):
+            assert result.detection(scenario, "dynamic")
+            assert result.detection(scenario, "statistical")
+
+    def test_neither_flags_correct_programs(self, result):
+        for scenario in ("bell correct", "superposition correct"):
+            assert not result.detection(scenario, "dynamic")
+            assert not result.detection(scenario, "statistical")
+
+    def test_dynamic_keeps_program_running(self, result):
+        for row in result.rows:
+            _scenario, approach, _det, _execs, continues = row
+            if approach == "dynamic":
+                assert continues
+            else:
+                assert not continues
+
+    def test_summary_renders(self, result):
+        assert "statistical" in result.summary()
+
+
+class TestNoiseSweep:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_noise_sweep(scales=(0.5, 1.0, 2.0), shots=4096, seed=2020)
+
+    def test_raw_error_monotone_in_scale(self, result):
+        for experiment in ("table1", "table2"):
+            series = result.series(experiment)
+            raws = [raw for _scale, raw, _filtered in series]
+            assert raws == sorted(raws)
+
+    def test_filtering_helps_at_every_scale(self, result):
+        for _name, _scale, raw, filtered, reduction in result.rows:
+            assert filtered < raw
+            assert reduction > 0.0
+
+    def test_summary_renders(self, result):
+        assert "noise sweep" in result.summary()

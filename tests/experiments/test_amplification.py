@@ -1,0 +1,43 @@
+"""Tests for the A7 stacked-assertion amplification study."""
+
+import pytest
+
+from repro.experiments.amplification import run_amplification
+
+
+class TestAmplification:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_amplification(max_k=5)
+
+    def test_one_shot_saturates_at_half(self, result):
+        """The auto-correction property (paper §3.3): passing checks repair
+        the qubit into exactly |+>, blinding all later checks."""
+        for k in range(1, 6):
+            assert result.detection(k, "one-shot") == pytest.approx(0.5, abs=1e-9)
+
+    def test_recurring_bug_amplifies_ideally(self, result):
+        for k in range(1, 6):
+            assert result.detection(k, "recurring") == pytest.approx(
+                1.0 - 2.0 ** (-k), abs=1e-9
+            )
+
+    def test_recurring_dominates_one_shot_beyond_k1(self, result):
+        for k in range(2, 6):
+            assert result.detection(k, "recurring") > result.detection(
+                k, "one-shot"
+            )
+
+    def test_k1_scenarios_identical(self, result):
+        assert result.detection(1, "one-shot") == pytest.approx(
+            result.detection(1, "recurring")
+        )
+
+    def test_unknown_key_raises(self, result):
+        with pytest.raises(KeyError):
+            result.detection(99, "one-shot")
+
+    def test_summary_renders(self, result):
+        text = result.summary()
+        assert "auto-" in text
+        assert "recurring" in text

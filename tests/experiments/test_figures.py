@@ -1,0 +1,85 @@
+"""Tests for the E1/E2 figure reproductions (exact, no sampling)."""
+
+import math
+
+import pytest
+
+from repro.experiments.fig6 import FIG6_INPUTS, run_fig6
+from repro.experiments.fig7 import FIG7_INPUTS, run_fig7
+
+
+class TestFig6:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_fig6()
+
+    def test_covers_all_inputs(self, result):
+        assert len(result.rows) == len(FIG6_INPUTS)
+
+    def test_plus_input_matches_paper(self, result):
+        _label, p_err, fidelity = result.row("|+>")
+        assert p_err == pytest.approx(0.5)
+        assert fidelity == pytest.approx(1.0)
+
+    def test_zero_never_errs(self, result):
+        _label, p_err, fidelity = result.row("|0>")
+        assert p_err == pytest.approx(0.0, abs=1e-12)
+        assert fidelity == pytest.approx(1.0)
+
+    def test_one_always_errs(self, result):
+        _label, p_err, fidelity = result.row("|1>")
+        assert p_err == pytest.approx(1.0)
+        assert math.isnan(fidelity)
+
+    def test_partial_superposition_error_is_b_squared(self, result):
+        _label, p_err, fidelity = result.row("0.8|0>")
+        assert p_err == pytest.approx(1 - 0.64, abs=1e-9)
+        assert fidelity == pytest.approx(1.0)
+
+    def test_projection_always_exact_when_passing(self, result):
+        for _label, p_err, fidelity in result.rows:
+            if p_err < 1.0:
+                assert fidelity == pytest.approx(1.0, abs=1e-9)
+
+    def test_summary_renders(self, result):
+        text = result.summary()
+        assert "Fig. 6" in text
+        assert "|+>" in text
+
+
+class TestFig7:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_fig7()
+
+    def test_covers_all_inputs(self, result):
+        assert len(result.rows) == len(FIG7_INPUTS)
+
+    def test_classical_inputs_err_half_the_time(self, result):
+        for label in ("|0>", "|1>"):
+            _l, measured, predicted, weight = result.row(label)
+            assert measured == pytest.approx(0.5)
+            assert predicted == pytest.approx(0.5)
+            assert weight == pytest.approx(0.5)
+
+    def test_plus_never_errs(self, result):
+        _l, measured, _predicted, weight = result.row("|+>")
+        assert measured == pytest.approx(0.0, abs=1e-12)
+        assert weight == pytest.approx(0.5)
+
+    def test_minus_always_errs(self, result):
+        _l, measured, predicted, _weight = result.row("|->")
+        assert measured == pytest.approx(1.0)
+        assert predicted == pytest.approx(1.0)
+
+    def test_formula_matches_measurement_everywhere(self, result):
+        for _label, measured, predicted, _w in result.rows:
+            assert measured == pytest.approx(predicted, abs=1e-9)
+
+    def test_forced_superposition_on_pass(self, result):
+        for label, measured, _predicted, weight in result.rows:
+            if measured < 1.0 - 1e-9:
+                assert weight == pytest.approx(0.5, abs=1e-9)
+
+    def test_summary_renders(self, result):
+        assert "Fig. 7" in result.summary()

@@ -1,0 +1,46 @@
+"""Tests for the A6 filtering-vs-mitigation comparison."""
+
+import pytest
+
+from repro.experiments.mitigation_comparison import run_mitigation_comparison
+
+
+class TestMitigationComparison:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_mitigation_comparison(shots=8192, seed=2020)
+
+    def test_all_rows_present(self, result):
+        scenarios = {s for s, _t, _e in result.rows}
+        techniques = {t for _s, t, _e in result.rows}
+        assert scenarios == {"full noise", "gate noise only"}
+        assert techniques == {"raw", "mitigated", "filtered", "both"}
+
+    def test_every_technique_beats_raw_under_full_noise(self, result):
+        raw = result.error("full noise", "raw")
+        for technique in ("mitigated", "filtered", "both"):
+            assert result.error("full noise", technique) < raw
+
+    def test_combination_is_best(self, result):
+        both = result.error("full noise", "both")
+        assert both <= result.error("full noise", "mitigated")
+        assert both <= result.error("full noise", "filtered")
+
+    def test_mitigation_inert_without_readout_noise(self, result):
+        raw = result.error("gate noise only", "raw")
+        mitigated = result.error("gate noise only", "mitigated")
+        assert mitigated == pytest.approx(raw, rel=0.25)
+
+    def test_filtering_still_works_without_readout_noise(self, result):
+        raw = result.error("gate noise only", "raw")
+        filtered = result.error("gate noise only", "filtered")
+        assert filtered < raw * 0.6
+
+    def test_unknown_configuration_raises(self, result):
+        with pytest.raises(KeyError):
+            result.error("full noise", "magic")
+
+    def test_summary_renders(self, result):
+        text = result.summary()
+        assert "mitigation" in text
+        assert "filtering" in text

@@ -1,0 +1,159 @@
+"""Tests for Kraus channels: CPTP validity and physical behaviour."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import NoiseError
+from repro.noise import channels as ch
+
+PROBS = st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+
+
+def apply_channel(channel, rho):
+    return sum(k @ rho @ k.conj().T for k in channel)
+
+
+class TestKrausChannelClass:
+    def test_requires_operators(self):
+        with pytest.raises(NoiseError, match="at least one"):
+            ch.KrausChannel([])
+
+    def test_requires_completeness(self):
+        with pytest.raises(NoiseError, match="completeness"):
+            ch.KrausChannel([0.5 * np.eye(2)])
+
+    def test_requires_square_equal_shapes(self):
+        with pytest.raises(NoiseError):
+            ch.KrausChannel([np.eye(2), np.eye(4)])
+
+    def test_power_of_two_dimension(self):
+        with pytest.raises(NoiseError, match="power of two"):
+            ch.KrausChannel([np.eye(3)])
+
+    def test_compose_matches_sequential_application(self):
+        first = ch.bit_flip(0.3)
+        second = ch.phase_flip(0.2)
+        composed = first.compose(second)
+        rho = np.array([[0.7, 0.3], [0.3, 0.3]], dtype=complex)
+        sequential = apply_channel(second, apply_channel(first, rho))
+        np.testing.assert_allclose(apply_channel(composed, rho), sequential, atol=1e-12)
+
+    def test_compose_arity_checked(self):
+        with pytest.raises(NoiseError):
+            ch.bit_flip(0.1).compose(ch.two_qubit_depolarizing(0.1))
+
+    def test_unital_check(self):
+        assert ch.depolarizing(0.3).is_unital()
+        assert not ch.amplitude_damping(0.3).is_unital()
+
+
+class TestChannelsAreCPTP:
+    @given(p=PROBS)
+    @settings(max_examples=30, deadline=None)
+    def test_all_single_qubit_channels(self, p):
+        for factory in (
+            ch.bit_flip,
+            ch.phase_flip,
+            ch.bit_phase_flip,
+            ch.depolarizing,
+            ch.amplitude_damping,
+            ch.phase_damping,
+        ):
+            channel = factory(p)  # constructor itself validates completeness
+            assert len(channel) >= 1
+
+    @given(p=PROBS)
+    @settings(max_examples=20, deadline=None)
+    def test_two_qubit_depolarizing(self, p):
+        channel = ch.two_qubit_depolarizing(p)
+        assert channel.num_qubits == 2
+
+    @given(px=PROBS, py=PROBS, pz=PROBS)
+    @settings(max_examples=30, deadline=None)
+    def test_pauli_channel(self, px, py, pz):
+        total = px + py + pz
+        if total > 1.0:
+            with pytest.raises(NoiseError):
+                ch.pauli_channel(px, py, pz)
+        else:
+            assert ch.pauli_channel(px, py, pz).num_qubits == 1
+
+    def test_probability_range_validated(self):
+        with pytest.raises(NoiseError):
+            ch.bit_flip(1.5)
+        with pytest.raises(NoiseError):
+            ch.depolarizing(-0.1)
+
+
+class TestChannelPhysics:
+    def test_depolarizing_limit_is_maximally_mixed(self):
+        rho = np.array([[1, 0], [0, 0]], dtype=complex)
+        out = apply_channel(ch.depolarizing(1.0), rho)
+        np.testing.assert_allclose(out, np.eye(2) / 2, atol=1e-12)
+
+    def test_bit_flip_action(self):
+        rho = np.array([[1, 0], [0, 0]], dtype=complex)
+        out = apply_channel(ch.bit_flip(0.3), rho)
+        assert out[1, 1] == pytest.approx(0.3)
+
+    def test_amplitude_damping_decays_excited_state(self):
+        rho = np.array([[0, 0], [0, 1]], dtype=complex)
+        out = apply_channel(ch.amplitude_damping(0.4), rho)
+        assert out[0, 0] == pytest.approx(0.4)
+        assert out[1, 1] == pytest.approx(0.6)
+
+    def test_amplitude_damping_fixes_ground_state(self):
+        rho = np.array([[1, 0], [0, 0]], dtype=complex)
+        out = apply_channel(ch.amplitude_damping(0.7), rho)
+        np.testing.assert_allclose(out, rho, atol=1e-12)
+
+    def test_phase_damping_kills_coherence_keeps_populations(self):
+        rho = np.array([[0.5, 0.5], [0.5, 0.5]], dtype=complex)
+        out = apply_channel(ch.phase_damping(1.0), rho)
+        assert out[0, 1] == pytest.approx(0.0)
+        assert out[0, 0] == pytest.approx(0.5)
+
+    def test_two_qubit_depolarizing_limit(self):
+        rho = np.zeros((4, 4), dtype=complex)
+        rho[0, 0] = 1.0
+        out = apply_channel(ch.two_qubit_depolarizing(1.0), rho)
+        np.testing.assert_allclose(out, np.eye(4) / 4, atol=1e-12)
+
+
+class TestThermalRelaxation:
+    def test_t1_decay_rate(self):
+        t1, t = 100.0, 30.0
+        channel = ch.thermal_relaxation(t1, t1, t)  # T2 = T1
+        rho = np.array([[0, 0], [0, 1]], dtype=complex)
+        out = apply_channel(channel, rho)
+        assert out[1, 1] == pytest.approx(math.exp(-t / t1), abs=1e-9)
+
+    def test_t2_coherence_decay(self):
+        t1, t2, t = 100.0, 60.0, 25.0
+        channel = ch.thermal_relaxation(t1, t2, t)
+        rho = np.array([[0.5, 0.5], [0.5, 0.5]], dtype=complex)
+        out = apply_channel(channel, rho)
+        assert abs(out[0, 1]) == pytest.approx(0.5 * math.exp(-t / t2), abs=1e-9)
+
+    def test_zero_time_is_identity(self):
+        channel = ch.thermal_relaxation(50.0, 40.0, 0.0)
+        rho = np.array([[0.2, 0.1j], [-0.1j, 0.8]], dtype=complex)
+        np.testing.assert_allclose(apply_channel(channel, rho), rho, atol=1e-9)
+
+    def test_t2_bound_enforced(self):
+        with pytest.raises(NoiseError, match="physical limit"):
+            ch.thermal_relaxation(10.0, 25.0, 1.0)
+
+    def test_positive_times_required(self):
+        with pytest.raises(NoiseError):
+            ch.thermal_relaxation(-1.0, 1.0, 1.0)
+
+    def test_excited_population_steady_state(self):
+        channel = ch.thermal_relaxation(10.0, 10.0, 1e6, excited_population=0.2)
+        rho = np.array([[1, 0], [0, 0]], dtype=complex)
+        out = apply_channel(channel, rho)
+        assert out[1, 1] == pytest.approx(0.2, abs=1e-6)

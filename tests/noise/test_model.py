@@ -1,0 +1,101 @@
+"""Tests for NoiseModel construction and queries."""
+
+import numpy as np
+import pytest
+
+from repro.circuits.gates import get_gate
+from repro.circuits.instructions import Instruction
+from repro.exceptions import NoiseError
+from repro.noise.channels import bit_flip, depolarizing, two_qubit_depolarizing
+from repro.noise.model import NoiseModel
+from repro.noise.readout import ReadoutError
+
+
+def cx_instruction(control=0, target=1):
+    return Instruction(get_gate("cx"), (control, target))
+
+
+def x_instruction(qubit=0):
+    return Instruction(get_gate("x"), (qubit,))
+
+
+class TestGateErrors:
+    def test_all_qubit_error_matches_any_operands(self):
+        model = NoiseModel().add_all_qubit_gate_error(["x"], bit_flip(0.1))
+        assert len(model.channels_for(x_instruction(0))) == 1
+        assert len(model.channels_for(x_instruction(5))) == 1
+
+    def test_specific_error_matches_exact_tuple(self):
+        model = NoiseModel().add_gate_error("cx", (0, 1), two_qubit_depolarizing(0.1))
+        assert len(model.channels_for(cx_instruction(0, 1))) == 1
+        assert model.channels_for(cx_instruction(1, 0)) == []
+
+    def test_unlisted_gate_is_clean(self):
+        model = NoiseModel().add_all_qubit_gate_error(["x"], bit_flip(0.1))
+        assert model.channels_for(Instruction(get_gate("h"), (0,))) == []
+
+    def test_one_qubit_channel_on_two_qubit_gate_fans_out(self):
+        model = NoiseModel().add_all_qubit_gate_error(["cx"], depolarizing(0.1))
+        channels = model.channels_for(cx_instruction(2, 3))
+        targets = [t for _, t in channels]
+        assert targets == [(2,), (3,)]
+
+    def test_matching_arity_channel_applies_once(self):
+        model = NoiseModel().add_all_qubit_gate_error(
+            ["cx"], two_qubit_depolarizing(0.1)
+        )
+        channels = model.channels_for(cx_instruction(2, 3))
+        assert [t for _, t in channels] == [(2, 3)]
+
+    def test_bad_arity_rejected_at_query(self):
+        model = NoiseModel().add_all_qubit_gate_error(
+            ["x"], two_qubit_depolarizing(0.1)
+        )
+        with pytest.raises(NoiseError, match="acts on 2"):
+            model.channels_for(x_instruction())
+
+    def test_stacked_errors_all_returned(self):
+        model = NoiseModel()
+        model.add_all_qubit_gate_error(["x"], bit_flip(0.1))
+        model.add_gate_error("x", (0,), bit_flip(0.2))
+        assert len(model.channels_for(x_instruction(0))) == 2
+        assert len(model.channels_for(x_instruction(1))) == 1
+
+
+class TestReadoutErrors:
+    def test_per_qubit_confusion(self):
+        model = NoiseModel().add_readout_error(ReadoutError(0.1, 0.05), qubit=2)
+        matrix = model.readout_confusion(2)
+        assert matrix[0][1] == pytest.approx(0.1)
+        assert matrix[1][0] == pytest.approx(0.05)
+        assert model.readout_confusion(0) is None
+
+    def test_default_readout(self):
+        model = NoiseModel().add_readout_error(ReadoutError.symmetric(0.04))
+        assert model.readout_confusion(7) is not None
+
+    def test_specific_overrides_default(self):
+        model = NoiseModel()
+        model.add_readout_error(ReadoutError.symmetric(0.5))
+        model.add_readout_error(ReadoutError(0.0, 0.0), qubit=1)
+        np.testing.assert_allclose(model.readout_confusion(1), np.eye(2))
+
+    def test_readout_error_object_accessor(self):
+        error = ReadoutError(0.1, 0.2)
+        model = NoiseModel().add_readout_error(error, qubit=0)
+        assert model.readout_error(0) is error
+
+
+class TestIntrospection:
+    def test_is_ideal(self):
+        assert NoiseModel().is_ideal()
+        assert not NoiseModel().add_readout_error(ReadoutError(0.1, 0.1)).is_ideal()
+
+    def test_noisy_gates_listing(self):
+        model = NoiseModel()
+        model.add_all_qubit_gate_error(["cx", "x"], depolarizing(0.01))
+        assert model.noisy_gates == ["cx", "x"]
+
+    def test_repr_smoke(self):
+        model = NoiseModel("demo").add_all_qubit_gate_error(["x"], bit_flip(0.1))
+        assert "demo" in repr(model)

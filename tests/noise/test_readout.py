@@ -1,0 +1,55 @@
+"""Tests for the ReadoutError confusion matrix."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import NoiseError
+from repro.noise.readout import ReadoutError
+
+
+class TestConstruction:
+    def test_probability_bounds(self):
+        with pytest.raises(NoiseError):
+            ReadoutError(1.2, 0.0)
+        with pytest.raises(NoiseError):
+            ReadoutError(0.0, -0.1)
+
+    def test_symmetric_factory(self):
+        error = ReadoutError.symmetric(0.07)
+        assert error.p0_given_1 == pytest.approx(0.07)
+        assert error.p1_given_0 == pytest.approx(0.07)
+
+
+class TestMatrix:
+    def test_columns_are_stochastic(self):
+        matrix = ReadoutError(0.1, 0.03).matrix
+        np.testing.assert_allclose(matrix.sum(axis=0), [1.0, 1.0])
+
+    def test_matrix_entries(self):
+        matrix = ReadoutError(0.1, 0.03).matrix
+        assert matrix[0, 1] == pytest.approx(0.1)   # P(record 0 | true 1)
+        assert matrix[1, 0] == pytest.approx(0.03)  # P(record 1 | true 0)
+
+    def test_apply_to_distribution(self):
+        error = ReadoutError(0.2, 0.1)
+        out = error.apply_to_distribution([1.0, 0.0])
+        np.testing.assert_allclose(out, [0.9, 0.1])
+
+    def test_apply_requires_length_two(self):
+        with pytest.raises(NoiseError):
+            ReadoutError(0.1, 0.1).apply_to_distribution([1.0, 0.0, 0.0])
+
+    def test_assignment_fidelity(self):
+        assert ReadoutError(0.1, 0.05).assignment_fidelity() == pytest.approx(0.925)
+
+    def test_scaled_clips_at_one(self):
+        scaled = ReadoutError(0.6, 0.5).scaled(3.0)
+        assert scaled.p0_given_1 == 1.0
+        assert scaled.p1_given_0 == 1.0
+
+    def test_scaled_negative_rejected(self):
+        with pytest.raises(NoiseError):
+            ReadoutError(0.1, 0.1).scaled(-1.0)
+
+    def test_repr(self):
+        assert "0.1" in repr(ReadoutError(0.1, 0.05))

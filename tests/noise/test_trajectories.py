@@ -1,0 +1,82 @@
+"""Tests for the Monte-Carlo trajectory engine."""
+
+import pytest
+
+from repro.circuits import library
+from repro.circuits.circuit import QuantumCircuit
+from repro.noise.channels import amplitude_damping, bit_flip, depolarizing
+from repro.noise.model import NoiseModel
+from repro.noise.readout import ReadoutError
+from repro.noise.trajectories import TrajectorySimulator
+from repro.simulators.density_matrix import DensityMatrixSimulator
+
+
+class TestIdealBehaviour:
+    def test_matches_ideal_distribution(self):
+        qc = library.bell_pair()
+        qc.measure_all()
+        result = TrajectorySimulator().run(qc, shots=4000, seed=1)
+        assert set(result.counts) == {"00", "11"}
+        assert abs(result.counts["00"] / 4000 - 0.5) < 0.05
+
+    def test_conditionals(self):
+        qc = QuantumCircuit(2, 2)
+        qc.x(0)
+        qc.measure(0, 0)
+        qc.x(1, condition=(0, 1))
+        qc.measure(1, 1)
+        assert TrajectorySimulator().run(qc, shots=50, seed=2).counts == {"11": 50}
+
+    def test_reset(self):
+        qc = QuantumCircuit(1, 1)
+        qc.h(0)
+        qc.reset(0)
+        qc.measure(0, 0)
+        assert TrajectorySimulator().run(qc, shots=50, seed=3).counts == {"0": 50}
+
+
+class TestNoisyConvergence:
+    def _compare_to_exact(self, circuit, model, shots=6000, tol=0.05, seed=11):
+        exact = DensityMatrixSimulator(noise_model=model).run(circuit, shots=1)
+        sampled = TrajectorySimulator(noise_model=model).run(
+            circuit, shots=shots, seed=seed
+        )
+        for key, p in exact.probabilities.items():
+            assert abs(sampled.counts.get(key, 0) / shots - p) < tol
+
+    def test_bit_flip_convergence(self):
+        model = NoiseModel().add_all_qubit_gate_error(["x"], bit_flip(0.3))
+        qc = QuantumCircuit(1, 1)
+        qc.x(0)
+        qc.measure(0, 0)
+        self._compare_to_exact(qc, model)
+
+    def test_depolarizing_convergence(self):
+        model = NoiseModel().add_all_qubit_gate_error(["h", "cx"], depolarizing(0.1))
+        qc = library.bell_pair()
+        qc.measure_all()
+        self._compare_to_exact(qc, model)
+
+    def test_amplitude_damping_convergence(self):
+        model = NoiseModel().add_all_qubit_gate_error(["x"], amplitude_damping(0.4))
+        qc = QuantumCircuit(1, 1)
+        qc.x(0)
+        qc.measure(0, 0)
+        self._compare_to_exact(qc, model)
+
+    def test_readout_error_convergence(self):
+        model = NoiseModel().add_readout_error(ReadoutError(0.1, 0.05))
+        qc = QuantumCircuit(1, 1)
+        qc.x(0)
+        qc.measure(0, 0)
+        self._compare_to_exact(qc, model)
+
+    def test_seeded_runs_reproducible(self):
+        model = NoiseModel().add_all_qubit_gate_error(["h"], depolarizing(0.2))
+        qc = QuantumCircuit(1, 1)
+        qc.h(0)
+        qc.measure(0, 0)
+        sim = TrajectorySimulator(noise_model=model)
+        assert dict(sim.run(qc, shots=500, seed=7).counts) == dict(
+            sim.run(qc, shots=500, seed=7).counts
+        )

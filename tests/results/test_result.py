@@ -1,0 +1,48 @@
+"""Unit tests for the Result container."""
+
+import numpy as np
+
+from repro.results.counts import Counts
+from repro.results.result import Result
+
+
+class TestResult:
+    def test_defaults(self):
+        result = Result()
+        assert result.counts == {}
+        assert result.shots == 0
+        assert result.statevector is None
+        assert result.probabilities is None
+        assert result.metadata == {}
+
+    def test_fields_stored(self):
+        counts = Counts({"0": 5})
+        result = Result(
+            counts=counts,
+            shots=5,
+            statevector=np.array([1, 0], dtype=complex),
+            probabilities={"0": 1.0},
+            metadata={"engine": "sv"},
+        )
+        assert result.counts is counts
+        assert result.shots == 5
+        assert result.metadata["engine"] == "sv"
+
+    def test_metadata_copied(self):
+        meta = {"a": 1}
+        result = Result(metadata=meta)
+        meta["a"] = 2
+        assert result.metadata["a"] == 1
+
+    def test_repr_mentions_counts(self):
+        result = Result(counts=Counts({"0": 1}), shots=1)
+        assert "counts" in repr(result)
+
+    def test_repr_flags_optionals(self):
+        result = Result(
+            statevector=np.array([1, 0], dtype=complex),
+            probabilities={"0": 1.0},
+        )
+        text = repr(result)
+        assert "statevector=<set>" in text
+        assert "probabilities=<set>" in text

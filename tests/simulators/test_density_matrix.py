@@ -1,0 +1,187 @@
+"""Tests for the density-matrix engine."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.circuits import library
+from repro.circuits.circuit import QuantumCircuit
+from repro.exceptions import SimulationError
+from repro.noise.channels import bit_flip, depolarizing
+from repro.noise.model import NoiseModel
+from repro.noise.readout import ReadoutError
+from repro.simulators.density_matrix import (
+    DensityMatrix,
+    DensityMatrixSimulator,
+)
+from repro.simulators.statevector import StatevectorSimulator
+
+
+class TestDensityMatrixClass:
+    def test_from_statevector_pure(self):
+        rho = DensityMatrix.from_statevector(np.array([1, 0], dtype=complex))
+        assert rho.purity() == pytest.approx(1.0)
+        assert rho.probabilities() == {"0": pytest.approx(1.0)}
+
+    def test_trace_validated(self):
+        with pytest.raises(SimulationError, match="trace"):
+            DensityMatrix(np.eye(2, dtype=complex))
+
+    def test_hermiticity_validated(self):
+        bad = np.array([[0.5, 0.5], [0.1, 0.5]], dtype=complex)
+        with pytest.raises(SimulationError, match="Hermitian"):
+            DensityMatrix(bad)
+
+    def test_non_square_rejected(self):
+        with pytest.raises(SimulationError, match="square"):
+            DensityMatrix(np.ones((2, 3)))
+
+    def test_maximally_mixed_purity(self):
+        rho = DensityMatrix(np.eye(2, dtype=complex) / 2)
+        assert rho.purity() == pytest.approx(0.5)
+
+
+class TestIdealAgreementWithStatevector:
+    @pytest.mark.parametrize(
+        "factory",
+        [
+            lambda: library.bell_pair(),
+            lambda: library.ghz_state(3),
+            lambda: library.qft(3),
+            lambda: library.w_state(3),
+        ],
+        ids=["bell", "ghz", "qft", "w"],
+    )
+    def test_final_state_matches(self, factory, dm_sim, sv_sim):
+        circuit = factory()
+        sv = sv_sim.final_statevector(circuit)
+        rho = dm_sim.final_density_matrix(circuit)
+        expected = DensityMatrix.from_statevector(sv.data)
+        np.testing.assert_allclose(rho.data, expected.data, atol=1e-10)
+
+    def test_measured_distribution_matches(self, dm_sim, sv_sim):
+        circuit = library.ghz_state(3)
+        circuit.measure_all()
+        sv_probs = sv_sim.exact_probabilities(circuit)
+        dm_probs = DensityMatrixSimulator().run(circuit, shots=1).probabilities
+        assert set(sv_probs) == set(dm_probs)
+        for key in sv_probs:
+            assert abs(sv_probs[key] - dm_probs[key]) < 1e-10
+
+    def test_conditionals_match(self, dm_sim, sv_sim):
+        prep = QuantumCircuit(1)
+        prep.ry(0.9, 0)
+        circuit = library.teleportation(state_prep=prep)
+        reg = circuit.add_clbits(1, name="bob")
+        circuit.measure(2, reg[0])
+        sv_probs = sv_sim.exact_probabilities(circuit)
+        dm_probs = dm_sim.run(circuit, shots=1).probabilities
+        for key, p in sv_probs.items():
+            assert abs(dm_probs.get(key, 0.0) - p) < 1e-10
+
+
+class TestNoiseApplication:
+    def test_bit_flip_after_x(self):
+        model = NoiseModel("bf").add_all_qubit_gate_error(["x"], bit_flip(0.25))
+        sim = DensityMatrixSimulator(noise_model=model)
+        qc = QuantumCircuit(1, 1)
+        qc.x(0)
+        qc.measure(0, 0)
+        probs = sim.run(qc, shots=1).probabilities
+        assert probs["1"] == pytest.approx(0.75)
+        assert probs["0"] == pytest.approx(0.25)
+
+    def test_depolarizing_mixes_state(self):
+        model = NoiseModel("dep").add_all_qubit_gate_error(["h"], depolarizing(1.0))
+        sim = DensityMatrixSimulator(noise_model=model)
+        qc = QuantumCircuit(1)
+        qc.h(0)
+        rho = sim.final_density_matrix(qc)
+        np.testing.assert_allclose(rho.data, np.eye(2) / 2, atol=1e-10)
+
+    def test_noise_only_on_matching_gate(self):
+        model = NoiseModel("bf").add_all_qubit_gate_error(["x"], bit_flip(1.0))
+        sim = DensityMatrixSimulator(noise_model=model)
+        qc = QuantumCircuit(1, 1)
+        qc.h(0)
+        qc.h(0)  # identity overall, h is noise-free in this model
+        qc.measure(0, 0)
+        probs = sim.run(qc, shots=1).probabilities
+        assert probs["0"] == pytest.approx(1.0)
+
+    def test_qubit_specific_gate_error(self):
+        model = NoiseModel("specific").add_gate_error("x", (1,), bit_flip(1.0))
+        sim = DensityMatrixSimulator(noise_model=model)
+        qc = QuantumCircuit(2, 2)
+        qc.x(0)  # clean
+        qc.x(1)  # flipped back by the noise
+        qc.measure([0, 1], [0, 1])
+        probs = sim.run(qc, shots=1).probabilities
+        assert probs["10"] == pytest.approx(1.0)
+
+    def test_readout_error_flips_recorded_value(self):
+        model = NoiseModel("ro").add_readout_error(ReadoutError(0.0, 0.2), qubit=0)
+        sim = DensityMatrixSimulator(noise_model=model)
+        qc = QuantumCircuit(1, 1)
+        qc.measure(0, 0)
+        probs = sim.run(qc, shots=1).probabilities
+        assert probs["1"] == pytest.approx(0.2)
+
+    def test_readout_error_does_not_change_state(self):
+        model = NoiseModel("ro").add_readout_error(ReadoutError(0.5, 0.5))
+        sim = DensityMatrixSimulator(noise_model=model)
+        qc = QuantumCircuit(1, 2)
+        qc.measure(0, 0)
+        qc.measure(0, 1)
+        probs = sim.run(qc, shots=1).probabilities
+        # Recorded bits are independent coin flips; the qubit stays |0>.
+        assert probs == {
+            "00": pytest.approx(0.25),
+            "01": pytest.approx(0.25),
+            "10": pytest.approx(0.25),
+            "11": pytest.approx(0.25),
+        }
+
+
+class TestMeasurementAndConditioning:
+    def test_conditional_density_matrix(self, dm_sim):
+        qc = QuantumCircuit(2, 1)
+        qc.h(0)
+        qc.cx(0, 1)
+        qc.measure(0, 0)
+        rho, mass = dm_sim.conditional_density_matrix(qc, {0: 1})
+        assert mass == pytest.approx(0.5)
+        assert rho.probabilities() == {"11": pytest.approx(1.0)}
+
+    def test_conditional_on_impossible_outcome(self, dm_sim):
+        qc = QuantumCircuit(1, 1)
+        qc.measure(0, 0)
+        with pytest.raises(SimulationError, match="no branch"):
+            dm_sim.conditional_density_matrix(qc, {0: 1})
+
+    def test_reset_is_deterministic_channel(self, dm_sim):
+        qc = QuantumCircuit(1, 1)
+        qc.h(0)
+        qc.reset(0)
+        qc.measure(0, 0)
+        probs = dm_sim.run(qc, shots=1).probabilities
+        assert probs["0"] == pytest.approx(1.0)
+
+    def test_branch_merging_bounds_growth(self):
+        # 8 measurements into the same clbit: branch count stays tiny
+        # because same-clbit branches merge.
+        sim = DensityMatrixSimulator(max_branches=8)
+        qc = QuantumCircuit(1, 1)
+        for _ in range(8):
+            qc.h(0)
+            qc.measure(0, 0)
+        result = sim.run(qc, shots=1)
+        assert abs(sum(result.probabilities.values()) - 1.0) < 1e-9
+
+    def test_final_density_matrix_averages_outcomes(self, dm_sim):
+        qc = QuantumCircuit(1, 1)
+        qc.h(0)
+        qc.measure(0, 0)
+        rho = dm_sim.final_density_matrix(qc)
+        np.testing.assert_allclose(rho.data, np.eye(2) / 2, atol=1e-10)

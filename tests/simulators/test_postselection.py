@@ -1,0 +1,79 @@
+"""Tests for QUIRK-style post-selection."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.exceptions import SimulationError
+from repro.simulators.postselection import (
+    postselect_statevector,
+    postselected_statevector_after,
+)
+from repro.simulators.statevector import Statevector
+
+
+class TestPostselectStatevector:
+    def test_bell_postselection(self):
+        bell = Statevector(
+            np.array([1, 0, 0, 1], dtype=complex) / math.sqrt(2)
+        )
+        state, prob = postselect_statevector(bell, qubit=0, value=1)
+        assert prob == pytest.approx(0.5)
+        assert state.probabilities() == {"11": pytest.approx(1.0)}
+
+    def test_product_state_unchanged(self):
+        plus_zero = Statevector.from_label("+0")
+        state, prob = postselect_statevector(plus_zero, qubit=1, value=0)
+        assert prob == pytest.approx(1.0)
+        assert state.equiv(plus_zero)
+
+    def test_impossible_outcome_raises(self):
+        zero = Statevector.from_label("0")
+        with pytest.raises(SimulationError, match="probability 0"):
+            postselect_statevector(zero, qubit=0, value=1)
+
+    def test_qubit_range_checked(self):
+        with pytest.raises(SimulationError, match="out of range"):
+            postselect_statevector(Statevector.from_label("0"), qubit=3, value=0)
+
+
+class TestPostselectedCircuit:
+    def test_classical_assertion_projection(self):
+        # The Fig. 6 scenario: |+> asserted |0>; post-select no error.
+        from repro.core.classical import append_classical_assertion
+
+        qc = QuantumCircuit(1)
+        qc.h(0)
+        append_classical_assertion(qc, 0, 0)
+        state, prob = postselected_statevector_after(qc, {0: 0})
+        assert prob == pytest.approx(0.5)
+        # Qubit 0 is |0>, ancilla collapsed to |0>.
+        assert state.probabilities() == {"00": pytest.approx(1.0)}
+
+    def test_no_matching_branch_raises(self):
+        qc = QuantumCircuit(1, 1)
+        qc.measure(0, 0)
+        with pytest.raises(SimulationError, match="no measurement branch"):
+            postselected_statevector_after(qc, {0: 1})
+
+    def test_underconstrained_postselection_raises(self):
+        # Two independent coins measured; conditioning on one leaves a mix.
+        qc = QuantumCircuit(2, 2)
+        qc.h(0)
+        qc.h(1)
+        qc.measure([0, 1], [0, 1])
+        # After measuring BOTH, fixing only clbit 0 leaves clbit-1 branches
+        # with different collapsed states -> not a pure state.
+        with pytest.raises(SimulationError, match="not a single pure state"):
+            postselected_statevector_after(qc, {0: 0})
+
+    def test_full_conditioning_succeeds(self):
+        qc = QuantumCircuit(2, 2)
+        qc.h(0)
+        qc.h(1)
+        qc.measure([0, 1], [0, 1])
+        state, prob = postselected_statevector_after(qc, {0: 0, 1: 1})
+        assert prob == pytest.approx(0.25)
+        assert state.probabilities() == {"01": pytest.approx(1.0)}

@@ -1,0 +1,154 @@
+"""Tests for the Aaronson-Gottesman stabilizer engine."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuits import library
+from repro.circuits.circuit import QuantumCircuit
+from repro.exceptions import StabilizerError
+from repro.simulators.stabilizer import StabilizerSimulator, StabilizerState
+from repro.simulators.statevector import StatevectorSimulator
+
+
+class TestStabilizerState:
+    def test_initial_stabilizers_are_z(self):
+        state = StabilizerState(2)
+        assert state.stabilizer_strings() == ["+ZI", "+IZ"]
+
+    def test_x_flips_sign(self):
+        state = StabilizerState(1)
+        state.apply_x(0)
+        assert state.stabilizer_strings() == ["-Z"]
+
+    def test_h_maps_z_to_x(self):
+        state = StabilizerState(1)
+        state.apply_h(0)
+        assert state.stabilizer_strings() == ["+X"]
+
+    def test_bell_stabilizers(self):
+        state = StabilizerState(2)
+        state.apply_h(0)
+        state.apply_cx(0, 1)
+        strings = set(state.stabilizer_strings())
+        assert strings == {"+XX", "+ZZ"}
+
+    def test_deterministic_measurement(self, rng):
+        state = StabilizerState(1)
+        state.apply_x(0)
+        assert state.measure(0, rng) == 1
+        assert state.measure(0, rng) == 1  # repeatable
+
+    def test_random_measurement_collapses(self, rng):
+        state = StabilizerState(1)
+        state.apply_h(0)
+        outcome = state.measure(0, rng)
+        # After collapse the outcome is pinned.
+        assert state.measure(0, rng) == outcome
+
+    def test_expectation_z(self):
+        state = StabilizerState(1)
+        assert state.expectation_z(0) == 1
+        state.apply_x(0)
+        assert state.expectation_z(0) == -1
+        state.apply_h(0)
+        assert state.expectation_z(0) is None
+
+    def test_minimum_size(self):
+        with pytest.raises(StabilizerError):
+            StabilizerState(0)
+
+
+class TestSimulatorSemantics:
+    def test_ghz_correlations(self, stab_sim):
+        qc = library.ghz_state(4)
+        qc.measure_all()
+        result = stab_sim.run(qc, shots=400, seed=1)
+        assert set(result.counts) == {"0000", "1111"}
+
+    def test_deterministic_circuit(self, stab_sim):
+        qc = QuantumCircuit(2, 2)
+        qc.x(0)
+        qc.cx(0, 1)
+        qc.measure([0, 1], [0, 1])
+        assert stab_sim.run(qc, shots=50, seed=2).counts == {"11": 50}
+
+    def test_non_clifford_rejected(self, stab_sim):
+        qc = QuantumCircuit(1)
+        qc.t(0)
+        with pytest.raises(StabilizerError, match="non-Clifford"):
+            stab_sim.run(qc)
+
+    def test_non_clifford_rotation_rejected(self, stab_sim):
+        qc = QuantumCircuit(1)
+        qc.rz(0.3, 0)
+        with pytest.raises(StabilizerError, match="not a Clifford"):
+            stab_sim.run(qc)
+
+    def test_clifford_rotation_accepted(self, stab_sim):
+        qc = QuantumCircuit(1, 1)
+        qc.h(0)
+        qc.rz(math.pi, 0)  # Z
+        qc.h(0)  # H Z H = X
+        qc.measure(0, 0)
+        assert stab_sim.run(qc, shots=20, seed=3).counts == {"1": 20}
+
+    def test_s_gate_via_phase_rotation(self, stab_sim):
+        # S^2 = Z: H S S H |0> = H Z H |0> = |1>.
+        qc = QuantumCircuit(1, 1)
+        qc.h(0)
+        qc.p(math.pi / 2, 0)
+        qc.p(math.pi / 2, 0)
+        qc.h(0)
+        qc.measure(0, 0)
+        assert stab_sim.run(qc, shots=20, seed=4).counts == {"1": 20}
+
+    def test_reset(self, stab_sim):
+        qc = QuantumCircuit(1, 1)
+        qc.h(0)
+        qc.reset(0)
+        qc.measure(0, 0)
+        assert stab_sim.run(qc, shots=30, seed=5).counts == {"0": 30}
+
+    def test_conditional_gate(self, stab_sim):
+        qc = QuantumCircuit(2, 2)
+        qc.x(0)
+        qc.measure(0, 0)
+        qc.x(1, condition=(0, 1))
+        qc.measure(1, 1)
+        assert stab_sim.run(qc, shots=30, seed=6).counts == {"11": 30}
+
+    def test_swap_and_cz_and_cy(self, stab_sim, sv_sim):
+        qc = QuantumCircuit(2, 2)
+        qc.h(0)
+        qc.cz(0, 1)
+        qc.cy(0, 1)
+        qc.swap(0, 1)
+        qc.measure([0, 1], [0, 1])
+        stab = stab_sim.run(qc, shots=6000, seed=7).counts
+        exact = sv_sim.exact_probabilities(qc)
+        for key, p in exact.items():
+            assert abs(stab.get(key, 0) / 6000 - p) < 0.04
+
+
+class TestCrossValidation:
+    @given(seed=st.integers(min_value=0, max_value=10 ** 6))
+    @settings(max_examples=20, deadline=None)
+    def test_random_clifford_agrees_with_statevector(self, seed):
+        circuit = library.random_circuit(3, 6, seed=seed, clifford_only=True)
+        circuit.measure_all()
+        exact = StatevectorSimulator().exact_probabilities(circuit)
+        sampled = StabilizerSimulator().run(circuit, shots=3000, seed=seed)
+        for key, p in exact.items():
+            assert abs(sampled.counts.get(key, 0) / 3000 - p) < 0.06
+        # No impossible outcomes.
+        for key in sampled.counts:
+            assert exact.get(key, 0.0) > 1e-12
+
+    def test_large_ghz_runs_fast(self, stab_sim):
+        qc = library.ghz_state(128)
+        qc.measure_all()
+        result = stab_sim.run(qc, shots=20, seed=8)
+        assert set(result.counts) <= {"0" * 128, "1" * 128}

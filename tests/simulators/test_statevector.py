@@ -1,0 +1,224 @@
+"""Tests for the statevector engine: evolution, measurement, branches."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.circuits import library
+from repro.exceptions import SimulationError
+from repro.simulators.statevector import Statevector, StatevectorSimulator
+
+
+class TestStatevectorClass:
+    def test_from_label_basic(self):
+        assert Statevector.from_label("01").probabilities() == {"01": 1.0}
+
+    def test_from_label_plus(self):
+        probs = Statevector.from_label("+").probabilities()
+        assert abs(probs["0"] - 0.5) < 1e-12
+        assert abs(probs["1"] - 0.5) < 1e-12
+
+    def test_from_label_y_eigenstates(self):
+        state = Statevector.from_label("r")
+        assert abs(state.data[1] - 1j / math.sqrt(2)) < 1e-12
+
+    def test_unknown_label_rejected(self):
+        with pytest.raises(SimulationError):
+            Statevector.from_label("q")
+
+    def test_non_normalised_rejected(self):
+        with pytest.raises(SimulationError, match="normalis"):
+            Statevector(np.array([1.0, 1.0]))
+
+    def test_bad_length_rejected(self):
+        with pytest.raises(SimulationError, match="power of two"):
+            Statevector(np.array([1.0, 0.0, 0.0]))
+
+    def test_equiv_ignores_global_phase(self):
+        a = Statevector.from_label("+")
+        b = Statevector(np.exp(1j * 0.3) * a.data)
+        assert a.equiv(b)
+
+    def test_equiv_detects_difference(self):
+        assert not Statevector.from_label("0").equiv(Statevector.from_label("1"))
+
+
+class TestUnitaryEvolution:
+    def test_bit_ordering_qubit0_most_significant(self, sv_sim):
+        qc = QuantumCircuit(2)
+        qc.x(0)  # |10>
+        state = sv_sim.final_statevector(qc)
+        assert state.probabilities() == {"10": 1.0}
+
+    def test_hadamard_cx_gives_bell(self, sv_sim):
+        state = sv_sim.final_statevector(library.bell_pair())
+        np.testing.assert_allclose(
+            state.data, [1 / math.sqrt(2), 0, 0, 1 / math.sqrt(2)], atol=1e-12
+        )
+
+    def test_gate_order_matters(self, sv_sim):
+        qc = QuantumCircuit(1)
+        qc.x(0)
+        qc.h(0)  # H X |0> = |->
+        state = sv_sim.final_statevector(qc)
+        assert state.equiv(Statevector.from_label("-"))
+
+    def test_three_qubit_gate(self, sv_sim):
+        qc = QuantumCircuit(3)
+        qc.x(0)
+        qc.x(1)
+        qc.ccx(0, 1, 2)
+        assert sv_sim.final_statevector(qc).probabilities() == {"111": 1.0}
+
+    def test_initial_state_override(self, sv_sim):
+        qc = QuantumCircuit(1)
+        qc.h(0)
+        state = sv_sim.final_statevector(
+            qc, initial_state=Statevector.from_label("1").data
+        )
+        assert state.equiv(Statevector.from_label("-"))
+
+    def test_measurement_rejected_in_final_statevector(self, sv_sim):
+        qc = QuantumCircuit(1, 1)
+        qc.measure(0, 0)
+        with pytest.raises(SimulationError, match="unitary"):
+            sv_sim.final_statevector(qc)
+
+
+class TestMeasurement:
+    def test_deterministic_outcome(self, sv_sim):
+        qc = QuantumCircuit(1, 1)
+        qc.x(0)
+        qc.measure(0, 0)
+        result = sv_sim.run(qc, shots=100, seed=0)
+        assert result.counts == {"1": 100}
+
+    def test_uniform_sampling(self, sv_sim):
+        qc = QuantumCircuit(1, 1)
+        qc.h(0)
+        qc.measure(0, 0)
+        result = sv_sim.run(qc, shots=10000, seed=3)
+        assert abs(result.counts["0"] / 10000 - 0.5) < 0.03
+        assert result.probabilities == {"0": pytest.approx(0.5), "1": pytest.approx(0.5)}
+
+    def test_bell_correlations(self, sv_sim):
+        qc = library.bell_pair()
+        qc.measure_all()
+        result = sv_sim.run(qc, shots=2000, seed=5)
+        assert set(result.counts) == {"00", "11"}
+
+    def test_collapse_affects_later_gates(self, sv_sim):
+        # Measure |+> then re-measure: outcomes must agree within a shot.
+        qc = QuantumCircuit(1, 2)
+        qc.h(0)
+        qc.measure(0, 0)
+        qc.measure(0, 1)
+        probs = sv_sim.exact_probabilities(qc)
+        assert set(probs) == {"00", "11"}
+
+    def test_unmeasured_circuit_returns_statevector(self, sv_sim):
+        result = sv_sim.run(library.bell_pair(), shots=10, seed=0)
+        assert result.statevector is not None
+        assert result.counts == {}
+
+    def test_reset_forces_zero(self, sv_sim):
+        qc = QuantumCircuit(1, 1)
+        qc.x(0)
+        qc.reset(0)
+        qc.measure(0, 0)
+        assert sv_sim.exact_probabilities(qc) == {"0": pytest.approx(1.0)}
+
+    def test_reset_of_superposition(self, sv_sim):
+        qc = QuantumCircuit(1, 1)
+        qc.h(0)
+        qc.reset(0)
+        qc.measure(0, 0)
+        assert sv_sim.exact_probabilities(qc) == {"0": pytest.approx(1.0)}
+
+
+class TestConditionals:
+    def test_teleportation_corrections(self, sv_sim):
+        prep = QuantumCircuit(1)
+        prep.ry(1.1, 0)
+        circuit = library.teleportation(state_prep=prep)
+        reg = circuit.add_clbits(1, name="bob")
+        circuit.measure(2, reg[0])
+        probs = sv_sim.exact_probabilities(circuit)
+        p_one = sum(p for key, p in probs.items() if key[2] == "1")
+        assert abs(p_one - math.sin(0.55) ** 2) < 1e-9
+
+    def test_condition_blocks_gate(self, sv_sim):
+        qc = QuantumCircuit(2, 2)
+        # clbit 0 stays 0, so the conditioned X must not fire.
+        qc.x(1, condition=(0, 1))
+        qc.measure(1, 1)
+        assert sv_sim.exact_probabilities(qc) == {"00": pytest.approx(1.0)}
+
+    def test_condition_enables_gate(self, sv_sim):
+        qc = QuantumCircuit(2, 2)
+        qc.x(0)
+        qc.measure(0, 0)
+        qc.x(1, condition=(0, 1))
+        qc.measure(1, 1)
+        assert sv_sim.exact_probabilities(qc) == {"11": pytest.approx(1.0)}
+
+
+class TestBranches:
+    def test_branch_probabilities_sum_to_one(self, sv_sim):
+        qc = QuantumCircuit(2, 2)
+        qc.h(0)
+        qc.h(1)
+        qc.measure([0, 1], [0, 1])
+        branches = sv_sim.branches(qc)
+        assert abs(sum(p for p, _, _ in branches) - 1.0) < 1e-12
+        assert len(branches) == 4
+
+    def test_branch_states_are_collapsed(self, sv_sim):
+        qc = QuantumCircuit(1, 1)
+        qc.h(0)
+        qc.measure(0, 0)
+        for prob, key, state in sv_sim.branches(qc):
+            assert abs(prob - 0.5) < 1e-12
+            assert state.probabilities() == {key: pytest.approx(1.0)}
+
+    def test_branch_cap_falls_back_to_sampling(self):
+        sim = StatevectorSimulator(max_branches=2)
+        qc = QuantumCircuit(3, 3)
+        for q in range(3):
+            qc.h(q)
+        qc.measure([0, 1, 2], [0, 1, 2])
+        result = sim.run(qc, shots=200, seed=9)
+        assert result.metadata["method"] == "per-shot"
+        assert result.counts.shots == 200
+
+    def test_branches_raises_above_cap(self):
+        sim = StatevectorSimulator(max_branches=2)
+        qc = QuantumCircuit(3, 3)
+        for q in range(3):
+            qc.h(q)
+        qc.measure([0, 1, 2], [0, 1, 2])
+        with pytest.raises(SimulationError, match="branch cap"):
+            sim.branches(qc)
+
+    def test_per_shot_matches_branch_distribution(self):
+        qc = QuantumCircuit(2, 2)
+        qc.h(0)
+        qc.cx(0, 1)
+        qc.measure([0, 1], [0, 1])
+        exact = StatevectorSimulator().exact_probabilities(qc)
+        sampled = StatevectorSimulator(max_branches=1).run(qc, shots=4000, seed=13)
+        for key, p in exact.items():
+            assert abs(sampled.counts.get(key, 0) / 4000 - p) < 0.05
+
+
+class TestValidation:
+    def test_invalid_max_branches(self):
+        with pytest.raises(SimulationError):
+            StatevectorSimulator(max_branches=0)
+
+    def test_bad_initial_state_norm(self, sv_sim):
+        qc = QuantumCircuit(1)
+        with pytest.raises(SimulationError, match="normalis"):
+            sv_sim.final_statevector(qc, initial_state=np.array([2.0, 0.0]))

@@ -1,0 +1,89 @@
+"""Tests for the circuit-unitary builder and equivalence checking."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.circuits import library
+from repro.circuits.circuit import QuantumCircuit
+from repro.circuits.gates import cx_matrix, h_matrix
+from repro.exceptions import SimulationError
+from repro.simulators.unitary import circuit_unitary, circuits_equivalent
+
+
+class TestCircuitUnitary:
+    def test_single_gate(self):
+        qc = QuantumCircuit(1)
+        qc.h(0)
+        np.testing.assert_allclose(circuit_unitary(qc), h_matrix(), atol=1e-12)
+
+    def test_bell_circuit_unitary(self):
+        qc = library.bell_pair()
+        expected = cx_matrix() @ np.kron(h_matrix(), np.eye(2))
+        np.testing.assert_allclose(circuit_unitary(qc), expected, atol=1e-12)
+
+    def test_gate_on_second_qubit_kron_position(self):
+        qc = QuantumCircuit(2)
+        qc.h(1)
+        expected = np.kron(np.eye(2), h_matrix())
+        np.testing.assert_allclose(circuit_unitary(qc), expected, atol=1e-12)
+
+    def test_reversed_cx_operands(self):
+        qc = QuantumCircuit(2)
+        qc.cx(1, 0)  # control is qubit 1 (least significant here)
+        expected = np.zeros((4, 4))
+        # |q0 q1>: 01 -> 11, 11 -> 01, others fixed.
+        expected[0b00, 0b00] = 1
+        expected[0b11, 0b01] = 1
+        expected[0b10, 0b10] = 1
+        expected[0b01, 0b11] = 1
+        np.testing.assert_allclose(circuit_unitary(qc), expected, atol=1e-12)
+
+    def test_measurement_rejected(self):
+        qc = QuantumCircuit(1, 1)
+        qc.measure(0, 0)
+        with pytest.raises(SimulationError, match="unitary"):
+            circuit_unitary(qc)
+
+    def test_unitarity_of_library_circuits(self):
+        for factory in (library.qft(3), library.grover(2, [1]), library.w_state(3)):
+            u = circuit_unitary(factory)
+            np.testing.assert_allclose(
+                u @ u.conj().T, np.eye(u.shape[0]), atol=1e-9
+            )
+
+
+class TestEquivalence:
+    def test_equivalent_decompositions(self):
+        a = QuantumCircuit(1)
+        a.z(0)
+        b = QuantumCircuit(1)
+        b.s(0)
+        b.s(0)
+        assert circuits_equivalent(a, b)
+
+    def test_global_phase_tolerated(self):
+        a = QuantumCircuit(1)
+        a.rz(math.pi, 0)  # Z up to global phase -i
+        b = QuantumCircuit(1)
+        b.z(0)
+        assert circuits_equivalent(a, b)
+        assert not circuits_equivalent(a, b, up_to_phase=False)
+
+    def test_detects_difference(self):
+        a = QuantumCircuit(1)
+        a.x(0)
+        b = QuantumCircuit(1)
+        b.y(0)
+        assert not circuits_equivalent(a, b)
+
+    def test_size_mismatch(self):
+        assert not circuits_equivalent(QuantumCircuit(1), QuantumCircuit(2))
+
+    def test_swap_as_three_cx(self):
+        a = QuantumCircuit(2)
+        a.swap(0, 1)
+        b = QuantumCircuit(2)
+        b.cx(0, 1).cx(1, 0).cx(0, 1)
+        assert circuits_equivalent(a, b)

@@ -1,0 +1,209 @@
+"""Systematic bug catalogue: which assertion family catches which bug.
+
+Huang & Martonosi's bug study (the paper's motivation) found quantum
+programs fail in a handful of recurring ways.  This suite injects each bug
+class into a known-good program and verifies the appropriate dynamic
+assertion detects it with the theoretically expected probability — and
+that no assertion fires on the correct program (no false positives).
+
+Detection probabilities here are *exact* (branch enumeration), so the
+expected values are closed-form.
+"""
+
+import math
+
+import pytest
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.circuits.library import bell_pair, ghz_state
+from repro.core.injector import AssertionInjector
+from repro.simulators.statevector import StatevectorSimulator
+
+SIM = StatevectorSimulator()
+
+
+def detection_probability(injector: AssertionInjector) -> float:
+    """Exact probability that at least one assertion fires."""
+    probabilities = SIM.exact_probabilities(injector.circuit)
+    clbits = injector.assertion_clbits
+    passing = 0.0
+    for key, p in probabilities.items():
+        if all(
+            record.passes(key) for record in injector.records
+        ):
+            passing += p
+    return 1.0 - passing
+
+
+class TestNoFalsePositives:
+    """Correct programs must never trip any assertion."""
+
+    def test_bell_pair_all_assertions(self):
+        injector = AssertionInjector(bell_pair())
+        injector.assert_entangled([0, 1])
+        injector.assert_phase_parity([0, 1])
+        assert detection_probability(injector) == pytest.approx(0.0, abs=1e-12)
+
+    def test_uniform_layer(self):
+        program = QuantumCircuit(3)
+        for q in range(3):
+            program.h(q)
+        injector = AssertionInjector(program)
+        injector.assert_uniform([0, 1, 2])
+        assert detection_probability(injector) == pytest.approx(0.0, abs=1e-12)
+
+    def test_classical_init(self):
+        program = QuantumCircuit(2)
+        program.x(1)
+        injector = AssertionInjector(program)
+        injector.assert_classical([0, 1], [0, 1])
+        assert detection_probability(injector) == pytest.approx(0.0, abs=1e-12)
+
+
+class TestMissingGateBugs:
+    """Bug class 1: a gate was forgotten."""
+
+    def test_missing_cx_in_bell(self):
+        program = QuantumCircuit(2)
+        program.h(0)  # forgot cx(0, 1)
+        injector = AssertionInjector(program)
+        injector.assert_entangled([0, 1])
+        # q0q1 in {00, 10}: parity odd on half the mass -> P(detect) = 1/2.
+        assert detection_probability(injector) == pytest.approx(0.5)
+
+    def test_missing_h_before_cx(self):
+        program = QuantumCircuit(2)
+        program.cx(0, 1)  # forgot h(0): state stays |00>
+        injector = AssertionInjector(program)
+        # Z-parity of |00> is fine — the entanglement assertion is blind...
+        injector.assert_entangled([0, 1])
+        assert detection_probability(injector) == pytest.approx(0.0, abs=1e-12)
+        # ...but the X-parity (full GHZ check) catches it half the time.
+        injector2 = AssertionInjector(program)
+        injector2.assert_ghz([0, 1])
+        assert detection_probability(injector2) == pytest.approx(0.5)
+
+    def test_missing_h_in_uniform_layer(self):
+        program = QuantumCircuit(2)
+        program.h(0)  # forgot h(1)
+        injector = AssertionInjector(program)
+        injector.assert_uniform([0, 1])
+        # Fig. 7: the classical qubit errs with probability 1/2.
+        assert detection_probability(injector) == pytest.approx(0.5)
+
+
+class TestWrongGateBugs:
+    """Bug class 2: the right location, the wrong gate."""
+
+    def test_x_instead_of_h(self):
+        program = QuantumCircuit(1)
+        program.x(0)  # meant h(0)
+        injector = AssertionInjector(program)
+        injector.assert_superposition(0)
+        assert detection_probability(injector) == pytest.approx(0.5)
+
+    def test_z_instead_of_x_invisible_to_classical_assertion(self):
+        """Phase gates on basis states are unobservable — documented."""
+        program = QuantumCircuit(1)
+        program.z(0)  # meant x(0); |0> is a Z eigenstate
+        injector = AssertionInjector(program)
+        injector.assert_classical(0, 1)  # expected |1>, got |0>
+        assert detection_probability(injector) == pytest.approx(1.0)
+
+    def test_s_instead_of_h(self):
+        program = QuantumCircuit(1)
+        program.s(0)  # meant h(0): state stays |0>
+        injector = AssertionInjector(program)
+        injector.assert_superposition(0)
+        assert detection_probability(injector) == pytest.approx(0.5)
+
+    def test_rx_angle_typo(self):
+        """Off-by-factor-two rotation angle: detection = infidelity."""
+        program = QuantumCircuit(1)
+        program.ry(math.pi / 4, 0)  # meant ry(pi/2)
+        injector = AssertionInjector(program)
+        injector.assert_state(0, math.pi / 2, 0.0)
+        expected = 1.0 - math.cos(math.pi / 8) ** 2
+        assert detection_probability(injector) == pytest.approx(expected, abs=1e-9)
+
+
+class TestOperandBugs:
+    """Bug class 3: right gates, wrong qubits."""
+
+    def test_cx_on_wrong_target(self):
+        program = QuantumCircuit(3)
+        program.h(0)
+        program.cx(0, 2)  # meant cx(0, 1)
+        injector = AssertionInjector(program)
+        injector.assert_entangled([0, 1])
+        assert detection_probability(injector) == pytest.approx(0.5)
+
+    def test_reversed_cx_in_ghz_chain(self):
+        program = QuantumCircuit(3)
+        program.h(0)
+        program.cx(0, 1)
+        program.cx(2, 1)  # meant cx(1, 2)
+        injector = AssertionInjector(program)
+        injector.assert_entangled([0, 1, 2], mode="pairwise")
+        # Qubit 2 never entangles: pair (1,2) parity is uniform -> 1/2.
+        assert detection_probability(injector) == pytest.approx(0.5)
+
+
+class TestPhaseBugs:
+    """Bug class 4: phase errors (invisible in the Z basis)."""
+
+    def test_stray_z_on_bell(self):
+        program = bell_pair()
+        program.z(1)  # phase error
+        z_only = AssertionInjector(program.copy())
+        z_only.assert_entangled([0, 1])
+        assert detection_probability(z_only) == pytest.approx(0.0, abs=1e-12)
+        full = AssertionInjector(program.copy())
+        full.assert_ghz([0, 1])
+        assert detection_probability(full) == pytest.approx(1.0)
+
+    def test_minus_instead_of_plus(self):
+        program = QuantumCircuit(1)
+        program.x(0)
+        program.h(0)  # |-> where |+> was wanted
+        injector = AssertionInjector(program)
+        injector.assert_superposition(0, sign="+")
+        assert detection_probability(injector) == pytest.approx(1.0)
+
+    def test_stray_t_gate_partial_detection(self):
+        program = ghz_state(2)
+        program.t(1)
+        injector = AssertionInjector(program)
+        injector.assert_ghz([0, 1])
+        # T rotates the phase by pi/4: X-parity sees sin^2(pi/8) of it.
+        expected = math.sin(math.pi / 8) ** 2
+        assert detection_probability(injector) == pytest.approx(expected, abs=1e-9)
+
+
+class TestExtraGateBugs:
+    """Bug class 5: an extra, unintended operation."""
+
+    def test_duplicated_h(self):
+        program = QuantumCircuit(1)
+        program.h(0)
+        program.h(0)  # pasted twice: back to |0>
+        injector = AssertionInjector(program)
+        injector.assert_superposition(0)
+        assert detection_probability(injector) == pytest.approx(0.5)
+
+    def test_stray_x_on_ghz(self):
+        program = ghz_state(3)
+        program.x(2)
+        injector = AssertionInjector(program)
+        injector.assert_entangled([0, 1, 2], mode="pairwise")
+        assert detection_probability(injector) == pytest.approx(1.0)
+
+    def test_leftover_debug_measurement(self):
+        """A measurement someone forgot to delete collapses the state; the
+        X-parity check sees the coherence loss half the time."""
+        program = bell_pair()
+        reg = program.add_clbits(1, name="debug")
+        program.measure(0, reg[0])  # leftover debug probe
+        injector = AssertionInjector(program)
+        injector.assert_ghz([0, 1])
+        assert detection_probability(injector) == pytest.approx(0.5)

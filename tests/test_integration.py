@@ -1,0 +1,158 @@
+"""End-to-end integration tests across the whole stack.
+
+Each test exercises the full pipeline a downstream user would run:
+build program -> inject assertions -> (transpile ->) execute -> filter.
+"""
+
+import math
+
+import pytest
+
+from repro import (
+    AssertionInjector,
+    NoisyDeviceBackend,
+    QuantumCircuit,
+    StabilizerBackend,
+    StatevectorBackend,
+    ibmqx4,
+    library,
+    postselect_passing,
+)
+from repro.core import evaluate_assertions
+from repro.core.filtering import result_error_rate
+
+
+class TestIdealPipeline:
+    def test_bell_with_entanglement_assertion(self):
+        injector = AssertionInjector(library.bell_pair())
+        injector.assert_entangled([0, 1])
+        injector.measure_program()
+        result = StatevectorBackend().run(injector.circuit, shots=1000, seed=1)
+        filtered = postselect_passing(result.counts, injector.records)
+        assert set(filtered) == {"00", "11"}
+        assert filtered.shots == 1000  # nothing discarded ideally
+
+    def test_grover_with_mid_circuit_assertions(self):
+        """Assert the uniform superposition after the H layer, then continue
+        with the Grover iterations in the same execution."""
+        stage1 = library.uniform_superposition(2)
+        injector = AssertionInjector(stage1)
+        injector.assert_uniform([0, 1])
+        # Continue: one Grover iteration marking |11>.
+        continuation = QuantumCircuit(2)
+        continuation.cz(0, 1)
+        for q in range(2):
+            continuation.h(q)
+            continuation.x(q)
+        continuation.cz(0, 1)
+        for q in range(2):
+            continuation.x(q)
+            continuation.h(q)
+        injector.apply(continuation)
+        injector.measure_program()
+        result = StatevectorBackend().run(injector.circuit, shots=600, seed=2)
+        report = evaluate_assertions(result.counts, injector.records)
+        assert report.pass_rate == pytest.approx(1.0)
+        assert report.passing.most_frequent() == "11"
+
+    def test_buggy_grover_caught_by_assertion(self):
+        """An X-for-H bug in the initial layer trips the |+> assertion."""
+        buggy = QuantumCircuit(2)
+        buggy.h(0)
+        buggy.x(1)  # should have been h(1)
+        injector = AssertionInjector(buggy)
+        injector.assert_uniform([0, 1])
+        injector.measure_program()
+        result = StatevectorBackend().run(injector.circuit, shots=2000, seed=3)
+        report = evaluate_assertions(result.counts, injector.records)
+        # The bugged qubit's assertion errs ~50% of the time; the healthy
+        # qubit's assertion never fires.
+        rates = list(report.per_assertion_error_rate.values())
+        assert rates[0] == pytest.approx(0.0, abs=1e-9)
+        assert rates[1] == pytest.approx(0.5, abs=0.05)
+        assert report.discard_fraction() > 0.3
+
+    def test_teleportation_with_classical_assertion(self):
+        """Assert Bob's qubit teleported |1> correctly, via the circuit."""
+        prep = QuantumCircuit(1)
+        prep.x(0)
+        program = library.teleportation(state_prep=prep)
+        injector = AssertionInjector(program)
+        injector.assert_classical(2, 1)  # Bob must hold |1>
+        result = StatevectorBackend().run(injector.circuit, shots=400, seed=4)
+        report = evaluate_assertions(
+            result.counts.marginal(injector.records[0].clbits),
+            [
+                # Re-key the record to the marginalised single-bit histogram.
+                type(injector.records[0])(
+                    kind=injector.records[0].kind,
+                    qubits=injector.records[0].qubits,
+                    ancillas=injector.records[0].ancillas,
+                    clbits=(0,),
+                    expected=injector.records[0].expected,
+                    label=injector.records[0].label,
+                )
+            ],
+        )
+        assert report.pass_rate == pytest.approx(1.0)
+
+
+class TestStabilizerPipeline:
+    def test_large_ghz_assertion_pipeline(self):
+        injector = AssertionInjector(library.ghz_state(48))
+        injector.assert_entangled(list(range(48)), mode="pairwise")
+        injector.measure_program()
+        result = StabilizerBackend().run(injector.circuit, shots=64, seed=5)
+        report = evaluate_assertions(result.counts, injector.records)
+        assert report.pass_rate == pytest.approx(1.0)
+        assert set(report.passing) == {"0" * 48, "1" * 48}
+
+    def test_bit_flip_bug_detected_at_scale(self):
+        program = library.ghz_state(16)
+        program.x(7)  # injected bug
+        injector = AssertionInjector(program)
+        injector.assert_entangled(list(range(16)), mode="pairwise")
+        injector.measure_program()
+        result = StabilizerBackend().run(injector.circuit, shots=64, seed=6)
+        report = evaluate_assertions(result.counts, injector.records)
+        assert report.pass_rate == pytest.approx(0.0)
+
+
+class TestNoisyPipeline:
+    def test_noisy_bell_filtering_improves_error_rate(self, ibmqx4_device):
+        injector = AssertionInjector(library.bell_pair())
+        injector.assert_entangled([0, 1])
+        result_clbits = injector.measure_program()
+        backend = NoisyDeviceBackend(ibmqx4_device)
+        result = backend.run(injector.circuit, shots=8192, seed=7)
+        raw = result_error_rate(
+            result.counts.marginal(result_clbits), ["00", "11"]
+        )
+        report = evaluate_assertions(result.counts, injector.records)
+        filtered = result_error_rate(report.passing, ["00", "11"])
+        assert filtered < raw
+
+    def test_transpiled_assertion_survives_lowering(self, ibmqx4_device):
+        """The assertion semantics must survive basis/layout/direction
+        rewriting: with noise off, filtering discards nothing."""
+        injector = AssertionInjector(library.bell_pair())
+        injector.assert_entangled([0, 1])
+        injector.measure_program()
+        backend = NoisyDeviceBackend(ibmqx4_device, noise_scale=0.0)
+        result = backend.run(injector.circuit, shots=512, seed=8)
+        report = evaluate_assertions(result.counts, injector.records)
+        assert report.pass_rate == pytest.approx(1.0)
+        assert set(report.passing) == {"00", "11"}
+
+
+class TestQasmInterop:
+    def test_instrumented_circuit_roundtrips_and_reruns(self):
+        from repro.circuits.qasm import circuit_from_qasm, circuit_to_qasm
+
+        injector = AssertionInjector(library.ghz_state(3))
+        injector.assert_entangled([0, 1, 2], mode="single")
+        injector.measure_program()
+        restored = circuit_from_qasm(circuit_to_qasm(injector.circuit))
+        original = StatevectorBackend().run(injector.circuit, shots=1, seed=9)
+        roundtrip = StatevectorBackend().run(restored, shots=1, seed=9)
+        assert original.probabilities == roundtrip.probabilities

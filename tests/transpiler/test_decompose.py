@@ -1,0 +1,140 @@
+"""Tests for basis decomposition: every rewrite must preserve the unitary."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuits import gates, library
+from repro.circuits.circuit import QuantumCircuit
+from repro.exceptions import TranspilerError
+from repro.simulators.unitary import circuits_equivalent
+from repro.transpiler.decompose import decompose_to_basis
+
+BASIS = ("u1", "u2", "u3", "cx")
+ANGLES = st.floats(min_value=-2 * math.pi, max_value=2 * math.pi, allow_nan=False)
+
+
+def assert_decomposition_faithful(circuit):
+    lowered = decompose_to_basis(circuit, BASIS)
+    for inst in lowered.data:
+        if inst.operation.is_gate:
+            assert inst.name in BASIS, f"{inst.name} not lowered"
+    assert circuits_equivalent(circuit, lowered)
+    return lowered
+
+
+class TestFixedGates:
+    @pytest.mark.parametrize(
+        "name", ["id", "x", "y", "z", "h", "s", "sdg", "t", "tdg", "sx", "sxdg"]
+    )
+    def test_one_qubit_fixed(self, name):
+        qc = QuantumCircuit(1)
+        getattr(qc, "i" if name == "id" else name)(0)
+        assert_decomposition_faithful(qc)
+
+    @pytest.mark.parametrize("name", ["cy", "cz", "ch", "swap", "iswap"])
+    def test_two_qubit_fixed(self, name):
+        qc = QuantumCircuit(2)
+        getattr(qc, name)(0, 1)
+        assert_decomposition_faithful(qc)
+
+    def test_ccx(self):
+        qc = QuantumCircuit(3)
+        qc.ccx(0, 1, 2)
+        lowered = assert_decomposition_faithful(qc)
+        assert lowered.count_ops()["cx"] == 6  # the standard network
+
+    def test_cswap(self):
+        qc = QuantumCircuit(3)
+        qc.cswap(0, 1, 2)
+        assert_decomposition_faithful(qc)
+
+
+class TestParameterisedGates:
+    @given(theta=ANGLES)
+    @settings(max_examples=25, deadline=None)
+    def test_rotations(self, theta):
+        for name in ("rx", "ry", "rz", "p"):
+            qc = QuantumCircuit(1)
+            getattr(qc, name)(theta, 0)
+            assert_decomposition_faithful(qc)
+
+    @given(theta=ANGLES)
+    @settings(max_examples=25, deadline=None)
+    def test_controlled_rotations(self, theta):
+        for name in ("cp", "crx", "cry", "crz", "rzz", "rxx"):
+            qc = QuantumCircuit(2)
+            getattr(qc, name)(theta, 0, 1)
+            assert_decomposition_faithful(qc)
+
+    @given(theta=ANGLES, phi=ANGLES, lam=ANGLES)
+    @settings(max_examples=25, deadline=None)
+    def test_cu3(self, theta, phi, lam):
+        qc = QuantumCircuit(2)
+        qc.cu3(theta, phi, lam, 0, 1)
+        assert_decomposition_faithful(qc)
+
+
+class TestCircuits:
+    @pytest.mark.parametrize(
+        "factory",
+        [
+            lambda: library.bell_pair(),
+            lambda: library.ghz_state(3),
+            lambda: library.qft(3),
+            lambda: library.grover(2, [2]),
+            lambda: library.w_state(3),
+        ],
+        ids=["bell", "ghz", "qft", "grover", "w"],
+    )
+    def test_library_circuits(self, factory):
+        assert_decomposition_faithful(factory())
+
+    def test_measures_and_barriers_pass_through(self):
+        qc = QuantumCircuit(2, 2)
+        qc.h(0)
+        qc.barrier()
+        qc.measure([0, 1], [0, 1])
+        lowered = decompose_to_basis(qc, BASIS)
+        names = [inst.name for inst in lowered]
+        assert "barrier" in names
+        assert names.count("measure") == 2
+
+    def test_conditions_preserved(self):
+        qc = QuantumCircuit(1, 1)
+        qc.x(0, condition=(0, 1))
+        lowered = decompose_to_basis(qc, BASIS)
+        assert all(inst.condition == (0, 1) for inst in lowered if inst.operation.is_gate)
+
+    def test_cheapest_u_gate_chosen(self):
+        qc = QuantumCircuit(1)
+        qc.z(0)  # diagonal -> u1
+        lowered = decompose_to_basis(qc, BASIS)
+        assert [inst.name for inst in lowered] == ["u1"]
+        qc2 = QuantumCircuit(1)
+        qc2.h(0)  # theta = pi/2 -> u2
+        lowered2 = decompose_to_basis(qc2, BASIS)
+        assert [inst.name for inst in lowered2] == ["u2"]
+
+
+class TestValidation:
+    def test_core_basis_required(self):
+        qc = QuantumCircuit(1)
+        qc.h(0)
+        with pytest.raises(TranspilerError, match="core basis"):
+            decompose_to_basis(qc, ("rx", "rz", "cz"))
+
+    def test_arbitrary_two_qubit_unitary_rejected(self):
+        import numpy as np
+
+        qc = QuantumCircuit(2)
+        qc.unitary(np.eye(4), [0, 1])
+        with pytest.raises(TranspilerError, match="not implemented"):
+            decompose_to_basis(qc, BASIS)
+
+    def test_one_qubit_unitary_gate_lowered(self):
+        qc = QuantumCircuit(1)
+        qc.unitary(gates.t_matrix(), [0], label="customT")
+        assert_decomposition_faithful(qc)

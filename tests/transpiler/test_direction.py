@@ -1,0 +1,71 @@
+"""Tests for CX direction fixing on directed coupling maps."""
+
+import pytest
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.devices.topology import CouplingMap
+from repro.exceptions import TranspilerError
+from repro.simulators.unitary import circuits_equivalent
+from repro.transpiler.direction import fix_cx_directions
+
+
+def one_way():
+    """Only CX(0 -> 1) is native."""
+    return CouplingMap([(0, 1)], num_qubits=2)
+
+
+class TestDirectionFixing:
+    def test_native_direction_untouched(self):
+        qc = QuantumCircuit(2)
+        qc.cx(0, 1)
+        fixed = fix_cx_directions(qc, one_way())
+        assert [inst.name for inst in fixed] == ["cx"]
+        assert fixed.data[0].qubits == (0, 1)
+
+    def test_reversed_direction_conjugated(self):
+        qc = QuantumCircuit(2)
+        qc.cx(1, 0)
+        fixed = fix_cx_directions(qc, one_way())
+        names = [inst.name for inst in fixed]
+        assert names == ["u2", "u2", "cx", "u2", "u2"]
+        cx = next(inst for inst in fixed if inst.name == "cx")
+        assert cx.qubits == (0, 1)
+        assert circuits_equivalent(qc, fixed)
+
+    def test_swap_expanded_with_directions(self):
+        qc = QuantumCircuit(2)
+        qc.swap(0, 1)
+        fixed = fix_cx_directions(qc, one_way())
+        assert circuits_equivalent(qc, fixed)
+        for inst in fixed:
+            if inst.name == "cx":
+                assert inst.qubits == (0, 1)
+
+    def test_disconnected_pair_rejected(self):
+        cmap = CouplingMap([(0, 1)], num_qubits=3)
+        qc = QuantumCircuit(3)
+        qc.cx(0, 2)
+        with pytest.raises(TranspilerError, match="route first"):
+            fix_cx_directions(qc, cmap)
+
+    def test_non_cx_two_qubit_gate_rejected(self):
+        qc = QuantumCircuit(2)
+        qc.cz(0, 1)
+        with pytest.raises(TranspilerError, match="decompose first"):
+            fix_cx_directions(qc, one_way())
+
+    def test_one_qubit_gates_and_measures_pass(self):
+        qc = QuantumCircuit(2, 1)
+        qc.h(0)
+        qc.measure(0, 0)
+        fixed = fix_cx_directions(qc, one_way())
+        assert [inst.name for inst in fixed] == ["h", "measure"]
+
+    def test_ibmqx4_table1_direction(self, ibmqx4_device):
+        """The paper's Table 1 CX(q1 -> q2) must be H-conjugated."""
+        qc = QuantumCircuit(5)
+        qc.cx(1, 2)
+        fixed = fix_cx_directions(qc, ibmqx4_device.coupling_map)
+        cx = next(inst for inst in fixed if inst.name == "cx")
+        assert cx.qubits == (2, 1)
+        assert circuits_equivalent(qc, fixed)

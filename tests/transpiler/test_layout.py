@@ -1,0 +1,106 @@
+"""Tests for layout selection and application."""
+
+import pytest
+
+from repro.circuits import library
+from repro.circuits.circuit import QuantumCircuit
+from repro.devices.ibmqx4 import ibmqx4
+from repro.devices.generic import linear_device
+from repro.exceptions import TranspilerError
+from repro.transpiler.layout import (
+    Layout,
+    apply_layout,
+    interaction_counts,
+    select_layout,
+)
+
+
+class TestLayoutClass:
+    def test_bijection_enforced(self):
+        with pytest.raises(TranspilerError, match="together"):
+            Layout([0, 0], 2)
+
+    def test_range_enforced(self):
+        with pytest.raises(TranspilerError, match="exceeds"):
+            Layout([0, 5], 3)
+
+    def test_physical_lookup(self):
+        layout = Layout([2, 0], 3)
+        assert layout.physical(0) == 2
+        assert layout.physical(1) == 0
+        with pytest.raises(TranspilerError):
+            layout.physical(5)
+
+    def test_inverse_mapping(self):
+        layout = Layout([2, 0], 3)
+        assert layout.physical_to_virtual() == {2: 0, 0: 1}
+
+    def test_swapped(self):
+        layout = Layout([0, 1], 3)
+        swapped = layout.swapped(1, 2)
+        assert swapped.virtual_to_physical == (0, 2)
+
+    def test_swapped_with_unmapped_physical(self):
+        layout = Layout([0], 3)
+        swapped = layout.swapped(0, 2)
+        assert swapped.virtual_to_physical == (2,)
+
+    def test_trivial(self):
+        assert Layout.trivial(2, 5).virtual_to_physical == (0, 1)
+
+    def test_equality(self):
+        assert Layout([0, 1], 3) == Layout([0, 1], 3)
+        assert Layout([0, 1], 3) != Layout([1, 0], 3)
+
+
+class TestInteractionCounts:
+    def test_counts_pairs(self):
+        qc = QuantumCircuit(3)
+        qc.cx(0, 1)
+        qc.cx(1, 0)
+        qc.cx(1, 2)
+        assert interaction_counts(qc) == {(0, 1): 2, (1, 2): 1}
+
+
+class TestSelectLayout:
+    def test_bell_pair_lands_on_an_edge(self):
+        device = ibmqx4()
+        layout = select_layout(library.bell_pair(), device)
+        a, b = layout.virtual_to_physical
+        assert device.coupling_map.connected(a, b)
+
+    def test_prefers_low_error_edges(self):
+        device = ibmqx4()
+        layout = select_layout(library.bell_pair(), device)
+        a, b = sorted(layout.virtual_to_physical)
+        # (2, 0) has the lowest CX error in the model (0.028).
+        assert (a, b) == (0, 2)
+
+    def test_chain_circuit_on_chain_device(self):
+        device = linear_device(4)
+        layout = select_layout(library.ghz_state(3), device)
+        placed = layout.virtual_to_physical
+        # Adjacent virtual pairs should be physically adjacent.
+        assert device.coupling_map.connected(placed[0], placed[1])
+        assert device.coupling_map.connected(placed[1], placed[2])
+
+    def test_too_large_circuit_rejected(self):
+        with pytest.raises(TranspilerError, match="needs"):
+            select_layout(QuantumCircuit(9), linear_device(4))
+
+    def test_gateless_circuit_still_mapped(self):
+        device = linear_device(3)
+        layout = select_layout(QuantumCircuit(2), device)
+        assert len(set(layout.virtual_to_physical)) == 2
+
+
+class TestApplyLayout:
+    def test_remaps_instructions(self):
+        qc = QuantumCircuit(2, 2)
+        qc.cx(0, 1)
+        qc.measure([0, 1], [0, 1])
+        laid = apply_layout(qc, Layout([3, 1], 5))
+        assert laid.num_qubits == 5
+        assert laid.data[0].qubits == (3, 1)
+        assert laid.data[1].qubits == (3,)
+        assert laid.data[1].clbits == (0,)

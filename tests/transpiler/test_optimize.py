@@ -1,0 +1,133 @@
+"""Tests for peephole optimisation: semantics must never change."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuits import library
+from repro.circuits.circuit import QuantumCircuit
+from repro.simulators.unitary import circuits_equivalent
+from repro.transpiler.optimize import cancel_adjacent_cx, merge_single_qubit_runs
+
+
+class TestMergeSingleQubitRuns:
+    def test_hh_cancels(self):
+        qc = QuantumCircuit(1)
+        qc.h(0)
+        qc.h(0)
+        merged = merge_single_qubit_runs(qc)
+        assert len(merged) == 0
+
+    def test_run_becomes_one_gate(self):
+        qc = QuantumCircuit(1)
+        qc.h(0)
+        qc.t(0)
+        qc.s(0)
+        qc.h(0)
+        merged = merge_single_qubit_runs(qc)
+        assert len(merged) == 1
+        assert circuits_equivalent(qc, merged)
+
+    def test_runs_bounded_by_two_qubit_gates(self):
+        qc = QuantumCircuit(2)
+        qc.h(0)
+        qc.cx(0, 1)
+        qc.h(0)
+        merged = merge_single_qubit_runs(qc)
+        names = [inst.name for inst in merged]
+        assert names.count("cx") == 1
+        assert circuits_equivalent(qc, merged)
+        # The two H's must NOT merge across the CX.
+        assert len(merged) == 3
+
+    def test_barrier_blocks_merge(self):
+        qc = QuantumCircuit(1)
+        qc.h(0)
+        qc.barrier(0)
+        qc.h(0)
+        merged = merge_single_qubit_runs(qc)
+        gate_names = [inst.name for inst in merged if inst.name != "barrier"]
+        assert len(gate_names) == 2
+
+    def test_conditioned_gates_not_merged(self):
+        qc = QuantumCircuit(1, 1)
+        qc.h(0)
+        qc.x(0, condition=(0, 1))
+        qc.h(0)
+        merged = merge_single_qubit_runs(qc)
+        conditions = [inst.condition for inst in merged]
+        assert (0, 1) in conditions
+
+    def test_diagonal_run_becomes_u1(self):
+        qc = QuantumCircuit(1)
+        qc.t(0)
+        qc.s(0)
+        merged = merge_single_qubit_runs(qc)
+        assert [inst.name for inst in merged] == ["u1"]
+
+    @given(seed=st.integers(min_value=0, max_value=10 ** 6))
+    @settings(max_examples=20, deadline=None)
+    def test_random_circuits_preserved(self, seed):
+        qc = library.random_circuit(3, 8, seed=seed)
+        merged = merge_single_qubit_runs(qc)
+        assert circuits_equivalent(qc, merged)
+        assert merged.size() <= qc.size()
+
+
+class TestCancelAdjacentCX:
+    def test_back_to_back_pair_cancels(self):
+        qc = QuantumCircuit(2)
+        qc.cx(0, 1)
+        qc.cx(0, 1)
+        assert len(cancel_adjacent_cx(qc)) == 0
+
+    def test_intervening_gate_blocks(self):
+        qc = QuantumCircuit(2)
+        qc.cx(0, 1)
+        qc.h(1)
+        qc.cx(0, 1)
+        assert len(cancel_adjacent_cx(qc)) == 3
+
+    def test_gate_on_other_wire_is_transparent(self):
+        qc = QuantumCircuit(3)
+        qc.cx(0, 1)
+        qc.h(2)
+        qc.cx(0, 1)
+        cancelled = cancel_adjacent_cx(qc)
+        assert [inst.name for inst in cancelled] == ["h"]
+
+    def test_reversed_pair_does_not_cancel(self):
+        qc = QuantumCircuit(2)
+        qc.cx(0, 1)
+        qc.cx(1, 0)
+        assert len(cancel_adjacent_cx(qc)) == 2
+
+    def test_cascading_cancellation(self):
+        qc = QuantumCircuit(2)
+        for _ in range(4):
+            qc.cx(0, 1)
+        assert len(cancel_adjacent_cx(qc)) == 0
+
+    def test_odd_count_leaves_one(self):
+        qc = QuantumCircuit(2)
+        for _ in range(3):
+            qc.cx(0, 1)
+        assert len(cancel_adjacent_cx(qc)) == 1
+
+    def test_measurement_blocks_cancellation(self):
+        """The assertion-circuit guarantee: the ancilla measurement sits
+        between parity CNOTs on the same wires and must block cancellation."""
+        qc = QuantumCircuit(2, 1)
+        qc.cx(0, 1)
+        qc.measure(1, 0)
+        qc.cx(0, 1)
+        assert len(cancel_adjacent_cx(qc)) == 3
+
+    @given(seed=st.integers(min_value=0, max_value=10 ** 6))
+    @settings(max_examples=20, deadline=None)
+    def test_random_circuits_preserved(self, seed):
+        qc = library.random_circuit(3, 10, seed=seed, clifford_only=True)
+        cancelled = cancel_adjacent_cx(qc)
+        assert circuits_equivalent(qc, cancelled)
