@@ -46,6 +46,7 @@ from repro.devices import (
     ibmqx4,
 )
 from repro.results import Counts, Result
+from repro.runtime import execute, get_backend
 from repro.simulators import (
     DensityMatrixSimulator,
     StabilizerSimulator,
@@ -72,6 +73,8 @@ __all__ = [
     "StatevectorBackend",
     "StatevectorSimulator",
     "evaluate_assertions",
+    "execute",
+    "get_backend",
     "ibmqx4",
     "library",
     "postselect_passing",

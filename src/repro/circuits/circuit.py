@@ -11,6 +11,7 @@ runtime-assertion injector (:mod:`repro.core`) needs.
 
 from __future__ import annotations
 
+import hashlib
 import math
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple, Union
 
@@ -614,6 +615,36 @@ class QuantumCircuit:
             for inst in self.data
             if inst.operation.is_gate and inst.operation.num_qubits >= 2
         )
+
+    def fingerprint(self) -> str:
+        """Return a canonical content hash of the circuit.
+
+        Two circuits share a fingerprint iff they apply the same operations
+        (name, parameters, unitary payload, condition) to the same flat bit
+        indices over the same bit counts.  Register names, the circuit name
+        and object identity do **not** participate, so a rebuilt sweep
+        variant hashes identically to the original.  The runtime layer
+        (:mod:`repro.runtime`) keys its transpile cache and job batching on
+        this value.
+
+        The digest is recomputed on every call by design: circuits are
+        mutable builders, and a stale memoised hash would silently poison
+        the runtime caches, while hashing even a routed device circuit
+        costs microseconds against millisecond simulations.
+        """
+        hasher = hashlib.sha256()
+        hasher.update(f"v1|{self.num_qubits}|{self.num_clbits}".encode())
+        for inst in self.data:
+            op = inst.operation
+            params = ",".join(repr(float(p)) for p in op.params)
+            hasher.update(
+                f"|{op.name}/{op.num_qubits}({params})"
+                f"q{inst.qubits}c{inst.clbits}?{inst.condition}".encode()
+            )
+            matrix = getattr(op, "_matrix", None)
+            if matrix is not None:
+                hasher.update(np.ascontiguousarray(matrix, dtype=complex).tobytes())
+        return hasher.hexdigest()
 
     def has_measurements(self) -> bool:
         """Return ``True`` if the circuit contains any measurement."""

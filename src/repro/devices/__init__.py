@@ -15,6 +15,7 @@ from repro.devices.generic import linear_device, grid_device, fully_connected_de
 from repro.devices.backend import (
     Backend,
     DensityMatrixBackend,
+    DeviceBackend,
     NoisyDeviceBackend,
     StabilizerBackend,
     StatevectorBackend,
@@ -25,6 +26,7 @@ __all__ = [
     "Backend",
     "CouplingMap",
     "DensityMatrixBackend",
+    "DeviceBackend",
     "DeviceModel",
     "GateCalibration",
     "NoisyDeviceBackend",

@@ -4,13 +4,18 @@ Backends bundle an engine with (optionally) a device model and the
 transpiler, so experiments can be written once and pointed at an ideal
 simulator or a noisy device model interchangeably — the same way the paper's
 experiments moved between QUIRK and IBM Q.
+
+For batch workloads, prefer going through :mod:`repro.runtime`:
+``repro.runtime.execute`` fans circuits and shot chunks out over a thread
+pool, deduplicates identical jobs, and resolves backends by name via
+``repro.runtime.get_backend`` (e.g. ``"noisy:ibmqx4"``).  Device-model
+backends transparently memoise their transpile step through the runtime's
+fingerprint-keyed :class:`~repro.runtime.cache.TranspileCache`.
 """
 
 from __future__ import annotations
 
 from typing import Optional
-
-import numpy as np
 
 from repro.circuits.circuit import QuantumCircuit
 from repro.devices.device import DeviceModel
@@ -25,6 +30,11 @@ class Backend:
     """Abstract backend interface."""
 
     name = "abstract"
+
+    #: ``True`` when :meth:`run` results carry the exact outcome
+    #: distribution in ``result.probabilities`` (lets the runtime's
+    #: batching layer re-sample counts instead of re-simulating).
+    returns_probabilities = False
 
     def run(
         self,
@@ -43,6 +53,7 @@ class StatevectorBackend(Backend):
     """Ideal pure-state backend (the "QUIRK" role)."""
 
     name = "statevector"
+    returns_probabilities = True
 
     def __init__(self, max_branches: int = 4096) -> None:
         self._simulator = StatevectorSimulator(max_branches=max_branches)
@@ -55,6 +66,7 @@ class DensityMatrixBackend(Backend):
     """Ideal mixed-state backend (exact distributions)."""
 
     name = "density_matrix"
+    returns_probabilities = True
 
     def __init__(self, max_branches: int = 4096) -> None:
         self._simulator = DensityMatrixSimulator(max_branches=max_branches)
@@ -75,13 +87,12 @@ class StabilizerBackend(Backend):
         return self._simulator.run(circuit, shots=shots, seed=seed)
 
 
-class NoisyDeviceBackend(Backend):
-    """Transpile to a device and execute on the density-matrix engine.
+class DeviceBackend(Backend):
+    """Shared base for backends that lower circuits to a device model.
 
-    This backend plays the role of the IBM Q machine in the paper's §4:
-    circuits are lowered to the device's basis gates and coupling
-    constraints, then evolved under the calibrated noise model, and the
-    returned counts are multinomial samples of the exact noisy distribution.
+    Subclasses provide the engine via :meth:`_make_simulator`; qubit-count
+    validation, (cached) transpilation and result metadata stamping are
+    handled here once.
 
     Parameters
     ----------
@@ -92,25 +103,70 @@ class NoisyDeviceBackend(Backend):
     transpile:
         Set ``False`` if circuits are already in device-native form with
         physical qubit indices.
+    layout:
+        Pin the virtual->physical placement instead of selecting one (the
+        Table 1/2 reproductions pin the paper's published qubit choices).
+    cache:
+        Transpile cache policy: ``None`` (default) shares the process-wide
+        :data:`repro.runtime.cache.DEFAULT_CACHE`; a
+        :class:`~repro.runtime.cache.TranspileCache` instance uses that
+        cache; ``False`` disables caching entirely.
     """
+
+    _family = "device"
 
     def __init__(
         self,
         device: DeviceModel,
         noise_scale: float = 1.0,
         transpile: bool = True,
+        layout=None,
+        cache=None,
     ) -> None:
         self.device = device
         self.noise_scale = noise_scale
         self.transpile = transpile
-        self.name = f"noisy({device.name})"
+        self.layout = layout
+        self.cache = cache
+        self.name = f"{self._family}({device.name})"
         self._noise_model = device.noise_model(scale=noise_scale)
-        self._simulator = DensityMatrixSimulator(noise_model=self._noise_model)
+        self._simulator = self._make_simulator()
+
+    def _make_simulator(self):
+        raise NotImplementedError
 
     @property
     def noise_model(self):
         """Return the compiled noise model (shared with the engine)."""
         return self._noise_model
+
+    def prepare(self, circuit: QuantumCircuit) -> QuantumCircuit:
+        """Return the circuit as it would execute (transpiled if enabled).
+
+        Transpilation goes through the runtime's fingerprint-keyed cache,
+        so sweeps that re-run an identical circuit (any shots, seed or
+        noise scale) lower it exactly once per ``(circuit, device,
+        layout)``.
+        """
+        if circuit.num_qubits > self.device.num_qubits:
+            raise DeviceError(
+                f"circuit needs {circuit.num_qubits} qubits but "
+                f"{self.device.name} has {self.device.num_qubits}"
+            )
+        if not self.transpile:
+            return circuit
+        if self.cache is False:
+            from repro.transpiler import transpile_for_device
+
+            return transpile_for_device(circuit, self.device, layout=self.layout)
+        from repro.runtime.cache import transpile_cached
+
+        return transpile_cached(
+            circuit,
+            self.device,
+            layout=self.layout,
+            cache=self.cache,
+        )
 
     def run(self, circuit, shots=1024, seed=None):
         executed = self.prepare(circuit)
@@ -120,50 +176,29 @@ class NoisyDeviceBackend(Backend):
         result.metadata["transpiled_ops"] = executed.count_ops()
         return result
 
-    def prepare(self, circuit: QuantumCircuit) -> QuantumCircuit:
-        """Return the circuit as it would execute (transpiled if enabled)."""
-        if circuit.num_qubits > self.device.num_qubits:
-            raise DeviceError(
-                f"circuit needs {circuit.num_qubits} qubits but "
-                f"{self.device.name} has {self.device.num_qubits}"
-            )
-        if not self.transpile:
-            return circuit
-        from repro.transpiler import transpile_for_device
 
-        return transpile_for_device(circuit, self.device)
+class NoisyDeviceBackend(DeviceBackend):
+    """Transpile to a device and execute on the density-matrix engine.
+
+    This backend plays the role of the IBM Q machine in the paper's §4:
+    circuits are lowered to the device's basis gates and coupling
+    constraints, then evolved under the calibrated noise model, and the
+    returned counts are multinomial samples of the exact noisy distribution.
+    """
+
+    _family = "noisy"
+    returns_probabilities = True
+
+    def _make_simulator(self):
+        return DensityMatrixSimulator(noise_model=self._noise_model)
 
 
-class TrajectoryDeviceBackend(Backend):
+class TrajectoryDeviceBackend(DeviceBackend):
     """Monte-Carlo noisy backend (scales past the density-matrix engine)."""
 
-    def __init__(
-        self,
-        device: DeviceModel,
-        noise_scale: float = 1.0,
-        transpile: bool = True,
-    ) -> None:
+    _family = "trajectory"
+
+    def _make_simulator(self):
         from repro.noise.trajectories import TrajectorySimulator
 
-        self.device = device
-        self.noise_scale = noise_scale
-        self.transpile = transpile
-        self.name = f"trajectory({device.name})"
-        self._noise_model = device.noise_model(scale=noise_scale)
-        self._simulator = TrajectorySimulator(noise_model=self._noise_model)
-
-    def run(self, circuit, shots=1024, seed=None):
-        if circuit.num_qubits > self.device.num_qubits:
-            raise DeviceError(
-                f"circuit needs {circuit.num_qubits} qubits but "
-                f"{self.device.name} has {self.device.num_qubits}"
-            )
-        executed = circuit
-        if self.transpile:
-            from repro.transpiler import transpile_for_device
-
-            executed = transpile_for_device(circuit, self.device)
-        result = self._simulator.run(executed, shots=shots, seed=seed)
-        result.metadata["device"] = self.device.name
-        result.metadata["noise_scale"] = self.noise_scale
-        return result
+        return TrajectorySimulator(noise_model=self._noise_model)

@@ -58,3 +58,11 @@ class AssertionCircuitError(ReproError):
 
 class ExperimentError(ReproError):
     """Raised when an experiment harness is misconfigured."""
+
+
+class JobError(ReproError):
+    """Raised when a runtime job fails, is cancelled, or is misused."""
+
+
+class ProviderError(DeviceError):
+    """Raised for unknown backend specs in the runtime provider registry."""

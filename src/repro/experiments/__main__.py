@@ -2,19 +2,25 @@
 
 Regenerates every paper artifact and ablation from the terminal::
 
-    python -m repro.experiments            # everything
-    python -m repro.experiments table1     # one experiment
-    python -m repro.experiments --list     # show the index
+    python -m repro.experiments                  # everything
+    python -m repro.experiments table1           # one experiment
+    python -m repro.experiments --list           # show the index
+    python -m repro.experiments sweep --workers 4 --runtime-stats
 
 Each experiment prints the same paper-vs-measured summary the benchmarks
-assert on.
+assert on.  Execution flows through :mod:`repro.runtime`: batch-shaped
+experiments (the noise sweep, the scaling study) fan their jobs out over
+the runtime's thread pool (``--workers``), every device run shares the
+runtime's transpile cache (``--runtime-stats`` prints its hit rate, or
+``--no-transpile-cache`` empties and disables reuse for A/B timing), and
+``--list-backends`` shows the provider registry's spec strings.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-from typing import Callable, Dict
+from typing import Callable, Dict, Optional
 
 from repro.experiments import (
     run_amplification,
@@ -31,28 +37,56 @@ from repro.experiments import (
     run_table2,
 )
 
-#: Experiment id -> (description, runner returning an object with .summary()).
+#: Experiment id -> (description, runner taking the worker count).  Runners
+#: whose workload is batch-shaped forward ``workers`` to the runtime pool;
+#: single-job experiments ignore it.
+Runner = Callable[[Optional[int]], object]
 EXPERIMENTS: Dict[str, tuple] = {
-    "fig6": ("E1: classical assertion, QUIRK-style", lambda: run_fig6()),
-    "fig7": ("E2: superposition assertion, QUIRK-style", lambda: run_fig7()),
-    "table1": ("E3: classical assertion on ibmqx4 model", lambda: run_table1()),
-    "table2": ("E4: entanglement assertion on ibmqx4 model", lambda: run_table2()),
-    "sec43": ("E5: superposition assertion on ibmqx4 model", lambda: run_sec43()),
-    "parity": ("A1: even/odd CNOT-count ablation", lambda: run_parity_ablation()),
-    "scaling": ("A2: overhead & scaling (stabilizer)", lambda: run_scaling()),
+    "fig6": ("E1: classical assertion, QUIRK-style", lambda workers: run_fig6()),
+    "fig7": ("E2: superposition assertion, QUIRK-style", lambda workers: run_fig7()),
+    "table1": (
+        "E3: classical assertion on ibmqx4 model",
+        lambda workers: run_table1(),
+    ),
+    "table2": (
+        "E4: entanglement assertion on ibmqx4 model",
+        lambda workers: run_table2(),
+    ),
+    "sec43": (
+        "E5: superposition assertion on ibmqx4 model",
+        lambda workers: run_sec43(),
+    ),
+    "parity": (
+        "A1: even/odd CNOT-count ablation",
+        lambda workers: run_parity_ablation(),
+    ),
+    "scaling": (
+        "A2: overhead & scaling (stabilizer)",
+        # Only an explicit --workers overrides run_scaling's serial default
+        # (its per-row timings assume one engine run at a time).
+        lambda workers: run_scaling(
+            **({} if workers is None else {"max_workers": workers})
+        ),
+    ),
     "baseline": (
         "A3: dynamic vs statistical assertions",
-        lambda: run_baseline_comparison(),
+        lambda workers: run_baseline_comparison(),
     ),
-    "sweep": ("A4: noise sweep of the filtering benefit", lambda: run_noise_sweep()),
-    "phase": ("A5b: phase-error detection extension", lambda: run_phase_ablation()),
+    "sweep": (
+        "A4: noise sweep of the filtering benefit",
+        lambda workers: run_noise_sweep(max_workers=workers),
+    ),
+    "phase": (
+        "A5b: phase-error detection extension",
+        lambda workers: run_phase_ablation(),
+    ),
     "mitigation": (
         "A6: assertion filtering vs readout mitigation",
-        lambda: run_mitigation_comparison(),
+        lambda workers: run_mitigation_comparison(),
     ),
     "amplification": (
         "A7: stacked assertions & auto-correction saturation",
-        lambda: run_amplification(),
+        lambda workers: run_amplification(),
     ),
 }
 
@@ -72,12 +106,48 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--list", action="store_true", help="list available experiments and exit"
     )
+    parser.add_argument(
+        "--list-backends",
+        action="store_true",
+        help="list the runtime provider's backend specs and exit",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="runtime thread-pool width for batch-shaped experiments "
+        "(default: CPU count; counts are seed-deterministic either way)",
+    )
+    parser.add_argument(
+        "--no-transpile-cache",
+        action="store_true",
+        help="disable the runtime transpile cache (forces re-lowering)",
+    )
+    parser.add_argument(
+        "--runtime-stats",
+        action="store_true",
+        help="print the runtime transpile-cache statistics when done",
+    )
     args = parser.parse_args(argv)
+
+    from repro.runtime import cache as runtime_cache
 
     if args.list:
         for name, (description, _runner) in EXPERIMENTS.items():
             print(f"{name:>10}  {description}")
         return 0
+    if args.list_backends:
+        from repro.runtime import list_backends
+
+        for spec in list_backends():
+            print(spec)
+        return 0
+    if args.workers is not None and args.workers < 1:
+        parser.error(f"--workers must be positive, got {args.workers}")
+    if args.no_transpile_cache:
+        runtime_cache.DEFAULT_CACHE.clear()
+        runtime_cache.DEFAULT_CACHE.maxsize = 0
 
     selected = args.experiments or list(EXPERIMENTS)
     unknown = [name for name in selected if name not in EXPERIMENTS]
@@ -87,8 +157,15 @@ def main(argv=None) -> int:
         )
     for name in selected:
         _description, runner = EXPERIMENTS[name]
-        print(runner().summary())
+        print(runner(args.workers).summary())
         print()
+    if args.runtime_stats:
+        stats = runtime_cache.transpile_cache_stats()
+        print(
+            "runtime transpile cache: "
+            f"{stats['entries']} entries, {stats['hits']} hits, "
+            f"{stats['misses']} misses (hit rate {stats['hit_rate']:.0%})"
+        )
     return 0
 
 

@@ -21,12 +21,12 @@ from typing import Dict, List, Optional, Tuple
 from repro.circuits.circuit import QuantumCircuit
 from repro.core.filtering import error_rate_reduction
 from repro.core.injector import AssertionInjector
+from repro.devices.backend import NoisyDeviceBackend
 from repro.devices.device import DeviceModel
 from repro.devices.ibmqx4 import ibmqx4
 from repro.results.counts import Counts
-from repro.simulators.density_matrix import DensityMatrixSimulator
+from repro.runtime.execute import execute
 from repro.transpiler.layout import Layout
-from repro.transpiler.passes import transpile_for_device
 
 #: The paper's Table 1, keyed by the ``q1 q2`` bitstring.
 PAPER_TABLE1: Dict[str, float] = {
@@ -111,35 +111,29 @@ def build_table1_circuit() -> Tuple[QuantumCircuit, AssertionInjector]:
     return injector.circuit, injector
 
 
-def run_table1(
+def table1_backend(
     device: Optional[DeviceModel] = None,
-    shots: int = 8192,
-    seed: Optional[int] = 2020,
     noise_scale: float = 1.0,
-) -> Table1Result:
-    """Execute the Table 1 experiment on the noisy device model.
+) -> NoisyDeviceBackend:
+    """Return the backend the Table 1 circuit executes on.
 
-    Parameters
-    ----------
-    device:
-        Device model (defaults to :func:`~repro.devices.ibmqx4.ibmqx4`).
-    shots:
-        Shots to sample (paper used 8192).
-    seed:
-        Sampling seed; ``None`` uses expected (deterministic) counts.
-    noise_scale:
-        Error-rate multiplier (1.0 = nominal calibration).
+    The paper's placement is pinned: tested qubit -> physical q1, ancilla ->
+    q2.  Exposed separately so batch drivers (the noise sweep) can submit
+    Table 1 jobs through :func:`repro.runtime.execute`.
     """
     device = device or ibmqx4()
-    circuit, _injector = build_table1_circuit()
-    # Pin the paper's placement: tested qubit -> physical q1, ancilla -> q2.
     layout = Layout([1, 2], device.num_qubits)
-    executed = transpile_for_device(circuit, device, layout=layout)
-    simulator = DensityMatrixSimulator(noise_model=device.noise_model(noise_scale))
-    result = simulator.run(executed, shots=shots, seed=seed)
-    # Counts keys are (clbit0 = ancilla/q2, clbit1 = q1); re-key to q1 q2.
+    return NoisyDeviceBackend(device, noise_scale=noise_scale, layout=layout)
+
+
+def analyze_table1(raw_counts: Counts, shots: int) -> Table1Result:
+    """Derive the Table 1 statistics from raw execution counts.
+
+    ``raw_counts`` keys are (clbit0 = ancilla/q2, clbit1 = q1); they are
+    re-keyed to the paper's ``q1 q2`` order here.
+    """
     requantified: Dict[str, int] = {}
-    for key, value in result.counts.items():
+    for key, value in raw_counts.items():
         requantified[key[1] + key[0]] = requantified.get(key[1] + key[0], 0) + value
     counts = Counts(requantified)
     total = counts.shots
@@ -155,3 +149,32 @@ def run_table1(
         shots=shots,
         counts=counts,
     )
+
+
+def run_table1(
+    device: Optional[DeviceModel] = None,
+    shots: int = 8192,
+    seed: Optional[int] = 2020,
+    noise_scale: float = 1.0,
+) -> Table1Result:
+    """Execute the Table 1 experiment on the noisy device model.
+
+    Execution goes through :func:`repro.runtime.execute`, so repeated runs
+    (sweeps, benchmarks) reuse the cached transpilation of the pinned
+    layout.
+
+    Parameters
+    ----------
+    device:
+        Device model (defaults to :func:`~repro.devices.ibmqx4.ibmqx4`).
+    shots:
+        Shots to sample (paper used 8192).
+    seed:
+        Sampling seed applied to the multinomial draw.
+    noise_scale:
+        Error-rate multiplier (1.0 = nominal calibration).
+    """
+    circuit, _injector = build_table1_circuit()
+    backend = table1_backend(device, noise_scale)
+    result = execute(circuit, backend, shots=shots, seed=seed).result()
+    return analyze_table1(result.counts, shots)

@@ -16,12 +16,12 @@ from typing import Dict, List, Optional, Tuple
 from repro.circuits.circuit import QuantumCircuit
 from repro.core.filtering import error_rate_reduction
 from repro.core.injector import AssertionInjector
+from repro.devices.backend import NoisyDeviceBackend
 from repro.devices.device import DeviceModel
 from repro.devices.ibmqx4 import ibmqx4
 from repro.results.counts import Counts
-from repro.simulators.density_matrix import DensityMatrixSimulator
+from repro.runtime.execute import execute
 from repro.transpiler.layout import Layout
-from repro.transpiler.passes import transpile_for_device
 
 #: The paper's Table 2, keyed by the ``q0 q1 q2`` bitstring (q0 = ancilla).
 PAPER_TABLE2: Dict[str, float] = {
@@ -113,23 +113,28 @@ def build_table2_circuit() -> Tuple[QuantumCircuit, AssertionInjector]:
     return injector.circuit, injector
 
 
-def run_table2(
+def table2_backend(
     device: Optional[DeviceModel] = None,
-    shots: int = 8192,
-    seed: Optional[int] = 2020,
     noise_scale: float = 1.0,
-) -> Table2Result:
-    """Execute the Table 2 experiment on the noisy device model."""
+) -> NoisyDeviceBackend:
+    """Return the backend the Table 2 circuit executes on.
+
+    Paper placement pinned: Bell pair on physical q1, q2; ancilla on q0.
+    Exposed separately so batch drivers (the noise sweep) can submit
+    Table 2 jobs through :func:`repro.runtime.execute`.
+    """
     device = device or ibmqx4()
-    circuit, _injector = build_table2_circuit()
-    # Paper placement: Bell pair on physical q1, q2; ancilla on q0.
     layout = Layout([1, 2, 0], device.num_qubits)
-    executed = transpile_for_device(circuit, device, layout=layout)
-    simulator = DensityMatrixSimulator(noise_model=device.noise_model(noise_scale))
-    result = simulator.run(executed, shots=shots, seed=seed)
-    # Counts keys are (clbit0 = ancilla q0, clbit1 = q1, clbit2 = q2), which
-    # is already the paper's q0 q1 q2 order.
-    counts = Counts(dict(result.counts))
+    return NoisyDeviceBackend(device, noise_scale=noise_scale, layout=layout)
+
+
+def analyze_table2(raw_counts: Counts, shots: int) -> Table2Result:
+    """Derive the Table 2 statistics from raw execution counts.
+
+    Counts keys are (clbit0 = ancilla q0, clbit1 = q1, clbit2 = q2), which
+    is already the paper's ``q0 q1 q2`` order.
+    """
+    counts = Counts(dict(raw_counts))
     total = counts.shots
     keys = sorted(PAPER_TABLE2)
     distribution = {key: counts.get(key, 0) / total for key in keys}
@@ -153,3 +158,20 @@ def run_table2(
         shots=shots,
         counts=counts,
     )
+
+
+def run_table2(
+    device: Optional[DeviceModel] = None,
+    shots: int = 8192,
+    seed: Optional[int] = 2020,
+    noise_scale: float = 1.0,
+) -> Table2Result:
+    """Execute the Table 2 experiment on the noisy device model.
+
+    Execution goes through :func:`repro.runtime.execute`, sharing the
+    runtime's transpile cache with the sweeps and benchmarks.
+    """
+    circuit, _injector = build_table2_circuit()
+    backend = table2_backend(device, noise_scale)
+    result = execute(circuit, backend, shots=shots, seed=seed).result()
+    return analyze_table2(result.counts, shots)

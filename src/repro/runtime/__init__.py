@@ -1,0 +1,61 @@
+"""Batched, cached, parallel job execution — the preferred run layer.
+
+The paper's workflow is batch-shaped: every figure and table sweeps many
+circuit variants (assertion points x noise scales x shot counts) across
+interchangeable backends.  This package is the layer between the engines
+(:mod:`repro.simulators`, :mod:`repro.devices`) and the drivers
+(:mod:`repro.experiments`, benchmarks) that makes those sweeps cheap:
+
+* :func:`~repro.runtime.execute.execute` — one entry point for a circuit
+  or a batch, fanning out across circuits and shot chunks on a thread pool.
+* :class:`~repro.runtime.job.Job` / :class:`~repro.runtime.job.JobSet` —
+  submit/status/result/cancel futures over the pool.
+* :func:`~repro.runtime.provider.get_backend` — named backend registry
+  (``"statevector"``, ``"noisy:ibmqx4"``, ...) replacing ad-hoc
+  constructor calls.
+* :class:`~repro.runtime.cache.TranspileCache` — fingerprint-keyed
+  transpile memoisation wired into the device backends.
+* :mod:`~repro.runtime.batching` — identical ``(circuit, backend)`` jobs
+  simulate the distribution once and re-sample counts per job.
+
+Everything is deterministic under a caller seed: serial, parallel, chunked
+and deduplicated execution all produce the same counts for the same seed.
+"""
+
+from repro.runtime.batching import BatchPlan, plan_batches
+from repro.runtime.cache import (
+    DEFAULT_CACHE,
+    TranspileCache,
+    clear_transpile_cache,
+    transpile_cache_stats,
+    transpile_cached,
+)
+from repro.runtime.execute import execute, execute_and_collect
+from repro.runtime.job import Job, JobSet, JobStatus
+from repro.runtime.provider import (
+    get_backend,
+    list_backends,
+    register_backend,
+    register_device,
+    resolve_backend,
+)
+
+__all__ = [
+    "BatchPlan",
+    "DEFAULT_CACHE",
+    "Job",
+    "JobSet",
+    "JobStatus",
+    "TranspileCache",
+    "clear_transpile_cache",
+    "execute",
+    "execute_and_collect",
+    "get_backend",
+    "list_backends",
+    "plan_batches",
+    "register_backend",
+    "register_device",
+    "resolve_backend",
+    "transpile_cache_stats",
+    "transpile_cached",
+]

@@ -1,0 +1,214 @@
+"""Job grouping: simulate a distribution once, resample per job.
+
+The paper's sweeps repeatedly execute the *same* instrumented circuit —
+across noise scales, shot counts and assertion points — so an N-job batch
+frequently contains only a handful of distinct ``(circuit, backend)``
+pairs.  :func:`plan_batches` groups jobs by
+``(circuit.fingerprint(), backend identity)`` and assigns each member a
+role:
+
+``primary``
+    The first job of a group; it actually executes on the backend.
+``share``
+    Identical ``(shots, seed)`` to the primary with a concrete seed: the
+    backend is deterministic given a seed, so the primary's result *is*
+    this job's result and is cloned without re-simulating.
+``resample``
+    Same distribution but different shots/seed, on a backend that reports
+    exact probabilities (``returns_probabilities``): the primary's
+    distribution is re-sampled with this job's own seeded generator,
+    replaying the job's own chunk plan — bit-identical to what a dedicated
+    (possibly chunked) ``backend.run`` schedule would have produced,
+    because the engines draw counts as the first use of a fresh
+    ``default_rng(seed)``.
+``independent``
+    Everything else (per-shot Monte-Carlo engines with a distinct seed):
+    runs on its own, exactly as without batching.
+
+Chunk-merge helpers for shot-sharded jobs also live here; chunk seeds are
+spawned deterministically from the caller's seed so serial and parallel
+chunked execution agree bit-for-bit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.results.counts import Counts, counts_from_probabilities
+from repro.results.result import Result
+
+#: Group key: (circuit fingerprint, backend object id).
+GroupKey = Tuple[str, int]
+
+ROLE_PRIMARY = "primary"
+ROLE_SHARE = "share"
+ROLE_RESAMPLE = "resample"
+ROLE_INDEPENDENT = "independent"
+
+
+@dataclass
+class JobPlan:
+    """Planned execution for one circuit of a batch."""
+
+    index: int
+    role: str
+    #: Index of the group primary this job derives from (itself for
+    #: primaries and independents).
+    source: int
+
+
+@dataclass
+class BatchPlan:
+    """The dedupe plan for a whole batch.
+
+    Attributes
+    ----------
+    jobs:
+        One :class:`JobPlan` per input circuit, in input order.
+    groups:
+        ``group key -> member indices`` (diagnostics / tests).
+    """
+
+    jobs: List[JobPlan] = field(default_factory=list)
+    groups: Dict[GroupKey, List[int]] = field(default_factory=dict)
+
+    @property
+    def num_executed(self) -> int:
+        """Return how many jobs actually hit a backend."""
+        return sum(1 for j in self.jobs if j.role in (ROLE_PRIMARY, ROLE_INDEPENDENT))
+
+
+def plan_batches(
+    circuits: Sequence,
+    backends: Sequence,
+    shots: Sequence[int],
+    seeds: Sequence[Optional[int]],
+    dedupe: bool = True,
+) -> BatchPlan:
+    """Group an aligned batch of job specs into a :class:`BatchPlan`."""
+    plan = BatchPlan()
+    primaries: Dict[GroupKey, int] = {}
+    for index, (circuit, backend) in enumerate(zip(circuits, backends)):
+        if not dedupe:
+            plan.jobs.append(JobPlan(index, ROLE_INDEPENDENT, index))
+            continue
+        key: GroupKey = (circuit.fingerprint(), id(backend))
+        plan.groups.setdefault(key, []).append(index)
+        primary = primaries.get(key)
+        if primary is None:
+            primaries[key] = index
+            plan.jobs.append(JobPlan(index, ROLE_PRIMARY, index))
+        elif (
+            shots[index] == shots[primary]
+            and seeds[index] == seeds[primary]
+            and seeds[index] is not None
+        ):
+            plan.jobs.append(JobPlan(index, ROLE_SHARE, primary))
+        elif getattr(backend, "returns_probabilities", False):
+            plan.jobs.append(JobPlan(index, ROLE_RESAMPLE, primary))
+        else:
+            plan.jobs.append(JobPlan(index, ROLE_INDEPENDENT, index))
+    return plan
+
+
+# ----------------------------------------------------------------------
+# Deterministic shot sharding
+# ----------------------------------------------------------------------
+
+
+def split_shots(shots: int, chunk_shots: Optional[int]) -> List[int]:
+    """Split ``shots`` into chunks of at most ``chunk_shots`` (``None`` = one)."""
+    if shots < 0:
+        raise ValueError(f"shots must be non-negative, got {shots}")
+    if chunk_shots is None or chunk_shots >= shots or shots == 0:
+        return [shots]
+    if chunk_shots < 1:
+        raise ValueError(f"chunk_shots must be positive, got {chunk_shots}")
+    full, rest = divmod(shots, chunk_shots)
+    return [chunk_shots] * full + ([rest] if rest else [])
+
+
+def chunk_seed(seed: Optional[int], chunk_index: int) -> Optional[int]:
+    """Derive a stable, independent sub-seed for one shot chunk.
+
+    ``None`` stays ``None`` (unseeded runs stay unseeded); otherwise the
+    chunk seed comes from ``np.random.SeedSequence`` spawning, so chunk
+    streams are independent yet fully reproducible from the caller's seed
+    regardless of scheduling order or worker count.
+    """
+    if seed is None:
+        return None
+    entropy = np.random.SeedSequence(entropy=seed, spawn_key=(chunk_index,))
+    return int(entropy.generate_state(1, dtype=np.uint64)[0])
+
+
+def merge_chunk_results(
+    chunks: Sequence[Result], shots: int, seed: Optional[int]
+) -> Result:
+    """Merge per-chunk results (in chunk order) into one job result."""
+    if not chunks:
+        return Result(shots=shots)
+    if len(chunks) == 1:
+        return chunks[0]
+    counts = Counts()
+    for chunk in chunks:
+        counts = counts.merged_with(chunk.counts)
+    first = chunks[0]
+    metadata = dict(first.metadata)
+    metadata.update(
+        seed=seed,
+        chunks=len(chunks),
+        chunk_seeds=[c.metadata.get("seed") for c in chunks],
+    )
+    return Result(
+        counts=counts,
+        shots=shots,
+        statevector=first.statevector,
+        probabilities=first.probabilities,
+        metadata=metadata,
+    )
+
+
+# ----------------------------------------------------------------------
+# Result derivation for deduplicated jobs
+# ----------------------------------------------------------------------
+
+
+def clone_result(source: Result, seed: Optional[int]) -> Result:
+    """Return an independent copy of ``source`` for a ``share`` job."""
+    metadata = dict(source.metadata)
+    metadata["seed"] = seed
+    return Result(
+        counts=Counts(dict(source.counts)),
+        shots=source.shots,
+        statevector=source.statevector,
+        probabilities=dict(source.probabilities) if source.probabilities else None,
+        metadata=metadata,
+    )
+
+
+def resample_result(
+    source: Result, shots: int, seed: Optional[int]
+) -> Optional[Result]:
+    """Re-sample a primary's exact distribution for a ``resample`` job.
+
+    Returns ``None`` when the primary carries no exact distribution (e.g.
+    the statevector engine fell back to per-shot mode); the caller must
+    then execute the job independently.
+    """
+    if source.probabilities is None:
+        return None
+    rng = np.random.default_rng(seed)
+    counts = counts_from_probabilities(source.probabilities, shots, rng)
+    metadata = dict(source.metadata)
+    metadata.update(seed=seed, resampled=True)
+    return Result(
+        counts=counts,
+        shots=shots,
+        statevector=source.statevector,
+        probabilities=dict(source.probabilities),
+        metadata=metadata,
+    )

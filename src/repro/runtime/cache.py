@@ -1,0 +1,202 @@
+"""Transpile caching keyed by canonical circuit fingerprints.
+
+Transpiling for a device is the most expensive *classical* step of a noisy
+run, and the paper's sweeps re-execute the same instrumented circuit at many
+noise scales and shot counts.  :class:`TranspileCache` memoises
+``transpile_for_device`` output keyed by
+``(circuit.fingerprint(), device content fingerprint, layout, optimize)``
+so a sweep pays the lowering cost once per distinct configuration — the
+profile-guided "pay the analysis once, reuse it across runs" discipline.
+
+The noise scale deliberately does **not** participate in the key: lowering
+never sees it — ``transpile_for_device`` takes no noise argument and layout
+selection reads the device's unscaled calibration — so a noise sweep's
+per-scale backends all hit the same entry.
+
+The cache is safe to share across threads (the runtime's job pool fans out
+across a shared pool) and bounded LRU.  Cached circuits are returned as-is:
+callers must treat them as immutable, which every engine in
+:mod:`repro.simulators` already does.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from collections import OrderedDict
+from typing import Optional, Tuple
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.devices.device import DeviceModel
+from repro.transpiler.layout import Layout
+
+#: Cache key: (circuit fingerprint, device fingerprint, layout tuple, optimize).
+CacheKey = Tuple[str, str, Optional[Tuple[int, ...]], bool]
+
+
+def device_fingerprint(device: DeviceModel) -> str:
+    """Return a content hash of everything lowering can depend on.
+
+    Keying the cache on ``device.name`` alone would let two same-named
+    devices with different coupling, basis gates or calibration silently
+    share transpiled circuits, so the name, topology and calibration data
+    all participate.  Device models are declarative and treated as
+    immutable, so the digest is memoised on the instance.
+    """
+    cached = getattr(device, "_structure_fingerprint", None)
+    if cached is not None:
+        return cached
+    hasher = hashlib.sha256()
+    hasher.update(
+        f"{device.name}|{device.num_qubits}|{device.basis_gates}".encode()
+    )
+    hasher.update(repr(sorted(device.coupling_map.directed_edges)).encode())
+    for qcal in device.qubit_calibrations:
+        hasher.update(
+            repr(
+                (
+                    qcal.t1,
+                    qcal.t2,
+                    qcal.readout_p0_given_1,
+                    qcal.readout_p1_given_0,
+                    qcal.frequency_ghz,
+                )
+            ).encode()
+        )
+    for gcal in device.gate_calibrations:
+        hasher.update(
+            repr((gcal.name, gcal.qubits, gcal.error_rate, gcal.duration_ns)).encode()
+        )
+    digest = hasher.hexdigest()
+    device._structure_fingerprint = digest
+    return digest
+
+
+def transpile_key(
+    circuit: QuantumCircuit,
+    device: DeviceModel,
+    layout: Optional[Layout] = None,
+    optimize: bool = True,
+) -> CacheKey:
+    """Build the canonical cache key for one transpile request."""
+    layout_key = None if layout is None else tuple(layout.virtual_to_physical)
+    return (
+        circuit.fingerprint(),
+        device_fingerprint(device),
+        layout_key,
+        bool(optimize),
+    )
+
+
+class TranspileCache:
+    """A bounded, thread-safe LRU cache of transpiled circuits.
+
+    Parameters
+    ----------
+    maxsize:
+        Maximum number of cached circuits; ``0`` disables storage (every
+        lookup misses), which is how benchmarks measure the uncached path.
+
+    Attributes
+    ----------
+    hits / misses:
+        Lifetime lookup statistics (survive :meth:`clear`).
+    """
+
+    def __init__(self, maxsize: int = 1024) -> None:
+        if maxsize < 0:
+            raise ValueError(f"maxsize must be non-negative, got {maxsize}")
+        self.maxsize = maxsize
+        self.hits = 0
+        self.misses = 0
+        self._lock = threading.Lock()
+        self._entries: "OrderedDict[CacheKey, QuantumCircuit]" = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def lookup(self, key: CacheKey) -> Optional[QuantumCircuit]:
+        """Return the cached circuit for ``key`` (marking a hit) or ``None``."""
+        with self._lock:
+            circuit = self._entries.get(key)
+            if circuit is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return circuit
+
+    def store(self, key: CacheKey, circuit: QuantumCircuit) -> None:
+        """Insert a transpiled circuit, evicting the LRU entry when full."""
+        if self.maxsize == 0:
+            return
+        with self._lock:
+            self._entries[key] = circuit
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.maxsize:
+                self._entries.popitem(last=False)
+
+    def transpile(
+        self,
+        circuit: QuantumCircuit,
+        device: DeviceModel,
+        layout: Optional[Layout] = None,
+        optimize: bool = True,
+    ) -> QuantumCircuit:
+        """Return the device-lowered circuit, computing it on a miss."""
+        key = transpile_key(circuit, device, layout, optimize)
+        cached = self.lookup(key)
+        if cached is not None:
+            return cached
+        from repro.transpiler.passes import transpile_for_device
+
+        lowered = transpile_for_device(circuit, device, layout=layout, optimize=optimize)
+        self.store(key, lowered)
+        return lowered
+
+    def clear(self) -> None:
+        """Drop all entries (statistics are preserved)."""
+        with self._lock:
+            self._entries.clear()
+
+    def stats(self) -> dict:
+        """Return ``{"entries", "hits", "misses", "hit_rate"}``."""
+        total = self.hits + self.misses
+        return {
+            "entries": len(self._entries),
+            "hits": self.hits,
+            "misses": self.misses,
+            "hit_rate": (self.hits / total) if total else 0.0,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"TranspileCache(entries={len(self._entries)}, hits={self.hits}, "
+            f"misses={self.misses})"
+        )
+
+
+#: Process-wide default cache used by the device backends.
+DEFAULT_CACHE = TranspileCache()
+
+
+def transpile_cached(
+    circuit: QuantumCircuit,
+    device: DeviceModel,
+    layout: Optional[Layout] = None,
+    optimize: bool = True,
+    cache: Optional[TranspileCache] = None,
+) -> QuantumCircuit:
+    """Transpile through ``cache`` (the process-wide default when ``None``)."""
+    target = DEFAULT_CACHE if cache is None else cache
+    return target.transpile(circuit, device, layout, optimize)
+
+
+def transpile_cache_stats() -> dict:
+    """Return the default cache's statistics."""
+    return DEFAULT_CACHE.stats()
+
+
+def clear_transpile_cache() -> None:
+    """Empty the default cache (e.g. between benchmark rounds)."""
+    DEFAULT_CACHE.clear()

@@ -1,0 +1,169 @@
+"""``execute()`` — the batched, parallel front door of the runtime.
+
+One call covers the paper's whole execution surface::
+
+    from repro.runtime import execute, get_backend
+
+    job = execute(circuit, "statevector", shots=4096, seed=7)
+    result = job.result()
+
+    jobs = execute(sweep_circuits, get_backend("noisy:ibmqx4"),
+                   shots=8192, seed=2020, max_workers=4)
+    for counts in jobs.counts():
+        ...
+
+Semantics:
+
+* **Batching** — a list of circuits becomes a :class:`~repro.runtime.job.JobSet`
+  whose jobs fan out over a shared thread pool (NumPy kernels release the
+  GIL, so noisy-simulation batches genuinely overlap).
+* **Deduplication** — with ``dedupe=True`` (default), jobs with the same
+  ``(circuit.fingerprint(), backend)`` simulate the distribution once and
+  share/re-sample it (see :mod:`repro.runtime.batching`), preserving the
+  exact counts a dedicated run would have produced.
+* **Shot chunking** — ``chunk_shots=N`` splits each job into ≤N-shot chunks
+  executed in parallel, with per-chunk seeds spawned deterministically from
+  the caller's seed; worker count never changes the merged counts.
+* **Determinism** — an unchunked, unbatched ``execute`` is bit-identical to
+  the sequential ``backend.run`` loop it replaces.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ThreadPoolExecutor
+from typing import List, Optional, Sequence, Union
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.devices.backend import Backend
+from repro.exceptions import JobError
+from repro.runtime.batching import ROLE_INDEPENDENT, ROLE_PRIMARY, plan_batches
+from repro.runtime.job import Job, JobSet
+from repro.runtime.provider import resolve_backend
+
+CircuitInput = Union[QuantumCircuit, Sequence[QuantumCircuit]]
+BackendInput = Union[str, Backend, Sequence[Union[str, Backend]]]
+
+
+def _default_workers() -> int:
+    return min(32, (os.cpu_count() or 1))
+
+
+def _broadcast(value, count: int, name: str) -> list:
+    """Expand a scalar to ``count`` entries or validate a sequence's length."""
+    if isinstance(value, (list, tuple)):
+        if len(value) != count:
+            raise JobError(
+                f"{name} list has {len(value)} entries for {count} circuit(s)"
+            )
+        return list(value)
+    return [value] * count
+
+
+def execute(
+    circuits: CircuitInput,
+    backend: BackendInput,
+    shots: Union[int, Sequence[int]] = 1024,
+    seed: Union[None, int, Sequence[Optional[int]]] = None,
+    max_workers: Optional[int] = None,
+    chunk_shots: Optional[int] = None,
+    dedupe: bool = True,
+) -> Union[Job, JobSet]:
+    """Submit one circuit or a batch for (parallel) execution.
+
+    Parameters
+    ----------
+    circuits:
+        A :class:`~repro.circuits.circuit.QuantumCircuit` or a sequence of
+        them.
+    backend:
+        A backend instance, a provider spec string (``"noisy:ibmqx4"``), or
+        a per-circuit sequence of either.
+    shots / seed:
+        Scalars apply to every circuit; sequences must match the batch
+        length.  A scalar seed replicates the sequential-loop convention of
+        running every circuit with the *same* seed.
+    max_workers:
+        Thread-pool width (default: CPU count, capped at 32).  ``1`` forces
+        serial execution — the merged counts are identical either way.
+    chunk_shots:
+        Split each job into chunks of at most this many shots (parallel
+        shot sharding for the per-shot Monte-Carlo engines).
+    dedupe:
+        Group identical ``(circuit, backend)`` jobs so the distribution is
+        simulated once and re-sampled per job.
+
+    Returns
+    -------
+    Job or JobSet
+        A single :class:`Job` when ``circuits`` is a lone circuit, else a
+        :class:`JobSet` in input order.  Submission returns immediately;
+        call ``.result()`` to collect.
+    """
+    single = isinstance(circuits, QuantumCircuit)
+    circuit_list: List[QuantumCircuit] = [circuits] if single else list(circuits)
+    if not circuit_list:
+        return JobSet([])
+    count = len(circuit_list)
+    # Resolve each distinct spec string once so repeated specs share one
+    # backend instance — dedup groups by backend identity, so per-circuit
+    # resolution would silently disable batching for spec-string callers.
+    resolved_specs: dict = {}
+    backends = []
+    for spec in _broadcast(backend, count, "backend"):
+        if isinstance(spec, Backend):
+            backends.append(spec)
+            continue
+        if spec not in resolved_specs:
+            resolved_specs[spec] = resolve_backend(spec)
+        backends.append(resolved_specs[spec])
+    shots_list = [int(s) for s in _broadcast(shots, count, "shots")]
+    seed_list = _broadcast(seed, count, "seed")
+    # Validate everything before any job reaches the pool: a late failure
+    # would leak already-submitted work with no Job handle to collect it.
+    for s in shots_list:
+        if s < 0:
+            raise JobError(f"shots must be non-negative, got {s}")
+    if chunk_shots is not None and chunk_shots < 1:
+        raise JobError(f"chunk_shots must be positive, got {chunk_shots}")
+    if max_workers is not None and max_workers < 1:
+        raise JobError(f"max_workers must be positive, got {max_workers}")
+
+    plan = plan_batches(circuit_list, backends, shots_list, seed_list, dedupe=dedupe)
+    executor = ThreadPoolExecutor(
+        max_workers=max_workers or _default_workers(),
+        thread_name_prefix="repro-runtime",
+    )
+    jobs: List[Job] = []
+    try:
+        for job_plan in plan.jobs:
+            index = job_plan.index
+            primary = job_plan.role in (ROLE_PRIMARY, ROLE_INDEPENDENT)
+            job = Job(
+                circuit_list[index],
+                backends[index],
+                shots_list[index],
+                seed_list[index],
+                role=job_plan.role,
+                source=None if primary else jobs[job_plan.source],
+                chunk_shots=chunk_shots,
+            )
+            if primary:
+                job._submit(executor)
+            jobs.append(job)
+    finally:
+        # Queued work keeps running; the pool just tears down as it drains.
+        executor.shutdown(wait=False)
+    return jobs[0] if single else JobSet(jobs)
+
+
+def execute_and_collect(
+    circuits: CircuitInput,
+    backend: BackendInput,
+    shots: Union[int, Sequence[int]] = 1024,
+    seed: Union[None, int, Sequence[Optional[int]]] = None,
+    **options,
+):
+    """Blocking convenience: ``execute(...)`` then ``.result()`` immediately."""
+    submitted = execute(circuits, backend, shots=shots, seed=seed, **options)
+    return submitted.result()

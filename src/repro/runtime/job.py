@@ -1,0 +1,357 @@
+"""Asynchronous jobs: the submit/result/cancel half of the runtime.
+
+A :class:`Job` is one circuit's execution on one backend, fanned out as one
+or more shot-chunk tasks on the ``concurrent.futures`` pool its
+``execute()`` batch owns (the submit-then-collect discipline of mainstream
+SDK ``Job`` objects).  A :class:`JobSet` is an ordered batch of jobs
+returned by :func:`repro.runtime.execute.execute`.
+
+Determinism contract
+--------------------
+* An unchunked job runs ``backend.run(circuit, shots, seed)`` verbatim, so
+  its counts are bit-identical to the sequential loop it replaces.
+* A chunked job derives chunk ``i``'s seed from the caller's seed via
+  ``SeedSequence`` spawning and merges chunk counts **in chunk order**, so
+  its counts depend only on ``(circuit, backend, shots, seed,
+  chunk_shots)`` — never on worker count or completion order.
+* A deduplicated job (see :mod:`repro.runtime.batching`) clones or
+  re-samples its group primary's result with its own seed, reproducing the
+  counts a dedicated run would have drawn.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+import threading
+import time
+from concurrent.futures import CancelledError, Future
+from concurrent.futures import TimeoutError as FutureTimeoutError
+from typing import TYPE_CHECKING, Iterator, List, Optional, Sequence
+
+from repro.exceptions import JobError
+from repro.results.counts import Counts
+from repro.results.result import Result
+from repro.runtime.batching import (
+    ROLE_INDEPENDENT,
+    ROLE_SHARE,
+    chunk_seed,
+    clone_result,
+    merge_chunk_results,
+    resample_result,
+    split_shots,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.circuits.circuit import QuantumCircuit
+    from repro.devices.backend import Backend
+
+
+class JobStatus(enum.Enum):
+    """Lifecycle of a :class:`Job`."""
+
+    QUEUED = "queued"
+    RUNNING = "running"
+    DONE = "done"
+    CANCELLED = "cancelled"
+    ERROR = "error"
+
+
+_job_counter = itertools.count(1)
+
+
+class Job:
+    """A single circuit execution in flight.
+
+    Jobs are created by :func:`repro.runtime.execute.execute`; user code
+    interacts with the returned object only.
+
+    Attributes
+    ----------
+    job_id:
+        Monotonic identifier, unique within the process.
+    circuit / backend / shots / seed:
+        The submitted work.
+    """
+
+    def __init__(
+        self,
+        circuit: "QuantumCircuit",
+        backend: "Backend",
+        shots: int,
+        seed: Optional[int],
+        role: str = ROLE_INDEPENDENT,
+        source: Optional["Job"] = None,
+        chunk_shots: Optional[int] = None,
+    ) -> None:
+        self.job_id = f"job-{next(_job_counter)}"
+        self.circuit = circuit
+        self.backend = backend
+        self.shots = shots
+        self.seed = seed
+        self.chunk_shots = chunk_shots
+        self._role = role
+        self._source = source if source is not None else self
+        self._futures: List[Future] = []
+        self._chunk_elapsed: List[float] = []
+        self._result: Optional[Result] = None
+        self._error: Optional[BaseException] = None
+        self._cancelled = False
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    # Submission (runtime-internal)
+    # ------------------------------------------------------------------
+
+    def chunk_plan(self) -> List[tuple]:
+        """Return the job's ``(shots, seed)`` chunk schedule.
+
+        The same plan drives both a primary's pool submission and a
+        derived job's re-sampling, so counts depend only on ``(circuit,
+        backend, shots, seed, chunk_shots)`` — never on dedup grouping.
+        """
+        shot_chunks = split_shots(self.shots, self.chunk_shots)
+        if len(shot_chunks) == 1:
+            return [(self.shots, self.seed)]
+        return [(n, chunk_seed(self.seed, i)) for i, n in enumerate(shot_chunks)]
+
+    def _run_chunk(self, shots: int, seed: Optional[int]) -> Result:
+        start = time.perf_counter()
+        result = self.backend.run(self.circuit, shots=shots, seed=seed)
+        with self._lock:
+            self._chunk_elapsed.append(time.perf_counter() - start)
+        return result
+
+    def _submit(self, executor) -> None:
+        """Schedule this job's chunk tasks on ``executor``."""
+        for shots, seed in self.chunk_plan():
+            self._futures.append(executor.submit(self._run_chunk, shots, seed))
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def derived(self) -> bool:
+        """Return ``True`` when this job reuses a group primary's result."""
+        return self._source is not self
+
+    def status(self) -> JobStatus:
+        """Return the job's current :class:`JobStatus`.
+
+        ``DONE`` means no pool work is outstanding and :meth:`result`
+        returns without waiting on other jobs.  For a deduplicated job it
+        is derived from the group primary; in the rare per-shot-fallback
+        case (primary finished without an exact distribution) or after the
+        primary was cancelled, :meth:`result` still has to run this job's
+        own simulation lazily on the calling thread.
+        """
+        if self._cancelled:
+            return JobStatus.CANCELLED
+        if self._error is not None:
+            return JobStatus.ERROR
+        if self._result is not None:
+            return JobStatus.DONE
+        if self.derived:
+            source_status = self._source.status()
+            if source_status is JobStatus.CANCELLED:
+                # This job was not cancelled: result() will run it
+                # independently on demand.
+                return JobStatus.DONE
+            return source_status
+        if not self._futures:
+            return JobStatus.QUEUED
+        if any(f.cancelled() for f in self._futures):
+            return JobStatus.CANCELLED
+        if any(f.done() and f.exception() is not None for f in self._futures):
+            return JobStatus.ERROR
+        if all(f.done() for f in self._futures):
+            return JobStatus.DONE
+        if any(f.running() or f.done() for f in self._futures):
+            return JobStatus.RUNNING
+        return JobStatus.QUEUED
+
+    def done(self) -> bool:
+        """Return ``True`` once the job has finished (any terminal state)."""
+        return self.status() in (JobStatus.DONE, JobStatus.CANCELLED, JobStatus.ERROR)
+
+    @property
+    def time_taken(self) -> float:
+        """Return the summed wall-clock seconds of this job's chunk runs.
+
+        Derived (deduplicated) jobs report ``0.0`` — their result cost
+        nothing beyond the primary's execution — except when the primary
+        carried no exact distribution and a real fallback simulation ran.
+        """
+        with self._lock:
+            return float(sum(self._chunk_elapsed))
+
+    # ------------------------------------------------------------------
+    # Collection
+    # ------------------------------------------------------------------
+
+    def cancel(self) -> bool:
+        """Attempt to cancel the job's pending chunk tasks.
+
+        Returns ``True`` when the job will **not** produce a result: if any
+        chunk was cancelled before starting, the job's counts can never be
+        complete, so the whole job is marked cancelled (even when other
+        chunks were already running).  Returns ``False`` when nothing could
+        be cancelled — the job runs to completion as normal.  A derived job
+        cannot be cancelled independently of its primary.
+        """
+        if self._result is not None or self.derived:
+            return False
+        cancelled = [f.cancel() for f in self._futures]
+        if cancelled and any(cancelled):
+            self._cancelled = True
+            return True
+        return False
+
+    def result(self, timeout: Optional[float] = None) -> Result:
+        """Block until the job finishes and return its merged :class:`Result`.
+
+        ``timeout`` is a total deadline in seconds for the whole job, not
+        per chunk.  A deduplicated job derives its result from the group
+        primary; when the primary finished without an exact distribution
+        (per-shot fallback) or was cancelled, this call runs the job's own
+        simulation on the calling thread instead — that inline simulation
+        is not interruptible, so the deadline only bounds waits on pool
+        work.
+
+        Raises
+        ------
+        JobError
+            If the job was cancelled or a chunk raised.
+        """
+        if self._result is not None:
+            return self._result
+        if self._cancelled:
+            raise JobError(f"{self.job_id} was cancelled")
+        if self.derived:
+            try:
+                source_result = self._source.result(timeout=timeout)
+            except JobError:
+                if self._source.status() is not JobStatus.CANCELLED:
+                    raise
+                # The group primary was cancelled out from under us; this
+                # job was not, so run it independently (dedup must stay a
+                # transparent optimization).
+                chunk_results = [
+                    self._run_chunk(shots, seed) for shots, seed in self.chunk_plan()
+                ]
+                self._result = merge_chunk_results(
+                    chunk_results, self.shots, self.seed
+                )
+                return self._result
+            if self._role == ROLE_SHARE:
+                self._result = clone_result(source_result, self.seed)
+            else:
+                # Replay this job's own chunk plan so the derived counts are
+                # bit-identical to a dedicated (possibly chunked) run; fall
+                # back to real execution per chunk when the primary carried
+                # no exact distribution (per-shot statevector fallback).
+                chunk_results = []
+                for shots, seed in self.chunk_plan():
+                    derived = resample_result(source_result, shots, seed)
+                    if derived is None:
+                        derived = self._run_chunk(shots, seed)
+                    chunk_results.append(derived)
+                self._result = merge_chunk_results(
+                    chunk_results, self.shots, self.seed
+                )
+            return self._result
+        deadline = None if timeout is None else time.monotonic() + timeout
+        try:
+            chunk_results = []
+            for future in self._futures:
+                remaining = (
+                    None if deadline is None else max(0.0, deadline - time.monotonic())
+                )
+                chunk_results.append(future.result(timeout=remaining))
+        except CancelledError:
+            self._cancelled = True
+            raise JobError(f"{self.job_id} was cancelled") from None
+        except FutureTimeoutError:
+            # Not terminal: the chunks keep running and result() may be
+            # retried with a fresh deadline.
+            raise JobError(f"{self.job_id} timed out after {timeout}s") from None
+        except Exception as exc:
+            self._error = exc
+            raise JobError(f"{self.job_id} failed: {exc}") from exc
+        self._result = merge_chunk_results(chunk_results, self.shots, self.seed)
+        return self._result
+
+    def counts(self, timeout: Optional[float] = None) -> Counts:
+        """Shorthand for ``job.result().counts``."""
+        return self.result(timeout=timeout).counts
+
+    def __repr__(self) -> str:
+        return (
+            f"<Job {self.job_id} {self.circuit.name!r} on {self.backend.name!r} "
+            f"shots={self.shots} status={self.status().value}>"
+        )
+
+
+class JobSet:
+    """An ordered batch of :class:`Job` objects with bulk collection."""
+
+    def __init__(self, jobs: Sequence[Job]) -> None:
+        self.jobs: List[Job] = list(jobs)
+
+    def __len__(self) -> int:
+        return len(self.jobs)
+
+    def __iter__(self) -> Iterator[Job]:
+        return iter(self.jobs)
+
+    def __getitem__(self, index: int) -> Job:
+        return self.jobs[index]
+
+    def statuses(self) -> List[JobStatus]:
+        """Return every job's current status, in submission order."""
+        return [job.status() for job in self.jobs]
+
+    def done(self) -> bool:
+        """Return ``True`` once every job has finished."""
+        return all(job.done() for job in self.jobs)
+
+    def cancel(self) -> List[bool]:
+        """Attempt to cancel every job; returns per-job success flags."""
+        return [job.cancel() for job in self.jobs]
+
+    def result(self, timeout: Optional[float] = None) -> List[Result]:
+        """Block until all jobs finish and return their results in order.
+
+        ``timeout`` is one shared deadline for the whole batch, not per
+        job.
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        results = []
+        for job in self.jobs:
+            remaining = (
+                None if deadline is None else max(0.0, deadline - time.monotonic())
+            )
+            results.append(job.result(timeout=remaining))
+        return results
+
+    def counts(self, timeout: Optional[float] = None) -> List[Counts]:
+        """Return every job's counts, in submission order (shared deadline)."""
+        return [result.counts for result in self.result(timeout=timeout)]
+
+    @property
+    def time_taken(self) -> float:
+        """Return the summed chunk wall-clock time across the batch."""
+        return float(sum(job.time_taken for job in self.jobs))
+
+    @property
+    def num_executed(self) -> int:
+        """Return how many jobs actually ran on a backend (non-derived)."""
+        return sum(1 for job in self.jobs if not job.derived)
+
+    def __repr__(self) -> str:
+        from collections import Counter
+
+        tally = Counter(status.value for status in self.statuses())
+        summary = ", ".join(f"{k}={v}" for k, v in sorted(tally.items()))
+        return f"<JobSet of {len(self.jobs)} jobs: {summary}>"

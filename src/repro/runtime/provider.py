@@ -1,0 +1,143 @@
+"""Backend registry: named lookup instead of ad-hoc constructor calls.
+
+Experiments, benchmarks and user code name backends by spec string::
+
+    get_backend("statevector")            # ideal engines
+    get_backend("density_matrix")
+    get_backend("stabilizer")
+    get_backend("noisy:ibmqx4")           # device-model backends
+    get_backend("trajectory:ibmqx4", noise_scale=2.0)
+
+Device-model specs are ``<family>:<device>`` where ``<family>`` is
+``noisy`` (density-matrix engine) or ``trajectory`` (Monte-Carlo engine)
+and ``<device>`` is a registered device factory.  Keyword options are
+forwarded to the backend constructor (``noise_scale``, ``layout``,
+``transpile``, ``cache`` ...).
+
+Both registries are extensible at runtime via :func:`register_backend` /
+:func:`register_device`, so downstream code can plug in new engines without
+touching this module.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Union
+
+from repro.devices.backend import (
+    Backend,
+    DensityMatrixBackend,
+    NoisyDeviceBackend,
+    StabilizerBackend,
+    StatevectorBackend,
+    TrajectoryDeviceBackend,
+)
+from repro.devices.generic import fully_connected_device, grid_device, linear_device
+from repro.devices.ibmqx4 import ibmqx4
+from repro.exceptions import ProviderError
+
+BackendFactory = Callable[..., Backend]
+DeviceFactory = Callable[[], "object"]
+
+#: Simple (device-free) backend factories, keyed by spec name.
+_BACKEND_FACTORIES: Dict[str, BackendFactory] = {
+    "statevector": StatevectorBackend,
+    "density_matrix": DensityMatrixBackend,
+    "stabilizer": StabilizerBackend,
+}
+
+#: Device-model families usable as ``<family>:<device>``.
+_DEVICE_BACKEND_FAMILIES: Dict[str, BackendFactory] = {
+    "noisy": NoisyDeviceBackend,
+    "trajectory": TrajectoryDeviceBackend,
+}
+
+#: Named device factories for the ``<family>:<device>`` form.
+_DEVICE_FACTORIES: Dict[str, DeviceFactory] = {
+    "ibmqx4": ibmqx4,
+    "linear5": lambda: linear_device(5),
+    "grid9": lambda: grid_device(3, 3),
+    "full5": lambda: fully_connected_device(5),
+}
+
+
+def register_backend(
+    name: str, factory: BackendFactory, overwrite: bool = False
+) -> None:
+    """Register a device-free backend factory under ``name``."""
+    if ":" in name:
+        raise ProviderError(f"backend name {name!r} must not contain ':'")
+    if name in _BACKEND_FACTORIES and not overwrite:
+        raise ProviderError(f"backend {name!r} is already registered")
+    _BACKEND_FACTORIES[name] = factory
+
+
+def register_device(
+    name: str, factory: DeviceFactory, overwrite: bool = False
+) -> None:
+    """Register a device factory for the ``<family>:<device>`` spec form."""
+    if ":" in name:
+        raise ProviderError(f"device name {name!r} must not contain ':'")
+    if name in _DEVICE_FACTORIES and not overwrite:
+        raise ProviderError(f"device {name!r} is already registered")
+    _DEVICE_FACTORIES[name] = factory
+
+
+def list_backends() -> List[str]:
+    """Return every valid spec string (device forms fully expanded)."""
+    specs = list(_BACKEND_FACTORIES)
+    for family in _DEVICE_BACKEND_FAMILIES:
+        specs.extend(f"{family}:{device}" for device in _DEVICE_FACTORIES)
+    return sorted(specs)
+
+
+def get_backend(spec: str, **options) -> Backend:
+    """Instantiate a backend from its spec string.
+
+    Parameters
+    ----------
+    spec:
+        A name from :func:`list_backends`.
+    **options:
+        Forwarded to the backend constructor (e.g. ``noise_scale=2.0``,
+        ``layout=Layout(...)``, ``transpile=False``).
+
+    Raises
+    ------
+    ProviderError
+        On an unknown spec or malformed device form.
+    """
+    if not isinstance(spec, str) or not spec:
+        raise ProviderError(f"backend spec must be a non-empty string, got {spec!r}")
+    if ":" not in spec:
+        factory = _BACKEND_FACTORIES.get(spec)
+        if factory is None:
+            raise ProviderError(
+                f"unknown backend {spec!r}; available: {list_backends()}"
+            )
+        return factory(**options)
+    family, _, device_name = spec.partition(":")
+    backend_factory = _DEVICE_BACKEND_FAMILIES.get(family)
+    if backend_factory is None:
+        raise ProviderError(
+            f"unknown backend family {family!r} in {spec!r}; "
+            f"families: {sorted(_DEVICE_BACKEND_FAMILIES)}"
+        )
+    device_factory = _DEVICE_FACTORIES.get(device_name)
+    if device_factory is None:
+        raise ProviderError(
+            f"unknown device {device_name!r} in {spec!r}; "
+            f"devices: {sorted(_DEVICE_FACTORIES)}"
+        )
+    return backend_factory(device_factory(), **options)
+
+
+def resolve_backend(backend: Union[str, Backend], **options) -> Backend:
+    """Return ``backend`` itself, or look a spec string up via the registry."""
+    if isinstance(backend, Backend):
+        if options:
+            raise ProviderError(
+                "backend options are only valid with a spec string, "
+                f"not a {type(backend).__name__} instance"
+            )
+        return backend
+    return get_backend(backend, **options)

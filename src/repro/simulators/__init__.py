@@ -11,6 +11,14 @@ significant statevector bit):
   Clifford-only, scales to hundreds of qubits.
 * :func:`~repro.simulators.unitary.circuit_unitary` — builds the whole
   circuit unitary for algebraic verification.
+
+These classes are the low-level engines.  For running circuits — and
+especially batches of them — prefer the :mod:`repro.runtime` layer:
+``repro.runtime.execute(circuits, backend, shots, seed)`` resolves backends
+by name (``repro.runtime.get_backend``), fans jobs out over a thread pool,
+deduplicates identical circuits, and caches device transpilation, while
+reproducing exactly the counts a direct engine ``run()`` would return for
+the same seed.
 """
 
 from repro.simulators.statevector import StatevectorSimulator, Statevector

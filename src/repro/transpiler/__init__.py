@@ -5,6 +5,12 @@ device basis ({u1, u2, u3, cx} on ibmqx4), choose a layout that respects the
 coupling map (the constraint that forced q2 as the Table 1 ancilla), insert
 SWAPs for distant interactions, fix CX direction on directed edges, and
 clean up with peephole optimisation.
+
+Lowering is deterministic for a given (circuit, device, layout), so the
+runtime layer memoises it: :class:`repro.runtime.cache.TranspileCache` keys
+:func:`transpile_for_device` output by ``QuantumCircuit.fingerprint()`` and
+the device backends call through it — sweeps re-running the same circuit
+pay the lowering cost once.
 """
 
 from repro.transpiler.decompose import decompose_to_basis

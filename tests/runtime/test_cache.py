@@ -1,0 +1,206 @@
+"""Tests for the fingerprint-keyed transpile cache."""
+
+import pytest
+
+from repro.circuits import library
+from repro.circuits.circuit import QuantumCircuit
+from repro.devices.backend import NoisyDeviceBackend, TrajectoryDeviceBackend
+from repro.devices.generic import linear_device
+from repro.runtime.cache import (
+    TranspileCache,
+    transpile_cached,
+    transpile_key,
+)
+from repro.transpiler.layout import Layout
+
+
+def measured_bell():
+    qc = library.bell_pair()
+    qc.measure_all()
+    return qc
+
+
+class TestFingerprint:
+    def test_identical_rebuild_shares_fingerprint(self):
+        assert measured_bell().fingerprint() == measured_bell().fingerprint()
+
+    def test_name_does_not_participate(self):
+        a = QuantumCircuit(2, 2, name="a")
+        a.h(0).cx(0, 1).measure([0, 1], [0, 1])
+        b = QuantumCircuit(2, 2, name="b")
+        b.h(0).cx(0, 1).measure([0, 1], [0, 1])
+        assert a.fingerprint() == b.fingerprint()
+
+    def test_operations_participate(self):
+        a = QuantumCircuit(2)
+        a.h(0)
+        b = QuantumCircuit(2)
+        b.x(0)
+        assert a.fingerprint() != b.fingerprint()
+
+    def test_parameters_participate(self):
+        a = QuantumCircuit(1)
+        a.rx(0.5, 0)
+        b = QuantumCircuit(1)
+        b.rx(0.25, 0)
+        assert a.fingerprint() != b.fingerprint()
+
+    def test_bit_counts_participate(self):
+        assert QuantumCircuit(2).fingerprint() != QuantumCircuit(3).fingerprint()
+
+    def test_operand_order_participates(self):
+        a = QuantumCircuit(2)
+        a.cx(0, 1)
+        b = QuantumCircuit(2)
+        b.cx(1, 0)
+        assert a.fingerprint() != b.fingerprint()
+
+    def test_unitary_payload_participates(self):
+        import numpy as np
+
+        a = QuantumCircuit(1)
+        a.unitary(np.eye(2), [0])
+        b = QuantumCircuit(1)
+        b.unitary(np.array([[0, 1], [1, 0]], dtype=complex), [0])
+        assert a.fingerprint() != b.fingerprint()
+
+    def test_condition_participates(self):
+        a = QuantumCircuit(1, 1)
+        a.x(0, condition=(0, 1))
+        b = QuantumCircuit(1, 1)
+        b.x(0)
+        assert a.fingerprint() != b.fingerprint()
+
+
+class TestTranspileKey:
+    def test_key_components(self, ibmqx4_device):
+        from repro.runtime.cache import device_fingerprint
+
+        circuit = measured_bell()
+        layout = Layout([1, 2], 5)
+        key = transpile_key(circuit, ibmqx4_device, layout, True)
+        assert key == (
+            circuit.fingerprint(),
+            device_fingerprint(ibmqx4_device),
+            (1, 2),
+            True,
+        )
+
+    def test_same_named_devices_never_collide(self, ibmqx4_device):
+        """Keying is by device content, not name: impostors miss."""
+        cache = TranspileCache()
+        NoisyDeviceBackend(ibmqx4_device, cache=cache).prepare(measured_bell())
+        impostor = linear_device(5, name="ibmqx4")
+        prepared = NoisyDeviceBackend(impostor, cache=cache).prepare(measured_bell())
+        assert cache.misses == 2
+        for inst in prepared.data:
+            if inst.name == "cx":
+                assert impostor.coupling_map.supports(*inst.qubits)
+
+    def test_calibration_participates_in_device_fingerprint(self):
+        from repro.runtime.cache import device_fingerprint
+
+        a = linear_device(5)
+        b = linear_device(5, cx_error=0.4)
+        assert a.name == b.name
+        assert device_fingerprint(a) != device_fingerprint(b)
+        # Content-identical rebuilds share the fingerprint (cross-call hits).
+        assert device_fingerprint(linear_device(5)) == device_fingerprint(a)
+
+    def test_noise_scale_shares_key_across_backends(self, ibmqx4_device):
+        """Lowering never sees the noise scale: a sweep hits one entry."""
+        cache = TranspileCache()
+        for scale in (0.5, 1.0, 2.0):
+            NoisyDeviceBackend(ibmqx4_device, noise_scale=scale, cache=cache).prepare(
+                measured_bell()
+            )
+        assert cache.misses == 1
+        assert cache.hits == 2
+
+
+class TestTranspileCache:
+    def test_hit_returns_same_object(self, ibmqx4_device):
+        cache = TranspileCache()
+        circuit = measured_bell()
+        first = cache.transpile(circuit, ibmqx4_device)
+        second = cache.transpile(measured_bell(), ibmqx4_device)
+        assert first is second
+        assert cache.stats() == {
+            "entries": 1,
+            "hits": 1,
+            "misses": 1,
+            "hit_rate": 0.5,
+        }
+
+    def test_lru_eviction(self, ibmqx4_device):
+        cache = TranspileCache(maxsize=1)
+        cache.transpile(measured_bell(), ibmqx4_device)
+        ghz = library.ghz_state(3)
+        ghz.measure_all()
+        cache.transpile(ghz, ibmqx4_device)
+        assert len(cache) == 1
+        # The bell entry was evicted: transpiling it again misses.
+        cache.transpile(measured_bell(), ibmqx4_device)
+        assert cache.misses == 3
+
+    def test_maxsize_zero_disables_storage(self, ibmqx4_device):
+        cache = TranspileCache(maxsize=0)
+        cache.transpile(measured_bell(), ibmqx4_device)
+        cache.transpile(measured_bell(), ibmqx4_device)
+        assert len(cache) == 0
+        assert cache.hits == 0
+        assert cache.misses == 2
+
+    def test_negative_maxsize_rejected(self):
+        with pytest.raises(ValueError):
+            TranspileCache(maxsize=-1)
+
+    def test_clear_preserves_stats(self, ibmqx4_device):
+        cache = TranspileCache()
+        cache.transpile(measured_bell(), ibmqx4_device)
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.misses == 1
+
+    def test_transpile_cached_uses_explicit_cache(self, ibmqx4_device):
+        cache = TranspileCache()
+        transpile_cached(measured_bell(), ibmqx4_device, cache=cache)
+        assert len(cache) == 1
+
+
+class TestBackendCacheWiring:
+    def test_cache_hits_never_change_results(self, ibmqx4_device):
+        cache = TranspileCache()
+        backend = NoisyDeviceBackend(ibmqx4_device, cache=cache)
+        cold = backend.run(measured_bell(), shots=1500, seed=17)
+        assert cache.misses == 1
+        warm = backend.run(measured_bell(), shots=1500, seed=17)
+        assert cache.hits == 1
+        assert dict(cold.counts) == dict(warm.counts)
+        assert cold.probabilities == warm.probabilities
+
+    def test_cache_false_disables_caching(self, ibmqx4_device):
+        backend = NoisyDeviceBackend(ibmqx4_device, cache=False)
+        a = backend.run(measured_bell(), shots=500, seed=1)
+        b = backend.run(measured_bell(), shots=500, seed=1)
+        assert dict(a.counts) == dict(b.counts)
+
+    def test_trajectory_backend_shares_prepare(self):
+        device = linear_device(3)
+        cache = TranspileCache()
+        backend = TrajectoryDeviceBackend(device, cache=cache)
+        result = backend.run(measured_bell(), shots=50, seed=2)
+        # The shared DeviceBackend.run stamps trajectory results too.
+        assert result.metadata["device"] == device.name
+        assert "transpiled_ops" in result.metadata
+        assert len(cache) == 1
+
+    def test_pinned_layout_participates_in_key(self, ibmqx4_device):
+        cache = TranspileCache()
+        free = NoisyDeviceBackend(ibmqx4_device, cache=cache)
+        pinned = NoisyDeviceBackend(
+            ibmqx4_device, layout=Layout([1, 2], 5), cache=cache
+        )
+        free.prepare(measured_bell())
+        pinned.prepare(measured_bell())
+        assert cache.misses == 2

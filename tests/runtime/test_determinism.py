@@ -1,0 +1,106 @@
+"""Satellite: seed determinism across serial / parallel / chunked execution.
+
+The runtime's contract is that a caller seed pins the counts regardless of
+how the work is scheduled: one worker or many, whole jobs or shot chunks,
+cold or warm transpile cache.  These tests pin that contract on all four
+backend families (statevector, density-matrix, stabilizer, trajectory).
+"""
+
+import pytest
+
+from repro.circuits import library
+from repro.core.injector import AssertionInjector
+from repro.runtime import TranspileCache, execute, get_backend
+
+#: All four backend families; trajectory at scale 0.25 keeps it fast.
+BACKEND_SPECS = [
+    ("statevector", {}),
+    ("density_matrix", {}),
+    ("stabilizer", {}),
+    ("trajectory:ibmqx4", {"noise_scale": 0.25}),
+]
+
+
+def instrumented_circuit():
+    injector = AssertionInjector(library.bell_pair())
+    injector.assert_entangled([0, 1])
+    injector.measure_program()
+    return injector.circuit
+
+
+@pytest.mark.parametrize("spec, options", BACKEND_SPECS)
+class TestSeedDeterminism:
+    def test_serial_equals_parallel(self, spec, options):
+        circuits = [instrumented_circuit() for _ in range(4)]
+        shots, seed = 256, 99
+        serial = execute(
+            circuits, get_backend(spec, **options), shots=shots, seed=seed,
+            max_workers=1, dedupe=False,
+        ).counts()
+        parallel = execute(
+            circuits, get_backend(spec, **options), shots=shots, seed=seed,
+            max_workers=4, dedupe=False,
+        ).counts()
+        assert [dict(c) for c in serial] == [dict(c) for c in parallel]
+
+    def test_serial_equals_chunked_parallel(self, spec, options):
+        circuit = instrumented_circuit()
+        chunked_serial = execute(
+            circuit, get_backend(spec, **options), shots=256, seed=41,
+            chunk_shots=64, max_workers=1,
+        ).counts()
+        chunked_parallel = execute(
+            circuit, get_backend(spec, **options), shots=256, seed=41,
+            chunk_shots=64, max_workers=4,
+        ).counts()
+        assert dict(chunked_serial) == dict(chunked_parallel)
+
+    def test_chunked_total_is_preserved(self, spec, options):
+        result = execute(
+            instrumented_circuit(), get_backend(spec, **options), shots=250,
+            seed=11, chunk_shots=64, max_workers=4,
+        ).result()
+        assert result.counts.shots == 250
+
+    def test_same_seed_same_counts_across_calls(self, spec, options):
+        first = execute(
+            instrumented_circuit(), get_backend(spec, **options), shots=128, seed=5
+        ).counts()
+        second = execute(
+            instrumented_circuit(), get_backend(spec, **options), shots=128, seed=5
+        ).counts()
+        assert dict(first) == dict(second)
+
+
+class TestCacheDeterminism:
+    """Fingerprint-cache hits must never change results."""
+
+    @pytest.mark.parametrize("family", ["noisy", "trajectory"])
+    def test_cold_vs_warm_cache(self, family):
+        circuit = instrumented_circuit()
+        scale = 0.25 if family == "trajectory" else 1.0
+        shots = 128 if family == "trajectory" else 1024
+        cache = TranspileCache()
+        backend = get_backend(
+            f"{family}:ibmqx4", noise_scale=scale, cache=cache
+        )
+        cold = backend.run(circuit, shots=shots, seed=13)
+        warm = backend.run(circuit, shots=shots, seed=13)
+        uncached = get_backend(
+            f"{family}:ibmqx4", noise_scale=scale, cache=False
+        ).run(circuit, shots=shots, seed=13)
+        assert cache.hits >= 1
+        assert dict(cold.counts) == dict(warm.counts) == dict(uncached.counts)
+
+    def test_warm_cache_inside_batch(self):
+        circuits = [instrumented_circuit() for _ in range(6)]
+        cache = TranspileCache()
+        backend = get_backend("noisy:ibmqx4", cache=cache)
+        batch_counts = execute(
+            circuits, backend, shots=512, seed=8, max_workers=3, dedupe=False
+        ).counts()
+        reference = get_backend("noisy:ibmqx4", cache=False).run(
+            circuits[0], shots=512, seed=8
+        )
+        for counts in batch_counts:
+            assert dict(counts) == dict(reference.counts)

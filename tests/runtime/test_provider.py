@@ -1,0 +1,129 @@
+"""Tests for the backend registry / provider."""
+
+import pytest
+
+from repro.devices.backend import (
+    Backend,
+    DensityMatrixBackend,
+    NoisyDeviceBackend,
+    StabilizerBackend,
+    StatevectorBackend,
+    TrajectoryDeviceBackend,
+)
+from repro.exceptions import ProviderError
+from repro.runtime.provider import (
+    get_backend,
+    list_backends,
+    register_backend,
+    register_device,
+    resolve_backend,
+)
+
+
+class TestGetBackend:
+    @pytest.mark.parametrize(
+        "spec, cls",
+        [
+            ("statevector", StatevectorBackend),
+            ("density_matrix", DensityMatrixBackend),
+            ("stabilizer", StabilizerBackend),
+        ],
+    )
+    def test_simple_specs(self, spec, cls):
+        assert isinstance(get_backend(spec), cls)
+
+    def test_noisy_device_spec(self):
+        backend = get_backend("noisy:ibmqx4")
+        assert isinstance(backend, NoisyDeviceBackend)
+        assert backend.device.name == "ibmqx4"
+        assert backend.name == "noisy(ibmqx4)"
+
+    def test_trajectory_device_spec(self):
+        backend = get_backend("trajectory:ibmqx4")
+        assert isinstance(backend, TrajectoryDeviceBackend)
+
+    def test_options_forwarded(self):
+        backend = get_backend("noisy:ibmqx4", noise_scale=2.5, transpile=False)
+        assert backend.noise_scale == 2.5
+        assert backend.transpile is False
+
+    def test_generic_device_specs(self):
+        assert get_backend("noisy:linear5").device.num_qubits == 5
+        assert get_backend("noisy:grid9").device.num_qubits == 9
+
+    def test_unknown_backend(self):
+        with pytest.raises(ProviderError, match="unknown backend"):
+            get_backend("quantum_annealer")
+
+    def test_unknown_family(self):
+        with pytest.raises(ProviderError, match="unknown backend family"):
+            get_backend("exact:ibmqx4")
+
+    def test_unknown_device(self):
+        with pytest.raises(ProviderError, match="unknown device"):
+            get_backend("noisy:ibmqx9000")
+
+    def test_empty_spec(self):
+        with pytest.raises(ProviderError):
+            get_backend("")
+
+
+class TestListBackends:
+    def test_contains_all_forms(self):
+        specs = list_backends()
+        assert "statevector" in specs
+        assert "noisy:ibmqx4" in specs
+        assert "trajectory:ibmqx4" in specs
+        assert specs == sorted(specs)
+
+    def test_every_listed_spec_instantiates(self):
+        for spec in list_backends():
+            assert isinstance(get_backend(spec), Backend)
+
+
+class TestRegistration:
+    def test_register_backend(self):
+        class FakeBackend(Backend):
+            name = "fake"
+
+        register_backend("fake_engine_for_test", FakeBackend)
+        try:
+            assert isinstance(get_backend("fake_engine_for_test"), FakeBackend)
+            with pytest.raises(ProviderError, match="already registered"):
+                register_backend("fake_engine_for_test", FakeBackend)
+            register_backend("fake_engine_for_test", FakeBackend, overwrite=True)
+        finally:
+            from repro.runtime import provider
+
+            provider._BACKEND_FACTORIES.pop("fake_engine_for_test", None)
+
+    def test_register_device(self):
+        from repro.devices.generic import linear_device
+
+        register_device("line3_for_test", lambda: linear_device(3))
+        try:
+            backend = get_backend("noisy:line3_for_test")
+            assert backend.device.num_qubits == 3
+        finally:
+            from repro.runtime import provider
+
+            provider._DEVICE_FACTORIES.pop("line3_for_test", None)
+
+    def test_colon_names_rejected(self):
+        with pytest.raises(ProviderError, match="must not contain"):
+            register_backend("bad:name", StatevectorBackend)
+        with pytest.raises(ProviderError, match="must not contain"):
+            register_device("bad:name", lambda: None)
+
+
+class TestResolveBackend:
+    def test_instance_passthrough(self):
+        backend = StatevectorBackend()
+        assert resolve_backend(backend) is backend
+
+    def test_spec_resolution(self):
+        assert isinstance(resolve_backend("stabilizer"), StabilizerBackend)
+
+    def test_options_with_instance_rejected(self):
+        with pytest.raises(ProviderError, match="spec string"):
+            resolve_backend(StatevectorBackend(), noise_scale=2.0)

@@ -14,6 +14,7 @@ PACKAGES = [
     "repro.experiments",
     "repro.noise",
     "repro.results",
+    "repro.runtime",
     "repro.simulators",
     "repro.transpiler",
 ]
