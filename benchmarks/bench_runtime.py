@@ -9,12 +9,19 @@ cache and job deduplication on, so each distinct circuit is lowered and
 simulated once and every duplicate job re-uses or re-samples the cached
 distribution.
 
-Counts are asserted bit-identical between the two paths (the runtime's
-determinism contract) and the batched wall-clock must beat the loop.
+The v2 benches cover the two cross-call reuse paths: the shared process
+pool on a GIL-bound stabilizer batch (thread fan-out buys nothing there),
+and the distribution cache on a repeated noisy sweep (the second call
+re-samples instead of re-simulating).
+
+Counts are asserted bit-identical between every pair of paths (the
+runtime's determinism contract) and each optimized wall-clock must beat
+its baseline.
 
 Run with ``pytest benchmarks/bench_runtime.py -s`` to see the numbers.
 """
 
+import os
 import time
 
 from conftest import emit
@@ -23,7 +30,7 @@ from repro.circuits import library
 from repro.core.injector import AssertionInjector
 from repro.devices.backend import NoisyDeviceBackend
 from repro.devices.ibmqx4 import ibmqx4
-from repro.runtime import TranspileCache, execute
+from repro.runtime import DistributionCache, TranspileCache, execute, get_backend
 
 SHOTS = 2048
 SEED = 11
@@ -129,4 +136,111 @@ def test_resampled_shot_sweep_simulates_once():
         f"sequential loop : {sequential_s:8.3f} s (8 simulations)\n"
         f"batched execute : {batched_s:8.3f} s (1 simulation + 7 resamples, "
         f"speedup {sequential_s / batched_s:.1f}x)"
+    )
+
+
+def test_process_pool_accelerates_per_shot_batch():
+    """v2: the process pool is the fan-out that helps the GIL-bound engines.
+
+    The stabilizer tableau engine is pure Python, so a thread pool cannot
+    overlap its shots — only worker processes can.  Counts must be
+    bit-identical to the serial path under the same seeds; the wall-clock
+    win is asserted only where extra cores exist to deliver it.
+    """
+    circuits = []
+    for i in range(4):
+        injector = AssertionInjector(library.ghz_state(20 + i))
+        injector.assert_entangled(list(range(20 + i)), mode="pairwise")
+        injector.measure_program()
+        circuits.append(injector.circuit)
+    backend = get_backend("stabilizer")
+    seeds = [31, 32, 33, 34]
+
+    start = time.perf_counter()
+    serial = execute(
+        circuits, backend, shots=96, seed=seeds, executor="serial", dedupe=False
+    ).counts()
+    serial_s = time.perf_counter() - start
+
+    workers = min(4, os.cpu_count() or 1)
+    start = time.perf_counter()
+    pooled = execute(
+        circuits, backend, shots=96, seed=seeds, executor="process",
+        max_workers=workers, dedupe=False,
+    ).counts()
+    process_s = time.perf_counter() - start
+
+    assert [dict(c) for c in pooled] == [dict(c) for c in serial]
+    if (os.cpu_count() or 1) >= 4:
+        # With 4 workers on >=4 cores the expected speedup is ~3x, leaving
+        # wide headroom against fork+pickle overhead and scheduler noise on
+        # shared runners; fewer cores can't guarantee a win, so there the
+        # equality asserts above carry the whole guarantee.
+        assert process_s < serial_s, (
+            f"process pool ({process_s:.3f}s) should beat serial "
+            f"({serial_s:.3f}s) on {os.cpu_count()} cores"
+        )
+    emit(
+        "runtime bench — GIL-bound stabilizer batch, serial vs process pool\n"
+        f"jobs            : {len(circuits)} (GHZ 20-23, pairwise assertions)\n"
+        f"serial          : {serial_s:8.3f} s\n"
+        f"process pool    : {process_s:8.3f} s  "
+        f"({workers} workers on {os.cpu_count()} core(s), "
+        f"speedup {serial_s / process_s:.1f}x)"
+    )
+
+
+def test_cross_call_distribution_cache_resamples_repeat_sweep():
+    """v2: a repeated noisy sweep re-samples from the distribution cache.
+
+    The first call simulates each distinct circuit once and populates the
+    cache; the second call — new seeds, same circuits and backend — never
+    touches the backend, yet every count histogram is bit-identical to a
+    dedicated uncached run.  Strictly less work, so the wall-clock win
+    holds even on a single-core runner.
+    """
+    device = ibmqx4()
+    circuits = sweep_circuits()[:8]  # 4 distinct variants x 2
+    backend = NoisyDeviceBackend(device, cache=TranspileCache())
+    cache = DistributionCache()
+
+    start = time.perf_counter()
+    first = execute(
+        circuits, backend, shots=2048, seed=list(range(1, 9)),
+        distribution_cache=cache,
+    )
+    first_counts = first.counts()
+    first_s = time.perf_counter() - start
+    assert first.num_executed == 4  # one real simulation per distinct circuit
+    assert first.num_cached == 0
+
+    second_seeds = list(range(101, 109))
+    start = time.perf_counter()
+    second = execute(
+        circuits, backend, shots=2048, seed=second_seeds,
+        distribution_cache=cache,
+    )
+    second_counts = second.counts()
+    second_s = time.perf_counter() - start
+    assert second.num_executed == 0  # every job served without simulating
+    assert second.num_cached == 4
+    assert cache.stats()["hits"] == 4
+
+    # Bit-identical to the dedicated, uncached, serial path.
+    uncached = NoisyDeviceBackend(device, cache=False)
+    for circuit, seed, counts in zip(circuits, second_seeds, second_counts):
+        dedicated = uncached.run(circuit, shots=2048, seed=seed)
+        assert dict(counts) == dict(dedicated.counts)
+    assert len(first_counts) == len(second_counts)
+
+    assert second_s < first_s, (
+        f"cached sweep ({second_s:.3f}s) should beat the simulating sweep "
+        f"({first_s:.3f}s)"
+    )
+    emit(
+        "runtime bench — repeated noisy sweep, cold vs warm distribution cache\n"
+        f"jobs            : {len(circuits)} (4 distinct circuits)\n"
+        f"first call      : {first_s:8.3f} s (4 simulations, cache cold)\n"
+        f"second call     : {second_s:8.3f} s (0 simulations, 4 cache hits, "
+        f"speedup {first_s / second_s:.1f}x)"
     )

@@ -45,6 +45,20 @@ class Backend:
         """Execute ``circuit`` for ``shots`` shots."""
         raise NotImplementedError
 
+    def content_fingerprint(self) -> Optional[str]:
+        """Return a content hash of everything the output distribution
+        depends on, or ``None`` when the backend cannot describe itself.
+
+        The runtime's cross-call
+        :class:`~repro.runtime.distcache.DistributionCache` keys entries on
+        this value, so two instances must share a fingerprint iff they
+        would produce identical distributions for every circuit.  The
+        conservative default (``None``) opts a backend out of cross-call
+        caching entirely — correct for arbitrary user subclasses, which may
+        hide mutable state.
+        """
+        return None
+
     def __repr__(self) -> str:
         return f"<{type(self).__name__} {self.name!r}>"
 
@@ -56,10 +70,16 @@ class StatevectorBackend(Backend):
     returns_probabilities = True
 
     def __init__(self, max_branches: int = 4096) -> None:
+        self.max_branches = max_branches
         self._simulator = StatevectorSimulator(max_branches=max_branches)
 
     def run(self, circuit, shots=1024, seed=None):
         return self._simulator.run(circuit, shots=shots, seed=seed)
+
+    def content_fingerprint(self):
+        # max_branches decides when the engine falls back to per-shot mode
+        # (no exact distribution), so it participates.
+        return f"statevector|branches={self.max_branches}"
 
 
 class DensityMatrixBackend(Backend):
@@ -69,10 +89,14 @@ class DensityMatrixBackend(Backend):
     returns_probabilities = True
 
     def __init__(self, max_branches: int = 4096) -> None:
+        self.max_branches = max_branches
         self._simulator = DensityMatrixSimulator(max_branches=max_branches)
 
     def run(self, circuit, shots=1024, seed=None):
         return self._simulator.run(circuit, shots=shots, seed=seed)
+
+    def content_fingerprint(self):
+        return f"density_matrix|branches={self.max_branches}"
 
 
 class StabilizerBackend(Backend):
@@ -85,6 +109,11 @@ class StabilizerBackend(Backend):
 
     def run(self, circuit, shots=1024, seed=None):
         return self._simulator.run(circuit, shots=shots, seed=seed)
+
+    def content_fingerprint(self):
+        # Stateless engine; the fingerprint exists for completeness (the
+        # distribution cache never stores per-shot backends anyway).
+        return "stabilizer"
 
 
 class DeviceBackend(Backend):
@@ -175,6 +204,20 @@ class DeviceBackend(Backend):
         result.metadata["noise_scale"] = self.noise_scale
         result.metadata["transpiled_ops"] = executed.count_ops()
         return result
+
+    def content_fingerprint(self):
+        """Device calibration, noise scale, transpile flag and layout all
+        shape the output distribution, so all participate in the hash."""
+        from repro.runtime.cache import device_fingerprint
+
+        layout_key = (
+            None if self.layout is None else tuple(self.layout.virtual_to_physical)
+        )
+        return (
+            f"{self._family}|{device_fingerprint(self.device)}"
+            f"|scale={self.noise_scale!r}|transpile={self.transpile}"
+            f"|layout={layout_key}"
+        )
 
 
 class NoisyDeviceBackend(DeviceBackend):

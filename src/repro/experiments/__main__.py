@@ -10,10 +10,12 @@ Regenerates every paper artifact and ablation from the terminal::
 Each experiment prints the same paper-vs-measured summary the benchmarks
 assert on.  Execution flows through :mod:`repro.runtime`: batch-shaped
 experiments (the noise sweep, the scaling study) fan their jobs out over
-the runtime's thread pool (``--workers``), every device run shares the
-runtime's transpile cache (``--runtime-stats`` prints its hit rate, or
-``--no-transpile-cache`` empties and disables reuse for A/B timing), and
-``--list-backends`` shows the provider registry's spec strings.
+the runtime's shared executors (``--workers``, ``--executor
+serial|thread|process``), every device run shares the runtime's transpile
+cache (``--runtime-stats`` prints cache and pool statistics, or
+``--no-transpile-cache`` empties and disables reuse for A/B timing), the
+noise sweep re-samples repeat runs through the cross-call distribution
+cache, and ``--list-backends`` shows the provider registry's spec strings.
 """
 
 from __future__ import annotations
@@ -37,56 +39,66 @@ from repro.experiments import (
     run_table2,
 )
 
-#: Experiment id -> (description, runner taking the worker count).  Runners
-#: whose workload is batch-shaped forward ``workers`` to the runtime pool;
-#: single-job experiments ignore it.
-Runner = Callable[[Optional[int]], object]
+#: Experiment id -> (description, runner taking (workers, executor)).
+#: Runners whose workload is batch-shaped forward both to the runtime's
+#: shared pools; single-job experiments ignore them.
+Runner = Callable[[Optional[int], Optional[str]], object]
 EXPERIMENTS: Dict[str, tuple] = {
-    "fig6": ("E1: classical assertion, QUIRK-style", lambda workers: run_fig6()),
-    "fig7": ("E2: superposition assertion, QUIRK-style", lambda workers: run_fig7()),
+    "fig6": (
+        "E1: classical assertion, QUIRK-style",
+        lambda workers, executor: run_fig6(),
+    ),
+    "fig7": (
+        "E2: superposition assertion, QUIRK-style",
+        lambda workers, executor: run_fig7(),
+    ),
     "table1": (
         "E3: classical assertion on ibmqx4 model",
-        lambda workers: run_table1(),
+        lambda workers, executor: run_table1(),
     ),
     "table2": (
         "E4: entanglement assertion on ibmqx4 model",
-        lambda workers: run_table2(),
+        lambda workers, executor: run_table2(),
     ),
     "sec43": (
         "E5: superposition assertion on ibmqx4 model",
-        lambda workers: run_sec43(),
+        lambda workers, executor: run_sec43(),
     ),
     "parity": (
         "A1: even/odd CNOT-count ablation",
-        lambda workers: run_parity_ablation(),
+        lambda workers, executor: run_parity_ablation(),
     ),
     "scaling": (
         "A2: overhead & scaling (stabilizer)",
         # Only an explicit --workers overrides run_scaling's serial default
-        # (its per-row timings assume one engine run at a time).
-        lambda workers: run_scaling(
-            **({} if workers is None else {"max_workers": workers})
+        # (its per-row timings assume one engine run at a time); --executor
+        # process is the one that speeds the GIL-bound tableau engine up.
+        lambda workers, executor: run_scaling(
+            executor=executor,
+            **({} if workers is None else {"max_workers": workers}),
         ),
     ),
     "baseline": (
         "A3: dynamic vs statistical assertions",
-        lambda workers: run_baseline_comparison(),
+        lambda workers, executor: run_baseline_comparison(),
     ),
     "sweep": (
         "A4: noise sweep of the filtering benefit",
-        lambda workers: run_noise_sweep(max_workers=workers),
+        lambda workers, executor: run_noise_sweep(
+            max_workers=workers, executor=executor, distribution_cache=True
+        ),
     ),
     "phase": (
         "A5b: phase-error detection extension",
-        lambda workers: run_phase_ablation(),
+        lambda workers, executor: run_phase_ablation(),
     ),
     "mitigation": (
         "A6: assertion filtering vs readout mitigation",
-        lambda workers: run_mitigation_comparison(),
+        lambda workers, executor: run_mitigation_comparison(),
     ),
     "amplification": (
         "A7: stacked assertions & auto-correction saturation",
-        lambda workers: run_amplification(),
+        lambda workers, executor: run_amplification(),
     ),
 }
 
@@ -116,8 +128,16 @@ def main(argv=None) -> int:
         type=int,
         default=None,
         metavar="N",
-        help="runtime thread-pool width for batch-shaped experiments "
+        help="runtime pool width for batch-shaped experiments "
         "(default: CPU count; counts are seed-deterministic either way)",
+    )
+    parser.add_argument(
+        "--executor",
+        choices=["serial", "thread", "process"],
+        default=None,
+        help="runtime executor kind for batch-shaped experiments "
+        "(default: $REPRO_EXECUTOR or thread; process helps the GIL-bound "
+        "per-shot engines; counts are identical under every kind)",
     )
     parser.add_argument(
         "--no-transpile-cache",
@@ -127,7 +147,7 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--runtime-stats",
         action="store_true",
-        help="print the runtime transpile-cache statistics when done",
+        help="print the runtime cache and executor-pool statistics when done",
     )
     args = parser.parse_args(argv)
 
@@ -157,14 +177,28 @@ def main(argv=None) -> int:
         )
     for name in selected:
         _description, runner = EXPERIMENTS[name]
-        print(runner(args.workers).summary())
+        print(runner(args.workers, args.executor).summary())
         print()
     if args.runtime_stats:
+        from repro.runtime import distribution_cache_stats, pool_stats
+
         stats = runtime_cache.transpile_cache_stats()
         print(
             "runtime transpile cache: "
             f"{stats['entries']} entries, {stats['hits']} hits, "
             f"{stats['misses']} misses (hit rate {stats['hit_rate']:.0%})"
+        )
+        dist = distribution_cache_stats()
+        print(
+            "runtime distribution cache: "
+            f"{dist['entries']} entries, {dist['hits']} hits, "
+            f"{dist['misses']} misses (hit rate {dist['hit_rate']:.0%})"
+        )
+        pools = pool_stats()
+        print(
+            "runtime executor pools: "
+            f"{pools['active']} active {pools['pools']}, "
+            f"{pools['created']} created, {pools['reused']} reused"
         )
     return 0
 

@@ -63,12 +63,16 @@ def run_scaling(
     shots: int = 256,
     seed: Optional[int] = 5,
     max_workers: Optional[int] = 1,
+    executor: Optional[str] = None,
 ) -> ScalingResult:
     """Instrument GHZ(n) with each entanglement-assertion mode and run it.
 
     ``max_workers`` defaults to 1 so per-row wall-clock timings measure one
     engine run at a time (see the module docstring); counts are
-    seed-deterministic at any worker count.
+    seed-deterministic at any worker count.  The tableau engine is
+    GIL-bound pure Python, so when throughput matters more than per-row
+    timing fidelity, ``executor="process"`` with a wider ``max_workers``
+    is the fan-out that actually helps.
     """
     result = ScalingResult(shots=shots)
     configs = []  # (n, mode, injector)
@@ -86,6 +90,7 @@ def run_scaling(
         shots=shots,
         seed=seed,
         max_workers=max_workers,
+        executor=executor,
         dedupe=False,
     )
     for (n, mode, injector), job in zip(configs, jobs):

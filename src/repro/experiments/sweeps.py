@@ -64,13 +64,17 @@ def run_noise_sweep(
     shots: int = 8192,
     seed: Optional[int] = 2020,
     max_workers: Optional[int] = None,
+    executor: Optional[str] = None,
+    distribution_cache=False,
 ) -> NoiseSweepResult:
     """Sweep the calibration scale for both hardware experiments.
 
     All ``2 x len(scales)`` jobs are submitted as one batch; counts are
     identical to running :func:`~repro.experiments.table1.run_table1` /
     :func:`~repro.experiments.table2.run_table2` sequentially with the same
-    seed.
+    seed — under any ``executor`` kind, and whether or not the cross-call
+    ``distribution_cache`` is enabled (re-running the sweep with the cache
+    on re-samples every point instead of re-simulating it).
     """
     device = ibmqx4()
     t1_circuit, _ = build_table1_circuit()
@@ -89,6 +93,8 @@ def run_noise_sweep(
         shots=shots,
         seed=seed,
         max_workers=max_workers,
+        executor=executor,
+        distribution_cache=distribution_cache,
     )
     result = NoiseSweepResult()
     for (name, scale, _circuit, _backend, analyze), run in zip(specs, jobs.result()):

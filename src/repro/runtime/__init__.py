@@ -7,19 +7,28 @@ interchangeable backends.  This package is the layer between the engines
 (:mod:`repro.experiments`, benchmarks) that makes those sweeps cheap:
 
 * :func:`~repro.runtime.execute.execute` — one entry point for a circuit
-  or a batch, fanning out across circuits and shot chunks on a thread pool.
+  or a batch, fanning out across circuits and shot chunks on a shared
+  executor.
+* :mod:`~repro.runtime.pool` — process-wide ``serial``/``thread``/
+  ``process`` executors, lazily created and reused across calls (the
+  process pool unlocks the GIL-bound per-shot engines).
 * :class:`~repro.runtime.job.Job` / :class:`~repro.runtime.job.JobSet` —
-  submit/status/result/cancel futures over the pool.
+  submit/status/result/cancel futures with priorities and streaming
+  collection (:meth:`~repro.runtime.job.JobSet.as_completed`).
 * :func:`~repro.runtime.provider.get_backend` — named backend registry
   (``"statevector"``, ``"noisy:ibmqx4"``, ...) replacing ad-hoc
   constructor calls.
 * :class:`~repro.runtime.cache.TranspileCache` — fingerprint-keyed
   transpile memoisation wired into the device backends.
+* :class:`~repro.runtime.distcache.DistributionCache` — cross-call
+  distribution reuse: repeat runs of an exact-distribution backend
+  re-sample cached probabilities instead of re-simulating.
 * :mod:`~repro.runtime.batching` — identical ``(circuit, backend)`` jobs
   simulate the distribution once and re-sample counts per job.
 
-Everything is deterministic under a caller seed: serial, parallel, chunked
-and deduplicated execution all produce the same counts for the same seed.
+Everything is deterministic under a caller seed: serial, thread, process,
+chunked, deduplicated and distribution-cached execution all produce the
+same counts for the same seed.
 """
 
 from repro.runtime.batching import BatchPlan, plan_batches
@@ -30,8 +39,23 @@ from repro.runtime.cache import (
     transpile_cache_stats,
     transpile_cached,
 )
+from repro.runtime.distcache import (
+    DEFAULT_DISTRIBUTION_CACHE,
+    DistributionCache,
+    clear_distribution_cache,
+    distribution_cache_stats,
+    distribution_key,
+)
 from repro.runtime.execute import execute, execute_and_collect
 from repro.runtime.job import Job, JobSet, JobStatus
+from repro.runtime.pool import (
+    EXECUTOR_KINDS,
+    SerialExecutor,
+    default_executor_kind,
+    get_executor,
+    pool_stats,
+    shutdown_executors,
+)
 from repro.runtime.provider import (
     get_backend,
     list_backends,
@@ -43,19 +67,30 @@ from repro.runtime.provider import (
 __all__ = [
     "BatchPlan",
     "DEFAULT_CACHE",
+    "DEFAULT_DISTRIBUTION_CACHE",
+    "DistributionCache",
+    "EXECUTOR_KINDS",
     "Job",
     "JobSet",
     "JobStatus",
+    "SerialExecutor",
     "TranspileCache",
+    "clear_distribution_cache",
     "clear_transpile_cache",
+    "default_executor_kind",
+    "distribution_cache_stats",
+    "distribution_key",
     "execute",
     "execute_and_collect",
     "get_backend",
+    "get_executor",
     "list_backends",
     "plan_batches",
+    "pool_stats",
     "register_backend",
     "register_device",
     "resolve_backend",
+    "shutdown_executors",
     "transpile_cache_stats",
     "transpile_cached",
 ]

@@ -47,6 +47,10 @@ ROLE_PRIMARY = "primary"
 ROLE_SHARE = "share"
 ROLE_RESAMPLE = "resample"
 ROLE_INDEPENDENT = "independent"
+#: Assigned by execute() when a would-be primary hits the cross-call
+#: distribution cache (see :mod:`repro.runtime.distcache`): the job
+#: re-samples the cached distribution instead of touching the backend.
+ROLE_CACHED = "cached"
 
 
 @dataclass

@@ -115,6 +115,28 @@ class TranspileCache:
     def __len__(self) -> int:
         return len(self._entries)
 
+    def __getstate__(self) -> dict:
+        """Pickle policy, not contents (for process-pool workers).
+
+        The lock cannot cross a process boundary and shipping every cached
+        circuit with every task would dwarf the task itself, so the worker
+        side of an explicit-cache backend re-transpiles per task (each task
+        unpickles a fresh, empty cache with the same ``maxsize``).
+        Transpilation is deterministic, so results are unaffected; backends
+        with the default ``cache=None`` instead use the worker's own
+        process-wide cache, which fork-started workers inherit warm.
+        """
+        state = self.__dict__.copy()
+        state["_lock"] = None
+        state["_entries"] = OrderedDict()
+        state["hits"] = 0
+        state["misses"] = 0
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._lock = threading.Lock()
+
     def lookup(self, key: CacheKey) -> Optional[QuantumCircuit]:
         """Return the cached circuit for ``key`` (marking a hit) or ``None``."""
         with self._lock:

@@ -1,0 +1,199 @@
+"""Cross-call distribution cache: simulate once, re-sample forever.
+
+PR 1's batching layer already deduplicates *within* one ``execute()`` call:
+identical ``(circuit, backend)`` jobs simulate the distribution once and
+re-sample counts per job.  Sweeps, however, are usually *loops of calls* —
+a noise scan re-runs the same instrumented circuit on the same backend in
+every iteration and re-pays the full density-matrix evolution each time.
+
+:class:`DistributionCache` extends the same trick across calls.  For
+backends that report the exact classical-outcome distribution
+(``returns_probabilities``), the primary job's distribution is stored under
+``(circuit.fingerprint(), backend.content_fingerprint())`` and later calls
+re-sample counts from the cached distribution with their own seed instead
+of re-simulating.  Because every exact engine draws counts as the first use
+of a fresh ``default_rng(seed)``, the re-sampled counts are bit-identical
+to what a fresh simulation would have produced — the cache is a pure
+speedup, never a statistics change (``tests/test_properties.py`` pins the
+equivalence property).
+
+Keying discipline
+-----------------
+The backend key is a *content* hash (:meth:`Backend.content_fingerprint`),
+not an object identity: two ``NoisyDeviceBackend`` instances built from the
+same device calibration, noise scale, transpile flag and layout share
+entries, while any content difference — a rescaled calibration, a pinned
+layout — separates them.  Backends that cannot describe their content
+(user-defined subclasses without a fingerprint) or that sample per shot
+(stabilizer, trajectory) are never cached.
+
+Invalidation is explicit: :meth:`DistributionCache.invalidate` drops the
+entries for a circuit and/or backend (e.g. after mutating a device model
+in place), :meth:`DistributionCache.clear` drops everything.  Lookups are
+opt-in per ``execute()`` call (``distribution_cache=True`` or a cache
+instance), so job-introspection fields like ``JobSet.num_executed`` stay
+predictable for callers that never asked for cross-call reuse.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Optional, Tuple
+
+from repro.results.result import Result
+
+#: Cache key: (circuit fingerprint, backend content fingerprint).
+DistributionKey = Tuple[str, str]
+
+#: Per-run metadata keys stripped from cached snapshots (they describe the
+#: primary's draw, not the distribution).
+_RUN_METADATA = ("seed", "chunks", "chunk_seeds", "resampled")
+
+
+def backend_fingerprint(backend) -> Optional[str]:
+    """Return ``backend.content_fingerprint()`` or ``None`` when absent."""
+    method = getattr(backend, "content_fingerprint", None)
+    if method is None:
+        return None
+    return method()
+
+
+def distribution_key(circuit, backend) -> Optional[DistributionKey]:
+    """Return the cache key for ``(circuit, backend)`` or ``None``.
+
+    ``None`` means the pair is not cacheable: the backend samples per shot
+    (no exact distribution to store) or cannot content-hash itself.
+    """
+    if not getattr(backend, "returns_probabilities", False):
+        return None
+    fingerprint = backend_fingerprint(backend)
+    if fingerprint is None:
+        return None
+    return (circuit.fingerprint(), fingerprint)
+
+
+def _snapshot(result: Result) -> Result:
+    """Freeze a primary result into a distribution-only cache entry."""
+    metadata = {
+        k: v for k, v in result.metadata.items() if k not in _RUN_METADATA
+    }
+    return Result(
+        shots=0,
+        statevector=result.statevector,
+        probabilities=dict(result.probabilities),
+        metadata=metadata,
+    )
+
+
+class DistributionCache:
+    """A bounded, thread-safe LRU cache of exact outcome distributions.
+
+    Parameters
+    ----------
+    maxsize:
+        Maximum number of cached distributions; ``0`` disables storage
+        (every lookup misses).
+
+    Attributes
+    ----------
+    hits / misses:
+        Lifetime lookup statistics (survive :meth:`clear`).
+    """
+
+    def __init__(self, maxsize: int = 256) -> None:
+        if maxsize < 0:
+            raise ValueError(f"maxsize must be non-negative, got {maxsize}")
+        self.maxsize = maxsize
+        self.hits = 0
+        self.misses = 0
+        self._lock = threading.Lock()
+        self._entries: "OrderedDict[DistributionKey, Result]" = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def lookup(self, key: DistributionKey) -> Optional[Result]:
+        """Return the cached distribution for ``key`` (a hit) or ``None``.
+
+        The returned :class:`Result` is the shared cache entry; callers
+        must treat it as immutable (the runtime only re-samples from it,
+        which copies on the way out).
+        """
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return entry
+
+    def store(self, key: DistributionKey, result: Result) -> None:
+        """Snapshot ``result``'s distribution under ``key`` (LRU-evicting)."""
+        if self.maxsize == 0 or result.probabilities is None:
+            return
+        entry = _snapshot(result)
+        with self._lock:
+            self._entries[key] = entry
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.maxsize:
+                self._entries.popitem(last=False)
+
+    def invalidate(self, circuit=None, backend=None) -> int:
+        """Drop entries matching ``circuit`` and/or ``backend``; return count.
+
+        With both given, exactly that pair's entry is dropped; with one,
+        every entry for that circuit (any backend) or backend (any
+        circuit); with neither, everything (same as :meth:`clear`).  A
+        backend without a content fingerprint matches nothing.
+        """
+        circuit_fp = None if circuit is None else circuit.fingerprint()
+        backend_fp = None if backend is None else backend_fingerprint(backend)
+        if backend is not None and backend_fp is None:
+            return 0
+        with self._lock:
+            victims = [
+                key
+                for key in self._entries
+                if (circuit_fp is None or key[0] == circuit_fp)
+                and (backend_fp is None or key[1] == backend_fp)
+            ]
+            for key in victims:
+                del self._entries[key]
+        return len(victims)
+
+    def clear(self) -> None:
+        """Drop all entries (statistics are preserved)."""
+        with self._lock:
+            self._entries.clear()
+
+    def stats(self) -> dict:
+        """Return ``{"entries", "hits", "misses", "hit_rate"}``."""
+        total = self.hits + self.misses
+        return {
+            "entries": len(self._entries),
+            "hits": self.hits,
+            "misses": self.misses,
+            "hit_rate": (self.hits / total) if total else 0.0,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"DistributionCache(entries={len(self._entries)}, "
+            f"hits={self.hits}, misses={self.misses})"
+        )
+
+
+#: Process-wide default cache, used by ``execute(distribution_cache=True)``.
+DEFAULT_DISTRIBUTION_CACHE = DistributionCache()
+
+
+def distribution_cache_stats() -> dict:
+    """Return the default distribution cache's statistics."""
+    return DEFAULT_DISTRIBUTION_CACHE.stats()
+
+
+def clear_distribution_cache() -> None:
+    """Empty the default distribution cache."""
+    DEFAULT_DISTRIBUTION_CACHE.clear()

@@ -9,44 +9,64 @@ One call covers the paper's whole execution surface::
 
     jobs = execute(sweep_circuits, get_backend("noisy:ibmqx4"),
                    shots=8192, seed=2020, max_workers=4)
-    for counts in jobs.counts():
+    for job in jobs.as_completed():
         ...
 
 Semantics:
 
 * **Batching** — a list of circuits becomes a :class:`~repro.runtime.job.JobSet`
-  whose jobs fan out over a shared thread pool (NumPy kernels release the
-  GIL, so noisy-simulation batches genuinely overlap).
+  whose jobs fan out over a shared executor (see :mod:`repro.runtime.pool`):
+  ``executor="thread"`` for the NumPy engines (their kernels release the
+  GIL), ``"process"`` for the GIL-bound per-shot engines (stabilizer,
+  trajectory), ``"serial"`` for inline execution.  Executors are
+  process-wide and reused across calls — no per-call pool churn.
 * **Deduplication** — with ``dedupe=True`` (default), jobs with the same
   ``(circuit.fingerprint(), backend)`` simulate the distribution once and
   share/re-sample it (see :mod:`repro.runtime.batching`), preserving the
   exact counts a dedicated run would have produced.
+* **Cross-call distribution caching** — with ``distribution_cache`` set, a
+  primary whose ``(circuit fingerprint, backend content hash)`` was already
+  simulated by an *earlier* call re-samples the cached distribution instead
+  of re-simulating (see :mod:`repro.runtime.distcache`) — same counts,
+  none of the work.
 * **Shot chunking** — ``chunk_shots=N`` splits each job into ≤N-shot chunks
   executed in parallel, with per-chunk seeds spawned deterministically from
   the caller's seed; worker count never changes the merged counts.
-* **Determinism** — an unchunked, unbatched ``execute`` is bit-identical to
-  the sequential ``backend.run`` loop it replaces.
+* **Priorities** — higher-priority jobs are submitted to the executor
+  first (FIFO queues make that start-order; under ``executor="serial"`` it
+  is the exact execution order).  Priorities never affect counts or the
+  returned job order.
+* **Determinism** — an unchunked, unbatched, uncached ``execute`` is
+  bit-identical to the sequential ``backend.run`` loop it replaces, and
+  every executor kind, chunking choice and cache state reproduces those
+  same counts for the same seed.
 """
 
 from __future__ import annotations
 
-import os
-from concurrent.futures import ThreadPoolExecutor
 from typing import List, Optional, Sequence, Union
 
 from repro.circuits.circuit import QuantumCircuit
 from repro.devices.backend import Backend
 from repro.exceptions import JobError
-from repro.runtime.batching import ROLE_INDEPENDENT, ROLE_PRIMARY, plan_batches
+from repro.runtime.batching import (
+    ROLE_CACHED,
+    ROLE_INDEPENDENT,
+    ROLE_PRIMARY,
+    plan_batches,
+)
+from repro.runtime.distcache import (
+    DEFAULT_DISTRIBUTION_CACHE,
+    DistributionCache,
+    distribution_key,
+)
 from repro.runtime.job import Job, JobSet
+from repro.runtime.pool import get_executor
 from repro.runtime.provider import resolve_backend
 
 CircuitInput = Union[QuantumCircuit, Sequence[QuantumCircuit]]
 BackendInput = Union[str, Backend, Sequence[Union[str, Backend]]]
-
-
-def _default_workers() -> int:
-    return min(32, (os.cpu_count() or 1))
+DistCacheInput = Union[bool, DistributionCache, None]
 
 
 def _broadcast(value, count: int, name: str) -> list:
@@ -60,6 +80,22 @@ def _broadcast(value, count: int, name: str) -> list:
     return [value] * count
 
 
+def _resolve_distribution_cache(
+    distribution_cache: DistCacheInput,
+) -> Optional[DistributionCache]:
+    """Map the ``distribution_cache`` argument to a cache instance or ``None``."""
+    if distribution_cache is None or distribution_cache is False:
+        return None
+    if distribution_cache is True:
+        return DEFAULT_DISTRIBUTION_CACHE
+    if isinstance(distribution_cache, DistributionCache):
+        return distribution_cache
+    raise JobError(
+        "distribution_cache must be a bool or a DistributionCache, "
+        f"got {type(distribution_cache).__name__}"
+    )
+
+
 def execute(
     circuits: CircuitInput,
     backend: BackendInput,
@@ -68,6 +104,9 @@ def execute(
     max_workers: Optional[int] = None,
     chunk_shots: Optional[int] = None,
     dedupe: bool = True,
+    executor: Optional[str] = None,
+    priority: Union[int, Sequence[int]] = 0,
+    distribution_cache: DistCacheInput = False,
 ) -> Union[Job, JobSet]:
     """Submit one circuit or a batch for (parallel) execution.
 
@@ -84,21 +123,39 @@ def execute(
         length.  A scalar seed replicates the sequential-loop convention of
         running every circuit with the *same* seed.
     max_workers:
-        Thread-pool width (default: CPU count, capped at 32).  ``1`` forces
-        serial execution — the merged counts are identical either way.
+        Pool width for the thread/process executors (default: CPU count,
+        capped at 32).  Pools are shared process-wide per ``(kind, width)``
+        and reused across calls.  Width never changes the merged counts.
     chunk_shots:
         Split each job into chunks of at most this many shots (parallel
         shot sharding for the per-shot Monte-Carlo engines).
     dedupe:
         Group identical ``(circuit, backend)`` jobs so the distribution is
         simulated once and re-sampled per job.
+    executor:
+        ``"serial"``, ``"thread"`` or ``"process"``; ``None`` reads
+        ``$REPRO_EXECUTOR`` and falls back to ``"thread"``.  Use
+        ``"process"`` for the GIL-bound per-shot engines — circuits and
+        backends cross the boundary by pickle.
+    priority:
+        Scalar or per-circuit submission priority (default 0).  Higher
+        priorities reach the executor queue first; job order in the
+        returned :class:`JobSet` is unaffected.
+    distribution_cache:
+        Cross-call reuse policy: ``False`` (default) off, ``True`` the
+        process-wide default :class:`~repro.runtime.distcache.DistributionCache`,
+        or a cache instance.  Cached hits re-sample counts without
+        simulating — bit-identical to a fresh run.  A missing entry is
+        stored when the primary's result is first collected, so later
+        ``execute()`` calls (not concurrent ones) see it.
 
     Returns
     -------
     Job or JobSet
         A single :class:`Job` when ``circuits`` is a lone circuit, else a
-        :class:`JobSet` in input order.  Submission returns immediately;
-        call ``.result()`` to collect.
+        :class:`JobSet` in input order.  Submission returns immediately
+        (``executor="serial"`` runs inline); call ``.result()`` or iterate
+        ``.as_completed()`` to collect.
     """
     single = isinstance(circuits, QuantumCircuit)
     circuit_list: List[QuantumCircuit] = [circuits] if single else list(circuits)
@@ -119,6 +176,8 @@ def execute(
         backends.append(resolved_specs[spec])
     shots_list = [int(s) for s in _broadcast(shots, count, "shots")]
     seed_list = _broadcast(seed, count, "seed")
+    priority_list = [int(p) for p in _broadcast(priority, count, "priority")]
+    dist_cache = _resolve_distribution_cache(distribution_cache)
     # Validate everything before any job reaches the pool: a late failure
     # would leak already-submitted work with no Job handle to collect it.
     for s in shots_list:
@@ -128,17 +187,36 @@ def execute(
         raise JobError(f"chunk_shots must be positive, got {chunk_shots}")
     if max_workers is not None and max_workers < 1:
         raise JobError(f"max_workers must be positive, got {max_workers}")
+    pool = get_executor(executor, max_workers)
 
     plan = plan_batches(circuit_list, backends, shots_list, seed_list, dedupe=dedupe)
-    executor = ThreadPoolExecutor(
-        max_workers=max_workers or _default_workers(),
-        thread_name_prefix="repro-runtime",
-    )
     jobs: List[Job] = []
-    try:
-        for job_plan in plan.jobs:
-            index = job_plan.index
-            primary = job_plan.role in (ROLE_PRIMARY, ROLE_INDEPENDENT)
+    to_submit: List[Job] = []
+    for job_plan in plan.jobs:
+        index = job_plan.index
+        primary = job_plan.role in (ROLE_PRIMARY, ROLE_INDEPENDENT)
+        distribution = None
+        store = None
+        if primary and dist_cache is not None:
+            key = distribution_key(circuit_list[index], backends[index])
+            if key is not None:
+                distribution = dist_cache.lookup(key)
+                if distribution is None:
+                    store = (dist_cache, key)
+        if distribution is not None:
+            # Cross-call hit: the job re-samples the cached distribution
+            # (and still serves as dedup source for this call's siblings).
+            job = Job(
+                circuit_list[index],
+                backends[index],
+                shots_list[index],
+                seed_list[index],
+                role=ROLE_CACHED,
+                chunk_shots=chunk_shots,
+                priority=priority_list[index],
+                distribution=distribution,
+            )
+        else:
             job = Job(
                 circuit_list[index],
                 backends[index],
@@ -147,13 +225,16 @@ def execute(
                 role=job_plan.role,
                 source=None if primary else jobs[job_plan.source],
                 chunk_shots=chunk_shots,
+                priority=priority_list[index],
             )
+            job._dist_store = store
             if primary:
-                job._submit(executor)
-            jobs.append(job)
-    finally:
-        # Queued work keeps running; the pool just tears down as it drains.
-        executor.shutdown(wait=False)
+                to_submit.append(job)
+        jobs.append(job)
+    # Stable sort: equal priorities keep plan order, higher go first.  The
+    # shared pool outlives the call — no shutdown, no churn.
+    for job in sorted(to_submit, key=lambda j: -j.priority):
+        job._submit(pool)
     return jobs[0] if single else JobSet(jobs)
 
 

@@ -1,22 +1,32 @@
 """Asynchronous jobs: the submit/result/cancel half of the runtime.
 
 A :class:`Job` is one circuit's execution on one backend, fanned out as one
-or more shot-chunk tasks on the ``concurrent.futures`` pool its
-``execute()`` batch owns (the submit-then-collect discipline of mainstream
-SDK ``Job`` objects).  A :class:`JobSet` is an ordered batch of jobs
-returned by :func:`repro.runtime.execute.execute`.
+or more shot-chunk tasks on the shared ``concurrent.futures`` executor the
+runtime keeps per configuration (see :mod:`repro.runtime.pool`; the
+submit-then-collect discipline of mainstream SDK ``Job`` objects).  A
+:class:`JobSet` is an ordered batch of jobs returned by
+:func:`repro.runtime.execute.execute`, with bulk and streaming
+(:meth:`JobSet.as_completed`) collection.
+
+Chunk tasks are submitted as the module-level :func:`_execute_chunk` so the
+same code path serves thread pools (shared objects) and process pools
+(pickled ``(backend, circuit)`` arguments, pickled results back).
 
 Determinism contract
 --------------------
 * An unchunked job runs ``backend.run(circuit, shots, seed)`` verbatim, so
-  its counts are bit-identical to the sequential loop it replaces.
+  its counts are bit-identical to the sequential loop it replaces —
+  whichever executor kind runs it.
 * A chunked job derives chunk ``i``'s seed from the caller's seed via
   ``SeedSequence`` spawning and merges chunk counts **in chunk order**, so
   its counts depend only on ``(circuit, backend, shots, seed,
-  chunk_shots)`` — never on worker count or completion order.
+  chunk_shots)`` — never on executor kind, worker count or completion
+  order.
 * A deduplicated job (see :mod:`repro.runtime.batching`) clones or
-  re-samples its group primary's result with its own seed, reproducing the
-  counts a dedicated run would have drawn.
+  re-samples its group primary's result with its own seed, and a
+  distribution-cache hit (see :mod:`repro.runtime.distcache`) re-samples
+  the cached distribution the same way — both reproduce the counts a
+  dedicated run would have drawn.
 """
 
 from __future__ import annotations
@@ -27,7 +37,7 @@ import threading
 import time
 from concurrent.futures import CancelledError, Future
 from concurrent.futures import TimeoutError as FutureTimeoutError
-from typing import TYPE_CHECKING, Iterator, List, Optional, Sequence
+from typing import TYPE_CHECKING, Iterator, List, Optional, Sequence, Tuple
 
 from repro.exceptions import JobError
 from repro.results.counts import Counts
@@ -60,6 +70,19 @@ class JobStatus(enum.Enum):
 _job_counter = itertools.count(1)
 
 
+def _execute_chunk(
+    backend: "Backend", circuit: "QuantumCircuit", shots: int, seed: Optional[int]
+) -> Tuple[Result, float]:
+    """Run one shot chunk and return ``(result, elapsed_seconds)``.
+
+    Module-level so process-pool executors can pickle the task; thread and
+    serial executors call it with shared objects and pay nothing extra.
+    """
+    start = time.perf_counter()
+    result = backend.run(circuit, shots=shots, seed=seed)
+    return result, time.perf_counter() - start
+
+
 class Job:
     """A single circuit execution in flight.
 
@@ -72,6 +95,9 @@ class Job:
         Monotonic identifier, unique within the process.
     circuit / backend / shots / seed:
         The submitted work.
+    priority:
+        Submission priority (higher submits first; see
+        :func:`repro.runtime.execute.execute`).
     """
 
     def __init__(
@@ -83,6 +109,8 @@ class Job:
         role: str = ROLE_INDEPENDENT,
         source: Optional["Job"] = None,
         chunk_shots: Optional[int] = None,
+        priority: int = 0,
+        distribution: Optional[Result] = None,
     ) -> None:
         self.job_id = f"job-{next(_job_counter)}"
         self.circuit = circuit
@@ -90,10 +118,16 @@ class Job:
         self.shots = shots
         self.seed = seed
         self.chunk_shots = chunk_shots
+        self.priority = int(priority)
         self._role = role
         self._source = source if source is not None else self
+        self._distribution = distribution
+        #: Set by execute() on a distribution-cache miss: (cache, key) to
+        #: store this job's distribution into once it completes.
+        self._dist_store = None
         self._futures: List[Future] = []
         self._chunk_elapsed: List[float] = []
+        self._pool_elapsed_recorded = False
         self._result: Optional[Result] = None
         self._error: Optional[BaseException] = None
         self._cancelled = False
@@ -116,16 +150,22 @@ class Job:
         return [(n, chunk_seed(self.seed, i)) for i, n in enumerate(shot_chunks)]
 
     def _run_chunk(self, shots: int, seed: Optional[int]) -> Result:
-        start = time.perf_counter()
-        result = self.backend.run(self.circuit, shots=shots, seed=seed)
+        """Run one chunk inline (lazy fallbacks), recording its elapsed time."""
+        result, elapsed = _execute_chunk(self.backend, self.circuit, shots, seed)
         with self._lock:
-            self._chunk_elapsed.append(time.perf_counter() - start)
+            self._chunk_elapsed.append(elapsed)
         return result
 
     def _submit(self, executor) -> None:
-        """Schedule this job's chunk tasks on ``executor``."""
+        """Schedule this job's chunk tasks on ``executor``.
+
+        Tasks are the picklable module-level :func:`_execute_chunk`, so any
+        executor kind — serial, thread or process — can run them.
+        """
         for shots, seed in self.chunk_plan():
-            self._futures.append(executor.submit(self._run_chunk, shots, seed))
+            self._futures.append(
+                executor.submit(_execute_chunk, self.backend, self.circuit, shots, seed)
+            )
 
     # ------------------------------------------------------------------
     # Introspection
@@ -135,6 +175,16 @@ class Job:
     def derived(self) -> bool:
         """Return ``True`` when this job reuses a group primary's result."""
         return self._source is not self
+
+    @property
+    def cached(self) -> bool:
+        """Return ``True`` when this job re-samples a cached distribution.
+
+        A cached job never touches the backend: its counts come from a
+        cross-call :class:`~repro.runtime.distcache.DistributionCache` hit
+        (bit-identical to a fresh run, per the determinism contract).
+        """
+        return self._distribution is not None
 
     def status(self) -> JobStatus:
         """Return the job's current :class:`JobStatus`.
@@ -151,6 +201,10 @@ class Job:
         if self._error is not None:
             return JobStatus.ERROR
         if self._result is not None:
+            return JobStatus.DONE
+        if self.cached:
+            # The distribution is in hand; result() re-samples it without
+            # waiting on any pool work.
             return JobStatus.DONE
         if self.derived:
             source_status = self._source.status()
@@ -200,7 +254,7 @@ class Job:
         be cancelled — the job runs to completion as normal.  A derived job
         cannot be cancelled independently of its primary.
         """
-        if self._result is not None or self.derived:
+        if self._result is not None or self.derived or self.cached:
             return False
         cancelled = [f.cancel() for f in self._futures]
         if cancelled and any(cancelled):
@@ -228,6 +282,21 @@ class Job:
             return self._result
         if self._cancelled:
             raise JobError(f"{self.job_id} was cancelled")
+        if self.cached:
+            # Replay this job's own chunk plan against the cached
+            # distribution — the same schedule a dedicated (possibly
+            # chunked) run would have drawn from, so counts match it
+            # bit-for-bit.
+            chunk_results = []
+            for shots, seed in self.chunk_plan():
+                derived = resample_result(self._distribution, shots, seed)
+                if derived is None:  # defensive: entries always carry one
+                    derived = self._run_chunk(shots, seed)
+                chunk_results.append(derived)
+            merged = merge_chunk_results(chunk_results, self.shots, self.seed)
+            merged.metadata["distribution_cache"] = True
+            self._result = merged
+            return self._result
         if self.derived:
             try:
                 source_result = self._source.result(timeout=timeout)
@@ -264,11 +333,14 @@ class Job:
         deadline = None if timeout is None else time.monotonic() + timeout
         try:
             chunk_results = []
+            chunk_elapsed = []
             for future in self._futures:
                 remaining = (
                     None if deadline is None else max(0.0, deadline - time.monotonic())
                 )
-                chunk_results.append(future.result(timeout=remaining))
+                result, elapsed = future.result(timeout=remaining)
+                chunk_results.append(result)
+                chunk_elapsed.append(elapsed)
         except CancelledError:
             self._cancelled = True
             raise JobError(f"{self.job_id} was cancelled") from None
@@ -279,7 +351,17 @@ class Job:
         except Exception as exc:
             self._error = exc
             raise JobError(f"{self.job_id} failed: {exc}") from exc
+        # Worker wall-clock is recorded at collection time (the workers may
+        # live in another process); guard against a concurrent first
+        # result() call double-counting it.
+        with self._lock:
+            if not self._pool_elapsed_recorded:
+                self._chunk_elapsed.extend(chunk_elapsed)
+                self._pool_elapsed_recorded = True
         self._result = merge_chunk_results(chunk_results, self.shots, self.seed)
+        if self._dist_store is not None and self._result.probabilities is not None:
+            cache, key = self._dist_store
+            cache.store(key, self._result)
         return self._result
 
     def counts(self, timeout: Optional[float] = None) -> Counts:
@@ -339,6 +421,55 @@ class JobSet:
         """Return every job's counts, in submission order (shared deadline)."""
         return [result.counts for result in self.result(timeout=timeout)]
 
+    def as_completed(
+        self, timeout: Optional[float] = None
+    ) -> Iterator[Job]:
+        """Yield each job as it finishes, in completion order.
+
+        Streaming counterpart of :meth:`result`: a sweep can consume fast
+        jobs while slow ones still run.  Every job is yielded **exactly
+        once**, whatever its terminal state — callers see cancelled and
+        failed jobs too (their ``result()`` raises
+        :class:`~repro.exceptions.JobError`), so the stream never silently
+        drops work.  Derived and distribution-cached jobs surface as soon
+        as their source is settled.
+
+        Raises
+        ------
+        JobError
+            When ``timeout`` (seconds, for the whole stream) expires with
+            jobs still pending.  The pending jobs keep running and remain
+            collectable individually.
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        pending = list(self.jobs)
+        # Exponential poll backoff: snappy while jobs finish quickly, near
+        # zero CPU while long engine runs are in flight (a poll is the only
+        # mechanism that also covers derived/cached jobs, which settle with
+        # their source rather than with a future of their own).
+        delay = 0.001
+        while pending:
+            still_pending = []
+            progressed = False
+            for job in pending:
+                if job.done():
+                    progressed = True
+                    yield job
+                else:
+                    still_pending.append(job)
+            pending = still_pending
+            if not pending:
+                return
+            if deadline is not None and time.monotonic() > deadline:
+                raise JobError(
+                    f"{len(pending)} job(s) still pending after {timeout}s"
+                )
+            if progressed:
+                delay = 0.001
+            else:
+                time.sleep(delay)
+                delay = min(delay * 2, 0.05)
+
     @property
     def time_taken(self) -> float:
         """Return the summed chunk wall-clock time across the batch."""
@@ -346,8 +477,17 @@ class JobSet:
 
     @property
     def num_executed(self) -> int:
-        """Return how many jobs actually ran on a backend (non-derived)."""
-        return sum(1 for job in self.jobs if not job.derived)
+        """Return how many jobs actually ran on a backend.
+
+        Derived (in-call dedup) and distribution-cached (cross-call reuse)
+        jobs never touch a backend, so they are excluded.
+        """
+        return sum(1 for job in self.jobs if not job.derived and not job.cached)
+
+    @property
+    def num_cached(self) -> int:
+        """Return how many jobs were served by the distribution cache."""
+        return sum(1 for job in self.jobs if job.cached)
 
     def __repr__(self) -> str:
         from collections import Counter

@@ -1,0 +1,187 @@
+"""Process-wide worker pools shared across ``execute()`` calls.
+
+PR 1's runtime built a fresh ``ThreadPoolExecutor`` inside every
+``execute()`` call — pure churn for single-job callers like ``run_table1``,
+and useless for the GIL-bound per-shot engines (stabilizer, trajectory)
+where thread fan-out buys nothing.  This module replaces that with three
+selectable executor kinds behind one lazily-created, process-wide registry:
+
+``serial``
+    Run every task inline on the calling thread (:class:`SerialExecutor`).
+    Zero scheduling overhead and strictly deterministic execution *order*,
+    which makes job priorities directly observable.
+``thread``
+    A shared :class:`~concurrent.futures.ThreadPoolExecutor`.  Right for
+    the NumPy engines (density-matrix, statevector), whose kernels release
+    the GIL.
+``process``
+    A shared :class:`~concurrent.futures.ProcessPoolExecutor`.  Right for
+    the pure-Python per-shot engines; circuits, backends and results cross
+    the boundary by pickle (see the runtime's pickling hooks).
+
+Pools are keyed by ``(kind, width)`` and created on first use, so repeated
+``execute()`` calls with the same configuration reuse one executor instead
+of rebuilding it.  The counts contract is unchanged: for a fixed seed,
+every executor kind produces bit-identical counts (``tests/runtime/
+test_determinism.py`` pins this).
+
+The default kind comes from the ``REPRO_EXECUTOR`` environment variable
+(``serial`` | ``thread`` | ``process``), falling back to ``thread`` — which
+is how CI runs the runtime suite under every executor without touching the
+tests.
+"""
+
+from __future__ import annotations
+
+import atexit
+import os
+import threading
+from concurrent.futures import (
+    Executor,
+    Future,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+)
+from typing import Dict, Optional, Tuple
+
+from repro.exceptions import JobError
+
+#: The selectable executor kinds, in increasing isolation order.
+EXECUTOR_KINDS = ("serial", "thread", "process")
+
+#: Environment variable naming the default executor kind.
+EXECUTOR_ENV_VAR = "REPRO_EXECUTOR"
+
+
+class SerialExecutor(Executor):
+    """An :class:`~concurrent.futures.Executor` that runs tasks inline.
+
+    ``submit()`` executes the task on the calling thread and returns an
+    already-completed :class:`~concurrent.futures.Future` (exceptions are
+    captured in the future, matching pool semantics, not raised at submit
+    time).  Tasks therefore run in exact submission order, which is what
+    makes job priorities observable under this executor.
+    """
+
+    def submit(self, fn, /, *args, **kwargs) -> Future:
+        future: Future = Future()
+        if not future.set_running_or_notify_cancel():  # pragma: no cover
+            return future
+        try:
+            future.set_result(fn(*args, **kwargs))
+        except BaseException as exc:
+            future.set_exception(exc)
+        return future
+
+
+def default_executor_kind() -> str:
+    """Return the default kind: ``$REPRO_EXECUTOR`` or ``"thread"``."""
+    kind = os.environ.get(EXECUTOR_ENV_VAR, "").strip().lower()
+    if not kind:
+        return "thread"
+    if kind not in EXECUTOR_KINDS:
+        raise JobError(
+            f"{EXECUTOR_ENV_VAR}={kind!r} is not a valid executor kind; "
+            f"choose from {list(EXECUTOR_KINDS)}"
+        )
+    return kind
+
+
+def default_max_workers() -> int:
+    """Return the default pool width (CPU count, capped at 32)."""
+    return min(32, (os.cpu_count() or 1))
+
+
+#: Registry key: (kind, width); the serial executor has no width.
+_PoolKey = Tuple[str, Optional[int]]
+
+_lock = threading.Lock()
+_pools: Dict[_PoolKey, Executor] = {}
+_stats = {"created": 0, "reused": 0}
+
+
+def _make_executor(kind: str, width: Optional[int]) -> Executor:
+    if kind == "serial":
+        return SerialExecutor()
+    if kind == "thread":
+        return ThreadPoolExecutor(
+            max_workers=width, thread_name_prefix="repro-runtime"
+        )
+    return ProcessPoolExecutor(max_workers=width)
+
+
+def _is_broken(pool: Executor) -> bool:
+    """Return ``True`` for a process pool whose workers died."""
+    return bool(getattr(pool, "_broken", False))
+
+
+def get_executor(
+    kind: Optional[str] = None, max_workers: Optional[int] = None
+) -> Executor:
+    """Return the shared executor for ``(kind, max_workers)``.
+
+    The first request for a configuration creates its pool; later requests
+    return the same object (``pool_stats()`` tracks both).  A broken
+    process pool (workers killed) is transparently discarded and rebuilt.
+
+    Parameters
+    ----------
+    kind:
+        ``"serial"``, ``"thread"`` or ``"process"``; ``None`` uses
+        :func:`default_executor_kind`.
+    max_workers:
+        Pool width; ``None`` uses :func:`default_max_workers`.  Ignored by
+        the serial executor.
+    """
+    kind = kind if kind is not None else default_executor_kind()
+    if kind not in EXECUTOR_KINDS:
+        raise JobError(
+            f"unknown executor kind {kind!r}; choose from {list(EXECUTOR_KINDS)}"
+        )
+    if max_workers is not None and max_workers < 1:
+        raise JobError(f"max_workers must be positive, got {max_workers}")
+    if kind == "serial":
+        key: _PoolKey = ("serial", None)
+    else:
+        key = (kind, int(max_workers) if max_workers else default_max_workers())
+    with _lock:
+        pool = _pools.get(key)
+        if pool is not None and _is_broken(pool):
+            pool.shutdown(wait=False)
+            del _pools[key]
+            pool = None
+        if pool is None:
+            pool = _make_executor(kind, key[1])
+            _pools[key] = pool
+            _stats["created"] += 1
+        else:
+            _stats["reused"] += 1
+        return pool
+
+
+def pool_stats() -> dict:
+    """Return ``{"active", "created", "reused", "pools"}`` for the registry.
+
+    ``created``/``reused`` are lifetime counters (they survive
+    :func:`shutdown_executors`); ``pools`` lists the live ``(kind, width)``
+    keys.
+    """
+    with _lock:
+        return {
+            "active": len(_pools),
+            "created": _stats["created"],
+            "reused": _stats["reused"],
+            "pools": sorted(_pools),
+        }
+
+
+def shutdown_executors(wait: bool = True) -> None:
+    """Shut down and drop every shared pool (they rebuild lazily on use)."""
+    with _lock:
+        pools = list(_pools.values())
+        _pools.clear()
+    for pool in pools:
+        pool.shutdown(wait=wait)
+
+
+atexit.register(shutdown_executors)

@@ -1,16 +1,19 @@
-"""Satellite: seed determinism across serial / parallel / chunked execution.
+"""Satellite: seed determinism across executors, chunking and caches.
 
 The runtime's contract is that a caller seed pins the counts regardless of
-how the work is scheduled: one worker or many, whole jobs or shot chunks,
-cold or warm transpile cache.  These tests pin that contract on all four
-backend families (statevector, density-matrix, stabilizer, trajectory).
+how the work is scheduled: serial, thread or process executor, one worker
+or many, whole jobs or shot chunks, cold or warm transpile cache, fresh
+simulation or distribution-cache re-sampling.  These tests pin that
+contract on all four backend families (statevector, density-matrix,
+stabilizer, trajectory).
 """
 
 import pytest
 
 from repro.circuits import library
 from repro.core.injector import AssertionInjector
-from repro.runtime import TranspileCache, execute, get_backend
+from repro.runtime import DistributionCache, TranspileCache, execute, get_backend
+from repro.runtime.pool import EXECUTOR_KINDS
 
 #: All four backend families; trajectory at scale 0.25 keeps it fast.
 BACKEND_SPECS = [
@@ -70,6 +73,107 @@ class TestSeedDeterminism:
             instrumented_circuit(), get_backend(spec, **options), shots=128, seed=5
         ).counts()
         assert dict(first) == dict(second)
+
+
+@pytest.mark.parametrize("spec, options", BACKEND_SPECS)
+class TestExecutorDeterminism:
+    """v2 contract: every executor kind draws bit-identical counts.
+
+    The serial executor is the reference (it is the sequential loop); the
+    thread and process pools must reproduce it exactly, unchunked and
+    chunked, on all four backend families.  The process comparison also
+    exercises the pickling path for circuits, backends and results.
+    """
+
+    def test_all_executors_agree_unchunked(self, spec, options):
+        circuits = [instrumented_circuit() for _ in range(3)]
+        reference = execute(
+            circuits, get_backend(spec, **options), shots=128, seed=17,
+            executor="serial", dedupe=False,
+        ).counts()
+        for kind in ("thread", "process"):
+            counts = execute(
+                circuits, get_backend(spec, **options), shots=128, seed=17,
+                executor=kind, dedupe=False,
+            ).counts()
+            assert [dict(c) for c in counts] == [dict(c) for c in reference], kind
+
+    def test_all_executors_agree_chunked(self, spec, options):
+        reference = execute(
+            instrumented_circuit(), get_backend(spec, **options), shots=200,
+            seed=23, chunk_shots=64, executor="serial",
+        ).counts()
+        for kind in ("thread", "process"):
+            counts = execute(
+                instrumented_circuit(), get_backend(spec, **options), shots=200,
+                seed=23, chunk_shots=64, executor=kind, max_workers=3,
+            ).counts()
+            assert dict(counts) == dict(reference), kind
+
+    def test_chunked_equals_unchunked_per_executor(self, spec, options):
+        """Chunking changes the seed schedule deterministically: whatever
+        counts a chunking choice produces, every executor kind must produce
+        the same ones."""
+        for chunk_shots in (None, 50):
+            per_kind = {
+                kind: dict(
+                    execute(
+                        instrumented_circuit(), get_backend(spec, **options),
+                        shots=150, seed=31, chunk_shots=chunk_shots,
+                        executor=kind,
+                    ).counts()
+                )
+                for kind in EXECUTOR_KINDS
+            }
+            assert per_kind["serial"] == per_kind["thread"] == per_kind["process"]
+
+    def test_executor_kind_stable_across_calls(self, spec, options):
+        first = execute(
+            instrumented_circuit(), get_backend(spec, **options), shots=96,
+            seed=13, executor="process",
+        ).counts()
+        second = execute(
+            instrumented_circuit(), get_backend(spec, **options), shots=96,
+            seed=13, executor="process",
+        ).counts()
+        assert dict(first) == dict(second)
+
+
+class TestDistributionCacheDeterminism:
+    """Cross-call cache hits must re-draw the exact fresh-run counts."""
+
+    @pytest.mark.parametrize("spec", ["density_matrix", "noisy:ibmqx4"])
+    def test_cold_vs_warm_distribution_cache(self, spec):
+        cache = DistributionCache()
+        backend = get_backend(spec)
+        cold = execute(
+            instrumented_circuit(), backend, shots=256, seed=41,
+            distribution_cache=cache,
+        )
+        cold_counts = dict(cold.counts())  # collection populates the cache
+        warm = execute(
+            instrumented_circuit(), backend, shots=256, seed=41,
+            distribution_cache=cache,
+        )
+        assert not cold.cached and warm.cached
+        assert cold_counts == dict(warm.counts())
+
+    def test_warm_hit_matches_every_executor(self):
+        cache = DistributionCache()
+        backend = get_backend("noisy:ibmqx4")
+        execute(
+            instrumented_circuit(), backend, shots=128, seed=3,
+            distribution_cache=cache,
+        ).result()
+        fresh = execute(
+            instrumented_circuit(), backend, shots=128, seed=8, executor="serial"
+        ).counts()
+        for kind in EXECUTOR_KINDS:
+            cached = execute(
+                instrumented_circuit(), backend, shots=128, seed=8,
+                executor=kind, distribution_cache=cache,
+            ).counts()
+            assert dict(cached) == dict(fresh), kind
 
 
 class TestCacheDeterminism:

@@ -1,0 +1,284 @@
+"""Tests for the cross-call distribution cache and backend content hashes."""
+
+import pytest
+
+from repro.circuits import library
+from repro.devices.backend import Backend, NoisyDeviceBackend
+from repro.devices.generic import linear_device
+from repro.devices.ibmqx4 import ibmqx4
+from repro.runtime import DistributionCache, execute, get_backend
+from repro.runtime.distcache import backend_fingerprint, distribution_key
+from repro.transpiler.layout import Layout
+
+
+def measured_bell():
+    qc = library.bell_pair()
+    qc.measure_all()
+    return qc
+
+
+def measured_ghz(n=3):
+    qc = library.ghz_state(n)
+    qc.measure_all()
+    return qc
+
+
+class TestBackendContentFingerprint:
+    def test_same_configuration_shares_fingerprint(self):
+        a = NoisyDeviceBackend(ibmqx4())
+        b = NoisyDeviceBackend(ibmqx4())
+        assert backend_fingerprint(a) == backend_fingerprint(b)
+
+    def test_noise_scale_separates(self):
+        a = NoisyDeviceBackend(ibmqx4(), noise_scale=1.0)
+        b = NoisyDeviceBackend(ibmqx4(), noise_scale=2.0)
+        assert backend_fingerprint(a) != backend_fingerprint(b)
+
+    def test_device_separates(self):
+        a = NoisyDeviceBackend(ibmqx4())
+        b = NoisyDeviceBackend(linear_device(5))
+        assert backend_fingerprint(a) != backend_fingerprint(b)
+
+    def test_layout_separates(self):
+        a = NoisyDeviceBackend(ibmqx4())
+        b = NoisyDeviceBackend(ibmqx4(), layout=Layout([1, 0], num_physical=5))
+        assert backend_fingerprint(a) != backend_fingerprint(b)
+
+    def test_transpile_flag_separates(self):
+        a = NoisyDeviceBackend(ibmqx4())
+        b = NoisyDeviceBackend(ibmqx4(), transpile=False)
+        assert backend_fingerprint(a) != backend_fingerprint(b)
+
+    def test_ideal_backends_fingerprint_their_config(self):
+        from repro.devices.backend import StatevectorBackend
+
+        assert backend_fingerprint(StatevectorBackend()) == backend_fingerprint(
+            StatevectorBackend()
+        )
+        assert backend_fingerprint(
+            StatevectorBackend(max_branches=1)
+        ) != backend_fingerprint(StatevectorBackend())
+
+    def test_unknown_backend_has_no_fingerprint(self):
+        class Opaque(Backend):
+            name = "opaque"
+            returns_probabilities = True
+
+        assert backend_fingerprint(Opaque()) is None
+        assert distribution_key(measured_bell(), Opaque()) is None
+
+
+class TestDistributionKey:
+    def test_exact_backends_are_cacheable(self):
+        assert distribution_key(measured_bell(), get_backend("noisy:ibmqx4"))
+        assert distribution_key(measured_bell(), get_backend("density_matrix"))
+
+    def test_per_shot_backends_are_not(self):
+        assert distribution_key(measured_bell(), get_backend("stabilizer")) is None
+        assert (
+            distribution_key(measured_bell(), get_backend("trajectory:ibmqx4"))
+            is None
+        )
+
+    def test_circuit_fingerprint_participates(self):
+        backend = get_backend("density_matrix")
+        assert distribution_key(measured_bell(), backend) != distribution_key(
+            measured_ghz(), backend
+        )
+
+
+class TestCrossCallReuse:
+    def test_second_call_serves_from_cache(self):
+        cache = DistributionCache()
+        backend = get_backend("noisy:ibmqx4")
+        first = execute(
+            measured_bell(), backend, shots=512, seed=4, distribution_cache=cache
+        )
+        first.result()
+        assert not first.cached
+        assert cache.stats()["entries"] == 1
+        second = execute(
+            measured_bell(), backend, shots=512, seed=4, distribution_cache=cache
+        )
+        assert second.cached
+        assert dict(second.counts()) == dict(first.counts())
+        assert second.result().metadata["distribution_cache"] is True
+        assert cache.stats()["hits"] == 1
+
+    def test_cached_counts_match_dedicated_runs_across_seeds(self):
+        cache = DistributionCache()
+        backend = get_backend("density_matrix")
+        execute(
+            measured_ghz(), backend, shots=256, seed=1, distribution_cache=cache
+        ).result()
+        for seed in (2, 3, 4):
+            cached = execute(
+                measured_ghz(), backend, shots=256, seed=seed,
+                distribution_cache=cache,
+            ).counts()
+            dedicated = backend.run(measured_ghz(), shots=256, seed=seed)
+            assert dict(cached) == dict(dedicated.counts)
+
+    def test_cached_chunked_job_matches_dedicated_chunked_run(self):
+        cache = DistributionCache()
+        backend = get_backend("density_matrix")
+        execute(
+            measured_bell(), backend, shots=64, seed=1, distribution_cache=cache
+        ).result()
+        cached = execute(
+            measured_bell(), backend, shots=1024, seed=9, chunk_shots=256,
+            distribution_cache=cache,
+        ).result()
+        dedicated = execute(
+            measured_bell(), backend, shots=1024, seed=9, chunk_shots=256
+        ).result()
+        assert dict(cached.counts) == dict(dedicated.counts)
+        assert cached.counts.shots == 1024
+
+    def test_cached_primary_sources_in_call_dedup(self):
+        """A cache-hit primary still feeds this call's share/resample jobs."""
+        cache = DistributionCache()
+        backend = get_backend("density_matrix")
+        execute(
+            measured_bell(), backend, shots=128, seed=1, distribution_cache=cache
+        ).result()
+        jobs = execute(
+            [measured_bell()] * 3, backend, shots=128, seed=[5, 5, 6],
+            distribution_cache=cache,
+        )
+        assert jobs.num_executed == 0
+        assert jobs.num_cached == 1
+        for seed, counts in zip([5, 5, 6], jobs.counts()):
+            dedicated = backend.run(measured_bell(), shots=128, seed=seed)
+            assert dict(counts) == dict(dedicated.counts)
+
+    def test_cache_off_by_default(self):
+        backend = get_backend("density_matrix")
+        execute(measured_bell(), backend, shots=64, seed=1).result()
+        job = execute(measured_bell(), backend, shots=64, seed=1)
+        job.result()
+        assert not job.cached
+
+    def test_per_shot_backends_never_cached(self):
+        cache = DistributionCache()
+        backend = get_backend("stabilizer")
+        execute(
+            measured_bell(), backend, shots=64, seed=1, distribution_cache=cache
+        ).result()
+        assert len(cache) == 0
+        follow_up = execute(
+            measured_bell(), backend, shots=64, seed=1, distribution_cache=cache
+        )
+        follow_up.result()
+        assert not follow_up.cached
+
+    def test_cached_jobs_cannot_cancel_and_cost_nothing(self):
+        cache = DistributionCache()
+        backend = get_backend("density_matrix")
+        execute(
+            measured_bell(), backend, shots=64, seed=1, distribution_cache=cache
+        ).result()
+        job = execute(
+            measured_bell(), backend, shots=64, seed=2, distribution_cache=cache
+        )
+        assert job.cancel() is False
+        job.result()
+        assert job.time_taken == 0.0
+
+    def test_invalid_argument_rejected(self):
+        from repro.exceptions import JobError
+
+        with pytest.raises(JobError, match="distribution_cache"):
+            execute(measured_bell(), "density_matrix", distribution_cache=object())
+
+
+class TestInvalidation:
+    def _warm(self):
+        cache = DistributionCache()
+        backend_a = get_backend("noisy:ibmqx4")
+        backend_b = get_backend("density_matrix")
+        for circuit in (measured_bell(), measured_ghz()):
+            for backend in (backend_a, backend_b):
+                execute(
+                    circuit, backend, shots=64, seed=1, distribution_cache=cache
+                ).result()
+        assert len(cache) == 4
+        return cache, backend_a, backend_b
+
+    def test_invalidate_pair(self):
+        cache, backend_a, _ = self._warm()
+        assert cache.invalidate(measured_bell(), backend_a) == 1
+        assert len(cache) == 3
+        job = execute(
+            measured_bell(), backend_a, shots=64, seed=1, distribution_cache=cache
+        )
+        job.result()
+        assert not job.cached  # really re-simulated
+
+    def test_invalidate_by_circuit(self):
+        cache, _, _ = self._warm()
+        assert cache.invalidate(circuit=measured_bell()) == 2
+        assert len(cache) == 2
+
+    def test_invalidate_by_backend(self):
+        cache, _, backend_b = self._warm()
+        assert cache.invalidate(backend=backend_b) == 2
+        assert len(cache) == 2
+
+    def test_invalidate_everything(self):
+        cache, _, _ = self._warm()
+        assert cache.invalidate() == 4
+        assert len(cache) == 0
+
+    def test_invalidate_unfingerprintable_backend_matches_nothing(self):
+        class Opaque(Backend):
+            name = "opaque"
+
+        cache, _, _ = self._warm()
+        assert cache.invalidate(backend=Opaque()) == 0
+        assert len(cache) == 4
+
+    def test_clear_preserves_stats(self):
+        cache, backend_a, _ = self._warm()
+        execute(
+            measured_bell(), backend_a, shots=64, seed=2, distribution_cache=cache
+        ).result()
+        hits_before = cache.stats()["hits"]
+        assert hits_before >= 1
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.stats()["hits"] == hits_before
+
+
+class TestBoundsAndEviction:
+    def test_lru_eviction(self):
+        cache = DistributionCache(maxsize=1)
+        backend = get_backend("density_matrix")
+        execute(
+            measured_bell(), backend, shots=64, seed=1, distribution_cache=cache
+        ).result()
+        execute(
+            measured_ghz(), backend, shots=64, seed=1, distribution_cache=cache
+        ).result()
+        assert len(cache) == 1  # bell evicted
+        job = execute(
+            measured_ghz(), backend, shots=64, seed=2, distribution_cache=cache
+        )
+        job.result()
+        assert job.cached
+
+    def test_maxsize_zero_disables_storage(self):
+        cache = DistributionCache(maxsize=0)
+        backend = get_backend("density_matrix")
+        execute(
+            measured_bell(), backend, shots=64, seed=1, distribution_cache=cache
+        ).result()
+        assert len(cache) == 0
+
+    def test_negative_maxsize_rejected(self):
+        with pytest.raises(ValueError, match="maxsize"):
+            DistributionCache(maxsize=-1)
+
+    def test_repr_mentions_counters(self):
+        cache = DistributionCache()
+        assert "entries=0" in repr(cache)

@@ -221,13 +221,16 @@ class TestDeduplication:
         blocker = Gate()
         fast = get_backend("density_matrix")
         # One worker: the gate job occupies it so the dedup group's primary
-        # (job 2) stays queued and cancellable.
+        # (job 2) stays queued and cancellable.  Pinned to the thread
+        # executor: the gate's event cannot cross a process boundary and
+        # inline execution has no queue to cancel from.
         jobs = execute(
             [measured_bell()] * 3,
             [blocker, fast, fast],
             shots=64,
             seed=[0, 1, 1],
             max_workers=1,
+            executor="thread",
         )
         assert jobs[1].cancel() is True
         release.set()

@@ -21,7 +21,13 @@ def measured_bell():
 
 
 class BlockingBackend(Backend):
-    """Backend that blocks until released (for status/cancel tests)."""
+    """Backend that blocks until released (for status/cancel tests).
+
+    Tests using it pin ``executor="thread"``: the in-memory events cannot
+    cross a process boundary, and inline (serial) execution would block the
+    test thread itself — so these tests stay meaningful under the CI
+    executor matrix (``REPRO_EXECUTOR``).
+    """
 
     name = "blocking"
 
@@ -73,7 +79,9 @@ class TestShotSplitting:
 class TestJobLifecycle:
     def test_status_transitions(self):
         backend = BlockingBackend()
-        job = execute(measured_bell(), backend, shots=10, max_workers=1)
+        job = execute(
+            measured_bell(), backend, shots=10, max_workers=1, executor="thread"
+        )
         assert backend.started.wait(timeout=10)
         assert job.status() is JobStatus.RUNNING
         assert not job.done()
@@ -101,7 +109,7 @@ class TestJobLifecycle:
         backend = BlockingBackend()
         # One worker: the first job occupies it, the second stays queued.
         jobs = execute([measured_bell()] * 2, backend, shots=10, max_workers=1,
-                       dedupe=False)
+                       dedupe=False, executor="thread")
         assert backend.started.wait(timeout=10)
         assert jobs[1].cancel() is True
         assert jobs[1].status() is JobStatus.CANCELLED

@@ -207,3 +207,39 @@ class TestExtraGateBugs:
         injector = AssertionInjector(program)
         injector.assert_ghz([0, 1])
         assert detection_probability(injector) == pytest.approx(0.5)
+
+
+class TestRuntimeBugCatalogue:
+    """Infrastructure bugs the runtime has shipped (and must not re-ship)."""
+
+    def test_execute_reuses_the_shared_pool(self):
+        """Regression (PR 1): every execute() call built and tore down its
+        own thread pool — pure overhead for single-job callers like
+        ``run_table1``.  v2 keys pools by (kind, width) process-wide, so
+        repeated calls must reuse one executor and create nothing new."""
+        from repro.runtime import execute, get_executor, pool_stats
+
+        program = bell_pair()
+        program.measure_all()
+        pool = get_executor("thread", 2)
+        created_before = pool_stats()["created"]
+        for seed in range(3):
+            execute(
+                program, "statevector", shots=32, seed=seed,
+                executor="thread", max_workers=2,
+            ).result()
+        assert pool_stats()["created"] == created_before
+        assert get_executor("thread", 2) is pool
+
+    def test_single_job_callers_pay_no_pool_churn(self):
+        """The table1/table2 path — one circuit, default settings — must
+        also land on a shared pool: two consecutive calls, zero new pools
+        after the first."""
+        from repro.runtime import execute, pool_stats
+
+        program = bell_pair()
+        program.measure_all()
+        execute(program, "statevector", shots=16, seed=1).result()
+        created_before = pool_stats()["created"]
+        execute(program, "statevector", shots=16, seed=2).result()
+        assert pool_stats()["created"] == created_before

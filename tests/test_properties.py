@@ -174,6 +174,98 @@ class TestCountsAlgebra:
         assert tvd == pytest.approx(other.total_variation_distance(counts))
 
 
+class TestDistributionCacheEquivalence:
+    """Cross-call distribution-cache hits must be invisible in the counts.
+
+    The runtime's v2 cache re-samples a stored exact distribution instead
+    of re-simulating; for any circuit, shot count and seed, the re-sampled
+    histogram must be bit-identical to a fresh dedicated simulation.
+    """
+
+    @given(
+        circuit_seed=SEEDS,
+        run_seed=SEEDS,
+        shots=st.integers(min_value=1, max_value=2048),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_cached_counts_equal_fresh_simulation(
+        self, circuit_seed, run_seed, shots
+    ):
+        from repro.runtime import DistributionCache, execute
+        from repro.runtime.provider import get_backend
+
+        program = library.random_circuit(2, 3, seed=circuit_seed)
+        program.measure_all()
+        backend = get_backend("density_matrix")
+        cache = DistributionCache()
+        # Prime the cache with an unrelated draw (different seed/shots), so
+        # the equivalence below really flows through the stored entry.
+        execute(
+            program, backend, shots=7, seed=circuit_seed,
+            distribution_cache=cache, executor="serial",
+        ).result()
+        assert cache.stats()["entries"] == 1
+        cached_job = execute(
+            program, backend, shots=shots, seed=run_seed,
+            distribution_cache=cache, executor="serial",
+        )
+        assert cached_job.cached
+        fresh = backend.run(program, shots=shots, seed=run_seed)
+        assert dict(cached_job.counts()) == dict(fresh.counts)
+
+    @given(run_seed=SEEDS, chunk_shots=st.integers(min_value=16, max_value=300))
+    @settings(max_examples=10, deadline=None)
+    def test_cached_chunked_counts_equal_fresh_chunked_run(
+        self, run_seed, chunk_shots
+    ):
+        from repro.runtime import DistributionCache, execute
+        from repro.runtime.provider import get_backend
+
+        program = library.ghz_state(3)
+        program.measure_all()
+        backend = get_backend("density_matrix")
+        cache = DistributionCache()
+        execute(
+            program, backend, shots=16, seed=0, distribution_cache=cache,
+            executor="serial",
+        ).result()
+        cached = execute(
+            program, backend, shots=512, seed=run_seed, chunk_shots=chunk_shots,
+            distribution_cache=cache, executor="serial",
+        )
+        assert cached.cached
+        fresh = execute(
+            program, backend, shots=512, seed=run_seed, chunk_shots=chunk_shots,
+            executor="serial",
+        )
+        assert not fresh.cached
+        assert dict(cached.counts()) == dict(fresh.counts())
+
+    @given(noise_seed=SEEDS, run_seed=SEEDS)
+    @settings(max_examples=5, deadline=None)
+    def test_noisy_backend_cached_counts_equal_fresh(self, noise_seed, run_seed):
+        from repro.runtime import DistributionCache, execute
+        from repro.runtime.provider import get_backend
+
+        program = library.random_circuit(
+            2, 2, seed=noise_seed, clifford_only=True
+        )
+        program.measure_all()
+        backend = get_backend("noisy:ibmqx4")
+        cache = DistributionCache()
+        execute(
+            program, backend, shots=32, seed=0, distribution_cache=cache,
+            executor="serial",
+        ).result()
+        cached = execute(
+            program, backend, shots=700, seed=run_seed,
+            distribution_cache=cache, executor="serial",
+        )
+        assert cached.cached
+        fresh = backend.run(program, shots=700, seed=run_seed)
+        assert dict(cached.counts()) == dict(fresh.counts)
+
+
 class TestTranspilerInvariance:
     @given(seed=SEEDS)
     @settings(max_examples=10, deadline=None)
