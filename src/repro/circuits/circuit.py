@@ -34,6 +34,78 @@ QubitSpecifier = Union[int, Qubit]
 ClbitSpecifier = Union[int, Clbit]
 
 
+class _TrackedInstructionList(list):
+    """An instruction list that invalidates its circuit's fingerprint memo.
+
+    ``QuantumCircuit.data`` is a public list mutated freely across the
+    codebase (builder methods, transpiler passes, experiments), so the
+    memoised :meth:`QuantumCircuit.fingerprint` can only be safe if every
+    list mutation — ``append``, slice assignment, ``pop``, ... — notifies
+    the owning circuit.  Reads cost nothing; each mutator clears the memo
+    after delegating to :class:`list`.
+    """
+
+    def __init__(self, circuit: "QuantumCircuit", iterable=()) -> None:
+        super().__init__(iterable)
+        self._circuit = circuit
+
+    def _touch(self) -> None:
+        circuit = getattr(self, "_circuit", None)
+        if circuit is not None:
+            circuit._invalidate_fingerprint()
+
+    def append(self, value) -> None:
+        super().append(value)
+        self._touch()
+
+    def extend(self, iterable) -> None:
+        super().extend(iterable)
+        self._touch()
+
+    def insert(self, index, value) -> None:
+        super().insert(index, value)
+        self._touch()
+
+    def remove(self, value) -> None:
+        super().remove(value)
+        self._touch()
+
+    def pop(self, index=-1):
+        value = super().pop(index)
+        self._touch()
+        return value
+
+    def clear(self) -> None:
+        super().clear()
+        self._touch()
+
+    def sort(self, **kwargs) -> None:
+        super().sort(**kwargs)
+        self._touch()
+
+    def reverse(self) -> None:
+        super().reverse()
+        self._touch()
+
+    def __setitem__(self, index, value) -> None:
+        super().__setitem__(index, value)
+        self._touch()
+
+    def __delitem__(self, index) -> None:
+        super().__delitem__(index)
+        self._touch()
+
+    def __iadd__(self, other):
+        result = super().__iadd__(other)
+        self._touch()
+        return result
+
+    def __imul__(self, factor):
+        result = super().__imul__(factor)
+        self._touch()
+        return result
+
+
 class QuantumCircuit:
     """A mutable quantum circuit.
 
@@ -66,7 +138,12 @@ class QuantumCircuit:
         self.cregs: List[ClassicalRegister] = []
         self._qubit_index: Dict[Qubit, int] = {}
         self._clbit_index: Dict[Clbit, int] = {}
-        self.data: List[Instruction] = []
+        self._fingerprint_cache: Optional[str] = None
+        #: Bumped by every mutation; fingerprint() only installs its memo
+        #: when the generation it hashed is still current, so a mutation
+        #: racing an in-flight hash can never pin a stale digest.
+        self._fingerprint_generation = 0
+        self.data = []
         int_args = [r for r in regs if isinstance(r, int)]
         if len(int_args) > 2:
             raise CircuitError(
@@ -91,6 +168,32 @@ class QuantumCircuit:
                 self.add_register(ClassicalRegister(int_args[1], name="c"))
             elif int_args[1] < 0:
                 raise CircuitError("number of clbits must be non-negative")
+
+    # ------------------------------------------------------------------
+    # Instruction storage
+    # ------------------------------------------------------------------
+
+    @property
+    def data(self) -> List[Instruction]:
+        """The ordered instruction list.
+
+        Mutating it (through list methods or by assigning a new list)
+        invalidates the memoised :meth:`fingerprint`.  Mutating an
+        *existing* :class:`Instruction` or its operation in place bypasses
+        that tracking — instructions are treated as immutable everywhere in
+        this codebase; replace them instead.
+        """
+        return self._data
+
+    @data.setter
+    def data(self, value: Iterable[Instruction]) -> None:
+        self._data = _TrackedInstructionList(self, value)
+        self._invalidate_fingerprint()
+
+    def _invalidate_fingerprint(self) -> None:
+        """Drop the fingerprint memo and mark the current content stale."""
+        self._fingerprint_cache = None
+        self._fingerprint_generation += 1
 
     # ------------------------------------------------------------------
     # Registers and bits
@@ -120,6 +223,7 @@ class QuantumCircuit:
         self, register: Union[QuantumRegister, ClassicalRegister]
     ) -> Union[QuantumRegister, ClassicalRegister]:
         """Append a register, extending the flat bit index space."""
+        self._invalidate_fingerprint()  # bit counts participate in the hash
         if isinstance(register, QuantumRegister):
             if any(r.name == register.name for r in self.qregs):
                 raise CircuitError(f"duplicate register name {register.name!r}")
@@ -624,14 +728,26 @@ class QuantumCircuit:
         indices over the same bit counts.  Register names, the circuit name
         and object identity do **not** participate, so a rebuilt sweep
         variant hashes identically to the original.  The runtime layer
-        (:mod:`repro.runtime`) keys its transpile cache and job batching on
-        this value.
+        (:mod:`repro.runtime`) keys its transpile cache, distribution cache
+        and job batching on this value.
 
-        The digest is recomputed on every call by design: circuits are
-        mutable builders, and a stale memoised hash would silently poison
-        the runtime caches, while hashing even a routed device circuit
-        costs microseconds against millisecond simulations.
+        The digest is memoised: one ``execute()`` call hashes each circuit
+        once even though planning, distribution keying and transpile keying
+        all consult the fingerprint.  The memo is safe against the mutable
+        builder API because every mutation path — instruction-list mutation
+        (:class:`_TrackedInstructionList`), ``data`` reassignment, register
+        addition — invalidates it and bumps a generation counter that
+        in-flight hashes check before installing their memo (a mutation
+        racing a pool worker's hash can corrupt at most that one in-flight
+        lookup, exactly the pre-memo behaviour — never the memo).  A stale
+        hash would silently poison the runtime caches, so in-place mutation
+        of an existing :class:`Instruction` (unsupported everywhere in this
+        codebase) is the one path deliberately left uncovered.
         """
+        memo = self._fingerprint_cache
+        if memo is not None:
+            return memo
+        generation = self._fingerprint_generation
         hasher = hashlib.sha256()
         hasher.update(f"v1|{self.num_qubits}|{self.num_clbits}".encode())
         for inst in self.data:
@@ -644,7 +760,10 @@ class QuantumCircuit:
             matrix = getattr(op, "_matrix", None)
             if matrix is not None:
                 hasher.update(np.ascontiguousarray(matrix, dtype=complex).tobytes())
-        return hasher.hexdigest()
+        digest = hasher.hexdigest()
+        if self._fingerprint_generation == generation:
+            self._fingerprint_cache = digest
+        return digest
 
     def has_measurements(self) -> bool:
         """Return ``True`` if the circuit contains any measurement."""

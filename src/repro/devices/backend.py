@@ -137,7 +137,8 @@ class DeviceBackend(Backend):
         Table 1/2 reproductions pin the paper's published qubit choices).
     cache:
         Transpile cache policy: ``None`` (default) shares the process-wide
-        :data:`repro.runtime.cache.DEFAULT_CACHE`; a
+        :data:`repro.runtime.cache.DEFAULT_CACHE` (which persists across
+        processes when ``$REPRO_CACHE_DIR`` is set); a
         :class:`~repro.runtime.cache.TranspileCache` instance uses that
         cache; ``False`` disables caching entirely.
     """

@@ -15,7 +15,10 @@ serial|thread|process``), every device run shares the runtime's transpile
 cache (``--runtime-stats`` prints cache and pool statistics, or
 ``--no-transpile-cache`` empties and disables reuse for A/B timing), the
 noise sweep re-samples repeat runs through the cross-call distribution
-cache, and ``--list-backends`` shows the provider registry's spec strings.
+cache, ``--cache-dir PATH`` (or ``$REPRO_CACHE_DIR``) persists both caches
+on disk so a *second invocation* skips transpiles and exact-distribution
+simulations entirely, and ``--list-backends`` shows the provider
+registry's spec strings.
 """
 
 from __future__ import annotations
@@ -140,6 +143,15 @@ def main(argv=None) -> int:
         "per-shot engines; counts are identical under every kind)",
     )
     parser.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="PATH",
+        help="persist the transpile/distribution caches under PATH so "
+        "repeat invocations skip transpiles and exact-distribution "
+        "simulations (counts are bit-identical either way; default: "
+        "$REPRO_CACHE_DIR, else memory-only)",
+    )
+    parser.add_argument(
         "--no-transpile-cache",
         action="store_true",
         help="disable the runtime transpile cache (forces re-lowering)",
@@ -165,8 +177,14 @@ def main(argv=None) -> int:
         return 0
     if args.workers is not None and args.workers < 1:
         parser.error(f"--workers must be positive, got {args.workers}")
+    if args.cache_dir:
+        from repro.runtime import set_default_cache_dir
+
+        set_default_cache_dir(args.cache_dir)
     if args.no_transpile_cache:
-        runtime_cache.DEFAULT_CACHE.clear()
+        # maxsize = 0 empties the memory tier (the setter trims) and makes
+        # every lookup miss — without clear(), which would also delete the
+        # persistent disk entries other invocations rely on.
         runtime_cache.DEFAULT_CACHE.maxsize = 0
 
     selected = args.experiments or list(EXPERIMENTS)
@@ -182,18 +200,23 @@ def main(argv=None) -> int:
     if args.runtime_stats:
         from repro.runtime import distribution_cache_stats, pool_stats
 
-        stats = runtime_cache.transpile_cache_stats()
-        print(
-            "runtime transpile cache: "
-            f"{stats['entries']} entries, {stats['hits']} hits, "
-            f"{stats['misses']} misses (hit rate {stats['hit_rate']:.0%})"
-        )
-        dist = distribution_cache_stats()
-        print(
-            "runtime distribution cache: "
-            f"{dist['entries']} entries, {dist['hits']} hits, "
-            f"{dist['misses']} misses (hit rate {dist['hit_rate']:.0%})"
-        )
+        def _cache_line(label: str, stats: dict) -> str:
+            line = (
+                f"runtime {label} cache: "
+                f"{stats['entries']} entries, {stats['hits']} hits, "
+                f"{stats['misses']} misses (hit rate {stats['hit_rate']:.0%})"
+            )
+            disk = stats["disk"]
+            if disk is not None:
+                line += (
+                    f"\n  disk tier [{disk['directory']}]: "
+                    f"{disk['entries']} entries, {disk['hits']} hits, "
+                    f"{disk['stores']} stores"
+                )
+            return line
+
+        print(_cache_line("transpile", runtime_cache.transpile_cache_stats()))
+        print(_cache_line("distribution", distribution_cache_stats()))
         pools = pool_stats()
         print(
             "runtime executor pools: "

@@ -18,17 +18,21 @@ interchangeable backends.  This package is the layer between the engines
 * :func:`~repro.runtime.provider.get_backend` — named backend registry
   (``"statevector"``, ``"noisy:ibmqx4"``, ...) replacing ad-hoc
   constructor calls.
+* :class:`~repro.runtime.store.CacheStore` — the shared bounded-LRU store
+  behind both caches, with an optional persistent disk tier
+  (``$REPRO_CACHE_DIR`` / ``cache_dir=``) so entries survive the process.
 * :class:`~repro.runtime.cache.TranspileCache` — fingerprint-keyed
   transpile memoisation wired into the device backends.
 * :class:`~repro.runtime.distcache.DistributionCache` — cross-call
   distribution reuse: repeat runs of an exact-distribution backend
-  re-sample cached probabilities instead of re-simulating.
+  re-sample cached probabilities instead of re-simulating, populated at
+  job completion so overlapping calls share entries.
 * :mod:`~repro.runtime.batching` — identical ``(circuit, backend)`` jobs
   simulate the distribution once and re-sample counts per job.
 
 Everything is deterministic under a caller seed: serial, thread, process,
-chunked, deduplicated and distribution-cached execution all produce the
-same counts for the same seed.
+chunked, deduplicated and cached (memory- or disk-tier) execution all
+produce the same counts for the same seed.
 """
 
 from repro.runtime.batching import BatchPlan, plan_batches
@@ -63,9 +67,15 @@ from repro.runtime.provider import (
     register_device,
     resolve_backend,
 )
+from repro.runtime.store import (
+    CacheStore,
+    default_cache_dir,
+    set_default_cache_dir,
+)
 
 __all__ = [
     "BatchPlan",
+    "CacheStore",
     "DEFAULT_CACHE",
     "DEFAULT_DISTRIBUTION_CACHE",
     "DistributionCache",
@@ -77,6 +87,7 @@ __all__ = [
     "TranspileCache",
     "clear_distribution_cache",
     "clear_transpile_cache",
+    "default_cache_dir",
     "default_executor_kind",
     "distribution_cache_stats",
     "distribution_key",
@@ -90,6 +101,7 @@ __all__ = [
     "register_backend",
     "register_device",
     "resolve_backend",
+    "set_default_cache_dir",
     "shutdown_executors",
     "transpile_cache_stats",
     "transpile_cached",

@@ -13,21 +13,24 @@ never sees it — ``transpile_for_device`` takes no noise argument and layout
 selection reads the device's unscaled calibration — so a noise sweep's
 per-scale backends all hit the same entry.
 
-The cache is safe to share across threads (the runtime's job pool fans out
-across a shared pool) and bounded LRU.  Cached circuits are returned as-is:
-callers must treat them as immutable, which every engine in
-:mod:`repro.simulators` already does.
+Storage lives in a shared :class:`~repro.runtime.store.CacheStore`
+(thread-safe, bounded LRU) — the same machinery behind the distribution
+cache.  Because the key is a pure content hash, entries also survive the
+process when a disk tier is attached (``cache_dir=`` here, or
+``$REPRO_CACHE_DIR`` for the process-wide default cache): a second CLI
+invocation or CI shard running the same sweep skips every transpile.
+Cached circuits are returned as-is: callers must treat them as immutable,
+which every engine in :mod:`repro.simulators` already does.
 """
 
 from __future__ import annotations
 
 import hashlib
-import threading
-from collections import OrderedDict
 from typing import Optional, Tuple
 
 from repro.circuits.circuit import QuantumCircuit
 from repro.devices.device import DeviceModel
+from repro.runtime.store import StoreBackedCache, default_cache_dir
 from repro.transpiler.layout import Layout
 
 #: Cache key: (circuit fingerprint, device fingerprint, layout tuple, optimize).
@@ -88,75 +91,45 @@ def transpile_key(
     )
 
 
-class TranspileCache:
-    """A bounded, thread-safe LRU cache of transpiled circuits.
+class TranspileCache(StoreBackedCache):
+    """Transpiled-circuit cache over the shared cache store.
 
     Parameters
     ----------
     maxsize:
-        Maximum number of cached circuits; ``0`` disables storage (every
-        lookup misses), which is how benchmarks measure the uncached path.
+        Maximum number of memory-tier entries; ``0`` disables the cache
+        entirely (every lookup misses), which is how benchmarks measure
+        the uncached path.
+    cache_dir:
+        Attach a persistent disk tier under ``<cache_dir>/transpile/``;
+        ``None`` (default) keeps the cache memory-only.  The process-wide
+        :data:`DEFAULT_CACHE` reads ``$REPRO_CACHE_DIR`` instead.
 
     Attributes
     ----------
     hits / misses:
-        Lifetime lookup statistics (survive :meth:`clear`).
+        Lifetime lookup statistics (survive :meth:`clear`).  A disk-tier
+        hit counts as a hit — per-tier detail lives in :meth:`stats`.
+
+    Pickling ships configuration (bounds, disk directory), never contents:
+    a process-pool worker unpickles an empty memory tier but shares the
+    disk tier, so explicit-cache backends in spawn-started workers still
+    reuse the parent's persisted transpiles (see
+    :meth:`CacheStore.__getstate__`).
     """
 
-    def __init__(self, maxsize: int = 1024) -> None:
-        if maxsize < 0:
-            raise ValueError(f"maxsize must be non-negative, got {maxsize}")
-        self.maxsize = maxsize
-        self.hits = 0
-        self.misses = 0
-        self._lock = threading.Lock()
-        self._entries: "OrderedDict[CacheKey, QuantumCircuit]" = OrderedDict()
+    _namespace = "transpile"
 
-    def __len__(self) -> int:
-        return len(self._entries)
-
-    def __getstate__(self) -> dict:
-        """Pickle policy, not contents (for process-pool workers).
-
-        The lock cannot cross a process boundary and shipping every cached
-        circuit with every task would dwarf the task itself, so the worker
-        side of an explicit-cache backend re-transpiles per task (each task
-        unpickles a fresh, empty cache with the same ``maxsize``).
-        Transpilation is deterministic, so results are unaffected; backends
-        with the default ``cache=None`` instead use the worker's own
-        process-wide cache, which fork-started workers inherit warm.
-        """
-        state = self.__dict__.copy()
-        state["_lock"] = None
-        state["_entries"] = OrderedDict()
-        state["hits"] = 0
-        state["misses"] = 0
-        return state
-
-    def __setstate__(self, state: dict) -> None:
-        self.__dict__.update(state)
-        self._lock = threading.Lock()
+    def __init__(self, maxsize: int = 1024, cache_dir: Optional[str] = None) -> None:
+        super().__init__(maxsize, cache_dir)
 
     def lookup(self, key: CacheKey) -> Optional[QuantumCircuit]:
         """Return the cached circuit for ``key`` (marking a hit) or ``None``."""
-        with self._lock:
-            circuit = self._entries.get(key)
-            if circuit is None:
-                self.misses += 1
-                return None
-            self._entries.move_to_end(key)
-            self.hits += 1
-            return circuit
+        return self._store.lookup(key)
 
     def store(self, key: CacheKey, circuit: QuantumCircuit) -> None:
         """Insert a transpiled circuit, evicting the LRU entry when full."""
-        if self.maxsize == 0:
-            return
-        with self._lock:
-            self._entries[key] = circuit
-            self._entries.move_to_end(key)
-            while len(self._entries) > self.maxsize:
-                self._entries.popitem(last=False)
+        self._store.store(key, circuit)
 
     def transpile(
         self,
@@ -176,30 +149,11 @@ class TranspileCache:
         self.store(key, lowered)
         return lowered
 
-    def clear(self) -> None:
-        """Drop all entries (statistics are preserved)."""
-        with self._lock:
-            self._entries.clear()
 
-    def stats(self) -> dict:
-        """Return ``{"entries", "hits", "misses", "hit_rate"}``."""
-        total = self.hits + self.misses
-        return {
-            "entries": len(self._entries),
-            "hits": self.hits,
-            "misses": self.misses,
-            "hit_rate": (self.hits / total) if total else 0.0,
-        }
-
-    def __repr__(self) -> str:
-        return (
-            f"TranspileCache(entries={len(self._entries)}, hits={self.hits}, "
-            f"misses={self.misses})"
-        )
-
-
-#: Process-wide default cache used by the device backends.
-DEFAULT_CACHE = TranspileCache()
+#: Process-wide default cache used by the device backends.  Attaches a disk
+#: tier automatically when ``$REPRO_CACHE_DIR`` is set, so repeated CLI
+#: invocations and CI shards share transpiles across processes.
+DEFAULT_CACHE = TranspileCache(cache_dir=default_cache_dir())
 
 
 def transpile_cached(

@@ -9,13 +9,22 @@ every iteration and re-pays the full density-matrix evolution each time.
 :class:`DistributionCache` extends the same trick across calls.  For
 backends that report the exact classical-outcome distribution
 (``returns_probabilities``), the primary job's distribution is stored under
-``(circuit.fingerprint(), backend.content_fingerprint())`` and later calls
+``(circuit.fingerprint(), backend.content_fingerprint())`` the moment the
+job *completes* (a done-callback — concurrent ``execute()`` calls share the
+entry without waiting for anyone to collect results), and later calls
 re-sample counts from the cached distribution with their own seed instead
 of re-simulating.  Because every exact engine draws counts as the first use
 of a fresh ``default_rng(seed)``, the re-sampled counts are bit-identical
 to what a fresh simulation would have produced — the cache is a pure
 speedup, never a statistics change (``tests/test_properties.py`` pins the
 equivalence property).
+
+Storage lives in the same :class:`~repro.runtime.store.CacheStore` the
+transpile cache uses (one bounded-LRU implementation, not two).  Both keys
+are stable content hashes, so attaching a disk tier (``cache_dir=`` here,
+or ``$REPRO_CACHE_DIR`` for the process-wide default) lets a *second
+process* running the same sweep skip every exact-distribution simulation
+while producing bit-identical counts.
 
 Keying discipline
 -----------------
@@ -29,19 +38,19 @@ layout — separates them.  Backends that cannot describe their content
 
 Invalidation is explicit: :meth:`DistributionCache.invalidate` drops the
 entries for a circuit and/or backend (e.g. after mutating a device model
-in place), :meth:`DistributionCache.clear` drops everything.  Lookups are
-opt-in per ``execute()`` call (``distribution_cache=True`` or a cache
-instance), so job-introspection fields like ``JobSet.num_executed`` stay
-predictable for callers that never asked for cross-call reuse.
+in place) from every tier, :meth:`DistributionCache.clear` drops
+everything.  Lookups are opt-in per ``execute()`` call
+(``distribution_cache=True`` or a cache instance), so job-introspection
+fields like ``JobSet.num_executed`` stay predictable for callers that
+never asked for cross-call reuse.
 """
 
 from __future__ import annotations
 
-import threading
-from collections import OrderedDict
 from typing import Optional, Tuple
 
 from repro.results.result import Result
+from repro.runtime.store import StoreBackedCache, default_cache_dir
 
 #: Cache key: (circuit fingerprint, backend content fingerprint).
 DistributionKey = Tuple[str, str]
@@ -86,32 +95,31 @@ def _snapshot(result: Result) -> Result:
     )
 
 
-class DistributionCache:
-    """A bounded, thread-safe LRU cache of exact outcome distributions.
+class DistributionCache(StoreBackedCache):
+    """Exact-outcome-distribution cache over the shared cache store.
 
     Parameters
     ----------
     maxsize:
-        Maximum number of cached distributions; ``0`` disables storage
-        (every lookup misses).
+        Maximum number of memory-tier entries; ``0`` disables the cache
+        entirely (every lookup misses).
+    cache_dir:
+        Attach a persistent disk tier under ``<cache_dir>/distribution/``;
+        ``None`` (default) keeps the cache memory-only.  The process-wide
+        :data:`DEFAULT_DISTRIBUTION_CACHE` reads ``$REPRO_CACHE_DIR``
+        instead.
 
     Attributes
     ----------
     hits / misses:
-        Lifetime lookup statistics (survive :meth:`clear`).
+        Lifetime lookup statistics (survive :meth:`clear`).  A disk-tier
+        hit counts as a hit — per-tier detail lives in :meth:`stats`.
     """
 
-    def __init__(self, maxsize: int = 256) -> None:
-        if maxsize < 0:
-            raise ValueError(f"maxsize must be non-negative, got {maxsize}")
-        self.maxsize = maxsize
-        self.hits = 0
-        self.misses = 0
-        self._lock = threading.Lock()
-        self._entries: "OrderedDict[DistributionKey, Result]" = OrderedDict()
+    _namespace = "distribution"
 
-    def __len__(self) -> int:
-        return len(self._entries)
+    def __init__(self, maxsize: int = 256, cache_dir: Optional[str] = None) -> None:
+        super().__init__(maxsize, cache_dir)
 
     def lookup(self, key: DistributionKey) -> Optional[Result]:
         """Return the cached distribution for ``key`` (a hit) or ``None``.
@@ -120,25 +128,13 @@ class DistributionCache:
         must treat it as immutable (the runtime only re-samples from it,
         which copies on the way out).
         """
-        with self._lock:
-            entry = self._entries.get(key)
-            if entry is None:
-                self.misses += 1
-                return None
-            self._entries.move_to_end(key)
-            self.hits += 1
-            return entry
+        return self._store.lookup(key)
 
     def store(self, key: DistributionKey, result: Result) -> None:
         """Snapshot ``result``'s distribution under ``key`` (LRU-evicting)."""
-        if self.maxsize == 0 or result.probabilities is None:
+        if result.probabilities is None:
             return
-        entry = _snapshot(result)
-        with self._lock:
-            self._entries[key] = entry
-            self._entries.move_to_end(key)
-            while len(self._entries) > self.maxsize:
-                self._entries.popitem(last=False)
+        self._store.store(key, _snapshot(result))
 
     def invalidate(self, circuit=None, backend=None) -> int:
         """Drop entries matching ``circuit`` and/or ``backend``; return count.
@@ -146,47 +142,29 @@ class DistributionCache:
         With both given, exactly that pair's entry is dropped; with one,
         every entry for that circuit (any backend) or backend (any
         circuit); with neither, everything (same as :meth:`clear`).  A
-        backend without a content fingerprint matches nothing.
+        backend without a content fingerprint matches nothing.  Matching
+        entries are removed from the disk tier too.
         """
         circuit_fp = None if circuit is None else circuit.fingerprint()
         backend_fp = None if backend is None else backend_fingerprint(backend)
         if backend is not None and backend_fp is None:
             return 0
-        with self._lock:
-            victims = [
-                key
-                for key in self._entries
-                if (circuit_fp is None or key[0] == circuit_fp)
-                and (backend_fp is None or key[1] == backend_fp)
-            ]
-            for key in victims:
-                del self._entries[key]
-        return len(victims)
-
-    def clear(self) -> None:
-        """Drop all entries (statistics are preserved)."""
-        with self._lock:
-            self._entries.clear()
-
-    def stats(self) -> dict:
-        """Return ``{"entries", "hits", "misses", "hit_rate"}``."""
-        total = self.hits + self.misses
-        return {
-            "entries": len(self._entries),
-            "hits": self.hits,
-            "misses": self.misses,
-            "hit_rate": (self.hits / total) if total else 0.0,
-        }
-
-    def __repr__(self) -> str:
-        return (
-            f"DistributionCache(entries={len(self._entries)}, "
-            f"hits={self.hits}, misses={self.misses})"
-        )
+        victims = [
+            key
+            for key in self._store.keys()
+            if (circuit_fp is None or key[0] == circuit_fp)
+            and (backend_fp is None or key[1] == backend_fp)
+        ]
+        removed = 0
+        for key in victims:
+            if self._store.remove(key):
+                removed += 1
+        return removed
 
 
 #: Process-wide default cache, used by ``execute(distribution_cache=True)``.
-DEFAULT_DISTRIBUTION_CACHE = DistributionCache()
+#: Attaches a disk tier automatically when ``$REPRO_CACHE_DIR`` is set.
+DEFAULT_DISTRIBUTION_CACHE = DistributionCache(cache_dir=default_cache_dir())
 
 
 def distribution_cache_stats() -> dict:

@@ -146,8 +146,12 @@ def execute(
         process-wide default :class:`~repro.runtime.distcache.DistributionCache`,
         or a cache instance.  Cached hits re-sample counts without
         simulating — bit-identical to a fresh run.  A missing entry is
-        stored when the primary's result is first collected, so later
-        ``execute()`` calls (not concurrent ones) see it.
+        stored by a done-callback the moment the primary's simulation
+        *completes* (nobody has to collect the result first), so an
+        overlapping ``execute()`` call issued after that point is served
+        from the cache instead of simulating again.  When the cache has a
+        disk tier (``$REPRO_CACHE_DIR`` or ``cache_dir=``), entries also
+        survive into future processes.
 
     Returns
     -------

@@ -125,6 +125,7 @@ class Job:
         #: Set by execute() on a distribution-cache miss: (cache, key) to
         #: store this job's distribution into once it completes.
         self._dist_store = None
+        self._dist_stored = False
         self._futures: List[Future] = []
         self._chunk_elapsed: List[float] = []
         self._pool_elapsed_recorded = False
@@ -160,12 +161,46 @@ class Job:
         """Schedule this job's chunk tasks on ``executor``.
 
         Tasks are the picklable module-level :func:`_execute_chunk`, so any
-        executor kind — serial, thread or process — can run them.
+        executor kind — serial, thread or process — can run them.  On a
+        distribution-cache miss, a done-callback on the first chunk
+        publishes the distribution at *completion* time — a chunked job's
+        merged distribution is exactly its first chunk's — so overlapping
+        ``execute()`` calls see the entry as soon as the simulation
+        finishes, not when somebody first collects the result.
         """
         for shots, seed in self.chunk_plan():
             self._futures.append(
                 executor.submit(_execute_chunk, self.backend, self.circuit, shots, seed)
             )
+        if self._dist_store is not None and self._futures:
+            self._futures[0].add_done_callback(self._distribution_completed)
+
+    def _distribution_completed(self, future: Future) -> None:
+        """Done-callback: store the finished chunk's distribution."""
+        if future.cancelled() or future.exception() is not None:
+            return
+        result, _elapsed = future.result()
+        self._publish_distribution(result)
+
+    def _publish_distribution(self, result: Result) -> None:
+        """Store ``result``'s distribution into the pending cache slot once.
+
+        Idempotent: called from the completion callback and (as a fallback,
+        e.g. when a callback could not run) from :meth:`result` — whichever
+        takes the lock first stores, the other skips.  The store happens
+        *inside* the critical section so that once any publish call has
+        returned, the entry is visible — ``result()`` must never return
+        before the cache reflects the job (callers compare stats right
+        after collecting).
+        """
+        if self._dist_store is None or result.probabilities is None:
+            return
+        cache, key = self._dist_store
+        with self._lock:
+            if self._dist_stored:
+                return
+            cache.store(key, result)
+            self._dist_stored = True
 
     # ------------------------------------------------------------------
     # Introspection
@@ -359,9 +394,7 @@ class Job:
                 self._chunk_elapsed.extend(chunk_elapsed)
                 self._pool_elapsed_recorded = True
         self._result = merge_chunk_results(chunk_results, self.shots, self.seed)
-        if self._dist_store is not None and self._result.probabilities is not None:
-            cache, key = self._dist_store
-            cache.store(key, self._result)
+        self._publish_distribution(self._result)
         return self._result
 
     def counts(self, timeout: Optional[float] = None) -> Counts:

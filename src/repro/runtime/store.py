@@ -1,0 +1,714 @@
+"""The shared cache store behind every runtime cache: one LRU, two tiers.
+
+Before this module existed, :class:`~repro.runtime.cache.TranspileCache`
+and :class:`~repro.runtime.distcache.DistributionCache` each carried their
+own copy of the same ``OrderedDict``-plus-lock bounded-LRU machinery, and
+both died with the interpreter — every new process (CLI invocation, CI
+shard, process-pool worker) re-paid transpilation and exact-distribution
+simulation from scratch.  :class:`CacheStore` folds that duplication into
+one implementation and adds an optional persistent tier:
+
+``memory``
+    Today's behaviour: a bounded, thread-safe, in-process LRU.
+``disk``
+    A directory of one-file-per-entry serialized values keyed by the same
+    content fingerprints the memory tier uses.  Fingerprints are stable
+    content hashes, so a *second process* running the same sweep finds the
+    first process's entries and skips the work entirely.
+
+Disk-tier discipline
+--------------------
+* **Versioned schema** — every entry file starts with :data:`MAGIC`
+  (which embeds the schema version) followed by a SHA-256 digest of the
+  body; an incompatible future format simply misses.
+* **Atomic writes** — entries are written to a temporary file in the same
+  directory and ``os.replace``'d into place, so concurrent readers (and
+  concurrent *processes*) only ever see complete entries.
+* **Corruption tolerance** — a truncated, bit-flipped or otherwise
+  unreadable entry is a **miss, never an error**: the digest check rejects
+  it and the file is quarantined (unlinked) so it cannot mis-serve again.
+  The same degrade-don't-break rule covers the directory itself: an
+  unusable ``cache_dir`` (unwritable, not a directory, ...) disables the
+  disk tier with a warning instead of raising.
+* **Key verification** — the full key is serialized *separately from the
+  value* inside the entry and compared on load, so a filename-hash
+  collision can never alias entries (and :meth:`DiskTier.keys` can list
+  keys without deserializing a single value).
+* **Recency** — disk hits refresh the entry's mtime, and stores evict the
+  stalest files once the tier exceeds ``disk_maxsize``, giving the disk
+  tier the same LRU semantics as the memory tier.
+
+Values are serialized with :mod:`pickle` by default (a ``serializer``
+object with ``dumps``/``loads`` can be plugged in).  Cache directories are
+trusted local state — never point ``REPRO_CACHE_DIR`` at a directory an
+untrusted party can write.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import tempfile
+import threading
+import time
+import warnings
+from collections import OrderedDict
+from pathlib import Path
+from typing import Any, Dict, Hashable, Iterator, List, Optional
+
+#: On-disk entry header; bump the embedded version for incompatible schema
+#: changes and every old entry becomes a clean miss.
+MAGIC = b"repro-cache-store/v1\n"
+
+#: Filename suffix of disk-tier entries (anything else in the directory is
+#: ignored, including in-flight temporary files).
+ENTRY_SUFFIX = ".entry"
+
+#: Suffix of in-flight atomic-write temporaries; stale ones (a crashed
+#: writer's leftovers) are swept opportunistically.
+TEMP_SUFFIX = ENTRY_SUFFIX + ".part"
+
+#: Age in seconds after which an orphaned temporary is assumed dead.
+_STALE_TEMP_SECONDS = 3600.0
+
+#: Environment variable that attaches a disk tier to the process-default
+#: runtime caches.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+
+def default_cache_dir() -> Optional[str]:
+    """Return ``$REPRO_CACHE_DIR`` (stripped) or ``None`` when unset/empty."""
+    value = os.environ.get(CACHE_DIR_ENV, "").strip()
+    return value or None
+
+
+def set_default_cache_dir(cache_dir: Optional[str]) -> None:
+    """Attach (or, with ``None``, detach) disk tiers on the default caches.
+
+    Reconfigures the process-wide
+    :data:`~repro.runtime.cache.DEFAULT_CACHE` and
+    :data:`~repro.runtime.distcache.DEFAULT_DISTRIBUTION_CACHE` in place —
+    the hook behind the experiments CLI's ``--cache-dir`` flag.  Memory
+    tiers and statistics are untouched.
+    """
+    from repro.runtime.cache import DEFAULT_CACHE
+    from repro.runtime.distcache import DEFAULT_DISTRIBUTION_CACHE
+
+    DEFAULT_CACHE.attach_disk(cache_dir)
+    DEFAULT_DISTRIBUTION_CACHE.attach_disk(cache_dir)
+
+
+class TierStats:
+    """Mutable per-tier lookup/store/evict counters."""
+
+    __slots__ = ("hits", "misses", "stores", "evictions", "errors")
+
+    def __init__(self) -> None:
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+        self.evictions = 0
+        #: Entries that could not be serialized/deserialized or written
+        #: (skipped, not raised — the corruption-tolerance contract).
+        self.errors = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "stores": self.stores,
+            "evictions": self.evictions,
+            "errors": self.errors,
+        }
+
+
+class MemoryTier:
+    """The in-process LRU tier: an ``OrderedDict`` bounded at ``maxsize``.
+
+    Not independently locked — :class:`CacheStore` serializes all access.
+    """
+
+    def __init__(self, maxsize: int) -> None:
+        if maxsize < 0:
+            raise ValueError(f"maxsize must be non-negative, got {maxsize}")
+        self.maxsize = maxsize
+        self.stats = TierStats()
+        self._entries: "OrderedDict[Hashable, Any]" = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def lookup(self, key: Hashable) -> Optional[Any]:
+        value = self._entries.get(key)
+        if value is None:
+            self.stats.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.stats.hits += 1
+        return value
+
+    def store(self, key: Hashable, value: Any) -> None:
+        if self.maxsize == 0:
+            return
+        self._entries[key] = value
+        self._entries.move_to_end(key)
+        self.stats.stores += 1
+        self.trim()
+
+    def trim(self) -> None:
+        """Evict LRU entries until the tier fits ``maxsize``."""
+        while len(self._entries) > self.maxsize:
+            self._entries.popitem(last=False)
+            self.stats.evictions += 1
+
+    def remove(self, key: Hashable) -> bool:
+        return self._entries.pop(key, None) is not None
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def keys(self) -> List[Hashable]:
+        return list(self._entries)
+
+
+class _CorruptEntry(Exception):
+    """Internal: an on-disk entry failed the magic/digest/decode checks."""
+
+
+class _KeyMismatch(Exception):
+    """Internal: a valid entry stores a different key (filename-hash alias)."""
+
+
+class DiskTier:
+    """The persistent tier: one serialized file per entry under a directory.
+
+    See the module docstring for the write/read discipline.  The tier
+    carries its own lock, so slow file I/O never blocks users of the
+    owning store's memory tier.  All methods tolerate concurrent processes
+    mutating the same directory — a vanished file is a miss, a racing
+    eviction is idempotent.
+
+    Entry layout (after :data:`MAGIC` and the body digest line): a decimal
+    key-pickle length, newline, the pickled key, then the pickled value —
+    so key listing and verification never deserialize values.
+    """
+
+    def __init__(
+        self,
+        directory,
+        maxsize: Optional[int] = 4096,
+        serializer=pickle,
+    ) -> None:
+        if maxsize is not None and maxsize < 0:
+            raise ValueError(f"maxsize must be non-negative, got {maxsize}")
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.maxsize = maxsize
+        self.serializer = serializer
+        self.stats = TierStats()
+        self._lock = threading.Lock()
+        self._sweep_stale_temps()
+        #: Maintained incrementally so stores don't rescan the directory;
+        #: resynchronized by every over-budget eviction pass.
+        self._approx_count = sum(1 for _ in self._entry_paths())
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self._entry_paths())
+
+    def _entry_paths(self) -> Iterator[Path]:
+        try:
+            yield from self.directory.glob(f"*{ENTRY_SUFFIX}")
+        except OSError:
+            return
+
+    def _sweep_stale_temps(self) -> None:
+        """Unlink atomic-write temporaries orphaned by a crashed writer."""
+        cutoff = time.time() - _STALE_TEMP_SECONDS
+        try:
+            candidates = list(self.directory.glob(f".tmp-*{TEMP_SUFFIX}"))
+        except OSError:
+            return
+        for path in candidates:
+            try:
+                if path.stat().st_mtime < cutoff:
+                    path.unlink()
+            except OSError:
+                pass
+
+    def _path(self, key: Hashable) -> Path:
+        digest = hashlib.sha256(repr(key).encode()).hexdigest()
+        return self.directory / f"{digest[:48]}{ENTRY_SUFFIX}"
+
+    # -- entry encoding -------------------------------------------------
+
+    def _encode(self, key: Hashable, value: Any) -> bytes:
+        key_blob = self.serializer.dumps(key)
+        value_blob = self.serializer.dumps(value)
+        body = str(len(key_blob)).encode() + b"\n" + key_blob + value_blob
+        digest = hashlib.sha256(body).hexdigest().encode()
+        return MAGIC + digest + b"\n" + body
+
+    def _split(self, blob: bytes) -> tuple:
+        """Return ``(key_blob, value_blob)`` or raise :class:`_CorruptEntry`."""
+        if not blob.startswith(MAGIC):
+            raise _CorruptEntry("bad magic")
+        digest, sep, body = blob[len(MAGIC):].partition(b"\n")
+        if not sep or hashlib.sha256(body).hexdigest().encode() != digest:
+            raise _CorruptEntry("digest mismatch")
+        key_len_raw, sep, tail = body.partition(b"\n")
+        try:
+            key_len = int(key_len_raw)
+        except ValueError:
+            raise _CorruptEntry("bad key length") from None
+        if key_len < 0 or key_len > len(tail):
+            raise _CorruptEntry("bad key length")
+        return tail[:key_len], tail[key_len:]
+
+    def _decode_key(self, blob: bytes) -> Hashable:
+        key_blob, _value_blob = self._split(blob)
+        try:
+            return self.serializer.loads(key_blob)
+        except Exception as exc:
+            raise _CorruptEntry(str(exc)) from None
+
+    def _decode(self, blob: bytes, key: Hashable) -> Any:
+        key_blob, value_blob = self._split(blob)
+        try:
+            stored_key = self.serializer.loads(key_blob)
+        except Exception as exc:
+            raise _CorruptEntry(str(exc)) from None
+        if stored_key != key:
+            raise _KeyMismatch(f"{stored_key!r} != {key!r}")
+        try:
+            return self.serializer.loads(value_blob)
+        except Exception as exc:
+            raise _CorruptEntry(str(exc)) from None
+
+    # -- operations -----------------------------------------------------
+
+    def lookup(self, key: Hashable) -> Optional[Any]:
+        path = self._path(key)
+        with self._lock:
+            try:
+                blob = path.read_bytes()
+            except OSError:
+                self.stats.misses += 1
+                return None
+            try:
+                value = self._decode(blob, key)
+            except _KeyMismatch:
+                self.stats.misses += 1
+                return None
+            except _CorruptEntry:
+                # Quarantine: a corrupt entry must never be consulted again.
+                self.stats.misses += 1
+                self.stats.errors += 1
+                try:
+                    path.unlink()
+                    self._approx_count = max(0, self._approx_count - 1)
+                except OSError:
+                    pass
+                return None
+            self.stats.hits += 1
+            try:
+                os.utime(path)  # refresh recency for LRU eviction
+            except OSError:
+                pass
+            return value
+
+    def store(self, key: Hashable, value: Any) -> None:
+        try:
+            blob = self._encode(key, value)  # CPU-bound: outside the lock
+        except Exception:
+            with self._lock:
+                self.stats.errors += 1  # unpicklable value: skip the tier
+            return
+        path = self._path(key)
+        with self._lock:
+            try:
+                fd, tmp_name = tempfile.mkstemp(
+                    dir=self.directory, prefix=".tmp-", suffix=TEMP_SUFFIX
+                )
+                try:
+                    with os.fdopen(fd, "wb") as handle:
+                        handle.write(blob)
+                    replaced = path.exists()
+                    os.replace(tmp_name, path)
+                except BaseException:
+                    try:
+                        os.unlink(tmp_name)
+                    except OSError:
+                        pass
+                    raise
+            except OSError:
+                self.stats.errors += 1  # full/read-only disk: cache, not storage
+                return
+            self.stats.stores += 1
+            if not replaced:
+                self._approx_count += 1
+            if self.maxsize is not None and self._approx_count > self.maxsize:
+                self._evict_over_budget()
+
+    def _evict_over_budget(self) -> None:
+        """Unlink the stalest entries beyond ``maxsize`` (caller holds lock).
+
+        This is the one full-directory scan, amortized: it only runs when
+        the incrementally-tracked count crosses the budget, and it
+        resynchronizes that count (other processes may share the
+        directory).  Stale temporaries are swept on the way.
+        """
+        self._sweep_stale_temps()
+        entries = []
+        for path in self._entry_paths():
+            try:
+                entries.append((path.stat().st_mtime, path))
+            except OSError:
+                continue  # raced with another process's eviction
+        entries.sort()
+        excess = 0 if self.maxsize is None else len(entries) - self.maxsize
+        for _mtime, path in entries[: max(0, excess)]:
+            try:
+                path.unlink()
+                self.stats.evictions += 1
+            except OSError:
+                pass
+        self._approx_count = len(entries) - max(0, excess)
+
+    def remove(self, key: Hashable) -> bool:
+        with self._lock:
+            try:
+                self._path(key).unlink()
+            except OSError:
+                return False
+            self._approx_count = max(0, self._approx_count - 1)
+            return True
+
+    def clear(self) -> None:
+        with self._lock:
+            for path in self._entry_paths():
+                try:
+                    path.unlink()
+                except OSError:
+                    pass
+            self._approx_count = 0
+
+    def keys(self) -> List[Hashable]:
+        """Return the stored keys (corrupt entries are skipped silently).
+
+        Only the key region of each entry is deserialized — values, which
+        can embed large distributions or statevectors, are never touched.
+        """
+        found = []
+        for path in self._entry_paths():
+            try:
+                blob = path.read_bytes()
+            except OSError:
+                continue
+            try:
+                found.append(self._decode_key(blob))
+            except _CorruptEntry:
+                continue
+        return found
+
+
+def _build_disk_tier(directory, maxsize, serializer) -> Optional[DiskTier]:
+    """Construct a :class:`DiskTier`, degrading to ``None`` on OS errors.
+
+    A bad cache directory (unwritable, not a directory, ...) must disable
+    persistence with a warning — never break imports or callers, since the
+    process-default caches are built at module import from
+    ``$REPRO_CACHE_DIR``.
+    """
+    try:
+        return DiskTier(directory, maxsize=maxsize, serializer=serializer)
+    except OSError as exc:
+        warnings.warn(
+            f"disk cache tier disabled: cannot use {str(directory)!r} ({exc})",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+        return None
+
+
+class CacheStore:
+    """A thread-safe bounded-LRU cache with memory and optional disk tiers.
+
+    Lookups consult the memory tier first, then the disk tier; a disk hit
+    is promoted into memory so later lookups stay in-process.  Stores write
+    through to both tiers.  ``maxsize == 0`` disables the store entirely
+    (every lookup misses, stores are dropped) — how benchmarks and the
+    ``--no-transpile-cache`` CLI flag measure the uncached path.
+
+    Locking: the store's lock covers only the memory tier and the overall
+    counters; disk I/O happens under the :class:`DiskTier`'s own lock, so
+    a slow disk read never blocks memory-tier users.
+
+    Parameters
+    ----------
+    maxsize:
+        Memory-tier entry bound (assignable later via :attr:`maxsize`).
+    cache_dir:
+        Parent directory for the disk tier, or ``None`` for memory-only.
+        The tier lives in ``<cache_dir>/<namespace>/`` so several stores
+        can share one directory.  An unusable directory disables the tier
+        with a :class:`RuntimeWarning` instead of raising.
+    namespace:
+        Disk subdirectory name; also keeps unrelated stores' entries apart.
+    disk_maxsize:
+        Disk-tier entry bound (``None`` = unbounded).
+    serializer:
+        ``dumps``/``loads`` provider for disk entries (default *pickle*).
+
+    Attributes
+    ----------
+    hits / misses:
+        Overall lookup outcomes (a disk hit counts as a hit); per-tier
+        counters live in :meth:`stats`.  Lifetime — they survive
+        :meth:`clear`.
+    """
+
+    def __init__(
+        self,
+        maxsize: int = 1024,
+        cache_dir: Optional[str] = None,
+        namespace: str = "store",
+        disk_maxsize: Optional[int] = 4096,
+        serializer=pickle,
+    ) -> None:
+        self.namespace = namespace
+        self.hits = 0
+        self.misses = 0
+        self._disk_maxsize = disk_maxsize
+        self._serializer = serializer
+        self._lock = threading.Lock()
+        self.memory = MemoryTier(maxsize)
+        self.disk: Optional[DiskTier] = None
+        if cache_dir:
+            self.disk = _build_disk_tier(
+                Path(cache_dir) / namespace, disk_maxsize, serializer
+            )
+
+    # ------------------------------------------------------------------
+    # Configuration
+    # ------------------------------------------------------------------
+
+    @property
+    def maxsize(self) -> int:
+        """Memory-tier bound; assigning trims immediately (0 disables)."""
+        return self.memory.maxsize
+
+    @maxsize.setter
+    def maxsize(self, value: int) -> None:
+        if value < 0:
+            raise ValueError(f"maxsize must be non-negative, got {value}")
+        with self._lock:
+            self.memory.maxsize = value
+            self.memory.trim()
+
+    def attach_disk(self, cache_dir: Optional[str]) -> None:
+        """Attach a disk tier under ``<cache_dir>/<namespace>/`` (or detach
+        with ``None``).  Memory entries and statistics are untouched."""
+        tier = None
+        if cache_dir:
+            tier = _build_disk_tier(
+                Path(cache_dir) / self.namespace,
+                self._disk_maxsize,
+                self._serializer,
+            )
+        with self._lock:
+            self.disk = tier
+
+    # ------------------------------------------------------------------
+    # Core operations
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        """Return the memory-tier entry count (the hot working set)."""
+        return len(self.memory)
+
+    def lookup(self, key: Hashable) -> Optional[Any]:
+        """Return the cached value for ``key`` or ``None`` (both tiers)."""
+        with self._lock:
+            if self.memory.maxsize == 0:
+                self.misses += 1
+                return None
+            value = self.memory.lookup(key)
+            if value is not None:
+                self.hits += 1
+                return value
+            disk = self.disk
+            if disk is None:
+                self.misses += 1
+                return None
+        value = disk.lookup(key)  # I/O outside the store lock
+        with self._lock:
+            if value is None:
+                self.misses += 1
+            else:
+                self.memory.store(key, value)  # promote the disk hit
+                self.hits += 1
+        return value
+
+    def store(self, key: Hashable, value: Any) -> None:
+        """Write ``key -> value`` through to every enabled tier."""
+        with self._lock:
+            if self.memory.maxsize == 0:
+                return
+            self.memory.store(key, value)
+            disk = self.disk
+        if disk is not None:
+            disk.store(key, value)
+
+    def remove(self, key: Hashable) -> bool:
+        """Drop ``key`` from both tiers; ``True`` if either held it."""
+        with self._lock:
+            in_memory = self.memory.remove(key)
+            disk = self.disk
+        on_disk = disk.remove(key) if disk is not None else False
+        return in_memory or on_disk
+
+    def clear(self) -> None:
+        """Drop all entries from both tiers (statistics are preserved)."""
+        with self._lock:
+            self.memory.clear()
+            disk = self.disk
+        if disk is not None:
+            disk.clear()
+
+    def keys(self) -> List[Hashable]:
+        """Return the distinct keys across both tiers (for invalidation)."""
+        with self._lock:
+            found = self.memory.keys()
+            disk = self.disk
+        if disk is not None:
+            seen = set(found)
+            for key in disk.keys():
+                if key not in seen:
+                    seen.add(key)
+                    found.append(key)
+        return found
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def stats(self) -> dict:
+        """Return overall and per-tier statistics.
+
+        The top-level ``entries``/``hits``/``misses``/``hit_rate`` keys keep
+        the pre-unification cache-stats shape; ``memory`` and ``disk`` add
+        per-tier detail (``disk`` is ``None`` for memory-only stores).
+        """
+        total = self.hits + self.misses
+        memory = self.memory.stats.as_dict()
+        memory["entries"] = len(self.memory)
+        disk = None
+        if self.disk is not None:
+            disk = self.disk.stats.as_dict()
+            disk["entries"] = len(self.disk)
+            disk["directory"] = str(self.disk.directory)
+        return {
+            "entries": len(self.memory),
+            "hits": self.hits,
+            "misses": self.misses,
+            "hit_rate": (self.hits / total) if total else 0.0,
+            "memory": memory,
+            "disk": disk,
+        }
+
+    def __repr__(self) -> str:
+        tiers = "memory+disk" if self.disk is not None else "memory"
+        return (
+            f"CacheStore({self.namespace!r}, {tiers}, entries={len(self.memory)}, "
+            f"hits={self.hits}, misses={self.misses})"
+        )
+
+    # ------------------------------------------------------------------
+    # Pickling (process-pool workers)
+    # ------------------------------------------------------------------
+
+    def __getstate__(self) -> dict:
+        """Ship configuration, not contents.
+
+        The lock cannot cross a process boundary and shipping every memory
+        entry with every task would dwarf the task itself, so a worker
+        unpickles a fresh store with the same bounds and — crucially — the
+        same disk-tier directory: fork- *and* spawn-started workers read
+        the parent's persisted entries instead of recomputing.  Statistics
+        restart at zero on the worker side.  A custom ``serializer`` is not
+        shipped; workers fall back to pickle.
+        """
+        return {
+            "namespace": self.namespace,
+            "maxsize": self.memory.maxsize,
+            "disk_dir": None if self.disk is None else str(self.disk.directory),
+            "disk_maxsize": self._disk_maxsize,
+        }
+
+    def __setstate__(self, state: dict) -> None:
+        self.__init__(
+            maxsize=state["maxsize"],
+            cache_dir=None,
+            namespace=state["namespace"],
+            disk_maxsize=state["disk_maxsize"],
+        )
+        if state["disk_dir"]:
+            self.disk = _build_disk_tier(
+                state["disk_dir"], state["disk_maxsize"], self._serializer
+            )
+
+
+class StoreBackedCache:
+    """Shared surface of the caches built on :class:`CacheStore`.
+
+    Holds the store delegation — bounds, statistics, tier management —
+    once, so :class:`~repro.runtime.cache.TranspileCache` and
+    :class:`~repro.runtime.distcache.DistributionCache` cannot drift apart
+    again.  Subclasses set :attr:`_namespace` and add their typed
+    ``lookup``/``store`` surfaces.
+    """
+
+    _namespace = "store"
+
+    def __init__(self, maxsize: int, cache_dir: Optional[str] = None) -> None:
+        self._store = CacheStore(
+            maxsize=maxsize, cache_dir=cache_dir, namespace=self._namespace
+        )
+
+    @property
+    def maxsize(self) -> int:
+        return self._store.maxsize
+
+    @maxsize.setter
+    def maxsize(self, value: int) -> None:
+        self._store.maxsize = value
+
+    @property
+    def hits(self) -> int:
+        return self._store.hits
+
+    @property
+    def misses(self) -> int:
+        return self._store.misses
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+    def attach_disk(self, cache_dir: Optional[str]) -> None:
+        """Attach/detach the persistent tier (see :meth:`CacheStore.attach_disk`)."""
+        self._store.attach_disk(cache_dir)
+
+    def clear(self) -> None:
+        """Drop all entries — both tiers (statistics are preserved)."""
+        self._store.clear()
+
+    def stats(self) -> dict:
+        """Return overall + per-tier statistics (see :meth:`CacheStore.stats`)."""
+        return self._store.stats()
+
+    def __repr__(self) -> str:
+        return (
+            f"{type(self).__name__}(entries={len(self._store)}, "
+            f"hits={self.hits}, misses={self.misses})"
+        )

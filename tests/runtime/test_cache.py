@@ -72,6 +72,104 @@ class TestFingerprint:
         assert a.fingerprint() != b.fingerprint()
 
 
+class TestFingerprintMemo:
+    """The fingerprint is memoised (hashed once per execute() call instead
+    of once each for planning, distribution keying and transpile keying) —
+    and every mutation path must invalidate the memo, or a stale hash
+    would silently poison the runtime caches."""
+
+    def test_repeat_calls_return_the_memo(self):
+        qc = measured_bell()
+        assert qc.fingerprint() is qc.fingerprint()
+
+    def test_builder_mutation_invalidates(self):
+        qc = measured_bell()
+        before = qc.fingerprint()
+        qc.x(0)
+        assert qc.fingerprint() != before
+
+    def test_direct_data_append_invalidates(self):
+        a, b = measured_bell(), measured_bell()
+        a.fingerprint()
+        a.data.append(b.data[0])
+        b.data.append(b.data[0])
+        assert a.fingerprint() == b.fingerprint()
+
+    def test_data_reassignment_invalidates(self):
+        qc = measured_bell()
+        before = qc.fingerprint()
+        qc.data = qc.data[:-1]
+        assert qc.fingerprint() != before
+
+    def test_slice_assignment_invalidates(self):
+        qc = measured_bell()
+        before = qc.fingerprint()
+        qc.data[0] = qc.data[1]
+        assert qc.fingerprint() != before
+
+    def test_pop_and_delete_invalidate(self):
+        qc = measured_bell()
+        before = qc.fingerprint()
+        qc.data.pop()
+        mid = qc.fingerprint()
+        assert mid != before
+        del qc.data[0]
+        assert qc.fingerprint() != mid
+
+    def test_add_register_invalidates(self):
+        qc = measured_bell()
+        before = qc.fingerprint()
+        qc.add_qubits(1)
+        assert qc.fingerprint() != before
+
+    def test_compose_invalidates(self):
+        qc = library.bell_pair()
+        before = qc.fingerprint()
+        qc.compose(library.bell_pair())
+        assert qc.fingerprint() != before
+
+    def test_copy_memo_is_independent(self):
+        qc = measured_bell()
+        original = qc.fingerprint()
+        clone = qc.copy()
+        assert clone.fingerprint() == original
+        clone.x(0)
+        assert clone.fingerprint() != original
+        assert qc.fingerprint() == original
+
+    def test_memoised_circuit_survives_pickle(self):
+        import pickle
+
+        qc = measured_bell()
+        digest = qc.fingerprint()
+        clone = pickle.loads(pickle.dumps(qc))
+        assert clone.fingerprint() == digest
+        clone.x(0)  # tracking still live after unpickling
+        assert clone.fingerprint() != digest
+
+    def test_mutation_racing_a_hash_never_pins_a_stale_memo(self):
+        """A mutation landing while another thread is mid-hash must not let
+        that thread install its pre-mutation digest (generation guard)."""
+        import threading
+
+        expected = measured_bell()
+        expected.x(0)
+        for _ in range(30):
+            qc = measured_bell()
+            stop = threading.Event()
+
+            def hash_loop():
+                while not stop.is_set():
+                    qc.fingerprint()
+
+            worker = threading.Thread(target=hash_loop)
+            worker.start()
+            qc.x(0)
+            stop.set()
+            worker.join()
+            assert qc.fingerprint() == expected.fingerprint()
+
+
 class TestTranspileKey:
     def test_key_components(self, ibmqx4_device):
         from repro.runtime.cache import device_fingerprint
@@ -125,12 +223,15 @@ class TestTranspileCache:
         first = cache.transpile(circuit, ibmqx4_device)
         second = cache.transpile(measured_bell(), ibmqx4_device)
         assert first is second
-        assert cache.stats() == {
-            "entries": 1,
-            "hits": 1,
-            "misses": 1,
-            "hit_rate": 0.5,
-        }
+        stats = cache.stats()
+        assert stats["entries"] == 1
+        assert stats["hits"] == 1
+        assert stats["misses"] == 1
+        assert stats["hit_rate"] == 0.5
+        # Unified-store shape: per-tier detail rides along (no disk tier
+        # unless a cache_dir was given).
+        assert stats["memory"]["hits"] == 1
+        assert stats["disk"] is None
 
     def test_lru_eviction(self, ibmqx4_device):
         cache = TranspileCache(maxsize=1)
@@ -204,3 +305,35 @@ class TestBackendCacheWiring:
         free.prepare(measured_bell())
         pinned.prepare(measured_bell())
         assert cache.misses == 2
+
+
+class TestDiskBackedTranspileCache:
+    def test_fresh_cache_serves_persisted_transpile(self, ibmqx4_device, tmp_path):
+        """A new cache instance (i.e. a new process) over the same directory
+        skips the lowering and returns an identical circuit."""
+        warm = TranspileCache(cache_dir=tmp_path)
+        lowered = NoisyDeviceBackend(ibmqx4_device, cache=warm).prepare(
+            measured_bell()
+        )
+        assert warm.misses == 1
+
+        cold = TranspileCache(cache_dir=tmp_path)
+        served = NoisyDeviceBackend(ibmqx4_device, cache=cold).prepare(
+            measured_bell()
+        )
+        assert cold.hits == 1
+        assert cold.misses == 0
+        assert cold.stats()["disk"]["hits"] == 1
+        assert served.fingerprint() == lowered.fingerprint()
+
+    def test_disk_served_circuit_runs_identically(self, ibmqx4_device, tmp_path):
+        warm_backend = NoisyDeviceBackend(
+            ibmqx4_device, cache=TranspileCache(cache_dir=tmp_path)
+        )
+        direct = warm_backend.run(measured_bell(), shots=1024, seed=3)
+        disk_backend = NoisyDeviceBackend(
+            ibmqx4_device, cache=TranspileCache(cache_dir=tmp_path)
+        )
+        from_disk = disk_backend.run(measured_bell(), shots=1024, seed=3)
+        assert dict(direct.counts) == dict(from_disk.counts)
+        assert direct.probabilities == from_disk.probabilities

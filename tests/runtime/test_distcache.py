@@ -1,9 +1,11 @@
 """Tests for the cross-call distribution cache and backend content hashes."""
 
+import time
+
 import pytest
 
 from repro.circuits import library
-from repro.devices.backend import Backend, NoisyDeviceBackend
+from repro.devices.backend import Backend, DensityMatrixBackend, NoisyDeviceBackend
 from repro.devices.generic import linear_device
 from repro.devices.ibmqx4 import ibmqx4
 from repro.runtime import DistributionCache, execute, get_backend
@@ -21,6 +23,39 @@ def measured_ghz(n=3):
     qc = library.ghz_state(n)
     qc.measure_all()
     return qc
+
+
+class SlowTalliedBackend(Backend):
+    """An exact backend that sleeps and tallies ``run()`` calls in a file.
+
+    Module-level (picklable) so it can cross a process-pool boundary; the
+    file-based tally counts simulations wherever they happen — the worker
+    process or this one.
+    """
+
+    name = "slow-tallied"
+    returns_probabilities = True
+
+    def __init__(self, tally_path, delay=0.05):
+        self.tally_path = str(tally_path)
+        self.delay = delay
+        self._inner = DensityMatrixBackend()
+
+    def run(self, circuit, shots=1024, seed=None):
+        time.sleep(self.delay)
+        with open(self.tally_path, "a") as handle:
+            handle.write("run\n")
+        return self._inner.run(circuit, shots=shots, seed=seed)
+
+    def runs(self) -> int:
+        try:
+            with open(self.tally_path) as handle:
+                return sum(1 for _ in handle)
+        except OSError:
+            return 0
+
+    def content_fingerprint(self):
+        return f"slow-tallied|{self._inner.content_fingerprint()}"
 
 
 class TestBackendContentFingerprint:
@@ -282,3 +317,122 @@ class TestBoundsAndEviction:
     def test_repr_mentions_counters(self):
         cache = DistributionCache()
         assert "entries=0" in repr(cache)
+
+
+class TestCompletionTimePopulation:
+    """The entry appears when the job *completes*, not when it is collected,
+    so overlapping ``execute()`` calls never simulate the same pair twice."""
+
+    def _wait_for_entry(self, cache, timeout=30.0):
+        deadline = time.monotonic() + timeout
+        while len(cache) == 0:
+            assert time.monotonic() < deadline, "entry never published"
+            time.sleep(0.005)
+
+    @pytest.mark.parametrize("executor", ["thread", "process"])
+    def test_overlapping_calls_share_one_simulation(self, executor, tmp_path):
+        cache = DistributionCache()
+        backend = SlowTalliedBackend(tmp_path / "tally", delay=0.05)
+        circuit = measured_bell()
+
+        first = execute(
+            circuit, backend, shots=512, seed=1, executor=executor,
+            max_workers=2, distribution_cache=cache,
+        )
+        # Nobody collects `first`; the done-callback alone must publish.
+        self._wait_for_entry(cache)
+        second = execute(
+            circuit, backend, shots=512, seed=2, executor=executor,
+            max_workers=2, distribution_cache=cache,
+        )
+        assert second.cached  # observed the hit the moment the job finished
+        second_counts = second.counts()
+        first_counts = first.counts()
+        # Exactly one simulation happened across both calls, wherever the
+        # executor ran it.
+        assert backend.runs() == 1
+        assert cache.stats()["hits"] == 1
+
+        dedicated = DensityMatrixBackend()
+        assert dict(first_counts) == dict(
+            dedicated.run(circuit, shots=512, seed=1).counts
+        )
+        assert dict(second_counts) == dict(
+            dedicated.run(circuit, shots=512, seed=2).counts
+        )
+
+    @pytest.mark.parametrize("executor", ["thread", "process"])
+    def test_chunked_job_publishes_full_distribution_at_completion(
+        self, executor, tmp_path
+    ):
+        """A chunked primary's entry (published from its first chunk) serves
+        later calls with the complete distribution."""
+        cache = DistributionCache()
+        backend = SlowTalliedBackend(tmp_path / "tally", delay=0.01)
+        circuit = measured_bell()
+
+        first = execute(
+            circuit, backend, shots=512, seed=1, chunk_shots=128,
+            executor=executor, max_workers=2, distribution_cache=cache,
+        )
+        self._wait_for_entry(cache)
+        second = execute(
+            circuit, backend, shots=512, seed=7, executor=executor,
+            max_workers=2, distribution_cache=cache,
+        )
+        assert second.cached
+        dedicated = DensityMatrixBackend()
+        assert dict(second.counts()) == dict(
+            dedicated.run(circuit, shots=512, seed=7).counts
+        )
+        first.result()
+
+    def test_serial_executor_publishes_during_execute(self, tmp_path):
+        """The serial executor runs inline: the entry is visible as soon as
+        execute() returns, before any collection."""
+        cache = DistributionCache()
+        backend = SlowTalliedBackend(tmp_path / "tally", delay=0.0)
+        job = execute(
+            measured_bell(), backend, shots=128, seed=1, executor="serial",
+            distribution_cache=cache,
+        )
+        assert len(cache) == 1
+        job.result()
+        assert backend.runs() == 1
+
+    def test_entry_visible_once_result_returns(self, tmp_path):
+        """Whatever the callback timing, result() returning guarantees the
+        entry is published (callers compare stats right after collecting)."""
+        for _ in range(20):
+            cache = DistributionCache()
+            backend = SlowTalliedBackend(tmp_path / "tally", delay=0.0)
+            execute(
+                measured_bell(), backend, shots=64, seed=1, executor="thread",
+                distribution_cache=cache,
+            ).result()
+            assert len(cache) == 1
+
+
+class TestDiskTierIntegration:
+    def test_invalidate_removes_disk_entries(self, tmp_path):
+        cache = DistributionCache(cache_dir=tmp_path)
+        backend = get_backend("density_matrix")
+        execute(
+            measured_bell(), backend, shots=64, seed=1, distribution_cache=cache
+        ).result()
+        execute(
+            measured_ghz(), backend, shots=64, seed=1, distribution_cache=cache
+        ).result()
+        assert cache.invalidate(circuit=measured_bell()) == 1
+        # A cold cache over the same directory proves the disk copy is gone.
+        fresh = DistributionCache(cache_dir=tmp_path)
+        miss = execute(
+            measured_bell(), backend, shots=64, seed=2, distribution_cache=fresh
+        )
+        miss.result()
+        assert not miss.cached
+        hit = execute(
+            measured_ghz(), backend, shots=64, seed=2, distribution_cache=fresh
+        )
+        hit.result()
+        assert hit.cached

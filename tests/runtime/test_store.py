@@ -1,0 +1,502 @@
+"""Tests for the shared cache store: tiers, LRU semantics, corruption.
+
+Three contracts are pinned here:
+
+* **LRU unification** — `TranspileCache` and `DistributionCache` sit on
+  the *same* `CacheStore`, so their eviction order and ``maxsize``
+  semantics cannot drift apart again (they used to be two hand-rolled
+  copies of the same OrderedDict machinery).
+* **Persistence** — the disk tier round-trips entries across store
+  instances (i.e. across processes) keyed by content fingerprints, with
+  atomic writes and per-tier statistics.
+* **Corruption tolerance** — a truncated, bit-flipped or alien on-disk
+  entry is a miss, never an error, and never mis-serves data (the payload
+  digest and stored-key check reject it).
+"""
+
+import os
+import pickle
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.results.result import Result
+from repro.runtime.distcache import DistributionCache
+from repro.runtime.cache import TranspileCache
+from repro.runtime.store import (
+    ENTRY_SUFFIX,
+    MAGIC,
+    CacheStore,
+    DiskTier,
+    default_cache_dir,
+)
+
+
+def entry_files(store):
+    return sorted(store.disk.directory.glob(f"*{ENTRY_SUFFIX}"))
+
+
+class TestMemoryOnlyStore:
+    def test_lookup_store_roundtrip(self):
+        store = CacheStore(maxsize=4)
+        assert store.lookup("k") is None
+        store.store("k", {"v": 1})
+        assert store.lookup("k") == {"v": 1}
+        assert store.hits == 1
+        assert store.misses == 1
+        assert len(store) == 1
+
+    def test_lru_eviction_order(self):
+        store = CacheStore(maxsize=2)
+        store.store("a", 1)
+        store.store("b", 2)
+        assert store.lookup("a") == 1  # refresh "a": "b" becomes LRU
+        store.store("c", 3)
+        assert store.lookup("b") is None  # evicted
+        assert store.lookup("a") == 1
+        assert store.lookup("c") == 3
+        assert store.stats()["memory"]["evictions"] == 1
+
+    def test_maxsize_zero_disables(self):
+        store = CacheStore(maxsize=0)
+        store.store("k", 1)
+        assert store.lookup("k") is None
+        assert len(store) == 0
+        assert store.misses == 1
+
+    def test_maxsize_assignment_trims(self):
+        store = CacheStore(maxsize=4)
+        for i in range(4):
+            store.store(i, i)
+        store.maxsize = 2
+        assert len(store) == 2
+        # The two most recent survive.
+        assert store.lookup(3) == 3
+        assert store.lookup(0) is None
+
+    def test_negative_maxsize_rejected(self):
+        with pytest.raises(ValueError, match="maxsize"):
+            CacheStore(maxsize=-1)
+        store = CacheStore()
+        with pytest.raises(ValueError, match="maxsize"):
+            store.maxsize = -1
+
+    def test_clear_preserves_stats(self):
+        store = CacheStore()
+        store.store("k", 1)
+        store.lookup("k")
+        store.clear()
+        assert len(store) == 0
+        assert store.hits == 1
+
+    def test_stats_shape(self):
+        store = CacheStore()
+        stats = store.stats()
+        assert stats["disk"] is None
+        assert set(stats["memory"]) == {
+            "hits", "misses", "stores", "evictions", "errors", "entries",
+        }
+
+
+class TestDiskTierPersistence:
+    def test_fresh_store_reads_previous_stores_entries(self, tmp_path):
+        first = CacheStore(cache_dir=tmp_path, namespace="t")
+        first.store(("fp", "dev"), {"lowered": True})
+        # A different store instance over the same directory — the
+        # in-process analogue of a second OS process.
+        second = CacheStore(cache_dir=tmp_path, namespace="t")
+        assert second.lookup(("fp", "dev")) == {"lowered": True}
+        assert second.stats()["disk"]["hits"] == 1
+        assert second.stats()["memory"]["misses"] == 1
+
+    def test_disk_hit_promotes_to_memory(self, tmp_path):
+        CacheStore(cache_dir=tmp_path, namespace="t").store("k", 7)
+        store = CacheStore(cache_dir=tmp_path, namespace="t")
+        assert store.lookup("k") == 7
+        assert store.lookup("k") == 7
+        assert store.stats()["disk"]["hits"] == 1  # second hit was memory
+        assert store.stats()["memory"]["hits"] == 1
+
+    def test_namespaces_are_disjoint(self, tmp_path):
+        a = CacheStore(cache_dir=tmp_path, namespace="a")
+        b = CacheStore(cache_dir=tmp_path, namespace="b")
+        a.store("k", "a-value")
+        assert b.lookup("k") is None
+        assert (tmp_path / "a").is_dir() and (tmp_path / "b").is_dir()
+
+    def test_disk_lru_eviction_bounds_entries(self, tmp_path):
+        store = CacheStore(cache_dir=tmp_path, namespace="t", disk_maxsize=2)
+        for i in range(4):
+            store.store(f"k{i}", i)
+            # mtime granularity: make recency strictly ordered
+            paths = entry_files(store)
+            for offset, path in enumerate(sorted(paths, key=lambda p: p.stat().st_mtime)):
+                os.utime(path, (path.stat().st_atime, 1000 + i * 10 + offset))
+        assert len(entry_files(store)) == 2
+        assert store.stats()["disk"]["evictions"] == 2
+
+    def test_remove_spans_tiers(self, tmp_path):
+        store = CacheStore(cache_dir=tmp_path, namespace="t")
+        store.store("k", 1)
+        assert store.remove("k") is True
+        assert store.lookup("k") is None
+        assert entry_files(store) == []
+        fresh = CacheStore(cache_dir=tmp_path, namespace="t")
+        assert fresh.lookup("k") is None
+
+    def test_clear_spans_tiers(self, tmp_path):
+        store = CacheStore(cache_dir=tmp_path, namespace="t")
+        store.store("k", 1)
+        store.clear()
+        assert entry_files(store) == []
+
+    def test_keys_spans_tiers(self, tmp_path):
+        CacheStore(cache_dir=tmp_path, namespace="t").store(("a", "b"), 1)
+        store = CacheStore(cache_dir=tmp_path, namespace="t")
+        store.store(("c", "d"), 2)
+        assert sorted(store.keys()) == [("a", "b"), ("c", "d")]
+
+    def test_attach_disk_later(self, tmp_path):
+        store = CacheStore()
+        store.store("early", 1)
+        store.attach_disk(tmp_path)
+        store.store("late", 2)
+        fresh = CacheStore(cache_dir=tmp_path, namespace="store")
+        assert fresh.lookup("late") == 2
+        assert fresh.lookup("early") is None  # pre-attach entries stay local
+        store.attach_disk(None)
+        assert store.stats()["disk"] is None
+
+    def test_unpicklable_value_skips_disk_not_memory(self, tmp_path):
+        store = CacheStore(cache_dir=tmp_path, namespace="t")
+        store.store("k", lambda: None)  # lambdas don't pickle
+        assert store.lookup("k") is not None
+        assert entry_files(store) == []
+        assert store.stats()["disk"]["errors"] == 1
+
+    def test_pickled_store_ships_config_and_disk_dir(self, tmp_path):
+        store = CacheStore(maxsize=7, cache_dir=tmp_path, namespace="t")
+        store.store("k", 1)
+        clone = pickle.loads(pickle.dumps(store))
+        assert clone.maxsize == 7
+        assert len(clone) == 0  # memory contents never ship
+        assert clone.hits == 0 and clone.misses == 0
+        # ... but the disk tier is shared: the clone reads the original's
+        # persisted entries (what a spawn-started pool worker sees).
+        assert clone.lookup("k") == 1
+        assert clone.stats()["disk"]["hits"] == 1
+
+
+class TestCorruptionTolerance:
+    def _seeded(self, tmp_path, value={"p": 0.5}):
+        store = CacheStore(cache_dir=tmp_path, namespace="t")
+        store.store("key", value)
+        (path,) = entry_files(store)
+        return store, path
+
+    def _fresh(self, tmp_path):
+        return CacheStore(cache_dir=tmp_path, namespace="t")
+
+    def test_truncated_entry_is_a_miss(self, tmp_path):
+        _store, path = self._seeded(tmp_path)
+        blob = path.read_bytes()
+        path.write_bytes(blob[: len(blob) // 2])
+        fresh = self._fresh(tmp_path)
+        assert fresh.lookup("key") is None
+        assert fresh.stats()["disk"]["errors"] == 1
+        assert not path.exists()  # quarantined
+
+    def test_every_single_bit_flip_is_a_miss_or_equal(self, tmp_path):
+        """Flip one byte at a time through the whole file: never an error,
+        never wrong data."""
+        _store, path = self._seeded(tmp_path, value={"p": 0.25})
+        blob = bytearray(path.read_bytes())
+        for pos in range(0, len(blob), max(1, len(blob) // 40)):
+            mutated = bytearray(blob)
+            mutated[pos] ^= 0x01
+            path.write_bytes(bytes(mutated))
+            got = self._fresh(tmp_path).lookup("key")
+            assert got is None or got == {"p": 0.25}
+
+    def test_emptied_entry_is_a_miss(self, tmp_path):
+        _store, path = self._seeded(tmp_path)
+        path.write_bytes(b"")
+        assert self._fresh(tmp_path).lookup("key") is None
+
+    def test_alien_file_in_directory_is_ignored(self, tmp_path):
+        store, _path = self._seeded(tmp_path)
+        (store.disk.directory / "README.txt").write_text("not an entry")
+        fresh = self._fresh(tmp_path)
+        assert fresh.lookup("key") == {"p": 0.5}
+        assert "README.txt" not in [k for k in fresh.keys()]
+
+    def test_wrong_schema_version_is_a_miss(self, tmp_path):
+        _store, path = self._seeded(tmp_path)
+        blob = path.read_bytes()
+        path.write_bytes(blob.replace(MAGIC, b"repro-cache-store/v0\n", 1))
+        assert self._fresh(tmp_path).lookup("key") is None
+
+    def test_key_mismatch_never_aliases(self, tmp_path):
+        """A file renamed onto another key's filename must miss (the stored
+        key is verified), and must NOT be quarantined as corrupt."""
+        store = CacheStore(cache_dir=tmp_path, namespace="t")
+        store.store("a", "value-a")
+        (path,) = entry_files(store)
+        alias = store.disk._path("b")
+        path.rename(alias)
+        fresh = self._fresh(tmp_path)
+        assert fresh.lookup("b") is None
+        assert alias.exists()
+        assert fresh.stats()["disk"]["errors"] == 0
+
+    def test_corrupt_entries_skipped_by_keys(self, tmp_path):
+        store = CacheStore(cache_dir=tmp_path, namespace="t")
+        store.store("a", 1)
+        store.store("b", 2)
+        paths = entry_files(store)
+        paths[0].write_bytes(b"garbage")
+        assert len(store.keys()) >= 1  # memory still has both; disk skips one
+
+    def test_store_survives_readonly_directory(self, tmp_path):
+        if os.geteuid() == 0:
+            pytest.skip("root ignores directory permissions")
+        store = CacheStore(cache_dir=tmp_path, namespace="t")
+        store.disk.directory.chmod(0o500)
+        try:
+            store.store("k", 1)  # disk write fails silently
+            assert store.lookup("k") == 1  # memory tier still serves
+            assert store.stats()["disk"]["errors"] == 1
+        finally:
+            store.disk.directory.chmod(0o700)
+
+
+#: Probability dictionaries over 3-bit outcomes, then normalised.
+_distributions = st.dictionaries(
+    st.integers(min_value=0, max_value=7).map(lambda i: format(i, "03b")),
+    st.floats(min_value=1e-6, max_value=1.0, allow_nan=False),
+    min_size=1,
+    max_size=8,
+)
+
+
+class TestResultRoundTrip:
+    @given(raw=_distributions, shots=st.integers(min_value=1, max_value=512))
+    @settings(max_examples=40, deadline=None)
+    def test_disk_roundtrip_preserves_distribution_and_resampling(
+        self, tmp_path_factory, raw, shots
+    ):
+        """CacheStore round-trips arbitrary cached Result distributions and
+        disk-hit == memory-hit == the original, down to resampled counts."""
+        import numpy as np
+
+        from repro.results.counts import counts_from_probabilities
+
+        tmp_path = tmp_path_factory.mktemp("roundtrip")
+        total = sum(raw.values())
+        probabilities = {k: v / total for k, v in raw.items()}
+        original = Result(
+            shots=0, probabilities=probabilities, metadata={"engine": "test"}
+        )
+
+        store = CacheStore(cache_dir=tmp_path, namespace="dist")
+        store.store(("fp", "be"), original)
+        memory_hit = store.lookup(("fp", "be"))
+        disk_hit = CacheStore(cache_dir=tmp_path, namespace="dist").lookup(
+            ("fp", "be")
+        )
+
+        assert memory_hit.probabilities == probabilities
+        assert disk_hit.probabilities == probabilities  # bit-exact floats
+        assert disk_hit.metadata["engine"] == "test"
+        draws = [
+            counts_from_probabilities(
+                source.probabilities, shots, np.random.default_rng(11)
+            )
+            for source in (original, memory_hit, disk_hit)
+        ]
+        assert dict(draws[0]) == dict(draws[1]) == dict(draws[2])
+
+
+class _TranspileAdapter:
+    """Drives TranspileCache through its public store/lookup surface."""
+
+    def __init__(self, maxsize, cache_dir=None):
+        self.cache = TranspileCache(maxsize=maxsize, cache_dir=cache_dir)
+
+    def key(self, i):
+        return (f"circuit-fp-{i}", "device-fp", None, True)
+
+    def insert(self, i):
+        self.cache.store(self.key(i), {"lowered": i})
+
+    def probe(self, i):
+        return self.cache.lookup(self.key(i)) is not None
+
+
+class _DistributionAdapter:
+    """Drives DistributionCache through its public store/lookup surface."""
+
+    def __init__(self, maxsize, cache_dir=None):
+        self.cache = DistributionCache(maxsize=maxsize, cache_dir=cache_dir)
+
+    def key(self, i):
+        return (f"circuit-fp-{i}", "backend-fp")
+
+    def insert(self, i):
+        self.cache.store(self.key(i), Result(shots=8, probabilities={"0": 1.0}))
+
+    def probe(self, i):
+        return self.cache.lookup(self.key(i)) is not None
+
+
+@pytest.mark.parametrize(
+    "adapter_cls", [_TranspileAdapter, _DistributionAdapter],
+    ids=["transpile", "distribution"],
+)
+class TestUnifiedLruSemantics:
+    """Regression for the duplicated-LRU drift: both caches must show
+    identical eviction order and maxsize semantics because they share one
+    CacheStore implementation."""
+
+    def test_backed_by_the_shared_store(self, adapter_cls):
+        assert type(adapter_cls(maxsize=4).cache._store) is CacheStore
+
+    def test_eviction_order_script(self, adapter_cls):
+        a = adapter_cls(maxsize=3)
+        for i in (0, 1, 2):
+            a.insert(i)
+        assert a.probe(0)  # refresh 0 -> LRU order is now 1, 2, 0
+        a.insert(3)  # evicts 1
+        assert [a.probe(i) for i in (0, 1, 2, 3)] == [True, False, True, True]
+        assert len(a.cache) == 3
+        assert a.cache.stats()["memory"]["evictions"] == 1
+
+    def test_maxsize_zero_semantics(self, adapter_cls):
+        a = adapter_cls(maxsize=0)
+        a.insert(0)
+        assert not a.probe(0)
+        assert len(a.cache) == 0
+        assert a.cache.hits == 0
+        assert a.cache.misses == 1
+
+    def test_negative_maxsize_rejected(self, adapter_cls):
+        with pytest.raises(ValueError, match="maxsize"):
+            adapter_cls(maxsize=-1)
+
+    def test_clear_preserves_stats(self, adapter_cls):
+        a = adapter_cls(maxsize=4)
+        a.insert(0)
+        assert a.probe(0)
+        a.cache.clear()
+        assert len(a.cache) == 0
+        assert a.cache.hits == 1
+
+    def test_disk_tier_respects_eviction_independence(self, adapter_cls, tmp_path):
+        """Memory eviction never deletes the disk copy: an evicted entry is
+        re-served from disk."""
+        a = adapter_cls(maxsize=1, cache_dir=tmp_path)
+        a.insert(0)
+        a.insert(1)  # evicts 0 from memory
+        assert len(a.cache) == 1
+        assert a.probe(0)  # disk hit re-promotes
+        assert a.cache.stats()["disk"]["hits"] == 1
+
+
+class TestDefaultCacheDir:
+    def test_unset_means_none(self, monkeypatch):
+        monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+        assert default_cache_dir() is None
+
+    def test_blank_means_none(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", "   ")
+        assert default_cache_dir() is None
+
+    def test_set_value_returned(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", "/tmp/somewhere")
+        assert default_cache_dir() == "/tmp/somewhere"
+
+    def test_set_default_cache_dir_attaches_and_detaches(self, tmp_path):
+        from repro.runtime import set_default_cache_dir
+        from repro.runtime.cache import DEFAULT_CACHE
+        from repro.runtime.distcache import DEFAULT_DISTRIBUTION_CACHE
+
+        before_t = DEFAULT_CACHE._store.disk
+        before_d = DEFAULT_DISTRIBUTION_CACHE._store.disk
+        try:
+            set_default_cache_dir(str(tmp_path))
+            assert DEFAULT_CACHE.stats()["disk"]["directory"] == str(
+                tmp_path / "transpile"
+            )
+            assert DEFAULT_DISTRIBUTION_CACHE.stats()["disk"]["directory"] == str(
+                tmp_path / "distribution"
+            )
+        finally:
+            DEFAULT_CACHE._store.disk = before_t
+            DEFAULT_DISTRIBUTION_CACHE._store.disk = before_d
+
+
+class TestBadCacheDirDegrades:
+    def test_unusable_cache_dir_warns_and_stays_memory_only(self):
+        """A bad directory disables persistence — never raises (the default
+        caches are built at import from $REPRO_CACHE_DIR)."""
+        with pytest.warns(RuntimeWarning, match="disk cache tier disabled"):
+            store = CacheStore(cache_dir="/dev/null/not-a-dir", namespace="t")
+        store.store("k", 1)
+        assert store.lookup("k") == 1
+        assert store.stats()["disk"] is None
+
+    def test_attach_disk_with_bad_dir_degrades(self):
+        store = CacheStore()
+        with pytest.warns(RuntimeWarning, match="disk cache tier disabled"):
+            store.attach_disk("/dev/null/not-a-dir")
+        assert store.stats()["disk"] is None
+
+    def test_bad_env_cache_dir_does_not_break_import(self):
+        import subprocess
+        import sys
+        from pathlib import Path
+
+        env = dict(os.environ)
+        env["REPRO_CACHE_DIR"] = "/dev/null/not-a-dir"
+        env["PYTHONPATH"] = str(Path(__file__).resolve().parents[2] / "src")
+        proc = subprocess.run(
+            [sys.executable, "-c",
+             "import repro.runtime; print(repro.runtime.transpile_cache_stats()['disk'])"],
+            env=env, capture_output=True, text=True, timeout=120,
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert proc.stdout.strip() == "None"
+
+
+class TestDisablingNeverDeletesDiskEntries:
+    def test_maxsize_zero_leaves_the_persistent_tier_intact(self, tmp_path):
+        """--no-transpile-cache style disabling (maxsize = 0) must not wipe
+        the disk entries other invocations rely on."""
+        cache = TranspileCache(cache_dir=tmp_path)
+        cache.store(("fp", "dev", None, True), {"lowered": 1})
+        cache.maxsize = 0
+        assert cache.lookup(("fp", "dev", None, True)) is None  # disabled
+        fresh = TranspileCache(cache_dir=tmp_path)
+        assert fresh.lookup(("fp", "dev", None, True)) == {"lowered": 1}
+
+
+class TestDiskTierDirect:
+    def test_atomic_write_leaves_no_partials(self, tmp_path):
+        tier = DiskTier(tmp_path)
+        for i in range(20):
+            tier.store(f"k{i}", list(range(50)))
+        leftovers = [
+            p for p in tmp_path.iterdir() if not p.name.endswith(ENTRY_SUFFIX)
+        ]
+        assert leftovers == []
+
+    def test_negative_maxsize_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="maxsize"):
+            DiskTier(tmp_path, maxsize=-1)
+
+    def test_unbounded_disk_keeps_everything(self, tmp_path):
+        tier = DiskTier(tmp_path, maxsize=None)
+        for i in range(10):
+            tier.store(i, i)
+        assert len(tier) == 10
