@@ -15,10 +15,13 @@ serial|thread|process``), every device run shares the runtime's transpile
 cache (``--runtime-stats`` prints cache and pool statistics, or
 ``--no-transpile-cache`` empties and disables reuse for A/B timing), the
 noise sweep re-samples repeat runs through the cross-call distribution
-cache, ``--cache-dir PATH`` (or ``$REPRO_CACHE_DIR``) persists both caches
-on disk so a *second invocation* skips transpiles and exact-distribution
-simulations entirely, and ``--list-backends`` shows the provider
-registry's spec strings.
+cache, ``--schedule adaptive|fixed`` picks the runtime scheduling mode
+(adaptive chunk sizing + backend-aware executors; counts are identical
+either way for a fixed seed), ``--cache-dir PATH`` (or
+``$REPRO_CACHE_DIR``) persists the caches *and cost profiles* on disk so a
+*second invocation* skips transpiles and exact-distribution simulations
+entirely and schedules from measured costs, and ``--list-backends`` shows
+the provider registry's spec strings.
 """
 
 from __future__ import annotations
@@ -143,6 +146,15 @@ def main(argv=None) -> int:
         "per-shot engines; counts are identical under every kind)",
     )
     parser.add_argument(
+        "--schedule",
+        choices=["adaptive", "fixed"],
+        default=None,
+        help="runtime scheduling mode (default: $REPRO_SCHEDULE or adaptive; "
+        "adaptive picks backend-aware executors and cost-model-driven chunk "
+        "sizes where counts cannot change — for a fixed seed both modes "
+        "produce bit-identical counts)",
+    )
+    parser.add_argument(
         "--cache-dir",
         default=None,
         metavar="PATH",
@@ -177,6 +189,15 @@ def main(argv=None) -> int:
         return 0
     if args.workers is not None and args.workers < 1:
         parser.error(f"--workers must be positive, got {args.workers}")
+    if args.schedule:
+        # The scheduling mode is process-wide policy, not a per-experiment
+        # argument: setting the env default reaches every execute() call the
+        # runners make, exactly like exporting REPRO_SCHEDULE would.
+        import os
+
+        from repro.runtime.scheduler import SCHEDULE_ENV_VAR
+
+        os.environ[SCHEDULE_ENV_VAR] = args.schedule
     if args.cache_dir:
         from repro.runtime import set_default_cache_dir
 
@@ -223,6 +244,27 @@ def main(argv=None) -> int:
             f"{pools['active']} active {pools['pools']}, "
             f"{pools['created']} created, {pools['reused']} reused"
         )
+        from repro.runtime import cost_model_stats
+
+        profiles = cost_model_stats()["profiles"]
+        print(f"runtime cost model: {len(profiles)} profiled key(s)")
+        for label, entry in profiles.items():
+            per_shot = entry["per_shot"]
+            per_prepare = entry["per_prepare"]
+            print(
+                f"  {label}: "
+                + (
+                    f"{per_shot * 1e3:.3f} ms/shot"
+                    if per_shot is not None
+                    else "no shot samples"
+                )
+                + f" ({entry['shot_samples']} chunk(s))"
+                + (
+                    f", prepare {per_prepare * 1e3:.3f} ms"
+                    if per_prepare is not None
+                    else ""
+                )
+            )
     return 0
 
 

@@ -29,10 +29,18 @@ interchangeable backends.  This package is the layer between the engines
   job completion so overlapping calls share entries.
 * :mod:`~repro.runtime.batching` — identical ``(circuit, backend)`` jobs
   simulate the distribution once and re-sample counts per job.
+* :mod:`~repro.runtime.profile` / :mod:`~repro.runtime.scheduler` — the
+  adaptive control layer: an online :class:`~repro.runtime.profile.CostModel`
+  (EWMA per-shot/per-prepare estimates fed by every completed chunk,
+  persisted through the cache store) drives backend-aware executor
+  defaults and cost-sized shot chunks (``schedule="adaptive"``, the
+  default), and :class:`~repro.runtime.scheduler.Scheduler` adds a
+  fair-share multi-client submission queue with weighted round-robin
+  dispatch and bounded in-flight admission control.
 
 Everything is deterministic under a caller seed: serial, thread, process,
-chunked, deduplicated and cached (memory- or disk-tier) execution all
-produce the same counts for the same seed.
+chunked, deduplicated, cached (memory- or disk-tier) and adaptively
+scheduled execution all produce the same counts for the same seed.
 """
 
 from repro.runtime.batching import BatchPlan, plan_batches
@@ -60,12 +68,27 @@ from repro.runtime.pool import (
     pool_stats,
     shutdown_executors,
 )
+from repro.runtime.profile import (
+    DEFAULT_COST_MODEL,
+    CostModel,
+    cost_model_stats,
+    profile_key,
+)
 from repro.runtime.provider import (
     get_backend,
     list_backends,
     register_backend,
     register_device,
     resolve_backend,
+)
+from repro.runtime.scheduler import (
+    SCHEDULE_MODES,
+    ScheduledBatch,
+    Scheduler,
+    default_schedule_mode,
+    executor_kind_for,
+    is_per_shot_backend,
+    plan_chunk_shots,
 )
 from repro.runtime.store import (
     CacheStore,
@@ -76,28 +99,39 @@ from repro.runtime.store import (
 __all__ = [
     "BatchPlan",
     "CacheStore",
+    "CostModel",
     "DEFAULT_CACHE",
+    "DEFAULT_COST_MODEL",
     "DEFAULT_DISTRIBUTION_CACHE",
     "DistributionCache",
     "EXECUTOR_KINDS",
     "Job",
     "JobSet",
     "JobStatus",
+    "SCHEDULE_MODES",
+    "ScheduledBatch",
+    "Scheduler",
     "SerialExecutor",
     "TranspileCache",
     "clear_distribution_cache",
     "clear_transpile_cache",
+    "cost_model_stats",
     "default_cache_dir",
     "default_executor_kind",
+    "default_schedule_mode",
     "distribution_cache_stats",
     "distribution_key",
     "execute",
     "execute_and_collect",
+    "executor_kind_for",
     "get_backend",
     "get_executor",
+    "is_per_shot_backend",
     "list_backends",
     "plan_batches",
+    "plan_chunk_shots",
     "pool_stats",
+    "profile_key",
     "register_backend",
     "register_device",
     "resolve_backend",

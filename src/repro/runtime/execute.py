@@ -44,6 +44,7 @@ Semantics:
 
 from __future__ import annotations
 
+import os
 from typing import List, Optional, Sequence, Union
 
 from repro.circuits.circuit import QuantumCircuit
@@ -61,12 +62,19 @@ from repro.runtime.distcache import (
     distribution_key,
 )
 from repro.runtime.job import Job, JobSet
-from repro.runtime.pool import get_executor
+from repro.runtime.pool import EXECUTOR_ENV_VAR, executor_kind, get_executor
+from repro.runtime.profile import DEFAULT_COST_MODEL, profile_key
 from repro.runtime.provider import resolve_backend
+from repro.runtime.scheduler import (
+    executor_kind_for,
+    plan_chunk_shots,
+    resolve_schedule_mode,
+)
 
 CircuitInput = Union[QuantumCircuit, Sequence[QuantumCircuit]]
 BackendInput = Union[str, Backend, Sequence[Union[str, Backend]]]
 DistCacheInput = Union[bool, DistributionCache, None]
+ChunkInput = Union[None, int, str]
 
 
 def _broadcast(value, count: int, name: str) -> list:
@@ -102,11 +110,12 @@ def execute(
     shots: Union[int, Sequence[int]] = 1024,
     seed: Union[None, int, Sequence[Optional[int]]] = None,
     max_workers: Optional[int] = None,
-    chunk_shots: Optional[int] = None,
+    chunk_shots: ChunkInput = None,
     dedupe: bool = True,
     executor: Optional[str] = None,
     priority: Union[int, Sequence[int]] = 0,
     distribution_cache: DistCacheInput = False,
+    schedule: Optional[str] = None,
 ) -> Union[Job, JobSet]:
     """Submit one circuit or a batch for (parallel) execution.
 
@@ -128,15 +137,22 @@ def execute(
         and reused across calls.  Width never changes the merged counts.
     chunk_shots:
         Split each job into chunks of at most this many shots (parallel
-        shot sharding for the per-shot Monte-Carlo engines).
+        shot sharding for the per-shot Monte-Carlo engines).  ``"auto"``
+        (adaptive schedule only) sizes chunks from the cost model's
+        measured per-shot cost; the resolved size is recorded in
+        ``job.plan`` and the counts equal an explicit ``chunk_shots`` of
+        that same value.
     dedupe:
         Group identical ``(circuit, backend)`` jobs so the distribution is
         simulated once and re-sampled per job.
     executor:
         ``"serial"``, ``"thread"`` or ``"process"``; ``None`` reads
-        ``$REPRO_EXECUTOR`` and falls back to ``"thread"``.  Use
-        ``"process"`` for the GIL-bound per-shot engines — circuits and
-        backends cross the boundary by pickle.
+        ``$REPRO_EXECUTOR``.  With neither set, the adaptive schedule
+        picks per backend — ``"process"`` for the GIL-bound per-shot
+        engines (stabilizer, trajectory; work crosses the boundary by
+        pickle, and device circuits are transpiled once in the parent
+        before fan-out), ``"thread"`` for the NumPy engines — while
+        ``schedule="fixed"`` keeps the flat ``"thread"`` default.
     priority:
         Scalar or per-circuit submission priority (default 0).  Higher
         priorities reach the executor queue first; job order in the
@@ -152,6 +168,16 @@ def execute(
         from the cache instead of simulating again.  When the cache has a
         disk tier (``$REPRO_CACHE_DIR`` or ``cache_dir=``), entries also
         survive into future processes.
+    schedule:
+        ``"adaptive"`` or ``"fixed"``; ``None`` reads ``$REPRO_SCHEDULE``
+        and falls back to ``"adaptive"``.  The adaptive schedule picks
+        backend-aware executors and cost-model-driven chunk sizes — but
+        only where counts cannot change: explicit ``chunk_shots`` /
+        ``executor`` always win, and a seeded job keeps the fixed chunk
+        plan unless it opts in with ``chunk_shots="auto"``.  For a fixed
+        seed, counts are bit-identical under both modes (see
+        :mod:`repro.runtime.scheduler`).  Both modes feed the cost model
+        with every completed chunk's measured wall-clock.
 
     Returns
     -------
@@ -161,6 +187,15 @@ def execute(
         (``executor="serial"`` runs inline); call ``.result()`` or iterate
         ``.as_completed()`` to collect.
     """
+    mode = resolve_schedule_mode(schedule)
+    adaptive = mode == "adaptive"
+    auto_chunks = isinstance(chunk_shots, str)
+    if auto_chunks and chunk_shots != "auto":
+        raise JobError(
+            f"chunk_shots must be a positive int, None or 'auto', got {chunk_shots!r}"
+        )
+    if auto_chunks and not adaptive:
+        raise JobError('chunk_shots="auto" requires schedule="adaptive"')
     single = isinstance(circuits, QuantumCircuit)
     circuit_list: List[QuantumCircuit] = [circuits] if single else list(circuits)
     if not circuit_list:
@@ -187,11 +222,52 @@ def execute(
     for s in shots_list:
         if s < 0:
             raise JobError(f"shots must be non-negative, got {s}")
-    if chunk_shots is not None and chunk_shots < 1:
+    if chunk_shots is not None and not auto_chunks and chunk_shots < 1:
         raise JobError(f"chunk_shots must be positive, got {chunk_shots}")
     if max_workers is not None and max_workers < 1:
         raise JobError(f"max_workers must be positive, got {max_workers}")
-    pool = get_executor(executor, max_workers)
+    # Backend-aware executor selection: an explicit executor=, a
+    # $REPRO_EXECUTOR override, or schedule="fixed" pin one shared pool for
+    # the whole batch; otherwise the adaptive schedule routes each job to
+    # its backend's natural pool kind (per-shot -> process, NumPy ->
+    # thread).  Pool choice never touches counts.
+    shared_pool = None
+    if (
+        executor is not None
+        or not adaptive
+        or os.environ.get(EXECUTOR_ENV_VAR, "").strip()
+    ):
+        shared_pool = get_executor(executor, max_workers)
+
+    def pool_for(target: Backend):
+        if shared_pool is not None:
+            return shared_pool
+        return get_executor(executor_kind_for(target), max_workers)
+
+    # Adaptive chunk sizing, resolved once per (profile key, shots) so that
+    # identical jobs inside one call (dedup groups, repeated sweep points)
+    # always share a plan even while cost observations stream in.
+    resolved_chunks: dict = {}
+
+    def chunk_for(index: int) -> Optional[int]:
+        if not auto_chunks and chunk_shots is not None:
+            return chunk_shots  # explicit always wins
+        if not adaptive:
+            return None
+        if not auto_chunks and seed_list[index] is not None:
+            # A caller seed pins the chunk plan: adaptive splitting here
+            # would change counts, so it only applies on explicit opt-in.
+            return None
+        key = (profile_key(backends[index], circuit_list[index]), shots_list[index])
+        if key not in resolved_chunks:
+            resolved_chunks[key] = plan_chunk_shots(
+                backends[index],
+                circuit_list[index],
+                shots_list[index],
+                width=max_workers,
+                cost_model=DEFAULT_COST_MODEL,
+            )
+        return resolved_chunks[key]
 
     plan = plan_batches(circuit_list, backends, shots_list, seed_list, dedupe=dedupe)
     jobs: List[Job] = []
@@ -207,6 +283,7 @@ def execute(
                 distribution = dist_cache.lookup(key)
                 if distribution is None:
                     store = (dist_cache, key)
+        job_chunk = chunk_for(index)
         if distribution is not None:
             # Cross-call hit: the job re-samples the cached distribution
             # (and still serves as dedup source for this call's siblings).
@@ -216,7 +293,7 @@ def execute(
                 shots_list[index],
                 seed_list[index],
                 role=ROLE_CACHED,
-                chunk_shots=chunk_shots,
+                chunk_shots=job_chunk,
                 priority=priority_list[index],
                 distribution=distribution,
             )
@@ -228,16 +305,23 @@ def execute(
                 seed_list[index],
                 role=job_plan.role,
                 source=None if primary else jobs[job_plan.source],
-                chunk_shots=chunk_shots,
+                chunk_shots=job_chunk,
                 priority=priority_list[index],
             )
             job._dist_store = store
             if primary:
+                job._cost_probe = (
+                    DEFAULT_COST_MODEL,
+                    profile_key(backends[index], circuit_list[index]),
+                )
                 to_submit.append(job)
+        job.plan = {"schedule": mode, "chunk_shots": job_chunk, "executor": None}
         jobs.append(job)
     # Stable sort: equal priorities keep plan order, higher go first.  The
-    # shared pool outlives the call — no shutdown, no churn.
+    # shared pools outlive the call — no shutdown, no churn.
     for job in sorted(to_submit, key=lambda j: -j.priority):
+        pool = pool_for(job.backend)
+        job.plan["executor"] = executor_kind(pool)
         job._submit(pool)
     return jobs[0] if single else JobSet(jobs)
 

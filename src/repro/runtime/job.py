@@ -31,7 +31,9 @@ Determinism contract
 
 from __future__ import annotations
 
+import copy
 import enum
+import functools
 import itertools
 import threading
 import time
@@ -126,6 +128,12 @@ class Job:
         #: store this job's distribution into once it completes.
         self._dist_store = None
         self._dist_stored = False
+        #: Set by execute(): (CostModel, profile key) every completed chunk
+        #: reports its measured wall-clock into (see repro.runtime.profile).
+        self._cost_probe = None
+        #: Set by execute(): how the scheduler planned this job —
+        #: {"schedule", "chunk_shots", "executor"} — for introspection.
+        self.plan: Optional[dict] = None
         self._futures: List[Future] = []
         self._chunk_elapsed: List[float] = []
         self._pool_elapsed_recorded = False
@@ -157,23 +165,90 @@ class Job:
             self._chunk_elapsed.append(elapsed)
         return result
 
+    def _prepare_for_fanout(self) -> Tuple["Backend", "QuantumCircuit"]:
+        """Transpile once in the parent before process fan-out.
+
+        A process-pool worker unpickles a backend whose explicit
+        :class:`~repro.runtime.cache.TranspileCache` ships configuration,
+        not contents — so without this step every chunk task re-lowers the
+        circuit from scratch.  Instead the parent runs ``prepare()`` once
+        (through the cache) and ships the *prepared* circuit with a
+        transpile-disabled copy of the backend: the workers execute exactly
+        the circuit a direct ``run()`` would have, so counts are untouched,
+        and the measured prepare cost feeds the cost model.
+
+        Any ``prepare()`` failure falls back to shipping the original pair
+        so the error keeps surfacing through the job's future (the
+        established collection-time error path), not at submit time.
+        """
+        prepare = getattr(self.backend, "prepare", None)
+        if prepare is None or not getattr(self.backend, "transpile", False):
+            return self.backend, self.circuit
+        # Only a cache *miss* measures real lowering work; folding in the
+        # microsecond cache hits would collapse the per-prepare EWMA to
+        # ~zero right after the first transpile.  (Concurrent jobs sharing
+        # a cache can skew the miss delta — an occasional mis-attributed
+        # sample, never a systematic bias.)
+        cache = getattr(self.backend, "cache", None)
+        if cache is None:
+            from repro.runtime.cache import DEFAULT_CACHE
+
+            cache = DEFAULT_CACHE
+        misses_before = getattr(cache, "misses", None)
+        start = time.perf_counter()
+        try:
+            prepared = prepare(self.circuit)
+        except Exception:
+            return self.backend, self.circuit
+        elapsed = time.perf_counter() - start
+        lowered = (
+            True
+            if misses_before is None  # cache=False: every prepare is real
+            else cache.misses > misses_before
+        )
+        if self._cost_probe is not None and lowered:
+            model, key = self._cost_probe
+            model.observe_prepare(key, elapsed)
+        shipped = copy.copy(self.backend)
+        shipped.transpile = False
+        return shipped, prepared
+
     def _submit(self, executor) -> None:
         """Schedule this job's chunk tasks on ``executor``.
 
         Tasks are the picklable module-level :func:`_execute_chunk`, so any
-        executor kind — serial, thread or process — can run them.  On a
-        distribution-cache miss, a done-callback on the first chunk
-        publishes the distribution at *completion* time — a chunked job's
-        merged distribution is exactly its first chunk's — so overlapping
-        ``execute()`` calls see the entry as soon as the simulation
-        finishes, not when somebody first collects the result.
+        executor kind — serial, thread or process — can run them.  Process
+        fan-out ships a parent-side-prepared circuit (see
+        :meth:`_prepare_for_fanout`).  On a distribution-cache miss, a
+        done-callback on the first chunk publishes the distribution at
+        *completion* time — a chunked job's merged distribution is exactly
+        its first chunk's — so overlapping ``execute()`` calls see the
+        entry as soon as the simulation finishes, not when somebody first
+        collects the result.  Every chunk future also reports its measured
+        wall-clock into the runtime's cost model when a probe is attached.
         """
+        from repro.runtime.pool import executor_kind
+
+        backend, circuit = self.backend, self.circuit
+        if executor_kind(executor) == "process":
+            backend, circuit = self._prepare_for_fanout()
         for shots, seed in self.chunk_plan():
-            self._futures.append(
-                executor.submit(_execute_chunk, self.backend, self.circuit, shots, seed)
-            )
+            future = executor.submit(_execute_chunk, backend, circuit, shots, seed)
+            self._futures.append(future)
+            if self._cost_probe is not None:
+                future.add_done_callback(
+                    functools.partial(self._observe_chunk, shots)
+                )
         if self._dist_store is not None and self._futures:
             self._futures[0].add_done_callback(self._distribution_completed)
+
+    def _observe_chunk(self, shots: int, future: Future) -> None:
+        """Done-callback: feed one chunk's measured cost to the cost model."""
+        if future.cancelled() or future.exception() is not None:
+            return
+        _result, elapsed = future.result()
+        model, key = self._cost_probe
+        model.observe_run(key, shots, elapsed)
 
     def _distribution_completed(self, future: Future) -> None:
         """Done-callback: store the finished chunk's distribution."""

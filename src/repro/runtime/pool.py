@@ -102,12 +102,34 @@ _stats = {"created": 0, "reused": 0}
 
 def _make_executor(kind: str, width: Optional[int]) -> Executor:
     if kind == "serial":
-        return SerialExecutor()
-    if kind == "thread":
-        return ThreadPoolExecutor(
+        pool: Executor = SerialExecutor()
+    elif kind == "thread":
+        pool = ThreadPoolExecutor(
             max_workers=width, thread_name_prefix="repro-runtime"
         )
-    return ProcessPoolExecutor(max_workers=width)
+    else:
+        pool = ProcessPoolExecutor(max_workers=width)
+    pool._repro_kind = kind
+    return pool
+
+
+def executor_kind(executor: Executor) -> Optional[str]:
+    """Return an executor's kind (``"serial"``/``"thread"``/``"process"``).
+
+    Registry-created pools carry an explicit tag; foreign executors fall
+    back to an isinstance probe, and ``None`` means "unknown" — callers
+    (like the process-fan-out prepare step) must then assume nothing.
+    """
+    kind = getattr(executor, "_repro_kind", None)
+    if kind is not None:
+        return kind
+    if isinstance(executor, ProcessPoolExecutor):
+        return "process"
+    if isinstance(executor, ThreadPoolExecutor):
+        return "thread"
+    if isinstance(executor, SerialExecutor):
+        return "serial"
+    return None
 
 
 def _is_broken(pool: Executor) -> bool:

@@ -90,6 +90,22 @@ def list_backends() -> List[str]:
     return sorted(specs)
 
 
+def _spec_forms() -> str:
+    """Describe the valid spec grammar with the live registry contents.
+
+    Shared by every lookup error so a failed ``get_backend("densitymatrix")``
+    or ``get_backend("noisy-ibmqx4")`` tells the caller both *what the
+    registered names are* and *what shape a spec takes*, instead of a bare
+    rejection.
+    """
+    return (
+        "valid spec forms: '<backend>' with backend in "
+        f"{sorted(_BACKEND_FACTORIES)}, or '<family>:<device>' with family in "
+        f"{sorted(_DEVICE_BACKEND_FAMILIES)} and device in "
+        f"{sorted(_DEVICE_FACTORIES)}"
+    )
+
+
 def get_backend(spec: str, **options) -> Backend:
     """Instantiate a backend from its spec string.
 
@@ -104,29 +120,34 @@ def get_backend(spec: str, **options) -> Backend:
     Raises
     ------
     ProviderError
-        On an unknown spec or malformed device form.
+        On an unknown spec or malformed device form; the message always
+        lists the registered providers and the valid spec forms.
     """
     if not isinstance(spec, str) or not spec:
-        raise ProviderError(f"backend spec must be a non-empty string, got {spec!r}")
+        raise ProviderError(
+            f"backend spec must be a non-empty string, got {spec!r}; "
+            f"{_spec_forms()}"
+        )
     if ":" not in spec:
         factory = _BACKEND_FACTORIES.get(spec)
         if factory is None:
             raise ProviderError(
-                f"unknown backend {spec!r}; available: {list_backends()}"
+                f"unknown backend {spec!r}; registered specs: {list_backends()}; "
+                f"{_spec_forms()}"
             )
         return factory(**options)
     family, _, device_name = spec.partition(":")
     backend_factory = _DEVICE_BACKEND_FAMILIES.get(family)
     if backend_factory is None:
         raise ProviderError(
-            f"unknown backend family {family!r} in {spec!r}; "
-            f"families: {sorted(_DEVICE_BACKEND_FAMILIES)}"
+            f"unknown backend family {family!r} in {spec!r}; registered "
+            f"families: {sorted(_DEVICE_BACKEND_FAMILIES)}; {_spec_forms()}"
         )
     device_factory = _DEVICE_FACTORIES.get(device_name)
     if device_factory is None:
         raise ProviderError(
-            f"unknown device {device_name!r} in {spec!r}; "
-            f"devices: {sorted(_DEVICE_FACTORIES)}"
+            f"unknown device {device_name!r} in {spec!r}; registered "
+            f"devices: {sorted(_DEVICE_FACTORIES)}; {_spec_forms()}"
         )
     return backend_factory(device_factory(), **options)
 

@@ -1,0 +1,608 @@
+"""Cost-model-driven adaptive scheduling: chunk sizing, executor choice,
+and a fair-share multi-client submission queue.
+
+PR 2 gave the runtime shared pools and PR 3 persistent caches, but every
+``execute()`` call still picked ``chunk_shots``, executor kind and worker
+width by hand.  This module closes that loop with the measure-then-decide
+discipline of profile-guided optimisation:
+
+* :func:`plan_chunk_shots` sizes shot chunks for the per-shot Monte-Carlo
+  engines from the :class:`~repro.runtime.profile.CostModel`'s measured
+  per-shot cost — enough chunks to saturate the pool, never so many that
+  scheduling overhead dominates.  Exact-distribution engines are never
+  chunked (their simulation cost is shots-independent).
+* :func:`executor_kind_for` maps a backend to its natural executor:
+  ``"process"`` for the GIL-bound per-shot engines (stabilizer,
+  trajectory), ``"thread"`` for the NumPy engines whose kernels release
+  the GIL.  ``$REPRO_EXECUTOR`` and an explicit ``executor=`` always win.
+* :class:`Scheduler` is a submission front door for *many clients*:
+  weighted round-robin dispatch across per-client queues, priority order
+  within a client, and bounded in-flight admission control layered on the
+  existing ``execute()``/:class:`~repro.runtime.job.JobSet` machinery.
+
+Determinism contract
+--------------------
+Adaptive decisions never change counts for a seeded call.  Counts are a
+pure function of ``(circuit, backend, shots, seed, chunk_shots)``; the
+adaptive scheduler therefore only varies the pieces outside that tuple —
+executor kind, pool width, dispatch order — and applies cost-driven chunk
+sizing exactly where it is count-transparent or explicitly requested:
+
+* ``seed=None`` jobs (no reproducibility contract — every run draws fresh
+  entropy) are chunked freely;
+* ``chunk_shots="auto"`` is an explicit opt-in for seeded jobs: the
+  resolved size is deterministic given the model state, recorded in the
+  job's plan, and the counts equal ``schedule="fixed"`` with that same
+  explicit ``chunk_shots`` (``tests/runtime/test_schedule_determinism.py``
+  pins both halves of the contract);
+* everything else runs the fixed plan's chunk schedule verbatim, so
+  ``schedule="adaptive"`` is bit-identical to ``schedule="fixed"`` for a
+  fixed seed on every backend family and executor kind.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+import threading
+from typing import Dict, List, Optional
+
+from repro.exceptions import JobError
+from repro.runtime.profile import DEFAULT_COST_MODEL, CostModel, profile_key
+from repro.runtime.pool import default_max_workers
+
+#: The selectable scheduling modes.
+SCHEDULE_MODES = ("adaptive", "fixed")
+
+#: Environment variable naming the default scheduling mode.
+SCHEDULE_ENV_VAR = "REPRO_SCHEDULE"
+
+#: Adaptive chunks aim for roughly this much work per pool task: large
+#: enough that per-task submit/pickle overhead stays in the noise, small
+#: enough that a long job streams progress through the pool.
+TARGET_CHUNK_SECONDS = 0.2
+
+#: Estimated job cost below which splitting is pure overhead.
+SPLIT_THRESHOLD_SECONDS = 0.05
+
+#: Never emit chunks smaller than this many shots.
+MIN_CHUNK_SHOTS = 16
+
+#: At most this many chunks per pool worker (bounded oversubscription
+#: keeps the tail short without flooding the queue).
+OVERSUBSCRIBE = 4
+
+
+def default_schedule_mode() -> str:
+    """Return the default mode: ``$REPRO_SCHEDULE`` or ``"adaptive"``."""
+    mode = os.environ.get(SCHEDULE_ENV_VAR, "").strip().lower()
+    if not mode:
+        return "adaptive"
+    if mode not in SCHEDULE_MODES:
+        raise JobError(
+            f"{SCHEDULE_ENV_VAR}={mode!r} is not a valid schedule mode; "
+            f"choose from {list(SCHEDULE_MODES)}"
+        )
+    return mode
+
+
+def resolve_schedule_mode(schedule: Optional[str]) -> str:
+    """Map an ``execute(schedule=...)`` argument to a concrete mode."""
+    if schedule is None:
+        return default_schedule_mode()
+    if schedule not in SCHEDULE_MODES:
+        raise JobError(
+            f"unknown schedule mode {schedule!r}; choose from {list(SCHEDULE_MODES)}"
+        )
+    return schedule
+
+
+def is_per_shot_backend(backend) -> bool:
+    """Return ``True`` for engines that sample shot by shot.
+
+    Backends that report exact distributions (``returns_probabilities``)
+    simulate once and draw counts in a single multinomial — shots cost
+    next to nothing, so neither chunking nor process fan-out helps them.
+    Everything else (stabilizer, trajectory, arbitrary user engines) pays
+    per shot and is worth sharding.
+    """
+    return not getattr(backend, "returns_probabilities", False)
+
+
+def executor_kind_for(backend) -> str:
+    """Return the backend's natural executor kind (no overrides applied).
+
+    The per-shot engines are pure Python, so only worker *processes* can
+    overlap their shots; the NumPy engines release the GIL inside their
+    kernels and run cheaper on threads (no pickling, shared caches).
+    """
+    return "process" if is_per_shot_backend(backend) else "thread"
+
+
+def plan_chunk_shots(
+    backend,
+    circuit,
+    shots: int,
+    width: Optional[int] = None,
+    cost_model: Optional[CostModel] = None,
+) -> Optional[int]:
+    """Pick an adaptive ``chunk_shots`` for one job, or ``None`` (unchunked).
+
+    Deterministic given the model state: the same ``(backend, circuit,
+    shots, width)`` against the same profile always plans the same split.
+
+    * Exact-distribution backends and single-worker pools never chunk.
+    * With no measured cost yet (cold model), the bootstrap plan splits
+      into one chunk per worker — saturating the pool is the best guess
+      available — subject to the :data:`MIN_CHUNK_SHOTS` floor.
+    * With a measured per-shot cost, jobs cheaper than
+      :data:`SPLIT_THRESHOLD_SECONDS` stay whole, and everything else is
+      cut into roughly :data:`TARGET_CHUNK_SECONDS` pieces, at least one
+      per worker when the job is big enough and at most
+      :data:`OVERSUBSCRIBE` per worker.
+    """
+    if shots <= MIN_CHUNK_SHOTS or not is_per_shot_backend(backend):
+        return None
+    width = width if width is not None else default_max_workers()
+    if width <= 1:
+        return None
+    model = cost_model if cost_model is not None else DEFAULT_COST_MODEL
+    per_shot = model.per_shot(profile_key(backend, circuit))
+    if per_shot is None:
+        chunk = max(MIN_CHUNK_SHOTS, math.ceil(shots / width))
+        return chunk if chunk < shots else None
+    total = per_shot * shots
+    if total < SPLIT_THRESHOLD_SECONDS:
+        return None
+    chunks = min(width * OVERSUBSCRIBE, max(1, math.ceil(total / TARGET_CHUNK_SECONDS)))
+    if total >= width * SPLIT_THRESHOLD_SECONDS:
+        chunks = max(chunks, width)  # enough pieces to saturate the pool
+    chunks = min(chunks, shots // MIN_CHUNK_SHOTS)
+    if chunks <= 1:
+        return None
+    chunk = math.ceil(shots / chunks)
+    return chunk if chunk < shots else None
+
+
+# ----------------------------------------------------------------------
+# Fair-share multi-client submission queue
+# ----------------------------------------------------------------------
+
+
+_BATCH_QUEUED = "queued"
+_BATCH_RUNNING = "running"
+_BATCH_DONE = "done"
+_BATCH_FAILED = "failed"
+
+
+class ScheduledBatch:
+    """One client's submission, in the scheduler's hands.
+
+    Returned immediately by :meth:`Scheduler.submit`; the underlying
+    :class:`~repro.runtime.job.JobSet` exists only once the fair-share
+    dispatcher admits the batch.  Collection blocks until then.
+    """
+
+    def __init__(self, client: str, priority: int, size: int) -> None:
+        self.client = client
+        self.priority = int(priority)
+        self.size = size
+        self._dispatched = threading.Event()
+        self._jobset = None
+        self._error: Optional[BaseException] = None
+
+    # -- scheduler-internal ---------------------------------------------
+
+    def _mark_dispatched(self, jobset) -> None:
+        self._jobset = jobset
+        self._dispatched.set()
+
+    def _mark_failed(self, error: BaseException) -> None:
+        self._error = error
+        self._dispatched.set()
+
+    # -- client surface -------------------------------------------------
+
+    @property
+    def dispatched(self) -> bool:
+        """Return ``True`` once the batch has left the queue (or failed)."""
+        return self._dispatched.is_set()
+
+    def status(self) -> str:
+        """Return ``"queued"``, ``"running"``, ``"done"`` or ``"failed"``."""
+        if not self._dispatched.is_set():
+            return _BATCH_QUEUED
+        if self._error is not None:
+            return _BATCH_FAILED
+        return _BATCH_DONE if self._jobset.done() else _BATCH_RUNNING
+
+    def jobs(self, timeout: Optional[float] = None):
+        """Block until dispatch and return the batch's :class:`JobSet`."""
+        if not self._dispatched.wait(timeout):
+            raise JobError(
+                f"batch for client {self.client!r} not dispatched within {timeout}s"
+            )
+        if self._error is not None:
+            raise JobError(
+                f"batch for client {self.client!r} failed to dispatch: {self._error}"
+            ) from self._error
+        return self._jobset
+
+    def result(self, timeout: Optional[float] = None):
+        """Block for dispatch *and* completion; return the results in order.
+
+        ``timeout`` is one deadline covering both waits — time spent in
+        the queue is not granted again to collection.
+        """
+        import time
+
+        deadline = None if timeout is None else time.monotonic() + timeout
+        jobset = self.jobs(timeout)
+        remaining = (
+            None if deadline is None else max(0.0, deadline - time.monotonic())
+        )
+        return jobset.result(timeout=remaining)
+
+    def counts(self, timeout: Optional[float] = None):
+        """Shorthand for ``[r.counts for r in batch.result()]`` (one shared
+        deadline, exactly like :meth:`result`)."""
+        return [result.counts for result in self.result(timeout=timeout)]
+
+    def done(self) -> bool:
+        """Return ``True`` once every job finished (or dispatch failed)."""
+        return self.status() in (_BATCH_DONE, _BATCH_FAILED)
+
+    def __repr__(self) -> str:
+        return (
+            f"<ScheduledBatch client={self.client!r} size={self.size} "
+            f"priority={self.priority} status={self.status()}>"
+        )
+
+
+class _ClientState:
+    """Per-client queue and statistics (scheduler lock guards everything)."""
+
+    __slots__ = ("name", "weight", "pending", "stats")
+
+    def __init__(self, name: str, weight: int) -> None:
+        self.name = name
+        self.weight = weight
+        #: Pending (batch, entry) kept sorted: higher priority first,
+        #: submission order within a priority.
+        self.pending: List[tuple] = []
+        self.stats = {
+            "submitted_batches": 0,
+            "dispatched_batches": 0,
+            "completed_batches": 0,
+            "failed_batches": 0,
+            "submitted_jobs": 0,
+            "completed_jobs": 0,
+        }
+
+    def record_failure(self, batch: "ScheduledBatch", error) -> None:
+        """Retire ``batch`` as failed: its jobs will never run, so they
+        count as settled — submitted vs completed must keep reconciling."""
+        self.stats["completed_batches"] += 1
+        self.stats["failed_batches"] += 1
+        self.stats["completed_jobs"] += batch.size
+        batch._mark_failed(error)
+
+
+class Scheduler:
+    """Fair-share submission queue over the runtime's execution stack.
+
+    Many clients — sweep drivers, CI shards, interactive sessions —
+    ``submit()`` batches concurrently; a dispatcher thread admits them
+    into ``execute()`` under two policies:
+
+    * **Weighted round-robin** across clients: each scheduling round
+      grants every client with pending work ``weight`` dispatch slots, so
+      a weight-3 client drains three batches for every one of a weight-1
+      client, and no client starves.  Within one client, higher
+      ``priority`` batches go first (submission order breaks ties).
+    * **Bounded admission**: at most ``max_in_flight`` *jobs* (circuits)
+      are in the execution stack at once; further batches wait in the
+      queue.  A batch larger than the whole bound is admitted alone — it
+      could never run otherwise.
+
+    Scheduling policy affects *when* work starts, never what it computes:
+    every batch flows through the same ``execute()`` the caller would have
+    used, so counts keep the runtime's seed-determinism contract.
+
+    Parameters
+    ----------
+    max_in_flight:
+        In-flight job bound (default: ``4 * default_max_workers()``).
+    executor / max_workers / schedule:
+        Forwarded to every ``execute()`` call (per-batch ``**options``
+        override them).
+    """
+
+    def __init__(
+        self,
+        max_in_flight: Optional[int] = None,
+        executor: Optional[str] = None,
+        max_workers: Optional[int] = None,
+        schedule: Optional[str] = None,
+        poll_interval: float = 0.002,
+    ) -> None:
+        if max_in_flight is None:
+            max_in_flight = 4 * default_max_workers()
+        if max_in_flight < 1:
+            raise JobError(f"max_in_flight must be positive, got {max_in_flight}")
+        self.max_in_flight = int(max_in_flight)
+        self.executor = executor
+        self.max_workers = max_workers
+        self.schedule = schedule
+        self._poll_interval = float(poll_interval)
+        self._lock = threading.Condition()
+        self._clients: Dict[str, _ClientState] = {}
+        self._round: List[str] = []  # remaining WRR slots of the current round
+        self._in_flight: List[ScheduledBatch] = []
+        self._in_flight_jobs = 0
+        self._sequence = 0
+        self._dispatched_total = 0
+        self._closed = False
+        self._thread: Optional[threading.Thread] = None
+
+    # ------------------------------------------------------------------
+    # Client surface
+    # ------------------------------------------------------------------
+
+    def client(self, name: str, weight: int = 1) -> None:
+        """Register ``name`` (or update its ``weight``; default 1)."""
+        if weight < 1:
+            raise JobError(f"client weight must be positive, got {weight}")
+        with self._lock:
+            state = self._clients.get(name)
+            if state is None:
+                self._clients[name] = _ClientState(name, int(weight))
+            else:
+                state.weight = int(weight)
+
+    def submit(
+        self,
+        circuits,
+        backend,
+        shots=1024,
+        seed=None,
+        client: str = "default",
+        priority: int = 0,
+        **options,
+    ) -> ScheduledBatch:
+        """Queue a batch for ``client`` and return its handle immediately.
+
+        ``circuits``/``backend``/``shots``/``seed`` and ``**options`` are
+        exactly :func:`repro.runtime.execute.execute`'s arguments; the
+        scheduler's ``executor``/``max_workers``/``schedule`` defaults
+        apply unless the batch overrides them.  ``priority`` orders
+        batches *within* this client's queue (cross-client order is the
+        weighted round-robin's business).
+        """
+        from repro.circuits.circuit import QuantumCircuit
+
+        circuit_list = (
+            [circuits] if isinstance(circuits, QuantumCircuit) else list(circuits)
+        )
+        batch = ScheduledBatch(client, priority, len(circuit_list))
+        spec = {
+            "circuits": circuit_list,
+            "backend": backend,
+            "shots": shots,
+            "seed": seed,
+            "options": options,
+        }
+        with self._lock:
+            if self._closed:
+                raise JobError("scheduler is shut down")
+            state = self._clients.get(client)
+            if state is None:
+                state = _ClientState(client, 1)
+                self._clients[client] = state
+            self._sequence += 1
+            entry = (-batch.priority, self._sequence, spec)
+            # Insertion sort keeps the queue ordered without re-sorting on
+            # every dispatch; queues are short relative to batch cost.
+            position = len(state.pending)
+            for i, (existing, _b) in enumerate(state.pending):
+                if entry[:2] < existing[:2]:
+                    position = i
+                    break
+            state.pending.insert(position, (entry, batch))
+            state.stats["submitted_batches"] += 1
+            state.stats["submitted_jobs"] += batch.size
+            self._ensure_thread()
+            self._lock.notify_all()
+        return batch
+
+    # ------------------------------------------------------------------
+    # Dispatch
+    # ------------------------------------------------------------------
+
+    def _ensure_thread(self) -> None:
+        """Start the dispatcher lazily (caller holds the lock)."""
+        if self._thread is None or not self._thread.is_alive():
+            self._thread = threading.Thread(
+                target=self._dispatch_loop, name="repro-scheduler", daemon=True
+            )
+            self._thread.start()
+
+    def _admits(self, batch: ScheduledBatch) -> bool:
+        """Admission control (caller holds the lock)."""
+        if not self._in_flight:
+            return True  # never deadlock on an over-sized batch
+        return self._in_flight_jobs + batch.size <= self.max_in_flight
+
+    def _next_slot(self) -> Optional[_ClientState]:
+        """Return the next WRR client with pending work (holds the lock).
+
+        The round list grants each client ``weight`` consecutive slots per
+        round, rebuilt from the live registrations whenever it runs dry.
+        Empty-handed slots (client drained mid-round) are skipped.
+        """
+        for _ in range(2):  # current round, then at most one rebuild
+            while self._round:
+                name = self._round.pop(0)
+                state = self._clients.get(name)
+                if state is not None and state.pending:
+                    return state
+            self._round = [
+                name
+                for name, state in self._clients.items()
+                for _slot in range(state.weight)
+                if state.pending
+            ]
+            if not self._round:
+                return None
+        return None
+
+    def _dispatch_one(self, state: _ClientState) -> None:
+        """Pop and execute ``state``'s head batch (caller holds the lock)."""
+        _entry, batch = state.pending.pop(0)
+        spec = _entry[2]
+        options = dict(spec["options"])
+        options.setdefault("executor", self.executor)
+        options.setdefault("max_workers", self.max_workers)
+        options.setdefault("schedule", self.schedule)
+        self._in_flight.append(batch)
+        self._in_flight_jobs += batch.size
+        state.stats["dispatched_batches"] += 1
+        self._dispatched_total += 1
+        self._lock.release()
+        # execute() outside the lock: submission may pay pool creation,
+        # transpiles and (serial executor) the entire simulation.
+        try:
+            from repro.runtime.execute import execute
+
+            jobset = execute(
+                spec["circuits"],
+                spec["backend"],
+                shots=spec["shots"],
+                seed=spec["seed"],
+                **options,
+            )
+        except BaseException as exc:
+            self._lock.acquire()
+            self._in_flight.remove(batch)
+            self._in_flight_jobs -= batch.size
+            state.record_failure(batch, exc)
+            return
+        self._lock.acquire()
+        batch._mark_dispatched(jobset)
+
+    def _reap_completed(self) -> bool:
+        """Retire finished in-flight batches (caller holds the lock)."""
+        finished = [
+            b for b in self._in_flight if b._jobset is not None and b._jobset.done()
+        ]
+        for batch in finished:
+            self._in_flight.remove(batch)
+            self._in_flight_jobs -= batch.size
+            state = self._clients[batch.client]
+            state.stats["completed_batches"] += 1
+            state.stats["completed_jobs"] += batch.size
+        return bool(finished)
+
+    def _dispatch_loop(self) -> None:
+        with self._lock:
+            while True:
+                progressed = self._reap_completed()
+                while True:
+                    state = self._next_slot()
+                    if state is None:
+                        break
+                    _entry, head = state.pending[0]
+                    if not self._admits(head):
+                        # Head-of-line blocks the round: credits are spent
+                        # in order, so fairness is preserved across waits.
+                        self._round.insert(0, state.name)
+                        break
+                    self._dispatch_one(state)
+                    progressed = True
+                if progressed:
+                    self._lock.notify_all()
+                if self._closed and not self._in_flight and not self._has_pending():
+                    return
+                if self._in_flight:
+                    # Completion has no callback that covers derived jobs;
+                    # poll like JobSet.as_completed does.
+                    self._lock.wait(self._poll_interval)
+                else:
+                    self._lock.wait(0.2 if self._closed else None)
+
+    def _has_pending(self) -> bool:
+        return any(state.pending for state in self._clients.values())
+
+    # ------------------------------------------------------------------
+    # Introspection / lifecycle
+    # ------------------------------------------------------------------
+
+    def stats(self) -> dict:
+        """Return queue depth, in-flight load, and per-client counters."""
+        with self._lock:
+            return {
+                "max_in_flight": self.max_in_flight,
+                "in_flight_jobs": self._in_flight_jobs,
+                "in_flight_batches": len(self._in_flight),
+                "queued_batches": sum(
+                    len(state.pending) for state in self._clients.values()
+                ),
+                "dispatched_batches": self._dispatched_total,
+                "clients": {
+                    name: dict(state.stats, weight=state.weight)
+                    for name, state in self._clients.items()
+                },
+            }
+
+    def wait_idle(self, timeout: Optional[float] = None) -> bool:
+        """Block until nothing is queued or in flight; ``False`` on timeout."""
+        import time
+
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._lock:
+            while self._has_pending() or self._in_flight:
+                remaining = (
+                    None if deadline is None else deadline - time.monotonic()
+                )
+                if remaining is not None and remaining <= 0:
+                    return False
+                self._lock.wait(
+                    self._poll_interval
+                    if self._in_flight
+                    else remaining
+                )
+            return True
+
+    def shutdown(self, wait: bool = True) -> None:
+        """Stop accepting work; drain (``wait=True``) or cancel the queue.
+
+        With ``wait=False`` every still-queued batch is failed so no
+        caller blocks forever on a handle that will never dispatch.
+        """
+        with self._lock:
+            self._closed = True
+            if not wait:
+                for state in self._clients.values():
+                    for _entry, batch in state.pending:
+                        state.record_failure(
+                            batch, JobError("scheduler was shut down")
+                        )
+                    state.pending.clear()
+            thread = self._thread
+            self._lock.notify_all()
+        if thread is not None and thread.is_alive():
+            thread.join()
+
+    def __enter__(self) -> "Scheduler":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown(wait=exc_info[0] is None)
+
+    def __repr__(self) -> str:
+        stats = self.stats()
+        return (
+            f"<Scheduler clients={len(stats['clients'])} "
+            f"queued={stats['queued_batches']} "
+            f"in_flight={stats['in_flight_jobs']}/{self.max_in_flight}>"
+        )

@@ -68,6 +68,59 @@ class TestGetBackend:
             get_backend("")
 
 
+class TestErrorMessagesListProviders:
+    """Satellite: lookup failures must teach the caller the registry."""
+
+    def test_unknown_backend_lists_specs_and_forms(self):
+        with pytest.raises(ProviderError) as excinfo:
+            get_backend("quantum_annealer")
+        message = str(excinfo.value)
+        assert "registered specs" in message
+        assert "statevector" in message
+        assert "noisy:ibmqx4" in message
+        assert "valid spec forms" in message
+        assert "'<family>:<device>'" in message
+
+    def test_unknown_family_lists_families_and_devices(self):
+        with pytest.raises(ProviderError) as excinfo:
+            get_backend("exact:ibmqx4")
+        message = str(excinfo.value)
+        assert "registered families" in message
+        assert "'noisy'" in message
+        assert "'trajectory'" in message
+        assert "'ibmqx4'" in message
+        assert "valid spec forms" in message
+
+    def test_unknown_device_lists_devices(self):
+        with pytest.raises(ProviderError) as excinfo:
+            get_backend("noisy:ibmqx9000")
+        message = str(excinfo.value)
+        assert "registered devices" in message
+        assert "'ibmqx4'" in message
+        assert "'linear5'" in message
+        assert "valid spec forms" in message
+
+    def test_non_string_spec_explains_forms(self):
+        with pytest.raises(ProviderError) as excinfo:
+            get_backend(None)
+        message = str(excinfo.value)
+        assert "non-empty string" in message
+        assert "valid spec forms" in message
+        assert "'statevector'" in message
+
+    def test_runtime_registrations_appear_in_message(self):
+        """The message reflects the *live* registry, not a frozen list."""
+        from repro.runtime import provider
+
+        register_backend("msg_probe_engine", StatevectorBackend)
+        try:
+            with pytest.raises(ProviderError) as excinfo:
+                get_backend("nope")
+            assert "msg_probe_engine" in str(excinfo.value)
+        finally:
+            provider._BACKEND_FACTORIES.pop("msg_probe_engine", None)
+
+
 class TestListBackends:
     def test_contains_all_forms(self):
         specs = list_backends()

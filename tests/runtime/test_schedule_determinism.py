@@ -1,0 +1,139 @@
+"""Satellite: ``schedule="adaptive"`` is bit-identical to ``schedule="fixed"``.
+
+The adaptive scheduler may re-route executors, re-size unseeded chunks and
+re-order dispatch — but for a fixed seed the counts contract is absolute:
+counts are a pure function of ``(circuit, backend, shots, seed,
+chunk_shots)``, so both scheduling modes must draw exactly the same
+histograms on every backend family and every executor kind, cold or warm
+cost model.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuits import library
+from repro.core.injector import AssertionInjector
+from repro.runtime import DEFAULT_COST_MODEL, execute, get_backend, profile_key
+from repro.runtime.pool import EXECUTOR_KINDS
+
+#: All four backend families; trajectory at scale 0.25 keeps it fast.
+BACKEND_SPECS = [
+    ("statevector", {}),
+    ("density_matrix", {}),
+    ("stabilizer", {}),
+    ("trajectory:ibmqx4", {"noise_scale": 0.25}),
+]
+
+
+def instrumented_circuit():
+    injector = AssertionInjector(library.bell_pair())
+    injector.assert_entangled([0, 1])
+    injector.measure_program()
+    return injector.circuit
+
+
+@pytest.mark.parametrize("spec, options", BACKEND_SPECS)
+@pytest.mark.parametrize("kind", EXECUTOR_KINDS)
+class TestAdaptiveEqualsFixedMatrix:
+    """The acceptance matrix: 4 backend families x 3 executors."""
+
+    def test_unchunked_seeded(self, spec, options, kind):
+        adaptive = execute(
+            instrumented_circuit(), get_backend(spec, **options), shots=192,
+            seed=37, executor=kind, max_workers=3, schedule="adaptive",
+        ).counts()
+        fixed = execute(
+            instrumented_circuit(), get_backend(spec, **options), shots=192,
+            seed=37, executor=kind, max_workers=3, schedule="fixed",
+        ).counts()
+        assert dict(adaptive) == dict(fixed)
+
+    def test_explicit_chunking_seeded(self, spec, options, kind):
+        adaptive = execute(
+            instrumented_circuit(), get_backend(spec, **options), shots=192,
+            seed=23, chunk_shots=64, executor=kind, max_workers=3,
+            schedule="adaptive",
+        ).counts()
+        fixed = execute(
+            instrumented_circuit(), get_backend(spec, **options), shots=192,
+            seed=23, chunk_shots=64, executor=kind, max_workers=3,
+            schedule="fixed",
+        ).counts()
+        assert dict(adaptive) == dict(fixed)
+
+    def test_batch_with_dedupe(self, spec, options, kind):
+        circuits = [instrumented_circuit() for _ in range(3)]
+        backend = get_backend(spec, **options)
+        adaptive = execute(
+            circuits, backend, shots=128, seed=[5, 6, 5], executor=kind,
+            max_workers=3, schedule="adaptive",
+        ).counts()
+        fixed = execute(
+            circuits, backend, shots=128, seed=[5, 6, 5], executor=kind,
+            max_workers=3, schedule="fixed",
+        ).counts()
+        assert [dict(c) for c in adaptive] == [dict(c) for c in fixed]
+
+
+class TestWarmProfileNeverLeaksIntoSeededCounts:
+    """A learned profile must not change a seeded call's histogram."""
+
+    @pytest.mark.parametrize("spec, options", BACKEND_SPECS)
+    def test_heavily_warmed_model_same_counts(self, spec, options):
+        backend = get_backend(spec, **options)
+        circuit = instrumented_circuit()
+        baseline = execute(
+            circuit, backend, shots=160, seed=71, executor="serial",
+            max_workers=4, schedule="adaptive",
+        ).counts()
+        # Teach the model an enormous per-shot cost: if seeded adaptive
+        # chunking existed, this would force a split and change counts.
+        DEFAULT_COST_MODEL.observe_run(profile_key(backend, circuit), 10, 1000.0)
+        warmed = execute(
+            circuit, backend, shots=160, seed=71, executor="serial",
+            max_workers=4, schedule="adaptive",
+        ).counts()
+        assert dict(warmed) == dict(baseline)
+
+
+class TestHypothesisScheduleEquivalence:
+    """Property: any (shots, seed, chunk_shots) draws identical counts
+    under both scheduling modes."""
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        shots=st.integers(min_value=1, max_value=300),
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+        chunk=st.one_of(st.none(), st.integers(min_value=16, max_value=128)),
+    )
+    def test_per_shot_engine(self, shots, seed, chunk):
+        backend = get_backend("stabilizer")
+        adaptive = execute(
+            instrumented_circuit(), backend, shots=shots, seed=seed,
+            chunk_shots=chunk, executor="serial", max_workers=4,
+            schedule="adaptive",
+        ).counts()
+        fixed = execute(
+            instrumented_circuit(), backend, shots=shots, seed=seed,
+            chunk_shots=chunk, executor="serial", max_workers=4,
+            schedule="fixed",
+        ).counts()
+        assert dict(adaptive) == dict(fixed)
+
+    @settings(max_examples=10, deadline=None)
+    @given(
+        shots=st.integers(min_value=1, max_value=300),
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    def test_exact_engine(self, shots, seed):
+        backend = get_backend("statevector")
+        adaptive = execute(
+            instrumented_circuit(), backend, shots=shots, seed=seed,
+            executor="serial", schedule="adaptive",
+        ).counts()
+        fixed = execute(
+            instrumented_circuit(), backend, shots=shots, seed=seed,
+            executor="serial", schedule="fixed",
+        ).counts()
+        assert dict(adaptive) == dict(fixed)

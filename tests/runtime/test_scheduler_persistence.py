@@ -1,0 +1,78 @@
+"""Cross-process cost-profile persistence: the scheduler's warm-start claim.
+
+A cold process learns per-shot costs from its own chunks; with a
+``REPRO_CACHE_DIR`` attached those profiles persist, and a *warm* process
+must know the measured per-shot cost — and plan data-driven chunk sizes —
+before its first job runs.  Driven through the shared
+:mod:`repro.runtime.harness` subprocess sweep driver (the only honest way
+to test cross-process behaviour), on the trajectory engine so the per-shot
+path is the one profiled.
+"""
+
+import pytest
+
+from repro.runtime.harness import run_sweep_process
+
+
+@pytest.fixture(scope="module")
+def profile_runs(tmp_path_factory):
+    """A cold and a warm trajectory sweep sharing one cache directory."""
+    cache_dir = tmp_path_factory.mktemp("cache")
+    kwargs = dict(
+        cache_dir=cache_dir,
+        variants=("bell-entangled",),
+        shots=96,
+        repeats=2,
+        backend="trajectory:ibmqx4",
+    )
+    cold, _ = run_sweep_process(**kwargs)
+    warm, _ = run_sweep_process(**kwargs)
+    return {"cold": cold, "warm": warm}
+
+
+class TestProfilePersistence:
+    def test_cold_process_starts_ignorant(self, profile_runs):
+        assert profile_runs["cold"]["profile"]["warm_estimate"] is None
+
+    def test_cold_process_learns(self, profile_runs):
+        cold = profile_runs["cold"]["profile"]
+        assert cold["per_shot_after"] is not None
+        assert cold["per_shot_after"] > 0
+        assert cold["samples_after"] >= 1
+
+    def test_warm_process_knows_costs_before_first_job(self, profile_runs):
+        """The acceptance criterion: a fresh interpreter schedules from
+        persisted measurements on its very first call."""
+        warm = profile_runs["warm"]["profile"]
+        assert warm["warm_estimate"] is not None
+        assert warm["warm_estimate"] > 0
+        # The pre-run adaptive plan is data-driven, not the cold bootstrap.
+        cold_plan = profile_runs["cold"]["profile"]["warm_plan"]
+        assert warm["warm_plan"] is None or warm["warm_plan"] >= 1
+        assert cold_plan == 24  # bootstrap: 96 shots / width 4
+
+    def test_warm_counts_bit_identical(self, profile_runs):
+        """Profiles steer scheduling, never counts: both processes seeded
+        identically must agree bit-for-bit."""
+        assert profile_runs["warm"]["counts"] == profile_runs["cold"]["counts"]
+
+    def test_profiles_survive_more_processes(self, profile_runs, tmp_path):
+        """Samples accumulate: the warm process folds its own observations
+        into the persisted EWMA rather than starting over."""
+        warm = profile_runs["warm"]["profile"]
+        assert warm["samples_after"] >= profile_runs["cold"]["profile"][
+            "samples_after"
+        ]
+
+
+def test_memory_only_process_reports_no_estimate(tmp_path):
+    """Without a cache dir nothing persists — warm_estimate stays None."""
+    report, _ = run_sweep_process(
+        cache_dir=None,
+        variants=("bell-entangled",),
+        shots=48,
+        repeats=1,
+        backend="trajectory:ibmqx4",
+    )
+    assert report["profile"]["warm_estimate"] is None
+    assert report["profile"]["per_shot_after"] is not None
