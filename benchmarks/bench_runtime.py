@@ -25,21 +25,28 @@ The v4 bench covers the scheduler: a long unseeded trajectory job under
 ``schedule="fixed"`` runs as one pool task, while ``schedule="adaptive"``
 shards it into cost-model-sized chunks that saturate the process pool.
 
+The v5 bench covers the batch-axis engine: the same 5-qubit noisy
+assertion workload at 4096 shots through ``method="loop"`` (the per-shot
+walker) vs ``method="batched"`` (all shots of a tile evolve along a NumPy
+batch axis) — bit-identical counts, target >= 10x.
+
 Counts are asserted bit-identical between every pair of paths (the
 runtime's determinism contract) and each optimized wall-clock must beat
 its baseline.
 
 Run with ``pytest benchmarks/bench_runtime.py -s`` to see the numbers.
+Every case also records its wall-clocks into ``BENCH_runtime.json`` (see
+``conftest.record``) so the perf trajectory is tracked across PRs.
 """
 
 import os
 import time
 
-from conftest import emit
+from conftest import emit, record
 
 from repro.circuits import library
 from repro.core.injector import AssertionInjector
-from repro.devices.backend import NoisyDeviceBackend
+from repro.devices.backend import NoisyDeviceBackend, TrajectoryDeviceBackend
 from repro.devices.ibmqx4 import ibmqx4
 from repro.runtime import DistributionCache, TranspileCache, execute, get_backend
 
@@ -104,6 +111,10 @@ def test_batched_execute_beats_sequential_loop():
         f"batched path ({batched_s:.3f}s) should beat the sequential loop "
         f"({sequential_s:.3f}s)"
     )
+    record(
+        "batched_execute_vs_sequential_loop", sequential_s, batched_s,
+        jobs=len(circuits), distinct_circuits=distinct,
+    )
     emit(
         "runtime bench — batched execute() vs sequential backend.run() loop\n"
         f"jobs            : {len(circuits)} ({distinct} distinct circuits)\n"
@@ -142,6 +153,7 @@ def test_resampled_shot_sweep_simulates_once():
 
     for loop_result, job_result in zip(dedicated, results):
         assert dict(loop_result.counts) == dict(job_result.counts)
+    record("resampled_shot_sweep", sequential_s, batched_s, jobs=8)
     emit(
         "runtime bench — 8-point shot/seed sweep of one circuit\n"
         f"sequential loop : {sequential_s:8.3f} s (8 simulations)\n"
@@ -191,6 +203,10 @@ def test_process_pool_accelerates_per_shot_batch():
             f"process pool ({process_s:.3f}s) should beat serial "
             f"({serial_s:.3f}s) on {os.cpu_count()} cores"
         )
+    record(
+        "stabilizer_process_pool", serial_s, process_s,
+        workers=workers, cores=os.cpu_count(),
+    )
     emit(
         "runtime bench — GIL-bound stabilizer batch, serial vs process pool\n"
         f"jobs            : {len(circuits)} (GHZ 20-23, pairwise assertions)\n"
@@ -248,6 +264,7 @@ def test_cross_call_distribution_cache_resamples_repeat_sweep():
         f"cached sweep ({second_s:.3f}s) should beat the simulating sweep "
         f"({first_s:.3f}s)"
     )
+    record("distribution_cache_repeat_sweep", first_s, second_s, jobs=len(circuits))
     emit(
         "runtime bench — repeated noisy sweep, cold vs warm distribution cache\n"
         f"jobs            : {len(circuits)} (4 distinct circuits)\n"
@@ -313,12 +330,70 @@ def test_adaptive_chunking_saturates_pool_on_trajectory_engine():
             f"adaptive chunking ({adaptive_s:.3f}s) should beat the "
             f"single-task fixed plan ({fixed_s:.3f}s) on {os.cpu_count()} cores"
         )
+    record(
+        "adaptive_chunking_trajectory", fixed_s, adaptive_s,
+        shots=shots, workers=workers, chunk_shots=chunk,
+    )
     emit(
         "runtime bench — trajectory engine, fixed vs adaptive chunking\n"
         f"job             : {shots} unseeded shots, {workers} process workers\n"
         f"fixed schedule  : {fixed_s:8.3f} s (1 task)\n"
         f"adaptive        : {adaptive_s:8.3f} s ({len(adaptive._futures)} tasks "
         f"of <= {chunk} shots, speedup {fixed_s / adaptive_s:.1f}x)"
+    )
+
+
+def test_batched_shot_axis_beats_per_shot_loop():
+    """v5: the batch-axis trajectory engine vs the per-shot walker.
+
+    The paper's NISQ error-filtering sweeps burn thousands of trajectory
+    shots per point; re-walking the circuit in Python per shot was the
+    hottest path left after PR 2-4 parallelised and cached around it.
+    ``method="batched"`` evolves all shots of a tile along a NumPy batch
+    axis instead.  Both methods consume identical per-trajectory Philox
+    substreams, so the counts are bit-identical — the speedup is pure
+    engine throughput, independent of core count (no pools involved).
+    """
+    injector = AssertionInjector(library.ghz_state(4))
+    injector.assert_entangled([0, 1, 2, 3], mode="single")
+    injector.measure_program()
+    circuit = injector.circuit
+    assert circuit.num_qubits == 5
+    shots, seed = 4096, 2020
+    device = ibmqx4()
+    cache = TranspileCache()
+    looped = TrajectoryDeviceBackend(device, method="loop", cache=cache)
+    batched = TrajectoryDeviceBackend(device, method="batched", cache=cache)
+    looped.prepare(circuit)  # pay the transpile outside both timed regions
+
+    start = time.perf_counter()
+    loop_result = looped.run(circuit, shots=shots, seed=seed)
+    loop_s = time.perf_counter() - start
+
+    start = time.perf_counter()
+    batched_result = batched.run(circuit, shots=shots, seed=seed)
+    batched_s = time.perf_counter() - start
+
+    assert dict(batched_result.counts) == dict(loop_result.counts)
+    assert batched_result.counts.shots == shots
+    speedup = loop_s / batched_s
+    # Measured ~13-17x; the 10x acceptance floor leaves headroom against
+    # scheduler noise, and the quantity is a ratio of two single-threaded
+    # CPU-bound runs on the same box, so shared-load noise mostly cancels.
+    assert speedup >= 10, (
+        f"batched shot axis ({batched_s:.3f}s) should be >=10x faster than "
+        f"the per-shot loop ({loop_s:.3f}s), got {speedup:.1f}x"
+    )
+    record(
+        "batched_shot_axis_vs_loop", loop_s, batched_s,
+        shots=shots, qubits=circuit.num_qubits, device="ibmqx4",
+    )
+    emit(
+        "runtime bench — trajectory engine, per-shot loop vs batch axis\n"
+        f"job             : 5-qubit noisy assertion circuit, {shots} shots\n"
+        f"method='loop'   : {loop_s:8.3f} s\n"
+        f"method='batched': {batched_s:8.3f} s  (speedup {speedup:.1f}x, "
+        "bit-identical counts)"
     )
 
 
@@ -354,6 +429,7 @@ def test_warm_disk_cache_accelerates_cold_process(tmp_path):
         f"warm process ({warm_s:.3f}s) should beat the cold process "
         f"({cold_s:.3f}s)"
     )
+    record("warm_disk_cache_cold_process", cold_s, warm_s, jobs=len(cold["counts"]))
     emit(
         "runtime bench — same sweep in two processes, one REPRO_CACHE_DIR\n"
         f"jobs            : {len(cold['counts'])} (4 distinct circuits)\n"

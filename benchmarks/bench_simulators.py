@@ -88,3 +88,34 @@ def test_trajectory_engine(benchmark, circuit, reference, backends):
     result = benchmark(run_once, backends["trajectory:ibmqx4"], circuit)
     for key, count in result.counts.items():
         assert reference.get(key, 0.0) == pytest.approx(count / 1024, abs=0.08)
+
+
+# ----------------------------------------------------------------------
+# Batched-vs-looped shot sweep (PR 5)
+# ----------------------------------------------------------------------
+#
+# The same noisy trajectory workload through both execution methods, at
+# two shot counts: the per-shot walker scales linearly in Python
+# iterations, the batch-axis path amortises everything over NumPy tiles.
+# Counts are bit-identical (pinned in tests/simulators/test_batched.py);
+# these cases exist to keep the ratio visible in the benchmark table.
+
+
+@pytest.fixture(scope="module")
+def noisy_backends():
+    return {
+        method: get_backend(
+            "trajectory:ibmqx4", noise_scale=1.0, method=method, transpile=False
+        )
+        for method in ("loop", "batched")
+    }
+
+
+@pytest.mark.benchmark(group="trajectory-methods")
+@pytest.mark.parametrize("method", ["loop", "batched"])
+@pytest.mark.parametrize("shots", [256, 1024])
+def test_trajectory_method_sweep(benchmark, circuit, noisy_backends, method, shots):
+    backend = noisy_backends[method]
+    result = benchmark(backend.run, circuit, shots=shots, seed=7)
+    assert result.counts.shots == shots
+    assert result.metadata["method"] == method

@@ -6,20 +6,29 @@ noisy gate, one Kraus operator is sampled with probability
 statevector instead of a density matrix, trading exactness for sampling
 noise — the cross-validation benchmark (DESIGN.md A5) checks it converges to
 the density-matrix engine's exact distribution.
+
+Shots execute through :mod:`repro.simulators._batched`: by default all
+trajectories of a ``max_batch`` tile evolve together along a NumPy batch
+axis (``method="batched"``), with the historical per-shot walker retained
+as ``method="loop"``.  Each trajectory draws from its own counter-based
+Philox substream keyed by ``(seed, trajectory index)``, and both paths
+consume identical substreams with identical row arithmetic — so batched
+and looped counts are **bit-identical** for a fixed seed at every
+``max_batch`` tiling.  Duck-typed noise models (anything that is not a
+:class:`repro.noise.model.NoiseModel`) are queried per shot and therefore
+always take the loop path.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Optional
 
 import numpy as np
 
 from repro.circuits.circuit import QuantumCircuit
-from repro.circuits.gates import Gate
-from repro.exceptions import SimulationError
 from repro.results.counts import Counts
 from repro.results.result import Result
-from repro.simulators import _kernels
+from repro.simulators import _batched
 
 
 class TrajectorySimulator:
@@ -31,12 +40,28 @@ class TrajectorySimulator:
         The same duck-typed interface the density-matrix engine uses
         (``channels_for`` / ``readout_confusion``); ``None`` degenerates to
         ideal per-shot statevector simulation.
+    method:
+        ``"batched"`` evolves whole shot tiles along a NumPy batch axis,
+        ``"loop"`` re-walks the circuit per shot, and ``"auto"`` (default)
+        batches whenever the noise model supports it.  Counts are
+        bit-identical across methods for a fixed seed.
+    max_batch:
+        Shot-tiling bound for the batched path (memory knob; never affects
+        counts).
     """
 
     name = "trajectory"
 
-    def __init__(self, noise_model=None) -> None:
+    def __init__(
+        self,
+        noise_model=None,
+        method: str = "auto",
+        max_batch: int = _batched.DEFAULT_MAX_BATCH,
+    ) -> None:
         self.noise_model = noise_model
+        _batched.resolve_method(method, None)  # validate the name eagerly
+        self.method = method
+        self.max_batch = _batched.validate_max_batch(max_batch)
 
     def run(
         self,
@@ -46,11 +71,15 @@ class TrajectorySimulator:
         initial_state: Optional[np.ndarray] = None,
     ) -> Result:
         """Sample ``shots`` noisy trajectories and return their counts."""
-        rng = np.random.default_rng(seed)
-        counts: Dict[str, int] = {}
-        for _ in range(shots):
-            key = self._single_shot(circuit, rng, initial_state)
-            counts[key] = counts.get(key, 0) + 1
+        counts, resolved = _batched.sample_shots(
+            circuit,
+            self.noise_model,
+            shots,
+            seed,
+            initial_state,
+            method=self.method,
+            max_batch=self.max_batch,
+        )
         return Result(
             counts=Counts(counts),
             shots=shots,
@@ -58,101 +87,7 @@ class TrajectorySimulator:
                 "engine": self.name,
                 "noise": getattr(self.noise_model, "name", None),
                 "seed": seed,
+                "method": resolved,
+                "max_batch": self.max_batch,
             },
         )
-
-    # ------------------------------------------------------------------
-
-    def _single_shot(
-        self,
-        circuit: QuantumCircuit,
-        rng: np.random.Generator,
-        initial_state: Optional[np.ndarray],
-    ) -> str:
-        state = _kernels.state_tensor(circuit.num_qubits, initial_state)
-        clbits = [0] * circuit.num_clbits
-        for inst in circuit.data:
-            if inst.name == "barrier":
-                continue
-            if inst.condition is not None:
-                clbit, value = inst.condition
-                if clbits[clbit] != value:
-                    continue
-            if inst.name == "measure":
-                state = self._measure(state, inst, clbits, rng)
-            elif inst.name == "reset":
-                state = self._reset(state, inst, rng)
-            else:
-                state = self._noisy_gate(state, inst, rng)
-        return "".join(str(b) for b in clbits)
-
-    def _noisy_gate(self, state: np.ndarray, inst, rng: np.random.Generator) -> np.ndarray:
-        op = inst.operation
-        if not isinstance(op, Gate):
-            raise SimulationError(f"cannot apply non-gate {op.name!r}")
-        state = _kernels.apply_matrix(state, op.matrix, inst.qubits)
-        if self.noise_model is None:
-            return state
-        for kraus, targets in self.noise_model.channels_for(inst):
-            state = self._sample_kraus(state, kraus, targets, rng)
-        return state
-
-    def _sample_kraus(
-        self,
-        state: np.ndarray,
-        kraus,
-        targets,
-        rng: np.random.Generator,
-    ) -> np.ndarray:
-        """Pick one Kraus branch with its Born probability and renormalise."""
-        pick = rng.random()
-        cumulative = 0.0
-        candidates: List[np.ndarray] = []
-        for k_op in kraus:
-            branch = _kernels.apply_matrix(state, k_op, targets)
-            prob = float(np.real(np.vdot(branch, branch)))
-            candidates.append(branch)
-            cumulative += prob
-            if pick < cumulative:
-                if prob <= 1e-15:
-                    break
-                return branch / np.sqrt(prob)
-        # Float round-off: fall back to the last branch with support.
-        for branch in reversed(candidates):
-            prob = float(np.real(np.vdot(branch, branch)))
-            if prob > 1e-15:
-                return branch / np.sqrt(prob)
-        raise SimulationError("Kraus sampling found no branch with support")
-
-    def _measure(
-        self,
-        state: np.ndarray,
-        inst,
-        clbits: List[int],
-        rng: np.random.Generator,
-    ) -> np.ndarray:
-        qubit, clbit = inst.qubits[0], inst.clbits[0]
-        p1 = _kernels.probability_of_one(state, qubit)
-        outcome = 1 if rng.random() < p1 else 0
-        state, _ = _kernels.collapse(state, qubit, outcome)
-        recorded = outcome
-        if self.noise_model is not None:
-            confusion = self.noise_model.readout_confusion(qubit)
-            if confusion is not None:
-                # confusion[r][m]: probability of recording r given true m.
-                flip_prob = float(confusion[1 - outcome][outcome])
-                if rng.random() < flip_prob:
-                    recorded = 1 - outcome
-        clbits[clbit] = recorded
-        return state
-
-    def _reset(self, state: np.ndarray, inst, rng: np.random.Generator) -> np.ndarray:
-        from repro.circuits.gates import x_matrix
-
-        qubit = inst.qubits[0]
-        p1 = _kernels.probability_of_one(state, qubit)
-        outcome = 1 if rng.random() < p1 else 0
-        state, _ = _kernels.collapse(state, qubit, outcome)
-        if outcome == 1:
-            state = _kernels.apply_matrix(state, x_matrix(), [qubit])
-        return state

@@ -63,7 +63,11 @@ from repro.runtime.distcache import (
 )
 from repro.runtime.job import Job, JobSet
 from repro.runtime.pool import EXECUTOR_ENV_VAR, executor_kind, get_executor
-from repro.runtime.profile import DEFAULT_COST_MODEL, profile_key
+from repro.runtime.profile import (
+    DEFAULT_COST_MODEL,
+    prepare_profile_key,
+    profile_key,
+)
 from repro.runtime.provider import resolve_backend
 from repro.runtime.scheduler import (
     executor_kind_for,
@@ -313,13 +317,30 @@ def execute(
                 job._cost_probe = (
                     DEFAULT_COST_MODEL,
                     profile_key(backends[index], circuit_list[index]),
+                    prepare_profile_key(backends[index], circuit_list[index]),
                 )
                 to_submit.append(job)
         job.plan = {"schedule": mode, "chunk_shots": job_chunk, "executor": None}
         jobs.append(job)
-    # Stable sort: equal priorities keep plan order, higher go first.  The
+    # Stable sort: equal ranks keep plan order, higher priorities go
+    # first.  Under the adaptive schedule, ties are broken by the cost
+    # model's measured prepare (transpile) estimate, most expensive first:
+    # transpile-heavy jobs reach the pool while it is still filling, so
+    # their parent-side lowering overlaps the cheap jobs' execution.
+    # Dispatch order never changes counts or the returned job order.  The
     # shared pools outlive the call — no shutdown, no churn.
-    for job in sorted(to_submit, key=lambda j: -j.priority):
+    def submit_rank(job: Job):
+        prepare_estimate = 0.0
+        if adaptive and getattr(job.backend, "transpile", False):
+            prepare_estimate = (
+                DEFAULT_COST_MODEL.per_prepare(
+                    prepare_profile_key(job.backend, job.circuit)
+                )
+                or 0.0
+            )
+        return (-job.priority, -prepare_estimate)
+
+    for job in sorted(to_submit, key=submit_rank):
         pool = pool_for(job.backend)
         job.plan["executor"] = executor_kind(pool)
         job._submit(pool)

@@ -128,8 +128,10 @@ class Job:
         #: store this job's distribution into once it completes.
         self._dist_store = None
         self._dist_stored = False
-        #: Set by execute(): (CostModel, profile key) every completed chunk
-        #: reports its measured wall-clock into (see repro.runtime.profile).
+        #: Set by execute(): (CostModel, run key, prepare key) every
+        #: completed chunk / parent-side prepare reports its measured
+        #: wall-clock into (see repro.runtime.profile; the run key carries
+        #: the backend's cost_tag, the prepare key never does).
         self._cost_probe = None
         #: Set by execute(): how the scheduler planned this job —
         #: {"schedule", "chunk_shots", "executor"} — for introspection.
@@ -207,8 +209,8 @@ class Job:
             else cache.misses > misses_before
         )
         if self._cost_probe is not None and lowered:
-            model, key = self._cost_probe
-            model.observe_prepare(key, elapsed)
+            model, _run_key, prepare_key = self._cost_probe
+            model.observe_prepare(prepare_key, elapsed)
         shipped = copy.copy(self.backend)
         shipped.transpile = False
         return shipped, prepared
@@ -247,8 +249,8 @@ class Job:
         if future.cancelled() or future.exception() is not None:
             return
         _result, elapsed = future.result()
-        model, key = self._cost_probe
-        model.observe_run(key, shots, elapsed)
+        model, run_key, _prepare_key = self._cost_probe
+        model.observe_run(run_key, shots, elapsed)
 
     def _distribution_completed(self, future: Future) -> None:
         """Done-callback: store the finished chunk's distribution."""

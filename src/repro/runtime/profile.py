@@ -49,13 +49,33 @@ FLUSH_EVERY = 8
 
 
 def profile_key(backend, circuit) -> ProfileKey:
-    """Return the cost-model key for one ``(backend, circuit)`` pairing.
+    """Return the *run*-cost key for one ``(backend, circuit)`` pairing.
 
     The backend ``name`` already encodes the engine family and, for device
     backends, the device (``"noisy(ibmqx4)"``); the qubit count is the
-    dominant cost driver within a family.  Seeds, shots and noise scale are
-    deliberately excluded — they change *how much* work runs, not the
-    per-shot unit cost the planner divides by.
+    dominant cost driver within a family.  Backends whose per-shot cost
+    depends on an execution mode expose a ``cost_tag`` (the trajectory
+    engine's ``"batched"`` vs ``"loop"``, an order of magnitude apart) that
+    is folded into the name so the modes never share one EWMA — which also
+    means a mode switch starts from a cold per-shot estimate rather than a
+    stale cross-mode one.  Seeds, shots and noise scale are deliberately
+    excluded — they change *how much* work runs, not the per-shot unit
+    cost the planner divides by.
+    """
+    name, qubits = prepare_profile_key(backend, circuit)
+    tag = getattr(backend, "cost_tag", None)
+    if tag:
+        name = f"{name}+{tag}"
+    return (name, qubits)
+
+
+def prepare_profile_key(backend, circuit) -> ProfileKey:
+    """Return the *prepare* (transpile) cost key — ``cost_tag``-free.
+
+    Transpilation cost is a property of ``(device, circuit)`` only; the
+    engine's execution mode never touches it, so all modes of one backend
+    share a single ``per_prepare`` EWMA (and profiles persisted before the
+    mode knob existed keep warming it).
     """
     return (str(getattr(backend, "name", type(backend).__name__)),
             int(getattr(circuit, "num_qubits", 0)))

@@ -72,6 +72,12 @@ MIN_CHUNK_SHOTS = 16
 #: keeps the tail short without flooding the queue).
 OVERSUBSCRIBE = 4
 
+#: Chunk-size multiplier for batch-axis (``vectorized_shots``) engines:
+#: their per-shot cost *falls* with chunk size (kernel dispatch and
+#: substream setup amortise over the tile), so bigger chunks pay off and
+#: fine slicing is pure overhead.
+VECTORIZED_CHUNK_FACTOR = 8
+
 
 def default_schedule_mode() -> str:
     """Return the default mode: ``$REPRO_SCHEDULE`` or ``"adaptive"``."""
@@ -115,8 +121,13 @@ def executor_kind_for(backend) -> str:
     The per-shot engines are pure Python, so only worker *processes* can
     overlap their shots; the NumPy engines release the GIL inside their
     kernels and run cheaper on threads (no pickling, shared caches).
+    Per-shot engines that simulate along a batch axis
+    (``vectorized_shots``, e.g. the batched trajectory engine) count as
+    NumPy engines for this purpose.
     """
-    return "process" if is_per_shot_backend(backend) else "thread"
+    if not is_per_shot_backend(backend):
+        return "thread"
+    return "thread" if getattr(backend, "vectorized_shots", False) else "process"
 
 
 def plan_chunk_shots(
@@ -140,6 +151,10 @@ def plan_chunk_shots(
       cut into roughly :data:`TARGET_CHUNK_SECONDS` pieces, at least one
       per worker when the job is big enough and at most
       :data:`OVERSUBSCRIBE` per worker.
+    * Batch-axis engines (``vectorized_shots``) aim for chunks
+      :data:`VECTORIZED_CHUNK_FACTOR` times fatter: their kernel dispatch
+      amortises over the tile, so many small chunks would re-pay the
+      per-chunk setup the batching just removed.
     """
     if shots <= MIN_CHUNK_SHOTS or not is_per_shot_backend(backend):
         return None
@@ -151,10 +166,13 @@ def plan_chunk_shots(
     if per_shot is None:
         chunk = max(MIN_CHUNK_SHOTS, math.ceil(shots / width))
         return chunk if chunk < shots else None
+    target = TARGET_CHUNK_SECONDS
+    if getattr(backend, "vectorized_shots", False):
+        target *= VECTORIZED_CHUNK_FACTOR
     total = per_shot * shots
     if total < SPLIT_THRESHOLD_SECONDS:
         return None
-    chunks = min(width * OVERSUBSCRIBE, max(1, math.ceil(total / TARGET_CHUNK_SECONDS)))
+    chunks = min(width * OVERSUBSCRIBE, max(1, math.ceil(total / target)))
     if total >= width * SPLIT_THRESHOLD_SECONDS:
         chunks = max(chunks, width)  # enough pieces to saturate the pool
     chunks = min(chunks, shots // MIN_CHUNK_SHOTS)

@@ -1,0 +1,436 @@
+"""Batch-axis trajectory execution shared by the sampling engines.
+
+This module is the machinery behind ``method="batched"`` on the
+:class:`~repro.noise.trajectories.TrajectorySimulator` and the statevector
+engine's post-``max_branches`` per-shot fallback: instead of re-walking the
+circuit once per shot in Python, all shots of a (sub-)batch evolve together
+as one batch-last ``(2, ..., 2, B)`` state tensor through the batched
+kernels in :mod:`repro.simulators._kernels`.  Classically conditioned instructions are
+handled by masking the rows whose classical bits do not match; memory is
+bounded by tiling the shots into ``max_batch``-sized sub-batches.
+
+Determinism contract (batch-width invariant by construction)
+------------------------------------------------------------
+Every trajectory draws from its **own counter-based substream**: shot ``t``
+of a run seeded ``s`` uses ``Philox(SeedSequence(s).spawn(shots)[t])``, and
+consumes one uniform per stochastic decision it actually executes (Kraus
+branch choice, measurement outcome, readout flip, reset), in program order.
+The batched path pre-generates each trajectory's uniforms and advances a
+per-row cursor; the retained loop path (``method="loop"``, also the
+fallback for duck-typed noise models) draws the same uniforms sequentially
+from the same substream.  Both paths share the per-trajectory decision
+arithmetic (the batched kernels are row-wise bitwise deterministic, and the
+loop path runs them at batch width 1), so batched and looped counts are
+bit-identical for a fixed seed at **every** ``max_batch`` tiling — which is
+what lets the runtime's chunk-seed plan, dedup and cost model treat
+``method`` and ``max_batch`` as pure throughput knobs.
+
+The loop fallback is taken when the noise model is duck-typed (anything
+that is not a :class:`repro.noise.model.NoiseModel`): its ``channels_for``
+may be stateful, so it must be queried per shot exactly as the historical
+engine did.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.circuits.gates import Gate, x_matrix
+from repro.exceptions import SimulationError
+from repro.simulators import _kernels
+
+#: Selectable execution methods for the sampling engines.
+METHODS = ("auto", "batched", "loop")
+
+#: Default shot-tiling bound: big enough to amortise kernel dispatch,
+#: small enough that ``B * 2^n`` (plus one Kraus branch copy per operator)
+#: stays cache- and memory-friendly for the paper's circuit sizes.
+DEFAULT_MAX_BATCH = 1024
+
+_GATE = "gate"
+_KRAUS = "kraus"
+_MEASURE = "measure"
+_RESET = "reset"
+
+
+def supports_batching(noise_model) -> bool:
+    """Return ``True`` when ``noise_model`` is safe to query once per run.
+
+    The batched path asks the model for each instruction's channels a
+    single time and replays the answer across all shots, so it requires
+    the repo's pure :class:`~repro.noise.model.NoiseModel` (or no noise at
+    all).  Arbitrary duck-typed models may be stateful and take the loop
+    fallback instead.
+    """
+    if noise_model is None:
+        return True
+    from repro.noise.model import NoiseModel
+
+    return isinstance(noise_model, NoiseModel)
+
+
+def resolve_method(method: str, noise_model) -> str:
+    """Map a ``method`` argument to the concrete path (``batched``/``loop``)."""
+    if method not in METHODS:
+        raise SimulationError(
+            f"unknown method {method!r}; choose from {list(METHODS)}"
+        )
+    if method == "loop":
+        return "loop"
+    if supports_batching(noise_model):
+        return "batched"
+    if method == "batched":
+        raise SimulationError(
+            "method='batched' requires a repro NoiseModel (duck-typed noise "
+            "models are queried per shot and must use method='loop')"
+        )
+    return "loop"
+
+
+def validate_max_batch(max_batch: int) -> int:
+    if int(max_batch) < 1:
+        raise SimulationError(f"max_batch must be positive, got {max_batch}")
+    return int(max_batch)
+
+
+def spawn_substreams(seed: Optional[int], shots: int) -> List[np.random.SeedSequence]:
+    """Return one child :class:`~numpy.random.SeedSequence` per trajectory.
+
+    Substream ``t`` depends only on ``(seed, t)`` — never on how shots are
+    tiled into batches — which is the root of the batch-width-invariance
+    contract.  ``seed=None`` draws fresh OS entropy for the root.
+    """
+    root = np.random.SeedSequence(seed)
+    return root.spawn(shots) if shots > 0 else []
+
+
+def substream_generator(child: np.random.SeedSequence) -> np.random.Generator:
+    """Return the counter-based generator of one trajectory substream."""
+    return np.random.Generator(np.random.Philox(child))
+
+
+# ----------------------------------------------------------------------
+# Program construction (batched path)
+# ----------------------------------------------------------------------
+
+
+def build_program(circuit, noise_model) -> List[tuple]:
+    """Compile ``circuit.data`` to a flat step list for the batched walker.
+
+    Each step is ``(kind, ..., condition)``; the noise model is queried
+    exactly once per instruction (it must therefore pass
+    :func:`supports_batching`).  Raises on non-gate unitaries, exactly as
+    the per-shot walker would.
+    """
+    steps: List[tuple] = []
+    for inst in circuit.data:
+        if inst.name == "barrier":
+            continue
+        condition = inst.condition
+        if inst.name == "measure":
+            qubit, clbit = inst.qubits[0], inst.clbits[0]
+            confusion = (
+                noise_model.readout_confusion(qubit)
+                if noise_model is not None
+                else None
+            )
+            steps.append((_MEASURE, qubit, clbit, confusion, condition))
+        elif inst.name == "reset":
+            steps.append((_RESET, inst.qubits[0], condition))
+        else:
+            op = inst.operation
+            if not isinstance(op, Gate):
+                raise SimulationError(f"cannot apply non-gate {op.name!r}")
+            steps.append((_GATE, op.matrix, tuple(inst.qubits), condition))
+            if noise_model is not None:
+                for kraus, targets in noise_model.channels_for(inst):
+                    steps.append((_KRAUS, tuple(kraus), tuple(targets), condition))
+    return steps
+
+
+def _max_draws(steps: List[tuple]) -> int:
+    """Upper bound on the uniforms any one trajectory consumes."""
+    draws = 0
+    for step in steps:
+        if step[0] == _MEASURE:
+            draws += 1 + (1 if step[3] is not None else 0)
+        elif step[0] in (_RESET, _KRAUS):
+            draws += 1
+    return draws
+
+
+# ----------------------------------------------------------------------
+# Batched execution
+# ----------------------------------------------------------------------
+
+
+def _apply_rows(states, rows, new_rows) -> np.ndarray:
+    """Write the processed subset back (whole-batch writes skip the copy).
+
+    The batch axis is the states' **last** axis (see the kernels module).
+    """
+    if rows.shape[0] == states.shape[-1]:
+        return new_rows
+    states[..., rows] = new_rows
+    return states
+
+
+def _sample_kraus_rows(sub, operators, targets, uniforms):
+    """Vectorised per-trajectory Kraus unravelling for one channel.
+
+    All operator weights are computed batched (every branch tensor is
+    live until selection — peak memory is ``m + 2`` state tensors), then
+    each trajectory takes its sampled branch (shared
+    :func:`_kernels.kraus_select` decision) and renormalises by that
+    branch's Born weight.  Rows are assembled per-branch so no
+    additional ``(m, B, ...)`` stack is materialised on top.
+    """
+    branches = [
+        _kernels.batched_apply_matrix(sub, k_op, targets) for k_op in operators
+    ]
+    weights = np.stack([_kernels.batched_norm_sq(branch) for branch in branches])
+    choice = _kernels.kraus_select(weights, uniforms)
+    out = np.empty_like(sub)
+    for index, branch in enumerate(branches):
+        rows = np.nonzero(choice == index)[0]
+        if rows.size:
+            out[..., rows] = branch[..., rows] / np.sqrt(weights[index, rows])
+    return out
+
+
+def run_batched(
+    steps: List[tuple],
+    num_qubits: int,
+    num_clbits: int,
+    children: List[np.random.SeedSequence],
+    initial_state: Optional[np.ndarray],
+    max_batch: int = DEFAULT_MAX_BATCH,
+) -> Dict[str, int]:
+    """Simulate every trajectory substream in ``max_batch``-sized tiles."""
+    counts: Dict[str, int] = {}
+    draws = _max_draws(steps)
+    for start in range(0, len(children), max_batch):
+        tile = children[start : start + max_batch]
+        batch = len(tile)
+        if draws:
+            uniforms = np.empty((batch, draws))
+            for row, child in enumerate(tile):
+                uniforms[row] = substream_generator(child).random(draws)
+        else:
+            uniforms = np.empty((batch, 0))
+        cursor = np.zeros(batch, dtype=np.intp)
+        states = _kernels.batched_state_tensor(batch, num_qubits, initial_state)
+        clbits = np.zeros((batch, num_clbits), dtype=np.uint8)
+        all_rows = np.arange(batch)
+
+        def take(rows):
+            values = uniforms[rows, cursor[rows]]
+            cursor[rows] += 1
+            return values
+
+        for step in steps:
+            condition = step[-1]
+            if condition is None:
+                rows = all_rows
+            else:
+                clbit, value = condition
+                rows = np.nonzero(clbits[:, clbit] == value)[0]
+                if rows.shape[0] == 0:
+                    continue
+            kind = step[0]
+            if kind == _GATE:
+                _, matrix, qubits, _ = step
+                sub = states if rows is all_rows else states[..., rows]
+                states = _apply_rows(
+                    states, rows, _kernels.batched_apply_matrix(sub, matrix, qubits)
+                )
+            elif kind == _KRAUS:
+                _, operators, targets, _ = step
+                sub = states if rows is all_rows else states[..., rows]
+                states = _apply_rows(
+                    states, rows, _sample_kraus_rows(sub, operators, targets, take(rows))
+                )
+            elif kind == _MEASURE:
+                _, qubit, clbit, confusion, _ = step
+                sub = states if rows is all_rows else states[..., rows]
+                p_one = _kernels.batched_probability_of_one(sub, qubit)
+                outcomes = (take(rows) < p_one).astype(np.uint8)
+                collapsed, _ = _kernels.batched_collapse(sub, qubit, outcomes)
+                states = _apply_rows(states, rows, collapsed)
+                recorded = outcomes
+                if confusion is not None:
+                    flip_prob = np.where(
+                        outcomes == 1, confusion[0][1], confusion[1][0]
+                    )
+                    flips = (take(rows) < flip_prob).astype(np.uint8)
+                    recorded = outcomes ^ flips
+                clbits[rows, clbit] = recorded
+            elif kind == _RESET:
+                _, qubit, _ = step
+                sub = states if rows is all_rows else states[..., rows]
+                p_one = _kernels.batched_probability_of_one(sub, qubit)
+                outcomes = (take(rows) < p_one).astype(np.uint8)
+                collapsed, _ = _kernels.batched_collapse(sub, qubit, outcomes)
+                ones = np.nonzero(outcomes == 1)[0]
+                if ones.shape[0]:
+                    collapsed[..., ones] = _kernels.batched_apply_matrix(
+                        collapsed[..., ones], x_matrix(), [qubit]
+                    )
+                states = _apply_rows(states, rows, collapsed)
+        for key, value in _kernels.pack_counts(clbits).items():
+            counts[key] = counts.get(key, 0) + value
+    return counts
+
+
+# ----------------------------------------------------------------------
+# Retained loop path (batch width 1, identical substreams)
+# ----------------------------------------------------------------------
+
+
+def run_loop(
+    circuit,
+    noise_model,
+    children: List[np.random.SeedSequence],
+    initial_state: Optional[np.ndarray],
+) -> Dict[str, int]:
+    """Per-shot walker consuming the same substreams as the batched path.
+
+    Kept as the reference implementation and the fallback for duck-typed
+    noise models (queried per shot).  It runs the *batched* kernels at
+    batch width 1 and shares the Kraus decision function, so its counts
+    are bit-identical to :func:`run_batched` for a fixed seed.
+    """
+    from collections import Counter
+
+    counts: Counter = Counter()
+    for child in children:
+        rng = substream_generator(child)
+        counts[_loop_shot(circuit, noise_model, rng, initial_state)] += 1
+    return dict(counts)
+
+
+def _loop_shot(circuit, noise_model, rng, initial_state) -> str:
+    state = _kernels.batched_state_tensor(1, circuit.num_qubits, initial_state)
+    clbits = [0] * circuit.num_clbits
+    for inst in circuit.data:
+        if inst.name == "barrier":
+            continue
+        if inst.condition is not None:
+            clbit, value = inst.condition
+            if clbits[clbit] != value:
+                continue
+        if inst.name == "measure":
+            state = _loop_measure(state, inst, clbits, noise_model, rng)
+        elif inst.name == "reset":
+            state = _loop_reset(state, inst, rng)
+        else:
+            op = inst.operation
+            if not isinstance(op, Gate):
+                raise SimulationError(f"cannot apply non-gate {op.name!r}")
+            state = _kernels.batched_apply_matrix(state, op.matrix, inst.qubits)
+            if noise_model is not None:
+                for kraus, targets in noise_model.channels_for(inst):
+                    state = _loop_sample_kraus(
+                        state, tuple(kraus), tuple(targets), rng.random()
+                    )
+    return "".join(str(b) for b in clbits)
+
+
+def _loop_sample_kraus(state, operators, targets, uniform):
+    """Early-exiting scalar twin of :func:`_sample_kraus_rows`.
+
+    Applies operators only until the sampled branch is found (usually the
+    first, high-weight one), instead of materialising all ``m`` branches
+    per shot.  Decision-equivalent to :func:`_kernels.kraus_select`
+    bit-for-bit: the cumulative partial sums are the same float64
+    sequence, the first branch whose cumulative weight exceeds the draw
+    wins, and the round-off / zero-weight fallback (which does need every
+    weight) picks the last branch with support.
+    """
+    cumulative = 0.0
+    branches = []
+    weights = []
+    for k_op in operators:
+        branch = _kernels.batched_apply_matrix(state, k_op, targets)
+        weight = float(_kernels.batched_norm_sq(branch)[0])
+        branches.append(branch)
+        weights.append(weight)
+        cumulative += weight
+        if uniform < cumulative:
+            if weight > _kernels.KRAUS_EPS:
+                return branch / np.sqrt(weight)
+            break  # selected a zero-weight branch: take the fallback
+    for k_op in operators[len(branches):]:
+        branch = _kernels.batched_apply_matrix(state, k_op, targets)
+        branches.append(branch)
+        weights.append(float(_kernels.batched_norm_sq(branch)[0]))
+    for branch, weight in zip(reversed(branches), reversed(weights)):
+        if weight > _kernels.KRAUS_EPS:
+            return branch / np.sqrt(weight)
+    raise SimulationError("Kraus sampling found no branch with support")
+
+
+def _loop_measure(state, inst, clbits, noise_model, rng):
+    qubit, clbit = inst.qubits[0], inst.clbits[0]
+    p_one = _kernels.batched_probability_of_one(state, qubit)[0]
+    outcome = 1 if rng.random() < p_one else 0
+    state, _ = _kernels.batched_collapse(state, qubit, np.array([outcome], dtype=np.uint8))
+    recorded = outcome
+    if noise_model is not None:
+        confusion = noise_model.readout_confusion(qubit)
+        if confusion is not None:
+            flip_prob = confusion[1 - outcome][outcome]
+            if rng.random() < flip_prob:
+                recorded = 1 - outcome
+    clbits[clbit] = recorded
+    return state
+
+
+def _loop_reset(state, inst, rng):
+    qubit = inst.qubits[0]
+    p_one = _kernels.batched_probability_of_one(state, qubit)[0]
+    outcome = 1 if rng.random() < p_one else 0
+    state, _ = _kernels.batched_collapse(state, qubit, np.array([outcome], dtype=np.uint8))
+    if outcome == 1:
+        state = _kernels.batched_apply_matrix(state, x_matrix(), [qubit])
+    return state
+
+
+# ----------------------------------------------------------------------
+# Engine entry point
+# ----------------------------------------------------------------------
+
+
+def sample_shots(
+    circuit,
+    noise_model,
+    shots: int,
+    seed: Optional[int],
+    initial_state: Optional[np.ndarray],
+    method: str = "auto",
+    max_batch: int = DEFAULT_MAX_BATCH,
+) -> Tuple[Dict[str, int], str]:
+    """Sample ``shots`` trajectories; returns ``(counts, resolved method)``.
+
+    The one entry point both sampling engines call: resolves ``method``,
+    spawns the per-trajectory substreams, and dispatches to the batched or
+    loop walker — whose counts agree bit-for-bit wherever both apply.
+    """
+    resolved = resolve_method(method, noise_model)
+    max_batch = validate_max_batch(max_batch)
+    children = spawn_substreams(seed, shots)
+    if resolved == "batched":
+        steps = build_program(circuit, noise_model)
+        counts = run_batched(
+            steps,
+            circuit.num_qubits,
+            circuit.num_clbits,
+            children,
+            initial_state,
+            max_batch,
+        )
+    else:
+        counts = run_loop(circuit, noise_model, children, initial_state)
+    return counts, resolved

@@ -8,7 +8,7 @@ convention in DESIGN.md §3.
 
 from __future__ import annotations
 
-from typing import Sequence, Tuple
+from typing import Dict, Sequence, Tuple
 
 import numpy as np
 
@@ -81,3 +81,185 @@ def flatten(state: np.ndarray) -> np.ndarray:
 def basis_label(index: int, num_qubits: int) -> str:
     """Return the bitstring label of basis-state ``index`` (qubit 0 first)."""
     return format(index, f"0{num_qubits}b")
+
+
+# ----------------------------------------------------------------------
+# Batched (shot-axis) kernels
+# ----------------------------------------------------------------------
+#
+# Batched states are rank-``n+1`` tensors of shape ``(2, ..., 2, B)``:
+# tensor axis ``k`` is qubit ``k`` and the **last** axis indexes the
+# trajectory.  Batch-last keeps every qubit-basis slice contiguous over
+# the batch, so the elementwise kernels stream long runs instead of
+# strided singles.  Every kernel below is *trajectory-wise independent*:
+# each trajectory's output amplitudes and norms are computed by a
+# fixed-order sum over that trajectory's own amplitudes only (elementwise
+# ufuncs and fixed-length axis-0 reductions, never a batch-shaped BLAS
+# call), so the floats a trajectory sees are identical whether it runs in
+# a batch of 1, 7 or 4096.  That invariance is what makes the engines'
+# batched/looped determinism contract hold bit-for-bit (see
+# :mod:`repro.simulators._batched`).
+
+#: Born weights at or below this are treated as unsupported Kraus branches.
+KRAUS_EPS = 1e-15
+
+
+def batched_state_tensor(
+    batch: int, num_qubits: int, initial: np.ndarray = None
+) -> np.ndarray:
+    """Return ``batch`` copies of the |0...0> (or given) state tensor."""
+    base = flatten(state_tensor(num_qubits, initial))
+    return np.repeat(base[:, np.newaxis], batch, axis=1).reshape(
+        (2,) * num_qubits + (batch,)
+    )
+
+
+def _basis_slices(states: np.ndarray, qubits: Sequence[int], dim: int) -> list:
+    """Return views of ``states`` sliced to each basis index of ``qubits``."""
+    k = len(qubits)
+    slices = []
+    for index in range(dim):
+        key: list = [slice(None)] * states.ndim
+        for position, axis in enumerate(qubits):
+            key[axis] = (index >> (k - 1 - position)) & 1
+        slices.append(states[tuple(key)])
+    return slices
+
+
+def batched_apply_matrix(
+    states: np.ndarray, matrix: np.ndarray, qubits: Sequence[int]
+) -> np.ndarray:
+    """Apply a ``2^k x 2^k`` matrix to qubit axes of every batched state.
+
+    The contraction is written as elementwise scalar-multiply-adds over
+    basis-index views (no reshape copies, no BLAS): each output amplitude
+    is a fixed-order ``2^k``-term sum of that trajectory's own amplitudes,
+    so results are bitwise identical regardless of the batch width
+    (trajectory-wise determinism; see the section note).
+    """
+    k = len(qubits)
+    dim = 2 ** k
+    if matrix.shape != (dim, dim):
+        raise SimulationError(
+            f"matrix shape {matrix.shape} does not act on {k} qubit(s)"
+        )
+    nonzero = matrix != 0
+    if np.all(nonzero.sum(axis=1) == 1):
+        # Monomial matrix (one nonzero per row): Pauli factors, CX/CZ/SWAP,
+        # phase rotations and the scaled-identity Kraus branch that
+        # dominates every weak channel.  One multiply per basis slice
+        # (exact structural test — no tolerance, no batch dependence).
+        columns = nonzero.argmax(axis=1)
+        coefficients = matrix[np.arange(dim), columns]
+        if (columns == np.arange(dim)).all() and (
+            coefficients == coefficients[0]
+        ).all():
+            # Scalar multiple of the identity: one contiguous pass.
+            return coefficients[0] * states
+        sources = _basis_slices(states, qubits, dim)
+        out = np.empty_like(states)
+        targets = _basis_slices(out, qubits, dim)
+        for i in range(dim):
+            targets[i][...] = coefficients[i] * sources[columns[i]]
+        return out
+    sources = _basis_slices(states, qubits, dim)
+    out = np.empty_like(states)
+    targets = _basis_slices(out, qubits, dim)
+    for i in range(dim):
+        acc = matrix[i, 0] * sources[0]
+        for j in range(1, dim):
+            acc += matrix[i, j] * sources[j]
+        targets[i][...] = acc
+    return out
+
+
+def batched_norm_sq(states: np.ndarray) -> np.ndarray:
+    """Return each batched state's squared norm as a ``(B,)`` float array.
+
+    ``sum(re^2) + sum(im^2)`` with each sum an ``einsum`` contraction over
+    the amplitude axis: einsum accumulates the contracted index
+    sequentially per output element, so the summation order a trajectory
+    sees depends only on ``2^n`` — never on the batch width or memory
+    layout — keeping norms bitwise batch-invariant.  (A plain
+    ``.sum(axis=0)`` would not be: its pairwise blocking switches strategy
+    with the array's shape.)
+    """
+    flat = states.reshape(-1, states.shape[-1])
+    real, imag = flat.real, flat.imag
+    return np.einsum("ib,ib->b", real, real) + np.einsum("ib,ib->b", imag, imag)
+
+
+def batched_probability_of_one(states: np.ndarray, qubit: int) -> np.ndarray:
+    """Return per-trajectory P(measuring |1>) on ``qubit`` as ``(B,)``."""
+    return batched_norm_sq(np.take(states, 1, axis=qubit))
+
+
+def batched_collapse(
+    states: np.ndarray, qubit: int, outcomes: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Project ``qubit`` onto per-trajectory ``outcomes`` and renormalise.
+
+    ``outcomes`` is a ``(B,)`` array of 0/1.  Returns ``(collapsed,
+    probabilities)`` where trajectory ``b`` was projected onto
+    ``outcomes[b]``; zero-probability trajectories come back as zero
+    tensors (never NaN).
+    """
+    batch = states.shape[-1]
+    keep = np.zeros((2, batch))
+    keep[outcomes, np.arange(batch)] = 1.0
+    shape = [1] * states.ndim
+    shape[qubit] = 2
+    shape[-1] = batch
+    projected = states * keep.reshape(shape)
+    norm_sq = batched_norm_sq(projected)
+    scale = np.ones_like(norm_sq)
+    safe = norm_sq > 0.0
+    scale[safe] = 1.0 / np.sqrt(norm_sq[safe])
+    projected *= scale
+    return projected, norm_sq
+
+
+def kraus_select(weights: np.ndarray, uniforms: np.ndarray) -> np.ndarray:
+    """Pick one Kraus branch per trajectory from Born ``weights``.
+
+    ``weights`` is ``(m, B)`` (branch-major), ``uniforms`` is ``(B,)``.
+    Trajectory ``b`` selects the first branch ``j`` whose cumulative
+    weight exceeds ``uniforms[b]``; float round-off (or a selected branch
+    without support) falls back to the last branch with support.  The
+    looped and batched engines share this exact decision function, so a
+    trajectory's branch choice depends only on its own weights and draw.
+    """
+    m = weights.shape[0]
+    cumulative = np.cumsum(weights, axis=0)
+    choice = (cumulative <= uniforms).sum(axis=0)
+    capped = np.minimum(choice, m - 1)
+    columns = np.arange(weights.shape[1])
+    bad = (choice >= m) | (weights[capped, columns] <= KRAUS_EPS)
+    if np.any(bad):
+        support = weights > KRAUS_EPS
+        if not support.any(axis=0)[bad].all():
+            raise SimulationError("Kraus sampling found no branch with support")
+        last_supported = (m - 1) - np.argmax(support[::-1], axis=0)
+        capped = np.where(bad, last_supported, capped)
+    return capped
+
+
+def pack_counts(clbits: np.ndarray) -> Dict[str, int]:
+    """Histogram a ``(B, num_clbits)`` 0/1 matrix into bitstring counts.
+
+    Rows are bit-packed so the unique pass runs on a handful of bytes per
+    trajectory instead of Python strings — the vectorised replacement for
+    the engines' old per-shot ``counts[key] = counts.get(key, 0) + 1``.
+    """
+    shots, width = clbits.shape
+    if shots == 0:
+        return {}
+    if width == 0:
+        return {"": int(shots)}
+    packed = np.packbits(clbits.astype(np.uint8, copy=False), axis=1)
+    unique, counts = np.unique(packed, axis=0, return_counts=True)
+    rows = np.unpackbits(unique, axis=1, count=width)
+    return {
+        "".join("1" if bit else "0" for bit in row): int(count)
+        for row, count in zip(rows, counts)
+    }

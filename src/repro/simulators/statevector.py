@@ -10,8 +10,12 @@ experiments exact probabilities (the paper's QUIRK verifications in Figs. 6-7
 rely on exact post-selected states).
 
 For circuits with many measurements the branch count can grow as ``2^m``; the
-engine falls back to per-shot Monte-Carlo simulation above
-``max_branches`` branches.
+engine falls back to per-shot Monte-Carlo simulation above ``max_branches``
+branches.  The fallback runs through the shared batch-axis machinery
+(:mod:`repro.simulators._batched`): all shots of a ``max_batch`` tile evolve
+together (``method="batched"``), with a per-shot ``method="loop"`` walker
+retained — both consume identical per-trajectory Philox substreams, so their
+counts agree bit-for-bit for a fixed seed at every tiling.
 """
 
 from __future__ import annotations
@@ -26,7 +30,7 @@ from repro.circuits.instructions import Instruction
 from repro.exceptions import SimulationError
 from repro.results.counts import Counts, counts_from_probabilities
 from repro.results.result import Result
-from repro.simulators import _kernels
+from repro.simulators import _batched, _kernels
 
 
 class Statevector:
@@ -116,14 +120,30 @@ class StatevectorSimulator:
     max_branches:
         Branch-enumeration cap; circuits whose measurement tree exceeds this
         fall back to per-shot sampling.
+    method / max_batch:
+        How the per-shot fallback executes (see
+        :mod:`repro.simulators._batched`): ``"batched"`` (the ``"auto"``
+        default resolves to it) evolves whole shot tiles along a NumPy
+        batch axis, ``"loop"`` re-walks the circuit per shot.  Both draw
+        per-trajectory Philox substreams keyed by ``(seed, shot index)``,
+        so fallback counts are bit-identical across methods and
+        ``max_batch`` tilings for a fixed seed.
     """
 
     name = "statevector"
 
-    def __init__(self, max_branches: int = 4096) -> None:
+    def __init__(
+        self,
+        max_branches: int = 4096,
+        method: str = "auto",
+        max_batch: int = _batched.DEFAULT_MAX_BATCH,
+    ) -> None:
         if max_branches < 1:
             raise SimulationError("max_branches must be positive")
         self.max_branches = max_branches
+        _batched.resolve_method(method, None)  # validate the name eagerly
+        self.method = method
+        self.max_batch = _batched.validate_max_batch(max_batch)
 
     # ------------------------------------------------------------------
     # Public API
@@ -162,14 +182,25 @@ class StatevectorSimulator:
                 probabilities=probabilities or None,
                 metadata={"engine": self.name, "method": "branch", "seed": seed},
             )
-        counts_dict: Dict[str, int] = {}
-        for _ in range(shots):
-            key = self._run_single_shot(circuit, rng, initial_state)
-            counts_dict[key] = counts_dict.get(key, 0) + 1
+        counts_dict, resolved = _batched.sample_shots(
+            circuit,
+            None,
+            shots,
+            seed,
+            initial_state,
+            method=self.method,
+            max_batch=self.max_batch,
+        )
         return Result(
             counts=Counts(counts_dict),
             shots=shots,
-            metadata={"engine": self.name, "method": "per-shot", "seed": seed},
+            metadata={
+                "engine": self.name,
+                "method": "per-shot",
+                "per_shot_method": resolved,
+                "max_batch": self.max_batch,
+                "seed": seed,
+            },
         )
 
     def final_statevector(
@@ -316,37 +347,3 @@ class StatevectorSimulator:
             out[key] = out.get(key, 0.0) + branch.probability
         return out
 
-    def _run_single_shot(
-        self,
-        circuit: QuantumCircuit,
-        rng: np.random.Generator,
-        initial_state: Optional[np.ndarray],
-    ) -> str:
-        """Per-shot Monte-Carlo path for measurement-heavy circuits."""
-        state = _kernels.state_tensor(circuit.num_qubits, initial_state)
-        clbits = [0] * circuit.num_clbits
-        for inst in circuit.data:
-            if inst.name == "barrier":
-                continue
-            if inst.condition is not None:
-                clbit, value = inst.condition
-                if clbits[clbit] != value:
-                    continue
-            if inst.name == "measure":
-                qubit, clbit = inst.qubits[0], inst.clbits[0]
-                p1 = _kernels.probability_of_one(state, qubit)
-                outcome = 1 if rng.random() < p1 else 0
-                state, _ = _kernels.collapse(state, qubit, outcome)
-                clbits[clbit] = outcome
-            elif inst.name == "reset":
-                qubit = inst.qubits[0]
-                p1 = _kernels.probability_of_one(state, qubit)
-                outcome = 1 if rng.random() < p1 else 0
-                state, _ = _kernels.collapse(state, qubit, outcome)
-                if outcome == 1:
-                    from repro.circuits.gates import x_matrix
-
-                    state = _kernels.apply_matrix(state, x_matrix(), [qubit])
-            else:
-                state = self._apply_gate(state, inst)
-        return "".join(str(b) for b in clbits)

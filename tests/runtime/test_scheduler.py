@@ -26,7 +26,7 @@ from repro.runtime import (
 )
 from repro.runtime.cache import transpile_key
 from repro.runtime.pool import EXECUTOR_ENV_VAR
-from repro.runtime.profile import CostModel
+from repro.runtime.profile import CostModel, prepare_profile_key
 from repro.runtime.scheduler import (
     MIN_CHUNK_SHOTS,
     OVERSUBSCRIBE,
@@ -362,6 +362,112 @@ class TestParentSidePrepare:
         job = execute(circuit, backend, shots=64, seed=5, executor="process")
         serial = execute(circuit, backend, shots=64, seed=5, executor="serial")
         assert dict(job.counts()) == dict(serial.counts())
+
+
+# ----------------------------------------------------------------------
+# Batch-axis engine awareness and prepare-first dispatch
+# ----------------------------------------------------------------------
+
+
+class TestVectorizedBackendAwareness:
+    """The runtime's view of the batched trajectory engine (PR 5)."""
+
+    def test_batched_trajectory_routes_to_threads(self):
+        batched = get_backend("trajectory:ibmqx4")
+        looped = get_backend("trajectory:ibmqx4", method="loop")
+        # Still per-shot (no exact distribution) ...
+        assert is_per_shot_backend(batched)
+        assert is_per_shot_backend(looped)
+        # ... but the batch-axis kernels release the GIL, so threads win.
+        assert executor_kind_for(batched) == "thread"
+        assert executor_kind_for(looped) == "process"
+
+    def test_cost_model_keys_methods_apart(self):
+        circuit = measured_bell()
+        batched_key = profile_key(get_backend("trajectory:ibmqx4"), circuit)
+        looped_key = profile_key(
+            get_backend("trajectory:ibmqx4", method="loop"), circuit
+        )
+        assert batched_key == ("trajectory(ibmqx4)+batched", 2)
+        assert looped_key == ("trajectory(ibmqx4)+loop", 2)
+
+    def test_prepare_key_shared_across_methods(self):
+        """Transpile cost is method-independent: one per_prepare EWMA."""
+        circuit = measured_bell()
+        batched = get_backend("trajectory:ibmqx4")
+        looped = get_backend("trajectory:ibmqx4", method="loop")
+        assert (
+            prepare_profile_key(batched, circuit)
+            == prepare_profile_key(looped, circuit)
+            == ("trajectory(ibmqx4)", 2)
+        )
+
+    def test_vectorized_chunks_are_fatter(self):
+        circuit = measured_bell()
+        batched = get_backend("trajectory:ibmqx4")
+        looped = get_backend("trajectory:ibmqx4", method="loop")
+        model = CostModel()
+        model.observe_run(profile_key(batched, circuit), 1000, 1.0)
+        model.observe_run(profile_key(looped, circuit), 1000, 1.0)
+        fat = plan_chunk_shots(batched, circuit, 20000, width=4, cost_model=model)
+        thin = plan_chunk_shots(looped, circuit, 20000, width=4, cost_model=model)
+        assert thin is not None and fat is not None
+        assert fat > thin  # same measured cost, fewer/fatter batched chunks
+
+
+class TranspilingRecordingBackend(Backend):
+    """Records run order and looks like a transpiling device backend."""
+
+    name = "transpiling-recorder"
+    transpile = True
+
+    def __init__(self, log):
+        self.log = log
+
+    def prepare(self, circuit):
+        return circuit
+
+    def run(self, circuit, shots=1024, seed=None):
+        self.log.append(circuit.name)
+        return Result(counts=Counts({"0": shots}), shots=shots)
+
+
+class TestPrepareAwareDispatch:
+    """ROADMAP follow-up: transpile-heavy jobs are submitted first."""
+
+    def _circuits(self):
+        cheap = QuantumCircuit(1, name="cheap")
+        cheap.measure_all()
+        heavy = QuantumCircuit(6, name="heavy")
+        heavy.measure_all()
+        return cheap, heavy
+
+    def test_adaptive_submits_transpile_heavy_first(self):
+        log = []
+        backend = TranspilingRecordingBackend(log)
+        cheap, heavy = self._circuits()
+        DEFAULT_COST_MODEL.observe_prepare(profile_key(backend, heavy), 5.0)
+        execute([cheap, heavy], backend, shots=8, seed=1, executor="serial",
+                schedule="adaptive", dedupe=False).result()
+        assert log == ["heavy", "cheap"]
+
+    def test_fixed_schedule_keeps_submission_order(self):
+        log = []
+        backend = TranspilingRecordingBackend(log)
+        cheap, heavy = self._circuits()
+        DEFAULT_COST_MODEL.observe_prepare(profile_key(backend, heavy), 5.0)
+        execute([cheap, heavy], backend, shots=8, seed=1, executor="serial",
+                schedule="fixed", dedupe=False).result()
+        assert log == ["cheap", "heavy"]
+
+    def test_priority_still_wins_over_prepare_estimate(self):
+        log = []
+        backend = TranspilingRecordingBackend(log)
+        cheap, heavy = self._circuits()
+        DEFAULT_COST_MODEL.observe_prepare(profile_key(backend, heavy), 5.0)
+        execute([cheap, heavy], backend, shots=8, seed=1, executor="serial",
+                schedule="adaptive", dedupe=False, priority=[1, 0]).result()
+        assert log == ["cheap", "heavy"]
 
 
 # ----------------------------------------------------------------------
