@@ -64,5 +64,44 @@ class JobError(ReproError):
     """Raised when a runtime job fails, is cancelled, or is misused."""
 
 
+class QueueTimeout(JobError):
+    """Raised when a scheduled batch is still *queued* past a deadline.
+
+    Distinct from an execution timeout: the batch never reached the
+    execution stack, so the caller can make an informed retry/abandon
+    decision from the attached queue telemetry.
+
+    Attributes
+    ----------
+    client:
+        The submitting client's name.
+    waited:
+        Seconds the batch has been sitting in the queue.
+    queue_position:
+        Zero-based position within the client's queue (0 = dispatched
+        next), or ``None`` when the batch already left the queue.
+    queued_batches:
+        Total batches queued across all clients at raise time.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        client: str = "",
+        waited: float = 0.0,
+        queue_position=None,
+        queued_batches: int = 0,
+    ) -> None:
+        super().__init__(message)
+        self.client = client
+        self.waited = waited
+        self.queue_position = queue_position
+        self.queued_batches = queued_batches
+
+
+class ServiceError(ReproError):
+    """Base class for errors raised by the :mod:`repro.service` layer."""
+
+
 class ProviderError(DeviceError):
     """Raised for unknown backend specs in the runtime provider registry."""

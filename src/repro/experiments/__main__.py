@@ -20,8 +20,10 @@ cache, ``--schedule adaptive|fixed`` picks the runtime scheduling mode
 either way for a fixed seed), ``--cache-dir PATH`` (or
 ``$REPRO_CACHE_DIR``) persists the caches *and cost profiles* on disk so a
 *second invocation* skips transpiles and exact-distribution simulations
-entirely and schedules from measured costs, and ``--list-backends`` shows
-the provider registry's spec strings.
+entirely and schedules from measured costs, ``--list-backends`` shows
+the provider registry's spec strings, and ``--service-demo`` drives a
+small multi-client storm through the async service layer
+(:mod:`repro.service`) and prints its stats snapshot.
 """
 
 from __future__ import annotations
@@ -109,6 +111,84 @@ EXPERIMENTS: Dict[str, tuple] = {
 }
 
 
+def _service_demo(workers, executor) -> int:
+    """Drive a small multi-client storm through :mod:`repro.service`.
+
+    Three tenants with different weights and quotas submit a burst of
+    seeded assertion circuits concurrently; completions stream back via
+    ``as_completed()`` and the service's stats snapshot (jobs/sec, queue
+    p50/p99, per-client counters) is printed at the end.
+    """
+    import asyncio
+
+    from repro.circuits import library
+    from repro.service import ClientQuota, RuntimeService
+
+    circuit = library.bell_pair()
+    circuit.measure_all()
+    tenants = {
+        "alice": dict(weight=3, quota=ClientQuota(max_in_flight_jobs=8,
+                                                  over_quota="queue")),
+        "bob": dict(weight=1, quota=ClientQuota(max_in_flight_jobs=4,
+                                                over_quota="queue")),
+        "carol": dict(weight=1, quota=ClientQuota(max_in_flight_jobs=2,
+                                                  over_quota="queue")),
+    }
+    per_client = 8
+
+    async def one_client(service, name, token):
+        handles = [
+            await service.submit(circuit, "noisy:ibmqx4", shots=256,
+                                 seed=i, token=token)
+            for i in range(per_client)
+        ]
+        async for handle in service.as_completed(handles, timeout=300):
+            print(f"  {handle.job_id:>8}  {name:<6} {handle.status()}")
+        return handles
+
+    async def storm():
+        service = RuntimeService(executor=executor, max_workers=workers)
+        try:
+            tokens = {
+                name: service.register_client(name, **spec)
+                for name, spec in tenants.items()
+            }
+            print(f"service demo: {len(tenants)} clients x {per_client} "
+                  "submissions (noisy:ibmqx4, 256 shots)")
+            await asyncio.gather(*(
+                one_client(service, name, token)
+                for name, token in tokens.items()
+            ))
+            return service.stats()
+        finally:
+            await service.close()
+
+    stats = asyncio.run(storm())
+    latency = stats["queue_latency"]
+    print(
+        "service stats: "
+        f"{stats['completed_jobs']} jobs completed, "
+        f"{stats['jobs_per_second']:.1f} jobs/s, "
+        f"{stats['dispatched_batches']} batches dispatched"
+    )
+    if latency["p50_s"] is not None:
+        print(
+            "queue latency: "
+            f"p50 {latency['p50_s'] * 1e3:.1f} ms, "
+            f"p99 {latency['p99_s'] * 1e3:.1f} ms, "
+            f"max {latency['max_s'] * 1e3:.1f} ms"
+        )
+    for name, client in sorted(stats["clients"].items()):
+        print(
+            f"  {name:<6} weight={client['weight']} "
+            f"submitted={client['submitted_jobs']} "
+            f"completed={client['completed_jobs']} "
+            f"waits={client['queued_waits']} "
+            f"rejected={client['rejected_quota'] + client['rejected_rate']}"
+        )
+    return 0
+
+
 def main(argv=None) -> int:
     """Entry point for ``python -m repro.experiments``."""
     parser = argparse.ArgumentParser(
@@ -173,7 +253,16 @@ def main(argv=None) -> int:
         action="store_true",
         help="print the runtime cache and executor-pool statistics when done",
     )
+    parser.add_argument(
+        "--service-demo",
+        action="store_true",
+        help="run a small multi-client storm through the async service "
+        "layer (repro.service) and print its stats snapshot, then exit",
+    )
     args = parser.parse_args(argv)
+
+    if args.service_demo:
+        return _service_demo(args.workers, args.executor)
 
     from repro.runtime import cache as runtime_cache
 

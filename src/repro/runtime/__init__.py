@@ -82,6 +82,7 @@ from repro.runtime.provider import (
     resolve_backend,
 )
 from repro.runtime.scheduler import (
+    DEADLINE_ACTIONS,
     SCHEDULE_MODES,
     ScheduledBatch,
     Scheduler,
@@ -89,6 +90,7 @@ from repro.runtime.scheduler import (
     executor_kind_for,
     is_per_shot_backend,
     plan_chunk_shots,
+    plan_width,
 )
 from repro.runtime.store import (
     CacheStore,
@@ -100,6 +102,7 @@ __all__ = [
     "BatchPlan",
     "CacheStore",
     "CostModel",
+    "DEADLINE_ACTIONS",
     "DEFAULT_CACHE",
     "DEFAULT_COST_MODEL",
     "DEFAULT_DISTRIBUTION_CACHE",
@@ -130,6 +133,7 @@ __all__ = [
     "list_backends",
     "plan_batches",
     "plan_chunk_shots",
+    "plan_width",
     "pool_stats",
     "profile_key",
     "register_backend",

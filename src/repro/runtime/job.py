@@ -143,6 +143,9 @@ class Job:
         self._error: Optional[BaseException] = None
         self._cancelled = False
         self._lock = threading.Lock()
+        self._done_callbacks: List = []
+        self._done_barrier: Optional[int] = None
+        self._done_notified = False
 
     # ------------------------------------------------------------------
     # Submission (runtime-internal)
@@ -243,6 +246,7 @@ class Job:
                 )
         if self._dist_store is not None and self._futures:
             self._futures[0].add_done_callback(self._distribution_completed)
+        self._arm_done_barrier()
 
     def _observe_chunk(self, shots: int, future: Future) -> None:
         """Done-callback: feed one chunk's measured cost to the cost model."""
@@ -278,6 +282,56 @@ class Job:
                 return
             cache.store(key, result)
             self._dist_stored = True
+
+    # ------------------------------------------------------------------
+    # Completion notification (the non-blocking bridge)
+    # ------------------------------------------------------------------
+
+    def add_done_callback(self, fn) -> None:
+        """Call ``fn(self)`` once this job reaches a terminal state.
+
+        The event-driven counterpart of polling :meth:`done`: an async
+        front-end (see :mod:`repro.service`) registers a callback instead
+        of blocking a thread per job.  Fires exactly once, from whichever
+        thread settles the last chunk future (or inline, when the job is
+        already terminal at registration time).  Derived and
+        distribution-cached jobs settle with their source, exactly as
+        :meth:`status` reports them.  Callbacks must not block: they run
+        on executor worker/collector threads.
+        """
+        if self.cached:
+            fn(self)
+            return
+        if self.derived:
+            self._source.add_done_callback(lambda _source: fn(self))
+            return
+        with self._lock:
+            if not self._done_notified:
+                self._done_callbacks.append(fn)
+                fn = None
+        if fn is not None:
+            fn(self)
+
+    def _arm_done_barrier(self) -> None:
+        """Register the chunk-future countdown that fires done callbacks."""
+        with self._lock:
+            if self._done_barrier is not None or not self._futures:
+                return
+            self._done_barrier = len(self._futures)
+        for future in self._futures:
+            # Future done-callbacks fire on completion, failure *and*
+            # cancellation, so every terminal path counts down.
+            future.add_done_callback(self._chunk_settled)
+
+    def _chunk_settled(self, _future: Future) -> None:
+        with self._lock:
+            self._done_barrier -= 1
+            if self._done_barrier > 0 or self._done_notified:
+                return
+            self._done_notified = True
+            callbacks, self._done_callbacks = self._done_callbacks, []
+        for fn in callbacks:
+            fn(self)
 
     # ------------------------------------------------------------------
     # Introspection

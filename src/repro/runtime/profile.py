@@ -259,6 +259,43 @@ class CostModel(StoreBackedCache):
             return None
         return per_shot * max(0, shots)
 
+    def estimate_job(self, backend, circuit, shots: int) -> Optional[float]:
+        """Estimate one job's total seconds: prepare (transpile) plus run.
+
+        Components the model has never measured contribute nothing;
+        ``None`` means *neither* component is known — the caller has no
+        data to plan from and should fall back to its static default.
+        """
+        total = None
+        run = self.estimate_run(profile_key(backend, circuit), shots)
+        if run is not None:
+            total = run
+        if getattr(backend, "transpile", False):
+            prepare = self.per_prepare(prepare_profile_key(backend, circuit))
+            if prepare is not None:
+                total = prepare if total is None else total + prepare
+        return total
+
+    def estimate_batch(self, backend, circuits, shots) -> Optional[float]:
+        """Estimate a batch's total seconds across ``circuits``.
+
+        ``shots`` is a scalar or a per-circuit sequence.  Used by the
+        service layer's width planner to size ``max_workers`` per dispatch
+        from measured cost instead of always taking the full shared pool.
+        ``None`` when no circuit has any measured component.
+        """
+        circuits = list(circuits)
+        if isinstance(shots, (list, tuple)):
+            shot_list = [int(s) for s in shots]
+        else:
+            shot_list = [int(shots)] * len(circuits)
+        total = None
+        for circuit, n in zip(circuits, shot_list):
+            estimate = self.estimate_job(backend, circuit, n)
+            if estimate is not None:
+                total = estimate if total is None else total + estimate
+        return total
+
     def profile(self, key: ProfileKey) -> Optional[dict]:
         """Return a copy of the full entry for ``key``, or ``None``."""
         with self._profile_lock:

@@ -45,9 +45,10 @@ from __future__ import annotations
 import math
 import os
 import threading
-from typing import Dict, List, Optional
+import time
+from typing import Callable, Dict, List, Optional
 
-from repro.exceptions import JobError
+from repro.exceptions import JobError, QueueTimeout
 from repro.runtime.profile import DEFAULT_COST_MODEL, CostModel, profile_key
 from repro.runtime.pool import default_max_workers
 
@@ -182,6 +183,45 @@ def plan_chunk_shots(
     return chunk if chunk < shots else None
 
 
+def plan_width(
+    backend,
+    circuits,
+    shots,
+    max_width: Optional[int] = None,
+    cost_model: Optional[CostModel] = None,
+) -> Optional[int]:
+    """Size one dispatch's ``max_workers`` from estimated total cost.
+
+    The shared pools default to the full machine width, so every dispatch
+    historically competed for (and fragmented) the same maximal pool even
+    when the batch was milliseconds of work.  With a measured cost
+    profile, grant roughly one worker per :data:`TARGET_CHUNK_SECONDS` of
+    estimated total cost (prepare + run across the batch), clamped to
+    ``[1, max_width]`` — tiny batches take one worker and leave the rest
+    of the machine to concurrent clients, huge batches still get the full
+    pool.  Returns ``None`` (no opinion — take the default width) when
+    the model has no measured data for any circuit in the batch.
+
+    Width never changes counts (the runtime's determinism contract), so
+    the planner is always count-transparent.
+    """
+    cap = max_width if max_width is not None else default_max_workers()
+    if cap <= 1:
+        return None
+    model = cost_model if cost_model is not None else DEFAULT_COST_MODEL
+    if isinstance(backend, str):
+        try:
+            from repro.runtime.provider import resolve_backend
+
+            backend = resolve_backend(backend)
+        except Exception:
+            return None  # unknown spec: dispatch will surface the error
+    total = model.estimate_batch(backend, circuits, shots)
+    if total is None:
+        return None
+    return max(1, min(cap, math.ceil(total / TARGET_CHUNK_SECONDS)))
+
+
 # ----------------------------------------------------------------------
 # Fair-share multi-client submission queue
 # ----------------------------------------------------------------------
@@ -191,6 +231,15 @@ _BATCH_QUEUED = "queued"
 _BATCH_RUNNING = "running"
 _BATCH_DONE = "done"
 _BATCH_FAILED = "failed"
+_BATCH_DROPPED = "dropped"
+_BATCH_CANCELLED = "cancelled"
+
+#: Deadline actions for batches that overstay their queue deadline.
+DEADLINE_ACTIONS = ("drop", "reprioritize")
+
+#: Rank that sorts a boosted (reprioritized/preempted) batch ahead of any
+#: regular priority while keeping submission order among boosted peers.
+_URGENT_RANK = -math.inf
 
 
 class ScheduledBatch:
@@ -201,46 +250,154 @@ class ScheduledBatch:
     dispatcher admits the batch.  Collection blocks until then.
     """
 
-    def __init__(self, client: str, priority: int, size: int) -> None:
+    def __init__(
+        self,
+        client: str,
+        priority: int,
+        size: int,
+        scheduler: Optional["Scheduler"] = None,
+        deadline: Optional[float] = None,
+        deadline_action: str = "drop",
+    ) -> None:
         self.client = client
         self.priority = int(priority)
         self.size = size
+        #: Queue deadline in seconds from submission; ``None`` waits forever.
+        self.deadline = deadline
+        self.deadline_action = deadline_action
+        #: Pool width the scheduler's width planner chose for this
+        #: dispatch, or ``None`` (default width / planning off).
+        self.planned_width: Optional[int] = None
+        self.submitted_at = time.monotonic()
+        self.dispatched_at: Optional[float] = None
+        self._scheduler = scheduler
         self._dispatched = threading.Event()
         self._jobset = None
         self._error: Optional[BaseException] = None
+        self._cancelled = False
+        self._boosted = False
+        self._callback_lock = threading.Lock()
+        self._callbacks: List[Callable] = []
+        self._settled = False
 
     # -- scheduler-internal ---------------------------------------------
 
     def _mark_dispatched(self, jobset) -> None:
+        self.dispatched_at = time.monotonic()
         self._jobset = jobset
         self._dispatched.set()
+        self._fire_callbacks()
 
     def _mark_failed(self, error: BaseException) -> None:
         self._error = error
         self._dispatched.set()
+        self._fire_callbacks()
+
+    def _mark_cancelled(self) -> None:
+        self._cancelled = True
+        self._dispatched.set()
+        self._fire_callbacks()
+
+    def _fire_callbacks(self) -> None:
+        with self._callback_lock:
+            self._settled = True
+            callbacks, self._callbacks = self._callbacks, []
+        for fn in callbacks:
+            fn(self)
 
     # -- client surface -------------------------------------------------
+
+    def add_dispatch_callback(self, fn: Callable) -> None:
+        """Call ``fn(batch)`` once the batch leaves the queue.
+
+        Fires exactly once on any of dispatch, dispatch failure, deadline
+        drop or queue-side cancel — or immediately when the batch already
+        left the queue.  Callbacks may run on the dispatcher thread with
+        the scheduler lock held, so they must be quick and must not call
+        back into the scheduler (an async front-end typically just
+        schedules a loop callback; see :mod:`repro.service`).
+        """
+        with self._callback_lock:
+            if not self._settled:
+                self._callbacks.append(fn)
+                return
+        fn(self)
 
     @property
     def dispatched(self) -> bool:
         """Return ``True`` once the batch has left the queue (or failed)."""
         return self._dispatched.is_set()
 
+    def wait_time(self) -> float:
+        """Return seconds spent in the queue (so far, or until dispatch)."""
+        end = self.dispatched_at if self.dispatched_at is not None else time.monotonic()
+        return max(0.0, end - self.submitted_at)
+
     def status(self) -> str:
-        """Return ``"queued"``, ``"running"``, ``"done"`` or ``"failed"``."""
+        """Return ``"queued"``, ``"running"``, ``"done"``, ``"failed"``,
+        ``"dropped"`` (queue deadline expired) or ``"cancelled"``."""
+        if self._cancelled:
+            return _BATCH_CANCELLED
         if not self._dispatched.is_set():
             return _BATCH_QUEUED
         if self._error is not None:
-            return _BATCH_FAILED
+            return (
+                _BATCH_DROPPED
+                if isinstance(self._error, QueueTimeout)
+                else _BATCH_FAILED
+            )
         return _BATCH_DONE if self._jobset.done() else _BATCH_RUNNING
 
+    def cancel(self) -> bool:
+        """Cancel the batch: dequeue it while queued, else cancel its jobs.
+
+        Returns ``True`` when the batch (still queued) or at least one of
+        its jobs (already dispatched) will not run.  A cancelled queued
+        batch settles immediately — ``status()`` reports ``"cancelled"``
+        and collection raises :class:`~repro.exceptions.JobError`.
+        """
+        if self._scheduler is not None and self._scheduler._cancel_queued(self):
+            return True
+        jobset = self._jobset
+        if jobset is not None:
+            return any(jobset.cancel())
+        return False
+
     def jobs(self, timeout: Optional[float] = None):
-        """Block until dispatch and return the batch's :class:`JobSet`."""
+        """Block until dispatch and return the batch's :class:`JobSet`.
+
+        Raises
+        ------
+        QueueTimeout
+            When ``timeout`` expires with the batch still *queued* (never
+            dispatched).  The exception carries the batch's queue position
+            and wait time so callers can retry or abandon with context.
+        JobError
+            When the batch was cancelled or failed to dispatch.
+        """
         if not self._dispatched.wait(timeout):
-            raise JobError(
-                f"batch for client {self.client!r} not dispatched within {timeout}s"
+            waited = self.wait_time()
+            position, queued = None, 0
+            if self._scheduler is not None:
+                position, queued = self._scheduler._queue_snapshot(self)
+            where = (
+                f", position {position + 1} of {queued} queued batch(es)"
+                if position is not None
+                else ""
             )
+            raise QueueTimeout(
+                f"batch for client {self.client!r} still queued after "
+                f"{waited:.3f}s (timeout {timeout}s{where})",
+                client=self.client,
+                waited=waited,
+                queue_position=position,
+                queued_batches=queued,
+            )
+        if self._cancelled:
+            raise JobError(f"batch for client {self.client!r} was cancelled")
         if self._error is not None:
+            if isinstance(self._error, QueueTimeout):
+                raise self._error  # deadline drop: surface the typed error
             raise JobError(
                 f"batch for client {self.client!r} failed to dispatch: {self._error}"
             ) from self._error
@@ -267,8 +424,14 @@ class ScheduledBatch:
         return [result.counts for result in self.result(timeout=timeout)]
 
     def done(self) -> bool:
-        """Return ``True`` once every job finished (or dispatch failed)."""
-        return self.status() in (_BATCH_DONE, _BATCH_FAILED)
+        """Return ``True`` once the batch is settled: every job finished,
+        or the batch failed, was dropped, or was cancelled in the queue."""
+        return self.status() in (
+            _BATCH_DONE,
+            _BATCH_FAILED,
+            _BATCH_DROPPED,
+            _BATCH_CANCELLED,
+        )
 
     def __repr__(self) -> str:
         return (
@@ -293,17 +456,37 @@ class _ClientState:
             "dispatched_batches": 0,
             "completed_batches": 0,
             "failed_batches": 0,
+            "dropped_batches": 0,
+            "cancelled_batches": 0,
+            "reprioritized_batches": 0,
+            "preempted_batches": 0,
             "submitted_jobs": 0,
             "completed_jobs": 0,
         }
 
-    def record_failure(self, batch: "ScheduledBatch", error) -> None:
-        """Retire ``batch`` as failed: its jobs will never run, so they
-        count as settled — submitted vs completed must keep reconciling."""
+    def _retire(self, batch: "ScheduledBatch") -> None:
+        """Jobs that will never run still count as settled — submitted vs
+        completed must keep reconciling."""
         self.stats["completed_batches"] += 1
-        self.stats["failed_batches"] += 1
         self.stats["completed_jobs"] += batch.size
+
+    def record_failure(self, batch: "ScheduledBatch", error) -> None:
+        """Retire ``batch`` as failed (dispatch error)."""
+        self._retire(batch)
+        self.stats["failed_batches"] += 1
         batch._mark_failed(error)
+
+    def record_dropped(self, batch: "ScheduledBatch", error: QueueTimeout) -> None:
+        """Retire ``batch`` as dropped (queue deadline expired)."""
+        self._retire(batch)
+        self.stats["dropped_batches"] += 1
+        batch._mark_failed(error)
+
+    def record_cancelled(self, batch: "ScheduledBatch") -> None:
+        """Retire ``batch`` as cancelled while still queued."""
+        self._retire(batch)
+        self.stats["cancelled_batches"] += 1
+        batch._mark_cancelled()
 
 
 class Scheduler:
@@ -327,6 +510,25 @@ class Scheduler:
     every batch flows through the same ``execute()`` the caller would have
     used, so counts keep the runtime's seed-determinism contract.
 
+    Queue policies (the service layer's knobs) layer on top:
+
+    * **Deadlines** — a batch submitted with ``deadline=`` that is still
+      queued after that many seconds is retired per its
+      ``deadline_action``: ``"drop"`` fails it with a typed
+      :class:`~repro.exceptions.QueueTimeout` (queue position and wait
+      time attached), ``"reprioritize"`` boosts it ahead of every
+      regular-priority batch instead.
+    * **Preemption** — with ``preempt_after=`` set, any batch waiting
+      longer than that is boosted to the front of its client's queue and
+      the client jumps the round-robin order once, so long-waiting
+      low-priority work preempts a steady stream of high-priority
+      submissions instead of starving behind it.
+    * **Width planning** — with ``width_planning=True``, each dispatch's
+      ``max_workers`` is sized by :func:`plan_width` from the cost
+      model's estimated total batch cost instead of always taking the
+      full shared pool (an explicit per-batch or scheduler-level
+      ``max_workers`` always wins).
+
     Parameters
     ----------
     max_in_flight:
@@ -334,6 +536,18 @@ class Scheduler:
     executor / max_workers / schedule:
         Forwarded to every ``execute()`` call (per-batch ``**options``
         override them).
+    require_registration:
+        When ``True``, :meth:`submit` rejects client names that were not
+        :meth:`client`-registered first (the multi-tenant service's
+        admission discipline).  Default ``False`` keeps the library
+        behaviour of auto-registering at weight 1.
+    preempt_after:
+        Seconds a queued batch may wait before it is boosted (see above);
+        ``None`` disables preemption.
+    width_planning:
+        Enable cost-model-driven ``max_workers`` sizing per dispatch.
+    cost_model:
+        Model the width planner consults (default: the process default).
     """
 
     def __init__(
@@ -343,15 +557,27 @@ class Scheduler:
         max_workers: Optional[int] = None,
         schedule: Optional[str] = None,
         poll_interval: float = 0.002,
+        require_registration: bool = False,
+        preempt_after: Optional[float] = None,
+        width_planning: bool = False,
+        cost_model: Optional[CostModel] = None,
     ) -> None:
         if max_in_flight is None:
             max_in_flight = 4 * default_max_workers()
         if max_in_flight < 1:
             raise JobError(f"max_in_flight must be positive, got {max_in_flight}")
+        if preempt_after is not None and preempt_after <= 0:
+            raise JobError(
+                f"preempt_after must be positive seconds, got {preempt_after}"
+            )
         self.max_in_flight = int(max_in_flight)
         self.executor = executor
         self.max_workers = max_workers
         self.schedule = schedule
+        self.require_registration = bool(require_registration)
+        self.preempt_after = preempt_after
+        self.width_planning = bool(width_planning)
+        self.cost_model = cost_model
         self._poll_interval = float(poll_interval)
         self._lock = threading.Condition()
         self._clients: Dict[str, _ClientState] = {}
@@ -360,6 +586,7 @@ class Scheduler:
         self._in_flight_jobs = 0
         self._sequence = 0
         self._dispatched_total = 0
+        self._queue_waits: List[float] = []  # recent dispatch wait samples
         self._closed = False
         self._thread: Optional[threading.Thread] = None
 
@@ -386,6 +613,8 @@ class Scheduler:
         seed=None,
         client: str = "default",
         priority: int = 0,
+        deadline: Optional[float] = None,
+        deadline_action: str = "drop",
         **options,
     ) -> ScheduledBatch:
         """Queue a batch for ``client`` and return its handle immediately.
@@ -395,14 +624,44 @@ class Scheduler:
         scheduler's ``executor``/``max_workers``/``schedule`` defaults
         apply unless the batch overrides them.  ``priority`` orders
         batches *within* this client's queue (cross-client order is the
-        weighted round-robin's business).
+        weighted round-robin's business); it must be a non-negative
+        integer — anything else raises ``ValueError`` instead of being
+        silently coerced.  ``deadline`` bounds the batch's *queue* wait in
+        seconds; once expired, ``deadline_action="drop"`` retires it with
+        a :class:`~repro.exceptions.QueueTimeout` and ``"reprioritize"``
+        boosts it ahead of all regular-priority batches.
         """
         from repro.circuits.circuit import QuantumCircuit
 
+        if not isinstance(client, str) or not client:
+            raise ValueError(
+                f"client name must be a non-empty string, got {client!r}"
+            )
+        if isinstance(priority, bool) or not isinstance(priority, int):
+            raise ValueError(
+                "priority must be a non-negative int, got "
+                f"{type(priority).__name__} {priority!r}"
+            )
+        if priority < 0:
+            raise ValueError(f"priority must be non-negative, got {priority}")
+        if deadline is not None and deadline <= 0:
+            raise ValueError(f"deadline must be positive seconds, got {deadline}")
+        if deadline_action not in DEADLINE_ACTIONS:
+            raise ValueError(
+                f"unknown deadline_action {deadline_action!r}; "
+                f"choose from {list(DEADLINE_ACTIONS)}"
+            )
         circuit_list = (
             [circuits] if isinstance(circuits, QuantumCircuit) else list(circuits)
         )
-        batch = ScheduledBatch(client, priority, len(circuit_list))
+        batch = ScheduledBatch(
+            client,
+            priority,
+            len(circuit_list),
+            scheduler=self,
+            deadline=deadline,
+            deadline_action=deadline_action,
+        )
         spec = {
             "circuits": circuit_list,
             "backend": backend,
@@ -415,6 +674,13 @@ class Scheduler:
                 raise JobError("scheduler is shut down")
             state = self._clients.get(client)
             if state is None:
+                if self.require_registration:
+                    raise ValueError(
+                        f"client {client!r} is not registered with this "
+                        "scheduler; register it first with "
+                        f"Scheduler.client({client!r}) "
+                        f"(registered: {sorted(self._clients) or 'none'})"
+                    )
                 state = _ClientState(client, 1)
                 self._clients[client] = state
             self._sequence += 1
@@ -480,12 +746,28 @@ class Scheduler:
         spec = _entry[2]
         options = dict(spec["options"])
         options.setdefault("executor", self.executor)
-        options.setdefault("max_workers", self.max_workers)
         options.setdefault("schedule", self.schedule)
+        if (
+            self.width_planning
+            and options.get("max_workers") is None
+            and self.max_workers is None
+        ):
+            batch.planned_width = plan_width(
+                spec["backend"],
+                spec["circuits"],
+                spec["shots"],
+                cost_model=self.cost_model,
+            )
+            options["max_workers"] = batch.planned_width
+        else:
+            options.setdefault("max_workers", self.max_workers)
         self._in_flight.append(batch)
         self._in_flight_jobs += batch.size
         state.stats["dispatched_batches"] += 1
         self._dispatched_total += 1
+        self._queue_waits.append(time.monotonic() - batch.submitted_at)
+        if len(self._queue_waits) > 4096:
+            del self._queue_waits[:2048]
         self._lock.release()
         # execute() outside the lock: submission may pay pool creation,
         # transpiles and (serial executor) the entire simulation.
@@ -521,10 +803,70 @@ class Scheduler:
             state.stats["completed_jobs"] += batch.size
         return bool(finished)
 
+    def _apply_queue_policies(self) -> bool:
+        """Enforce deadlines and preemption on queued batches (holds lock).
+
+        Deadline-expired batches are dropped (typed
+        :class:`~repro.exceptions.QueueTimeout`) or boosted per their
+        ``deadline_action``; batches waiting longer than ``preempt_after``
+        are boosted and their client jumps the round order once.  Boosted
+        entries take :data:`_URGENT_RANK`, which outranks every regular
+        priority while preserving submission order among boosted peers.
+        """
+        now = time.monotonic()
+        changed = False
+        for state in self._clients.values():
+            if not state.pending:
+                continue
+            retained = []
+            resort = False
+            for entry, batch in state.pending:
+                waited = now - batch.submitted_at
+                if batch.deadline is not None and waited > batch.deadline:
+                    if batch.deadline_action == "drop":
+                        position = len(retained)
+                        queued = self._queued_batches()
+                        state.record_dropped(
+                            batch,
+                            QueueTimeout(
+                                f"batch for client {batch.client!r} dropped: "
+                                f"queued {waited:.3f}s past its "
+                                f"{batch.deadline}s deadline",
+                                client=batch.client,
+                                waited=waited,
+                                queue_position=position,
+                                queued_batches=queued,
+                            ),
+                        )
+                        changed = True
+                        continue
+                    if not batch._boosted:
+                        entry = (_URGENT_RANK, entry[1], entry[2])
+                        batch._boosted = True
+                        state.stats["reprioritized_batches"] += 1
+                        resort = changed = True
+                elif (
+                    self.preempt_after is not None
+                    and waited > self.preempt_after
+                    and not batch._boosted
+                ):
+                    entry = (_URGENT_RANK, entry[1], entry[2])
+                    batch._boosted = True
+                    state.stats["preempted_batches"] += 1
+                    # The aged client takes the very next dispatch slot.
+                    self._round.insert(0, state.name)
+                    resort = changed = True
+                retained.append((entry, batch))
+            if resort:
+                retained.sort(key=lambda item: item[0][:2])
+            state.pending[:] = retained
+        return changed
+
     def _dispatch_loop(self) -> None:
         with self._lock:
             while True:
                 progressed = self._reap_completed()
+                progressed |= self._apply_queue_policies()
                 while True:
                     state = self._next_slot()
                     if state is None:
@@ -551,6 +893,45 @@ class Scheduler:
     def _has_pending(self) -> bool:
         return any(state.pending for state in self._clients.values())
 
+    def _queued_batches(self) -> int:
+        """Total queued batches across clients (caller holds the lock)."""
+        return sum(len(state.pending) for state in self._clients.values())
+
+    def _queue_snapshot(self, batch: ScheduledBatch):
+        """Return ``(position within its client's queue, total queued)``.
+
+        Position is ``None`` when the batch already left the queue (the
+        caller lost a race with the dispatcher).
+        """
+        with self._lock:
+            total = self._queued_batches()
+            state = self._clients.get(batch.client)
+            if state is not None:
+                for index, (_entry, queued) in enumerate(state.pending):
+                    if queued is batch:
+                        return index, total
+            return None, total
+
+    def queue_position(self, batch: ScheduledBatch) -> Optional[int]:
+        """Return ``batch``'s position in its client's queue (0 = next),
+        or ``None`` once it has left the queue."""
+        position, _total = self._queue_snapshot(batch)
+        return position
+
+    def _cancel_queued(self, batch: ScheduledBatch) -> bool:
+        """Dequeue and retire ``batch`` if it is still queued."""
+        with self._lock:
+            state = self._clients.get(batch.client)
+            if state is None:
+                return False
+            for index, (_entry, queued) in enumerate(state.pending):
+                if queued is batch:
+                    del state.pending[index]
+                    state.record_cancelled(batch)
+                    self._lock.notify_all()
+                    return True
+            return False
+
     # ------------------------------------------------------------------
     # Introspection / lifecycle
     # ------------------------------------------------------------------
@@ -558,14 +939,17 @@ class Scheduler:
     def stats(self) -> dict:
         """Return queue depth, in-flight load, and per-client counters."""
         with self._lock:
+            waits = list(self._queue_waits)
             return {
                 "max_in_flight": self.max_in_flight,
                 "in_flight_jobs": self._in_flight_jobs,
                 "in_flight_batches": len(self._in_flight),
-                "queued_batches": sum(
-                    len(state.pending) for state in self._clients.values()
-                ),
+                "queued_batches": self._queued_batches(),
                 "dispatched_batches": self._dispatched_total,
+                "queue_wait_samples": len(waits),
+                "queue_wait_mean_s": (
+                    sum(waits) / len(waits) if waits else None
+                ),
                 "clients": {
                     name: dict(state.stats, weight=state.weight)
                     for name, state in self._clients.items()

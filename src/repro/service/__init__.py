@@ -1,0 +1,51 @@
+"""Multi-tenant async service layer over the runtime scheduler.
+
+:class:`~repro.service.service.RuntimeService` wraps the fair-share
+:class:`~repro.runtime.scheduler.Scheduler` into a long-running service:
+``async submit()`` returns an awaitable :class:`ServiceJob` handle with a
+stable id, completion streams through ``async for`` over
+``as_completed()``, and admission is gated by authentication stubs
+(:mod:`repro.service.auth`), per-client concurrency quotas and
+shots/sec token buckets (:mod:`repro.service.quota`), with service-level
+observability (:mod:`repro.service.stats`) behind one ``stats()`` call.
+
+The service decides *when* and *whether* work runs — never *what* it
+computes: seeded submissions return counts bit-identical to calling
+:func:`repro.runtime.execute.execute` directly.
+"""
+
+from repro.exceptions import QueueTimeout, ServiceError
+from repro.service.auth import (
+    AuthenticationError,
+    ClientIdentity,
+    TokenAuthenticator,
+)
+from repro.service.quota import (
+    OVER_QUOTA_POLICIES,
+    UNLIMITED,
+    ClientQuota,
+    QuotaExceeded,
+    RateLimited,
+    TokenBucket,
+)
+from repro.service.service import RuntimeService, ServiceJob
+from repro.service.stats import ClientStats, LatencyWindow, RateMeter
+
+__all__ = [
+    "AuthenticationError",
+    "ClientIdentity",
+    "ClientQuota",
+    "ClientStats",
+    "LatencyWindow",
+    "OVER_QUOTA_POLICIES",
+    "QueueTimeout",
+    "QuotaExceeded",
+    "RateLimited",
+    "RateMeter",
+    "RuntimeService",
+    "ServiceError",
+    "ServiceJob",
+    "TokenAuthenticator",
+    "TokenBucket",
+    "UNLIMITED",
+]

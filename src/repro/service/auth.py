@@ -1,0 +1,130 @@
+"""Authentication stubs: token → client identity.
+
+The service layer needs *some* notion of "who is submitting" before
+quotas, rate limits and fair-share weights mean anything.  This module
+provides the deliberately minimal shape — an in-memory token table with
+constant-time comparison — so the rest of the service can be written
+against a stable interface.
+
+**Stub caveat**: tokens are opaque shared secrets held in process memory.
+There is no hashing at rest, no expiry, no scopes and no transport
+security — a production deployment would swap :class:`TokenAuthenticator`
+for a real identity provider behind the same two calls
+(``register``/``authenticate``).  Everything above this module only sees
+:class:`ClientIdentity`.
+"""
+
+from __future__ import annotations
+
+import hmac
+import secrets
+import threading
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.exceptions import ServiceError
+
+
+class AuthenticationError(ServiceError):
+    """Raised when a submission's token maps to no registered client."""
+
+
+@dataclass
+class ClientIdentity:
+    """A resolved client: the name the scheduler sees plus its policy.
+
+    ``weight`` feeds the scheduler's weighted round-robin; ``quota`` is
+    interpreted by the service's admission layer (see
+    :mod:`repro.service.quota`).
+    """
+
+    name: str
+    weight: int = 1
+    quota: Optional[object] = None  # ClientQuota; untyped to avoid a cycle
+    metadata: dict = field(default_factory=dict)
+
+
+class TokenAuthenticator:
+    """In-memory token table (the authentication *stub*).
+
+    Parameters
+    ----------
+    allow_anonymous:
+        When ``True`` (default ``False``), a missing token resolves to the
+        shared ``"anonymous"`` identity instead of raising — convenient
+        for single-tenant embedding, wrong for anything multi-tenant.
+    """
+
+    #: Name every unauthenticated submission shares under allow_anonymous.
+    ANONYMOUS = "anonymous"
+
+    def __init__(self, allow_anonymous: bool = False) -> None:
+        self.allow_anonymous = bool(allow_anonymous)
+        self._lock = threading.Lock()
+        self._tokens: Dict[str, ClientIdentity] = {}
+        self._anonymous = ClientIdentity(self.ANONYMOUS)
+
+    def register(
+        self,
+        name: str,
+        token: Optional[str] = None,
+        weight: int = 1,
+        quota: Optional[object] = None,
+        **metadata,
+    ) -> str:
+        """Register ``name`` and return its bearer token.
+
+        ``token=None`` generates a fresh 32-hex-char secret.  Re-using a
+        token for a second name is rejected — a token must resolve to
+        exactly one identity.
+        """
+        if not isinstance(name, str) or not name:
+            raise ServiceError(
+                f"client name must be a non-empty string, got {name!r}"
+            )
+        if weight < 1:
+            raise ServiceError(f"client weight must be positive, got {weight}")
+        token = token if token is not None else secrets.token_hex(16)
+        with self._lock:
+            existing = self._tokens.get(token)
+            if existing is not None and existing.name != name:
+                raise ServiceError(
+                    f"token already registered to client {existing.name!r}"
+                )
+            self._tokens[token] = ClientIdentity(
+                name, int(weight), quota, dict(metadata)
+            )
+        return token
+
+    def revoke(self, token: str) -> bool:
+        """Forget ``token``; returns whether it was registered."""
+        with self._lock:
+            return self._tokens.pop(token, None) is not None
+
+    def authenticate(self, token: Optional[str]) -> ClientIdentity:
+        """Resolve ``token`` to its :class:`ClientIdentity`.
+
+        Raises
+        ------
+        AuthenticationError
+            For a missing token (unless ``allow_anonymous``) or one that
+            matches no registration.
+        """
+        if token is None:
+            if self.allow_anonymous:
+                return self._anonymous
+            raise AuthenticationError(
+                "no token supplied and anonymous access is disabled"
+            )
+        with self._lock:
+            for registered, identity in self._tokens.items():
+                # Constant-time comparison; linear scan is fine at the
+                # stub's scale (a real deployment replaces this module).
+                if hmac.compare_digest(registered, token):
+                    return identity
+        raise AuthenticationError("unknown token")
+
+    def clients(self) -> list:
+        """Return the registered client names (no tokens)."""
+        with self._lock:
+            return sorted({identity.name for identity in self._tokens.values()})

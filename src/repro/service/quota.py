@@ -1,0 +1,151 @@
+"""Per-client quotas and token-bucket rate limiting.
+
+Two admission dimensions, both enforced at ``submit()`` time by
+:class:`~repro.service.service.RuntimeService`:
+
+* **Concurrency** — ``max_in_flight_jobs`` bounds how many of a client's
+  circuits may be queued-or-running at once (the scheduler's global
+  ``max_in_flight`` protects the *machine*; this protects *other
+  clients* from one tenant monopolising the queue).
+* **Throughput** — ``shots_per_second`` is a classic token bucket over
+  submitted shots: capacity ``burst_shots`` refills at the configured
+  rate, every submission charges ``shots x circuits`` tokens, and an
+  empty bucket means the submission is over rate.
+
+What happens when a limit is hit is the client's ``over_quota`` policy:
+``"reject"`` raises a typed error immediately (:class:`QuotaExceeded` /
+:class:`RateLimited`, the latter carrying ``retry_after`` seconds), and
+``"queue"`` makes the async front-end wait — backpressure instead of
+errors — without ever blocking the event loop.
+
+The bucket takes an injectable clock so tests drive time by hand.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.exceptions import ServiceError
+
+#: Over-quota policies: fail fast, or apply backpressure.
+OVER_QUOTA_POLICIES = ("reject", "queue")
+
+
+class QuotaExceeded(ServiceError):
+    """Raised when a submission would exceed a concurrency quota."""
+
+    def __init__(self, message: str, client: str = "", in_flight: int = 0,
+                 limit: int = 0) -> None:
+        super().__init__(message)
+        self.client = client
+        self.in_flight = in_flight
+        self.limit = limit
+
+
+class RateLimited(ServiceError):
+    """Raised when a submission exceeds the client's shots/sec budget.
+
+    ``retry_after`` is the seconds until the token bucket holds enough
+    for this submission — the value an HTTP front-end would surface as a
+    ``Retry-After`` header.
+    """
+
+    def __init__(self, message: str, client: str = "",
+                 retry_after: float = 0.0) -> None:
+        super().__init__(message)
+        self.client = client
+        self.retry_after = retry_after
+
+
+@dataclass(frozen=True)
+class ClientQuota:
+    """One client's admission policy (``None`` fields are unlimited).
+
+    ``burst_shots`` defaults to one second's worth of shots; submissions
+    larger than the burst are still admitted from a full bucket (the
+    bucket goes into debt, suppressing later submissions) so a single
+    legitimately large batch cannot be starved forever.
+    """
+
+    max_in_flight_jobs: Optional[int] = None
+    shots_per_second: Optional[float] = None
+    burst_shots: Optional[float] = None
+    over_quota: str = "reject"
+
+    def __post_init__(self) -> None:
+        if self.over_quota not in OVER_QUOTA_POLICIES:
+            raise ServiceError(
+                f"unknown over_quota policy {self.over_quota!r}; "
+                f"choose from {list(OVER_QUOTA_POLICIES)}"
+            )
+        if self.max_in_flight_jobs is not None and self.max_in_flight_jobs < 1:
+            raise ServiceError(
+                f"max_in_flight_jobs must be positive, got "
+                f"{self.max_in_flight_jobs}"
+            )
+        if self.shots_per_second is not None and self.shots_per_second <= 0:
+            raise ServiceError(
+                f"shots_per_second must be positive, got {self.shots_per_second}"
+            )
+        if self.burst_shots is not None and self.burst_shots <= 0:
+            raise ServiceError(
+                f"burst_shots must be positive, got {self.burst_shots}"
+            )
+
+
+#: The default policy: everything unlimited, reject on (unreachable) limits.
+UNLIMITED = ClientQuota()
+
+
+class TokenBucket:
+    """A thread-safe token bucket with an injectable monotonic clock.
+
+    ``capacity`` tokens refill at ``rate`` per second.  :meth:`acquire`
+    charges ``amount`` and returns 0.0 when granted, else the seconds
+    until enough tokens will have refilled (the caller's retry-after).
+    An ``amount`` above ``capacity`` is granted from a full bucket and
+    drives the level negative (bounded debt) rather than deadlocking.
+    """
+
+    def __init__(self, rate: float, capacity: Optional[float] = None,
+                 clock=time.monotonic) -> None:
+        if rate <= 0:
+            raise ServiceError(f"rate must be positive, got {rate}")
+        self.rate = float(rate)
+        self.capacity = float(capacity) if capacity is not None else float(rate)
+        if self.capacity <= 0:
+            raise ServiceError(f"capacity must be positive, got {capacity}")
+        self._clock = clock
+        self._tokens = self.capacity
+        self._updated = clock()
+        self._lock = threading.Lock()
+
+    def _refill(self, now: float) -> None:
+        elapsed = max(0.0, now - self._updated)
+        self._tokens = min(self.capacity, self._tokens + elapsed * self.rate)
+        self._updated = now
+
+    def acquire(self, amount: float) -> float:
+        """Try to take ``amount`` tokens; return 0.0 or the retry-after."""
+        if amount <= 0:
+            return 0.0
+        with self._lock:
+            now = self._clock()
+            self._refill(now)
+            # A request larger than the whole burst passes from a full
+            # bucket (debt model) so it cannot be starved forever.
+            needed = min(float(amount), self.capacity)
+            if self._tokens >= needed:
+                self._tokens -= float(amount)
+                return 0.0
+            return (needed - self._tokens) / self.rate
+
+    @property
+    def tokens(self) -> float:
+        """Current token level (refilled to now; may be negative)."""
+        with self._lock:
+            self._refill(self._clock())
+            return self._tokens

@@ -1,0 +1,675 @@
+"""`RuntimeService`: the asyncio multi-tenant front door of the runtime.
+
+The fair-share :class:`~repro.runtime.scheduler.Scheduler` is a library
+object — a caller constructs it and blocks threads on batch handles.
+This module promotes it to a *service*: a long-running object many
+concurrent (async) clients talk to through four calls::
+
+    service = RuntimeService()
+    token = service.register_client("alice", weight=2,
+                                    quota=ClientQuota(max_in_flight_jobs=8))
+
+    job = await service.submit(circuits, "noisy:ibmqx4", shots=2048,
+                               seed=7, token=token)
+    async for finished in job.as_completed():     # streaming collection
+        ...
+    results = await job.result()                  # or bulk collection
+
+    async for handle in service.as_completed([job, other, third]):
+        ...                                       # cross-submission stream
+
+Design rules:
+
+* **Never block the event loop.**  Submission is admission-control math
+  plus a queue insert; completion is bridged from the executor futures by
+  callbacks (:meth:`Job.add_done_callback` →
+  ``loop.call_soon_threadsafe``), not by polling threads; result
+  *collection* (which may merge chunks or lazily re-run a derived job)
+  runs in the loop's default thread pool.
+* **Admission before execution.**  Authentication
+  (:mod:`repro.service.auth`), per-client concurrency quotas and
+  shots/sec token buckets (:mod:`repro.service.quota`) gate ``submit()``
+  with typed errors — or, under ``over_quota="queue"``, with async
+  backpressure.  The scheduler's queue policies (deadlines, preemption,
+  cost-model width planning) act after admission.
+* **Counts are sacred.**  The service adds *when* and *whether*, never
+  *what*: everything flows through the same ``Scheduler`` → ``execute()``
+  stack, so a seeded submission's counts are bit-identical to calling
+  :func:`repro.runtime.execute.execute` directly
+  (``tests/service/test_service.py`` pins it).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import threading
+import time
+from typing import AsyncIterator, Dict, List, Optional
+
+from repro.exceptions import JobError, QueueTimeout, ServiceError
+from repro.runtime.scheduler import ScheduledBatch, Scheduler
+from repro.service.auth import AuthenticationError, ClientIdentity, TokenAuthenticator
+from repro.service.quota import (
+    UNLIMITED,
+    ClientQuota,
+    QuotaExceeded,
+    RateLimited,
+    TokenBucket,
+)
+from repro.service.stats import ClientStats, LatencyWindow, RateMeter
+
+_service_job_counter = itertools.count(1)
+
+
+class ServiceJob:
+    """One submission's handle: a stable id plus async status/result APIs.
+
+    Created by :meth:`RuntimeService.submit`; awaiting the handle (or
+    calling :meth:`result`) yields the submission's ordered result list.
+    The handle settles exactly once — on completion, failure, queue-drop,
+    or cancellation — and :meth:`RuntimeService.as_completed` streams
+    handles in settle order.
+    """
+
+    def __init__(
+        self, service: "RuntimeService", client: str, batch: ScheduledBatch,
+        size: int, loop: asyncio.AbstractEventLoop,
+    ) -> None:
+        self.job_id = f"svc-{next(_service_job_counter)}"
+        self.client = client
+        self.batch = batch
+        self.size = size
+        self._service = service
+        self._loop = loop
+        self._dispatched = asyncio.Event()
+        self._settled = asyncio.Event()
+
+    # -- lifecycle -------------------------------------------------------
+
+    def status(self) -> str:
+        """Return ``"queued"``, ``"running"``, ``"done"``, ``"failed"``,
+        ``"dropped"`` or ``"cancelled"`` (the batch states, service-side)."""
+        return self.batch.status()
+
+    def done(self) -> bool:
+        """Return ``True`` once the handle has settled (any terminal state)."""
+        return self._settled.is_set()
+
+    def cancel(self) -> bool:
+        """Cancel: dequeue while queued, else cancel the not-yet-run jobs."""
+        return self.batch.cancel()
+
+    async def wait(self, timeout: Optional[float] = None) -> "ServiceJob":
+        """Wait until the handle settles; returns ``self`` (never raises
+        for job failure — inspect :meth:`status` / collect to surface it)."""
+        await self._await_settled(timeout)
+        return self
+
+    async def _await_settled(self, timeout: Optional[float]) -> None:
+        try:
+            await asyncio.wait_for(self._settled.wait(), timeout)
+        except asyncio.TimeoutError:
+            if self.batch.status() == "queued":
+                # Raises the typed QueueTimeout with position + wait time.
+                self.batch.jobs(timeout=0)
+            raise JobError(
+                f"{self.job_id} not finished within {timeout}s"
+            ) from None
+
+    # -- collection ------------------------------------------------------
+
+    async def jobs(self, timeout: Optional[float] = None):
+        """Wait for dispatch and return the underlying runtime ``JobSet``.
+
+        Raises the batch's typed error (:class:`QueueTimeout` for a
+        deadline drop, :class:`~repro.exceptions.JobError` otherwise) when
+        the batch never made it out of the queue.
+        """
+        try:
+            await asyncio.wait_for(self._dispatched.wait(), timeout)
+        except asyncio.TimeoutError:
+            self.batch.jobs(timeout=0)  # raises QueueTimeout while queued
+            raise JobError(
+                f"{self.job_id} not dispatched within {timeout}s"
+            ) from None
+        return self.batch.jobs(timeout=0)
+
+    async def result(self, timeout: Optional[float] = None) -> List:
+        """Await completion and return the ordered result list.
+
+        Chunk merging (and the rare derived-job fallback simulation) runs
+        in the loop's default executor so the event loop never blocks.
+        """
+        await self._await_settled(timeout)
+        jobset = self.batch.jobs(timeout=0)  # raises the typed queue error
+        return await self._loop.run_in_executor(None, jobset.result)
+
+    async def counts(self, timeout: Optional[float] = None) -> List:
+        """Shorthand for ``[r.counts for r in await job.result()]``."""
+        return [result.counts for result in await self.result(timeout)]
+
+    def __await__(self):
+        return self.result().__await__()
+
+    async def as_completed(
+        self, timeout: Optional[float] = None
+    ) -> AsyncIterator:
+        """Yield the submission's runtime ``Job`` objects in completion
+        order, each exactly once — cancelled and failed jobs included
+        (their ``result()`` raises), so the stream never drops work.
+
+        The async counterpart of
+        :meth:`repro.runtime.job.JobSet.as_completed`, driven by future
+        done-callbacks instead of a polling thread.
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        jobset = await self.jobs(timeout)
+        queue: asyncio.Queue = asyncio.Queue()
+        for job in jobset:
+            job.add_done_callback(
+                lambda j: RuntimeService._post(self._loop, queue.put_nowait, j)
+            )
+        for _ in range(len(jobset)):
+            remaining = (
+                None if deadline is None else max(0.0, deadline - time.monotonic())
+            )
+            try:
+                yield await asyncio.wait_for(queue.get(), remaining)
+            except asyncio.TimeoutError:
+                raise JobError(
+                    f"{self.job_id}: jobs still pending after {timeout}s"
+                ) from None
+
+    def __repr__(self) -> str:
+        return (
+            f"<ServiceJob {self.job_id} client={self.client!r} "
+            f"size={self.size} status={self.status()}>"
+        )
+
+
+class _ServiceClient:
+    """Service-side per-client state: quota machinery and counters."""
+
+    __slots__ = ("identity", "quota", "bucket", "stats", "in_flight_jobs",
+                 "condition")
+
+    def __init__(self, identity: ClientIdentity, quota: ClientQuota,
+                 clock) -> None:
+        self.identity = identity
+        self.quota = quota
+        self.bucket = (
+            TokenBucket(
+                quota.shots_per_second,
+                quota.burst_shots
+                if quota.burst_shots is not None
+                else quota.shots_per_second,
+                clock=clock,
+            )
+            if quota.shots_per_second is not None
+            else None
+        )
+        self.stats = ClientStats()
+        self.in_flight_jobs = 0
+        self.condition: Optional[asyncio.Condition] = None
+
+
+class RuntimeService:
+    """A long-running multi-tenant async service over the runtime stack.
+
+    Parameters
+    ----------
+    authenticator:
+        Token resolver (default: a fresh
+        :class:`~repro.service.auth.TokenAuthenticator` honouring
+        ``allow_anonymous``).
+    default_quota:
+        :class:`~repro.service.quota.ClientQuota` applied to clients
+        registered without one (and to anonymous submissions); default
+        unlimited.
+    allow_anonymous:
+        Accept token-less submissions under the shared ``"anonymous"``
+        client (default ``True`` — turn off for real multi-tenancy).
+    preempt_after / width_planning:
+        Queue policies, forwarded to the scheduler: boost batches queued
+        longer than ``preempt_after`` seconds, and size each dispatch's
+        pool width from the cost model (on by default — the service's
+        whole point is many concurrent clients sharing one machine).
+    max_in_flight / executor / max_workers / schedule:
+        Forwarded to the underlying
+        :class:`~repro.runtime.scheduler.Scheduler`.
+
+    One service binds to one event loop (the loop of its first async
+    call); the scheduler and executor machinery below it remain plain
+    threads and processes.
+    """
+
+    def __init__(
+        self,
+        authenticator: Optional[TokenAuthenticator] = None,
+        default_quota: Optional[ClientQuota] = None,
+        allow_anonymous: bool = True,
+        max_in_flight: Optional[int] = None,
+        executor: Optional[str] = None,
+        max_workers: Optional[int] = None,
+        schedule: Optional[str] = None,
+        preempt_after: Optional[float] = None,
+        width_planning: bool = True,
+        clock=time.monotonic,
+    ) -> None:
+        self.authenticator = (
+            authenticator
+            if authenticator is not None
+            else TokenAuthenticator(allow_anonymous=allow_anonymous)
+        )
+        self.default_quota = (
+            default_quota if default_quota is not None else UNLIMITED
+        )
+        self.scheduler = Scheduler(
+            max_in_flight=max_in_flight,
+            executor=executor,
+            max_workers=max_workers,
+            schedule=schedule,
+            require_registration=True,
+            preempt_after=preempt_after,
+            width_planning=width_planning,
+        )
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._clients: Dict[str, _ServiceClient] = {}
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._rejected_auth = 0
+        self._queue_latency = LatencyWindow()
+        self._completions = RateMeter(clock=clock)
+        self._started = clock()
+        if self.authenticator.allow_anonymous:
+            self.scheduler.client(TokenAuthenticator.ANONYMOUS, weight=1)
+
+    # ------------------------------------------------------------------
+    # Tenant management
+    # ------------------------------------------------------------------
+
+    def register_client(
+        self,
+        name: str,
+        token: Optional[str] = None,
+        weight: int = 1,
+        quota: Optional[ClientQuota] = None,
+        **metadata,
+    ) -> str:
+        """Register a tenant and return its bearer token.
+
+        ``weight`` feeds the scheduler's weighted round-robin; ``quota``
+        (default: the service's ``default_quota``) bounds the client's
+        concurrency and shots/sec.  Re-registering a name updates weight
+        and quota and issues an additional token.
+        """
+        token = self.authenticator.register(
+            name, token=token, weight=weight, quota=quota, **metadata
+        )
+        self.scheduler.client(name, weight=weight)
+        identity = ClientIdentity(name, weight, quota, dict(metadata))
+        effective = quota if quota is not None else self.default_quota
+        with self._lock:
+            state = self._clients.get(name)
+            if state is None:
+                self._clients[name] = _ServiceClient(
+                    identity, effective, self._clock
+                )
+            else:
+                # Re-registration updates policy but keeps counters.
+                fresh = _ServiceClient(identity, effective, self._clock)
+                state.identity = identity
+                state.quota = effective
+                state.bucket = fresh.bucket
+        return token
+
+    def _client_state(self, identity: ClientIdentity) -> _ServiceClient:
+        with self._lock:
+            state = self._clients.get(identity.name)
+            if state is None:
+                quota = (
+                    identity.quota
+                    if identity.quota is not None
+                    else self.default_quota
+                )
+                state = _ServiceClient(identity, quota, self._clock)
+                self._clients[identity.name] = state
+            return state
+
+    # ------------------------------------------------------------------
+    # Submission
+    # ------------------------------------------------------------------
+
+    def _bind_loop(self) -> asyncio.AbstractEventLoop:
+        loop = asyncio.get_running_loop()
+        if self._loop is None:
+            self._loop = loop
+        elif self._loop is not loop:
+            raise ServiceError(
+                "RuntimeService is bound to another event loop; create one "
+                "service per loop"
+            )
+        return loop
+
+    @staticmethod
+    def _batch_shape(circuits, shots) -> (int, int):
+        """Return ``(num_circuits, total_shots)`` for admission math."""
+        from repro.circuits.circuit import QuantumCircuit
+
+        size = 1 if isinstance(circuits, QuantumCircuit) else len(list(circuits))
+        if isinstance(shots, (list, tuple)):
+            total = sum(int(s) for s in shots)
+        else:
+            total = int(shots) * size
+        return size, total
+
+    def _try_admit(self, state: _ServiceClient, size: int, total_shots: int):
+        """One admission attempt; returns ``(kind, retry_after)``.
+
+        ``kind`` is ``"ok"`` (in-flight charged, bucket debited),
+        ``"quota"`` (concurrency limit) or ``"rate"`` (bucket empty,
+        ``retry_after`` seconds until it refills enough).
+        """
+        with self._lock:
+            limit = state.quota.max_in_flight_jobs
+            if limit is not None and state.in_flight_jobs + size > limit:
+                return "quota", None
+            if state.bucket is not None:
+                retry_after = state.bucket.acquire(total_shots)
+                if retry_after > 0:
+                    return "rate", retry_after
+            state.in_flight_jobs += size
+            return "ok", None
+
+    async def submit(
+        self,
+        circuits,
+        backend,
+        shots=1024,
+        seed=None,
+        token: Optional[str] = None,
+        priority: int = 0,
+        deadline: Optional[float] = None,
+        deadline_action: str = "drop",
+        **options,
+    ) -> ServiceJob:
+        """Authenticate, admit and queue a submission; return its handle.
+
+        ``circuits``/``backend``/``shots``/``seed``/``**options`` are
+        :func:`repro.runtime.execute.execute` arguments, ``priority`` /
+        ``deadline`` / ``deadline_action`` are scheduler queue policy.
+        Raises :class:`AuthenticationError`, :class:`QuotaExceeded` or
+        :class:`RateLimited` (typed, with retry telemetry) for rejected
+        submissions — or, for ``over_quota="queue"`` clients, applies
+        backpressure by awaiting capacity instead.
+        """
+        loop = self._bind_loop()
+        try:
+            identity = self.authenticator.authenticate(token)
+        except AuthenticationError:
+            with self._lock:
+                self._rejected_auth += 1
+            raise
+        state = self._client_state(identity)
+        size, total_shots = self._batch_shape(circuits, shots)
+        while True:
+            kind, retry_after = self._try_admit(state, size, total_shots)
+            if kind == "ok":
+                break
+            if state.quota.over_quota == "reject":
+                if kind == "quota":
+                    state.stats.bump("rejected_quota")
+                    raise QuotaExceeded(
+                        f"client {identity.name!r} has "
+                        f"{state.in_flight_jobs} job(s) in flight; "
+                        f"{size} more would exceed its limit of "
+                        f"{state.quota.max_in_flight_jobs}",
+                        client=identity.name,
+                        in_flight=state.in_flight_jobs,
+                        limit=state.quota.max_in_flight_jobs,
+                    )
+                state.stats.bump("rejected_rate")
+                raise RateLimited(
+                    f"client {identity.name!r} exceeded "
+                    f"{state.quota.shots_per_second:g} shots/sec; retry in "
+                    f"{retry_after:.3f}s",
+                    client=identity.name,
+                    retry_after=retry_after,
+                )
+            # Backpressure: wait for capacity without blocking the loop.
+            state.stats.bump("queued_waits")
+            if kind == "rate":
+                await asyncio.sleep(retry_after)
+            else:
+                if state.condition is None:
+                    state.condition = asyncio.Condition()
+                async with state.condition:
+                    await state.condition.wait()
+        try:
+            batch = self.scheduler.submit(
+                circuits,
+                backend,
+                shots=shots,
+                seed=seed,
+                client=identity.name,
+                priority=priority,
+                deadline=deadline,
+                deadline_action=deadline_action,
+                **options,
+            )
+        except BaseException:
+            with self._lock:
+                state.in_flight_jobs -= size
+            raise
+        state.stats.bump("submitted_batches")
+        state.stats.bump("submitted_jobs", size)
+        handle = ServiceJob(self, identity.name, batch, size, loop)
+        # The bridge out of the threaded scheduler: fires on dispatch,
+        # dispatch failure, deadline drop or queue-side cancel — possibly
+        # on the dispatcher thread — and hops onto the loop.
+        batch.add_dispatch_callback(
+            lambda _batch: self._post(loop, self._on_left_queue, handle)
+        )
+        return handle
+
+    @staticmethod
+    def _post(loop: asyncio.AbstractEventLoop, fn, *args) -> None:
+        """``call_soon_threadsafe`` tolerant of a loop closed mid-teardown."""
+        try:
+            loop.call_soon_threadsafe(fn, *args)
+        except RuntimeError:
+            pass  # the owning loop is gone; nobody is awaiting the handle
+
+    # ------------------------------------------------------------------
+    # Settlement (event-loop thread)
+    # ------------------------------------------------------------------
+
+    def _on_left_queue(self, handle: ServiceJob) -> None:
+        """The handle's batch left the queue: record latency, arm
+        completion callbacks (or settle immediately on a queue-side
+        terminal state)."""
+        handle._dispatched.set()
+        batch = handle.batch
+        if batch.dispatched_at is not None:
+            wait = batch.wait_time()
+            self._queue_latency.add(wait)
+            state = self._clients.get(handle.client)
+            if state is not None:
+                state.stats.queue_latency.add(wait)
+        status = batch.status()
+        if status in ("failed", "dropped", "cancelled"):
+            self._settle(handle)
+            return
+        jobset = batch._jobset
+        remaining = len(jobset.jobs)
+        if remaining == 0:
+            self._settle(handle)
+            return
+        countdown = {"left": remaining}
+        lock = threading.Lock()
+
+        def job_done(_job) -> None:
+            with lock:
+                countdown["left"] -= 1
+                if countdown["left"]:
+                    return
+            self._post(handle._loop, self._settle, handle)
+
+        for job in jobset:
+            job.add_done_callback(job_done)
+
+    def _settle(self, handle: ServiceJob) -> None:
+        """Terminal bookkeeping; runs on the loop exactly once per handle."""
+        if handle._settled.is_set():
+            return
+        handle._settled.set()
+        state = self._clients.get(handle.client)
+        status = handle.batch.status()
+        if state is not None:
+            with self._lock:
+                state.in_flight_jobs -= handle.size
+            if status == "dropped":
+                state.stats.bump("dropped_batches")
+            elif status == "cancelled":
+                state.stats.bump("cancelled_batches")
+            elif status == "failed":
+                state.stats.bump("failed_batches")
+            else:
+                from repro.runtime.job import JobStatus
+
+                jobset = handle.batch._jobset
+                statuses = jobset.statuses()
+                if any(s is JobStatus.ERROR for s in statuses):
+                    state.stats.bump("failed_batches")
+                elif any(s is JobStatus.CANCELLED for s in statuses):
+                    state.stats.bump("cancelled_batches")
+                else:
+                    state.stats.bump("completed_batches")
+                    state.stats.bump("completed_jobs", handle.size)
+                    self._completions.tick(handle.size)
+            if state.condition is not None:
+                # Wake over-quota waiters; we are already on the loop.
+                asyncio.ensure_future(self._notify(state.condition))
+
+    @staticmethod
+    async def _notify(condition: asyncio.Condition) -> None:
+        async with condition:
+            condition.notify_all()
+
+    # ------------------------------------------------------------------
+    # Streaming
+    # ------------------------------------------------------------------
+
+    async def as_completed(
+        self, handles, timeout: Optional[float] = None
+    ) -> AsyncIterator[ServiceJob]:
+        """Yield each :class:`ServiceJob` as it settles, exactly once.
+
+        Terminal-state agnostic: completed, failed, dropped and cancelled
+        handles are all yielded (collecting the unlucky ones raises their
+        typed error), so a many-client driver never loses track of work.
+        """
+        self._bind_loop()
+        pending = {
+            asyncio.ensure_future(handle.wait()): handle for handle in handles
+        }
+        deadline = None if timeout is None else time.monotonic() + timeout
+        try:
+            while pending:
+                remaining = (
+                    None if deadline is None else max(0.0, deadline - time.monotonic())
+                )
+                done, _not_done = await asyncio.wait(
+                    pending, timeout=remaining,
+                    return_when=asyncio.FIRST_COMPLETED,
+                )
+                if not done:
+                    raise JobError(
+                        f"{len(pending)} submission(s) still pending after "
+                        f"{timeout}s"
+                    )
+                for task in done:
+                    yield pending.pop(task)
+        finally:
+            for task in pending:
+                task.cancel()
+
+    # ------------------------------------------------------------------
+    # Observability / lifecycle
+    # ------------------------------------------------------------------
+
+    def stats(self) -> dict:
+        """Snapshot service-wide and per-client statistics.
+
+        ``jobs_per_second`` is the completion rate over the meter's
+        sliding window; ``queue_latency`` carries p50/p99/max over the
+        recent dispatch waits.  Scheduler-side counters (queue depth,
+        preemptions, drops) are folded in so one call tells the whole
+        story.
+        """
+        scheduler = self.scheduler.stats()
+        with self._lock:
+            clients = dict(self._clients)
+            rejected_auth = self._rejected_auth
+        per_client = {}
+        for name, state in clients.items():
+            snapshot = state.stats.snapshot()
+            snapshot["in_flight_jobs"] = state.in_flight_jobs
+            snapshot["weight"] = state.identity.weight
+            scheduler_view = scheduler["clients"].get(name)
+            if scheduler_view is not None:
+                snapshot["scheduler"] = scheduler_view
+            per_client[name] = snapshot
+        totals = {
+            field: sum(c["scheduler"][field] for c in per_client.values()
+                       if "scheduler" in c)
+            for field in ("preempted_batches", "reprioritized_batches",
+                          "dropped_batches")
+        }
+        return {
+            "uptime_s": self._clock() - self._started,
+            "jobs_per_second": self._completions.rate(),
+            "completed_jobs": self._completions.total,
+            "rejected_auth": rejected_auth,
+            "queued_batches": scheduler["queued_batches"],
+            "in_flight_jobs": scheduler["in_flight_jobs"],
+            "max_in_flight": scheduler["max_in_flight"],
+            "dispatched_batches": scheduler["dispatched_batches"],
+            "queue_latency": self._queue_latency.snapshot(),
+            **totals,
+            "clients": per_client,
+        }
+
+    async def drain(self, timeout: Optional[float] = None) -> bool:
+        """Wait until nothing is queued or in flight (off-loop wait)."""
+        loop = self._bind_loop()
+        return await loop.run_in_executor(
+            None, lambda: self.scheduler.wait_idle(timeout)
+        )
+
+    async def close(self, wait: bool = True) -> None:
+        """Shut the scheduler down (drain with ``wait=True``) off-loop."""
+        loop = self._bind_loop()
+        await loop.run_in_executor(
+            None, lambda: self.scheduler.shutdown(wait)
+        )
+
+    def shutdown(self, wait: bool = True) -> None:
+        """Synchronous shutdown for non-async owners (atexit, tests)."""
+        self.scheduler.shutdown(wait)
+
+    async def __aenter__(self) -> "RuntimeService":
+        self._bind_loop()
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.close(wait=exc_info[0] is None)
+
+    def __repr__(self) -> str:
+        scheduler = self.scheduler.stats()
+        return (
+            f"<RuntimeService clients={len(self._clients)} "
+            f"queued={scheduler['queued_batches']} "
+            f"in_flight={scheduler['in_flight_jobs']}>"
+        )

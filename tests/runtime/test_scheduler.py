@@ -3,6 +3,7 @@ adaptive chunk planning, backend-aware executor defaults, the parent-side
 process-fan-out prepare, and the fair-share multi-client queue.
 """
 
+import math
 import multiprocessing
 import threading
 import time
@@ -13,7 +14,7 @@ from repro.circuits import library
 from repro.circuits.circuit import QuantumCircuit
 from repro.devices.backend import Backend, NoisyDeviceBackend
 from repro.devices.ibmqx4 import ibmqx4
-from repro.exceptions import JobError
+from repro.exceptions import JobError, QueueTimeout
 from repro.results.counts import Counts
 from repro.results.result import Result
 from repro.runtime import (
@@ -691,3 +692,313 @@ class TestSchedulerFairShare:
                 scheduler.client("a", weight=0)
         finally:
             scheduler.shutdown()
+
+
+# ----------------------------------------------------------------------
+# Queue policies: validation, timeouts, deadlines, preemption, width
+# ----------------------------------------------------------------------
+
+
+class TestSubmitValidation:
+    def test_bad_client_names_rejected(self):
+        with Scheduler(executor="serial") as scheduler:
+            with pytest.raises(ValueError, match="non-empty string"):
+                scheduler.submit(named_circuit("c"), "statevector", client="")
+            with pytest.raises(ValueError, match="non-empty string"):
+                scheduler.submit(named_circuit("c"), "statevector", client=7)
+
+    @pytest.mark.parametrize("priority", [-1, -100, 1.5, "high", True, None])
+    def test_bad_priorities_rejected(self, priority):
+        with Scheduler(executor="serial") as scheduler:
+            with pytest.raises(ValueError, match="priority"):
+                scheduler.submit(named_circuit("c"), "statevector",
+                                 priority=priority)
+
+    def test_bad_deadlines_rejected(self):
+        with Scheduler(executor="serial") as scheduler:
+            with pytest.raises(ValueError, match="deadline must be positive"):
+                scheduler.submit(named_circuit("c"), "statevector", deadline=0)
+            with pytest.raises(ValueError, match="deadline_action"):
+                scheduler.submit(named_circuit("c"), "statevector",
+                                 deadline=1.0, deadline_action="explode")
+
+    def test_unregistered_client_rejected_when_registration_required(self):
+        with Scheduler(executor="serial",
+                       require_registration=True) as scheduler:
+            scheduler.client("alice")
+            with pytest.raises(ValueError, match="not registered"):
+                scheduler.submit(named_circuit("c"), "statevector",
+                                 client="mallory")
+            # The error names who *is* registered, to aid fixing the call.
+            with pytest.raises(ValueError, match="alice"):
+                scheduler.submit(named_circuit("c"), "statevector",
+                                 client="mallory")
+            batch = scheduler.submit(named_circuit("c"), "statevector",
+                                     shots=8, seed=1, client="alice")
+            batch.result(timeout=30)
+
+    def test_auto_registration_still_default(self):
+        with Scheduler(executor="serial") as scheduler:
+            batch = scheduler.submit(named_circuit("c"), "statevector",
+                                     shots=8, seed=1, client="newcomer")
+            batch.result(timeout=30)
+
+
+class TestQueueTimeoutSemantics:
+    def test_timeout_while_queued_raises_queue_timeout_with_position(self):
+        gate = threading.Event()
+        try:
+            with Scheduler(max_in_flight=1, executor="thread") as scheduler:
+                blocker = scheduler.submit(
+                    named_circuit("blocker"), RecordingBackend([], gate=gate),
+                    shots=4,
+                )
+                blocker.jobs(timeout=10)  # pinned in flight, gated
+                first = scheduler.submit(named_circuit("first"),
+                                         RecordingBackend([]), shots=4)
+                second = scheduler.submit(named_circuit("second"),
+                                          RecordingBackend([]), shots=4)
+                with pytest.raises(QueueTimeout) as excinfo:
+                    second.result(timeout=0.05)
+                error = excinfo.value
+                assert isinstance(error, JobError)  # old handlers still catch
+                assert error.client == "default"
+                assert error.waited >= 0.05
+                assert error.queue_position == 1  # behind `first`
+                assert error.queued_batches == 2
+                assert "position 2 of 2" in str(error)
+                with pytest.raises(QueueTimeout) as excinfo:
+                    first.counts(timeout=0.05)
+                assert excinfo.value.queue_position == 0
+                gate.set()
+                assert first.counts(timeout=30)
+        finally:
+            gate.set()
+
+    def test_timeout_after_dispatch_is_not_a_queue_timeout(self):
+        gate = threading.Event()
+        try:
+            with Scheduler(max_in_flight=1, executor="thread") as scheduler:
+                batch = scheduler.submit(
+                    named_circuit("slow"), RecordingBackend([], gate=gate),
+                    shots=4,
+                )
+                batch.jobs(timeout=10)
+                with pytest.raises(JobError) as excinfo:
+                    batch.result(timeout=0.05)
+                assert not isinstance(excinfo.value, QueueTimeout)
+                gate.set()
+                batch.result(timeout=30)
+        finally:
+            gate.set()
+
+
+class TestDeadlines:
+    def test_deadline_drop_retires_queued_batch(self):
+        gate = threading.Event()
+        try:
+            with Scheduler(max_in_flight=1, executor="thread") as scheduler:
+                log = []
+                blocker = scheduler.submit(
+                    named_circuit("blocker"), RecordingBackend(log, gate=gate),
+                    shots=4,
+                )
+                blocker.jobs(timeout=10)
+                doomed = scheduler.submit(
+                    named_circuit("doomed"), RecordingBackend(log), shots=4,
+                    deadline=0.05,
+                )
+                deadline = time.monotonic() + 10
+                while doomed.status() != "dropped":
+                    assert time.monotonic() < deadline, "never dropped"
+                    time.sleep(0.005)
+                assert doomed.done()
+                with pytest.raises(QueueTimeout, match="deadline"):
+                    doomed.result(timeout=1)
+                gate.set()
+                blocker.result(timeout=30)
+                assert scheduler.wait_idle(timeout=10)
+                stats = scheduler.stats()["clients"]["default"]
+                assert stats["dropped_batches"] == 1
+                assert "doomed" not in log  # dropped work never runs
+        finally:
+            gate.set()
+
+    def test_deadline_reprioritize_boosts_ahead_of_high_priority(self):
+        gate = threading.Event()
+        log = []
+        try:
+            with Scheduler(max_in_flight=1, executor="thread") as scheduler:
+                blocker = scheduler.submit(
+                    named_circuit("blocker"), RecordingBackend(log, gate=gate),
+                    shots=4,
+                )
+                blocker.jobs(timeout=10)
+                important = scheduler.submit(
+                    named_circuit("important"), RecordingBackend(log),
+                    shots=4, priority=9,
+                )
+                boosted = scheduler.submit(
+                    named_circuit("boosted"), RecordingBackend(log), shots=4,
+                    priority=0, deadline=0.05,
+                    deadline_action="reprioritize",
+                )
+                time.sleep(0.2)  # deadline expires while still queued
+                gate.set()
+                important.result(timeout=30)
+                boosted.result(timeout=30)
+                assert log.index("boosted") < log.index("important")
+                stats = scheduler.stats()["clients"]["default"]
+                assert stats["reprioritized_batches"] == 1
+                assert stats["dropped_batches"] == 0
+        finally:
+            gate.set()
+
+
+class TestPreemption:
+    def test_long_waiting_batch_is_boosted(self):
+        """preempt_after boosts a starved batch ahead of later
+        high-priority arrivals (aging beats priority eventually)."""
+        gate = threading.Event()
+        log = []
+        try:
+            with Scheduler(max_in_flight=1, executor="thread",
+                           preempt_after=0.05) as scheduler:
+                blocker = scheduler.submit(
+                    named_circuit("blocker"), RecordingBackend(log, gate=gate),
+                    shots=4,
+                )
+                blocker.jobs(timeout=10)
+                starved = scheduler.submit(
+                    named_circuit("starved"), RecordingBackend(log), shots=4,
+                    priority=0,
+                )
+                time.sleep(0.15)  # starved ages past preempt_after
+                jumper = scheduler.submit(
+                    named_circuit("jumper"), RecordingBackend(log), shots=4,
+                    priority=9,
+                )
+                gate.set()
+                starved.result(timeout=30)
+                jumper.result(timeout=30)
+                assert log.index("starved") < log.index("jumper")
+                stats = scheduler.stats()["clients"]["default"]
+                assert stats["preempted_batches"] >= 1
+        finally:
+            gate.set()
+
+    def test_invalid_preempt_after_rejected(self):
+        with pytest.raises(JobError, match="preempt_after"):
+            Scheduler(preempt_after=0)
+
+
+class TestCancelQueued:
+    def test_cancel_dequeues_and_settles(self):
+        gate = threading.Event()
+        log = []
+        try:
+            with Scheduler(max_in_flight=1, executor="thread") as scheduler:
+                blocker = scheduler.submit(
+                    named_circuit("blocker"), RecordingBackend(log, gate=gate),
+                    shots=4,
+                )
+                blocker.jobs(timeout=10)
+                doomed = scheduler.submit(named_circuit("doomed"),
+                                          RecordingBackend(log), shots=4)
+                assert doomed.cancel()
+                assert doomed.status() == "cancelled"
+                assert doomed.done()
+                with pytest.raises(JobError, match="cancelled"):
+                    doomed.result(timeout=1)
+                gate.set()
+                blocker.result(timeout=30)
+                assert scheduler.wait_idle(timeout=10)
+                assert "doomed" not in log
+                stats = scheduler.stats()["clients"]["default"]
+                assert stats["cancelled_batches"] == 1
+        finally:
+            gate.set()
+
+
+class TestWidthPlanner:
+    def test_no_data_means_no_opinion(self):
+        from repro.runtime import plan_width
+
+        model = CostModel()
+        assert plan_width(get_backend("statevector"),
+                          [measured_bell()], 1024,
+                          max_width=8, cost_model=model) is None
+
+    def test_width_scales_with_estimated_cost(self):
+        from repro.runtime import plan_width
+        from repro.runtime.scheduler import TARGET_CHUNK_SECONDS
+
+        backend = get_backend("statevector")
+        circuit = measured_bell()
+        model = CostModel()
+        key = profile_key(backend, circuit)
+        # Train: 1 ms per shot -> 1024 shots ~ 1.024 s of estimated work.
+        model.observe_run(key, shots=100, elapsed=0.1)
+        width = plan_width(backend, [circuit], 1024, max_width=64,
+                           cost_model=model)
+        expected = math.ceil(1024 * 0.001 / TARGET_CHUNK_SECONDS)
+        assert width == expected
+        # Tiny batches take one worker; huge ones clamp to the cap.
+        assert plan_width(backend, [circuit], 16, max_width=64,
+                          cost_model=model) == 1
+        assert plan_width(backend, [circuit] * 100, 100000, max_width=8,
+                          cost_model=model) == 8
+
+    def test_single_worker_cap_means_no_opinion(self):
+        from repro.runtime import plan_width
+
+        assert plan_width(get_backend("statevector"), [measured_bell()],
+                          1024, max_width=1) is None
+
+    def test_unknown_backend_spec_means_no_opinion(self):
+        from repro.runtime import plan_width
+
+        assert plan_width("no-such-backend", [measured_bell()], 1024,
+                          max_width=8) is None
+
+    def test_scheduler_records_planned_width(self, monkeypatch):
+        # The planner defers to the machine width; pin it so the test is
+        # meaningful on single-core runners too.
+        import repro.runtime.scheduler as scheduler_module
+
+        monkeypatch.setattr(scheduler_module, "default_max_workers",
+                            lambda: 8)
+        backend = get_backend("statevector")
+        circuit = measured_bell()
+        model = CostModel()
+        model.observe_run(profile_key(backend, circuit), shots=100, elapsed=0.1)
+        with Scheduler(executor="thread", width_planning=True,
+                       cost_model=model) as scheduler:
+            batch = scheduler.submit(circuit, backend, shots=1024, seed=3)
+            batch.result(timeout=30)
+            assert batch.planned_width is not None
+            assert batch.planned_width >= 1
+
+    def test_width_planning_never_changes_counts(self):
+        circuit = measured_bell()
+        reference = execute(circuit, "statevector", shots=256,
+                            seed=5).result().counts
+        model = CostModel()
+        model.observe_run(profile_key(get_backend("statevector"), circuit),
+                          shots=100, elapsed=0.1)
+        with Scheduler(executor="thread", width_planning=True,
+                       cost_model=model) as scheduler:
+            batch = scheduler.submit(circuit, "statevector", shots=256, seed=5)
+            assert batch.counts(timeout=30)[0] == reference
+
+
+class TestSchedulerQueueStats:
+    def test_queue_wait_samples_exposed(self):
+        with Scheduler(executor="serial") as scheduler:
+            batch = scheduler.submit(named_circuit("c"), "statevector",
+                                     shots=8, seed=1)
+            batch.result(timeout=30)
+            assert scheduler.wait_idle(timeout=10)
+            stats = scheduler.stats()
+        assert stats["queue_wait_samples"] == 1
+        assert stats["queue_wait_mean_s"] >= 0.0

@@ -1,0 +1,168 @@
+"""Unit tests for the service admission primitives: the token
+authenticator stub, client quota validation, and the token bucket (driven
+by a hand-cranked clock so nothing sleeps)."""
+
+import pytest
+
+from repro.exceptions import ServiceError
+from repro.service import (
+    AuthenticationError,
+    ClientQuota,
+    TokenAuthenticator,
+    TokenBucket,
+)
+
+
+class FakeClock:
+    def __init__(self, start=0.0):
+        self.now = float(start)
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+# ----------------------------------------------------------------------
+# TokenAuthenticator
+# ----------------------------------------------------------------------
+
+
+class TestTokenAuthenticator:
+    def test_register_returns_token_that_authenticates(self):
+        auth = TokenAuthenticator()
+        token = auth.register("alice", weight=3, team="qc")
+        identity = auth.authenticate(token)
+        assert identity.name == "alice"
+        assert identity.weight == 3
+        assert identity.metadata == {"team": "qc"}
+
+    def test_explicit_token_is_honoured(self):
+        auth = TokenAuthenticator()
+        auth.register("alice", token="s3cret")
+        assert auth.authenticate("s3cret").name == "alice"
+
+    def test_unknown_token_rejected(self):
+        auth = TokenAuthenticator()
+        auth.register("alice")
+        with pytest.raises(AuthenticationError):
+            auth.authenticate("not-a-token")
+
+    def test_missing_token_rejected_unless_anonymous_allowed(self):
+        with pytest.raises(AuthenticationError):
+            TokenAuthenticator().authenticate(None)
+        identity = TokenAuthenticator(allow_anonymous=True).authenticate(None)
+        assert identity.name == TokenAuthenticator.ANONYMOUS
+
+    def test_token_cannot_be_shared_across_names(self):
+        auth = TokenAuthenticator()
+        auth.register("alice", token="dup")
+        with pytest.raises(ServiceError):
+            auth.register("bob", token="dup")
+
+    def test_revoke_forgets_token(self):
+        auth = TokenAuthenticator()
+        token = auth.register("alice")
+        assert auth.revoke(token)
+        assert not auth.revoke(token)
+        with pytest.raises(AuthenticationError):
+            auth.authenticate(token)
+
+    def test_invalid_registrations_rejected(self):
+        auth = TokenAuthenticator()
+        with pytest.raises(ServiceError):
+            auth.register("")
+        with pytest.raises(ServiceError):
+            auth.register("alice", weight=0)
+
+    def test_clients_lists_names_not_tokens(self):
+        auth = TokenAuthenticator()
+        auth.register("bob")
+        auth.register("alice")
+        assert auth.clients() == ["alice", "bob"]
+
+
+# ----------------------------------------------------------------------
+# ClientQuota validation
+# ----------------------------------------------------------------------
+
+
+class TestClientQuota:
+    def test_defaults_are_unlimited(self):
+        quota = ClientQuota()
+        assert quota.max_in_flight_jobs is None
+        assert quota.shots_per_second is None
+        assert quota.over_quota == "reject"
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"over_quota": "explode"},
+            {"max_in_flight_jobs": 0},
+            {"max_in_flight_jobs": -2},
+            {"shots_per_second": 0},
+            {"shots_per_second": -1.5},
+            {"burst_shots": 0},
+        ],
+    )
+    def test_invalid_fields_rejected(self, kwargs):
+        with pytest.raises(ServiceError):
+            ClientQuota(**kwargs)
+
+
+# ----------------------------------------------------------------------
+# TokenBucket (fake clock: fully deterministic)
+# ----------------------------------------------------------------------
+
+
+class TestTokenBucket:
+    def test_starts_full_and_grants_up_to_capacity(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=10, capacity=100, clock=clock)
+        assert bucket.acquire(100) == 0.0
+        assert bucket.tokens == 0.0
+
+    def test_empty_bucket_returns_retry_after(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=10, capacity=100, clock=clock)
+        bucket.acquire(100)
+        retry = bucket.acquire(50)
+        assert retry == pytest.approx(5.0)  # 50 tokens at 10/s
+
+    def test_refills_at_rate(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=10, capacity=100, clock=clock)
+        bucket.acquire(100)
+        clock.advance(5.0)
+        assert bucket.acquire(50) == 0.0
+
+    def test_refill_caps_at_capacity(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=10, capacity=100, clock=clock)
+        clock.advance(1e6)
+        assert bucket.tokens == 100.0
+
+    def test_oversized_request_passes_from_full_bucket_with_debt(self):
+        """A request above the burst is granted when the bucket is full
+        (debt model) so one large legitimate batch is never starved."""
+        clock = FakeClock()
+        bucket = TokenBucket(rate=10, capacity=100, clock=clock)
+        assert bucket.acquire(250) == 0.0
+        assert bucket.tokens == -150.0
+        # ... and the debt suppresses the next submission until repaid.
+        retry = bucket.acquire(10)
+        assert retry == pytest.approx((10 + 150) / 10.0)
+        clock.advance(16.0)
+        assert bucket.acquire(10) == 0.0
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ServiceError):
+            TokenBucket(rate=0)
+        with pytest.raises(ServiceError):
+            TokenBucket(rate=10, capacity=0)
+
+    def test_nonpositive_amount_is_free(self):
+        bucket = TokenBucket(rate=1, capacity=1, clock=FakeClock())
+        assert bucket.acquire(0) == 0.0
+        assert bucket.tokens == 1.0

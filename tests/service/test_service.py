@@ -1,0 +1,508 @@
+"""Integration tests for :class:`repro.service.RuntimeService`: the async
+submit/stream/collect surface, admission control (auth, quotas, rate
+limits), queue policies through the service, and the determinism contract
+(async path counts are bit-identical to plain ``execute()``)."""
+
+import asyncio
+import threading
+
+import pytest
+
+from repro.circuits import library
+from repro.circuits.circuit import QuantumCircuit
+from repro.devices.backend import Backend
+from repro.exceptions import JobError, QueueTimeout, ServiceError
+from repro.results.counts import Counts
+from repro.results.result import Result
+from repro.runtime import execute
+from repro.service import (
+    AuthenticationError,
+    ClientQuota,
+    QuotaExceeded,
+    RateLimited,
+    RuntimeService,
+    TokenAuthenticator,
+)
+
+
+class FakeClock:
+    def __init__(self, start=0.0):
+        self.now = float(start)
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+class RecordingBackend(Backend):
+    """Logs every run()'s circuit name; optionally gates on an event."""
+
+    name = "recorder"
+
+    def __init__(self, log, gate=None):
+        self.log = log
+        self.gate = gate
+
+    def run(self, circuit, shots=1024, seed=None):
+        if self.gate is not None:
+            assert self.gate.wait(30), "gate never released"
+        self.log.append(circuit.name)
+        return Result(counts=Counts({"0": shots}), shots=shots)
+
+
+class FailingBackend(Backend):
+    name = "faulty"
+
+    def run(self, circuit, shots=1024, seed=None):
+        raise RuntimeError("hardware on fire")
+
+
+def named_circuit(name):
+    circuit = QuantumCircuit(1, name=name)
+    circuit.measure_all()
+    return circuit
+
+
+def measured_bell():
+    circuit = library.bell_pair()
+    circuit.measure_all()
+    return circuit
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+# ----------------------------------------------------------------------
+# Submission, collection, and the determinism contract
+# ----------------------------------------------------------------------
+
+
+class TestSubmitAndCollect:
+    def test_counts_bit_identical_to_plain_execute(self):
+        """The whole point of the service layer: it decides when and
+        whether work runs, never what it computes."""
+        circuits = [measured_bell(), library.ghz_state(3)]
+        circuits[1].measure_all()
+        for backend in ("statevector", "noisy:ibmqx4"):
+            reference = [
+                r.counts
+                for r in execute(circuits, backend, shots=512, seed=11).result()
+            ]
+
+            async def main():
+                async with RuntimeService() as service:
+                    job = await service.submit(
+                        circuits, backend, shots=512, seed=11
+                    )
+                    return await job.counts()
+
+            assert run(main()) == reference
+
+    def test_await_handle_returns_ordered_results(self):
+        async def main():
+            async with RuntimeService() as service:
+                job = await service.submit(
+                    [named_circuit("a"), named_circuit("b")],
+                    RecordingBackend([]),
+                    shots=8,
+                )
+                results = await job
+                return [r.shots for r in results]
+
+        assert run(main()) == [8, 8]
+
+    def test_job_ids_are_stable_and_unique(self):
+        async def main():
+            async with RuntimeService() as service:
+                jobs = [
+                    await service.submit(named_circuit(f"c{i}"),
+                                         RecordingBackend([]), shots=4)
+                    for i in range(3)
+                ]
+                ids = [job.job_id for job in jobs]
+                assert all(job_id.startswith("svc-") for job_id in ids)
+                assert len(set(ids)) == 3
+                for job in jobs:
+                    await job.wait(timeout=30)
+                    assert job.status() == "done"
+                    assert job.done()
+
+        run(main())
+
+    def test_streaming_as_completed_exactly_once(self):
+        async def main():
+            async with RuntimeService() as service:
+                handles = [
+                    await service.submit(named_circuit(f"s{i}"),
+                                         RecordingBackend([]), shots=4)
+                    for i in range(5)
+                ]
+                seen = []
+                async for handle in service.as_completed(handles, timeout=30):
+                    seen.append(handle.job_id)
+                assert sorted(seen) == sorted(h.job_id for h in handles)
+                assert len(seen) == len(set(seen)) == 5
+
+        run(main())
+
+    def test_per_job_streaming_within_a_submission(self):
+        async def main():
+            async with RuntimeService() as service:
+                handle = await service.submit(
+                    [named_circuit(f"j{i}") for i in range(4)],
+                    RecordingBackend([]),
+                    shots=4,
+                )
+                streamed = []
+                async for job in handle.as_completed(timeout=30):
+                    assert job.done()
+                    streamed.append(job)
+                assert len(streamed) == 4
+                assert len({id(job) for job in streamed}) == 4
+
+        run(main())
+
+    def test_service_is_bound_to_one_loop(self):
+        service = RuntimeService()
+
+        async def submit_once():
+            await service.submit(named_circuit("x"), RecordingBackend([]),
+                                 shots=4)
+
+        run(submit_once())
+        with pytest.raises(ServiceError, match="another event loop"):
+            run(submit_once())
+        service.shutdown()
+
+
+# ----------------------------------------------------------------------
+# Terminal states: failures, cancellation, timeouts
+# ----------------------------------------------------------------------
+
+
+class TestTerminalStates:
+    def test_streaming_includes_failed_and_cancelled_jobs(self):
+        """as_completed() never loses a handle: completed, failed,
+        dropped and cancelled submissions are all yielded exactly once."""
+        log = []
+        gate = threading.Event()
+
+        async def main():
+            service = RuntimeService(executor="thread", max_in_flight=1)
+            try:
+                blocker = await service.submit(
+                    named_circuit("blocker"), RecordingBackend(log, gate=gate),
+                    shots=4,
+                )
+                dropped = await service.submit(
+                    named_circuit("late"), RecordingBackend(log), shots=4,
+                    deadline=0.05,
+                )
+                cancelled = await service.submit(
+                    named_circuit("doomed"), RecordingBackend(log), shots=4
+                )
+                failing = await service.submit(
+                    named_circuit("faulty"), FailingBackend(), shots=4
+                )
+                good = await service.submit(
+                    named_circuit("fine"), RecordingBackend(log), shots=4
+                )
+                await dropped.wait(timeout=30)  # deadline expires while queued
+                assert cancelled.cancel()
+                gate.set()
+
+                handles = [blocker, dropped, cancelled, failing, good]
+                seen = []
+                async for handle in service.as_completed(handles, timeout=30):
+                    seen.append(handle.job_id)
+                assert sorted(seen) == sorted(h.job_id for h in handles)
+                assert len(seen) == len(set(seen))
+
+                assert blocker.status() == "done"
+                assert good.status() == "done"
+                assert dropped.status() == "dropped"
+                assert cancelled.status() == "cancelled"
+                with pytest.raises(QueueTimeout):
+                    await dropped.result()
+                with pytest.raises(JobError, match="cancelled"):
+                    await cancelled.result()
+                with pytest.raises(JobError, match="hardware on fire"):
+                    await failing.result()
+
+                stats = service.stats()["clients"]["anonymous"]
+                assert stats["dropped_batches"] == 1
+                assert stats["cancelled_batches"] == 1
+                assert stats["failed_batches"] == 1
+                assert stats["completed_batches"] == 2  # blocker + good
+            finally:
+                gate.set()
+                await service.close()
+
+        run(main())
+
+    def test_result_timeout_while_queued_raises_queue_timeout(self):
+        """Satellite: a timeout with the batch still queued surfaces the
+        typed QueueTimeout (position + wait time), via the async path."""
+        gate = threading.Event()
+
+        async def main():
+            service = RuntimeService(executor="thread", max_in_flight=1)
+            try:
+                await service.submit(
+                    named_circuit("blocker"),
+                    RecordingBackend([], gate=gate),
+                    shots=4,
+                )
+                stuck = await service.submit(
+                    named_circuit("stuck"), RecordingBackend([]), shots=4
+                )
+                with pytest.raises(QueueTimeout) as excinfo:
+                    await stuck.result(timeout=0.05)
+                assert excinfo.value.client == "anonymous"
+                assert excinfo.value.waited > 0
+                assert excinfo.value.queue_position == 0
+                assert excinfo.value.queued_batches == 1
+            finally:
+                gate.set()
+                await service.close()
+
+        run(main())
+
+    def test_dispatch_failure_is_a_failed_handle(self):
+        async def main():
+            async with RuntimeService() as service:
+                handle = await service.submit(
+                    named_circuit("x"), "no-such-backend", shots=4
+                )
+                await handle.wait(timeout=30)
+                assert handle.status() == "failed"
+                with pytest.raises(JobError, match="failed to dispatch"):
+                    await handle.result()
+
+        run(main())
+
+    def test_deadline_reprioritize_jumps_the_queue(self):
+        """deadline_action='reprioritize' boosts an expired batch ahead of
+        higher-priority work instead of dropping it."""
+        log = []
+        gate = threading.Event()
+
+        async def main():
+            service = RuntimeService(executor="thread", max_in_flight=1)
+            try:
+                blocker = await service.submit(
+                    named_circuit("blocker"), RecordingBackend(log, gate=gate),
+                    shots=4,
+                )
+                await blocker.jobs(timeout=10)  # pinned in flight, gated
+                important = await service.submit(
+                    named_circuit("important"), RecordingBackend(log),
+                    shots=4, priority=5,
+                )
+                boosted = await service.submit(
+                    named_circuit("boosted"), RecordingBackend(log), shots=4,
+                    priority=0, deadline=0.05, deadline_action="reprioritize",
+                )
+                await asyncio.sleep(0.2)  # let the deadline expire, queued
+                gate.set()
+                await asyncio.gather(important.result(), boosted.result())
+                assert log.index("boosted") < log.index("important")
+            finally:
+                gate.set()
+                await service.close()
+
+        run(main())
+
+
+# ----------------------------------------------------------------------
+# Admission control: authentication, quotas, rate limits
+# ----------------------------------------------------------------------
+
+
+class TestAdmission:
+    def test_anonymous_disabled_requires_token(self):
+        async def main():
+            service = RuntimeService(allow_anonymous=False)
+            try:
+                with pytest.raises(AuthenticationError):
+                    await service.submit(named_circuit("x"),
+                                         RecordingBackend([]), shots=4)
+                with pytest.raises(AuthenticationError):
+                    await service.submit(named_circuit("x"),
+                                         RecordingBackend([]), shots=4,
+                                         token="bogus")
+                assert service.stats()["rejected_auth"] == 2
+                token = service.register_client("alice")
+                handle = await service.submit(
+                    named_circuit("x"), RecordingBackend([]), shots=4,
+                    token=token,
+                )
+                assert handle.client == "alice"
+                await handle.result()
+            finally:
+                await service.close()
+
+        run(main())
+
+    def test_revoked_token_stops_authenticating(self):
+        async def main():
+            service = RuntimeService(allow_anonymous=False)
+            try:
+                token = service.register_client("alice")
+                service.authenticator.revoke(token)
+                with pytest.raises(AuthenticationError):
+                    await service.submit(named_circuit("x"),
+                                         RecordingBackend([]), shots=4,
+                                         token=token)
+            finally:
+                await service.close()
+
+        run(main())
+
+    def test_concurrency_quota_rejects_over_limit(self):
+        gate = threading.Event()
+
+        async def main():
+            service = RuntimeService(executor="thread")
+            try:
+                token = service.register_client(
+                    "alice", quota=ClientQuota(max_in_flight_jobs=2)
+                )
+                backend = RecordingBackend([], gate=gate)
+                await service.submit(named_circuit("a"), backend, shots=4,
+                                     token=token)
+                await service.submit(named_circuit("b"), backend, shots=4,
+                                     token=token)
+                with pytest.raises(QuotaExceeded) as excinfo:
+                    await service.submit(named_circuit("c"), backend, shots=4,
+                                         token=token)
+                assert excinfo.value.client == "alice"
+                assert excinfo.value.in_flight == 2
+                assert excinfo.value.limit == 2
+                stats = service.stats()["clients"]["alice"]
+                assert stats["rejected_quota"] == 1
+            finally:
+                gate.set()
+                await service.close()
+
+        run(main())
+
+    def test_quota_queue_policy_applies_backpressure(self):
+        """over_quota='queue' waits for capacity instead of raising —
+        and the waiter is admitted once in-flight work settles."""
+        gate = threading.Event()
+
+        async def main():
+            service = RuntimeService(executor="thread")
+            try:
+                token = service.register_client(
+                    "alice",
+                    quota=ClientQuota(max_in_flight_jobs=1,
+                                      over_quota="queue"),
+                )
+                backend = RecordingBackend([], gate=gate)
+                first = await service.submit(named_circuit("first"), backend,
+                                             shots=4, token=token)
+                second_task = asyncio.ensure_future(
+                    service.submit(named_circuit("second"),
+                                   RecordingBackend([]), shots=4, token=token)
+                )
+                await asyncio.sleep(0.05)
+                assert not second_task.done()  # backpressured, not rejected
+                gate.set()
+                second = await asyncio.wait_for(second_task, timeout=30)
+                await asyncio.gather(first.result(), second.result())
+                stats = service.stats()["clients"]["alice"]
+                assert stats["queued_waits"] >= 1
+                assert stats["rejected_quota"] == 0
+            finally:
+                gate.set()
+                await service.close()
+
+        run(main())
+
+    def test_rate_limit_rejects_with_retry_after(self):
+        clock = FakeClock()
+
+        async def main():
+            service = RuntimeService(clock=clock)
+            try:
+                token = service.register_client(
+                    "alice",
+                    quota=ClientQuota(shots_per_second=10, burst_shots=100),
+                )
+                handle = await service.submit(
+                    named_circuit("a"), RecordingBackend([]), shots=100,
+                    token=token,
+                )
+                await handle.result()
+                with pytest.raises(RateLimited) as excinfo:
+                    await service.submit(named_circuit("b"),
+                                         RecordingBackend([]), shots=100,
+                                         token=token)
+                assert excinfo.value.client == "alice"
+                assert excinfo.value.retry_after == pytest.approx(10.0)
+                assert service.stats()["clients"]["alice"]["rejected_rate"] == 1
+                # The bucket refills with (fake) time.
+                clock.advance(10.0)
+                ok = await service.submit(named_circuit("c"),
+                                          RecordingBackend([]), shots=100,
+                                          token=token)
+                await ok.result()
+            finally:
+                await service.close()
+
+        run(main())
+
+
+# ----------------------------------------------------------------------
+# Observability
+# ----------------------------------------------------------------------
+
+
+class TestServiceStats:
+    def test_stats_snapshot_shape_and_latency(self):
+        async def main():
+            async with RuntimeService() as service:
+                token = service.register_client("alice", weight=2)
+                handles = [
+                    await service.submit(named_circuit(f"s{i}"),
+                                         RecordingBackend([]), shots=4,
+                                         token=token)
+                    for i in range(4)
+                ]
+                async for _handle in service.as_completed(handles, timeout=30):
+                    pass
+                stats = service.stats()
+                for key in ("uptime_s", "jobs_per_second", "completed_jobs",
+                            "queued_batches", "in_flight_jobs",
+                            "queue_latency", "clients"):
+                    assert key in stats
+                assert stats["completed_jobs"] == 4
+                assert stats["jobs_per_second"] > 0
+                latency = stats["queue_latency"]
+                assert latency["count"] == 4
+                assert latency["p50_s"] is not None
+                assert latency["p99_s"] >= latency["p50_s"]
+                alice = stats["clients"]["alice"]
+                assert alice["weight"] == 2
+                assert alice["completed_batches"] == 4
+                assert alice["in_flight_jobs"] == 0
+                assert alice["scheduler"]["dispatched_batches"] == 4
+
+        run(main())
+
+    def test_anonymous_client_appears_after_first_submission(self):
+        async def main():
+            async with RuntimeService() as service:
+                handle = await service.submit(named_circuit("x"),
+                                              RecordingBackend([]), shots=4)
+                await handle.result()
+                stats = service.stats()
+                anonymous = stats["clients"][TokenAuthenticator.ANONYMOUS]
+                assert anonymous["completed_batches"] == 1
+
+        run(main())

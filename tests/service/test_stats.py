@@ -1,0 +1,107 @@
+"""Unit tests for the service observability primitives."""
+
+import pytest
+
+from repro.service import ClientStats, LatencyWindow, RateMeter
+
+
+class FakeClock:
+    def __init__(self, start=0.0):
+        self.now = float(start)
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+class TestLatencyWindow:
+    def test_empty_snapshot(self):
+        snapshot = LatencyWindow().snapshot()
+        assert snapshot == {
+            "count": 0, "mean_s": None, "p50_s": None, "p99_s": None,
+            "max_s": None,
+        }
+
+    def test_percentiles_nearest_rank(self):
+        window = LatencyWindow()
+        for ms in range(1, 101):  # 0.001 .. 0.100
+            window.add(ms / 1000.0)
+        assert window.percentile(50) == pytest.approx(0.050)
+        assert window.percentile(99) == pytest.approx(0.099)
+        snapshot = window.snapshot()
+        assert snapshot["count"] == 100
+        assert snapshot["p50_s"] == pytest.approx(0.050)
+        assert snapshot["p99_s"] == pytest.approx(0.099)
+        assert snapshot["max_s"] == pytest.approx(0.100)
+        assert snapshot["mean_s"] == pytest.approx(0.0505)
+
+    def test_single_sample(self):
+        window = LatencyWindow()
+        window.add(0.25)
+        assert window.percentile(50) == 0.25
+        assert window.percentile(99) == 0.25
+
+    def test_window_is_bounded_but_count_and_max_are_lifetime(self):
+        window = LatencyWindow(maxlen=10)
+        window.add(9.0)  # the spike, about to fall out of the window
+        for _ in range(20):
+            window.add(0.001)
+        snapshot = window.snapshot()
+        assert snapshot["count"] == 21
+        assert snapshot["max_s"] == 9.0  # lifetime max survives eviction
+        assert snapshot["p99_s"] == pytest.approx(0.001)
+
+    def test_garbage_samples_ignored(self):
+        window = LatencyWindow()
+        window.add(-1.0)
+        window.add(float("nan"))
+        window.add(float("inf"))
+        assert window.snapshot()["count"] == 0
+
+
+class TestRateMeter:
+    def test_zero_without_events(self):
+        assert RateMeter(clock=FakeClock()).rate() == 0.0
+
+    def test_rate_over_elapsed_window(self):
+        clock = FakeClock()
+        meter = RateMeter(window_seconds=60, clock=clock)
+        for _ in range(10):
+            meter.tick()
+            clock.advance(1.0)
+        assert meter.rate() == pytest.approx(1.0)
+        assert meter.total == 10
+
+    def test_old_events_fall_out_of_window(self):
+        clock = FakeClock()
+        meter = RateMeter(window_seconds=10, clock=clock)
+        meter.tick(100)
+        clock.advance(30.0)
+        assert meter.rate() == 0.0
+        assert meter.total == 100  # lifetime total is not windowed
+
+    def test_tick_counts(self):
+        clock = FakeClock()
+        meter = RateMeter(window_seconds=60, clock=clock)
+        meter.tick(5)
+        clock.advance(5.0)
+        assert meter.rate() == pytest.approx(1.0)
+
+
+class TestClientStats:
+    def test_bump_and_snapshot(self):
+        stats = ClientStats()
+        stats.bump("submitted_batches")
+        stats.bump("submitted_jobs", 4)
+        stats.queue_latency.add(0.01)
+        snapshot = stats.snapshot()
+        assert snapshot["submitted_batches"] == 1
+        assert snapshot["submitted_jobs"] == 4
+        assert snapshot["completed_batches"] == 0
+        assert snapshot["queue_latency"]["count"] == 1
+
+    def test_unknown_field_raises(self):
+        with pytest.raises(KeyError):
+            ClientStats().bump("not_a_field")
