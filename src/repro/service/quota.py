@@ -143,6 +143,15 @@ class TokenBucket:
                 return 0.0
             return (needed - self._tokens) / self.rate
 
+    def credit(self, amount: float) -> None:
+        """Return ``amount`` tokens (refund for an admitted submission
+        that failed downstream), capped at ``capacity``."""
+        if amount <= 0:
+            return
+        with self._lock:
+            self._refill(self._clock())
+            self._tokens = min(self.capacity, self._tokens + float(amount))
+
     @property
     def tokens(self) -> float:
         """Current token level (refilled to now; may be negative)."""

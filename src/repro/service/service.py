@@ -238,6 +238,13 @@ class RuntimeService:
     max_in_flight / executor / max_workers / schedule:
         Forwarded to the underlying
         :class:`~repro.runtime.scheduler.Scheduler`.
+    clock / sleep:
+        Injectable monotonic clock and async sleep, used together by the
+        rate limiter (``clock`` feeds the token buckets, ``sleep`` paces
+        ``over_quota="queue"`` backpressure).  They must agree: a
+        test-injected fake clock needs a matching fake sleep that
+        advances it, or queued rate-limited submissions wait on real
+        time the fake clock never reaches.
 
     One service binds to one event loop (the loop of its first async
     call); the scheduler and executor machinery below it remain plain
@@ -256,6 +263,7 @@ class RuntimeService:
         preempt_after: Optional[float] = None,
         width_planning: bool = True,
         clock=time.monotonic,
+        sleep=asyncio.sleep,
     ) -> None:
         self.authenticator = (
             authenticator
@@ -275,6 +283,7 @@ class RuntimeService:
             width_planning=width_planning,
         )
         self._clock = clock
+        self._sleep = sleep
         self._lock = threading.Lock()
         self._clients: Dict[str, _ServiceClient] = {}
         self._loop: Optional[asyncio.AbstractEventLoop] = None
@@ -354,10 +363,16 @@ class RuntimeService:
 
     @staticmethod
     def _batch_shape(circuits, shots) -> (int, int):
-        """Return ``(num_circuits, total_shots)`` for admission math."""
+        """Return ``(num_circuits, total_shots)`` for admission math.
+
+        ``circuits`` must already be a single circuit or a materialized
+        sequence — :meth:`submit` listifies iterators before admission so
+        a generator is not exhausted here and then replayed empty into
+        the scheduler.
+        """
         from repro.circuits.circuit import QuantumCircuit
 
-        size = 1 if isinstance(circuits, QuantumCircuit) else len(list(circuits))
+        size = 1 if isinstance(circuits, QuantumCircuit) else len(circuits)
         if isinstance(shots, (list, tuple)):
             total = sum(int(s) for s in shots)
         else:
@@ -370,11 +385,17 @@ class RuntimeService:
         ``kind`` is ``"ok"`` (in-flight charged, bucket debited),
         ``"quota"`` (concurrency limit) or ``"rate"`` (bucket empty,
         ``retry_after`` seconds until it refills enough).
+
+        A single submission larger than the whole concurrency limit is
+        admitted once nothing else is in flight (debt model, matching
+        ``Scheduler._admits`` and :class:`TokenBucket`) — otherwise the
+        ``"queue"`` policy would wait on a settle that can never come.
         """
         with self._lock:
             limit = state.quota.max_in_flight_jobs
             if limit is not None and state.in_flight_jobs + size > limit:
-                return "quota", None
+                if not (size > limit and state.in_flight_jobs == 0):
+                    return "quota", None
             if state.bucket is not None:
                 retry_after = state.bucket.acquire(total_shots)
                 if retry_after > 0:
@@ -404,6 +425,8 @@ class RuntimeService:
         submissions — or, for ``over_quota="queue"`` clients, applies
         backpressure by awaiting capacity instead.
         """
+        from repro.circuits.circuit import QuantumCircuit
+
         loop = self._bind_loop()
         try:
             identity = self.authenticator.authenticate(token)
@@ -412,6 +435,8 @@ class RuntimeService:
                 self._rejected_auth += 1
             raise
         state = self._client_state(identity)
+        if not isinstance(circuits, QuantumCircuit):
+            circuits = list(circuits)  # admission math must not eat iterators
         size, total_shots = self._batch_shape(circuits, shots)
         while True:
             kind, retry_after = self._try_admit(state, size, total_shots)
@@ -440,7 +465,7 @@ class RuntimeService:
             # Backpressure: wait for capacity without blocking the loop.
             state.stats.bump("queued_waits")
             if kind == "rate":
-                await asyncio.sleep(retry_after)
+                await self._sleep(retry_after)
             else:
                 if state.condition is None:
                     state.condition = asyncio.Condition()
@@ -459,8 +484,15 @@ class RuntimeService:
                 **options,
             )
         except BaseException:
+            # Roll back admission in full: the concurrency charge AND the
+            # shots already debited from the rate bucket, then wake any
+            # over-quota waiters blocked on the freed capacity.
             with self._lock:
                 state.in_flight_jobs -= size
+                if state.bucket is not None:
+                    state.bucket.credit(total_shots)
+            if state.condition is not None:
+                asyncio.ensure_future(self._notify(state.condition))
             raise
         state.stats.bump("submitted_batches")
         state.stats.bump("submitted_jobs", size)

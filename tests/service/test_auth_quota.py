@@ -156,6 +156,17 @@ class TestTokenBucket:
         clock.advance(16.0)
         assert bucket.acquire(10) == 0.0
 
+    def test_credit_refunds_capped_at_capacity(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=10, capacity=100, clock=clock)
+        bucket.acquire(60)
+        bucket.credit(30)
+        assert bucket.tokens == 70.0
+        bucket.credit(1000)  # refund never overfills the bucket
+        assert bucket.tokens == 100.0
+        bucket.credit(-5)  # and a non-positive refund is a no-op
+        assert bucket.tokens == 100.0
+
     def test_invalid_parameters_rejected(self):
         with pytest.raises(ServiceError):
             TokenBucket(rate=0)

@@ -424,6 +424,145 @@ class TestAdmission:
 
         run(main())
 
+    def test_oversized_batch_admitted_when_idle_under_queue_policy(self):
+        """A single submission larger than the whole concurrency limit is
+        admitted once nothing is in flight (debt model, like the
+        scheduler and the token bucket) — under over_quota='queue' it
+        must not wait forever on a settle that can never come."""
+
+        async def main():
+            async with RuntimeService() as service:
+                token = service.register_client(
+                    "alice",
+                    quota=ClientQuota(max_in_flight_jobs=2,
+                                      over_quota="queue"),
+                )
+                handle = await asyncio.wait_for(
+                    service.submit(
+                        [named_circuit(f"big{i}") for i in range(5)],
+                        RecordingBackend([]), shots=4, token=token,
+                    ),
+                    timeout=30,
+                )
+                results = await handle.result()
+                assert len(results) == 5
+
+        run(main())
+
+    def test_oversized_batch_waits_until_idle_then_admits(self):
+        """With work in flight the oversized batch backpressures; the
+        settle wakes it and the empty ledger admits it."""
+        gate = threading.Event()
+
+        async def main():
+            service = RuntimeService(executor="thread")
+            try:
+                token = service.register_client(
+                    "alice",
+                    quota=ClientQuota(max_in_flight_jobs=2,
+                                      over_quota="queue"),
+                )
+                first = await service.submit(
+                    named_circuit("first"), RecordingBackend([], gate=gate),
+                    shots=4, token=token,
+                )
+                big_task = asyncio.ensure_future(
+                    service.submit(
+                        [named_circuit(f"big{i}") for i in range(5)],
+                        RecordingBackend([]), shots=4, token=token,
+                    )
+                )
+                await asyncio.sleep(0.05)
+                assert not big_task.done()  # backpressured behind `first`
+                gate.set()
+                big = await asyncio.wait_for(big_task, timeout=30)
+                await first.result()
+                assert len(await big.result()) == 5
+            finally:
+                gate.set()
+                await service.close()
+
+        run(main())
+
+    def test_generator_circuits_are_materialized_once(self):
+        """Admission math must not consume an iterator input — the same
+        circuits that were counted reach the scheduler."""
+
+        async def main():
+            async with RuntimeService() as service:
+                handle = await service.submit(
+                    (named_circuit(f"g{i}") for i in range(3)),
+                    RecordingBackend([]), shots=8,
+                )
+                assert handle.size == 3
+                results = await handle.result()
+                assert len(results) == 3
+                assert all(r.shots == 8 for r in results)
+
+        run(main())
+
+    def test_failed_submission_refunds_rate_budget(self):
+        """A scheduler-side rejection after admission rolls back both the
+        concurrency charge and the shots debited from the bucket."""
+        clock = FakeClock()
+
+        async def main():
+            service = RuntimeService(clock=clock)
+            try:
+                token = service.register_client(
+                    "alice",
+                    quota=ClientQuota(max_in_flight_jobs=4,
+                                      shots_per_second=10, burst_shots=100),
+                )
+                with pytest.raises(ValueError, match="priority"):
+                    await service.submit(named_circuit("bad"),
+                                         RecordingBackend([]), shots=100,
+                                         token=token, priority=-1)
+                state = service._clients["alice"]
+                assert state.in_flight_jobs == 0
+                assert state.bucket.tokens == pytest.approx(100.0)
+                ok = await service.submit(named_circuit("ok"),
+                                          RecordingBackend([]), shots=100,
+                                          token=token)
+                await ok.result()
+            finally:
+                await service.close()
+
+        run(main())
+
+    def test_rate_limit_queue_policy_paces_with_injected_sleep(self):
+        """over_quota='queue' rate limiting is deterministic when the
+        injected sleep advances the injected clock (they must agree)."""
+        clock = FakeClock()
+
+        async def fake_sleep(seconds):
+            clock.advance(seconds)
+
+        async def main():
+            service = RuntimeService(clock=clock, sleep=fake_sleep)
+            try:
+                token = service.register_client(
+                    "alice",
+                    quota=ClientQuota(shots_per_second=10, burst_shots=100,
+                                      over_quota="queue"),
+                )
+                first = await service.submit(
+                    named_circuit("a"), RecordingBackend([]), shots=100,
+                    token=token,
+                )
+                second = await service.submit(
+                    named_circuit("b"), RecordingBackend([]), shots=100,
+                    token=token,
+                )
+                await asyncio.gather(first.result(), second.result())
+                stats = service.stats()["clients"]["alice"]
+                assert stats["queued_waits"] >= 1
+                assert stats["rejected_rate"] == 0
+            finally:
+                await service.close()
+
+        run(main())
+
     def test_rate_limit_rejects_with_retry_after(self):
         clock = FakeClock()
 
