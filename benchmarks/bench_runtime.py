@@ -440,7 +440,7 @@ def test_warm_disk_cache_accelerates_cold_process(tmp_path):
     )
 
 
-def test_service_storm_many_clients():
+def test_service_storm_many_clients(tmp_path):
     """v6: the multi-tenant async service under a many-client storm.
 
     Baseline: the same submissions driven strictly one at a time
@@ -451,6 +451,17 @@ def test_service_storm_many_clients():
     pipeline across submissions.  Quotas and rate limits are live for
     every tenant, and one sampled submission is asserted bit-identical
     to plain ``execute()`` (the service never touches counts).
+
+    The v7 rider measures the durability tax: a *sustained* storm — a
+    distinct circuit per submission, so every job pays a real transpile
+    and density-matrix simulation instead of a cache resample — run
+    plain vs with the write-ahead job journal and cost ledger writing
+    every submission and settlement through to disk.  The journaled run
+    must stay within 10% of the plain wall-clock (best-of runs; a ratio
+    of two same-box runs, so shared-load noise mostly cancels).  And a
+    service that has completed exactly one job must report a sane
+    jobs/sec — bounded by one-per-elapsed, never the ~1e9/s the pre-fix
+    ``RateMeter`` gave a single early event.
 
     ``REPRO_STORM_SMOKE=1`` shrinks the storm for CI smoke runs.
     """
@@ -469,7 +480,8 @@ def test_service_storm_many_clients():
     quota = ClientQuota(max_in_flight_jobs=4, over_quota="queue")
 
     async def sequential() -> float:
-        service = RuntimeService(executor="thread")
+        service = RuntimeService(executor="thread", journal=False,
+                                 accounting=False)
         try:
             tokens = [
                 service.register_client(f"seq{c}", quota=quota)
@@ -488,7 +500,9 @@ def test_service_storm_many_clients():
             await service.close()
 
     async def storm():
-        service = RuntimeService(executor="thread")
+        # Explicitly journal-less, even when $REPRO_CACHE_DIR is set.
+        service = RuntimeService(executor="thread", journal=False,
+                                 accounting=False)
         try:
             tokens = [
                 service.register_client(f"storm{c}", quota=quota)
@@ -518,8 +532,88 @@ def test_service_storm_many_clients():
         finally:
             await service.close()
 
+    async def single_job():
+        service = RuntimeService(executor="thread", journal=False,
+                                 accounting=False)
+        try:
+            token = service.register_client("solo")
+            handle = await service.submit(circuit, backend, shots=shots,
+                                          seed=0, token=token)
+            await handle.result()
+            stats = service.stats()
+            return stats["jobs_per_second"], stats["uptime_s"]
+        finally:
+            await service.close()
+
+    run_offsets = iter(range(0, 10_000_000, 10_000))
+
+    def sustained_circuit(index):
+        circuit = library.ghz_state(4)
+        circuit.rz(1e-4 * (index + 1), 0)  # distinct fingerprint per job
+        circuit.measure_all()
+        return circuit
+
+    async def sustained(cache_dir=None):
+        # A distinct circuit per submission: no distribution-cache
+        # resampling, every job pays a real transpile + density-matrix
+        # simulation, so wall-clock measures sustained throughput.  Each
+        # run draws fresh angles so no run warms another's caches.
+        base = next(run_offsets)
+        if cache_dir is None:
+            service = RuntimeService(executor="thread", journal=False,
+                                     accounting=False)
+        else:
+            service = RuntimeService(executor="thread",
+                                     cache_dir=str(cache_dir))
+        try:
+            tokens = [
+                service.register_client(f"sus{c}", quota=quota)
+                for c in range(clients)
+            ]
+
+            async def one_client(c, token):
+                handles = [
+                    await service.submit(
+                        sustained_circuit(base + c * per_client + i),
+                        "noisy:ibmqx4", shots=shots,
+                        seed=c * per_client + i, token=token,
+                    )
+                    for i in range(per_client)
+                ]
+                async for handle in service.as_completed(handles,
+                                                         timeout=300):
+                    assert handle.status() == "done"
+
+            start = time.perf_counter()
+            await asyncio.gather(*(
+                one_client(c, token) for c, token in enumerate(tokens)
+            ))
+            return time.perf_counter() - start
+        finally:
+            await service.close()
+
     sequential_s = asyncio.run(sequential())
     storm_s, stats = asyncio.run(storm())
+
+    # Journaling overhead on the sustained storm: best-of runs on both
+    # sides, with escalation rounds against wall-clock noise.
+    asyncio.run(sustained())  # warm-up: code paths, not circuits
+    sustained_s = asyncio.run(sustained())
+    journaled_s = None
+    for attempt in range(3):
+        candidate = asyncio.run(sustained(tmp_path / f"journal{attempt}"))
+        journaled_s = candidate if journaled_s is None else min(
+            journaled_s, candidate
+        )
+        if journaled_s <= sustained_s * 1.10:
+            break
+        sustained_s = min(sustained_s, asyncio.run(sustained()))
+    overhead = journaled_s / sustained_s - 1.0
+    assert journaled_s <= sustained_s * 1.10, (
+        f"write-ahead journaling ({journaled_s:.3f}s) should cost <=10% "
+        f"over the plain sustained storm ({sustained_s:.3f}s), "
+        f"got {overhead:+.1%}"
+    )
 
     jobs = clients * per_client
     assert stats["completed_jobs"] == jobs
@@ -531,6 +625,14 @@ def test_service_storm_many_clients():
     assert latency["p99_s"] <= storm_s
     jobs_per_second = jobs / storm_s
 
+    # One completed job can never legitimately report more than
+    # one-per-elapsed (the pre-fix RateMeter said ~1e9/s here).
+    single_rate, single_uptime = asyncio.run(single_job())
+    assert 0.0 < single_rate <= 1.05 / min(single_uptime, 60.0), (
+        f"one completed job after {single_uptime:.3f}s reported "
+        f"{single_rate:.3g} jobs/s"
+    )
+
     record(
         "service_storm_many_clients",
         sequential_s,
@@ -541,6 +643,10 @@ def test_service_storm_many_clients():
         jobs_per_second=round(jobs_per_second, 2),
         queue_p50_s=round(latency["p50_s"], 6),
         queue_p99_s=round(latency["p99_s"], 6),
+        sustained_s=round(sustained_s, 6),
+        journaled_s=round(journaled_s, 6),
+        journaling_overhead=round(overhead, 4),
+        single_job_rate=round(single_rate, 6),
         smoke=smoke,
     )
     emit(
@@ -551,5 +657,10 @@ def test_service_storm_many_clients():
         f"service storm   : {storm_s:8.3f} s  "
         f"({jobs_per_second:.1f} jobs/s, p50 {latency['p50_s'] * 1e3:.1f} ms, "
         f"p99 {latency['p99_s'] * 1e3:.1f} ms, "
-        f"speedup {sequential_s / storm_s:.1f}x)"
+        f"speedup {sequential_s / storm_s:.1f}x)\n"
+        f"sustained storm : {sustained_s:8.3f} s plain, {journaled_s:8.3f} s "
+        f"journaled (write-ahead journal + cost ledger, "
+        f"overhead {overhead:+.1%})\n"
+        f"single-job rate : {single_rate:8.3f} jobs/s after "
+        f"{single_uptime:.3f}s uptime (sane, not ~1e9)"
     )

@@ -103,5 +103,52 @@ class ServiceError(ReproError):
     """Base class for errors raised by the :mod:`repro.service` layer."""
 
 
+class RegistrationConflict(ServiceError):
+    """Raised when a client registration contradicts an existing one.
+
+    Two different tokens may not register the same client name with
+    conflicting ``weight``/``quota`` — the scheduler would see one client
+    with ambiguous policy.  Re-registering with the *same* token is the
+    explicit way to update a client's policy.
+
+    Attributes
+    ----------
+    client:
+        The conflicting client name.
+    field:
+        Which policy field disagreed (``"weight"`` or ``"quota"``).
+    """
+
+    def __init__(self, message: str, client: str = "", field: str = "") -> None:
+        super().__init__(message)
+        self.client = client
+        self.field = field
+
+
+class ScopeDenied(ServiceError):
+    """Raised when an authenticated token lacks the scope an API requires.
+
+    Distinct from :class:`~repro.service.auth.AuthenticationError`: the
+    token is valid and maps to a client, but its granted scopes (e.g.
+    ``("read",)``) do not cover the operation (e.g. ``"submit"``).
+
+    Attributes
+    ----------
+    client:
+        The authenticated client's name.
+    scope:
+        The scope the operation required.
+    granted:
+        The scopes the token actually carries.
+    """
+
+    def __init__(self, message: str, client: str = "", scope: str = "",
+                 granted=()) -> None:
+        super().__init__(message)
+        self.client = client
+        self.scope = scope
+        self.granted = tuple(granted)
+
+
 class ProviderError(DeviceError):
     """Raised for unknown backend specs in the runtime provider registry."""

@@ -111,13 +111,15 @@ EXPERIMENTS: Dict[str, tuple] = {
 }
 
 
-def _service_demo(workers, executor) -> int:
+def _service_demo(workers, executor, cache_dir=None) -> int:
     """Drive a small multi-client storm through :mod:`repro.service`.
 
-    Three tenants with different weights and quotas submit a burst of
-    seeded assertion circuits concurrently; completions stream back via
-    ``as_completed()`` and the service's stats snapshot (jobs/sec, queue
-    p50/p99, per-client counters) is printed at the end.
+    Three tenants with different weights, quotas and shot appetites
+    submit a burst of seeded assertion circuits concurrently;
+    completions stream back via ``as_completed()`` and the service's
+    stats snapshot (jobs/sec, queue p50/p99, per-client counters and —
+    when a cache dir makes the service durable — the per-tenant cost
+    ledger) is printed at the end.
     """
     import asyncio
 
@@ -127,18 +129,21 @@ def _service_demo(workers, executor) -> int:
     circuit = library.bell_pair()
     circuit.measure_all()
     tenants = {
-        "alice": dict(weight=3, quota=ClientQuota(max_in_flight_jobs=8,
-                                                  over_quota="queue")),
-        "bob": dict(weight=1, quota=ClientQuota(max_in_flight_jobs=4,
-                                                over_quota="queue")),
-        "carol": dict(weight=1, quota=ClientQuota(max_in_flight_jobs=2,
-                                                  over_quota="queue")),
+        "alice": dict(shots=512, weight=3,
+                      quota=ClientQuota(max_in_flight_jobs=8,
+                                        over_quota="queue")),
+        "bob": dict(shots=256, weight=1,
+                    quota=ClientQuota(max_in_flight_jobs=4,
+                                      over_quota="queue")),
+        "carol": dict(shots=128, weight=1,
+                      quota=ClientQuota(max_in_flight_jobs=2,
+                                        over_quota="queue")),
     }
     per_client = 8
 
-    async def one_client(service, name, token):
+    async def one_client(service, name, token, shots):
         handles = [
-            await service.submit(circuit, "noisy:ibmqx4", shots=256,
+            await service.submit(circuit, "noisy:ibmqx4", shots=shots,
                                  seed=i, token=token)
             for i in range(per_client)
         ]
@@ -147,19 +152,32 @@ def _service_demo(workers, executor) -> int:
         return handles
 
     async def storm():
-        service = RuntimeService(executor=executor, max_workers=workers)
+        service = RuntimeService(executor=executor, max_workers=workers,
+                                 cache_dir=cache_dir)
         try:
             tokens = {
-                name: service.register_client(name, **spec)
+                name: service.register_client(
+                    name, weight=spec["weight"], quota=spec["quota"]
+                )
                 for name, spec in tenants.items()
             }
             print(f"service demo: {len(tenants)} clients x {per_client} "
-                  "submissions (noisy:ibmqx4, 256 shots)")
+                  "submissions (noisy:ibmqx4, 128-512 shots)")
             await asyncio.gather(*(
-                one_client(service, name, token)
+                one_client(service, name, token, tenants[name]["shots"])
                 for name, token in tokens.items()
             ))
-            return service.stats()
+            await service.drain()
+            stats = service.stats()
+            if stats["accounting"] is not None:
+                # Settlements charge the ledger off-loop; give the last
+                # few a beat to land before snapshotting it.
+                for _ in range(50):
+                    if len(stats["accounting"]) >= len(tenants):
+                        break
+                    await asyncio.sleep(0.02)
+                    stats = service.stats()
+            return stats
         finally:
             await service.close()
 
@@ -186,6 +204,19 @@ def _service_demo(workers, executor) -> int:
             f"waits={client['queued_waits']} "
             f"rejected={client['rejected_quota'] + client['rejected_rate']}"
         )
+    if stats["accounting"] is not None:
+        journal = stats["journal"]
+        print(
+            f"journal: {journal['records']} records "
+            f"(durable={journal['durable']}); per-tenant cost ledger:"
+        )
+        for name, spend in sorted(stats["accounting"].items()):
+            cost = (f"{spend['cost_s']:.3f} s est"
+                    if spend["cost_s"] else "unpriced")
+            print(
+                f"  {name:<6} shots={spend['shots']} "
+                f"jobs={spend['jobs']} cost={cost}"
+            )
     return 0
 
 
@@ -257,12 +288,14 @@ def main(argv=None) -> int:
         "--service-demo",
         action="store_true",
         help="run a small multi-client storm through the async service "
-        "layer (repro.service) and print its stats snapshot, then exit",
+        "layer (repro.service) and print its stats snapshot, then exit "
+        "(with --cache-dir or $REPRO_CACHE_DIR the service journals to "
+        "disk and the per-tenant cost ledger is printed too)",
     )
     args = parser.parse_args(argv)
 
     if args.service_demo:
-        return _service_demo(args.workers, args.executor)
+        return _service_demo(args.workers, args.executor, args.cache_dir)
 
     from repro.runtime import cache as runtime_cache
 

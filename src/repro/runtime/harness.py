@@ -19,6 +19,7 @@ import json
 import os
 import subprocess
 import sys
+import tempfile
 import time
 from pathlib import Path
 from typing import Optional, Sequence, Tuple
@@ -93,6 +94,61 @@ print(json.dumps({
 """
 
 
+def run_driver_process(
+    source: str,
+    spec: Optional[dict] = None,
+    cache_dir: Optional[os.PathLike] = None,
+    timeout: float = 600.0,
+) -> Tuple[dict, float]:
+    """Run an arbitrary driver source in a fresh interpreter.
+
+    The shared machinery under :func:`run_sweep_process`, exposed so other
+    cross-process suites (service restart-recovery, journal corruption)
+    reuse one contract instead of growing their own subprocess plumbing:
+    the child gets ``src`` on ``PYTHONPATH``, ``$REPRO_CACHE_DIR`` set to
+    ``cache_dir`` (or removed when ``None``), ``spec`` as a JSON argv, and
+    must print a single JSON object on stdout.
+
+    The child's stdout/stderr are captured through temporary *files*, not
+    pipes, so the parent only ever waits on process exit.  With pipes, any
+    other process that inherited the write end — say a fork-mode pool
+    worker forked while the pipe existed — keeps ``communicate()`` blocked
+    on EOF long after the child exited; crash-style drivers (``os._exit``
+    mid-flight, exactly what the restart-recovery suite does) make that a
+    deadlock, while a file is simply read back once the child is gone.
+
+    Returns ``(report, elapsed_seconds)``; raises ``RuntimeError`` with
+    the child's stderr on a non-zero exit.
+    """
+    env = dict(os.environ)
+    src = str(Path(__file__).resolve().parents[2])
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    if cache_dir is None:
+        env.pop("REPRO_CACHE_DIR", None)
+    else:
+        env["REPRO_CACHE_DIR"] = str(cache_dir)
+    start = time.perf_counter()
+    with tempfile.TemporaryFile() as stdout, tempfile.TemporaryFile() as stderr:
+        proc = subprocess.Popen(
+            [sys.executable, "-c", source, json.dumps(spec or {})],
+            env=env, stdin=subprocess.DEVNULL, stdout=stdout, stderr=stderr,
+        )
+        try:
+            returncode = proc.wait(timeout=timeout)
+        except subprocess.TimeoutExpired:
+            proc.kill()
+            proc.wait()
+            raise
+        elapsed = time.perf_counter() - start
+        stdout.seek(0)
+        out = stdout.read().decode()
+        stderr.seek(0)
+        err = stderr.read().decode()
+    if returncode != 0:
+        raise RuntimeError(f"driver process failed:\n{err}")
+    return json.loads(out), elapsed
+
+
 def run_sweep_process(
     cache_dir: Optional[os.PathLike] = None,
     variants: Sequence[str] = ("bell-entangled", "ghz-pairwise"),
@@ -127,27 +183,12 @@ def run_sweep_process(
     unknown = [name for name in variants if name not in VARIANT_NAMES]
     if unknown:
         raise ValueError(f"unknown sweep variants {unknown}; pick from {VARIANT_NAMES}")
-    env = dict(os.environ)
-    src = str(Path(__file__).resolve().parents[2])
-    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
-    if cache_dir is None:
-        env.pop("REPRO_CACHE_DIR", None)
-    else:
-        env["REPRO_CACHE_DIR"] = str(cache_dir)
-    spec = json.dumps(
-        {
-            "variants": list(variants),
-            "shots": int(shots),
-            "repeats": int(repeats),
-            "backend": str(backend),
-        }
+    spec = {
+        "variants": list(variants),
+        "shots": int(shots),
+        "repeats": int(repeats),
+        "backend": str(backend),
+    }
+    return run_driver_process(
+        _DRIVER_SOURCE, spec, cache_dir=cache_dir, timeout=timeout
     )
-    start = time.perf_counter()
-    proc = subprocess.run(
-        [sys.executable, "-c", _DRIVER_SOURCE, spec],
-        env=env, capture_output=True, text=True, timeout=timeout,
-    )
-    elapsed = time.perf_counter() - start
-    if proc.returncode != 0:
-        raise RuntimeError(f"sweep driver failed:\n{proc.stderr}")
-    return json.loads(proc.stdout), elapsed

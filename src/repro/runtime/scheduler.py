@@ -595,7 +595,12 @@ class Scheduler:
     # ------------------------------------------------------------------
 
     def client(self, name: str, weight: int = 1) -> None:
-        """Register ``name`` (or update its ``weight``; default 1)."""
+        """Register ``name`` (or update its ``weight``; default 1).
+
+        Weight updates apply from the *next* round-robin round: the
+        service layer's cost-accounting feedback calls this continuously
+        to rebalance fair-share against measured per-tenant spend.
+        """
         if weight < 1:
             raise JobError(f"client weight must be positive, got {weight}")
         with self._lock:
@@ -604,6 +609,15 @@ class Scheduler:
                 self._clients[name] = _ClientState(name, int(weight))
             else:
                 state.weight = int(weight)
+
+    def client_weights(self) -> Dict[str, int]:
+        """Snapshot ``{client name: current round-robin weight}``.
+
+        The live dispatch weights — after any cost-accounting rebalance —
+        as opposed to the base weights clients registered with.
+        """
+        with self._lock:
+            return {name: state.weight for name, state in self._clients.items()}
 
     def submit(
         self,

@@ -177,6 +177,9 @@ class MemoryTier:
     def keys(self) -> List[Hashable]:
         return list(self._entries)
 
+    def items(self) -> List[tuple]:
+        return list(self._entries.items())
+
 
 class _CorruptEntry(Exception):
     """Internal: an on-disk entry failed the magic/digest/decode checks."""
@@ -417,6 +420,30 @@ class DiskTier:
                 continue
         return found
 
+    def items(self) -> List[tuple]:
+        """Return ``(key, value)`` pairs for every readable entry.
+
+        One read per file — bulk loaders (the service journal's recovery
+        scan) would otherwise pay :meth:`keys` plus a :meth:`lookup` per
+        key, reading every entry twice.  Corrupt entries are skipped
+        silently, exactly like :meth:`keys`.
+        """
+        found = []
+        for path in self._entry_paths():
+            try:
+                blob = path.read_bytes()
+            except OSError:
+                continue
+            try:
+                key_blob, value_blob = self._split(blob)
+                found.append(
+                    (self.serializer.loads(key_blob),
+                     self.serializer.loads(value_blob))
+                )
+            except Exception:
+                continue
+        return found
+
 
 def _build_disk_tier(directory, maxsize, serializer) -> Optional[DiskTier]:
     """Construct a :class:`DiskTier`, degrading to ``None`` on OS errors.
@@ -593,6 +620,26 @@ class CacheStore:
                 if key not in seen:
                     seen.add(key)
                     found.append(key)
+        return found
+
+    def items(self) -> List[tuple]:
+        """Return distinct ``(key, value)`` pairs across both tiers.
+
+        Memory-tier entries win (they are at least as fresh as their disk
+        copies); disk-only entries are read once each rather than once for
+        the key listing and once per lookup.  Corrupt disk entries are
+        skipped, never raised — the bulk-load counterpart of the
+        corruption-is-a-miss lookup contract.
+        """
+        with self._lock:
+            found = self.memory.items()
+            disk = self.disk
+        if disk is not None:
+            seen = {key for key, _value in found}
+            for key, value in disk.items():
+                if key not in seen:
+                    seen.add(key)
+                    found.append((key, value))
         return found
 
     # ------------------------------------------------------------------

@@ -4,22 +4,40 @@
 :class:`~repro.runtime.scheduler.Scheduler` into a long-running service:
 ``async submit()`` returns an awaitable :class:`ServiceJob` handle with a
 stable id, completion streams through ``async for`` over
-``as_completed()``, and admission is gated by authentication stubs
-(:mod:`repro.service.auth`), per-client concurrency quotas and
-shots/sec token buckets (:mod:`repro.service.quota`), with service-level
-observability (:mod:`repro.service.stats`) behind one ``stats()`` call.
+``as_completed()``, and admission is gated by hashed-token
+authentication with expiry and scopes (:mod:`repro.service.auth`),
+per-client concurrency quotas and shots/sec token buckets
+(:mod:`repro.service.quota`), with service-level observability
+(:mod:`repro.service.stats`) behind one ``stats()`` call.
+
+The service is restart-durable: every submission and settlement is
+write-ahead-journaled through a disk-backed store
+(:mod:`repro.service.journal`), so a restarted service still answers
+``status()``/``result()``/``counts()`` for pre-restart ``svc-N`` ids and
+re-runs unsettled work via :meth:`RuntimeService.recover`.  Settled jobs
+charge per-tenant cost ledgers (:mod:`repro.service.accounting`) that
+can feed back into fair-share weights.
 
 The service decides *when* and *whether* work runs — never *what* it
 computes: seeded submissions return counts bit-identical to calling
 :func:`repro.runtime.execute.execute` directly.
 """
 
-from repro.exceptions import QueueTimeout, ServiceError
+from repro.exceptions import (
+    QueueTimeout,
+    RegistrationConflict,
+    ScopeDenied,
+    ServiceError,
+)
+from repro.service.accounting import CostLedger
 from repro.service.auth import (
+    DEFAULT_SCOPES,
+    SCOPES,
     AuthenticationError,
     ClientIdentity,
     TokenAuthenticator,
 )
+from repro.service.journal import JobJournal
 from repro.service.quota import (
     OVER_QUOTA_POLICIES,
     UNLIMITED,
@@ -28,7 +46,7 @@ from repro.service.quota import (
     RateLimited,
     TokenBucket,
 )
-from repro.service.service import RuntimeService, ServiceJob
+from repro.service.service import RecoveredJob, RuntimeService, ServiceJob
 from repro.service.stats import ClientStats, LatencyWindow, RateMeter
 
 __all__ = [
@@ -36,13 +54,20 @@ __all__ = [
     "ClientIdentity",
     "ClientQuota",
     "ClientStats",
+    "CostLedger",
+    "DEFAULT_SCOPES",
+    "JobJournal",
     "LatencyWindow",
     "OVER_QUOTA_POLICIES",
     "QueueTimeout",
     "QuotaExceeded",
     "RateLimited",
     "RateMeter",
+    "RecoveredJob",
+    "RegistrationConflict",
     "RuntimeService",
+    "SCOPES",
+    "ScopeDenied",
     "ServiceError",
     "ServiceJob",
     "TokenAuthenticator",

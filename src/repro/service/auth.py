@@ -1,28 +1,47 @@
-"""Authentication stubs: token → client identity.
+"""Authentication: hashed-at-rest tokens → client identity.
 
 The service layer needs *some* notion of "who is submitting" before
 quotas, rate limits and fair-share weights mean anything.  This module
-provides the deliberately minimal shape — an in-memory token table with
-constant-time comparison — so the rest of the service can be written
-against a stable interface.
+maps bearer tokens to :class:`ClientIdentity` records behind two calls
+(``register``/``authenticate``) so everything above it stays agnostic to
+how identity is actually resolved.
 
-**Stub caveat**: tokens are opaque shared secrets held in process memory.
-There is no hashing at rest, no expiry, no scopes and no transport
-security — a production deployment would swap :class:`TokenAuthenticator`
-for a real identity provider behind the same two calls
-(``register``/``authenticate``).  Everything above this module only sees
-:class:`ClientIdentity`.
+Unlike the original stub, tokens are never held in plaintext: the table
+keys are salted SHA-256 digests (one random salt per authenticator), so
+``authenticate`` is an O(1) dict lookup and a process core dump reveals
+no usable secrets.  Tokens optionally expire (``expires_in`` seconds on
+an injectable wall clock) and carry *scopes* — ``"submit"``, ``"read"``
+and ``"admin"`` — checked by ``authenticate(token, scope=...)``; the
+``admin`` scope implies the others.
+
+Client *policy* (fair-share weight, quota, metadata) is tracked per
+**name**, not per token: a name may hold several tokens, but they must
+agree on policy.  Registering a second token for an existing name with a
+different ``weight``/``quota`` raises
+:class:`~repro.exceptions.RegistrationConflict`; re-registering the
+*same* token is the explicit way to update policy.
+
+Passing ``store=`` (a :class:`~repro.runtime.store.CacheStore`) persists
+the salt, digest records and name policies across restarts — plaintext
+tokens are never written anywhere.
 """
 
 from __future__ import annotations
 
-import hmac
+import hashlib
 import secrets
 import threading
+import time
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Dict, Iterable, Optional, Tuple
 
-from repro.exceptions import ServiceError
+from repro.exceptions import RegistrationConflict, ScopeDenied, ServiceError
+
+#: Every scope a token may carry.  ``admin`` implies the other two.
+SCOPES = ("submit", "read", "admin")
+
+#: Scopes granted when ``register`` is not told otherwise.
+DEFAULT_SCOPES = ("submit", "read")
 
 
 class AuthenticationError(ServiceError):
@@ -35,17 +54,38 @@ class ClientIdentity:
 
     ``weight`` feeds the scheduler's weighted round-robin; ``quota`` is
     interpreted by the service's admission layer (see
-    :mod:`repro.service.quota`).
+    :mod:`repro.service.quota`).  ``scopes`` comes from the *token* that
+    authenticated, not the name — two tokens for one client may carry
+    different scopes.
     """
 
     name: str
     weight: int = 1
     quota: Optional[object] = None  # ClientQuota; untyped to avoid a cycle
     metadata: dict = field(default_factory=dict)
+    scopes: Tuple[str, ...] = DEFAULT_SCOPES
+
+    def has_scope(self, scope: str) -> bool:
+        """Whether this identity's token covers ``scope`` (admin ⇒ all)."""
+        return scope in self.scopes or "admin" in self.scopes
+
+
+def _normalize_scopes(scopes: Optional[Iterable[str]]) -> Tuple[str, ...]:
+    if scopes is None:
+        return DEFAULT_SCOPES
+    result = tuple(dict.fromkeys(scopes))  # dedupe, keep order
+    for scope in result:
+        if scope not in SCOPES:
+            raise ServiceError(
+                f"unknown scope {scope!r}; valid scopes: {', '.join(SCOPES)}"
+            )
+    if not result:
+        raise ServiceError("a token must carry at least one scope")
+    return result
 
 
 class TokenAuthenticator:
-    """In-memory token table (the authentication *stub*).
+    """Salted-digest token table with expiry, scopes and persistence.
 
     Parameters
     ----------
@@ -53,16 +93,88 @@ class TokenAuthenticator:
         When ``True`` (default ``False``), a missing token resolves to the
         shared ``"anonymous"`` identity instead of raising — convenient
         for single-tenant embedding, wrong for anything multi-tenant.
+    store:
+        Optional :class:`~repro.runtime.store.CacheStore`.  When given,
+        the salt, token digests and name policies are persisted through
+        it (and reloaded on construction), so registrations survive a
+        restart.  Plaintext tokens are never stored.
+    clock:
+        Wall clock used for expiry checks (default :func:`time.time`).
+        Injectable for tests.
     """
 
     #: Name every unauthenticated submission shares under allow_anonymous.
     ANONYMOUS = "anonymous"
 
-    def __init__(self, allow_anonymous: bool = False) -> None:
+    _SALT_KEY = ("auth", "salt")
+
+    def __init__(
+        self,
+        allow_anonymous: bool = False,
+        store: Optional[object] = None,
+        clock=time.time,
+    ) -> None:
         self.allow_anonymous = bool(allow_anonymous)
+        self._clock = clock
         self._lock = threading.Lock()
-        self._tokens: Dict[str, ClientIdentity] = {}
-        self._anonymous = ClientIdentity(self.ANONYMOUS)
+        self._store = store
+        # digest hex -> {"name": str, "scopes": tuple, "expires_at": float|None}
+        self._tokens: Dict[str, dict] = {}
+        # name -> {"weight": int, "quota": ..., "metadata": dict}
+        self._policies: Dict[str, dict] = {}
+        # allow_anonymous is for single-tenant embedding: the process
+        # itself is the trusted owner, so anonymous carries every scope.
+        # Real multi-tenancy turns anonymous off and scopes its tokens.
+        self._anonymous = ClientIdentity(self.ANONYMOUS, scopes=SCOPES)
+        self._salt = self._load_or_create_salt()
+        if store is not None:
+            self._load_records()
+
+    # ------------------------------------------------------------------
+    # persistence plumbing
+    # ------------------------------------------------------------------
+
+    def _load_or_create_salt(self) -> bytes:
+        if self._store is not None:
+            salt_hex = self._store.lookup(self._SALT_KEY)
+            if isinstance(salt_hex, str):
+                return bytes.fromhex(salt_hex)
+        salt = secrets.token_bytes(16)
+        if self._store is not None:
+            self._store.store(self._SALT_KEY, salt.hex())
+        return salt
+
+    def _load_records(self) -> None:
+        for key, value in self._store.items():
+            if not (isinstance(key, tuple) and len(key) >= 2 and key[0] == "auth"):
+                continue
+            if key[1] == "token" and isinstance(value, dict):
+                self._tokens[key[2]] = {
+                    "name": value.get("name", ""),
+                    "scopes": tuple(value.get("scopes", DEFAULT_SCOPES)),
+                    "expires_at": value.get("expires_at"),
+                }
+            elif key[1] == "policy" and isinstance(value, dict):
+                self._policies[key[2]] = {
+                    "weight": int(value.get("weight", 1)),
+                    "quota": value.get("quota"),
+                    "metadata": dict(value.get("metadata", {})),
+                }
+
+    def _persist_token(self, digest: str) -> None:
+        if self._store is not None:
+            self._store.store(("auth", "token", digest), dict(self._tokens[digest]))
+
+    def _persist_policy(self, name: str) -> None:
+        if self._store is not None:
+            self._store.store(("auth", "policy", name), dict(self._policies[name]))
+
+    def _digest(self, token: str) -> str:
+        return hashlib.sha256(self._salt + token.encode("utf-8")).hexdigest()
+
+    # ------------------------------------------------------------------
+    # public interface
+    # ------------------------------------------------------------------
 
     def register(
         self,
@@ -70,13 +182,24 @@ class TokenAuthenticator:
         token: Optional[str] = None,
         weight: int = 1,
         quota: Optional[object] = None,
+        scopes: Optional[Iterable[str]] = None,
+        expires_in: Optional[float] = None,
         **metadata,
     ) -> str:
         """Register ``name`` and return its bearer token.
 
         ``token=None`` generates a fresh 32-hex-char secret.  Re-using a
         token for a second name is rejected — a token must resolve to
-        exactly one identity.
+        exactly one identity.  Re-registering the *same* token is an
+        explicit policy/scope/expiry update.  A *new* token for an
+        existing name must agree with the name's current ``weight`` and
+        ``quota``; a disagreement raises
+        :class:`~repro.exceptions.RegistrationConflict` (update through
+        the original token instead).
+
+        ``scopes`` defaults to ``("submit", "read")``; ``expires_in`` is
+        seconds-from-now on the authenticator's wall clock (``None`` =
+        never expires).
         """
         if not isinstance(name, str) or not name:
             raise ServiceError(
@@ -84,47 +207,132 @@ class TokenAuthenticator:
             )
         if weight < 1:
             raise ServiceError(f"client weight must be positive, got {weight}")
-        token = token if token is not None else secrets.token_hex(16)
-        with self._lock:
-            existing = self._tokens.get(token)
-            if existing is not None and existing.name != name:
-                raise ServiceError(
-                    f"token already registered to client {existing.name!r}"
-                )
-            self._tokens[token] = ClientIdentity(
-                name, int(weight), quota, dict(metadata)
+        if expires_in is not None and expires_in <= 0:
+            raise ServiceError(
+                f"expires_in must be positive seconds, got {expires_in}"
             )
+        scopes = _normalize_scopes(scopes)
+        token = token if token is not None else secrets.token_hex(16)
+        digest = self._digest(token)
+        expires_at = (
+            self._clock() + float(expires_in) if expires_in is not None else None
+        )
+        with self._lock:
+            existing = self._tokens.get(digest)
+            if existing is not None and existing["name"] != name:
+                raise ServiceError(
+                    f"token already registered to client {existing['name']!r}"
+                )
+            policy = self._policies.get(name)
+            if existing is None and policy is not None:
+                # A *new* token for a known name: policy must agree.
+                if int(weight) != policy["weight"]:
+                    raise RegistrationConflict(
+                        f"client {name!r} is registered with weight "
+                        f"{policy['weight']}, refusing a new token with "
+                        f"weight {weight}; re-register the original token "
+                        f"to update policy",
+                        client=name,
+                        field="weight",
+                    )
+                if quota != policy["quota"]:
+                    raise RegistrationConflict(
+                        f"client {name!r} is registered with a different "
+                        f"quota; re-register the original token to update "
+                        f"policy",
+                        client=name,
+                        field="quota",
+                    )
+            self._tokens[digest] = {
+                "name": name,
+                "scopes": scopes,
+                "expires_at": expires_at,
+            }
+            self._policies[name] = {
+                "weight": int(weight),
+                "quota": quota,
+                "metadata": dict(metadata),
+            }
+            self._persist_token(digest)
+            self._persist_policy(name)
         return token
 
     def revoke(self, token: str) -> bool:
-        """Forget ``token``; returns whether it was registered."""
-        with self._lock:
-            return self._tokens.pop(token, None) is not None
+        """Forget ``token``; returns whether it was registered.
 
-    def authenticate(self, token: Optional[str]) -> ClientIdentity:
+        The name's policy survives revocation — other tokens for the same
+        client keep working, and a later re-registration resumes the same
+        weight/quota without a conflict.
+        """
+        digest = self._digest(token)
+        with self._lock:
+            removed = self._tokens.pop(digest, None) is not None
+            if removed and self._store is not None:
+                self._store.remove(("auth", "token", digest))
+            return removed
+
+    def authenticate(
+        self, token: Optional[str], scope: Optional[str] = None
+    ) -> ClientIdentity:
         """Resolve ``token`` to its :class:`ClientIdentity`.
+
+        When ``scope`` is given, the token must carry it (or ``admin``).
 
         Raises
         ------
         AuthenticationError
-            For a missing token (unless ``allow_anonymous``) or one that
-            matches no registration.
+            For a missing token (unless ``allow_anonymous``), one that
+            matches no registration, or one past its expiry.
+        ScopeDenied
+            For a valid token whose scopes do not cover ``scope``.
         """
         if token is None:
             if self.allow_anonymous:
-                return self._anonymous
+                return self._check_scope(self._anonymous, scope)
             raise AuthenticationError(
                 "no token supplied and anonymous access is disabled"
             )
+        digest = self._digest(token)
         with self._lock:
-            for registered, identity in self._tokens.items():
-                # Constant-time comparison; linear scan is fine at the
-                # stub's scale (a real deployment replaces this module).
-                if hmac.compare_digest(registered, token):
-                    return identity
-        raise AuthenticationError("unknown token")
+            record = self._tokens.get(digest)
+            if record is None:
+                raise AuthenticationError("unknown token")
+            expires_at = record["expires_at"]
+            if expires_at is not None and self._clock() >= expires_at:
+                # Expired tokens are dropped eagerly so the table (and its
+                # persisted mirror) stays bounded by live registrations.
+                del self._tokens[digest]
+                if self._store is not None:
+                    self._store.remove(("auth", "token", digest))
+                raise AuthenticationError("token expired")
+            name = record["name"]
+            policy = self._policies.get(
+                name, {"weight": 1, "quota": None, "metadata": {}}
+            )
+            identity = ClientIdentity(
+                name=name,
+                weight=policy["weight"],
+                quota=policy["quota"],
+                metadata=dict(policy["metadata"]),
+                scopes=record["scopes"],
+            )
+        return self._check_scope(identity, scope)
+
+    @staticmethod
+    def _check_scope(
+        identity: ClientIdentity, scope: Optional[str]
+    ) -> ClientIdentity:
+        if scope is not None and not identity.has_scope(scope):
+            raise ScopeDenied(
+                f"client {identity.name!r} token lacks scope {scope!r} "
+                f"(granted: {', '.join(identity.scopes)})",
+                client=identity.name,
+                scope=scope,
+                granted=identity.scopes,
+            )
+        return identity
 
     def clients(self) -> list:
-        """Return the registered client names (no tokens)."""
+        """Return the client names holding at least one live token."""
         with self._lock:
-            return sorted({identity.name for identity in self._tokens.values()})
+            return sorted({record["name"] for record in self._tokens.values()})

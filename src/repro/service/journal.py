@@ -1,0 +1,260 @@
+"""Write-ahead job journal: the service's restart-durable memory.
+
+:class:`RuntimeService` forgets everything when its process dies — every
+``svc-N`` handle, every result a tenant has not yet collected.  The
+journal closes that gap: each submission is recorded *before* it reaches
+the scheduler, and each settlement (result counts or a typed failure) is
+recorded when the service observes it, both written through a
+:class:`~repro.runtime.store.CacheStore` disk tier under
+``<cache_dir>/service/journal/``.
+
+A restarted service loads the journal and can then
+
+* answer ``status()``/``result()``/``counts()`` for settled pre-restart
+  jobs — counts come back bit-identical because they are the journaled
+  counts themselves, and
+* re-submit journaled-but-unsettled jobs (write-ahead means a crash
+  between journal write and scheduler accept errs toward re-running, and
+  re-running is safe: counts are a pure function of circuit, backend,
+  shots and seed).
+
+Durability inherits the store's contract: atomic write-temp-then-rename,
+digest-checked reads, and *corruption is a miss* — a record truncated by
+a crash mid-write simply drops out of the journal instead of poisoning
+recovery.
+
+Not every submission is durable.  Circuits, backends and options must
+survive a pickle round-trip to be re-submittable; when they do not, the
+journal keeps a degraded record (fingerprints and settlement counts, but
+``recoverable=False``) so the job's *results* still survive a restart
+even though the job itself could not be re-run.
+"""
+
+from __future__ import annotations
+
+import pickle
+import threading
+import time
+from typing import Dict, List, Optional
+
+from repro.exceptions import ServiceError
+from repro.runtime.store import CacheStore
+
+#: Journal records live under this namespace inside the shared cache dir.
+JOURNAL_NAMESPACE = "service/journal"
+
+#: Terminal statuses a settlement may record.
+SETTLED_STATUSES = ("done", "failed", "dropped", "cancelled")
+
+
+def _fingerprint(circuit) -> Optional[str]:
+    try:
+        return circuit.fingerprint()
+    except Exception:
+        return None
+
+
+def _probe_picklable(value) -> bool:
+    try:
+        pickle.dumps(value)
+        return True
+    except Exception:
+        return False
+
+
+class JobJournal:
+    """Persistent record of every submission and settlement.
+
+    Parameters
+    ----------
+    cache_dir:
+        Parent cache directory (the journal lives in
+        ``<cache_dir>/service/journal/``).  Ignored when ``store`` is
+        given.  ``None`` keeps the journal memory-only — useful in tests,
+        pointless for durability.
+    store:
+        A pre-built :class:`~repro.runtime.store.CacheStore` to journal
+        through (the journal adopts its tiers as-is).
+    maxsize:
+        Memory-tier bound when the journal builds its own store.
+
+    The journal is thread-safe: submissions arrive on the event loop,
+    settlements from executor threads, recovery queries from anywhere.
+    """
+
+    def __init__(
+        self,
+        cache_dir: Optional[str] = None,
+        store: Optional[CacheStore] = None,
+        maxsize: int = 4096,
+    ) -> None:
+        if store is None:
+            store = CacheStore(
+                maxsize=maxsize,
+                cache_dir=cache_dir,
+                namespace=JOURNAL_NAMESPACE,
+                disk_maxsize=None,  # a journal must not evict live records
+            )
+        self._store = store
+        self._lock = threading.Lock()
+        self._records: Dict[int, dict] = {}
+        self._next = 1
+        self._load()
+
+    @property
+    def durable(self) -> bool:
+        """Whether records reach disk (``False`` = memory-only journal)."""
+        return self._store.disk is not None
+
+    def _load(self) -> None:
+        """Populate the in-memory mirror from the store (corrupt ⇒ skip)."""
+        highest = 0
+        for key, value in self._store.items():
+            if not (
+                isinstance(key, tuple)
+                and len(key) == 2
+                and key[0] == "job"
+                and isinstance(key[1], int)
+            ):
+                continue
+            if not isinstance(value, dict) or value.get("id") != key[1]:
+                continue  # malformed record: treat like a corrupt entry
+            self._records[key[1]] = value
+            highest = max(highest, key[1])
+        self._next = highest + 1
+
+    # ------------------------------------------------------------------
+    # id allocation
+    # ------------------------------------------------------------------
+
+    def next_id(self) -> int:
+        """Allocate the next journal id (monotonic across restarts)."""
+        with self._lock:
+            allocated = self._next
+            self._next += 1
+            return allocated
+
+    # ------------------------------------------------------------------
+    # write path
+    # ------------------------------------------------------------------
+
+    def record_submission(
+        self,
+        job_id: int,
+        client: str,
+        circuits,
+        backend,
+        shots: int,
+        seed,
+        priority: int = 0,
+        weight: int = 1,
+        options: Optional[dict] = None,
+    ) -> dict:
+        """Write-ahead-record a submission; returns the stored record.
+
+        ``circuits`` is the listified batch, ``backend`` either the spec
+        string the tenant submitted or the backend instance.  Payloads
+        that do not pickle are journaled in degraded form
+        (``recoverable=False``): the job cannot be re-run after a crash,
+        but its settlement counts are still made durable.
+        """
+        circuits = list(circuits)
+        options = dict(options or {})
+        recoverable = True
+        if self.durable and not _probe_picklable((circuits, backend, options)):
+            recoverable = False
+        record = {
+            "id": int(job_id),
+            "job_id": f"svc-{int(job_id)}",
+            "client": str(client),
+            "weight": int(weight),
+            "fingerprints": [_fingerprint(c) for c in circuits],
+            "circuits": circuits if recoverable else None,
+            "backend": backend if recoverable else repr(backend),
+            "shots": shots,
+            "seed": seed,
+            "priority": int(priority),
+            "options": options if recoverable else {},
+            "size": len(circuits),
+            "submitted_at": time.time(),
+            "settled": False,
+            "status": "submitted",
+            "recoverable": recoverable,
+        }
+        with self._lock:
+            self._records[record["id"]] = record
+            self._next = max(self._next, record["id"] + 1)
+        self._store.store(("job", record["id"]), record)
+        return record
+
+    def record_settlement(
+        self,
+        job_id: int,
+        status: str,
+        counts: Optional[List[dict]] = None,
+        shots: Optional[List[int]] = None,
+        error: Optional[BaseException] = None,
+    ) -> dict:
+        """Record a job's terminal outcome; returns the updated record.
+
+        ``counts`` is one plain ``{bitstring: occurrences}`` dict per
+        circuit (only for ``status="done"``); ``error`` is journaled as
+        ``{"type", "message"}`` so a restarted service can re-raise a
+        meaningful failure.
+        """
+        if status not in SETTLED_STATUSES:
+            raise ServiceError(
+                f"unknown settlement status {status!r}; valid: "
+                f"{', '.join(SETTLED_STATUSES)}"
+            )
+        with self._lock:
+            record = self._records.get(int(job_id))
+            if record is None:
+                raise ServiceError(
+                    f"cannot settle unknown journal id {job_id!r}"
+                )
+            record = dict(record)
+            record["settled"] = True
+            record["status"] = status
+            record["settled_at"] = time.time()
+            record["counts"] = (
+                [dict(c) for c in counts] if counts is not None else None
+            )
+            record["shots_out"] = list(shots) if shots is not None else None
+            record["error"] = (
+                {"type": type(error).__name__, "message": str(error)}
+                if error is not None
+                else None
+            )
+            # Settled records no longer need their (potentially large)
+            # re-submission payload.
+            record["circuits"] = None
+            record["options"] = {}
+            if not isinstance(record["backend"], str):
+                record["backend"] = repr(record["backend"])
+            self._records[record["id"]] = record
+        self._store.store(("job", record["id"]), record)
+        return record
+
+    # ------------------------------------------------------------------
+    # read path
+    # ------------------------------------------------------------------
+
+    def record(self, job_id: int) -> Optional[dict]:
+        """Return a copy of the record for ``job_id`` (or ``None``)."""
+        with self._lock:
+            record = self._records.get(int(job_id))
+            return dict(record) if record is not None else None
+
+    def records(self) -> List[dict]:
+        """Return copies of every record, ordered by id."""
+        with self._lock:
+            return [dict(self._records[i]) for i in sorted(self._records)]
+
+    def unsettled(self) -> List[dict]:
+        """Return copies of journaled-but-unsettled records, by id."""
+        return [r for r in self.records() if not r["settled"]]
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._records)

@@ -47,9 +47,17 @@ import threading
 import time
 from typing import AsyncIterator, Dict, List, Optional
 
-from repro.exceptions import JobError, QueueTimeout, ServiceError
+from repro.exceptions import (
+    JobError,
+    QueueTimeout,
+    ScopeDenied,
+    ServiceError,
+)
 from repro.runtime.scheduler import ScheduledBatch, Scheduler
+from repro.runtime.store import CacheStore, default_cache_dir
+from repro.service.accounting import CostLedger
 from repro.service.auth import AuthenticationError, ClientIdentity, TokenAuthenticator
+from repro.service.journal import JobJournal
 from repro.service.quota import (
     UNLIMITED,
     ClientQuota,
@@ -59,6 +67,9 @@ from repro.service.quota import (
 )
 from repro.service.stats import ClientStats, LatencyWindow, RateMeter
 
+#: Fallback id source for journal-less services.  A journaled service
+#: allocates ids from the journal instead, so they stay monotonic across
+#: restarts.
 _service_job_counter = itertools.count(1)
 
 
@@ -75,8 +86,11 @@ class ServiceJob:
     def __init__(
         self, service: "RuntimeService", client: str, batch: ScheduledBatch,
         size: int, loop: asyncio.AbstractEventLoop,
+        job_id: Optional[int] = None,
     ) -> None:
-        self.job_id = f"svc-{next(_service_job_counter)}"
+        numeric = job_id if job_id is not None else next(_service_job_counter)
+        self.journal_id = int(numeric)
+        self.job_id = f"svc-{self.journal_id}"
         self.client = client
         self.batch = batch
         self.size = size
@@ -84,6 +98,11 @@ class ServiceJob:
         self._loop = loop
         self._dispatched = asyncio.Event()
         self._settled = asyncio.Event()
+        # Accounting references, attached by submit()/recover(): what this
+        # job ran, so settlement can price it against the cost model.
+        self._circuits = None
+        self._backend = None
+        self._shots = None
 
     # -- lifecycle -------------------------------------------------------
 
@@ -188,6 +207,78 @@ class ServiceJob:
         )
 
 
+class RecoveredJob:
+    """A settled pre-restart job, reconstructed from its journal record.
+
+    Mirrors the terminal slice of the :class:`ServiceJob` interface —
+    ``status``/``done``/``wait``/``result``/``counts``/``cancel`` — so
+    tenants polling a ``svc-N`` id across a service restart cannot tell
+    the difference.  Counts come straight from the journal, so they are
+    bit-identical to what the pre-restart service computed; failures
+    re-raise with the journaled type name and message.
+    """
+
+    def __init__(self, record: dict) -> None:
+        self.journal_id = record["id"]
+        self.job_id = record["job_id"]
+        self.client = record["client"]
+        self.size = record.get("size", len(record.get("fingerprints") or []))
+        self._record = record
+
+    def status(self) -> str:
+        return self._record["status"]
+
+    def done(self) -> bool:
+        return True
+
+    def cancel(self) -> bool:
+        return False  # already terminal
+
+    async def wait(self, timeout: Optional[float] = None) -> "RecoveredJob":
+        return self
+
+    async def result(self, timeout: Optional[float] = None) -> List:
+        """Rebuild the result list from journaled counts, or re-raise."""
+        record = self._record
+        status = record["status"]
+        if status == "done":
+            from repro.results.counts import Counts
+            from repro.results.result import Result
+
+            counts = record.get("counts") or []
+            shots = record.get("shots_out") or [
+                sum(c.values()) for c in counts
+            ]
+            return [
+                Result(
+                    counts=Counts(c),
+                    shots=n,
+                    metadata={"recovered": True, "job_id": self.job_id},
+                )
+                for c, n in zip(counts, shots)
+            ]
+        error = record.get("error") or {}
+        message = (
+            f"{self.job_id} {status} before restart"
+            + (f": [{error['type']}] {error['message']}" if error else "")
+        )
+        if status == "dropped":
+            raise QueueTimeout(message, client=self.client)
+        raise JobError(message)
+
+    async def counts(self, timeout: Optional[float] = None) -> List:
+        return [result.counts for result in await self.result(timeout)]
+
+    def __await__(self):
+        return self.result().__await__()
+
+    def __repr__(self) -> str:
+        return (
+            f"<RecoveredJob {self.job_id} client={self.client!r} "
+            f"size={self.size} status={self.status()}>"
+        )
+
+
 class _ServiceClient:
     """Service-side per-client state: quota machinery and counters."""
 
@@ -238,6 +329,24 @@ class RuntimeService:
     max_in_flight / executor / max_workers / schedule:
         Forwarded to the underlying
         :class:`~repro.runtime.scheduler.Scheduler`.
+    cache_dir:
+        Root for the service's durable state (``<cache_dir>/service/``:
+        job journal, cost ledgers, hashed token records).  Defaults to
+        ``$REPRO_CACHE_DIR``; ``None`` with the variable unset means no
+        durability.
+    journal / accounting:
+        The write-ahead :class:`~repro.service.journal.JobJournal` and
+        per-tenant :class:`~repro.service.accounting.CostLedger`.  Each
+        accepts an instance, ``False`` (disable), or ``None`` (default):
+        auto-construct under ``cache_dir`` when one resolves.
+    cost_weighted_shares:
+        When ``True`` (default ``False``), settled jobs feed the cost
+        ledger back into scheduler fair-share weights — heavy spenders
+        are nudged down, light ones up (see
+        :meth:`~repro.service.accounting.CostLedger.effective_weight`).
+    cost_model:
+        :class:`~repro.runtime.profile.CostModel` pricing settled jobs
+        for the ledger (default: the process-wide model).
     clock / sleep:
         Injectable monotonic clock and async sleep, used together by the
         rate limiter (``clock`` feeds the token buckets, ``sleep`` paces
@@ -264,12 +373,46 @@ class RuntimeService:
         width_planning: bool = True,
         clock=time.monotonic,
         sleep=asyncio.sleep,
+        cache_dir: Optional[str] = None,
+        journal=None,
+        accounting=None,
+        cost_weighted_shares: bool = False,
+        cost_model=None,
     ) -> None:
-        self.authenticator = (
-            authenticator
-            if authenticator is not None
-            else TokenAuthenticator(allow_anonymous=allow_anonymous)
-        )
+        resolved_dir = cache_dir if cache_dir is not None else default_cache_dir()
+        if authenticator is not None:
+            self.authenticator = authenticator
+        else:
+            auth_store = (
+                CacheStore(
+                    maxsize=1024,
+                    cache_dir=resolved_dir,
+                    namespace="service/auth",
+                    disk_maxsize=None,
+                )
+                if resolved_dir
+                else None
+            )
+            self.authenticator = TokenAuthenticator(
+                allow_anonymous=allow_anonymous, store=auth_store
+            )
+        if journal is None:
+            self.journal = JobJournal(cache_dir=resolved_dir) if resolved_dir else None
+        else:
+            self.journal = journal or None  # False disables
+        if accounting is None:
+            self.accounting = (
+                CostLedger(cache_dir=resolved_dir) if resolved_dir else None
+            )
+        else:
+            self.accounting = accounting or None  # False disables
+        self.cost_weighted_shares = bool(cost_weighted_shares)
+        if cost_model is not None:
+            self._cost_model = cost_model
+        else:
+            from repro.runtime.profile import DEFAULT_COST_MODEL
+
+            self._cost_model = DEFAULT_COST_MODEL
         self.default_quota = (
             default_quota if default_quota is not None else UNLIMITED
         )
@@ -286,6 +429,8 @@ class RuntimeService:
         self._sleep = sleep
         self._lock = threading.Lock()
         self._clients: Dict[str, _ServiceClient] = {}
+        self._jobs: Dict[str, object] = {}  # job_id -> ServiceJob/RecoveredJob
+        self._backend_cache: Dict[str, object] = {}  # spec -> resolved backend
         self._loop: Optional[asyncio.AbstractEventLoop] = None
         self._rejected_auth = 0
         self._queue_latency = LatencyWindow()
@@ -304,17 +449,25 @@ class RuntimeService:
         token: Optional[str] = None,
         weight: int = 1,
         quota: Optional[ClientQuota] = None,
+        scopes=None,
+        expires_in: Optional[float] = None,
         **metadata,
     ) -> str:
         """Register a tenant and return its bearer token.
 
         ``weight`` feeds the scheduler's weighted round-robin; ``quota``
         (default: the service's ``default_quota``) bounds the client's
-        concurrency and shots/sec.  Re-registering a name updates weight
-        and quota and issues an additional token.
+        concurrency and shots/sec.  ``scopes`` (default
+        ``("submit", "read")``) and ``expires_in`` seconds attach to the
+        *token*.  Re-registering the same token is an explicit policy
+        update; issuing an additional token for a name requires the same
+        weight/quota (a mismatch raises
+        :class:`~repro.exceptions.RegistrationConflict` — one client,
+        one policy).
         """
         token = self.authenticator.register(
-            name, token=token, weight=weight, quota=quota, **metadata
+            name, token=token, weight=weight, quota=quota,
+            scopes=scopes, expires_in=expires_in, **metadata
         )
         self.scheduler.client(name, weight=weight)
         identity = ClientIdentity(name, weight, quota, dict(metadata))
@@ -429,8 +582,8 @@ class RuntimeService:
 
         loop = self._bind_loop()
         try:
-            identity = self.authenticator.authenticate(token)
-        except AuthenticationError:
+            identity = self.authenticator.authenticate(token, scope="submit")
+        except (AuthenticationError, ScopeDenied):
             with self._lock:
                 self._rejected_auth += 1
             raise
@@ -471,7 +624,33 @@ class RuntimeService:
                     state.condition = asyncio.Condition()
                 async with state.condition:
                     await state.condition.wait()
+        numeric_id = (
+            self.journal.next_id()
+            if self.journal is not None
+            else next(_service_job_counter)
+        )
+        circuit_list = (
+            [circuits] if isinstance(circuits, QuantumCircuit) else circuits
+        )
+        journaled = False
         try:
+            if self.journal is not None:
+                # Write-ahead: the record must exist before the scheduler
+                # can possibly run the job, so a crash in between errs
+                # toward re-running (safe — counts are a pure function of
+                # circuit/backend/shots/seed), never toward losing it.
+                self.journal.record_submission(
+                    numeric_id,
+                    identity.name,
+                    circuit_list,
+                    backend,
+                    shots,
+                    seed,
+                    priority=priority,
+                    weight=identity.weight,
+                    options=options,
+                )
+                journaled = True
             batch = self.scheduler.submit(
                 circuits,
                 backend,
@@ -483,7 +662,7 @@ class RuntimeService:
                 deadline_action=deadline_action,
                 **options,
             )
-        except BaseException:
+        except BaseException as exc:
             # Roll back admission in full: the concurrency charge AND the
             # shots already debited from the rate bucket, then wake any
             # over-quota waiters blocked on the freed capacity.
@@ -493,10 +672,21 @@ class RuntimeService:
                     state.bucket.credit(total_shots)
             if state.condition is not None:
                 asyncio.ensure_future(self._notify(state.condition))
+            if journaled:
+                # Never leave an unsettled record for work the scheduler
+                # refused — recovery would re-run a submission the tenant
+                # saw rejected.
+                self.journal.record_settlement(numeric_id, "failed", error=exc)
             raise
         state.stats.bump("submitted_batches")
         state.stats.bump("submitted_jobs", size)
-        handle = ServiceJob(self, identity.name, batch, size, loop)
+        handle = ServiceJob(self, identity.name, batch, size, loop,
+                            job_id=numeric_id)
+        handle._circuits = circuit_list
+        handle._backend = backend
+        handle._shots = shots
+        with self._lock:
+            self._jobs[handle.job_id] = handle
         # The bridge out of the threaded scheduler: fires on dispatch,
         # dispatch failure, deadline drop or queue-side cancel — possibly
         # on the dispatcher thread — and hops onto the loop.
@@ -583,11 +773,110 @@ class RuntimeService:
             if state.condition is not None:
                 # Wake over-quota waiters; we are already on the loop.
                 asyncio.ensure_future(self._notify(state.condition))
+        if self.journal is not None or self.accounting is not None:
+            # Journal/ledger writes and result collection are blocking
+            # I/O — off the loop with them.  A closing loop leaves the
+            # record unsettled, which recovery treats as re-runnable.
+            try:
+                handle._loop.run_in_executor(
+                    None, self._record_settlement, handle
+                )
+            except RuntimeError:
+                pass
 
     @staticmethod
     async def _notify(condition: asyncio.Condition) -> None:
         async with condition:
             condition.notify_all()
+
+    def _record_settlement(self, handle: ServiceJob) -> None:
+        """Journal a handle's terminal outcome and charge its ledger.
+
+        Runs in the loop's default executor: collecting results (chunk
+        merging) and the store writes both block.  Mirrors the status
+        logic of :meth:`_settle`; never raises — durability bookkeeping
+        must not take the service down.
+        """
+        try:
+            status = handle.batch.status()
+            counts = shots_out = error = None
+            if status in ("failed", "dropped", "cancelled"):
+                terminal = status
+                error = handle.batch._error
+            else:
+                from repro.runtime.job import JobStatus
+
+                jobset = handle.batch._jobset
+                statuses = jobset.statuses()
+                if any(s is JobStatus.ERROR for s in statuses):
+                    terminal = "failed"
+                    error = next(
+                        (job._error for job in jobset.jobs
+                         if job._error is not None),
+                        None,
+                    )
+                elif any(s is JobStatus.CANCELLED for s in statuses):
+                    terminal = "cancelled"
+                else:
+                    terminal = "done"
+                    results = jobset.result()
+                    counts = [dict(r.counts) for r in results]
+                    shots_out = [r.shots for r in results]
+            if self.journal is not None:
+                self.journal.record_settlement(
+                    handle.journal_id, terminal,
+                    counts=counts, shots=shots_out, error=error,
+                )
+            if terminal == "done" and self.accounting is not None:
+                self._charge(handle)
+        except Exception:
+            pass
+
+    def _resolve_backend_cached(self, backend):
+        """Resolve a backend spec for costing, memoized per spec string.
+
+        Resolving ``"noisy:<device>"`` rebuilds the device noise model
+        (~10ms); settlements would otherwise pay that per job.  Backend
+        *objects* pass through untouched.
+        """
+        if not isinstance(backend, str):
+            return backend
+        resolved = self._backend_cache.get(backend)
+        if resolved is None:
+            from repro.runtime.provider import resolve_backend
+
+            resolved = resolve_backend(backend)
+            with self._lock:
+                self._backend_cache.setdefault(backend, resolved)
+        return resolved
+
+    def _charge(self, handle: ServiceJob) -> None:
+        """Charge the tenant's cost ledger for a completed handle and,
+        under ``cost_weighted_shares``, rebalance its scheduler weight."""
+        _size, total_shots = self._batch_shape(
+            handle._circuits if handle._circuits is not None else [],
+            handle._shots if handle._shots is not None else 0,
+        )
+        cost_s = None
+        if handle._circuits is not None and handle._backend is not None:
+            try:
+                cost_s = self._cost_model.estimate_batch(
+                    self._resolve_backend_cached(handle._backend),
+                    handle._circuits,
+                    handle._shots,
+                )
+            except Exception:
+                cost_s = None  # unpriceable: the shots still count
+        self.accounting.charge(handle.client, total_shots, cost_s)
+        if not self.cost_weighted_shares:
+            return
+        state = self._clients.get(handle.client)
+        if state is None:
+            return
+        base = state.identity.weight
+        target = self.accounting.effective_weight(handle.client, base)
+        if self.scheduler.client_weights().get(handle.client) != target:
+            self.scheduler.client(handle.client, weight=target)
 
     # ------------------------------------------------------------------
     # Streaming
@@ -626,6 +915,147 @@ class RuntimeService:
         finally:
             for task in pending:
                 task.cancel()
+
+    # ------------------------------------------------------------------
+    # Durability / recovery
+    # ------------------------------------------------------------------
+
+    async def recover(self) -> dict:
+        """Restore journaled jobs after a restart; returns what happened.
+
+        Settled records become :class:`RecoveredJob` handles — their
+        ``status()``/``result()``/``counts()`` answer for the pre-restart
+        ``svc-N`` ids, counts bit-identical because they *are* the
+        journaled counts.  Journaled-but-unsettled records are
+        re-submitted to the scheduler exactly once (write-ahead means the
+        original run may or may not have started; re-running is safe
+        because counts are a pure function of circuit/backend/shots/seed
+        and the id is reused, so the tenant still sees one job).
+        Unsettled records whose payload did not survive pickling are
+        settled as failed instead of silently dropped.
+
+        Idempotent: ids already known to this service are skipped, so a
+        second ``recover()`` is a no-op.  Returns
+        ``{"restored": n, "resubmitted": n, "skipped": n}``.
+        """
+        loop = self._bind_loop()
+        summary = {"restored": 0, "resubmitted": 0, "skipped": 0}
+        if self.journal is None:
+            return summary
+        for record in self.journal.records():
+            job_id = record["job_id"]
+            with self._lock:
+                if job_id in self._jobs:
+                    summary["skipped"] += 1
+                    continue
+            if record["settled"]:
+                with self._lock:
+                    self._jobs[job_id] = RecoveredJob(record)
+                summary["restored"] += 1
+                continue
+            if not record.get("recoverable", False):
+                updated = self.journal.record_settlement(
+                    record["id"], "failed",
+                    error=ServiceError(
+                        "journaled submission did not survive the restart "
+                        "(payload was not picklable); re-submit it"
+                    ),
+                )
+                with self._lock:
+                    self._jobs[job_id] = RecoveredJob(updated)
+                summary["skipped"] += 1
+                continue
+            handle = self._resubmit(record, loop)
+            summary["resubmitted" if handle is not None else "skipped"] += 1
+        return summary
+
+    def _resubmit(self, record: dict, loop) -> Optional[ServiceJob]:
+        """Re-run one unsettled journal record under its original id.
+
+        Bypasses auth and quota admission — the submission was already
+        admitted before the crash; charging it again could wedge recovery
+        behind the tenant's own quota.
+        """
+        name = record["client"]
+        weight = max(1, int(record.get("weight", 1)))
+        self.scheduler.client(name, weight=weight)
+        state = self._client_state(ClientIdentity(name, weight))
+        size = record.get("size", len(record["circuits"]))
+        with self._lock:
+            state.in_flight_jobs += size
+        try:
+            batch = self.scheduler.submit(
+                record["circuits"],
+                record["backend"],
+                shots=record["shots"],
+                seed=record["seed"],
+                client=name,
+                priority=record.get("priority", 0),
+                **record.get("options", {}),
+            )
+        except BaseException as exc:
+            with self._lock:
+                state.in_flight_jobs -= size
+            self.journal.record_settlement(record["id"], "failed", error=exc)
+            with self._lock:
+                self._jobs[record["job_id"]] = RecoveredJob(
+                    self.journal.record(record["id"])
+                )
+            return None
+        state.stats.bump("submitted_batches")
+        state.stats.bump("submitted_jobs", size)
+        handle = ServiceJob(self, name, batch, size, loop,
+                            job_id=record["id"])
+        handle._circuits = record["circuits"]
+        handle._backend = record["backend"]
+        handle._shots = record["shots"]
+        with self._lock:
+            self._jobs[handle.job_id] = handle
+        batch.add_dispatch_callback(
+            lambda _batch: self._post(loop, self._on_left_queue, handle)
+        )
+        return handle
+
+    def job(self, job_id: str, token: Optional[str] = None):
+        """Look a handle up by its stable ``svc-N`` id.
+
+        ``token`` must carry the ``read`` scope and belong to the job's
+        owner (or carry ``admin``).  Live :class:`ServiceJob` and
+        post-restart :class:`RecoveredJob` handles come back through the
+        same call — tenants never need to know a restart happened.
+        """
+        identity = self.authenticator.authenticate(token, scope="read")
+        with self._lock:
+            handle = self._jobs.get(job_id)
+        if handle is None:
+            raise ServiceError(f"unknown job id {job_id!r}")
+        if identity.name != handle.client and not identity.has_scope("admin"):
+            raise ScopeDenied(
+                f"client {identity.name!r} may not read job {job_id} "
+                f"owned by {handle.client!r}",
+                client=identity.name,
+                scope="admin",
+                granted=identity.scopes,
+            )
+        return handle
+
+    def status(self, job_id: str, token: Optional[str] = None) -> str:
+        """Return the job's terminal-or-live status by ``svc-N`` id."""
+        return self.job(job_id, token).status()
+
+    async def result(
+        self, job_id: str, token: Optional[str] = None,
+        timeout: Optional[float] = None,
+    ) -> List:
+        """Await and return the ordered result list by ``svc-N`` id."""
+        return await self.job(job_id, token).result(timeout)
+
+    async def counts(
+        self, job_id: str, token: Optional[str] = None,
+        timeout: Optional[float] = None,
+    ) -> List:
+        """Shorthand for ``[r.counts for r in await service.result(...)]``."""
+        return [r.counts for r in await self.result(job_id, token, timeout)]
 
     # ------------------------------------------------------------------
     # Observability / lifecycle
@@ -670,6 +1100,17 @@ class RuntimeService:
             "dispatched_batches": scheduler["dispatched_batches"],
             "queue_latency": self._queue_latency.snapshot(),
             **totals,
+            "journal": (
+                {"records": len(self.journal), "durable": self.journal.durable}
+                if self.journal is not None
+                else None
+            ),
+            "accounting": (
+                self.accounting.snapshot()
+                if self.accounting is not None
+                else None
+            ),
+            "scheduler_weights": self.scheduler.client_weights(),
             "clients": per_client,
         }
 

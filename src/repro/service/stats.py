@@ -82,6 +82,7 @@ class RateMeter:
         self._events = deque()
         self._lock = threading.Lock()
         self._total = 0
+        self._started = clock()
 
     def tick(self, count: int = 1) -> None:
         now = self._clock()
@@ -96,13 +97,23 @@ class RateMeter:
             self._events.popleft()
 
     def rate(self) -> float:
-        """Events per second over the (elapsed part of the) window."""
+        """Events per second over the (elapsed part of the) window.
+
+        The denominator is the elapsed time since the meter started,
+        capped at the window length — never the span between the oldest
+        retained event and now.  A since-first-event denominator collapses
+        to ~0 with a single event in the window, reporting one completion
+        as ~1e9 events/sec; elapsed-since-start keeps early-window rates
+        sane (one completion five seconds into the window is 0.2/sec) and
+        converges to the plain sliding-window rate once the meter has run
+        a full window.
+        """
         now = self._clock()
         with self._lock:
             self._trim(now)
             if not self._events:
                 return 0.0
-            span = max(now - self._events[0][0], 1e-9)
+            span = min(max(now - self._started, 1e-9), self.window)
             return sum(count for _stamp, count in self._events) / span
 
     @property
@@ -133,6 +144,11 @@ class ClientStats:
         self.queue_latency = LatencyWindow()
 
     def bump(self, field: str, count: int = 1) -> None:
+        if field not in self._counters:
+            raise ValueError(
+                f"unknown counter {field!r}; valid fields: "
+                f"{', '.join(self.FIELDS)}"
+            )
         with self._lock:
             self._counters[field] += count
 

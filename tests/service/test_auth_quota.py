@@ -1,10 +1,12 @@
-"""Unit tests for the service admission primitives: the token
-authenticator stub, client quota validation, and the token bucket (driven
-by a hand-cranked clock so nothing sleeps)."""
+"""Unit tests for the service admission primitives: the hashed-token
+authenticator (digests at rest, expiry, scopes, registration conflicts,
+persistence), client quota validation, and the token bucket (driven by a
+hand-cranked clock so nothing sleeps)."""
 
 import pytest
 
-from repro.exceptions import ServiceError
+from repro.exceptions import RegistrationConflict, ScopeDenied, ServiceError
+from repro.runtime.store import CacheStore
 from repro.service import (
     AuthenticationError,
     ClientQuota,
@@ -81,6 +83,99 @@ class TestTokenAuthenticator:
         auth.register("bob")
         auth.register("alice")
         assert auth.clients() == ["alice", "bob"]
+
+    def test_tokens_are_hashed_at_rest(self):
+        auth = TokenAuthenticator()
+        token = auth.register("alice", token="s3cret")
+        # No internal structure may hold the plaintext secret.
+        for table in (auth._tokens, auth._policies):
+            assert token not in table
+            assert all(token not in str(v) for v in table.values())
+
+    def test_conflicting_new_token_for_same_name_rejected(self):
+        auth = TokenAuthenticator()
+        auth.register("alice", token="one", weight=2)
+        with pytest.raises(RegistrationConflict) as excinfo:
+            auth.register("alice", token="two", weight=5)
+        assert excinfo.value.client == "alice"
+        assert excinfo.value.field == "weight"
+        with pytest.raises(RegistrationConflict) as excinfo:
+            auth.register("alice", token="two", weight=2,
+                          quota=ClientQuota(max_in_flight_jobs=1))
+        assert excinfo.value.field == "quota"
+        # A matching policy issues the additional token fine.
+        auth.register("alice", token="two", weight=2)
+        assert auth.authenticate("two").name == "alice"
+
+    def test_same_token_reregister_is_explicit_update(self):
+        auth = TokenAuthenticator()
+        auth.register("alice", token="one", weight=2)
+        auth.register("alice", token="one", weight=7)
+        assert auth.authenticate("one").weight == 7
+
+    def test_token_expiry(self):
+        clock = FakeClock()
+        auth = TokenAuthenticator(clock=clock)
+        token = auth.register("alice", expires_in=60.0)
+        assert auth.authenticate(token).name == "alice"
+        clock.advance(61.0)
+        with pytest.raises(AuthenticationError, match="expired"):
+            auth.authenticate(token)
+        # Expired tokens are dropped; a fresh registration resumes.
+        assert auth.clients() == []
+        with pytest.raises(ServiceError):
+            auth.register("alice", expires_in=-1.0)
+
+    def test_scopes_checked_and_admin_implies_all(self):
+        auth = TokenAuthenticator()
+        reader = auth.register("alice", token="r", scopes=("read",))
+        admin = auth.register("alice", token="a", scopes=("admin",))
+        assert auth.authenticate(reader, scope="read").name == "alice"
+        with pytest.raises(ScopeDenied) as excinfo:
+            auth.authenticate(reader, scope="submit")
+        assert excinfo.value.scope == "submit"
+        assert excinfo.value.granted == ("read",)
+        for scope in ("submit", "read", "admin"):
+            assert auth.authenticate(admin, scope=scope).name == "alice"
+        with pytest.raises(ServiceError):
+            auth.register("bob", scopes=("launch-missiles",))
+        with pytest.raises(ServiceError):
+            auth.register("bob", scopes=())
+
+    def test_registrations_persist_without_plaintext(self, tmp_path):
+        store = CacheStore(cache_dir=str(tmp_path), namespace="service/auth",
+                           disk_maxsize=None)
+        auth = TokenAuthenticator(store=store)
+        token = auth.register("alice", token="s3cret", weight=3,
+                              scopes=("submit", "read"))
+        # Nothing under the cache dir may contain the plaintext token.
+        for path in tmp_path.rglob("*"):
+            if path.is_file():
+                assert b"s3cret" not in path.read_bytes()
+        # A fresh authenticator over the same store resolves the token...
+        reloaded = TokenAuthenticator(
+            store=CacheStore(cache_dir=str(tmp_path),
+                             namespace="service/auth", disk_maxsize=None)
+        )
+        identity = reloaded.authenticate(token)
+        assert identity.name == "alice"
+        assert identity.weight == 3
+        # ... and enforces the persisted policy on conflicting re-registers.
+        with pytest.raises(RegistrationConflict):
+            reloaded.register("alice", token="other", weight=9)
+
+    def test_revoke_persists(self, tmp_path):
+        def build():
+            return TokenAuthenticator(
+                store=CacheStore(cache_dir=str(tmp_path),
+                                 namespace="service/auth", disk_maxsize=None)
+            )
+
+        token = build().register("alice", token="s3cret")
+        auth = build()
+        assert auth.revoke(token)
+        with pytest.raises(AuthenticationError):
+            build().authenticate(token)
 
 
 # ----------------------------------------------------------------------

@@ -102,6 +102,22 @@ class TestClientStats:
         assert snapshot["completed_batches"] == 0
         assert snapshot["queue_latency"]["count"] == 1
 
-    def test_unknown_field_raises(self):
-        with pytest.raises(KeyError):
+    def test_unknown_field_raises_valueerror_naming_fields(self):
+        with pytest.raises(ValueError) as excinfo:
             ClientStats().bump("not_a_field")
+        message = str(excinfo.value)
+        assert "not_a_field" in message
+        # The error must name the valid fields so a typo is self-diagnosing.
+        for field in ClientStats.FIELDS:
+            assert field in message
+
+    def test_single_event_rate_is_sane(self):
+        # Regression: with one event in the window the old denominator
+        # (now - first event) clamped to 1e-9 and a single completion
+        # reported ~1e9 events/sec.
+        clock = FakeClock()
+        meter = RateMeter(window_seconds=60.0, clock=clock)
+        clock.advance(5.0)
+        meter.tick()
+        assert meter.rate() <= 1.0  # 1 event / 5s elapsed = 0.2
+        assert abs(meter.rate() - 1.0 / 5.0) < 1e-9
