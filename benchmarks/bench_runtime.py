@@ -30,6 +30,11 @@ assertion workload at 4096 shots through ``method="loop"`` (the per-shot
 walker) vs ``method="batched"`` (all shots of a tile evolve along a NumPy
 batch axis) — bit-identical counts, target >= 10x.
 
+The v6/v7 benches storm the multi-tenant service layer (concurrent
+tenants vs back-to-back submissions, plus the write-ahead-journal tax);
+the v8 bench runs the same storm *over the HTTP wire* — OpenQASM + JSON
+on every hop through ``repro.service.http`` — recording wire jobs/sec.
+
 Counts are asserted bit-identical between every pair of paths (the
 runtime's determinism contract) and each optimized wall-clock must beat
 its baseline.
@@ -618,7 +623,7 @@ def test_service_storm_many_clients(tmp_path):
     jobs = clients * per_client
     assert stats["completed_jobs"] == jobs
     latency = stats["queue_latency"]
-    assert latency["count"] == jobs
+    assert latency["total_count"] == jobs
     assert latency["p99_s"] is not None
     # Bounded tail: queueing may stack client batches, but the p99 wait
     # must stay within the storm's own wall-clock (no stuck submissions).
@@ -663,4 +668,106 @@ def test_service_storm_many_clients(tmp_path):
         f"overhead {overhead:+.1%})\n"
         f"single-job rate : {single_rate:8.3f} jobs/s after "
         f"{single_uptime:.3f}s uptime (sane, not ~1e9)"
+    )
+
+
+def test_service_wire_storm():
+    """v8: the same storm over the HTTP wire instead of in-process.
+
+    Baseline: one :class:`ServiceClient` submits and awaits one job at a
+    time over HTTP — every job pays the full request/queue/response
+    round trip back to back.  Optimized: every tenant drives its own
+    client on its own thread against one :class:`BackgroundServer`, so
+    HTTP parsing, admission, dispatch and collection pipeline across
+    connections.  One sampled submission is asserted bit-identical to
+    plain ``execute()`` — OpenQASM serialization, the JSON hop and the
+    asyncio front-end must not perturb counts.
+
+    ``REPRO_STORM_SMOKE=1`` shrinks the storm for CI smoke runs.
+    """
+    import threading
+
+    from repro.service import (
+        BackgroundServer,
+        ClientQuota,
+        RuntimeService,
+        ServiceClient,
+    )
+
+    smoke = os.environ.get("REPRO_STORM_SMOKE", "").strip() not in ("", "0")
+    clients = 3 if smoke else 6
+    per_client = 3 if smoke else 8
+    shots = 256
+    circuit = library.bell_pair()
+    circuit.measure_all()
+    reference = dict(
+        execute(circuit, "statevector", shots=shots, seed=0).result().counts
+    )
+    quota = ClientQuota(max_in_flight_jobs=4, over_quota="queue")
+
+    service = RuntimeService(executor="thread", journal=False,
+                             accounting=False)
+    tokens = {
+        f"wire{c}": service.register_client(f"wire{c}", quota=quota)
+        for c in range(clients)
+    }
+    with BackgroundServer(service) as server:
+        # Sequential over-the-wire baseline: one tenant, one job in
+        # flight, full HTTP round trip per job.
+        with ServiceClient(server.url, token=tokens["wire0"]) as client:
+            start = time.perf_counter()
+            for i in range(per_client * clients):
+                job_id = client.submit(circuit, "statevector", shots=shots,
+                                       seed=i)
+                client.counts(job_id, timeout=120)
+            sequential_s = time.perf_counter() - start
+
+        # The storm: one client per tenant, each on its own thread.
+        sampled = {}
+
+        def one_client(c, token):
+            with ServiceClient(server.url, token=token) as client:
+                job_ids = [
+                    client.submit(circuit, "statevector", shots=shots,
+                                  seed=c * per_client + i)
+                    for i in range(per_client)
+                ]
+                counts = [client.counts(j, timeout=120) for j in job_ids]
+                if c == 0:
+                    sampled["counts"] = counts[0][0]
+
+        threads = [
+            threading.Thread(target=one_client, args=(c, token))
+            for c, (_name, token) in enumerate(sorted(tokens.items()))
+        ]
+        start = time.perf_counter()
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        storm_s = time.perf_counter() - start
+
+    assert sampled["counts"] == reference  # seed 0: wire == execute()
+    jobs = clients * per_client
+    jobs_per_second = jobs / storm_s
+
+    record(
+        "service_wire_storm",
+        sequential_s,
+        storm_s,
+        clients=clients,
+        per_client=per_client,
+        jobs=jobs,
+        shots_per_job=shots,
+        jobs_per_second=round(jobs_per_second, 2),
+        smoke=smoke,
+    )
+    emit(
+        "runtime bench — storm over the HTTP wire (repro.service.http)\n"
+        f"storm           : {clients} clients x {per_client} submissions "
+        f"({jobs} jobs over HTTP, QASM + JSON on every hop)\n"
+        f"sequential wire : {sequential_s:8.3f} s\n"
+        f"threaded wire   : {storm_s:8.3f} s  "
+        f"({jobs_per_second:.1f} jobs/s, "
+        f"speedup {sequential_s / storm_s:.1f}x)"
     )

@@ -14,7 +14,7 @@ from __future__ import annotations
 import math
 from typing import Callable, Optional, Sequence
 
-from repro.circuits.circuit import QuantumCircuit
+from repro.circuits.circuit import ClassicalRegister, QuantumCircuit
 from repro.exceptions import CircuitError
 
 
@@ -111,9 +111,13 @@ def teleportation(
     given), qubits 1-2 hold the Bell pair, and qubit 2 receives the state.
     Classical bits 0-1 carry Alice's measurement outcomes; the corrections on
     Bob's qubit are classically conditioned, which exercises the simulator's
-    conditional-gate path.
+    conditional-gate path.  The two outcome bits live in separate 1-bit
+    classical registers (flat clbit indices 0 and 1 either way) so the
+    conditions survive OpenQASM 2.0 export, whose ``if`` compares whole
+    registers.
     """
-    qc = QuantumCircuit(3, 2, name="teleport")
+    qc = QuantumCircuit(3, ClassicalRegister(1, name="m0"),
+                        ClassicalRegister(1, name="m1"), name="teleport")
     if state_prep is not None:
         if state_prep.num_qubits != 1:
             raise CircuitError("state_prep must be a 1-qubit circuit")

@@ -125,6 +125,23 @@ class RegistrationConflict(ServiceError):
         self.field = field
 
 
+class UnknownJob(ServiceError):
+    """Raised when a job id resolves to nothing the service knows about.
+
+    Distinct from a generic :class:`ServiceError` so transports can map it
+    precisely (the HTTP front-end answers 404, not 400).
+
+    Attributes
+    ----------
+    job_id:
+        The id that failed to resolve.
+    """
+
+    def __init__(self, message: str, job_id: str = "") -> None:
+        super().__init__(message)
+        self.job_id = job_id
+
+
 class ScopeDenied(ServiceError):
     """Raised when an authenticated token lacks the scope an API requires.
 

@@ -14,6 +14,8 @@ the runtime's shared executors (``--workers``, ``--executor
 serial|thread|process``), every device run shares the runtime's transpile
 cache (``--runtime-stats`` prints cache and pool statistics, or
 ``--no-transpile-cache`` empties and disables reuse for A/B timing), the
+service layer can be exposed over HTTP with ``--serve HOST:PORT`` (plus
+``--serve-client NAME:TOKEN[:SCOPES]`` to pre-register tenants), the
 noise sweep re-samples repeat runs through the cross-call distribution
 cache, ``--schedule adaptive|fixed`` picks the runtime scheduling mode
 (adaptive chunk sizing + backend-aware executors; counts are identical
@@ -220,6 +222,67 @@ def _service_demo(workers, executor, cache_dir=None) -> int:
     return 0
 
 
+def _parse_serve_client(spec: str) -> tuple:
+    """Parse ``NAME:TOKEN[:SCOPES]`` (scopes ``+``-separated) for --serve-client."""
+    parts = spec.split(":")
+    if len(parts) not in (2, 3) or not parts[0] or not parts[1]:
+        raise ValueError(
+            f"--serve-client expects NAME:TOKEN[:SCOPES], got {spec!r}"
+        )
+    name, token = parts[0], parts[1]
+    scopes = tuple(parts[2].split("+")) if len(parts) == 3 else None
+    return name, token, scopes
+
+
+def _serve(address, clients, workers, executor, cache_dir) -> int:
+    """Run the HTTP front-end (:mod:`repro.service.http`) until interrupted.
+
+    Binds ``HOST:PORT`` (port 0 picks a free one), pre-registers any
+    ``--serve-client`` tenants, recovers the journal when a cache dir
+    makes the service durable — pre-restart ``svc-N`` ids answer over
+    the wire — and prints the bound URL on a flushed line so a parent
+    process can scrape the ephemeral port.
+
+    Anonymous access is tied to the tenant list: with any
+    ``--serve-client`` registered the service runs ``allow_anonymous=
+    False`` (the all-scope anonymous identity must not leak onto a
+    multi-tenant network surface); a bare ``--serve`` keeps the
+    single-tenant embedding default so curl works without tokens.
+    """
+    import asyncio
+
+    from repro.service import RuntimeService
+    from repro.service.http import serve
+
+    host, _, port_text = address.rpartition(":")
+    if not host or not port_text.isdigit():
+        print(f"--serve expects HOST:PORT, got {address!r}", file=sys.stderr)
+        return 2
+
+    async def run() -> int:
+        service = RuntimeService(executor=executor, max_workers=workers,
+                                 cache_dir=cache_dir,
+                                 allow_anonymous=not clients)
+        try:
+            for name, token, scopes in clients:
+                service.register_client(name, token=token, scopes=scopes)
+            server = await serve(service, host=host, port=int(port_text))
+            print(f"serving repro.service on {server.url}", flush=True)
+            try:
+                await server.serve_forever()
+            finally:
+                await server.close()
+        finally:
+            await service.close()
+        return 0
+
+    try:
+        return asyncio.run(run())
+    except KeyboardInterrupt:
+        print("interrupted; service closed", file=sys.stderr)
+        return 0
+
+
 def main(argv=None) -> int:
     """Entry point for ``python -m repro.experiments``."""
     parser = argparse.ArgumentParser(
@@ -292,7 +355,35 @@ def main(argv=None) -> int:
         "(with --cache-dir or $REPRO_CACHE_DIR the service journals to "
         "disk and the per-tenant cost ledger is printed too)",
     )
+    parser.add_argument(
+        "--serve",
+        default=None,
+        metavar="HOST:PORT",
+        help="serve the service layer over HTTP (repro.service.http) until "
+        "interrupted, instead of running experiments; PORT 0 binds an "
+        "ephemeral port and the bound URL is printed; honours --executor, "
+        "--workers and --cache-dir (a cache dir makes the service durable "
+        "and recovers the journal before accepting requests)",
+    )
+    parser.add_argument(
+        "--serve-client",
+        action="append",
+        default=[],
+        metavar="NAME:TOKEN[:SCOPES]",
+        help="pre-register a tenant for --serve; SCOPES is a +-separated "
+        "subset of submit+read+admin (default: submit+read); repeatable",
+    )
     args = parser.parse_args(argv)
+
+    if args.serve_client and not args.serve:
+        parser.error("--serve-client requires --serve")
+    if args.serve:
+        try:
+            clients = [_parse_serve_client(s) for s in args.serve_client]
+        except ValueError as exc:
+            parser.error(str(exc))
+        return _serve(args.serve, clients, args.workers, args.executor,
+                      args.cache_dir)
 
     if args.service_demo:
         return _service_demo(args.workers, args.executor, args.cache_dir)

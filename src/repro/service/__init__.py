@@ -21,6 +21,13 @@ can feed back into fair-share weights.
 The service decides *when* and *whether* work runs — never *what* it
 computes: seeded submissions return counts bit-identical to calling
 :func:`repro.runtime.execute.execute` directly.
+
+The whole surface is reachable over the network too:
+:mod:`repro.service.http` serves it as a stdlib-asyncio HTTP/1.1 API
+(``POST /v1/jobs`` with circuits as OpenQASM, id-based status/result/
+counts, Server-Sent completion events) and
+:class:`~repro.service.client.ServiceClient` is the matching
+``http.client`` consumer that re-raises the same typed exceptions.
 """
 
 from repro.exceptions import (
@@ -28,6 +35,7 @@ from repro.exceptions import (
     RegistrationConflict,
     ScopeDenied,
     ServiceError,
+    UnknownJob,
 )
 from repro.service.accounting import CostLedger
 from repro.service.auth import (
@@ -37,6 +45,8 @@ from repro.service.auth import (
     ClientIdentity,
     TokenAuthenticator,
 )
+from repro.service.client import ServiceClient
+from repro.service.http import BackgroundServer, ServiceServer, serve
 from repro.service.journal import JobJournal
 from repro.service.quota import (
     OVER_QUOTA_POLICIES,
@@ -51,6 +61,7 @@ from repro.service.stats import ClientStats, LatencyWindow, RateMeter
 
 __all__ = [
     "AuthenticationError",
+    "BackgroundServer",
     "ClientIdentity",
     "ClientQuota",
     "ClientStats",
@@ -68,9 +79,13 @@ __all__ = [
     "RuntimeService",
     "SCOPES",
     "ScopeDenied",
+    "ServiceClient",
     "ServiceError",
     "ServiceJob",
+    "ServiceServer",
     "TokenAuthenticator",
     "TokenBucket",
     "UNLIMITED",
+    "UnknownJob",
+    "serve",
 ]

@@ -43,6 +43,7 @@ from __future__ import annotations
 
 import asyncio
 import itertools
+import logging
 import threading
 import time
 from typing import AsyncIterator, Dict, List, Optional
@@ -52,6 +53,7 @@ from repro.exceptions import (
     QueueTimeout,
     ScopeDenied,
     ServiceError,
+    UnknownJob,
 )
 from repro.runtime.scheduler import ScheduledBatch, Scheduler
 from repro.runtime.store import CacheStore, default_cache_dir
@@ -66,6 +68,12 @@ from repro.service.quota import (
     TokenBucket,
 )
 from repro.service.stats import ClientStats, LatencyWindow, RateMeter
+
+logger = logging.getLogger("repro.service")
+
+#: Batch states in which a handle's work is finished even if the
+#: settlement callback has not reached the event loop yet.
+_TERMINAL_STATUSES = ("done", "failed", "dropped", "cancelled")
 
 #: Fallback id source for journal-less services.  A journaled service
 #: allocates ids from the journal instead, so they stay monotonic across
@@ -129,9 +137,17 @@ class ServiceJob:
         try:
             await asyncio.wait_for(self._settled.wait(), timeout)
         except asyncio.TimeoutError:
-            if self.batch.status() == "queued":
+            status = self.batch.status()
+            if status == "queued":
                 # Raises the typed QueueTimeout with position + wait time.
                 self.batch.jobs(timeout=0)
+            if status in _TERMINAL_STATUSES:
+                # Settle/timeout race: the batch finished, but the
+                # call_soon_threadsafe settlement callback has not run on
+                # the loop yet (it may even be queued behind this very
+                # wakeup).  The job IS finished — treating it as a timeout
+                # hands the caller a spurious JobError for completed work.
+                return
             raise JobError(
                 f"{self.job_id} not finished within {timeout}s"
             ) from None
@@ -433,6 +449,8 @@ class RuntimeService:
         self._backend_cache: Dict[str, object] = {}  # spec -> resolved backend
         self._loop: Optional[asyncio.AbstractEventLoop] = None
         self._rejected_auth = 0
+        self._settlement_errors = 0
+        self._settlement_warned: set = set()  # (stage, exc type) seen
         self._queue_latency = LatencyWindow()
         self._completions = RateMeter(clock=clock)
         self._started = clock()
@@ -795,7 +813,11 @@ class RuntimeService:
         Runs in the loop's default executor: collecting results (chunk
         merging) and the store writes both block.  Mirrors the status
         logic of :meth:`_settle`; never raises — durability bookkeeping
-        must not take the service down.
+        must not take the service down — but never *swallows* either: a
+        failed journal write means recovery will re-run this job, a
+        failed ledger charge under-bills the tenant, so each failure is
+        counted (``stats()["settlement_errors"]``) and logged once per
+        failure class via :meth:`_note_settlement_error`.
         """
         try:
             status = handle.batch.status()
@@ -822,15 +844,44 @@ class RuntimeService:
                     results = jobset.result()
                     counts = [dict(r.counts) for r in results]
                     shots_out = [r.shots for r in results]
-            if self.journal is not None:
+        except Exception as exc:
+            self._note_settlement_error("collect", handle, exc)
+            return
+        if self.journal is not None:
+            try:
                 self.journal.record_settlement(
                     handle.journal_id, terminal,
                     counts=counts, shots=shots_out, error=error,
                 )
-            if terminal == "done" and self.accounting is not None:
+            except Exception as exc:
+                self._note_settlement_error("journal", handle, exc)
+        if terminal == "done" and self.accounting is not None:
+            try:
                 self._charge(handle)
-        except Exception:
-            pass
+            except Exception as exc:
+                self._note_settlement_error("ledger", handle, exc)
+
+    def _note_settlement_error(self, stage: str, handle: ServiceJob,
+                               exc: Exception) -> None:
+        """Account for a failed settlement write instead of swallowing it.
+
+        Every failure bumps the ``settlement_errors`` counter surfaced by
+        :meth:`stats`; the first failure of each ``(stage, exception
+        class)`` pair additionally logs a warning — once, so a wedged disk
+        under a storm does not turn the log into the bottleneck.
+        """
+        key = (stage, type(exc))
+        with self._lock:
+            self._settlement_errors += 1
+            first = key not in self._settlement_warned
+            self._settlement_warned.add(key)
+        if first:
+            logger.warning(
+                "settlement %s failed for %s (%s: %s); counting further "
+                "failures of this class in stats()['settlement_errors'] "
+                "without logging each one",
+                stage, handle.job_id, type(exc).__name__, exc,
+            )
 
     def _resolve_backend_cached(self, backend):
         """Resolve a backend spec for costing, memoized per spec string.
@@ -1028,7 +1079,7 @@ class RuntimeService:
         with self._lock:
             handle = self._jobs.get(job_id)
         if handle is None:
-            raise ServiceError(f"unknown job id {job_id!r}")
+            raise UnknownJob(f"unknown job id {job_id!r}", job_id=str(job_id))
         if identity.name != handle.client and not identity.has_scope("admin"):
             raise ScopeDenied(
                 f"client {identity.name!r} may not read job {job_id} "
@@ -1074,6 +1125,7 @@ class RuntimeService:
         with self._lock:
             clients = dict(self._clients)
             rejected_auth = self._rejected_auth
+            settlement_errors = self._settlement_errors
         per_client = {}
         for name, state in clients.items():
             snapshot = state.stats.snapshot()
@@ -1094,6 +1146,7 @@ class RuntimeService:
             "jobs_per_second": self._completions.rate(),
             "completed_jobs": self._completions.total,
             "rejected_auth": rejected_auth,
+            "settlement_errors": settlement_errors,
             "queued_batches": scheduler["queued_batches"],
             "in_flight_jobs": scheduler["in_flight_jobs"],
             "max_in_flight": scheduler["max_in_flight"],

@@ -20,12 +20,23 @@ from collections import deque
 from typing import Dict, Optional
 
 
+def _nearest_rank(samples, percent: float) -> float:
+    """Nearest-rank percentile over an already-sorted non-empty sample list."""
+    rank = max(1, math.ceil(percent / 100.0 * len(samples)))
+    return samples[min(rank, len(samples)) - 1]
+
+
 class LatencyWindow:
     """A bounded window of latency samples with percentile queries.
 
     The window keeps the most recent ``maxlen`` samples — a service cares
-    about *current* tail latency, not the all-time distribution — plus
+    about *current* tail latency, not the all-time distribution — plus a
     lifetime count/max so long-gone spikes still show in ``max_s``.
+    Snapshots report the two populations separately: ``mean_s`` and the
+    percentiles describe the ``window_count`` retained samples, while
+    ``total_count`` is the lifetime number of samples ever added (so
+    ``mean_s * window_count`` is a real sum, which a single ``count``
+    field covering both could not promise once the window wrapped).
     """
 
     def __init__(self, maxlen: int = 4096) -> None:
@@ -43,32 +54,39 @@ class LatencyWindow:
             self._max = max(self._max, float(seconds))
 
     def percentile(self, percent: float) -> Optional[float]:
-        """Return the ``percent``-th percentile (nearest-rank), or ``None``."""
+        """Return the ``percent``-th percentile (nearest-rank), or ``None``
+        when no samples have arrived.
+
+        ``percent`` must lie in ``(0, 100]``: the nearest-rank definition
+        has no 0th percentile, and silently returning the minimum sample
+        for ``percentile(0)`` hid caller bugs.
+        """
+        if not 0.0 < percent <= 100.0:
+            raise ValueError(
+                f"percent must be in (0, 100], got {percent!r}"
+            )
         with self._lock:
             samples = sorted(self._samples)
         if not samples:
             return None
-        rank = max(1, math.ceil(percent / 100.0 * len(samples)))
-        return samples[min(rank, len(samples)) - 1]
+        return _nearest_rank(samples, percent)
 
     def snapshot(self) -> dict:
-        """Return ``{count, mean_s, p50_s, p99_s, max_s}`` for the window."""
+        """Return ``{window_count, total_count, mean_s, p50_s, p99_s,
+        max_s}``; the mean and percentiles cover the retained window, the
+        max is lifetime."""
         with self._lock:
             samples = sorted(self._samples)
-            count, maximum = self._count, self._max
+            total, maximum = self._count, self._max
         if not samples:
-            return {"count": count, "mean_s": None, "p50_s": None,
-                    "p99_s": None, "max_s": None}
-
-        def rank(percent: float) -> float:
-            index = max(1, math.ceil(percent / 100.0 * len(samples)))
-            return samples[min(index, len(samples)) - 1]
-
+            return {"window_count": 0, "total_count": total, "mean_s": None,
+                    "p50_s": None, "p99_s": None, "max_s": None}
         return {
-            "count": count,
+            "window_count": len(samples),
+            "total_count": total,
             "mean_s": sum(samples) / len(samples),
-            "p50_s": rank(50.0),
-            "p99_s": rank(99.0),
+            "p50_s": _nearest_rank(samples, 50.0),
+            "p99_s": _nearest_rank(samples, 99.0),
             "max_s": maximum,
         }
 

@@ -623,7 +623,8 @@ class TestServiceStats:
                 assert stats["completed_jobs"] == 4
                 assert stats["jobs_per_second"] > 0
                 latency = stats["queue_latency"]
-                assert latency["count"] == 4
+                assert latency["window_count"] == 4
+                assert latency["total_count"] == 4
                 assert latency["p50_s"] is not None
                 assert latency["p99_s"] >= latency["p50_s"]
                 alice = stats["clients"]["alice"]
@@ -643,5 +644,160 @@ class TestServiceStats:
                 stats = service.stats()
                 anonymous = stats["clients"][TokenAuthenticator.ANONYMOUS]
                 assert anonymous["completed_batches"] == 1
+
+        run(main())
+
+
+# ----------------------------------------------------------------------
+# Settlement bookkeeping failures and the settle/timeout race
+# ----------------------------------------------------------------------
+
+
+class BrokenJournal:
+    """Delegates to a real journal but fails every settlement write."""
+
+    def __init__(self, inner):
+        self._inner = inner
+        self.durable = inner.durable
+
+    def __bool__(self):
+        return True  # an empty journal is still a journal
+
+    def __len__(self):
+        return len(self._inner)
+
+    def __getattr__(self, name):
+        return getattr(self._inner, name)
+
+    def record_settlement(self, *args, **kwargs):
+        raise OSError("disk wedged")
+
+
+class TestSettlementErrors:
+    def test_failed_journal_write_is_counted_not_swallowed(
+        self, tmp_path, caplog
+    ):
+        """Satellite regression: a failing settlement write used to vanish
+        into a bare ``except Exception: pass``.  Now every failure bumps
+        ``stats()['settlement_errors']`` and the first failure of each
+        (stage, exception class) pair logs one warning."""
+        import logging
+
+        from repro.service import JobJournal
+
+        journal = BrokenJournal(JobJournal(cache_dir=str(tmp_path)))
+
+        async def main():
+            async with RuntimeService(journal=journal,
+                                      accounting=False) as service:
+                with caplog.at_level(logging.WARNING, logger="repro.service"):
+                    for i in range(3):
+                        handle = await service.submit(
+                            named_circuit(f"job{i}"), RecordingBackend([]),
+                            shots=4,
+                        )
+                        await handle.result()
+                    # The journal write runs off-loop; wait for the errors
+                    # to be counted rather than sleeping blind.
+                    for _ in range(200):
+                        if service.stats()["settlement_errors"] >= 3:
+                            break
+                        await asyncio.sleep(0.01)
+                stats = service.stats()
+                assert stats["settlement_errors"] == 3
+                warnings = [r for r in caplog.records
+                            if "settlement journal failed" in r.message]
+                # Three failures of one class: exactly one warning.
+                assert len(warnings) == 1
+
+        run(main())
+
+    def test_settlement_errors_zero_on_healthy_service(self):
+        async def main():
+            async with RuntimeService() as service:
+                handle = await service.submit(named_circuit("fine"),
+                                              RecordingBackend([]), shots=4)
+                await handle.result()
+                assert service.stats()["settlement_errors"] == 0
+
+        run(main())
+
+
+class TestSettleTimeoutRace:
+    """Satellite regression for the settle/timeout race in
+    ``ServiceJob._await_settled``: the batch reaches a terminal status but
+    the ``call_soon_threadsafe`` settlement callback has not run on the
+    loop yet when ``wait(timeout=...)`` expires.  The old code raised a
+    spurious ``JobError`` for finished work."""
+
+    class StalledBatch:
+        """A batch frozen at a terminal status whose settle callback never
+        fires — the worst-case ordering of the race, held still."""
+
+        def __init__(self, status="done"):
+            self._status = status
+
+        def status(self):
+            return self._status
+
+        def jobs(self, timeout=None):
+            raise AssertionError("terminal batch must not re-enter the queue")
+
+    def make_handle(self, batch):
+        from repro.service.service import ServiceJob
+
+        handle = ServiceJob.__new__(ServiceJob)
+        handle.job_id = "svc-race"
+        handle.batch = batch
+        handle._settled = asyncio.Event()  # never set: the stalled loop
+        return handle
+
+    @pytest.mark.parametrize("status", ["done", "failed", "dropped",
+                                        "cancelled"])
+    def test_wait_returns_for_terminal_batch_despite_unsettled_event(
+        self, status
+    ):
+        async def main():
+            handle = self.make_handle(self.StalledBatch(status))
+            # Must return, not raise: the work IS finished.
+            await handle._await_settled(timeout=0.05)
+
+        run(main())
+
+    def test_wait_still_times_out_while_running(self):
+        async def main():
+            batch = self.StalledBatch("running")
+            batch.jobs = lambda timeout=None: None  # not queued: no re-raise
+            handle = self.make_handle(batch)
+            with pytest.raises(JobError, match="not finished"):
+                await handle._await_settled(timeout=0.05)
+
+        run(main())
+
+    def test_wait_result_collects_after_race(self):
+        """End-to-end shape of the race: wait() times out against a
+        terminal batch, then result() collects normally."""
+
+        class TerminalBatch(self.StalledBatch):
+            def __init__(self):
+                super().__init__("done")
+                self.collected = False
+
+            def jobs(self, timeout=None):
+                self.collected = True
+
+                class JobSetStub:
+                    def result(self):
+                        return ["the-results"]
+
+                return JobSetStub()
+
+        async def main():
+            batch = TerminalBatch()
+            handle = self.make_handle(batch)
+            handle._loop = asyncio.get_running_loop()
+            await handle.wait(timeout=0.05)  # race: returns, no JobError
+            assert await handle.result(timeout=0.05) == ["the-results"]
+            assert batch.collected
 
         run(main())

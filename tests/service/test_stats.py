@@ -20,8 +20,8 @@ class TestLatencyWindow:
     def test_empty_snapshot(self):
         snapshot = LatencyWindow().snapshot()
         assert snapshot == {
-            "count": 0, "mean_s": None, "p50_s": None, "p99_s": None,
-            "max_s": None,
+            "window_count": 0, "total_count": 0, "mean_s": None,
+            "p50_s": None, "p99_s": None, "max_s": None,
         }
 
     def test_percentiles_nearest_rank(self):
@@ -31,7 +31,8 @@ class TestLatencyWindow:
         assert window.percentile(50) == pytest.approx(0.050)
         assert window.percentile(99) == pytest.approx(0.099)
         snapshot = window.snapshot()
-        assert snapshot["count"] == 100
+        assert snapshot["window_count"] == 100
+        assert snapshot["total_count"] == 100
         assert snapshot["p50_s"] == pytest.approx(0.050)
         assert snapshot["p99_s"] == pytest.approx(0.099)
         assert snapshot["max_s"] == pytest.approx(0.100)
@@ -43,22 +44,52 @@ class TestLatencyWindow:
         assert window.percentile(50) == 0.25
         assert window.percentile(99) == 0.25
 
-    def test_window_is_bounded_but_count_and_max_are_lifetime(self):
+    def test_snapshot_and_percentile_agree(self):
+        # One nearest-rank implementation, not two that can drift.
+        window = LatencyWindow()
+        for ms in (5, 1, 9, 3, 7, 2, 8):
+            window.add(ms / 1000.0)
+        snapshot = window.snapshot()
+        assert snapshot["p50_s"] == window.percentile(50)
+        assert snapshot["p99_s"] == window.percentile(99)
+
+    def test_window_counts_split_window_from_lifetime(self):
         window = LatencyWindow(maxlen=10)
         window.add(9.0)  # the spike, about to fall out of the window
         for _ in range(20):
             window.add(0.001)
         snapshot = window.snapshot()
-        assert snapshot["count"] == 21
+        assert snapshot["window_count"] == 10  # what mean/percentiles cover
+        assert snapshot["total_count"] == 21  # lifetime samples
         assert snapshot["max_s"] == 9.0  # lifetime max survives eviction
         assert snapshot["p99_s"] == pytest.approx(0.001)
+        # The field split exists so this arithmetic is honest: the window
+        # mean times the *window* count is a real sum over real samples.
+        assert snapshot["mean_s"] * snapshot["window_count"] == pytest.approx(
+            0.001 * 10
+        )
+
+    @pytest.mark.parametrize("percent", [0, -1, 100.5, 200])
+    def test_percentile_rejects_out_of_range_percent(self, percent):
+        window = LatencyWindow()
+        window.add(0.5)
+        with pytest.raises(ValueError, match=r"\(0, 100\]"):
+            window.percentile(percent)
+
+    def test_percentile_100_is_window_max(self):
+        window = LatencyWindow()
+        for ms in (3, 1, 2):
+            window.add(ms / 1000.0)
+        assert window.percentile(100) == pytest.approx(0.003)
 
     def test_garbage_samples_ignored(self):
         window = LatencyWindow()
         window.add(-1.0)
         window.add(float("nan"))
         window.add(float("inf"))
-        assert window.snapshot()["count"] == 0
+        snapshot = window.snapshot()
+        assert snapshot["window_count"] == 0
+        assert snapshot["total_count"] == 0
 
 
 class TestRateMeter:
@@ -100,7 +131,7 @@ class TestClientStats:
         assert snapshot["submitted_batches"] == 1
         assert snapshot["submitted_jobs"] == 4
         assert snapshot["completed_batches"] == 0
-        assert snapshot["queue_latency"]["count"] == 1
+        assert snapshot["queue_latency"]["total_count"] == 1
 
     def test_unknown_field_raises_valueerror_naming_fields(self):
         with pytest.raises(ValueError) as excinfo:

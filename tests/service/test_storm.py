@@ -77,7 +77,8 @@ class TestManyClientStorm:
                 assert stats["completed_jobs"] == accepted
                 assert stats["jobs_per_second"] > 0
                 latency = stats["queue_latency"]
-                assert latency["count"] == accepted
+                assert latency["window_count"] == accepted
+                assert latency["total_count"] == accepted
                 assert latency["p99_s"] is not None
                 for name in tokens:
                     tenant = stats["clients"][name]
