@@ -33,7 +33,9 @@ batch axis) — bit-identical counts, target >= 10x.
 The v6/v7 benches storm the multi-tenant service layer (concurrent
 tenants vs back-to-back submissions, plus the write-ahead-journal tax);
 the v8 bench runs the same storm *over the HTTP wire* — OpenQASM + JSON
-on every hop through ``repro.service.http`` — recording wire jobs/sec.
+on every hop through ``repro.service.http`` — recording wire jobs/sec;
+the v9 bench measures the always-on tracing tax (traced vs untraced
+storm jobs/sec, asserted <=5%).
 
 Counts are asserted bit-identical between every pair of paths (the
 runtime's determinism contract) and each optimized wall-clock must beat
@@ -770,4 +772,132 @@ def test_service_wire_storm():
         f"threaded wire   : {storm_s:8.3f} s  "
         f"({jobs_per_second:.1f} jobs/s, "
         f"speedup {sequential_s / storm_s:.1f}x)"
+    )
+
+
+def test_traced_storm_overhead():
+    """v9: the tracing tax — the same many-client storm, spans off vs on.
+
+    Tracing is always-on in production, so its cost is measured the way
+    it is paid: the full service storm (admission, queue, dispatch,
+    chunk fan-out, settle) run once with ``set_tracing_enabled(False)``
+    and once with span trees recording every stage, including the
+    worker-side chunk records shipped back across the executor boundary.
+    The traced storm must stay within 5% of the untraced wall-clock
+    (best-of runs with escalation, same-box ratio so shared-load noise
+    mostly cancels).  The traced run is asserted to actually produce
+    full span trees — a "win" from tracing silently not happening would
+    be meaningless.
+
+    ``REPRO_STORM_SMOKE=1`` shrinks the storm for CI smoke runs.
+    """
+    import asyncio
+
+    from repro.obs import set_tracing_enabled
+    from repro.service import ClientQuota, RuntimeService
+
+    smoke = os.environ.get("REPRO_STORM_SMOKE", "").strip() not in ("", "0")
+    clients = 3 if smoke else 6
+    per_client = 3 if smoke else 8
+    shots = 256
+    circuit = library.bell_pair()
+    circuit.measure_all()
+    backend = get_backend("statevector")
+    quota = ClientQuota(max_in_flight_jobs=4, over_quota="queue")
+
+    async def storm():
+        service = RuntimeService(executor="thread", journal=False,
+                                 accounting=False)
+        try:
+            tokens = [
+                service.register_client(f"trc{c}", quota=quota)
+                for c in range(clients)
+            ]
+
+            async def one_client(c, token):
+                handles = [
+                    await service.submit(
+                        circuit, backend, shots=shots,
+                        seed=c * per_client + i, token=token,
+                    )
+                    for i in range(per_client)
+                ]
+                async for handle in service.as_completed(handles,
+                                                         timeout=300):
+                    assert handle.status() == "done"
+                return handles
+
+            start = time.perf_counter()
+            all_handles = await asyncio.gather(*(
+                one_client(c, token) for c, token in enumerate(tokens)
+            ))
+            elapsed = time.perf_counter() - start
+            return elapsed, all_handles[0][0].trace()
+        finally:
+            await service.close()
+
+    def run_storm(traced):
+        previous = set_tracing_enabled(traced)
+        try:
+            return asyncio.run(storm())
+        finally:
+            set_tracing_enabled(previous)
+
+    def walk(node):
+        yield node
+        for child in node.get("children", ()):
+            yield from walk(child)
+
+    run_storm(True)  # warm-up: code paths and caches, not the clock
+
+    untraced_s, stub = run_storm(False)
+    assert stub["span_id"] is None  # the off switch really was off
+
+    traced_s = None
+    trace = None
+    for attempt in range(3):
+        candidate_s, candidate_trace = run_storm(True)
+        if traced_s is None or candidate_s < traced_s:
+            traced_s, trace = candidate_s, candidate_trace
+        if traced_s <= untraced_s * 1.05:
+            break
+        untraced_s = min(untraced_s, run_storm(False)[0])
+
+    # The traced run recorded the full tree: every stage plus the
+    # worker-side chunk record merged back across the executor boundary.
+    assert trace["span_id"] is not None
+    stages = {node["name"] for node in walk(trace)}
+    assert {"job", "admission", "queue", "dispatch", "chunk"} <= stages
+    chunks = [n for n in walk(trace) if n["name"] == "chunk"]
+    assert all(n["attrs"]["worker_wall_s"] >= 0.0 for n in chunks)
+
+    overhead = traced_s / untraced_s - 1.0
+    assert traced_s <= untraced_s * 1.05, (
+        f"always-on tracing ({traced_s:.3f}s) should cost <=5% over the "
+        f"untraced storm ({untraced_s:.3f}s), got {overhead:+.1%}"
+    )
+
+    jobs = clients * per_client
+    record(
+        "traced_storm_overhead",
+        untraced_s,
+        traced_s,
+        clients=clients,
+        jobs=jobs,
+        shots_per_job=shots,
+        untraced_jobs_per_second=round(jobs / untraced_s, 2),
+        traced_jobs_per_second=round(jobs / traced_s, 2),
+        tracing_overhead=round(overhead, 4),
+        spans_per_job=len(list(walk(trace))),
+        smoke=smoke,
+    )
+    emit(
+        "runtime bench — tracing tax on the many-client storm\n"
+        f"storm           : {clients} clients x {per_client} submissions "
+        f"({jobs} jobs, full span trees per job)\n"
+        f"untraced storm  : {untraced_s:8.3f} s "
+        f"({jobs / untraced_s:.1f} jobs/s)\n"
+        f"traced storm    : {traced_s:8.3f} s "
+        f"({jobs / traced_s:.1f} jobs/s, {len(list(walk(trace)))} spans/job, "
+        f"overhead {overhead:+.1%})"
     )

@@ -26,6 +26,13 @@ entirely and schedules from measured costs, ``--list-backends`` shows
 the provider registry's spec strings, and ``--service-demo`` drives a
 small multi-client storm through the async service layer
 (:mod:`repro.service`) and prints its stats snapshot.
+
+Observability hooks: ``--runtime-stats-json PATH`` writes the process-wide
+metrics registry snapshot (:mod:`repro.obs.metrics` — the same numbers a
+``/v1/metrics`` scrape exposes) as machine-readable JSON, and ``--trace
+svc-N --server URL [--token TOKEN]`` fetches a job's trace span tree from
+a running ``--serve`` front-end and renders it as an indented stage tree
+with per-span wall-clock durations.
 """
 
 from __future__ import annotations
@@ -222,6 +229,70 @@ def _service_demo(workers, executor, cache_dir=None) -> int:
     return 0
 
 
+def _format_span(span: dict, indent: int = 0) -> list:
+    """Render one span (and its subtree) as indented human-readable lines."""
+    duration = span.get("duration_s")
+    timing = (
+        f"{duration * 1e3:.3f} ms" if duration is not None else "in flight"
+    )
+    attrs = span.get("attrs") or {}
+    detail = " ".join(
+        f"{key}={value}" for key, value in attrs.items() if value is not None
+    )
+    lines = [
+        "  " * indent
+        + f"{span.get('name', '?'):<10} {timing:>12}"
+        + (f"  {detail}" if detail else "")
+    ]
+    for event in span.get("events") or []:
+        fields = " ".join(
+            f"{k}={v}" for k, v in event.items() if k not in ("name", "t_s")
+        )
+        lines.append(
+            "  " * (indent + 1) + f"! {event.get('name')}"
+            + (f" {fields}" if fields else "")
+        )
+    for child in span.get("children") or []:
+        lines.extend(_format_span(child, indent + 1))
+    return lines
+
+
+def _trace_job(job_id: str, server: str, token) -> int:
+    """Fetch and pretty-print one job's trace tree from a --serve front-end."""
+    from repro.service.client import ServiceClient
+
+    with ServiceClient(server, token=token) as client:
+        try:
+            trace = client.trace(job_id)
+        except Exception as exc:
+            print(f"trace {job_id} failed: {exc}", file=sys.stderr)
+            return 1
+    print(f"trace for {job_id} on {server}:")
+    for line in _format_span(trace):
+        print(line)
+    return 0
+
+
+def _write_runtime_stats_json(path: str) -> None:
+    """Dump the metrics registry snapshot as JSON to ``path`` (``-`` = stdout).
+
+    The snapshot is the registry's own — counters, gauges and histogram
+    summaries keyed by their full Prometheus names — so scripts consuming
+    this file and dashboards scraping ``/v1/metrics`` read one source.
+    """
+    import json
+
+    from repro.obs.metrics import DEFAULT_REGISTRY
+
+    payload = json.dumps(DEFAULT_REGISTRY.snapshot(), indent=2, sort_keys=True)
+    if path == "-":
+        print(payload)
+        return
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(payload + "\n")
+    print(f"runtime stats written to {path}")
+
+
 def _parse_serve_client(spec: str) -> tuple:
     """Parse ``NAME:TOKEN[:SCOPES]`` (scopes ``+``-separated) for --serve-client."""
     parts = spec.split(":")
@@ -348,6 +419,34 @@ def main(argv=None) -> int:
         help="print the runtime cache and executor-pool statistics when done",
     )
     parser.add_argument(
+        "--runtime-stats-json",
+        default=None,
+        metavar="PATH",
+        help="when done, write the process-wide metrics registry snapshot "
+        "(the /v1/metrics numbers: pools, caches, cost model, scheduler, "
+        "service) as JSON to PATH ('-' prints to stdout)",
+    )
+    parser.add_argument(
+        "--trace",
+        default=None,
+        metavar="JOB_ID",
+        help="fetch a job's trace span tree (e.g. svc-3) from a running "
+        "--serve front-end and print it as an indented stage tree; "
+        "requires --server, honours --token",
+    )
+    parser.add_argument(
+        "--server",
+        default=None,
+        metavar="URL",
+        help="base URL of a running --serve front-end (for --trace)",
+    )
+    parser.add_argument(
+        "--token",
+        default=None,
+        metavar="TOKEN",
+        help="bearer token for --trace (the job's owner or an admin)",
+    )
+    parser.add_argument(
         "--service-demo",
         action="store_true",
         help="run a small multi-client storm through the async service "
@@ -377,6 +476,12 @@ def main(argv=None) -> int:
 
     if args.serve_client and not args.serve:
         parser.error("--serve-client requires --serve")
+    if args.trace and not args.server:
+        parser.error("--trace requires --server URL")
+    if args.server and not args.trace:
+        parser.error("--server only makes sense with --trace")
+    if args.trace:
+        return _trace_job(args.trace, args.server, args.token)
     if args.serve:
         try:
             clients = [_parse_serve_client(s) for s in args.serve_client]
@@ -478,6 +583,8 @@ def main(argv=None) -> int:
                     else ""
                 )
             )
+    if args.runtime_stats_json:
+        _write_runtime_stats_json(args.runtime_stats_json)
     return 0
 
 

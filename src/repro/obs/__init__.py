@@ -1,0 +1,54 @@
+"""Observability layer: job trace span trees and a unified metrics registry.
+
+The stack spans five layers (HTTP -> service -> scheduler -> executor
+pools -> batched simulators) and, before this package, each kept private
+telemetry: `service.stats` rolled its own latency windows, the scheduler
+and :class:`~repro.runtime.store.CacheStore` kept ad-hoc counters, and
+the :class:`~repro.runtime.profile.CostModel` learned from wall-clocks
+nobody could inspect per job.  ``repro.obs`` closes the loop:
+
+* :mod:`repro.obs.trace` — per-job span trees (submit -> admission ->
+  queue wait -> dispatch -> prepare -> per-chunk simulate -> collect ->
+  settle) with monotonic timestamps.  Span contexts are plain picklable
+  dicts shipped inside chunk tasks, so worker-measured wall-clocks
+  survive thread *and* process executor boundaries and merge back into
+  the parent tree on completion.  Tracing is always on and cheap (a few
+  dict/list appends per chunk); :func:`set_tracing_enabled` exists so
+  benchmarks can measure the overhead, not so production can avoid it.
+* :mod:`repro.obs.metrics` — a process-wide :class:`MetricsRegistry`
+  (counters, gauges, histograms with bounded reservoirs) that the
+  existing ad-hoc stats register into: executor pools, both cache
+  tiers, the cost model, scheduler counters and the service layer all
+  publish through one snapshot with one exposition format
+  (:meth:`MetricsRegistry.render_prometheus` backs ``GET /v1/metrics``).
+
+Nothing in here imports the runtime or service layers at module import
+time — those layers import *us* and register their sources — so the
+dependency direction stays acyclic.
+"""
+
+from repro.obs.metrics import (
+    DEFAULT_REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.obs.trace import (
+    Span,
+    set_tracing_enabled,
+    tracing_enabled,
+    worker_chunk_record,
+)
+
+__all__ = [
+    "Counter",
+    "DEFAULT_REGISTRY",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Span",
+    "set_tracing_enabled",
+    "tracing_enabled",
+    "worker_chunk_record",
+]

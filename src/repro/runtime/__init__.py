@@ -98,6 +98,13 @@ from repro.runtime.store import (
     set_default_cache_dir,
 )
 
+# Register the runtime's stat sources (pools, both caches, the cost
+# model) with the process-wide metrics registry.  Import-time is the
+# right moment: anything that can run a job can be scraped.
+from repro.obs.sources import register_runtime_sources as _register_runtime_sources
+
+_register_runtime_sources()
+
 __all__ = [
     "BatchPlan",
     "CacheStore",

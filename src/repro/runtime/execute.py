@@ -50,6 +50,7 @@ from typing import List, Optional, Sequence, Union
 from repro.circuits.circuit import QuantumCircuit
 from repro.devices.backend import Backend
 from repro.exceptions import JobError
+from repro.obs.trace import Span, tracing_enabled
 from repro.runtime.batching import (
     ROLE_CACHED,
     ROLE_INDEPENDENT,
@@ -120,6 +121,7 @@ def execute(
     priority: Union[int, Sequence[int]] = 0,
     distribution_cache: DistCacheInput = False,
     schedule: Optional[str] = None,
+    trace_parent: Optional[Span] = None,
 ) -> Union[Job, JobSet]:
     """Submit one circuit or a batch for (parallel) execution.
 
@@ -182,6 +184,12 @@ def execute(
         seed, counts are bit-identical under both modes (see
         :mod:`repro.runtime.scheduler`).  Both modes feed the cost model
         with every completed chunk's measured wall-clock.
+    trace_parent:
+        Optional :class:`~repro.obs.trace.Span` to hang the per-job trace
+        spans off (the service layer passes its per-submission root).
+        With ``None``, each job gets its own root span as long as
+        process-wide tracing is enabled; job traces are read back via
+        ``job.trace()`` / ``jobset.trace()``.
 
     Returns
     -------
@@ -321,6 +329,18 @@ def execute(
                 )
                 to_submit.append(job)
         job.plan = {"schedule": mode, "chunk_shots": job_chunk, "executor": None}
+        if trace_parent is not None or tracing_enabled():
+            attrs = {
+                "job_id": job.job_id,
+                "circuit": getattr(circuit_list[index], "name", None),
+                "backend": getattr(backends[index], "name", None),
+                "shots": shots_list[index],
+                "role": "cached" if job.cached else job_plan.role,
+            }
+            if trace_parent is not None:
+                job._span = trace_parent.child("circuit", **attrs)
+            else:
+                job._span = Span("job", attrs)
         jobs.append(job)
     # Stable sort: equal ranks keep plan order, higher priorities go
     # first.  Under the adaptive schedule, ties are broken by the cost

@@ -42,6 +42,7 @@ from concurrent.futures import TimeoutError as FutureTimeoutError
 from typing import TYPE_CHECKING, Iterator, List, Optional, Sequence, Tuple
 
 from repro.exceptions import JobError
+from repro.obs.trace import Span, worker_chunk_record
 from repro.results.counts import Counts
 from repro.results.result import Result
 from repro.runtime.batching import (
@@ -73,16 +74,32 @@ _job_counter = itertools.count(1)
 
 
 def _execute_chunk(
-    backend: "Backend", circuit: "QuantumCircuit", shots: int, seed: Optional[int]
-) -> Tuple[Result, float]:
-    """Run one shot chunk and return ``(result, elapsed_seconds)``.
+    backend: "Backend",
+    circuit: "QuantumCircuit",
+    shots: int,
+    seed: Optional[int],
+    trace_ctx: Optional[dict] = None,
+) -> Tuple[Result, float, Optional[dict]]:
+    """Run one shot chunk; return ``(result, elapsed_seconds, trace_record)``.
 
     Module-level so process-pool executors can pickle the task; thread and
     serial executors call it with shared objects and pay nothing extra.
+    ``trace_ctx`` is the picklable span context of the chunk's parent-side
+    trace span (or ``None`` when the job is untraced); the returned trace
+    record carries the worker-measured wall-clock back across the executor
+    boundary for :meth:`repro.obs.trace.Span.merge_worker`.
     """
     start = time.perf_counter()
     result = backend.run(circuit, shots=shots, seed=seed)
-    return result, time.perf_counter() - start
+    elapsed = time.perf_counter() - start
+    record = worker_chunk_record(
+        trace_ctx,
+        engine=type(backend).__name__,
+        shots=shots,
+        duration_s=elapsed,
+        batch_width=getattr(backend, "max_batch", None),
+    )
+    return result, elapsed, record
 
 
 class Job:
@@ -136,6 +153,10 @@ class Job:
         #: Set by execute(): how the scheduler planned this job —
         #: {"schedule", "chunk_shots", "executor"} — for introspection.
         self.plan: Optional[dict] = None
+        #: Set by execute() when tracing is on: this job's trace span.
+        #: Chunk submissions hang child spans off it and ship its context
+        #: into the chunk task (see repro.obs.trace).
+        self._span: Optional[Span] = None
         self._futures: List[Future] = []
         self._chunk_elapsed: List[float] = []
         self._pool_elapsed_recorded = False
@@ -165,7 +186,20 @@ class Job:
 
     def _run_chunk(self, shots: int, seed: Optional[int]) -> Result:
         """Run one chunk inline (lazy fallbacks), recording its elapsed time."""
-        result, elapsed = _execute_chunk(self.backend, self.circuit, shots, seed)
+        span = (
+            self._span.child("chunk", shots=shots, inline=True)
+            if self._span is not None
+            else None
+        )
+        result, elapsed, record = _execute_chunk(
+            self.backend,
+            self.circuit,
+            shots,
+            seed,
+            None if span is None else span.context(),
+        )
+        if span is not None:
+            span.finish().merge_worker(record)
         with self._lock:
             self._chunk_elapsed.append(elapsed)
         return result
@@ -200,10 +234,13 @@ class Job:
 
             cache = DEFAULT_CACHE
         misses_before = getattr(cache, "misses", None)
+        span = self._span.child("prepare") if self._span is not None else None
         start = time.perf_counter()
         try:
             prepared = prepare(self.circuit)
         except Exception:
+            if span is not None:
+                span.finish().set(error=True)
             return self.backend, self.circuit
         elapsed = time.perf_counter() - start
         lowered = (
@@ -211,6 +248,8 @@ class Job:
             if misses_before is None  # cache=False: every prepare is real
             else cache.misses > misses_before
         )
+        if span is not None:
+            span.finish().set(cache_hit=not lowered)
         if self._cost_probe is not None and lowered:
             model, _run_key, prepare_key = self._cost_probe
             model.observe_prepare(prepare_key, elapsed)
@@ -234,12 +273,23 @@ class Job:
         """
         from repro.runtime.pool import executor_kind
 
+        kind = executor_kind(executor)
         backend, circuit = self.backend, self.circuit
-        if executor_kind(executor) == "process":
+        if kind == "process":
             backend, circuit = self._prepare_for_fanout()
-        for shots, seed in self.chunk_plan():
-            future = executor.submit(_execute_chunk, backend, circuit, shots, seed)
+        for index, (shots, seed) in enumerate(self.chunk_plan()):
+            span = ctx = None
+            if self._span is not None:
+                span = self._span.child(
+                    "chunk", chunk=index, shots=shots, executor=kind
+                )
+                ctx = span.context()
+            future = executor.submit(
+                _execute_chunk, backend, circuit, shots, seed, ctx
+            )
             self._futures.append(future)
+            if span is not None:
+                future.add_done_callback(functools.partial(self._trace_chunk, span))
             if self._cost_probe is not None:
                 future.add_done_callback(
                     functools.partial(self._observe_chunk, shots)
@@ -248,11 +298,30 @@ class Job:
             self._futures[0].add_done_callback(self._distribution_completed)
         self._arm_done_barrier()
 
+    def _trace_chunk(self, span: Span, future: Future) -> None:
+        """Done-callback: close the chunk span and fold in the worker view.
+
+        The parent-side window (submit -> completion) is the span's own
+        duration; the worker-measured wall-clock arrives in the returned
+        trace record (``worker_wall_s``), the only chunk timing trusted
+        across a process boundary.
+        """
+        span.finish()
+        if future.cancelled():
+            span.set(cancelled=True)
+            return
+        exc = future.exception()
+        if exc is not None:
+            span.set(error=type(exc).__name__)
+            return
+        _result, _elapsed, record = future.result()
+        span.merge_worker(record)
+
     def _observe_chunk(self, shots: int, future: Future) -> None:
         """Done-callback: feed one chunk's measured cost to the cost model."""
         if future.cancelled() or future.exception() is not None:
             return
-        _result, elapsed = future.result()
+        _result, elapsed, _trace = future.result()
         model, run_key, _prepare_key = self._cost_probe
         model.observe_run(run_key, shots, elapsed)
 
@@ -260,7 +329,7 @@ class Job:
         """Done-callback: store the finished chunk's distribution."""
         if future.cancelled() or future.exception() is not None:
             return
-        result, _elapsed = future.result()
+        result, _elapsed, _trace = future.result()
         self._publish_distribution(result)
 
     def _publish_distribution(self, result: Result) -> None:
@@ -406,6 +475,22 @@ class Job:
         with self._lock:
             return float(sum(self._chunk_elapsed))
 
+    def _finish_span(self, **attrs) -> None:
+        """Close this job's trace span once, stamping terminal attributes."""
+        if self._span is not None:
+            if self._span.end_s is None and attrs:
+                self._span.set(**attrs)
+            self._span.finish()
+
+    def trace(self) -> Optional[dict]:
+        """Return this job's trace span tree as JSON-safe dicts.
+
+        ``None`` when the job ran untraced (tracing disabled at submit
+        time).  Safe to call while the job is still running: unfinished
+        spans report ``duration_s: null``.
+        """
+        return None if self._span is None else self._span.to_dict()
+
     # ------------------------------------------------------------------
     # Collection
     # ------------------------------------------------------------------
@@ -425,6 +510,7 @@ class Job:
         cancelled = [f.cancel() for f in self._futures]
         if cancelled and any(cancelled):
             self._cancelled = True
+            self._finish_span(status="cancelled")
             return True
         return False
 
@@ -462,6 +548,7 @@ class Job:
             merged = merge_chunk_results(chunk_results, self.shots, self.seed)
             merged.metadata["distribution_cache"] = True
             self._result = merged
+            self._finish_span(status="done", cached=True)
             return self._result
         if self.derived:
             try:
@@ -478,6 +565,7 @@ class Job:
                 self._result = merge_chunk_results(
                     chunk_results, self.shots, self.seed
                 )
+                self._finish_span(status="done", fallback=True)
                 return self._result
             if self._role == ROLE_SHARE:
                 self._result = clone_result(source_result, self.seed)
@@ -495,6 +583,7 @@ class Job:
                 self._result = merge_chunk_results(
                     chunk_results, self.shots, self.seed
                 )
+            self._finish_span(status="done", derived=True)
             return self._result
         deadline = None if timeout is None else time.monotonic() + timeout
         try:
@@ -504,11 +593,12 @@ class Job:
                 remaining = (
                     None if deadline is None else max(0.0, deadline - time.monotonic())
                 )
-                result, elapsed = future.result(timeout=remaining)
+                result, elapsed, _trace = future.result(timeout=remaining)
                 chunk_results.append(result)
                 chunk_elapsed.append(elapsed)
         except CancelledError:
             self._cancelled = True
+            self._finish_span(status="cancelled")
             raise JobError(f"{self.job_id} was cancelled") from None
         except FutureTimeoutError:
             # Not terminal: the chunks keep running and result() may be
@@ -516,6 +606,7 @@ class Job:
             raise JobError(f"{self.job_id} timed out after {timeout}s") from None
         except Exception as exc:
             self._error = exc
+            self._finish_span(status="error", error=type(exc).__name__)
             raise JobError(f"{self.job_id} failed: {exc}") from exc
         # Worker wall-clock is recorded at collection time (the workers may
         # live in another process); guard against a concurrent first
@@ -524,8 +615,16 @@ class Job:
             if not self._pool_elapsed_recorded:
                 self._chunk_elapsed.extend(chunk_elapsed)
                 self._pool_elapsed_recorded = True
+        collect_span = (
+            self._span.child("collect", chunks=len(chunk_results))
+            if self._span is not None
+            else None
+        )
         self._result = merge_chunk_results(chunk_results, self.shots, self.seed)
         self._publish_distribution(self._result)
+        if collect_span is not None:
+            collect_span.finish()
+        self._finish_span(status="done")
         return self._result
 
     def counts(self, timeout: Optional[float] = None) -> Counts:
@@ -638,6 +737,10 @@ class JobSet:
     def time_taken(self) -> float:
         """Return the summed chunk wall-clock time across the batch."""
         return float(sum(job.time_taken for job in self.jobs))
+
+    def trace(self) -> List[Optional[dict]]:
+        """Return every job's trace span tree, in submission order."""
+        return [job.trace() for job in self.jobs]
 
     @property
     def num_executed(self) -> int:

@@ -49,6 +49,7 @@ import time
 from typing import Callable, Dict, List, Optional
 
 from repro.exceptions import JobError, QueueTimeout
+from repro.obs.trace import Span, tracing_enabled
 from repro.runtime.profile import DEFAULT_COST_MODEL, CostModel, profile_key
 from repro.runtime.pool import default_max_workers
 
@@ -258,6 +259,7 @@ class ScheduledBatch:
         scheduler: Optional["Scheduler"] = None,
         deadline: Optional[float] = None,
         deadline_action: str = "drop",
+        trace_span: Optional[Span] = None,
     ) -> None:
         self.client = client
         self.priority = int(priority)
@@ -268,6 +270,17 @@ class ScheduledBatch:
         #: Pool width the scheduler's width planner chose for this
         #: dispatch, or ``None`` (default width / planning off).
         self.planned_width: Optional[int] = None
+        #: Root trace span the queue/dispatch/per-circuit spans hang off.
+        #: A front-end (the service) passes its own; standalone batches
+        #: get a fresh root when process-wide tracing is on.
+        if trace_span is None and tracing_enabled():
+            trace_span = Span(
+                "batch", {"client": client, "size": size, "priority": int(priority)}
+            )
+        self.trace_span = trace_span
+        self._trace_queue_span = (
+            trace_span.child("queue") if trace_span is not None else None
+        )
         self.submitted_at = time.monotonic()
         self.dispatched_at: Optional[float] = None
         self._scheduler = scheduler
@@ -284,19 +297,29 @@ class ScheduledBatch:
 
     def _mark_dispatched(self, jobset) -> None:
         self.dispatched_at = time.monotonic()
+        self._finish_queue_span()
         self._jobset = jobset
         self._dispatched.set()
         self._fire_callbacks()
 
     def _mark_failed(self, error: BaseException) -> None:
         self._error = error
+        self._finish_queue_span(outcome=type(error).__name__)
         self._dispatched.set()
         self._fire_callbacks()
 
     def _mark_cancelled(self) -> None:
         self._cancelled = True
+        self._finish_queue_span(outcome="cancelled")
         self._dispatched.set()
         self._fire_callbacks()
+
+    def _finish_queue_span(self, outcome: Optional[str] = None) -> None:
+        span = self._trace_queue_span
+        if span is not None:
+            if span.end_s is None and outcome is not None:
+                span.set(outcome=outcome)
+            span.finish()
 
     def _fire_callbacks(self) -> None:
         with self._callback_lock:
@@ -332,6 +355,10 @@ class ScheduledBatch:
         """Return seconds spent in the queue (so far, or until dispatch)."""
         end = self.dispatched_at if self.dispatched_at is not None else time.monotonic()
         return max(0.0, end - self.submitted_at)
+
+    def trace(self) -> Optional[dict]:
+        """Return the batch's trace span tree (``None`` when untraced)."""
+        return None if self.trace_span is None else self.trace_span.to_dict()
 
     def status(self) -> str:
         """Return ``"queued"``, ``"running"``, ``"done"``, ``"failed"``,
@@ -589,6 +616,51 @@ class Scheduler:
         self._queue_waits: List[float] = []  # recent dispatch wait samples
         self._closed = False
         self._thread: Optional[threading.Thread] = None
+        # Publish the scheduler's counters through the process-wide
+        # metrics registry.  The collector holds only a weak reference —
+        # short-lived schedulers (tests, embedded uses) are collectable —
+        # and the fixed "scheduler" slot means the newest instance owns
+        # the exposition, matching the one-service-per-process deployment.
+        self._register_metrics()
+
+    def _register_metrics(self) -> None:
+        import weakref
+
+        from repro.obs.metrics import DEFAULT_REGISTRY
+
+        ref = weakref.ref(self)
+
+        def collect():
+            scheduler = ref()
+            if scheduler is None or scheduler._closed:
+                return []
+            stats = scheduler.stats()
+            samples = [
+                ("repro_scheduler_in_flight_jobs", None, stats["in_flight_jobs"]),
+                ("repro_scheduler_in_flight_batches", None, stats["in_flight_batches"]),
+                ("repro_scheduler_queued_batches", None, stats["queued_batches"]),
+                ("repro_scheduler_max_in_flight", None, stats["max_in_flight"]),
+                (
+                    "repro_scheduler_dispatched_batches_total",
+                    None,
+                    stats["dispatched_batches"],
+                    "counter",
+                ),
+            ]
+            if stats["queue_wait_mean_s"] is not None:
+                samples.append(
+                    ("repro_scheduler_queue_wait_mean_seconds", None, stats["queue_wait_mean_s"])
+                )
+            for name, client in stats["clients"].items():
+                labels = {"client": name}
+                samples.append(("repro_scheduler_client_weight", labels, client["weight"]))
+                for field in ("submitted_jobs", "completed_jobs", "dispatched_batches"):
+                    samples.append(
+                        (f"repro_scheduler_client_{field}_total", labels, client[field], "counter")
+                    )
+            return samples
+
+        DEFAULT_REGISTRY.register_collector("scheduler", collect)
 
     # ------------------------------------------------------------------
     # Client surface
@@ -629,6 +701,7 @@ class Scheduler:
         priority: int = 0,
         deadline: Optional[float] = None,
         deadline_action: str = "drop",
+        trace_span: Optional[Span] = None,
         **options,
     ) -> ScheduledBatch:
         """Queue a batch for ``client`` and return its handle immediately.
@@ -675,6 +748,7 @@ class Scheduler:
             scheduler=self,
             deadline=deadline,
             deadline_action=deadline_action,
+            trace_span=trace_span,
         )
         spec = {
             "circuits": circuit_list,
@@ -782,6 +856,12 @@ class Scheduler:
         self._queue_waits.append(time.monotonic() - batch.submitted_at)
         if len(self._queue_waits) > 4096:
             del self._queue_waits[:2048]
+        batch._finish_queue_span()
+        dispatch_span = (
+            batch.trace_span.child("dispatch") if batch.trace_span is not None else None
+        )
+        if batch.trace_span is not None:
+            options["trace_parent"] = batch.trace_span
         self._lock.release()
         # execute() outside the lock: submission may pay pool creation,
         # transpiles and (serial executor) the entire simulation.
@@ -796,11 +876,18 @@ class Scheduler:
                 **options,
             )
         except BaseException as exc:
+            if dispatch_span is not None:
+                dispatch_span.finish().set(error=type(exc).__name__)
             self._lock.acquire()
             self._in_flight.remove(batch)
             self._in_flight_jobs -= batch.size
             state.record_failure(batch, exc)
             return
+        if dispatch_span is not None:
+            dispatch_span.finish().set(
+                planned_width=batch.planned_width,
+                executor=options.get("executor"),
+            )
         self._lock.acquire()
         batch._mark_dispatched(jobset)
 

@@ -136,8 +136,14 @@ class ServiceClient:
 
     def _request(self, method: str, path: str,
                  payload: Optional[dict] = None,
-                 query: Optional[dict] = None) -> dict:
-        """One JSON exchange; reconnects once over a stale keep-alive."""
+                 query: Optional[dict] = None, raw: bool = False):
+        """One exchange; reconnects once over a stale keep-alive.
+
+        Returns the parsed JSON body — or, with ``raw=True``, the decoded
+        text body untouched (the metrics endpoint speaks Prometheus text,
+        not JSON).  Errors are always JSON and map through the typed
+        table either way.
+        """
         if query:
             path = f"{path}?{urlencode(query)}"
         body = None
@@ -159,14 +165,15 @@ class ServiceClient:
                 if attempt:
                     raise
         data = response.read()
+        text = data.decode("utf-8", errors="replace") if data else ""
         try:
-            parsed = json.loads(data.decode("utf-8")) if data else {}
-        except (UnicodeDecodeError, json.JSONDecodeError):
+            parsed = json.loads(text) if data else {}
+        except json.JSONDecodeError:
             parsed = {}
         if response.status >= 400:
             raise self._error_for(response.status, parsed,
                                   dict(response.getheaders()))
-        return parsed
+        return text if raw else parsed
 
     @staticmethod
     def _error_for(status: int, payload: dict,
@@ -253,9 +260,25 @@ class ServiceClient:
                                 query=query)
         return payload["counts"]
 
+    def trace(self, job_id: str) -> dict:
+        """Return the job's trace span tree by id (owner or admin).
+
+        The tree mirrors :meth:`RuntimeService.trace`: nested spans with
+        root-relative ``start_s``/``duration_s`` seconds, per-chunk
+        worker wall-clocks and engine names in ``attrs``, and structured
+        ``events``.  Works for live jobs (in-flight spans report
+        ``duration_s: null``) and for recovered pre-restart ids whose
+        trace was journaled at settlement.
+        """
+        return self._request("GET", f"/v1/jobs/{job_id}/trace")["trace"]
+
     def stats(self) -> dict:
         """Return the service's ``stats()`` snapshot (admin scope)."""
         return self._request("GET", "/v1/stats")
+
+    def metrics(self) -> str:
+        """Return the ``/v1/metrics`` Prometheus text page (admin scope)."""
+        return self._request("GET", "/v1/metrics", raw=True)
 
     def events(self, job_id: str,
                timeout: Optional[float] = None) -> Iterator[Tuple[str, dict]]:

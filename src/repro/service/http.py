@@ -22,7 +22,9 @@ Endpoints (all JSON unless noted)::
     GET  /v1/jobs/{id}/result      await + return [{counts, shots, metadata}]
     GET  /v1/jobs/{id}/counts      await + return the histograms only
     GET  /v1/jobs/{id}/events      Server-Sent Events completion stream
+    GET  /v1/jobs/{id}/trace       trace span tree (owner or admin)
     GET  /v1/stats                 service stats() snapshot (admin scope)
+    GET  /v1/metrics               Prometheus text exposition (admin scope)
     GET  /v1/healthz               liveness probe (no auth)
 
 ``/result``, ``/counts`` and ``/events`` accept ``?timeout=SECONDS``.
@@ -120,7 +122,7 @@ MAX_BODY_BYTES = 8 * 1024 * 1024
 
 _MAX_HEADERS = 100
 
-_JOB_PATH = re.compile(r"/v1/jobs/([^/]+)(?:/(result|counts|events))?")
+_JOB_PATH = re.compile(r"/v1/jobs/([^/]+)(?:/(result|counts|events|trace))?")
 
 
 def status_for(exc: BaseException) -> int:
@@ -369,11 +371,15 @@ class ServiceServer:
                 "result": self._handle_result,
                 "counts": self._handle_counts,
                 "events": self._handle_events,
+                "trace": self._handle_trace,
             }[view]
             return handler, (job_id,)
         if path == "/v1/stats":
             self._require_method(request, "GET")
             return self._handle_stats, ()
+        if path == "/v1/metrics":
+            self._require_method(request, "GET")
+            return self._handle_metrics, ()
         raise _HttpError(404, {
             "error": {"type": "NotFound", "message": f"no route for {path!r}"}
         })
@@ -507,6 +513,35 @@ class ServiceServer:
             "job_id": handle.job_id,
             "counts": [dict(result.counts) for result in results],
         }, keep_alive=request.keep_alive())
+        return True
+
+    async def _handle_trace(self, request: _Request,
+                            writer: asyncio.StreamWriter,
+                            job_id: str) -> bool:
+        # service.trace() reuses the owner-or-admin job() lookup, so the
+        # wire endpoint inherits exactly the per-job read policy — and
+        # answers journaled traces for recovered pre-restart ids.
+        trace = self.service.trace(job_id, request.bearer_token())
+        await _send_json(writer, 200, {
+            "job_id": job_id,
+            "trace": _json_safe(trace),
+        }, keep_alive=request.keep_alive())
+        return True
+
+    async def _handle_metrics(self, request: _Request,
+                              writer: asyncio.StreamWriter) -> bool:
+        # Same tenant-boundary argument as /v1/stats: registry metrics
+        # aggregate every client's traffic, so scraping needs admin.
+        self.service.authenticator.authenticate(
+            request.bearer_token(), scope="admin"
+        )
+        from repro.obs.metrics import DEFAULT_REGISTRY
+
+        await _send_text(
+            writer, 200, DEFAULT_REGISTRY.render_prometheus(),
+            content_type="text/plain; version=0.0.4; charset=utf-8",
+            keep_alive=request.keep_alive(),
+        )
         return True
 
     async def _handle_stats(self, request: _Request,
@@ -723,10 +758,27 @@ def _json_safe(value):
 async def _send_json(writer: asyncio.StreamWriter, status: int, payload: dict,
                      extra_headers: Optional[Dict[str, str]] = None,
                      keep_alive: bool = True) -> None:
-    body = json.dumps(payload).encode("utf-8")
+    await _send_body(
+        writer, status, json.dumps(payload).encode("utf-8"),
+        "application/json", extra_headers, keep_alive,
+    )
+
+
+async def _send_text(writer: asyncio.StreamWriter, status: int, text: str,
+                     content_type: str = "text/plain; charset=utf-8",
+                     keep_alive: bool = True) -> None:
+    await _send_body(
+        writer, status, text.encode("utf-8"), content_type, None, keep_alive
+    )
+
+
+async def _send_body(writer: asyncio.StreamWriter, status: int, body: bytes,
+                     content_type: str,
+                     extra_headers: Optional[Dict[str, str]],
+                     keep_alive: bool) -> None:
     lines = [
         f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}",
-        "Content-Type: application/json",
+        f"Content-Type: {content_type}",
         f"Content-Length: {len(body)}",
         f"Connection: {'keep-alive' if keep_alive else 'close'}",
     ]

@@ -194,13 +194,16 @@ class JobJournal:
         counts: Optional[List[dict]] = None,
         shots: Optional[List[int]] = None,
         error: Optional[BaseException] = None,
+        trace: Optional[dict] = None,
     ) -> dict:
         """Record a job's terminal outcome; returns the updated record.
 
         ``counts`` is one plain ``{bitstring: occurrences}`` dict per
         circuit (only for ``status="done"``); ``error`` is journaled as
         ``{"type", "message"}`` so a restarted service can re-raise a
-        meaningful failure.
+        meaningful failure.  ``trace`` is the submission's finished span
+        tree (JSON-safe dicts) — journaling it lets a restarted service
+        answer ``/v1/jobs/{id}/trace`` for pre-restart ids.
         """
         if status not in SETTLED_STATUSES:
             raise ServiceError(
@@ -226,6 +229,8 @@ class JobJournal:
                 if error is not None
                 else None
             )
+            if trace is not None:
+                record["trace"] = trace
             # Settled records no longer need their (potentially large)
             # re-submission payload.
             record["circuits"] = None

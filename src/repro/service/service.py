@@ -55,6 +55,8 @@ from repro.exceptions import (
     ServiceError,
     UnknownJob,
 )
+from repro.obs.metrics import DEFAULT_REGISTRY
+from repro.obs.trace import Span, tracing_enabled
 from repro.runtime.scheduler import ScheduledBatch, Scheduler
 from repro.runtime.store import CacheStore, default_cache_dir
 from repro.service.accounting import CostLedger
@@ -79,6 +81,47 @@ _TERMINAL_STATUSES = ("done", "failed", "dropped", "cancelled")
 #: allocates ids from the journal instead, so they stay monotonic across
 #: restarts.
 _service_job_counter = itertools.count(1)
+
+# Process-wide service instruments (shared across service instances —
+# they describe the process, like the pool and cache collectors).  Hot
+# paths touch pre-created instruments only; labeled variants are
+# pre-created per known terminal status / rejection reason so a storm
+# never takes the registry lock.
+_M_SUBMITTED = DEFAULT_REGISTRY.counter(
+    "repro_service_submitted_jobs_total", help="Jobs admitted by submit()"
+)
+_M_SETTLED = {
+    status: DEFAULT_REGISTRY.counter(
+        "repro_service_settled_jobs_total",
+        {"status": status},
+        help="Jobs settled, by terminal status",
+    )
+    for status in _TERMINAL_STATUSES
+}
+_M_REJECTED = {
+    reason: DEFAULT_REGISTRY.counter(
+        "repro_service_rejected_total",
+        {"reason": reason},
+        help="Submissions rejected before admission",
+    )
+    for reason in ("auth", "quota", "rate")
+}
+_M_SETTLEMENT_ERRORS = {
+    stage: DEFAULT_REGISTRY.counter(
+        "repro_service_settlement_errors_total",
+        {"stage": stage},
+        help="Settlement bookkeeping failures, by stage",
+    )
+    for stage in ("collect", "journal", "ledger")
+}
+_M_QUEUE_WAIT = DEFAULT_REGISTRY.histogram(
+    "repro_service_queue_wait_seconds",
+    help="Seconds batches spent in the fair-share queue",
+)
+_M_JOB_LATENCY = DEFAULT_REGISTRY.histogram(
+    "repro_service_job_latency_seconds",
+    help="Submit-to-settle seconds per submission",
+)
 
 
 class ServiceJob:
@@ -111,6 +154,10 @@ class ServiceJob:
         self._circuits = None
         self._backend = None
         self._shots = None
+        # Trace plumbing, attached by submit()/_resubmit(): the root span
+        # of this submission's trace tree and the open "settle" stage.
+        self._span: Optional[Span] = None
+        self._settle_span: Optional[Span] = None
 
     # -- lifecycle -------------------------------------------------------
 
@@ -187,6 +234,30 @@ class ServiceJob:
     def __await__(self):
         return self.result().__await__()
 
+    def trace(self) -> dict:
+        """Return this submission's trace span tree as JSON-safe dicts.
+
+        Safe at any point in the job's life: spans still in flight report
+        ``duration_s: null``.  A job submitted while process-wide tracing
+        was disabled returns a minimal untraced stub so the wire endpoint
+        always has an answer.
+        """
+        if self._span is not None:
+            return self._span.to_dict()
+        return {
+            "name": "job",
+            "span_id": None,
+            "start_s": 0.0,
+            "duration_s": None,
+            "attrs": {
+                "job_id": self.job_id,
+                "client": self.client,
+                "status": self.status(),
+                "traced": False,
+            },
+            "children": [],
+        }
+
     async def as_completed(
         self, timeout: Optional[float] = None
     ) -> AsyncIterator:
@@ -252,6 +323,36 @@ class RecoveredJob:
 
     async def wait(self, timeout: Optional[float] = None) -> "RecoveredJob":
         return self
+
+    def trace(self) -> dict:
+        """Return the journaled trace span tree for this pre-restart id.
+
+        The pre-restart service journaled the finished tree at settlement
+        where it could; records settled without one (older journals,
+        tracing disabled, crash before settlement) degrade to a stub
+        built from the journaled submit/settle wall-clock timestamps.
+        """
+        trace = self._record.get("trace")
+        if trace is not None:
+            return trace
+        record = self._record
+        duration = None
+        if record.get("settled_at") and record.get("submitted_at"):
+            duration = max(0.0, record["settled_at"] - record["submitted_at"])
+        return {
+            "name": "job",
+            "span_id": None,
+            "start_s": 0.0,
+            "duration_s": duration,
+            "attrs": {
+                "job_id": self.job_id,
+                "client": self.client,
+                "status": record["status"],
+                "recovered": True,
+                "traced": False,
+            },
+            "children": [],
+        }
 
     async def result(self, timeout: Optional[float] = None) -> List:
         """Rebuild the result list from journaled counts, or re-raise."""
@@ -456,6 +557,57 @@ class RuntimeService:
         self._started = clock()
         if self.authenticator.allow_anonymous:
             self.scheduler.client(TokenAuthenticator.ANONYMOUS, weight=1)
+        self._register_metrics()
+
+    def _register_metrics(self) -> None:
+        """Expose this service's live gauges through the registry.
+
+        Registered under the fixed collector name ``"service"`` —
+        replace-by-name means the newest service instance owns the slot
+        (the common case is one per process; tests churn through many).
+        The weakref keeps dead instances collectable.
+        """
+        import weakref
+
+        ref = weakref.ref(self)
+
+        def collect():
+            service = ref()
+            if service is None:
+                return []
+            with service._lock:
+                clients = dict(service._clients)
+                rejected_auth = service._rejected_auth
+                settlement_errors = service._settlement_errors
+            samples = [
+                ("repro_service_uptime_seconds", None,
+                 service._clock() - service._started),
+                ("repro_service_jobs_per_second", None,
+                 service._completions.rate()),
+                ("repro_service_completed_jobs", None,
+                 service._completions.total, "counter"),
+                ("repro_service_rejected_auth", None, rejected_auth,
+                 "counter"),
+                ("repro_service_settlement_errors", None, settlement_errors,
+                 "counter"),
+                ("repro_service_known_jobs", None, len(service._jobs)),
+                ("repro_service_clients", None, len(clients)),
+            ]
+            for name, state in clients.items():
+                labels = {"client": name}
+                samples.append(
+                    ("repro_service_client_in_flight_jobs", labels,
+                     state.in_flight_jobs)
+                )
+                snapshot = state.stats.snapshot()
+                for field in ("submitted_jobs", "completed_jobs"):
+                    samples.append(
+                        (f"repro_service_client_{field}_total", labels,
+                         snapshot.get(field, 0), "counter")
+                    )
+            return samples
+
+        DEFAULT_REGISTRY.register_collector("service", collect)
 
     # ------------------------------------------------------------------
     # Tenant management
@@ -604,11 +756,20 @@ class RuntimeService:
         except (AuthenticationError, ScopeDenied):
             with self._lock:
                 self._rejected_auth += 1
+            _M_REJECTED["auth"].inc()
             raise
         state = self._client_state(identity)
         if not isinstance(circuits, QuantumCircuit):
             circuits = list(circuits)  # admission math must not eat iterators
         size, total_shots = self._batch_shape(circuits, shots)
+        root_span = None
+        admission_span = None
+        if tracing_enabled():
+            root_span = Span(
+                "job",
+                {"client": identity.name, "size": size, "shots": total_shots},
+            )
+            admission_span = root_span.child("admission")
         while True:
             kind, retry_after = self._try_admit(state, size, total_shots)
             if kind == "ok":
@@ -616,6 +777,7 @@ class RuntimeService:
             if state.quota.over_quota == "reject":
                 if kind == "quota":
                     state.stats.bump("rejected_quota")
+                    _M_REJECTED["quota"].inc()
                     raise QuotaExceeded(
                         f"client {identity.name!r} has "
                         f"{state.in_flight_jobs} job(s) in flight; "
@@ -626,6 +788,7 @@ class RuntimeService:
                         limit=state.quota.max_in_flight_jobs,
                     )
                 state.stats.bump("rejected_rate")
+                _M_REJECTED["rate"].inc()
                 raise RateLimited(
                     f"client {identity.name!r} exceeded "
                     f"{state.quota.shots_per_second:g} shots/sec; retry in "
@@ -635,6 +798,8 @@ class RuntimeService:
                 )
             # Backpressure: wait for capacity without blocking the loop.
             state.stats.bump("queued_waits")
+            if admission_span is not None:
+                admission_span.event("backpressure", kind=kind)
             if kind == "rate":
                 await self._sleep(retry_after)
             else:
@@ -642,6 +807,8 @@ class RuntimeService:
                     state.condition = asyncio.Condition()
                 async with state.condition:
                     await state.condition.wait()
+        if admission_span is not None:
+            admission_span.finish()
         numeric_id = (
             self.journal.next_id()
             if self.journal is not None
@@ -678,6 +845,7 @@ class RuntimeService:
                 priority=priority,
                 deadline=deadline,
                 deadline_action=deadline_action,
+                trace_span=root_span,
                 **options,
             )
         except BaseException as exc:
@@ -698,11 +866,19 @@ class RuntimeService:
             raise
         state.stats.bump("submitted_batches")
         state.stats.bump("submitted_jobs", size)
+        _M_SUBMITTED.inc(size)
         handle = ServiceJob(self, identity.name, batch, size, loop,
                             job_id=numeric_id)
         handle._circuits = circuit_list
         handle._backend = backend
         handle._shots = shots
+        if root_span is not None:
+            root_span.set(
+                job_id=handle.job_id,
+                backend=backend if isinstance(backend, str)
+                else getattr(backend, "name", None),
+            )
+            handle._span = root_span
         with self._lock:
             self._jobs[handle.job_id] = handle
         # The bridge out of the threaded scheduler: fires on dispatch,
@@ -734,6 +910,7 @@ class RuntimeService:
         if batch.dispatched_at is not None:
             wait = batch.wait_time()
             self._queue_latency.add(wait)
+            _M_QUEUE_WAIT.observe(wait)
             state = self._clients.get(handle.client)
             if state is not None:
                 state.stats.queue_latency.add(wait)
@@ -766,6 +943,12 @@ class RuntimeService:
         handle._settled.set()
         state = self._clients.get(handle.client)
         status = handle.batch.status()
+        if handle._span is not None:
+            handle._settle_span = handle._span.child("settle", status=status)
+        _M_SETTLED.get(status, _M_SETTLED["done"]).inc(handle.size)
+        _M_JOB_LATENCY.observe(
+            max(0.0, time.monotonic() - handle.batch.submitted_at)
+        )
         if state is not None:
             with self._lock:
                 state.in_flight_jobs -= handle.size
@@ -800,7 +983,25 @@ class RuntimeService:
                     None, self._record_settlement, handle
                 )
             except RuntimeError:
-                pass
+                self._finalize_trace(handle, status)
+        else:
+            self._finalize_trace(handle, status)
+
+    def _finalize_trace(self, handle: ServiceJob, terminal: str):
+        """Close the handle's settle and root spans; return the tree.
+
+        Idempotent (span ``finish`` is).  Returns the JSON-safe span tree
+        for journaling, or ``None`` for an untraced handle.
+        """
+        span = handle._span
+        if span is None:
+            return None
+        if handle._settle_span is not None:
+            handle._settle_span.finish()
+        if span.end_s is None:
+            span.set(status=terminal)
+        span.finish()
+        return span.to_dict()
 
     @staticmethod
     async def _notify(condition: asyncio.Condition) -> None:
@@ -846,12 +1047,15 @@ class RuntimeService:
                     shots_out = [r.shots for r in results]
         except Exception as exc:
             self._note_settlement_error("collect", handle, exc)
+            self._finalize_trace(handle, handle.batch.status())
             return
+        trace = self._finalize_trace(handle, terminal)
         if self.journal is not None:
             try:
                 self.journal.record_settlement(
                     handle.journal_id, terminal,
                     counts=counts, shots=shots_out, error=error,
+                    trace=trace,
                 )
             except Exception as exc:
                 self._note_settlement_error("journal", handle, exc)
@@ -866,15 +1070,30 @@ class RuntimeService:
         """Account for a failed settlement write instead of swallowing it.
 
         Every failure bumps the ``settlement_errors`` counter surfaced by
-        :meth:`stats`; the first failure of each ``(stage, exception
-        class)`` pair additionally logs a warning — once, so a wedged disk
-        under a storm does not turn the log into the bottleneck.
+        :meth:`stats` (and the per-stage registry counter); every failure
+        is also recorded as a structured ``settlement_error`` event on
+        the owning job's trace span, so the *which job* question the
+        once-per-class log line cannot answer is answered by the trace.
+        The first failure of each ``(stage, exception class)`` pair
+        additionally logs a warning — once, so a wedged disk under a
+        storm does not turn the log into the bottleneck.
         """
         key = (stage, type(exc))
         with self._lock:
             self._settlement_errors += 1
             first = key not in self._settlement_warned
             self._settlement_warned.add(key)
+        counter = _M_SETTLEMENT_ERRORS.get(stage)
+        if counter is not None:
+            counter.inc()
+        span = handle._settle_span or handle._span
+        if span is not None:
+            span.event(
+                "settlement_error",
+                stage=stage,
+                error=type(exc).__name__,
+                message=str(exc),
+            )
         if first:
             logger.warning(
                 "settlement %s failed for %s (%s: %s); counting further "
@@ -1034,6 +1253,17 @@ class RuntimeService:
         size = record.get("size", len(record["circuits"]))
         with self._lock:
             state.in_flight_jobs += size
+        root_span = None
+        if tracing_enabled():
+            root_span = Span(
+                "job",
+                {
+                    "client": name,
+                    "size": size,
+                    "job_id": record["job_id"],
+                    "resubmitted": True,
+                },
+            )
         try:
             batch = self.scheduler.submit(
                 record["circuits"],
@@ -1042,6 +1272,7 @@ class RuntimeService:
                 seed=record["seed"],
                 client=name,
                 priority=record.get("priority", 0),
+                trace_span=root_span,
                 **record.get("options", {}),
             )
         except BaseException as exc:
@@ -1060,6 +1291,7 @@ class RuntimeService:
         handle._circuits = record["circuits"]
         handle._backend = record["backend"]
         handle._shots = record["shots"]
+        handle._span = root_span
         with self._lock:
             self._jobs[handle.job_id] = handle
         batch.add_dispatch_callback(
@@ -1093,6 +1325,15 @@ class RuntimeService:
     def status(self, job_id: str, token: Optional[str] = None) -> str:
         """Return the job's terminal-or-live status by ``svc-N`` id."""
         return self.job(job_id, token).status()
+
+    def trace(self, job_id: str, token: Optional[str] = None) -> dict:
+        """Return the job's trace span tree by ``svc-N`` id.
+
+        Owner-or-admin scoped like every per-job read.  Works for live
+        handles (spans still in flight report ``duration_s: null``) and
+        for pre-restart ids whose settled trace was journaled.
+        """
+        return self.job(job_id, token).trace()
 
     async def result(
         self, job_id: str, token: Optional[str] = None,

@@ -1,0 +1,290 @@
+"""MetricsRegistry: instruments, collectors, exposition, concurrency."""
+
+import concurrent.futures
+import math
+import threading
+
+import pytest
+
+from repro.obs.metrics import (
+    DEFAULT_REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+
+
+class TestInstruments:
+    def test_counter_increments_and_rejects_negative(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("jobs_total")
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+        with pytest.raises(ValueError):
+            counter.inc(-1)
+
+    def test_counter_get_or_create_returns_same_instrument(self):
+        registry = MetricsRegistry()
+        a = registry.counter("hits_total", {"tier": "memory"})
+        b = registry.counter("hits_total", {"tier": "memory"})
+        c = registry.counter("hits_total", {"tier": "disk"})
+        assert a is b
+        assert a is not c
+
+    def test_kind_mismatch_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("thing")
+        with pytest.raises(TypeError):
+            registry.gauge("thing")
+
+    def test_gauge_set_add_and_callback(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("depth")
+        gauge.set(3)
+        gauge.add(2)
+        assert gauge.value == 5
+        live = registry.gauge("live", fn=lambda: 42)
+        assert live.value == 42
+
+    def test_gauge_callback_exception_reads_nan(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("broken", fn=lambda: 1 / 0)
+        assert math.isnan(gauge.value)
+        # NaN gauges are omitted, not rendered as garbage.
+        assert "broken" not in registry.render_prometheus()
+        assert registry.snapshot()["gauges"]["broken"] is None
+
+    def test_histogram_snapshot_fields(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("latency_seconds")
+        for value in (0.1, 0.2, 0.3, 0.4):
+            hist.observe(value)
+        stats = hist.snapshot()
+        assert stats["count"] == 4
+        assert stats["sum"] == pytest.approx(1.0)
+        assert stats["min"] == pytest.approx(0.1)
+        assert stats["max"] == pytest.approx(0.4)
+        assert stats["mean"] == pytest.approx(0.25)
+        assert stats["p50"] == pytest.approx(0.2)
+        assert stats["p99"] == pytest.approx(0.4)
+
+    def test_histogram_reservoir_is_bounded_but_totals_exact(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("wide", reservoir=16)
+        for i in range(1000):
+            hist.observe(float(i))
+        stats = hist.snapshot()
+        assert stats["count"] == 1000
+        assert stats["sum"] == pytest.approx(sum(range(1000)))
+        assert stats["min"] == 0.0 and stats["max"] == 999.0
+        # percentiles come from the most recent 16 observations
+        assert stats["p50"] >= 984.0
+
+    def test_empty_histogram_snapshot(self):
+        registry = MetricsRegistry()
+        stats = registry.histogram("never").snapshot()
+        assert stats["count"] == 0
+        assert stats["mean"] is None and stats["p50"] is None
+
+
+class TestCollectors:
+    def test_collector_samples_land_in_snapshot(self):
+        registry = MetricsRegistry()
+        registry.register_collector(
+            "pool",
+            lambda: [
+                ("pool_active", None, 2),
+                ("pool_created_total", {"kind": "thread"}, 7, "counter"),
+            ],
+        )
+        snap = registry.snapshot()
+        assert snap["gauges"]["pool_active"] == 2
+        assert snap["counters"]['pool_created_total{kind="thread"}'] == 7
+
+    def test_collector_replaced_by_name(self):
+        registry = MetricsRegistry()
+        registry.register_collector("svc", lambda: [("x", None, 1)])
+        registry.register_collector("svc", lambda: [("x", None, 9)])
+        assert registry.snapshot()["gauges"]["x"] == 9
+
+    def test_raising_collector_skipped_not_fatal(self):
+        registry = MetricsRegistry()
+        registry.register_collector("bad", lambda: 1 / 0)
+        registry.register_collector("good", lambda: [("ok", None, 1)])
+        snap = registry.snapshot()
+        assert snap["gauges"]["ok"] == 1
+
+    def test_unregister_collector(self):
+        registry = MetricsRegistry()
+        registry.register_collector("gone", lambda: [("y", None, 1)])
+        registry.unregister_collector("gone")
+        assert "y" not in registry.snapshot()["gauges"]
+
+    def test_non_numeric_sample_skipped(self):
+        registry = MetricsRegistry()
+        registry.register_collector(
+            "mixed", lambda: [("a", None, "nope"), ("b", None, 3)]
+        )
+        snap = registry.snapshot()
+        assert "a" not in snap["gauges"]
+        assert snap["gauges"]["b"] == 3
+
+
+class TestPrometheusRendering:
+    def test_families_typed_and_sorted(self):
+        registry = MetricsRegistry()
+        registry.counter("b_total", help="b things").inc(3)
+        registry.gauge("a_gauge", help="an a").set(1.5)
+        text = registry.render_prometheus()
+        lines = text.splitlines()
+        assert "# HELP a_gauge an a" in lines
+        assert "# TYPE a_gauge gauge" in lines
+        assert "# TYPE b_total counter" in lines
+        assert "a_gauge 1.5" in lines
+        assert "b_total 3" in lines
+        assert lines.index("# TYPE a_gauge gauge") < lines.index(
+            "# TYPE b_total counter"
+        )
+
+    def test_histogram_rendered_as_summary_with_quantiles(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("lat_seconds", {"op": "submit"})
+        for v in (1.0, 2.0, 3.0):
+            hist.observe(v)
+        text = registry.render_prometheus()
+        assert "# TYPE lat_seconds summary" in text
+        assert 'lat_seconds{op="submit",quantile="0.5"} 2' in text
+        assert 'lat_seconds_sum{op="submit"} 6' in text
+        assert 'lat_seconds_count{op="submit"} 3' in text
+
+    def test_label_values_escaped(self):
+        registry = MetricsRegistry()
+        registry.counter("esc_total", {"path": 'a"b\\c'}).inc()
+        text = registry.render_prometheus()
+        assert 'esc_total{path="a\\"b\\\\c"} 1' in text
+
+    def test_metric_names_sanitized(self):
+        registry = MetricsRegistry()
+        registry.counter("weird name-total").inc()
+        assert "weird_name_total 1" in registry.render_prometheus()
+
+
+class TestDefaultRegistryWiring:
+    def test_runtime_sources_registered_on_import(self):
+        import repro.runtime  # noqa: F401  (registers the collectors)
+
+        snap = DEFAULT_REGISTRY.snapshot()
+        gauges = snap["gauges"]
+        assert "repro_executor_pools_active" in gauges
+        assert any(
+            name.startswith("repro_cache_entries") for name in gauges
+        )
+
+    def test_scheduler_registers_collector(self):
+        from repro.runtime.scheduler import Scheduler
+
+        scheduler = Scheduler(executor="serial")
+        try:
+            snap = DEFAULT_REGISTRY.snapshot()
+            assert "repro_scheduler_in_flight_jobs" in snap["gauges"]
+        finally:
+            scheduler.shutdown()
+
+
+class TestConcurrentSnapshots:
+    """No torn snapshots, monotone counters, exact final totals —
+    exercised under both a thread storm and a thread+process executor
+    storm driving real jobs."""
+
+    def test_thread_storm_counters_monotone_and_exact(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("storm_total")
+        hist = registry.histogram("storm_seconds", reservoir=64)
+        stop = threading.Event()
+        seen = []
+        errors = []
+
+        def reader():
+            last = -1.0
+            while not stop.is_set():
+                snap = registry.snapshot()
+                value = snap["counters"]["storm_total"]
+                stats = snap["histograms"]["storm_seconds"]
+                if value < last:
+                    errors.append(f"counter went backwards {last}->{value}")
+                last = value
+                # torn histogram check: count and sum must agree
+                if stats["count"] and abs(
+                    stats["sum"] - stats["count"] * 0.5
+                ) > 1e-6:
+                    errors.append(f"torn histogram {stats}")
+                seen.append(value)
+
+        def writer():
+            for _ in range(2000):
+                counter.inc()
+                hist.observe(0.5)
+
+        readers = [threading.Thread(target=reader) for _ in range(2)]
+        writers = [threading.Thread(target=writer) for _ in range(4)]
+        for t in readers + writers:
+            t.start()
+        for t in writers:
+            t.join()
+        stop.set()
+        for t in readers:
+            t.join()
+        assert not errors, errors[:3]
+        assert counter.value == 8000
+        assert hist.snapshot()["count"] == 8000
+        assert seen, "readers never snapshotted"
+
+    @pytest.mark.parametrize("executor", ["thread", "process"])
+    def test_snapshots_stable_under_executor_storm(self, executor):
+        """Concurrent DEFAULT_REGISTRY snapshots while real jobs run."""
+        from repro.circuits import library
+        from repro.runtime import execute
+
+        circuit = library.ghz_state(3)
+        circuit.measure_all()
+
+        before = DEFAULT_REGISTRY.snapshot()["counters"]
+        stop = threading.Event()
+        errors = []
+
+        def scrape():
+            last = {}
+            while not stop.is_set():
+                snap = DEFAULT_REGISTRY.snapshot()
+                for name, value in snap["counters"].items():
+                    if value < last.get(name, float("-inf")):
+                        errors.append(f"{name} went backwards")
+                    last[name] = value
+                DEFAULT_REGISTRY.render_prometheus()  # must never raise
+
+        scraper = threading.Thread(target=scrape)
+        scraper.start()
+        try:
+            with concurrent.futures.ThreadPoolExecutor(4) as pool:
+                futures = [
+                    pool.submit(
+                        lambda s: execute(
+                            circuit, "statevector", shots=64, seed=s,
+                            executor=executor,
+                        ).result(timeout=60),
+                        s,
+                    )
+                    for s in range(8)
+                ]
+                for future in futures:
+                    future.result(timeout=120)
+        finally:
+            stop.set()
+            scraper.join()
+        assert not errors, errors[:3]
+        after = DEFAULT_REGISTRY.snapshot()["counters"]
+        for name, value in before.items():
+            if name in after:
+                assert after[name] >= value, name
