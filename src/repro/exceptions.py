@@ -99,8 +99,78 @@ class QueueTimeout(JobError):
         self.queued_batches = queued_batches
 
 
+class FaultInjected(ReproError):
+    """Raised by a :class:`repro.faults.FaultPlan` site firing.
+
+    Deliberately *not* a :class:`JobError`: resilience code treats it like
+    any other unexpected execution failure, while tests can still assert
+    the precise provenance of an injected fault.
+
+    Attributes
+    ----------
+    site:
+        The fault site that fired (e.g. ``"chunk.simulate"``).
+    """
+
+    def __init__(self, message: str, site: str = "") -> None:
+        super().__init__(message)
+        self.site = site
+
+
+class CircuitOpen(JobError):
+    """Raised when the scheduler's circuit breaker rejects a submission.
+
+    The backend spec has crossed its failure-rate threshold and the
+    breaker is open (or half-open with its probe slots taken): the
+    submission never enters the queue, so a sick engine cannot consume
+    fair-share capacity.  Retry after ``retry_after`` seconds.
+
+    Attributes
+    ----------
+    backend:
+        The backend spec the breaker guards.
+    retry_after:
+        Seconds until the breaker next admits a probe.
+    """
+
+    def __init__(self, message: str, backend: str = "",
+                 retry_after: float = 0.0) -> None:
+        super().__init__(message)
+        self.backend = backend
+        self.retry_after = retry_after
+
+
 class ServiceError(ReproError):
     """Base class for errors raised by the :mod:`repro.service` layer."""
+
+
+class ServiceOverloaded(ServiceError):
+    """Raised when the service sheds load instead of queueing a submission.
+
+    Either the scheduler queue depth crossed the configured watermark or
+    the service is draining for shutdown.  Transports map this to 503
+    with a ``Retry-After`` header; it is *not* a client-quota rejection.
+
+    Attributes
+    ----------
+    retry_after:
+        Suggested seconds to wait before resubmitting.
+    queue_depth:
+        Batches queued across all clients at raise time.
+    limit:
+        The queue-depth watermark (0 when shedding for another reason).
+    reason:
+        ``"queue_depth"`` or ``"draining"``.
+    """
+
+    def __init__(self, message: str, retry_after: float = 1.0,
+                 queue_depth: int = 0, limit: int = 0,
+                 reason: str = "queue_depth") -> None:
+        super().__init__(message)
+        self.retry_after = retry_after
+        self.queue_depth = queue_depth
+        self.limit = limit
+        self.reason = reason
 
 
 class RegistrationConflict(ServiceError):

@@ -44,6 +44,7 @@ scheduled execution all produce the same counts for the same seed.
 """
 
 from repro.runtime.batching import BatchPlan, plan_batches
+from repro.runtime.breaker import CircuitBreaker
 from repro.runtime.cache import (
     DEFAULT_CACHE,
     TranspileCache,
@@ -73,6 +74,12 @@ from repro.runtime.profile import (
     CostModel,
     cost_model_stats,
     profile_key,
+)
+from repro.runtime.retry import (
+    RetryPolicy,
+    backoff_rng,
+    next_backoff,
+    resolve_retry_policy,
 )
 from repro.runtime.provider import (
     get_backend,
@@ -108,6 +115,7 @@ _register_runtime_sources()
 __all__ = [
     "BatchPlan",
     "CacheStore",
+    "CircuitBreaker",
     "CostModel",
     "DEADLINE_ACTIONS",
     "DEFAULT_CACHE",
@@ -118,11 +126,13 @@ __all__ = [
     "Job",
     "JobSet",
     "JobStatus",
+    "RetryPolicy",
     "SCHEDULE_MODES",
     "ScheduledBatch",
     "Scheduler",
     "SerialExecutor",
     "TranspileCache",
+    "backoff_rng",
     "clear_distribution_cache",
     "clear_transpile_cache",
     "cost_model_stats",
@@ -138,6 +148,7 @@ __all__ = [
     "get_executor",
     "is_per_shot_backend",
     "list_backends",
+    "next_backoff",
     "plan_batches",
     "plan_chunk_shots",
     "plan_width",
@@ -146,6 +157,7 @@ __all__ = [
     "register_backend",
     "register_device",
     "resolve_backend",
+    "resolve_retry_policy",
     "set_default_cache_dir",
     "shutdown_executors",
     "transpile_cache_stats",

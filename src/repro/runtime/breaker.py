@@ -1,0 +1,199 @@
+"""Per-backend circuit breakers for the scheduler's admission path.
+
+A backend that starts failing every batch — a sick device model, a bug in
+an engine, a dependency gone missing in workers — would otherwise keep
+consuming fair-share dispatch slots: each doomed batch occupies in-flight
+capacity until its chunks exhaust their retries.  A
+:class:`CircuitBreaker` watches per-backend-spec outcomes and, past a
+failure-rate threshold, rejects new submissions for that spec up front
+with a typed :class:`~repro.exceptions.CircuitOpen` carrying
+``retry_after`` — the classic closed → open → half-open state machine:
+
+``closed``
+    Normal operation.  Outcomes stream into a sliding window; when the
+    window holds at least ``min_samples`` outcomes and the failure rate
+    reaches ``failure_threshold``, the breaker opens.
+``open``
+    Every submission is rejected with ``retry_after`` = time left until
+    the cooldown expires.
+``half_open``
+    After ``cooldown_s``, up to ``probe_limit`` in-flight submissions are
+    admitted as probes.  A probe failure reopens the breaker (fresh
+    cooldown); ``probe_successes`` successful probes close it and clear
+    the window.
+
+Thread-safe; the scheduler holds one breaker per backend spec and calls
+``allow()`` at submit time, ``record_success()``/``record_failure()`` at
+settlement.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from typing import Optional, Tuple
+
+__all__ = ["CircuitBreaker"]
+
+
+class CircuitBreaker:
+    """One backend spec's failure-rate gate.
+
+    Parameters
+    ----------
+    failure_threshold:
+        Failure rate in ``(0, 1]`` that opens the breaker.
+    min_samples:
+        Outcomes the window must hold before the rate is trusted (a
+        single failure must not open a cold breaker).
+    window:
+        Sliding-window length in outcomes.
+    cooldown_s:
+        Seconds an open breaker waits before probing.
+    probe_limit:
+        In-flight probes allowed while half-open.
+    probe_successes:
+        Consecutive probe successes required to close.
+    clock:
+        Injectable monotonic clock (tests).
+    """
+
+    def __init__(
+        self,
+        failure_threshold: float = 0.5,
+        min_samples: int = 8,
+        window: int = 32,
+        cooldown_s: float = 5.0,
+        probe_limit: int = 1,
+        probe_successes: int = 2,
+        clock=time.monotonic,
+    ) -> None:
+        if not 0.0 < failure_threshold <= 1.0:
+            raise ValueError(
+                f"failure_threshold must be in (0, 1], got {failure_threshold!r}"
+            )
+        if min_samples < 1 or window < min_samples:
+            raise ValueError(
+                f"need 1 <= min_samples <= window, got {min_samples}/{window}"
+            )
+        if cooldown_s < 0:
+            raise ValueError(f"cooldown_s must be >= 0, got {cooldown_s!r}")
+        if probe_limit < 1 or probe_successes < 1:
+            raise ValueError("probe_limit and probe_successes must be >= 1")
+        self.failure_threshold = float(failure_threshold)
+        self.min_samples = int(min_samples)
+        self.window = int(window)
+        self.cooldown_s = float(cooldown_s)
+        self.probe_limit = int(probe_limit)
+        self.probe_successes = int(probe_successes)
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._state = "closed"
+        self._outcomes: deque = deque(maxlen=self.window)  # True = failure
+        self._opened_at: Optional[float] = None
+        self._probes_in_flight = 0
+        self._probe_wins = 0
+        self._transitions = 0
+        self._rejections = 0
+
+    # -- state machine (call with lock held) -----------------------------
+
+    def _transition(self, state: str) -> None:
+        if state != self._state:
+            self._state = state
+            self._transitions += 1
+
+    def _failure_rate(self) -> float:
+        if not self._outcomes:
+            return 0.0
+        return sum(self._outcomes) / len(self._outcomes)
+
+    def _maybe_half_open(self, now: float) -> None:
+        if (
+            self._state == "open"
+            and self._opened_at is not None
+            and now - self._opened_at >= self.cooldown_s
+        ):
+            self._transition("half_open")
+            self._probes_in_flight = 0
+            self._probe_wins = 0
+
+    # -- public API ------------------------------------------------------
+
+    def allow(self) -> Tuple[bool, float]:
+        """Gate one submission: ``(admitted, retry_after_seconds)``.
+
+        An admitted half-open submission is a *probe*: the breaker
+        reserves one probe slot until the matching
+        ``record_success``/``record_failure`` arrives.
+        """
+        now = self._clock()
+        with self._lock:
+            self._maybe_half_open(now)
+            if self._state == "closed":
+                return True, 0.0
+            if self._state == "half_open":
+                if self._probes_in_flight < self.probe_limit:
+                    self._probes_in_flight += 1
+                    return True, 0.0
+                self._rejections += 1
+                return False, self.cooldown_s
+            remaining = self.cooldown_s
+            if self._opened_at is not None:
+                remaining = max(0.0, self.cooldown_s - (now - self._opened_at))
+            self._rejections += 1
+            return False, max(remaining, 1e-3)
+
+    def record_success(self) -> None:
+        with self._lock:
+            self._outcomes.append(False)
+            if self._state == "half_open":
+                self._probes_in_flight = max(0, self._probes_in_flight - 1)
+                self._probe_wins += 1
+                if self._probe_wins >= self.probe_successes:
+                    self._transition("closed")
+                    self._outcomes.clear()
+                    self._opened_at = None
+
+    def record_failure(self) -> None:
+        now = self._clock()
+        with self._lock:
+            self._outcomes.append(True)
+            if self._state == "half_open":
+                # A failed probe: straight back to open, fresh cooldown.
+                self._probes_in_flight = max(0, self._probes_in_flight - 1)
+                self._transition("open")
+                self._opened_at = now
+                return
+            if (
+                self._state == "closed"
+                and len(self._outcomes) >= self.min_samples
+                and self._failure_rate() >= self.failure_threshold
+            ):
+                self._transition("open")
+                self._opened_at = now
+
+    @property
+    def state(self) -> str:
+        now = self._clock()
+        with self._lock:
+            self._maybe_half_open(now)
+            return self._state
+
+    def snapshot(self) -> dict:
+        """JSON-safe view for ``stats()`` / ``/v1/health``."""
+        now = self._clock()
+        with self._lock:
+            self._maybe_half_open(now)
+            return {
+                "state": self._state,
+                "failure_rate": round(self._failure_rate(), 4),
+                "window_count": len(self._outcomes),
+                "transitions": self._transitions,
+                "rejections": self._rejections,
+                "probes_in_flight": self._probes_in_flight,
+            }
+
+    def __repr__(self) -> str:
+        return f"<CircuitBreaker {self.state} rate={self._failure_rate():.2f}>"

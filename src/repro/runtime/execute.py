@@ -70,6 +70,7 @@ from repro.runtime.profile import (
     profile_key,
 )
 from repro.runtime.provider import resolve_backend
+from repro.runtime.retry import resolve_retry_policy
 from repro.runtime.scheduler import (
     executor_kind_for,
     plan_chunk_shots,
@@ -122,6 +123,8 @@ def execute(
     distribution_cache: DistCacheInput = False,
     schedule: Optional[str] = None,
     trace_parent: Optional[Span] = None,
+    retry=None,
+    fault_plan=None,
 ) -> Union[Job, JobSet]:
     """Submit one circuit or a batch for (parallel) execution.
 
@@ -190,6 +193,19 @@ def execute(
         With ``None``, each job gets its own root span as long as
         process-wide tracing is enabled; job traces are read back via
         ``job.trace()`` / ``jobset.trace()``.
+    retry:
+        Chunk retry policy: ``None`` uses the defaults
+        (``$REPRO_MAX_RETRIES``, falling back to 2 retries per chunk),
+        ``False``/``0`` disables retries, an int sets ``max_retries``, a
+        dict or :class:`~repro.runtime.retry.RetryPolicy` sets every knob
+        (``max_retries``, job-wide ``retry_budget``, ``backoff_s``,
+        ``max_backoff_s``).  Retried chunks resubmit with their original
+        ``(seed, chunk index)``, so retries never change counts.
+    fault_plan:
+        A :class:`repro.faults.FaultPlan` (or spec dict/JSON) consulted
+        per chunk attempt for chaos testing; ``None`` uses the ambient
+        plan (``$REPRO_FAULT_PLAN`` / :func:`repro.faults.activate`), and
+        with no ambient plan injection is completely off.
 
     Returns
     -------
@@ -238,6 +254,15 @@ def execute(
         raise JobError(f"chunk_shots must be positive, got {chunk_shots}")
     if max_workers is not None and max_workers < 1:
         raise JobError(f"max_workers must be positive, got {max_workers}")
+    retry_policy = resolve_retry_policy(retry)
+    if fault_plan is not None:
+        from repro.faults import FaultPlan
+
+        fault_plan = FaultPlan.from_spec(fault_plan)
+    else:
+        from repro.faults import active_plan
+
+        fault_plan = active_plan()
     # Backend-aware executor selection: an explicit executor=, a
     # $REPRO_EXECUTOR override, or schedule="fixed" pin one shared pool for
     # the whole batch; otherwise the adaptive schedule routes each job to
@@ -321,6 +346,8 @@ def execute(
                 priority=priority_list[index],
             )
             job._dist_store = store
+            job._retry_policy = retry_policy
+            job._fault_plan = fault_plan
             if primary:
                 job._cost_probe = (
                     DEFAULT_COST_MODEL,

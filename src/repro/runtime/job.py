@@ -35,13 +35,20 @@ import copy
 import enum
 import functools
 import itertools
+import os
 import threading
 import time
-from concurrent.futures import CancelledError, Future
+from concurrent.futures import (
+    BrokenExecutor,
+    CancelledError,
+    Future,
+    InvalidStateError,
+)
 from concurrent.futures import TimeoutError as FutureTimeoutError
 from typing import TYPE_CHECKING, Iterator, List, Optional, Sequence, Tuple
 
-from repro.exceptions import JobError
+from repro.exceptions import FaultInjected, JobError
+from repro.obs.metrics import DEFAULT_REGISTRY
 from repro.obs.trace import Span, worker_chunk_record
 from repro.results.counts import Counts
 from repro.results.result import Result
@@ -54,6 +61,7 @@ from repro.runtime.batching import (
     resample_result,
     split_shots,
 )
+from repro.runtime.retry import RetryPolicy, backoff_rng, next_backoff
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.circuits.circuit import QuantumCircuit
@@ -72,6 +80,20 @@ class JobStatus(enum.Enum):
 
 _job_counter = itertools.count(1)
 
+_M_CHUNK_RETRIES = DEFAULT_REGISTRY.counter(
+    "repro_chunk_retries_total",
+    help="Chunk attempts retried after an execution failure.",
+)
+_M_POOL_RESUBMITS = DEFAULT_REGISTRY.counter(
+    "repro_chunk_pool_resubmits_total",
+    help="Chunk attempts resubmitted after an executor pool loss.",
+)
+
+#: Cap on per-chunk resubmissions after pool losses.  Pool losses do not
+#: consume the chunk's retry policy (the chunk did nothing wrong), but an
+#: environment that keeps killing workers must still converge to an error.
+_MAX_POOL_RESUBMITS = 3
+
 
 def _execute_chunk(
     backend: "Backend",
@@ -79,6 +101,7 @@ def _execute_chunk(
     shots: int,
     seed: Optional[int],
     trace_ctx: Optional[dict] = None,
+    fault: Optional[str] = None,
 ) -> Tuple[Result, float, Optional[dict]]:
     """Run one shot chunk; return ``(result, elapsed_seconds, trace_record)``.
 
@@ -88,7 +111,21 @@ def _execute_chunk(
     trace span (or ``None`` when the job is untraced); the returned trace
     record carries the worker-measured wall-clock back across the executor
     boundary for :meth:`repro.obs.trace.Span.merge_worker`.
+
+    ``fault`` is a pre-computed fault-injection verdict (see
+    :mod:`repro.faults`) shipped in from the parent — the plan itself
+    never crosses the executor boundary.  ``"fail"`` raises
+    :class:`~repro.exceptions.FaultInjected`; ``"crash"`` hard-exits the
+    worker process (only ever sent to process-pool workers), which is how
+    chaos tests break a real shared pool.
     """
+    if fault == "crash":
+        os._exit(17)
+    if fault == "fail":
+        raise FaultInjected(
+            f"injected fault at chunk.simulate (shots={shots}, seed={seed})",
+            site="chunk.simulate",
+        )
     start = time.perf_counter()
     result = backend.run(circuit, shots=shots, seed=seed)
     elapsed = time.perf_counter() - start
@@ -100,6 +137,245 @@ def _execute_chunk(
         batch_width=getattr(backend, "max_batch", None),
     )
     return result, elapsed, record
+
+
+class _ChunkFuture(Future):
+    """A stable per-chunk future that survives retries and pool rebuilds.
+
+    The job's collection machinery (``result()``, ``status()``, the done
+    barrier, trace/cost callbacks) holds *these*, while the underlying
+    executor futures come and go as :class:`_ChunkRun` retries attempts.
+    The proxy settles exactly once, with the same ``(result, elapsed,
+    record)`` tuple a direct executor future would carry.
+    """
+
+    def __init__(self, run: "_ChunkRun") -> None:
+        super().__init__()
+        self._run = run
+        self._terminal = False
+
+    def cancel(self) -> bool:
+        # Route cancellation through the run, which knows whether the
+        # chunk is waiting on a backoff timer (cancellable), in flight
+        # (cancellable only if the executor agrees) or already settled.
+        if self._terminal or self.done():
+            return super().cancel()
+        return self._run.request_cancel()
+
+    def _force_cancel(self) -> bool:
+        """Settle the proxy as cancelled (run-internal)."""
+        self._terminal = True
+        return super().cancel() or self.cancelled()
+
+    def running(self) -> bool:
+        # The proxy never enters the real RUNNING state (that would make
+        # it uncancellable); report the current attempt's view instead.
+        if self.done():
+            return False
+        with self._run._lock:
+            attempt = self._run._attempt_future
+        return attempt is not None and (attempt.running() or attempt.done())
+
+
+class _ChunkRun:
+    """One chunk's execution manager: attempts, retries, pool recovery.
+
+    Owns the chunk's stable :class:`_ChunkFuture` proxy and drives real
+    executor submissions behind it.  Failure handling, in order:
+
+    * :class:`~concurrent.futures.BrokenExecutor` — the pool died under
+      the chunk (e.g. an injected ``pool.worker_crash``).  Quarantine and
+      rebuild the shared pool via
+      :func:`repro.runtime.pool.rebuild_executor` and resubmit on the
+      replacement.  Pool losses do not consume the retry policy (the
+      chunk did nothing wrong) but are capped at
+      :data:`_MAX_POOL_RESUBMITS`.
+    * Any other exception — retry per the job's
+      :class:`~repro.runtime.retry.RetryPolicy` after a
+      decorrelated-jitter backoff, resubmitting with the chunk's original
+      ``(shots, seed)`` so a retried chunk's counts are bit-identical to
+      a fault-free run.
+    * Out of retries/budget — settle the proxy with the exception.
+
+    Fault-injection verdicts are computed here, in the parent, keyed by
+    ``(job seed, chunk index, attempt)`` — bit-reproducible, and the
+    plan object itself never has to cross a pickle boundary.
+    """
+
+    def __init__(self, job: "Job", index: int, shots: int,
+                 seed: Optional[int], backend, circuit, ctx, span,
+                 executor, kind: Optional[str]) -> None:
+        self.job = job
+        self.index = index
+        self.shots = shots
+        self.seed = seed
+        self.backend = backend
+        self.circuit = circuit
+        self.ctx = ctx
+        self.span = span
+        self.executor = executor
+        self.kind = kind
+        self.proxy = _ChunkFuture(self)
+        self.attempt = 0  # total executions started (feeds fault keys)
+        self.retries = 0  # policy-consuming retries
+        self.pool_resubmits = 0
+        self.prev_backoff = 0.0
+        self._lock = threading.Lock()
+        self._attempt_future: Optional[Future] = None
+        self._timer: Optional[threading.Timer] = None
+        self._started = False
+
+    # -- attempt lifecycle ----------------------------------------------
+
+    def launch(self) -> None:
+        """Start the first attempt (called once, after the job's barrier
+        is armed, so every settle path is observed)."""
+        self._start_attempt()
+
+    def _fault_for_attempt(self) -> Optional[str]:
+        plan = self.job._fault_plan
+        if plan is None:
+            return None
+        key = (self.job.seed, self.index, self.attempt)
+        # Worker crashes only make sense where the worker is a separate
+        # process; under thread/serial executors the "worker" is us.
+        if self.kind == "process" and plan.should_fire(
+            "pool.worker_crash", key=key
+        ):
+            return "crash"
+        if plan.should_fire("chunk.simulate", key=key):
+            return "fail"
+        return None
+
+    def _start_attempt(self) -> None:
+        with self._lock:
+            self._timer = None
+            if self.proxy.done():
+                return
+            self._started = True
+        fault = self._fault_for_attempt()
+        try:
+            future = self.executor.submit(
+                _execute_chunk, self.backend, self.circuit, self.shots,
+                self.seed, self.ctx, fault,
+            )
+        except BaseException as exc:
+            # Submit-time failures (broken/shut-down pool) flow through
+            # the same failure path as run-time ones, so the proxy always
+            # settles and the job's done barrier always fires.
+            self._handle_failure(exc)
+            return
+        with self._lock:
+            self._attempt_future = future
+        future.add_done_callback(self._settled)
+
+    def _settled(self, future: Future) -> None:
+        if future.cancelled():
+            self.proxy._force_cancel()
+            return
+        exc = future.exception()
+        if exc is None:
+            try:
+                self.proxy.set_result(future.result())
+            except InvalidStateError:  # pragma: no cover - settle race
+                pass
+            return
+        self._handle_failure(exc)
+
+    # -- failure handling -----------------------------------------------
+
+    def _handle_failure(self, exc: BaseException) -> None:
+        if self.proxy.done():
+            return
+        if isinstance(exc, BrokenExecutor):
+            if self._resubmit_after_pool_loss(exc):
+                return
+        elif self._retry_after_failure(exc):
+            return
+        self._terminal_failure(exc)
+
+    def _resubmit_after_pool_loss(self, exc: BaseException) -> bool:
+        from repro.runtime.pool import rebuild_executor
+
+        if self.pool_resubmits >= _MAX_POOL_RESUBMITS:
+            return False
+        replacement = rebuild_executor(self.executor)
+        if replacement is None:
+            # A foreign executor we cannot rebuild: not recoverable here.
+            return False
+        self.pool_resubmits += 1
+        self.attempt += 1
+        self.executor = replacement
+        self.job._note_pool_rebuild()
+        _M_POOL_RESUBMITS.inc()
+        if self.span is not None:
+            self.span.event(
+                "pool_rebuild",
+                error=type(exc).__name__,
+                resubmit=self.pool_resubmits,
+            )
+        # No backoff: the replacement pool is healthy by construction.
+        self._start_attempt()
+        return True
+
+    def _retry_after_failure(self, exc: BaseException) -> bool:
+        policy = self.job._retry_policy
+        if policy is None or self.retries >= policy.max_retries:
+            return False
+        if not self.job._consume_retry_budget():
+            return False
+        self.retries += 1
+        self.attempt += 1
+        rng = backoff_rng(self.job.seed, self.index, self.attempt)
+        delay = next_backoff(policy, self.prev_backoff, rng)
+        self.prev_backoff = delay
+        _M_CHUNK_RETRIES.inc()
+        if self.span is not None:
+            self.span.event(
+                "retry",
+                attempt=self.attempt,
+                error=type(exc).__name__,
+                backoff_s=round(delay, 6),
+            )
+        timer = threading.Timer(delay, self._start_attempt)
+        timer.daemon = True
+        with self._lock:
+            if self.proxy.done():  # cancelled while we were deciding
+                return True
+            self._timer = timer
+        timer.start()
+        return True
+
+    def _terminal_failure(self, exc: BaseException) -> None:
+        self.proxy._terminal = True
+        try:
+            self.proxy.set_exception(exc)
+        except InvalidStateError:  # pragma: no cover - settle race
+            pass
+
+    # -- cancellation ----------------------------------------------------
+
+    def request_cancel(self) -> bool:
+        with self._lock:
+            if self.proxy.done():
+                return self.proxy.cancelled()
+            timer, self._timer = self._timer, None
+            attempt = self._attempt_future
+            launched = self._started
+        if timer is not None:
+            # Waiting out a retry backoff: nothing is in flight.
+            timer.cancel()
+            self.proxy._force_cancel()
+            return True
+        if not launched:
+            self.proxy._force_cancel()
+            return True
+        if attempt is not None:
+            # The executor future's done-callback settles the proxy as
+            # cancelled when this succeeds; a running attempt refuses and
+            # the chunk runs to completion (unchanged semantics).
+            return attempt.cancel()
+        return False
 
 
 class Job:
@@ -157,6 +433,18 @@ class Job:
         #: Chunk submissions hang child spans off it and ship its context
         #: into the chunk task (see repro.obs.trace).
         self._span: Optional[Span] = None
+        #: Set by execute(): the chunk retry policy (None = fail fast).
+        self._retry_policy: Optional[RetryPolicy] = None
+        #: Set by execute(): the fault plan consulted per chunk attempt.
+        self._fault_plan = None
+        self._retry_budget_used = 0
+        #: Telemetry: policy-consuming chunk retries this job performed.
+        self.retries = 0
+        #: Telemetry: chunk resubmissions after executor pool losses (the
+        #: registry-level rebuild count lives in ``pool_stats()``; many
+        #: chunks of one job can resubmit onto a single rebuilt pool).
+        self.pool_rebuilds = 0
+        self._chunk_runs: List[_ChunkRun] = []
         self._futures: List[Future] = []
         self._chunk_elapsed: List[float] = []
         self._pool_elapsed_recorded = False
@@ -260,16 +548,20 @@ class Job:
     def _submit(self, executor) -> None:
         """Schedule this job's chunk tasks on ``executor``.
 
-        Tasks are the picklable module-level :func:`_execute_chunk`, so any
-        executor kind — serial, thread or process — can run them.  Process
-        fan-out ships a parent-side-prepared circuit (see
-        :meth:`_prepare_for_fanout`).  On a distribution-cache miss, a
-        done-callback on the first chunk publishes the distribution at
-        *completion* time — a chunked job's merged distribution is exactly
-        its first chunk's — so overlapping ``execute()`` calls see the
-        entry as soon as the simulation finishes, not when somebody first
-        collects the result.  Every chunk future also reports its measured
-        wall-clock into the runtime's cost model when a probe is attached.
+        Each chunk is driven by a :class:`_ChunkRun` behind a stable
+        :class:`_ChunkFuture` proxy, so retries and pool rebuilds are
+        invisible to collection: ``self._futures`` never changes after
+        submit.  Tasks are the picklable module-level
+        :func:`_execute_chunk`, so any executor kind — serial, thread or
+        process — can run them.  Process fan-out ships a
+        parent-side-prepared circuit (see :meth:`_prepare_for_fanout`).
+        On a distribution-cache miss, a done-callback on the first chunk
+        publishes the distribution at *completion* time — a chunked job's
+        merged distribution is exactly its first chunk's — so overlapping
+        ``execute()`` calls see the entry as soon as the simulation
+        finishes, not when somebody first collects the result.  Every
+        chunk future also reports its measured wall-clock into the
+        runtime's cost model when a probe is attached.
         """
         from repro.runtime.pool import executor_kind
 
@@ -277,6 +569,7 @@ class Job:
         backend, circuit = self.backend, self.circuit
         if kind == "process":
             backend, circuit = self._prepare_for_fanout()
+        runs: List[_ChunkRun] = []
         for index, (shots, seed) in enumerate(self.chunk_plan()):
             span = ctx = None
             if self._span is not None:
@@ -284,19 +577,31 @@ class Job:
                     "chunk", chunk=index, shots=shots, executor=kind
                 )
                 ctx = span.context()
-            future = executor.submit(
-                _execute_chunk, backend, circuit, shots, seed, ctx
+            run = _ChunkRun(
+                self, index, shots, seed, backend, circuit, ctx, span,
+                executor, kind,
             )
-            self._futures.append(future)
+            runs.append(run)
+            self._futures.append(run.proxy)
             if span is not None:
-                future.add_done_callback(functools.partial(self._trace_chunk, span))
+                run.proxy.add_done_callback(
+                    functools.partial(self._trace_chunk, span)
+                )
             if self._cost_probe is not None:
-                future.add_done_callback(
+                run.proxy.add_done_callback(
                     functools.partial(self._observe_chunk, shots)
                 )
+        self._chunk_runs = runs
         if self._dist_store is not None and self._futures:
             self._futures[0].add_done_callback(self._distribution_completed)
+        # Arm the completion barrier *before* the first launch: whatever
+        # a launch does — run inline (serial), fail at submit time, get
+        # cancelled — every proxy settles through a path the barrier
+        # observes, so done callbacks (and as_completed streaming) can
+        # never be lost to a chunk that died before arming.
         self._arm_done_barrier()
+        for run in runs:
+            run.launch()
 
     def _trace_chunk(self, span: Span, future: Future) -> None:
         """Done-callback: close the chunk span and fold in the worker view.
@@ -394,13 +699,40 @@ class Job:
 
     def _chunk_settled(self, _future: Future) -> None:
         with self._lock:
+            if self._done_barrier is None or self._done_notified:
+                # A settle racing barrier arming (or a defensive re-fire)
+                # must never crash the settling thread.
+                return
             self._done_barrier -= 1
-            if self._done_barrier > 0 or self._done_notified:
+            if self._done_barrier > 0:
                 return
             self._done_notified = True
             callbacks, self._done_callbacks = self._done_callbacks, []
         for fn in callbacks:
             fn(self)
+
+    # ------------------------------------------------------------------
+    # Retry accounting (chunk-run internal)
+    # ------------------------------------------------------------------
+
+    def _consume_retry_budget(self) -> bool:
+        """Reserve one retry against the job-wide budget (thread-safe)."""
+        policy = self._retry_policy
+        if policy is None:
+            return False
+        with self._lock:
+            if (
+                policy.retry_budget is not None
+                and self._retry_budget_used >= policy.retry_budget
+            ):
+                return False
+            self._retry_budget_used += 1
+            self.retries += 1
+            return True
+
+    def _note_pool_rebuild(self) -> None:
+        with self._lock:
+            self.pool_rebuilds += 1
 
     # ------------------------------------------------------------------
     # Introspection

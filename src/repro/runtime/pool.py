@@ -97,7 +97,7 @@ _PoolKey = Tuple[str, Optional[int]]
 
 _lock = threading.Lock()
 _pools: Dict[_PoolKey, Executor] = {}
-_stats = {"created": 0, "reused": 0}
+_stats = {"created": 0, "reused": 0, "rebuilds": 0}
 
 
 def _make_executor(kind: str, width: Optional[int]) -> Executor:
@@ -110,6 +110,7 @@ def _make_executor(kind: str, width: Optional[int]) -> Executor:
     else:
         pool = ProcessPoolExecutor(max_workers=width)
     pool._repro_kind = kind
+    pool._repro_key = (kind, width)
     return pool
 
 
@@ -181,18 +182,53 @@ def get_executor(
         return pool
 
 
-def pool_stats() -> dict:
-    """Return ``{"active", "created", "reused", "pools"}`` for the registry.
+def rebuild_executor(pool: Executor) -> Optional[Executor]:
+    """Quarantine a broken registry pool and return a fresh replacement.
 
-    ``created``/``reused`` are lifetime counters (they survive
-    :func:`shutdown_executors`); ``pools`` lists the live ``(kind, width)``
-    keys.
+    The self-healing path: a chunk that fails with
+    :class:`~concurrent.futures.process.BrokenProcessPool` calls this to
+    swap the shared pool for a new one, then resubmits.  Concurrent
+    callers (every in-flight chunk of the broken pool fails at once)
+    rebuild exactly once — whoever arrives after the swap gets the
+    already-rebuilt pool back.
+
+    Returns ``None`` for executors the registry does not own (explicit
+    ``executor=`` arguments); the caller must treat those failures as
+    non-retryable, because it cannot know how to rebuild them.
+    """
+    key = getattr(pool, "_repro_key", None)
+    kind = getattr(pool, "_repro_kind", None)
+    if key is None or kind is None:
+        return None
+    key = (kind, key[1])
+    with _lock:
+        current = _pools.get(key)
+        if current is not None and current is not pool:
+            # Someone already rebuilt; hand back the healthy replacement.
+            return current
+        if current is pool:
+            del _pools[key]
+        replacement = _make_executor(kind, key[1])
+        _pools[key] = replacement
+        _stats["created"] += 1
+        _stats["rebuilds"] += 1
+    pool.shutdown(wait=False)
+    return replacement
+
+
+def pool_stats() -> dict:
+    """Return ``{"active", "created", "reused", "rebuilds", "pools"}``.
+
+    ``created``/``reused``/``rebuilds`` are lifetime counters (they
+    survive :func:`shutdown_executors`); ``pools`` lists the live
+    ``(kind, width)`` keys.
     """
     with _lock:
         return {
             "active": len(_pools),
             "created": _stats["created"],
             "reused": _stats["reused"],
+            "rebuilds": _stats["rebuilds"],
             "pools": sorted(_pools),
         }
 

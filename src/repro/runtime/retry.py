@@ -1,0 +1,136 @@
+"""Chunk retry policy: bounded attempts with decorrelated-jitter backoff.
+
+A chunk that raises no longer fails its job outright — the job retries it
+up to :attr:`RetryPolicy.max_retries` times (optionally capped across the
+whole job by :attr:`RetryPolicy.retry_budget`), re-submitting with the
+chunk's *original* ``(seed, chunk index)`` so a retried chunk's counts
+are bit-identical to a fault-free run by construction: determinism lives
+in the arguments, not the attempt number.
+
+Backoff is "decorrelated jitter" (Brooker): each sleep is drawn uniformly
+from ``[base, prev * 3]``, clamped to ``max_backoff_s`` — spreading
+retries without the synchronized thundering herd of plain exponential
+backoff.  The jitter RNG is itself seeded from ``(job seed, chunk index,
+attempt)``, so even the *timing* of a chaos run is reproducible.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+from dataclasses import dataclass
+from typing import Optional
+
+__all__ = [
+    "RetryPolicy",
+    "DEFAULT_MAX_RETRIES",
+    "RETRY_ENV_VAR",
+    "resolve_retry_policy",
+    "next_backoff",
+]
+
+RETRY_ENV_VAR = "REPRO_MAX_RETRIES"
+
+#: Retries per chunk when nothing overrides — small enough that a
+#: deterministic failure still fails fast, big enough to ride out a
+#: transient fault or a worker crash.
+DEFAULT_MAX_RETRIES = 2
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Per-job chunk retry knobs.
+
+    Attributes
+    ----------
+    max_retries:
+        Retries allowed per chunk (0 = fail on first error).
+    retry_budget:
+        Total retries allowed across all chunks of one job
+        (``None`` = unlimited; per-chunk cap still applies).
+    backoff_s:
+        Base sleep before the first retry.
+    max_backoff_s:
+        Clamp on any single backoff sleep.
+    """
+
+    max_retries: int = DEFAULT_MAX_RETRIES
+    retry_budget: Optional[int] = None
+    backoff_s: float = 0.02
+    max_backoff_s: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ValueError(
+                f"max_retries must be >= 0, got {self.max_retries!r}"
+            )
+        if self.retry_budget is not None and self.retry_budget < 0:
+            raise ValueError(
+                f"retry_budget must be >= 0, got {self.retry_budget!r}"
+            )
+        if self.backoff_s < 0 or self.max_backoff_s < self.backoff_s:
+            raise ValueError(
+                "need 0 <= backoff_s <= max_backoff_s, got "
+                f"{self.backoff_s!r}/{self.max_backoff_s!r}"
+            )
+
+
+def next_backoff(policy: RetryPolicy, previous: float,
+                 rng: random.Random) -> float:
+    """Next decorrelated-jitter sleep given the previous one (0 initially)."""
+    base = policy.backoff_s
+    prev = previous if previous > 0 else base
+    return min(policy.max_backoff_s, rng.uniform(base, max(base, prev * 3.0)))
+
+
+def backoff_rng(seed: Optional[int], chunk_index: int,
+                attempt: int) -> random.Random:
+    """Jitter RNG seeded so retry *timing* replays deterministically."""
+    return random.Random((seed or 0, chunk_index, attempt).__repr__())
+
+
+def resolve_retry_policy(retry=None) -> Optional[RetryPolicy]:
+    """Normalise the ``retry=`` argument accepted by ``execute()``.
+
+    ``None``
+        Defaults: ``$REPRO_MAX_RETRIES`` if set, else
+        :data:`DEFAULT_MAX_RETRIES`.  ``REPRO_MAX_RETRIES=0`` disables.
+    ``False`` or ``0``
+        Retries off (chunk errors fail the job immediately, the
+        pre-PR-10 behaviour).
+    ``int``
+        ``RetryPolicy(max_retries=...)``.
+    ``dict``
+        ``RetryPolicy(**retry)``.
+    :class:`RetryPolicy`
+        Used as-is.
+
+    Returns ``None`` when retries are disabled.
+    """
+    if retry is None:
+        env = os.environ.get(RETRY_ENV_VAR)
+        if env is not None:
+            try:
+                count = int(env)
+            except ValueError:
+                raise ValueError(
+                    f"${RETRY_ENV_VAR} must be an integer, got {env!r}"
+                ) from None
+        else:
+            count = DEFAULT_MAX_RETRIES
+        return RetryPolicy(max_retries=count) if count > 0 else None
+    if retry is False:
+        return None
+    if isinstance(retry, RetryPolicy):
+        return retry if retry.max_retries > 0 else None
+    if isinstance(retry, bool):  # True: explicit "defaults please"
+        return RetryPolicy()
+    if isinstance(retry, int):
+        return RetryPolicy(max_retries=retry) if retry > 0 else None
+    if isinstance(retry, dict):
+        policy = RetryPolicy(**retry)
+        return policy if policy.max_retries > 0 else None
+    raise TypeError(
+        "retry must be None, a bool, an int, a dict of RetryPolicy "
+        f"fields, or a RetryPolicy, got {retry!r}"
+    )

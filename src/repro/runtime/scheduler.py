@@ -48,8 +48,9 @@ import threading
 import time
 from typing import Callable, Dict, List, Optional
 
-from repro.exceptions import JobError, QueueTimeout
+from repro.exceptions import CircuitOpen, JobError, QueueTimeout
 from repro.obs.trace import Span, tracing_enabled
+from repro.runtime.breaker import CircuitBreaker
 from repro.runtime.profile import DEFAULT_COST_MODEL, CostModel, profile_key
 from repro.runtime.pool import default_max_workers
 
@@ -284,6 +285,8 @@ class ScheduledBatch:
         self.submitted_at = time.monotonic()
         self.dispatched_at: Optional[float] = None
         self._scheduler = scheduler
+        #: Breaker key this batch's outcome reports to (``None`` = ungated).
+        self._breaker_key: Optional[str] = None
         self._dispatched = threading.Event()
         self._jobset = None
         self._error: Optional[BaseException] = None
@@ -575,6 +578,17 @@ class Scheduler:
         Enable cost-model-driven ``max_workers`` sizing per dispatch.
     cost_model:
         Model the width planner consults (default: the process default).
+    breaker:
+        Per-backend-spec circuit breaking: ``None``/``True`` enables the
+        default :class:`~repro.runtime.breaker.CircuitBreaker` knobs, a
+        dict overrides them (``failure_threshold``, ``min_samples``,
+        ``window``, ``cooldown_s``, ``probe_limit``, ``probe_successes``),
+        ``False`` disables breaking entirely.  A spec whose breaker is
+        open has :meth:`submit` raise a typed
+        :class:`~repro.exceptions.CircuitOpen` (with ``retry_after``)
+        instead of queueing doomed work.  Breakers key on the backend
+        spec string (or the instance's ``name``); per-circuit backend
+        lists are never gated.
     """
 
     def __init__(
@@ -588,6 +602,7 @@ class Scheduler:
         preempt_after: Optional[float] = None,
         width_planning: bool = False,
         cost_model: Optional[CostModel] = None,
+        breaker=None,
     ) -> None:
         if max_in_flight is None:
             max_in_flight = 4 * default_max_workers()
@@ -605,6 +620,18 @@ class Scheduler:
         self.preempt_after = preempt_after
         self.width_planning = bool(width_planning)
         self.cost_model = cost_model
+        if breaker is False:
+            self._breaker_config = None
+        elif breaker is None or breaker is True:
+            self._breaker_config = {}
+        elif isinstance(breaker, dict):
+            self._breaker_config = dict(breaker)
+        else:
+            raise JobError(
+                f"breaker must be None, a bool or a dict of CircuitBreaker "
+                f"knobs, got {breaker!r}"
+            )
+        self._breakers: Dict[str, CircuitBreaker] = {}
         self._poll_interval = float(poll_interval)
         self._lock = threading.Condition()
         self._clients: Dict[str, _ClientState] = {}
@@ -658,6 +685,18 @@ class Scheduler:
                     samples.append(
                         (f"repro_scheduler_client_{field}_total", labels, client[field], "counter")
                     )
+            state_codes = {"closed": 0, "open": 1, "half_open": 2}
+            for key, snap in stats.get("breakers", {}).items():
+                labels = {"backend": key}
+                samples.append(
+                    ("repro_breaker_state", labels, state_codes.get(snap["state"], -1))
+                )
+                samples.append(
+                    ("repro_breaker_rejections_total", labels, snap["rejections"], "counter")
+                )
+                samples.append(
+                    ("repro_breaker_transitions_total", labels, snap["transitions"], "counter")
+                )
             return samples
 
         DEFAULT_REGISTRY.register_collector("scheduler", collect)
@@ -681,6 +720,60 @@ class Scheduler:
                 self._clients[name] = _ClientState(name, int(weight))
             else:
                 state.weight = int(weight)
+
+    # -- circuit breaking ------------------------------------------------
+
+    def _breaker_key_for(self, backend) -> Optional[str]:
+        """Map a submission's backend argument to its breaker key.
+
+        Spec strings key directly; backend instances key on their
+        ``name``.  Per-circuit backend sequences are never gated (their
+        outcome would be ambiguous across specs).
+        """
+        if self._breaker_config is None:
+            return None
+        if isinstance(backend, str):
+            return backend
+        if isinstance(backend, (list, tuple)):
+            return None
+        name = getattr(backend, "name", None)
+        if isinstance(name, str) and name:
+            return name
+        return None
+
+    def _breaker_for(self, key: str) -> CircuitBreaker:
+        """Get-or-create the breaker for ``key`` (caller holds the lock)."""
+        breaker = self._breakers.get(key)
+        if breaker is None:
+            breaker = CircuitBreaker(**self._breaker_config)
+            self._breakers[key] = breaker
+        return breaker
+
+    def _record_breaker_outcome(self, batch: ScheduledBatch,
+                                success: bool) -> None:
+        """Report a settled batch's outcome (caller holds the lock)."""
+        key = batch._breaker_key
+        if key is None:
+            return
+        breaker = self._breakers.get(key)
+        if breaker is None:
+            return
+        before = breaker.state
+        if success:
+            breaker.record_success()
+        else:
+            breaker.record_failure()
+        after = breaker.state
+        if after != before and batch.trace_span is not None:
+            batch.trace_span.event(
+                "breaker_transition", backend=key, state=after
+            )
+
+    def breakers(self) -> Dict[str, dict]:
+        """Snapshot every backend spec's breaker state."""
+        with self._lock:
+            items = list(self._breakers.items())
+        return {key: breaker.snapshot() for key, breaker in items}
 
     def client_weights(self) -> Dict[str, int]:
         """Snapshot ``{client name: current round-robin weight}``.
@@ -771,6 +864,17 @@ class Scheduler:
                     )
                 state = _ClientState(client, 1)
                 self._clients[client] = state
+            breaker_key = self._breaker_key_for(backend)
+            if breaker_key is not None:
+                admitted, retry_after = self._breaker_for(breaker_key).allow()
+                if not admitted:
+                    raise CircuitOpen(
+                        f"circuit breaker open for backend "
+                        f"{breaker_key!r}; retry in {retry_after:.3f}s",
+                        backend=breaker_key,
+                        retry_after=retry_after,
+                    )
+                batch._breaker_key = breaker_key
             self._sequence += 1
             entry = (-batch.priority, self._sequence, spec)
             # Insertion sort keeps the queue ordered without re-sorting on
@@ -881,6 +985,7 @@ class Scheduler:
             self._lock.acquire()
             self._in_flight.remove(batch)
             self._in_flight_jobs -= batch.size
+            self._record_breaker_outcome(batch, success=False)
             state.record_failure(batch, exc)
             return
         if dispatch_span is not None:
@@ -902,6 +1007,12 @@ class Scheduler:
             state = self._clients[batch.client]
             state.stats["completed_batches"] += 1
             state.stats["completed_jobs"] += batch.size
+            if batch._breaker_key is not None:
+                from repro.runtime.job import JobStatus
+
+                statuses = batch._jobset.statuses()
+                success = not any(s is JobStatus.ERROR for s in statuses)
+                self._record_breaker_outcome(batch, success)
         return bool(finished)
 
     def _apply_queue_policies(self) -> bool:
@@ -1019,6 +1130,16 @@ class Scheduler:
         position, _total = self._queue_snapshot(batch)
         return position
 
+    def queue_depth(self) -> int:
+        """Total queued batches across clients.
+
+        A cheap accessor for admission-control callers (the service's
+        load-shedding watermark) that must not pay for the full
+        :meth:`stats` snapshot on every submission.
+        """
+        with self._lock:
+            return self._queued_batches()
+
     def _cancel_queued(self, batch: ScheduledBatch) -> bool:
         """Dequeue and retire ``batch`` if it is still queued."""
         with self._lock:
@@ -1041,7 +1162,8 @@ class Scheduler:
         """Return queue depth, in-flight load, and per-client counters."""
         with self._lock:
             waits = list(self._queue_waits)
-            return {
+            breakers = list(self._breakers.items())
+            snapshot = {
                 "max_in_flight": self.max_in_flight,
                 "in_flight_jobs": self._in_flight_jobs,
                 "in_flight_batches": len(self._in_flight),
@@ -1056,6 +1178,10 @@ class Scheduler:
                     for name, state in self._clients.items()
                 },
             }
+        snapshot["breakers"] = {
+            key: breaker.snapshot() for key, breaker in breakers
+        }
+        return snapshot
 
     def wait_idle(self, timeout: Optional[float] = None) -> bool:
         """Block until nothing is queued or in flight; ``False`` on timeout."""

@@ -31,10 +31,12 @@ counts, Server-Sent completion events) and
 """
 
 from repro.exceptions import (
+    CircuitOpen,
     QueueTimeout,
     RegistrationConflict,
     ScopeDenied,
     ServiceError,
+    ServiceOverloaded,
     UnknownJob,
 )
 from repro.service.accounting import CostLedger
@@ -62,6 +64,7 @@ from repro.service.stats import ClientStats, LatencyWindow, RateMeter
 __all__ = [
     "AuthenticationError",
     "BackgroundServer",
+    "CircuitOpen",
     "ClientIdentity",
     "ClientQuota",
     "ClientStats",
@@ -82,6 +85,7 @@ __all__ = [
     "ServiceClient",
     "ServiceError",
     "ServiceJob",
+    "ServiceOverloaded",
     "ServiceServer",
     "TokenAuthenticator",
     "TokenBucket",

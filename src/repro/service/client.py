@@ -24,17 +24,21 @@ from __future__ import annotations
 
 import http.client
 import json
+import random
+import time
 from typing import Dict, Iterator, List, Optional, Tuple
 from urllib.parse import urlencode, urlsplit
 
 from repro.circuits.circuit import QuantumCircuit
 from repro.circuits.qasm import circuit_to_qasm
 from repro.exceptions import (
+    CircuitOpen,
     JobError,
     QasmError,
     QueueTimeout,
     ScopeDenied,
     ServiceError,
+    ServiceOverloaded,
     UnknownJob,
 )
 from repro.service.auth import AuthenticationError
@@ -61,6 +65,25 @@ def _rebuild_scope(message, info, headers):
                        granted=tuple(info.get("granted", ())))
 
 
+def _rebuild_overloaded(message, info, headers):
+    retry_after = info.get("retry_after")
+    if retry_after is None:
+        retry_after = headers.get("Retry-After", 1)
+    return ServiceOverloaded(message,
+                             retry_after=float(retry_after or 1),
+                             queue_depth=int(info.get("queue_depth", 0)),
+                             limit=int(info.get("limit", 0)),
+                             reason=info.get("reason", "queue_depth"))
+
+
+def _rebuild_circuit_open(message, info, headers):
+    retry_after = info.get("retry_after")
+    if retry_after is None:
+        retry_after = headers.get("Retry-After", 0)
+    return CircuitOpen(message, backend=info.get("backend", ""),
+                       retry_after=float(retry_after or 0))
+
+
 def _rebuild_queue_timeout(message, info, headers):
     return QueueTimeout(message, client=info.get("client", ""),
                         waited=float(info.get("waited", 0.0)),
@@ -73,6 +96,8 @@ def _rebuild_queue_timeout(message, info, headers):
 _REBUILDERS = {
     "RateLimited": _rebuild_rate_limited,
     "QuotaExceeded": _rebuild_quota,
+    "ServiceOverloaded": _rebuild_overloaded,
+    "CircuitOpen": _rebuild_circuit_open,
     "ScopeDenied": _rebuild_scope,
     "QueueTimeout": _rebuild_queue_timeout,
     "AuthenticationError": lambda m, i, h: AuthenticationError(m),
@@ -98,14 +123,32 @@ class ServiceClient:
         *transport*; how long the server holds a ``result``/``counts``
         poll open is the separate per-call ``timeout=`` argument, which
         must be comfortably smaller.
+    retries:
+        Back-off-and-retry budget for *transient* rejections: the rate
+        limiter's 429 (:class:`RateLimited`) and the 503s
+        (:class:`~repro.exceptions.ServiceOverloaded`,
+        :class:`~repro.exceptions.CircuitOpen`).  Each retry honours the
+        server's ``retry_after`` (never sleeping less than it), adds
+        jitter so a rejected storm does not re-arrive in lockstep, and
+        caps the sleep at ``max_backoff_s``.  :class:`QuotaExceeded` is
+        *not* retried — freeing quota is the caller's (or the server's
+        ``over_quota="queue"`` policy's) job.  The default ``0`` keeps
+        the historic raise-immediately behaviour.
+    backoff_s / max_backoff_s:
+        Base and cap for the retry sleep (exponential, jittered).
 
     One client holds one keep-alive connection and is not thread-safe —
     use a client per thread (they are cheap; the storm bench does exactly
     that).  Usable as a context manager.
     """
 
+    #: Typed errors the retry budget applies to: all carry a
+    #: ``retry_after`` hint and describe a *transient* server condition.
+    RETRYABLE = (RateLimited, ServiceOverloaded, CircuitOpen)
+
     def __init__(self, base_url: str, token: Optional[str] = None,
-                 timeout: float = 600.0) -> None:
+                 timeout: float = 600.0, retries: int = 0,
+                 backoff_s: float = 0.05, max_backoff_s: float = 5.0) -> None:
         if "//" not in base_url:
             base_url = "http://" + base_url
         url = urlsplit(base_url)
@@ -117,6 +160,11 @@ class ServiceClient:
         self.port = url.port if url.port is not None else 80
         self.token = token
         self.timeout = float(timeout)
+        if retries < 0:
+            raise ValueError(f"retries must be >= 0, got {retries!r}")
+        self.retries = int(retries)
+        self.backoff_s = float(backoff_s)
+        self.max_backoff_s = float(max_backoff_s)
         self._conn: Optional[http.client.HTTPConnection] = None
 
     # -- plumbing --------------------------------------------------------
@@ -136,13 +184,41 @@ class ServiceClient:
 
     def _request(self, method: str, path: str,
                  payload: Optional[dict] = None,
-                 query: Optional[dict] = None, raw: bool = False):
+                 query: Optional[dict] = None, raw: bool = False,
+                 any_status: bool = False):
+        """One logical exchange, retried per the client's retry policy.
+
+        With ``retries=0`` this is exactly one :meth:`_request_once`.
+        Otherwise :data:`RETRYABLE` rejections are retried up to
+        ``retries`` times, sleeping ``max(retry_after, exponential
+        backoff)`` plus jitter between attempts, capped at
+        ``max_backoff_s``; the final attempt's error propagates.
+        """
+        attempts = self.retries + 1
+        for attempt in range(attempts):
+            try:
+                return self._request_once(method, path, payload, query,
+                                          raw, any_status)
+            except self.RETRYABLE as exc:
+                if attempt == attempts - 1:
+                    raise
+                hint = float(getattr(exc, "retry_after", 0.0) or 0.0)
+                delay = max(hint, self.backoff_s * (2 ** attempt))
+                delay += random.uniform(0.0, delay / 2)
+                time.sleep(min(delay, self.max_backoff_s))
+
+    def _request_once(self, method: str, path: str,
+                      payload: Optional[dict] = None,
+                      query: Optional[dict] = None, raw: bool = False,
+                      any_status: bool = False):
         """One exchange; reconnects once over a stale keep-alive.
 
         Returns the parsed JSON body — or, with ``raw=True``, the decoded
         text body untouched (the metrics endpoint speaks Prometheus text,
         not JSON).  Errors are always JSON and map through the typed
-        table either way.
+        table either way; ``any_status=True`` suppresses the raise and
+        hands back whatever body came with the status (the health probe
+        wants the 503 report, not an exception).
         """
         if query:
             path = f"{path}?{urlencode(query)}"
@@ -170,7 +246,7 @@ class ServiceClient:
             parsed = json.loads(text) if data else {}
         except json.JSONDecodeError:
             parsed = {}
-        if response.status >= 400:
+        if response.status >= 400 and not any_status:
             raise self._error_for(response.status, parsed,
                                   dict(response.getheaders()))
         return text if raw else parsed
@@ -190,6 +266,10 @@ class ServiceClient:
             return ScopeDenied(message)
         if status == 404:
             return UnknownJob(message)
+        if status == 503:
+            return ServiceOverloaded(
+                message, retry_after=float(headers.get("Retry-After", 1) or 1)
+            )
         if status == 504:
             return QueueTimeout(message)
         if status == 400:
@@ -279,6 +359,16 @@ class ServiceClient:
     def metrics(self) -> str:
         """Return the ``/v1/metrics`` Prometheus text page (admin scope)."""
         return self._request("GET", "/v1/metrics", raw=True)
+
+    def health(self) -> dict:
+        """Return the ``/v1/health`` readiness report (no auth needed).
+
+        Always returns the report — for a draining or load-shedding
+        service (the wire 503) the report itself says so
+        (``ready: false`` plus breaker/pool/journal detail) instead of
+        raising, so monitoring loops need no exception handling.
+        """
+        return self._request_once("GET", "/v1/health", any_status=True)
 
     def events(self, job_id: str,
                timeout: Optional[float] = None) -> Iterator[Tuple[str, dict]]:

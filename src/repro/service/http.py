@@ -26,6 +26,8 @@ Endpoints (all JSON unless noted)::
     GET  /v1/stats                 service stats() snapshot (admin scope)
     GET  /v1/metrics               Prometheus text exposition (admin scope)
     GET  /v1/healthz               liveness probe (no auth)
+    GET  /v1/health                readiness + degradation detail (no auth;
+                                   503 + Retry-After while draining/shedding)
 
 ``/result``, ``/counts`` and ``/events`` accept ``?timeout=SECONDS``.
 Circuits travel as OpenQASM 2.0 text (:mod:`repro.circuits.qasm`), so the
@@ -62,16 +64,19 @@ import threading
 from typing import Callable, Dict, Optional, Tuple
 from urllib.parse import parse_qs, urlsplit
 
+from repro import faults
 from repro.circuits.qasm import circuit_from_qasm
 from repro.runtime import get_backend
 from repro.exceptions import (
     CircuitError,
+    CircuitOpen,
     JobError,
     ProviderError,
     QasmError,
     QueueTimeout,
     ScopeDenied,
     ServiceError,
+    ServiceOverloaded,
     UnknownJob,
 )
 from repro.service.auth import AuthenticationError
@@ -85,6 +90,8 @@ from repro.service.service import RuntimeService, ServiceJob
 ERROR_STATUS: Tuple[Tuple[type, int], ...] = (
     (RateLimited, 429),       # + Retry-After header from the token bucket
     (QuotaExceeded, 429),
+    (ServiceOverloaded, 503),  # + Retry-After; load shedding / draining
+    (CircuitOpen, 503),        # + Retry-After from the breaker cooldown
     (AuthenticationError, 401),
     (ScopeDenied, 403),
     (UnknownJob, 404),
@@ -104,6 +111,7 @@ ERROR_STATUS: Tuple[Tuple[type, int], ...] = (
 _ERROR_ATTRS = (
     "retry_after", "client", "scope", "granted", "in_flight", "limit",
     "waited", "queue_position", "queued_batches", "job_id",
+    "queue_depth", "reason", "backend",
 )
 
 #: Submission payload fields; anything else is a 400 so typos fail loudly.
@@ -113,7 +121,8 @@ _REASONS = {
     200: "OK", 201: "Created", 400: "Bad Request", 401: "Unauthorized",
     403: "Forbidden", 404: "Not Found", 405: "Method Not Allowed",
     413: "Payload Too Large", 429: "Too Many Requests",
-    500: "Internal Server Error", 504: "Gateway Timeout",
+    500: "Internal Server Error", 503: "Service Unavailable",
+    504: "Gateway Timeout",
 }
 
 #: Hard cap on request bodies; a QASM batch is kilobytes, so anything
@@ -266,6 +275,16 @@ class ServiceServer:
 
     async def _handle_connection(self, reader: asyncio.StreamReader,
                                  writer: asyncio.StreamWriter) -> None:
+        if faults.should_fail("http.accept"):
+            # Chaos hook: drop the connection on the floor, exactly like
+            # an accept under memory pressure — clients see a reset and
+            # must reconnect/retry.
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+            return
         try:
             while True:
                 try:
@@ -348,7 +367,7 @@ class ServiceServer:
         except Exception as exc:  # the typed table, then a generic 500
             status = status_for(exc)
             headers = {}
-            if isinstance(exc, RateLimited):
+            if isinstance(exc, (RateLimited, ServiceOverloaded, CircuitOpen)):
                 headers["Retry-After"] = _retry_after_header(exc.retry_after)
             await _send_json(writer, status, error_body(exc),
                              extra_headers=headers, keep_alive=keep)
@@ -359,6 +378,9 @@ class ServiceServer:
         if path == "/v1/healthz":
             self._require_method(request, "GET")
             return self._handle_healthz, ()
+        if path == "/v1/health":
+            self._require_method(request, "GET")
+            return self._handle_health, ()
         if path == "/v1/jobs":
             self._require_method(request, "POST")
             return self._handle_submit, ()
@@ -399,6 +421,27 @@ class ServiceServer:
     async def _handle_healthz(self, request: _Request,
                               writer: asyncio.StreamWriter) -> bool:
         await _send_json(writer, 200, {"ok": True},
+                         keep_alive=request.keep_alive())
+        return True
+
+    async def _handle_health(self, request: _Request,
+                             writer: asyncio.StreamWriter) -> bool:
+        """Readiness probe: the service's ``health()`` report, unauthed.
+
+        200 while the service would accept a submission; 503 with a
+        ``Retry-After`` header while draining or shedding load — the
+        shape load balancers and orchestrators expect, with the breaker
+        /pool/journal detail in the body for humans.
+        """
+        report = self.service.health()
+        status = 200 if report["ready"] else 503
+        headers = {}
+        if not report["ready"]:
+            headers["Retry-After"] = _retry_after_header(
+                report.get("retry_after", 1.0)
+            )
+        await _send_json(writer, status, _json_safe(report),
+                         extra_headers=headers,
                          keep_alive=request.keep_alive())
         return True
 

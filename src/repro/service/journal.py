@@ -37,6 +37,7 @@ import threading
 import time
 from typing import Dict, List, Optional
 
+from repro import faults
 from repro.exceptions import ServiceError
 from repro.runtime.store import CacheStore
 
@@ -184,6 +185,10 @@ class JobJournal:
         with self._lock:
             self._records[record["id"]] = record
             self._next = max(self._next, record["id"] + 1)
+        # Chaos hook: an injected journal.write fault models a wedged
+        # disk at the worst moment — after the in-memory mirror updated,
+        # before the durable write.
+        faults.inject("journal.write")
         self._store.store(("job", record["id"]), record)
         return record
 
@@ -238,6 +243,10 @@ class JobJournal:
             if not isinstance(record["backend"], str):
                 record["backend"] = repr(record["backend"])
             self._records[record["id"]] = record
+        # Chaos hook: a settlement-side journal.write fault is absorbed
+        # by the service's settlement-error accounting, never raised at
+        # a tenant.
+        faults.inject("journal.write")
         self._store.store(("job", record["id"]), record)
         return record
 

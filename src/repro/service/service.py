@@ -53,6 +53,7 @@ from repro.exceptions import (
     QueueTimeout,
     ScopeDenied,
     ServiceError,
+    ServiceOverloaded,
     UnknownJob,
 )
 from repro.obs.metrics import DEFAULT_REGISTRY
@@ -104,7 +105,7 @@ _M_REJECTED = {
         {"reason": reason},
         help="Submissions rejected before admission",
     )
-    for reason in ("auth", "quota", "rate")
+    for reason in ("auth", "quota", "rate", "overload")
 }
 _M_SETTLEMENT_ERRORS = {
     stage: DEFAULT_REGISTRY.counter(
@@ -443,6 +444,17 @@ class RuntimeService:
         longer than ``preempt_after`` seconds, and size each dispatch's
         pool width from the cost model (on by default — the service's
         whole point is many concurrent clients sharing one machine).
+    breaker:
+        Per-backend circuit-breaker policy, forwarded to the scheduler:
+        ``None``/``True`` for the default thresholds, ``False`` to
+        disable, or a dict of
+        :class:`~repro.runtime.breaker.CircuitBreaker` kwargs.
+    max_queue_depth:
+        Load-shedding watermark: submissions arriving while the
+        scheduler queue already holds this many batches are rejected
+        with :class:`~repro.exceptions.ServiceOverloaded` (a 503 with
+        ``Retry-After`` on the wire) instead of deepening the queue.
+        ``None`` (default) never sheds.
     max_in_flight / executor / max_workers / schedule:
         Forwarded to the underlying
         :class:`~repro.runtime.scheduler.Scheduler`.
@@ -488,6 +500,8 @@ class RuntimeService:
         schedule: Optional[str] = None,
         preempt_after: Optional[float] = None,
         width_planning: bool = True,
+        breaker=None,
+        max_queue_depth: Optional[int] = None,
         clock=time.monotonic,
         sleep=asyncio.sleep,
         cache_dir: Optional[str] = None,
@@ -541,7 +555,17 @@ class RuntimeService:
             require_registration=True,
             preempt_after=preempt_after,
             width_planning=width_planning,
+            breaker=breaker,
         )
+        if max_queue_depth is not None and int(max_queue_depth) < 1:
+            raise ServiceError(
+                f"max_queue_depth must be a positive integer or None, "
+                f"got {max_queue_depth!r}"
+            )
+        self.max_queue_depth = (
+            int(max_queue_depth) if max_queue_depth is not None else None
+        )
+        self._draining = False
         self._clock = clock
         self._sleep = sleep
         self._lock = threading.Lock()
@@ -702,6 +726,37 @@ class RuntimeService:
             total = int(shots) * size
         return size, total
 
+    def _check_admission_open(self, state: _ServiceClient) -> None:
+        """Shed load before any admission math runs.
+
+        Raises :class:`ServiceOverloaded` (the wire's 503 +
+        ``Retry-After``) while the service is draining or the scheduler
+        queue sits at the ``max_queue_depth`` watermark.  Shedding comes
+        before quota/rate admission on purpose: an overloaded service
+        must not debit a client's token bucket for work it refuses.
+        """
+        if self._draining:
+            state.stats.bump("rejected_overload")
+            _M_REJECTED["overload"].inc()
+            raise ServiceOverloaded(
+                "service is draining and no longer accepts submissions",
+                retry_after=5.0,
+                reason="draining",
+            )
+        if self.max_queue_depth is None:
+            return
+        depth = self.scheduler.queue_depth()
+        if depth >= self.max_queue_depth:
+            state.stats.bump("rejected_overload")
+            _M_REJECTED["overload"].inc()
+            raise ServiceOverloaded(
+                f"scheduler queue holds {depth} batch(es), at the "
+                f"load-shedding watermark of {self.max_queue_depth}",
+                retry_after=1.0,
+                queue_depth=depth,
+                limit=self.max_queue_depth,
+            )
+
     def _try_admit(self, state: _ServiceClient, size: int, total_shots: int):
         """One admission attempt; returns ``(kind, retry_after)``.
 
@@ -746,7 +801,12 @@ class RuntimeService:
         Raises :class:`AuthenticationError`, :class:`QuotaExceeded` or
         :class:`RateLimited` (typed, with retry telemetry) for rejected
         submissions — or, for ``over_quota="queue"`` clients, applies
-        backpressure by awaiting capacity instead.
+        backpressure by awaiting capacity instead.  A draining or
+        queue-saturated service rejects with
+        :class:`~repro.exceptions.ServiceOverloaded`, and a backend
+        whose circuit breaker is open with
+        :class:`~repro.exceptions.CircuitOpen` — both carry
+        ``retry_after`` so clients can back off honestly.
         """
         from repro.circuits.circuit import QuantumCircuit
 
@@ -759,6 +819,7 @@ class RuntimeService:
             _M_REJECTED["auth"].inc()
             raise
         state = self._client_state(identity)
+        self._check_admission_open(state)
         if not isinstance(circuits, QuantumCircuit):
             circuits = list(circuits)  # admission math must not eat iterators
         size, total_shots = self._batch_shape(circuits, shots)
@@ -1408,12 +1469,103 @@ class RuntimeService:
             "clients": per_client,
         }
 
-    async def drain(self, timeout: Optional[float] = None) -> bool:
-        """Wait until nothing is queued or in flight (off-loop wait)."""
+    def health(self) -> dict:
+        """Liveness + readiness snapshot for ``GET /v1/health``.
+
+        Cheap enough for a load balancer to poll: queue depth, breaker
+        and pool state, journal durability — no per-client rollups.
+        ``ready`` is the admission answer (would a submission be
+        accepted right now, load permitting); ``status`` is ``"ok"``,
+        ``"degraded"`` (shedding load or a breaker is open) or
+        ``"draining"``.  A not-ready report carries ``retry_after``
+        seconds, which the wire endpoint turns into a 503 +
+        ``Retry-After``.
+        """
+        from repro.runtime.pool import pool_stats
+
+        depth = self.scheduler.queue_depth()
+        breakers = self.scheduler.breakers()
+        pools = pool_stats()
+        shedding = (
+            self.max_queue_depth is not None and depth >= self.max_queue_depth
+        )
+        open_breakers = sorted(
+            key for key, snap in breakers.items() if snap["state"] == "open"
+        )
+        if self._draining:
+            status, ready = "draining", False
+        elif shedding:
+            status, ready = "degraded", False
+        elif open_breakers:
+            status, ready = "degraded", True
+        else:
+            status, ready = "ok", True
+        report = {
+            "status": status,
+            "ready": ready,
+            "draining": self._draining,
+            "uptime_s": self._clock() - self._started,
+            "queued_batches": depth,
+            "max_queue_depth": self.max_queue_depth,
+            "open_breakers": open_breakers,
+            "breakers": breakers,
+            "pools": {
+                "active": pools["active"],
+                "rebuilds": pools["rebuilds"],
+            },
+            "journal": (
+                {"records": len(self.journal), "durable": self.journal.durable}
+                if self.journal is not None
+                else None
+            ),
+        }
+        if not ready:
+            report["retry_after"] = 5.0 if self._draining else 1.0
+        return report
+
+    async def drain(self, timeout: Optional[float] = None) -> dict:
+        """Gracefully drain: stop admissions, settle what is in flight.
+
+        From the moment ``drain()`` is entered, new submissions are shed
+        with :class:`~repro.exceptions.ServiceOverloaded`
+        (``reason="draining"``) — and ``health()`` reports
+        ``status="draining"``, so load balancers route elsewhere.
+        Queued and in-flight work gets ``timeout`` seconds to settle;
+        whatever remains stays journaled as unsettled (write-ahead), so
+        a restarted service re-runs it rather than losing it.
+
+        Returns a summary: ``settled`` (everything finished in time),
+        the residual ``queued_batches``/``in_flight_jobs``, and
+        ``unsettled_records`` still open in the journal.  Admissions
+        stay closed afterwards; call :meth:`resume` to re-open them
+        (tests do), or :meth:`close` to shut down.
+        """
         loop = self._bind_loop()
-        return await loop.run_in_executor(
+        with self._lock:
+            self._draining = True
+        settled = await loop.run_in_executor(
             None, lambda: self.scheduler.wait_idle(timeout)
         )
+        scheduler = self.scheduler
+        unsettled = 0
+        if self.journal is not None:
+            try:
+                unsettled = len(self.journal.unsettled())
+            except Exception:
+                # A wedged (or test-stubbed) journal must not turn a
+                # graceful drain into a crash; the count is telemetry.
+                unsettled = None
+        return {
+            "settled": bool(settled),
+            "queued_batches": scheduler.queue_depth(),
+            "in_flight_jobs": scheduler.stats()["in_flight_jobs"],
+            "unsettled_records": unsettled,
+        }
+
+    def resume(self) -> None:
+        """Re-open admissions after a :meth:`drain`."""
+        with self._lock:
+            self._draining = False
 
     async def close(self, wait: bool = True) -> None:
         """Shut the scheduler down (drain with ``wait=True``) off-loop."""

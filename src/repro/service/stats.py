@@ -153,6 +153,7 @@ class ClientStats:
         "dropped_batches",
         "rejected_quota",
         "rejected_rate",
+        "rejected_overload",
         "queued_waits",
     )
 

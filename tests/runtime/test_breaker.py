@@ -1,0 +1,189 @@
+"""Tests for the per-backend circuit breaker and its scheduler wiring."""
+
+import pytest
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.devices.backend import Backend
+from repro.exceptions import CircuitOpen
+from repro.results.counts import Counts
+from repro.results.result import Result
+from repro.runtime import CircuitBreaker, Scheduler
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 1000.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+def tripped_breaker(clock, **overrides):
+    """A breaker driven to ``open`` with the smallest legal window."""
+    kwargs = dict(failure_threshold=0.5, min_samples=2, window=4,
+                  cooldown_s=10.0, clock=clock)
+    kwargs.update(overrides)
+    breaker = CircuitBreaker(**kwargs)
+    breaker.record_failure()
+    breaker.record_failure()
+    assert breaker.state == "open"
+    return breaker
+
+
+class TestCircuitBreakerUnit:
+    def test_validation(self):
+        with pytest.raises(ValueError, match="failure_threshold"):
+            CircuitBreaker(failure_threshold=0.0)
+        with pytest.raises(ValueError, match="min_samples"):
+            CircuitBreaker(min_samples=0)
+        with pytest.raises(ValueError, match="min_samples"):
+            CircuitBreaker(min_samples=8, window=4)
+        with pytest.raises(ValueError, match="cooldown_s"):
+            CircuitBreaker(cooldown_s=-1)
+        with pytest.raises(ValueError, match="probe_limit"):
+            CircuitBreaker(probe_limit=0)
+
+    def test_closed_admits_everything(self):
+        breaker = CircuitBreaker()
+        admitted, retry_after = breaker.allow()
+        assert admitted and retry_after == 0.0
+
+    def test_single_failure_does_not_open_cold_breaker(self):
+        breaker = CircuitBreaker(min_samples=2, window=4)
+        breaker.record_failure()
+        assert breaker.state == "closed"
+
+    def test_opens_at_threshold_once_sampled(self):
+        breaker = CircuitBreaker(failure_threshold=0.5, min_samples=4,
+                                 window=8)
+        for _ in range(2):
+            breaker.record_success()
+        breaker.record_failure()
+        assert breaker.state == "closed"  # 1/3 failures, under threshold
+        breaker.record_failure()
+        assert breaker.state == "open"  # 2/4 at min_samples
+
+    def test_open_rejects_with_shrinking_retry_after(self):
+        clock = FakeClock()
+        breaker = tripped_breaker(clock)
+        admitted, retry_after = breaker.allow()
+        assert not admitted
+        assert retry_after == pytest.approx(10.0)
+        clock.advance(6.0)
+        _, retry_after = breaker.allow()
+        assert retry_after == pytest.approx(4.0)
+
+    def test_half_open_probe_budget(self):
+        clock = FakeClock()
+        breaker = tripped_breaker(clock, probe_limit=1)
+        clock.advance(10.0)
+        assert breaker.state == "half_open"
+        admitted, _ = breaker.allow()
+        assert admitted  # the probe slot
+        admitted, retry_after = breaker.allow()
+        assert not admitted and retry_after > 0  # budget spent
+
+    def test_probe_failure_reopens_with_fresh_cooldown(self):
+        clock = FakeClock()
+        breaker = tripped_breaker(clock)
+        clock.advance(10.0)
+        assert breaker.allow()[0]
+        breaker.record_failure()
+        assert breaker.state == "open"
+        clock.advance(9.0)  # fresh cooldown: 9 < 10 seconds elapsed
+        assert breaker.state == "open"
+        clock.advance(1.0)
+        assert breaker.state == "half_open"
+
+    def test_probe_successes_close_and_clear_window(self):
+        clock = FakeClock()
+        breaker = tripped_breaker(clock, probe_successes=2)
+        clock.advance(10.0)
+        assert breaker.allow()[0]
+        breaker.record_success()
+        assert breaker.state == "half_open"  # one win is not enough
+        assert breaker.allow()[0]
+        breaker.record_success()
+        assert breaker.state == "closed"
+        # The window was cleared: old failures cannot instantly re-open.
+        assert breaker.snapshot()["window_count"] == 0
+
+    def test_snapshot_shape(self):
+        clock = FakeClock()
+        breaker = tripped_breaker(clock)
+        breaker.allow()
+        snap = breaker.snapshot()
+        assert snap["state"] == "open"
+        assert snap["failure_rate"] == 1.0
+        assert snap["window_count"] == 2
+        assert snap["transitions"] == 1
+        assert snap["rejections"] == 1
+        assert snap["probes_in_flight"] == 0
+
+
+class SickBackend(Backend):
+    name = "sick"
+
+    def run(self, circuit, shots=1024, seed=None):
+        raise RuntimeError("device offline")
+
+
+class HealthyBackend(Backend):
+    name = "healthy"
+
+    def run(self, circuit, shots=1024, seed=None):
+        return Result(counts=Counts({"0": shots}), shots=shots)
+
+
+def named_circuit(name):
+    circuit = QuantumCircuit(1, name=name)
+    circuit.measure_all()
+    return circuit
+
+
+class TestSchedulerBreakerIntegration:
+    BREAKER = dict(failure_threshold=1.0, min_samples=2, window=4,
+                   cooldown_s=60.0)
+
+    def test_failing_backend_opens_breaker_and_gates_submit(self):
+        with Scheduler(executor="serial", breaker=self.BREAKER) as scheduler:
+            for i in range(2):
+                scheduler.submit(named_circuit(f"doomed{i}"), SickBackend(),
+                                 shots=1, retry=False)
+            assert scheduler.wait_idle(timeout=30)
+            with pytest.raises(CircuitOpen) as info:
+                scheduler.submit(named_circuit("rejected"), SickBackend(),
+                                 shots=1, retry=False)
+            assert info.value.backend == "sick"
+            assert info.value.retry_after > 0
+            snapshot = scheduler.stats()["breakers"]["sick"]
+            assert snapshot["state"] == "open"
+            assert snapshot["rejections"] == 1
+            # Other backends are unaffected: breakers are per-spec.
+            batch = scheduler.submit(named_circuit("fine"), HealthyBackend(),
+                                     shots=4)
+            assert batch.result()[0].counts == {"0": 4}
+
+    def test_breaker_disabled_never_gates(self):
+        with Scheduler(executor="serial", breaker=False) as scheduler:
+            for i in range(3):
+                scheduler.submit(named_circuit(f"doomed{i}"), SickBackend(),
+                                 shots=1, retry=False)
+            assert scheduler.wait_idle(timeout=30)
+            scheduler.submit(named_circuit("still-admitted"), SickBackend(),
+                             shots=1, retry=False)
+            assert scheduler.wait_idle(timeout=30)
+            assert scheduler.stats()["breakers"] == {}
+
+    def test_per_circuit_backend_sequences_are_ungated(self):
+        with Scheduler(executor="serial", breaker=self.BREAKER) as scheduler:
+            batch = scheduler.submit(
+                [named_circuit("a"), named_circuit("b")],
+                [HealthyBackend(), HealthyBackend()], shots=2,
+            )
+            results = batch.result()
+            assert [r.counts for r in results] == [{"0": 2}, {"0": 2}]
+            assert scheduler.stats()["breakers"] == {}

@@ -1,0 +1,193 @@
+"""Tests for :mod:`repro.faults` — the deterministic fault-injection harness."""
+
+import json
+
+import pytest
+
+from repro import faults
+from repro.exceptions import FaultInjected
+from repro.faults import ENV_VAR, FaultPlan, FaultRule
+
+
+@pytest.fixture(autouse=True)
+def no_ambient_plan(monkeypatch):
+    """Every test starts (and ends) with no ambient plan."""
+    monkeypatch.delenv(ENV_VAR, raising=False)
+    faults.deactivate()
+    yield
+    faults.deactivate()
+
+
+class TestFaultRule:
+    def test_defaults(self):
+        rule = FaultRule()
+        assert rule.rate == 1.0
+        assert rule.times is None
+        assert rule.after == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="rate"):
+            FaultRule(rate=1.5)
+        with pytest.raises(ValueError, match="rate"):
+            FaultRule(rate=-0.1)
+        with pytest.raises(ValueError, match="times"):
+            FaultRule(times=-1)
+        with pytest.raises(ValueError, match="after"):
+            FaultRule(after=-1)
+
+    def test_coerce_number_is_rate_shorthand(self):
+        assert FaultRule.coerce(0.25).rate == 0.25
+        assert FaultRule.coerce(1).rate == 1.0
+
+    def test_coerce_dict_and_passthrough(self):
+        rule = FaultRule.coerce({"rate": 0.5, "times": 2, "after": 1})
+        assert (rule.rate, rule.times, rule.after) == (0.5, 2, 1)
+        assert FaultRule.coerce(rule) is rule
+
+    def test_coerce_rejects_unknown_fields_and_types(self):
+        with pytest.raises(ValueError, match="unknown FaultRule fields"):
+            FaultRule.coerce({"rate": 0.5, "probability": 0.5})
+        with pytest.raises(TypeError):
+            FaultRule.coerce("0.5")
+        with pytest.raises(TypeError):
+            FaultRule.coerce(True)
+
+
+class TestFaultPlanDecisions:
+    def test_unlisted_site_never_fires(self):
+        plan = FaultPlan(seed=1, sites={"chunk.simulate": 1.0})
+        assert not plan.should_fire("journal.write")
+
+    def test_rate_one_always_fires_rate_zero_never(self):
+        plan = FaultPlan(seed=1, sites={"a": 1.0, "b": 0.0})
+        assert all(plan.should_fire("a", key=i) for i in range(20))
+        assert not any(plan.should_fire("b", key=i) for i in range(20))
+
+    def test_keyed_decisions_are_reproducible_across_instances(self):
+        spec = {"seed": 7, "sites": {"chunk.simulate": 0.5}}
+        keys = [(11, chunk, attempt) for chunk in range(8)
+                for attempt in range(3)]
+        first = [FaultPlan.from_spec(spec).should_fire("chunk.simulate", key=k)
+                 for k in keys]
+        second = [FaultPlan.from_spec(spec).should_fire("chunk.simulate", key=k)
+                  for k in keys]
+        assert first == second
+        assert any(first) and not all(first)  # rate 0.5 actually splits
+
+    def test_different_seeds_differ(self):
+        keys = list(range(64))
+        verdict = lambda seed: [
+            FaultPlan(seed=seed, sites={"s": 0.5}).should_fire("s", key=k)
+            for k in keys
+        ]
+        assert verdict(1) != verdict(2)
+
+    def test_counter_keyed_when_no_key(self):
+        # Without explicit keys, the per-site decision counter is the key:
+        # deterministic within a process for a fixed decision order.
+        outcomes = lambda: [
+            FaultPlan(seed=5, sites={"s": 0.5}).should_fire("s")
+            for _ in range(1)
+        ]
+        plan = FaultPlan(seed=5, sites={"s": 0.5})
+        seq = [plan.should_fire("s") for _ in range(32)]
+        replay = FaultPlan(seed=5, sites={"s": 0.5})
+        assert seq == [replay.should_fire("s") for _ in range(32)]
+        assert outcomes() == outcomes()
+
+    def test_times_caps_total_fires(self):
+        plan = FaultPlan(seed=1, sites={"s": {"rate": 1.0, "times": 2}})
+        fired = [plan.should_fire("s", key=i) for i in range(10)]
+        assert sum(fired) == 2
+        assert fired[:2] == [True, True]
+
+    def test_after_skips_initial_decisions(self):
+        plan = FaultPlan(seed=1, sites={"s": {"rate": 1.0, "after": 3}})
+        fired = [plan.should_fire("s", key=i) for i in range(6)]
+        assert fired == [False, False, False, True, True, True]
+
+    def test_stats_tallies(self):
+        plan = FaultPlan(seed=1, sites={"s": {"rate": 1.0, "times": 1}})
+        for i in range(4):
+            plan.should_fire("s", key=i)
+        plan.should_fire("other")
+        stats = plan.stats()
+        assert stats["s"] == {"decisions": 4, "fired": 1}
+        assert stats["other"] == {"decisions": 1, "fired": 0}
+
+
+class TestFaultPlanSpecs:
+    def test_from_spec_dict_json_and_passthrough(self):
+        spec = {"seed": 3, "sites": {"chunk.simulate": 0.25}}
+        from_dict = FaultPlan.from_spec(spec)
+        from_json = FaultPlan.from_spec(json.dumps(spec))
+        assert from_dict.seed == from_json.seed == 3
+        assert from_dict.sites["chunk.simulate"].rate == 0.25
+        assert FaultPlan.from_spec(from_dict) is from_dict
+
+    def test_from_spec_file_path(self, tmp_path):
+        path = tmp_path / "plan.json"
+        path.write_text(json.dumps(
+            {"seed": 9, "sites": {"pool.worker_crash": {"rate": 1.0,
+                                                        "times": 1}}}
+        ))
+        plan = FaultPlan.from_spec(str(path))
+        assert plan.seed == 9
+        assert plan.sites["pool.worker_crash"].times == 1
+
+    def test_from_spec_rejects_unknown_fields_and_types(self):
+        with pytest.raises(ValueError, match="unknown FaultPlan fields"):
+            FaultPlan.from_spec({"seed": 1, "rules": {}})
+        with pytest.raises(TypeError):
+            FaultPlan.from_spec(["chunk.simulate"])
+
+    def test_to_spec_round_trips(self):
+        plan = FaultPlan(seed=4, sites={
+            "chunk.simulate": {"rate": 0.5, "times": 3, "after": 2},
+            "journal.write": 1.0,
+        })
+        clone = FaultPlan.from_spec(plan.to_spec())
+        assert clone.seed == plan.seed
+        assert clone.sites == plan.sites
+
+
+class TestAmbientPlan:
+    def test_no_plan_by_default(self):
+        assert faults.active_plan() is None
+        assert not faults.should_fail("chunk.simulate")
+        faults.inject("chunk.simulate")  # no plan: no raise
+
+    def test_activate_and_deactivate(self):
+        plan = faults.activate({"seed": 1, "sites": {"journal.write": 1.0}})
+        assert faults.active_plan() is plan
+        assert faults.should_fail("journal.write")
+        faults.deactivate()
+        assert faults.active_plan() is None
+
+    def test_env_var_plan_is_cached_per_value(self, monkeypatch):
+        monkeypatch.setenv(ENV_VAR, json.dumps(
+            {"seed": 2, "sites": {"http.accept": 1.0}}
+        ))
+        plan = faults.active_plan()
+        assert plan is faults.active_plan()  # cached: counters persist
+        assert plan.sites["http.accept"].rate == 1.0
+        monkeypatch.setenv(ENV_VAR, json.dumps({"seed": 3, "sites": {}}))
+        assert faults.active_plan() is not plan
+        assert faults.active_plan().seed == 3
+
+    def test_explicit_plan_wins_over_env(self, monkeypatch):
+        monkeypatch.setenv(ENV_VAR, json.dumps({"seed": 2, "sites": {}}))
+        explicit = faults.activate({"seed": 9, "sites": {}})
+        assert faults.active_plan() is explicit
+
+    def test_injected_context_manager_restores_previous(self):
+        outer = faults.activate({"seed": 1, "sites": {}})
+        with faults.injected({"seed": 2, "sites": {"journal.write": 1.0}}) as plan:
+            assert faults.active_plan() is plan
+        assert faults.active_plan() is outer
+
+    def test_inject_raises_typed_fault_with_site(self):
+        with faults.injected({"seed": 1, "sites": {"journal.write": 1.0}}):
+            with pytest.raises(FaultInjected, match="journal.write") as info:
+                faults.inject("journal.write")
+            assert info.value.site == "journal.write"

@@ -74,7 +74,7 @@ class TestExecutorRegistry:
     def test_stats_shape(self):
         get_executor("serial")
         stats = pool_stats()
-        assert set(stats) == {"active", "created", "reused", "pools"}
+        assert set(stats) == {"active", "created", "reused", "rebuilds", "pools"}
         assert ("serial", None) in stats["pools"]
 
 

@@ -1,0 +1,247 @@
+"""Tests for chunk retries and self-healing pools (PR 10's runtime half).
+
+Covers the :mod:`repro.runtime.retry` policy layer, fault-injected chunk
+retries (counts must stay bit-identical to a clean run), the job-wide
+retry budget, the as_completed barrier under submit-time failures, and
+the acceptance scenario: a process-pool worker hard-crash mid-job heals
+via pool rebuild + resubmission with zero failed jobs.
+"""
+
+import random
+
+import pytest
+
+from repro import faults
+from repro.circuits import library
+from repro.exceptions import JobError
+from repro.faults import FaultPlan
+from repro.results.counts import Counts
+from repro.results.result import Result
+from repro.runtime import RetryPolicy, execute, pool_stats
+from repro.runtime.job import JobStatus
+from repro.runtime.retry import (
+    DEFAULT_MAX_RETRIES,
+    RETRY_ENV_VAR,
+    backoff_rng,
+    next_backoff,
+    resolve_retry_policy,
+)
+
+#: Fast backoffs so failure-path tests don't sleep their way through CI.
+FAST = {"backoff_s": 0.001, "max_backoff_s": 0.005}
+
+
+def measured_bell():
+    circuit = library.bell_pair()
+    circuit.measure_all()
+    return circuit
+
+
+@pytest.fixture(autouse=True)
+def no_ambient_state(monkeypatch):
+    monkeypatch.delenv(RETRY_ENV_VAR, raising=False)
+    monkeypatch.delenv(faults.ENV_VAR, raising=False)
+    faults.deactivate()
+    yield
+    faults.deactivate()
+
+
+class TestRetryPolicy:
+    def test_defaults(self):
+        policy = RetryPolicy()
+        assert policy.max_retries == DEFAULT_MAX_RETRIES
+        assert policy.retry_budget is None
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="max_retries"):
+            RetryPolicy(max_retries=-1)
+        with pytest.raises(ValueError, match="retry_budget"):
+            RetryPolicy(retry_budget=-1)
+        with pytest.raises(ValueError, match="backoff_s"):
+            RetryPolicy(backoff_s=-0.1)
+        with pytest.raises(ValueError, match="backoff_s"):
+            RetryPolicy(backoff_s=2.0, max_backoff_s=1.0)
+
+
+class TestResolveRetryPolicy:
+    def test_none_uses_defaults(self):
+        policy = resolve_retry_policy(None)
+        assert policy.max_retries == DEFAULT_MAX_RETRIES
+
+    def test_none_reads_env(self, monkeypatch):
+        monkeypatch.setenv(RETRY_ENV_VAR, "5")
+        assert resolve_retry_policy(None).max_retries == 5
+        monkeypatch.setenv(RETRY_ENV_VAR, "0")
+        assert resolve_retry_policy(None) is None
+        monkeypatch.setenv(RETRY_ENV_VAR, "lots")
+        with pytest.raises(ValueError, match=RETRY_ENV_VAR):
+            resolve_retry_policy(None)
+
+    def test_disabled_forms(self):
+        assert resolve_retry_policy(False) is None
+        assert resolve_retry_policy(0) is None
+        assert resolve_retry_policy(RetryPolicy(max_retries=0)) is None
+        assert resolve_retry_policy({"max_retries": 0}) is None
+
+    def test_enabled_forms(self):
+        assert resolve_retry_policy(True).max_retries == DEFAULT_MAX_RETRIES
+        assert resolve_retry_policy(3).max_retries == 3
+        policy = resolve_retry_policy({"max_retries": 4, "retry_budget": 8})
+        assert (policy.max_retries, policy.retry_budget) == (4, 8)
+        explicit = RetryPolicy(max_retries=1)
+        assert resolve_retry_policy(explicit) is explicit
+
+    def test_rejects_other_types(self):
+        with pytest.raises(TypeError):
+            resolve_retry_policy("twice")
+
+
+class TestBackoff:
+    def test_next_backoff_bounds(self):
+        policy = RetryPolicy(backoff_s=0.02, max_backoff_s=0.5)
+        rng = random.Random(0)
+        previous = 0.0
+        for _ in range(50):
+            sleep = next_backoff(policy, previous, rng)
+            assert policy.backoff_s <= sleep <= policy.max_backoff_s
+            previous = sleep
+
+    def test_backoff_rng_deterministic(self):
+        a = backoff_rng(7, 3, 1).random()
+        b = backoff_rng(7, 3, 1).random()
+        assert a == b
+        assert backoff_rng(7, 3, 2).random() != a
+        # Seedless jobs still get a usable (stable) jitter stream.
+        assert backoff_rng(None, 0, 1).random() == backoff_rng(0, 0, 1).random()
+
+
+class TestChunkRetryIntegration:
+    def test_retried_chunk_counts_bit_identical(self):
+        clean = execute(measured_bell(), "statevector", shots=256, seed=11,
+                        chunk_shots=64, executor="thread",
+                        retry=False).result()
+        plan = FaultPlan(seed=3, sites={
+            "chunk.simulate": {"rate": 1.0, "times": 1},
+        })
+        job = execute(measured_bell(), "statevector", shots=256, seed=11,
+                      chunk_shots=64, executor="thread",
+                      retry=dict(max_retries=2, **FAST), fault_plan=plan)
+        result = job.result()
+        assert job.retries == 1
+        assert result.counts == clean.counts
+        assert plan.stats()["chunk.simulate"]["fired"] == 1
+
+    def test_retries_disabled_fail_fast(self):
+        plan = {"seed": 1, "sites": {"chunk.simulate": {"rate": 1.0,
+                                                        "times": 1}}}
+        job = execute(measured_bell(), "statevector", shots=64, seed=2,
+                      executor="thread", retry=False, fault_plan=plan)
+        with pytest.raises(JobError, match="injected fault"):
+            job.result()
+        assert job.status() is JobStatus.ERROR
+        assert job.retries == 0
+
+    def test_retry_budget_exhaustion_fails_job(self):
+        # Every attempt faults; a budget of 1 allows one retry, then the
+        # chunk's next failure is terminal.
+        plan = FaultPlan(seed=1, sites={"chunk.simulate": 1.0})
+        job = execute(measured_bell(), "statevector", shots=64, seed=2,
+                      executor="thread",
+                      retry=dict(max_retries=10, retry_budget=1, **FAST),
+                      fault_plan=plan)
+        with pytest.raises(JobError, match="injected fault"):
+            job.result()
+        assert job.retries == 1
+
+    def test_per_chunk_cap_fails_after_max_retries(self):
+        plan = FaultPlan(seed=1, sites={"chunk.simulate": 1.0})
+        job = execute(measured_bell(), "statevector", shots=64, seed=2,
+                      executor="thread", retry=dict(max_retries=2, **FAST),
+                      fault_plan=plan)
+        with pytest.raises(JobError, match="injected fault"):
+            job.result()
+        assert job.retries == 2  # both allowed retries were spent
+
+    def test_ambient_plan_reaches_chunks(self):
+        with faults.injected({"seed": 4, "sites": {
+            "chunk.simulate": {"rate": 1.0, "times": 1},
+        }}):
+            job = execute(measured_bell(), "statevector", shots=64, seed=3,
+                          executor="thread", retry=dict(max_retries=2, **FAST))
+            job.result()
+        assert job.retries == 1
+
+
+class TestAsCompletedUnderFailure:
+    def test_submit_time_failure_still_streams_every_job(self, monkeypatch):
+        """The completion barrier arms before launch, so a chunk that dies
+        at executor.submit() time still counts down — as_completed must
+        yield every job exactly once, failed ones included."""
+        import sys
+
+        # repro.runtime.execute the *module* — the package re-exports the
+        # function under the same name, shadowing attribute access.
+        execute_module = sys.modules["repro.runtime.execute"]
+        real_get_executor = execute_module.get_executor
+
+        class RefusingExecutor:
+            _repro_kind = "thread"
+
+            def __init__(self, inner):
+                self.inner = inner
+                self.calls = 0
+
+            def submit(self, fn, *args, **kwargs):
+                self.calls += 1
+                if self.calls == 2:
+                    raise RuntimeError("submit refused")
+                return self.inner.submit(fn, *args, **kwargs)
+
+        wrapper = {}
+
+        def refusing(kind, max_workers=None):
+            pool = real_get_executor(kind, max_workers)
+            wrapper.setdefault("executor", RefusingExecutor(pool))
+            return wrapper["executor"]
+
+        monkeypatch.setattr(execute_module, "get_executor", refusing)
+        jobs = execute([measured_bell()] * 3, "statevector", shots=32,
+                       seed=[1, 2, 3], executor="thread", dedupe=False,
+                       retry=False)
+        seen = [job for job in jobs.as_completed(timeout=30)]
+        assert len(seen) == 3
+        assert {id(job) for job in seen} == {id(job) for job in jobs}
+        statuses = jobs.statuses()
+        assert statuses.count(JobStatus.ERROR) == 1
+        assert statuses.count(JobStatus.DONE) == 2
+
+
+class TestPoolSelfHealing:
+    def test_worker_crash_heals_and_counts_stay_bit_identical(self):
+        """Acceptance: kill a process-pool worker mid-job; the job must
+        still succeed with bit-identical counts via pool rebuild +
+        resubmission, without consuming the retry policy."""
+        clean = execute(measured_bell(), "statevector", shots=400, seed=5,
+                        chunk_shots=100, executor="process",
+                        retry=False).result()
+        rebuilds_before = pool_stats()["rebuilds"]
+        plan = FaultPlan(seed=2, sites={
+            "pool.worker_crash": {"rate": 1.0, "times": 1},
+        })
+        job = execute(measured_bell(), "statevector", shots=400, seed=5,
+                      chunk_shots=100, executor="process",
+                      retry=dict(max_retries=2, **FAST), fault_plan=plan)
+        result = job.result()
+        assert result.counts == clean.counts
+        assert job.status() is JobStatus.DONE
+        assert plan.stats()["pool.worker_crash"]["fired"] == 1
+        assert job.pool_rebuilds > 0
+        assert pool_stats()["rebuilds"] > rebuilds_before
+        # Pool healing is not a retry: the policy budget is untouched.
+        assert job.retries == 0
+
+    def test_crash_site_ignored_off_process_executors(self):
+        plan = FaultPlan(seed=2, sites={"pool.worker_crash": 1.0})
+        job = execute(measured_bell(), "statevector", shots=64, seed=5,
+                      executor="thread", retry=False, fault_plan=plan)
+        assert job.result().counts  # the thread "worker" is us: no crash

@@ -110,6 +110,7 @@ class TestServiceAccounting:
             )
             await job.wait()
             await service.drain()
+            service.resume()  # drain() closes admissions; re-open them
             # One more settlement after both ledgers have spend, so the
             # feedback sees two tenants.
             job = await service.submit(

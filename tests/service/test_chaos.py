@@ -1,0 +1,166 @@
+"""Chaos storm: the PR-6 many-client storm replayed under fault injection.
+
+Every handle must still settle exactly once, surviving jobs' counts must
+stay bit-identical to a fault-free run (retries resubmit with the chunk's
+original seed), and the service's per-tenant accounting must not leak
+in-flight slots whatever mix of retries and failures the plan produces.
+"""
+
+import asyncio
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.devices.backend import Backend
+from repro.faults import FaultPlan
+from repro.results.counts import Counts
+from repro.results.result import Result
+from repro.runtime import execute, pool_stats
+from repro.service import ClientQuota, RuntimeService
+
+#: Fast backoffs: chaos tests sleep through plenty of retries.
+RETRY = {"max_retries": 3, "backoff_s": 0.001, "max_backoff_s": 0.01}
+
+TERMINAL = {"done", "failed", "dropped", "cancelled"}
+
+
+class CountingBackend(Backend):
+    """A cheap deterministic backend: counts derive from the seed."""
+
+    name = "counting"
+
+    def run(self, circuit, shots=1024, seed=None):
+        key = format((seed or 0) % 4, "02b")
+        return Result(counts=Counts({key: shots}), shots=shots)
+
+
+def named_circuit(name):
+    circuit = QuantumCircuit(2, name=name)
+    circuit.measure_all()
+    return circuit
+
+
+class TestChaosStorm:
+    def test_storm_under_chunk_faults_settles_bit_identically(self):
+        clients, per_client, shots = 6, 8, 32
+        backend = CountingBackend()
+        reference = {
+            seed: dict(execute(named_circuit("ref"), backend, shots=shots,
+                               seed=seed).result().counts)
+            for seed in range(per_client)
+        }
+        # ~29% of chunk attempts fault; with 3 retries per chunk the odds
+        # of any job exhausting them are ~0.7% — the assertions below
+        # tolerate (and report) genuine failures without depending on any.
+        plan = FaultPlan(seed=13, sites={"chunk.simulate": 0.29})
+
+        async def client_load(service, token, name):
+            handles = []
+            for i in range(per_client):
+                handle = await service.submit(
+                    named_circuit(f"{name}-{i}"), backend, shots=shots,
+                    seed=i, token=token, retry=dict(RETRY), fault_plan=plan,
+                )
+                handles.append((i, handle))
+            seen = set()
+            async for handle in service.as_completed(
+                [h for _i, h in handles], timeout=120
+            ):
+                assert handle.job_id not in seen
+                seen.add(handle.job_id)
+            assert len(seen) == per_client
+            return handles
+
+        async def main():
+            service = RuntimeService(executor="thread")
+            try:
+                tokens = {
+                    f"tenant{c}": service.register_client(
+                        f"tenant{c}",
+                        quota=ClientQuota(max_in_flight_jobs=4,
+                                          over_quota="queue"),
+                    )
+                    for c in range(clients)
+                }
+                loads = await asyncio.gather(*(
+                    client_load(service, token, name)
+                    for name, token in tokens.items()
+                ))
+                survived = failed = 0
+                for handles in loads:
+                    for seed, handle in handles:
+                        status = handle.status()
+                        assert status in TERMINAL
+                        if status == "done":
+                            survived += 1
+                            counts = await handle.counts()
+                            assert counts == [reference[seed]]
+                        else:
+                            failed += 1
+                assert survived + failed == clients * per_client
+                # Chaos actually happened, and retries actually saved
+                # work: with a ~29% fault rate, an unretried storm would
+                # lose ~29% of its jobs — nearly all must survive here.
+                assert plan.stats()["chunk.simulate"]["fired"] > 0
+                assert survived >= clients * per_client * 0.9
+                stats = service.stats()
+                # No quota/ledger leaks: every in-flight slot was returned
+                # whether the job survived, retried or failed.
+                settled = 0
+                for name in tokens:
+                    tenant = stats["clients"][name]
+                    assert tenant["in_flight_jobs"] == 0
+                    settled += (tenant["completed_batches"]
+                                + tenant["failed_batches"])
+                assert stats["in_flight_jobs"] == 0
+                assert settled == clients * per_client
+                assert stats["completed_jobs"] == survived
+            finally:
+                await service.close()
+
+        asyncio.run(main())
+
+    def test_storm_survives_worker_crash_with_zero_failed_jobs(self):
+        """Acceptance: a process-pool worker killed mid-storm is healed by
+        the pool rebuild — zero failed jobs, counts bit-identical."""
+        tenants, per_tenant, shots = 3, 4, 120
+        circuit = named_circuit("crash-storm")
+        reference = {
+            seed: dict(execute(circuit, "statevector", shots=shots,
+                               seed=seed, chunk_shots=40,
+                               executor="process").result().counts)
+            for seed in range(per_tenant)
+        }
+        rebuilds_before = pool_stats()["rebuilds"]
+        plan = FaultPlan(seed=2, sites={
+            "pool.worker_crash": {"rate": 1.0, "times": 1},
+        })
+
+        async def main():
+            service = RuntimeService(executor="process")
+            try:
+                tokens = [service.register_client(f"t{i}")
+                          for i in range(tenants)]
+                handles = []
+                for token in tokens:
+                    for seed in range(per_tenant):
+                        handles.append((seed, await service.submit(
+                            circuit, "statevector", shots=shots, seed=seed,
+                            token=token, chunk_shots=40,
+                            retry=dict(RETRY), fault_plan=plan,
+                        )))
+                async for _h in service.as_completed(
+                    [h for _s, h in handles], timeout=180
+                ):
+                    pass
+                for seed, handle in handles:
+                    assert handle.status() == "done"
+                    assert await handle.counts() == [reference[seed]]
+                stats = service.stats()
+                for i in range(tenants):
+                    assert stats["clients"][f"t{i}"]["failed_batches"] == 0
+                assert stats["completed_jobs"] == tenants * per_tenant
+            finally:
+                await service.close()
+
+        asyncio.run(main())
+        assert plan.stats()["pool.worker_crash"]["fired"] == 1
+        assert pool_stats()["rebuilds"] > rebuilds_before

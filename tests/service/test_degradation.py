@@ -1,0 +1,380 @@
+"""Graceful degradation: health reporting, load shedding, drain/resume,
+the wire's ``/v1/health`` + ``Retry-After`` contract, connection-level
+chaos, and the client's bounded retry policy."""
+
+import asyncio
+import threading
+
+import pytest
+
+from repro import faults
+from repro.circuits.circuit import QuantumCircuit
+from repro.devices.backend import Backend
+from repro.exceptions import CircuitOpen, ServiceOverloaded
+from repro.results.counts import Counts
+from repro.results.result import Result
+from repro.runtime import register_backend
+from repro.service import (
+    BackgroundServer,
+    QuotaExceeded,
+    RuntimeService,
+    ServiceClient,
+)
+
+
+class CountingBackend(Backend):
+    name = "counting"
+
+    def run(self, circuit, shots=1024, seed=None):
+        key = format((seed or 0) % 4, "02b")
+        return Result(counts=Counts({key: shots}), shots=shots)
+
+
+class BlockingBackend(Backend):
+    """Holds every run() until released, to pile work up deterministically."""
+
+    name = "blocking"
+
+    def __init__(self):
+        self.release = threading.Event()
+        self.started = threading.Event()
+
+    def run(self, circuit, shots=1024, seed=None):
+        self.started.set()
+        assert self.release.wait(timeout=30)
+        return Result(counts=Counts({"0": shots}), shots=shots)
+
+
+class SickBackend(Backend):
+    name = "sick"
+
+    def run(self, circuit, shots=1024, seed=None):
+        raise RuntimeError("device offline")
+
+
+def named_circuit(name="probe"):
+    circuit = QuantumCircuit(1, name=name)
+    circuit.measure_all()
+    return circuit
+
+
+@pytest.fixture(autouse=True)
+def no_ambient_faults():
+    faults.deactivate()
+    yield
+    faults.deactivate()
+
+
+async def poll(predicate, timeout=10.0, interval=0.02):
+    deadline = asyncio.get_running_loop().time() + timeout
+    while not predicate():
+        assert asyncio.get_running_loop().time() < deadline, "condition never met"
+        await asyncio.sleep(interval)
+
+
+class TestHealth:
+    def test_healthy_service_reports_ok(self):
+        async def main():
+            service = RuntimeService(executor="thread")
+            try:
+                report = service.health()
+                assert report["status"] == "ok"
+                assert report["ready"] is True
+                assert report["draining"] is False
+                assert report["queued_batches"] == 0
+                assert report["max_queue_depth"] is None
+                assert report["open_breakers"] == []
+                assert "retry_after" not in report
+                assert report["pools"].keys() == {"active", "rebuilds"}
+            finally:
+                await service.close()
+
+        asyncio.run(main())
+
+    def test_open_breaker_degrades_but_stays_ready(self):
+        async def main():
+            service = RuntimeService(
+                executor="thread",
+                breaker=dict(failure_threshold=1.0, min_samples=2, window=4,
+                             cooldown_s=60.0),
+            )
+            try:
+                for _ in range(2):
+                    handle = await service.submit(
+                        named_circuit(), SickBackend(), shots=1, retry=False
+                    )
+                    await handle.wait(timeout=30)
+                # Outcomes land when the scheduler reaps the batch.
+                await poll(lambda: service.health()["open_breakers"])
+                report = service.health()
+                assert report["open_breakers"] == ["sick"]
+                assert report["status"] == "degraded"
+                assert report["ready"] is True  # other backends still fine
+                assert report["breakers"]["sick"]["state"] == "open"
+                with pytest.raises(CircuitOpen) as info:
+                    await service.submit(named_circuit(), SickBackend(),
+                                         shots=1, retry=False)
+                assert info.value.backend == "sick"
+                assert info.value.retry_after > 0
+            finally:
+                await service.close()
+
+        asyncio.run(main())
+
+
+class TestLoadShedding:
+    def test_queue_watermark_sheds_with_typed_overload(self):
+        async def main():
+            backend = BlockingBackend()
+            service = RuntimeService(executor="thread", max_in_flight=1,
+                                     max_queue_depth=1)
+            try:
+                first = await service.submit(named_circuit("a"), backend,
+                                             shots=4)
+                # Wait until it occupies the (single) in-flight slot, so
+                # the next submission stays queued rather than dispatched.
+                await poll(lambda: backend.started.is_set())
+                await poll(
+                    lambda: service.stats()["queued_batches"] == 0
+                    and service.stats()["in_flight_jobs"] == 1
+                )
+                second = await service.submit(named_circuit("b"), backend,
+                                              shots=4)
+                with pytest.raises(ServiceOverloaded) as info:
+                    await service.submit(named_circuit("c"), backend, shots=4)
+                assert info.value.queue_depth == 1
+                assert info.value.limit == 1
+                assert info.value.reason == "queue_depth"
+                assert info.value.retry_after == 1.0
+                report = service.health()
+                assert report["status"] == "degraded"
+                assert report["ready"] is False
+                assert report["retry_after"] == 1.0
+                stats = service.stats()["clients"]["anonymous"]
+                assert stats["rejected_overload"] == 1
+                # Shedding happens before admission math: the rejection
+                # never touched the quota/rate machinery.
+                assert stats["rejected_rate"] == 0
+                assert stats["rejected_quota"] == 0
+                backend.release.set()
+                await first.wait(timeout=30)
+                await second.wait(timeout=30)
+                await poll(lambda: service.health()["ready"])
+            finally:
+                backend.release.set()
+                await service.close()
+
+        asyncio.run(main())
+
+
+class TestDrainAndResume:
+    def test_drain_summary_then_resume_reopens(self):
+        async def main():
+            service = RuntimeService(executor="thread")
+            try:
+                handle = await service.submit(named_circuit(),
+                                              CountingBackend(), shots=8,
+                                              seed=1)
+                summary = await service.drain(timeout=30)
+                assert summary == {
+                    "settled": True,
+                    "queued_batches": 0,
+                    "in_flight_jobs": 0,
+                    "unsettled_records": 0,
+                }
+                assert handle.status() == "done"
+                report = service.health()
+                assert report["status"] == "draining"
+                assert report["ready"] is False
+                assert report["retry_after"] == 5.0
+                with pytest.raises(ServiceOverloaded) as info:
+                    await service.submit(named_circuit(), CountingBackend(),
+                                         shots=8)
+                assert info.value.reason == "draining"
+                assert info.value.retry_after == 5.0
+                service.resume()
+                assert service.health()["status"] == "ok"
+                reopened = await service.submit(named_circuit(),
+                                                CountingBackend(), shots=8,
+                                                seed=2)
+                await reopened.wait(timeout=30)
+                assert reopened.status() == "done"
+            finally:
+                await service.close()
+
+        asyncio.run(main())
+
+
+class TestHealthOverTheWire:
+    def test_health_endpoint_needs_no_auth_and_flips_to_503(self):
+        service = RuntimeService(executor="thread", allow_anonymous=False)
+        service.register_client("alice", token="tok-alice")
+        with BackgroundServer(service) as server:
+            with ServiceClient(server.url) as client:  # deliberately no token
+                report = client.health()
+                assert report["ready"] is True
+                assert report["status"] == "ok"
+                asyncio.run_coroutine_threadsafe(
+                    service.drain(timeout=30), server._loop
+                ).result(timeout=60)
+                degraded = client.health()  # the 503 report, not a raise
+                assert degraded["ready"] is False
+                assert degraded["status"] == "draining"
+                assert degraded["retry_after"] == 5.0
+                service.resume()
+                assert client.health()["ready"] is True
+
+    def test_draining_server_rejects_submission_with_503(self):
+        service = RuntimeService(executor="thread")
+        with BackgroundServer(service) as server:
+            with ServiceClient(server.url) as client:
+                asyncio.run_coroutine_threadsafe(
+                    service.drain(timeout=30), server._loop
+                ).result(timeout=60)
+                with pytest.raises(ServiceOverloaded) as info:
+                    client.submit(named_circuit(), backend="statevector",
+                                  shots=8, seed=1)
+                # The typed body survived the hop: reason + retry_after
+                # rebuilt, not just a bare 503.
+                assert info.value.reason == "draining"
+                assert info.value.retry_after == 5.0
+
+
+class TestConnectionChaos:
+    def test_dropped_accept_is_survived_by_reconnect(self):
+        service = RuntimeService(executor="thread")
+        with BackgroundServer(service) as server:
+            with ServiceClient(server.url) as client:
+                assert client.health()["ready"] is True  # warm keep-alive
+                # Drop the *next* accepted connection on the floor.  The
+                # client's stale-keep-alive guard reconnects exactly once,
+                # which is all this needs.
+                with faults.injected({"seed": 1, "sites": {
+                    "http.accept": {"rate": 1.0, "times": 1},
+                }}) as plan:
+                    client.close()  # force the next call onto a fresh accept
+                    job_id = client.submit(named_circuit(),
+                                           backend="statevector", shots=16,
+                                           seed=3)
+                    assert plan.stats()["http.accept"]["fired"] == 1
+                counts = client.counts(job_id, timeout=60)
+                assert counts and sum(counts[0].values()) == 16
+
+
+class TestClientRetryPolicy:
+    def make_client(self, **kwargs):
+        kwargs.setdefault("retries", 3)
+        kwargs.setdefault("backoff_s", 0.001)
+        kwargs.setdefault("max_backoff_s", 0.05)
+        return ServiceClient("http://127.0.0.1:1", **kwargs)
+
+    def test_retries_transient_rejections_honouring_retry_after(self,
+                                                                monkeypatch):
+        client = self.make_client()
+        failures = [
+            ServiceOverloaded("full", retry_after=0.012),
+            CircuitOpen("open", backend="sick", retry_after=0.034),
+        ]
+        calls = {"n": 0}
+
+        def flaky(method, path, payload=None, query=None, raw=False,
+                  any_status=False):
+            calls["n"] += 1
+            if failures:
+                raise failures.pop(0)
+            return {"ok": True}
+
+        sleeps = []
+        monkeypatch.setattr(client, "_request_once", flaky)
+        monkeypatch.setattr("repro.service.client.time.sleep", sleeps.append)
+        assert client._request("GET", "/v1/anything") == {"ok": True}
+        assert calls["n"] == 3
+        # Each sleep honoured the server's hint (plus jitter, under cap).
+        assert sleeps[0] >= 0.012
+        assert sleeps[1] >= 0.034
+        assert all(s <= client.max_backoff_s for s in sleeps)
+
+    def test_budget_exhaustion_raises_last_error(self, monkeypatch):
+        client = self.make_client(retries=2)
+
+        def always_full(*args, **kwargs):
+            raise ServiceOverloaded("full", retry_after=0.001)
+
+        monkeypatch.setattr(client, "_request_once", always_full)
+        monkeypatch.setattr("repro.service.client.time.sleep", lambda s: None)
+        with pytest.raises(ServiceOverloaded):
+            client._request("GET", "/v1/anything")
+
+    def test_quota_exceeded_is_not_retried(self, monkeypatch):
+        client = self.make_client()
+        calls = {"n": 0}
+
+        def over_quota(*args, **kwargs):
+            calls["n"] += 1
+            raise QuotaExceeded("over", client="alice", in_flight=4, limit=4)
+
+        monkeypatch.setattr(client, "_request_once", over_quota)
+        with pytest.raises(QuotaExceeded):
+            client._request("GET", "/v1/anything")
+        assert calls["n"] == 1
+
+    def test_retries_ride_out_a_drain_over_the_wire(self):
+        """End to end: a draining server 503s; a retrying client parks on
+        Retry-After-scaled backoff and succeeds once the service resumes."""
+        service = RuntimeService(executor="thread")
+        with BackgroundServer(service) as server:
+            asyncio.run_coroutine_threadsafe(
+                service.drain(timeout=30), server._loop
+            ).result(timeout=60)
+            resumer = threading.Timer(0.3, service.resume)
+            resumer.start()
+            try:
+                with ServiceClient(server.url, retries=8, backoff_s=0.05,
+                                   max_backoff_s=0.2) as client:
+                    job_id = client.submit(named_circuit(),
+                                           backend="statevector", shots=16,
+                                           seed=5)
+                    assert sum(client.counts(job_id,
+                                             timeout=60)[0].values()) == 16
+            finally:
+                resumer.cancel()
+
+
+class TestBreakerOverTheWire:
+    def test_circuit_open_rebuilt_by_client(self):
+        register_backend("sick", lambda: SickBackend(), overwrite=True)
+        try:
+            service = RuntimeService(
+                executor="thread",
+                breaker=dict(failure_threshold=1.0, min_samples=2, window=4,
+                             cooldown_s=60.0),
+            )
+            with BackgroundServer(service) as server:
+                with ServiceClient(server.url) as client:
+                    for _ in range(2):
+                        job_id = client.submit(named_circuit(),
+                                               backend="sick", shots=1)
+                        # Collection surfaces the failure; the breaker
+                        # records it when the scheduler reaps the batch.
+                        with pytest.raises(Exception):
+                            client.result(job_id, timeout=60)
+                    deadline = 50
+                    while True:
+                        try:
+                            job_id = client.submit(named_circuit(),
+                                                   backend="sick", shots=1)
+                            with pytest.raises(Exception):
+                                client.result(job_id, timeout=60)
+                        except CircuitOpen as error:
+                            assert error.backend == "sick"
+                            assert error.retry_after > 0
+                            break
+                        deadline -= 1
+                        assert deadline > 0, "breaker never opened"
+                    health = client.health()
+                    assert "sick" in health["open_breakers"]
+                    assert health["status"] == "degraded"
+        finally:
+            from repro.runtime.provider import _BACKEND_FACTORIES
+
+            _BACKEND_FACTORIES.pop("sick", None)
